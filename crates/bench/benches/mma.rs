@@ -1,0 +1,40 @@
+//! Real-CPU-time microbenchmarks of the 8x8x4 MMA emulation across the
+//! three tensor-core precision modes, plus fragment packing/extraction.
+
+use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC};
+use amgt_sim::Precision;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_mma(c: &mut Criterion) {
+    let a: [[f64; 4]; 8] = std::array::from_fn(|i| std::array::from_fn(|j| (i * 4 + j) as f64 * 0.1));
+    let b: [[f64; 8]; 4] = std::array::from_fn(|i| std::array::from_fn(|j| (i * 8 + j) as f64 * 0.05));
+    let fa = FragA::pack(&a);
+    let fb = FragB::pack(&b);
+
+    let mut g = c.benchmark_group("mma_8x8x4");
+    for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+        g.bench_function(prec.label(), |bench| {
+            bench.iter(|| {
+                let mut fc = FragC::ZERO;
+                mma_8x8x4(&mut fc, black_box(&fa), black_box(&fb), prec);
+                black_box(fc)
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("frag_pack_tiles", |bench| {
+        let t0: [f64; 16] = std::array::from_fn(|i| i as f64);
+        let t1: [f64; 16] = std::array::from_fn(|i| (i * 2) as f64);
+        bench.iter(|| FragA::pack_tiles(black_box(&t0), black_box(&t1)))
+    });
+
+    c.bench_function("frag_extract_tile", |bench| {
+        let mut fc = FragC::ZERO;
+        mma_8x8x4(&mut fc, &fa, &fb, Precision::Fp64);
+        bench.iter(|| black_box(&fc).extract_tile(0, 1))
+    });
+}
+
+criterion_group!(benches, bench_mma);
+criterion_main!(benches);

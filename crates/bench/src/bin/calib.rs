@@ -1,0 +1,43 @@
+//! Calibration probe: per-(kind, algo) time aggregates for one matrix, all
+//! three variants. Not part of the paper figures; used to tune the cost
+//! model constants in `amgt_sim::cost::tuning`.
+
+use amgt_bench::{fmt_time, run_variant, HarnessArgs, Variant};
+use amgt_sim::{GpuSpec, Phase};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let name = args.only.clone().unwrap_or_else(|| "venkat25".into());
+    let a = args.generate(&name);
+    println!("matrix {name}: n={} nnz={}", a.nrows(), a.nnz());
+    let m = amgt_sparse::Mbsr::from_csr(&a);
+    println!(
+        "blocks={} avg_nnz_blc={:.2} variation={:.2}",
+        m.n_blocks(),
+        m.avg_nnz_per_block(),
+        m.block_row_variation()
+    );
+
+    for v in Variant::ALL {
+        let (dev, rep) = run_variant(&GpuSpec::a100(), v, &a, args.iters);
+        println!(
+            "\n=== {} === setup {} solve {} (levels {:?})",
+            v.label(),
+            fmt_time(rep.setup.total),
+            fmt_time(rep.solve.total),
+            rep.setup_stats.grid_sizes,
+        );
+        let mut agg: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+        for e in dev.events() {
+            let key = format!("{:?}/{:?}/{:?}", e.phase, e.kind, e.algo);
+            let ent = agg.entry(key).or_insert((0, 0.0));
+            ent.0 += 1;
+            ent.1 += e.seconds;
+        }
+        for (k, (n, t)) in agg {
+            println!("  {k:<45} x{n:<6} {}", fmt_time(t));
+        }
+        let _ = Phase::Setup;
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 1 — execution-time breakdown of the AMG setup phase on an H100:
+//! the share of the three SpGEMM calls per level (one interpolation + two
+//! Galerkin) versus everything else. The paper reports SpGEMM averaging
+//! 59.22% of the setup time for the baseline.
+
+use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
+use amgt_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = GpuSpec::h100();
+    println!("== Figure 1: setup-phase breakdown on {} (HYPRE baseline) ==\n", spec.name);
+    let mut table = Table::new(&["matrix", "setup total", "SpGEMM", "SpGEMM %", "others %"]);
+    let mut shares = Vec::new();
+    for entry in args.entries() {
+        let a = args.generate(entry.name);
+        let (_dev, rep) = run_variant(&spec, Variant::HypreFp64, &a, 1);
+        let share = rep.setup.share(rep.setup.spgemm);
+        shares.push(share);
+        table.row(vec![
+            entry.name.to_string(),
+            fmt_time(rep.setup.total),
+            fmt_time(rep.setup.spgemm),
+            format!("{:.1}%", share * 100.0),
+            format!("{:.1}%", (1.0 - share) * 100.0),
+        ]);
+    }
+    table.print();
+    let avg = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
+    println!("\naverage SpGEMM share of setup: {:.2}%   (paper: 59.22%)", avg * 100.0);
+}

@@ -1,0 +1,32 @@
+//! Figure 2 — execution-time breakdown of the AMG solve phase on an H100:
+//! the SpMV share versus everything else (vector updates, coarse solves).
+//! The paper reports SpMV averaging 80.23% of the solve time.
+
+use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
+use amgt_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = GpuSpec::h100();
+    println!("== Figure 2: solve-phase breakdown on {} (HYPRE baseline) ==\n", spec.name);
+    let mut table =
+        Table::new(&["matrix", "solve total", "SpMV", "SpMV calls", "SpMV %", "others %"]);
+    let mut shares = Vec::new();
+    for entry in args.entries() {
+        let a = args.generate(entry.name);
+        let (_dev, rep) = run_variant(&spec, Variant::HypreFp64, &a, args.iters);
+        let share = rep.solve.share(rep.solve.spmv);
+        shares.push(share);
+        table.row(vec![
+            entry.name.to_string(),
+            fmt_time(rep.solve.total),
+            fmt_time(rep.solve.spmv),
+            rep.spmv_calls.to_string(),
+            format!("{:.1}%", share * 100.0),
+            format!("{:.1}%", (1.0 - share) * 100.0),
+        ]);
+    }
+    table.print();
+    let avg = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
+    println!("\naverage SpMV share of solve: {:.2}%   (paper: 80.23%)", avg * 100.0);
+}

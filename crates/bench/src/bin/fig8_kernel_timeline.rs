@@ -1,0 +1,88 @@
+//! Figure 8 — per-call kernel timings along the execution order on an H100.
+//!
+//! For each matrix the paper plots every SpGEMM call (setup) and every SpMV
+//! call (solve) as one dot per call, for the three solver variants. This
+//! binary prints the same series as text: call index, kernel, level,
+//! precision and simulated microseconds, plus a per-matrix summary of the
+//! banding (finest-level SpMVs form the top band; coarse FP16 calls the
+//! bottom one).
+
+use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
+use amgt_sim::{GpuSpec, KernelKind, Phase};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = GpuSpec::h100();
+    println!("== Figure 8: per-call SpGEMM/SpMV timeline on {} ==", spec.name);
+    // Full dumps are long; print the series for one matrix (default
+    // TSOPF — the paper's walkthrough example) and summaries for the rest.
+    let detail = args.only.clone().unwrap_or_else(|| "TSOPF_RS_b300_c3".to_string());
+
+    for entry in args.entries() {
+        let a = args.generate(entry.name);
+        println!("\n--- {} ---", entry.name);
+        let mut summary = Table::new(&[
+            "variant", "spgemm calls", "spgemm mean", "spmv calls", "spmv mean",
+            "spmv lvl0 mean", "spmv coarse mean",
+        ]);
+        for v in Variant::ALL {
+            let (_dev, rep) = run_variant(&spec, v, &a, args.iters);
+            let spgemm: Vec<_> = rep
+                .events
+                .iter()
+                .filter(|e| e.kind == KernelKind::SpGemmNumeric && e.phase == Phase::Setup)
+                .collect();
+            let spmv: Vec<_> = rep
+                .events
+                .iter()
+                .filter(|e| e.kind == KernelKind::SpMV && e.phase == Phase::Solve)
+                .collect();
+            let mean = |evs: &[&amgt_sim::KernelEvent]| {
+                if evs.is_empty() {
+                    0.0
+                } else {
+                    evs.iter().map(|e| e.seconds).sum::<f64>() / evs.len() as f64
+                }
+            };
+            let lvl0: Vec<_> = spmv.iter().filter(|e| e.level == 0).cloned().collect();
+            let coarse: Vec<_> = spmv.iter().filter(|e| e.level >= 2).cloned().collect();
+            summary.row(vec![
+                v.label().to_string(),
+                spgemm.len().to_string(),
+                format!("{:.2} us", mean(&spgemm) * 1e6),
+                spmv.len().to_string(),
+                format!("{:.2} us", mean(&spmv) * 1e6),
+                format!("{:.2} us", mean(&lvl0) * 1e6),
+                format!("{:.2} us", mean(&coarse) * 1e6),
+            ]);
+
+            if entry.name == detail {
+                println!("\n[{}] full series (seq kernel level precision us):", v.label());
+                for e in spgemm.iter().take(18) {
+                    println!(
+                        "  spgemm {:>5} L{} {:>4} {:>9.2}",
+                        e.seq,
+                        e.level,
+                        e.precision.label(),
+                        e.seconds * 1e6
+                    );
+                }
+                for e in spmv.iter().take(40) {
+                    println!(
+                        "  spmv   {:>5} L{} {:>4} {:>9.2}",
+                        e.seq,
+                        e.level,
+                        e.precision.label(),
+                        e.seconds * 1e6
+                    );
+                }
+                if spmv.len() > 40 {
+                    println!("  ... {} further SpMV calls elided", spmv.len() - 40);
+                }
+            }
+        }
+        summary.print();
+    }
+    println!("\nExpected banding (paper Section V.D): HYPRE dots sit above AmgT dots at");
+    println!("level 0; AmgT(Mixed) coarse-level dots sit below AmgT(FP64) ones (FP16).");
+}

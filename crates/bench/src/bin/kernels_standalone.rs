@@ -1,0 +1,55 @@
+//! Kernel-level comparison (the abstract's standalone-kernel claims): total
+//! SpGEMM and SpMV time inside the AMG workload, AmgT versus the vendor
+//! kernels, per matrix and GPU. This is how the paper derives its kernel
+//! speedups ("the execution time of SpGEMM reaches a geomean of 3.09x...").
+//!
+//! Paper reference: SpGEMM faster by geomean 3.09x / 2.40x / 4.67x (up to
+//! 7.61x / 6.11x / 5.96x) and SpMV by 1.34x / 1.19x / 2.92x (up to 2.21x /
+//! 2.09x / 6.70x) on A100 / H100 / MI210.
+
+use amgt::geomean;
+use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
+use amgt_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for spec in [GpuSpec::a100(), GpuSpec::h100(), GpuSpec::mi210()] {
+        println!("\n--- {} (in-AMG kernel totals, FP64) ---", spec.name);
+        let mut table = Table::new(&[
+            "matrix", "spgemm vendor", "spgemm AmgT", "speedup", "spmv vendor", "spmv AmgT",
+            "speedup",
+        ]);
+        let mut sp_gemm = Vec::new();
+        let mut sp_mv = Vec::new();
+        for entry in args.entries() {
+            let a = args.generate(entry.name);
+            let (_d, rv) = run_variant(&spec, Variant::HypreFp64, &a, args.iters);
+            let (_d, rt) = run_variant(&spec, Variant::AmgtFp64, &a, args.iters);
+            let g = rv.setup.spgemm / rt.setup.spgemm;
+            let m = rv.solve.spmv / rt.solve.spmv;
+            sp_gemm.push(g);
+            sp_mv.push(m);
+            table.row(vec![
+                entry.name.to_string(),
+                format!("{:.1} us", rv.setup.spgemm * 1e6),
+                format!("{:.1} us", rt.setup.spgemm * 1e6),
+                format!("{g:.2}x"),
+                format!("{:.1} us", rv.solve.spmv * 1e6),
+                format!("{:.1} us", rt.solve.spmv * 1e6),
+                format!("{m:.2}x"),
+            ]);
+        }
+        table.print();
+        let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "{}: SpGEMM geomean {:.2}x (max {:.2}x); SpMV geomean {:.2}x (max {:.2}x)",
+            spec.name,
+            geomean(&sp_gemm),
+            max(&sp_gemm),
+            geomean(&sp_mv),
+            max(&sp_mv)
+        );
+    }
+    println!("\nPaper: SpGEMM 3.09/2.40/4.67x geomean (max 7.61/6.11/5.96x);");
+    println!("SpMV 1.34/1.19/2.92x geomean (max 2.21/2.09/6.70x) on A100/H100/MI210.");
+}

@@ -1,0 +1,43 @@
+//! Convergence under the mixed-precision policy (the Section IV.E premise,
+//! after Tsai et al.): using FP32/FP16 on coarse levels must not degrade
+//! the final convergence of the V-cycle iteration.
+//!
+//! Unlike the timing figures, this experiment's numbers are *exact*: the
+//! reproduction performs real software-FP16/TF32 arithmetic, so the
+//! residual histories below are genuine mixed-precision AMG behaviour.
+
+use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
+use amgt_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("== Mixed-precision convergence (real FP16/TF32 arithmetic) ==\n");
+    let mut table = Table::new(&[
+        "matrix", "levels", "relres FP64", "relres Mixed", "ratio", "iters",
+    ]);
+    let mut worst: f64 = 0.0;
+    for entry in args.entries() {
+        let a = args.generate(entry.name);
+        let (_d, r64) = run_variant(&GpuSpec::h100(), Variant::AmgtFp64, &a, args.iters);
+        let (_d, rmx) = run_variant(&GpuSpec::h100(), Variant::AmgtMixed, &a, args.iters);
+        let (f64res, mixres) = (
+            r64.solve_report.final_relative_residual(),
+            rmx.solve_report.final_relative_residual(),
+        );
+        let ratio = mixres / f64res.max(1e-300);
+        worst = worst.max(ratio);
+        table.row(vec![
+            entry.name.to_string(),
+            r64.setup_stats.levels.to_string(),
+            format!("{f64res:.2e}"),
+            format!("{mixres:.2e}"),
+            format!("{ratio:.1}"),
+            args.iters.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nratio = mixed relative residual / FP64 relative residual after the same");
+    println!("iteration count. Ratios near 1 confirm the premise; large ratios mark");
+    println!("matrices where FP16 coarse grids would need safeguarding (none expected");
+    println!("for the diagonally dominant suite). Worst ratio observed: {worst:.1}.");
+}

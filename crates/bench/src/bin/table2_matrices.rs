@@ -1,0 +1,46 @@
+//! Table II — the 16 evaluation matrices with their hierarchy statistics:
+//! order, nonzeros, number of AMG levels, and the SpGEMM / SpMV call counts
+//! of the fixed 50-iteration configuration. Prints the paper's published
+//! values next to the values this reproduction observes on its synthetic
+//! stand-ins.
+
+use amgt::expected_spmv_calls;
+use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
+use amgt_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("== Table II: evaluation matrices (paper values vs this reproduction) ==\n");
+    let mut table = Table::new(&[
+        "group", "matrix", "n (paper)", "n (ours)", "nnz (paper)", "nnz (ours)",
+        "levels p/o", "#SpGEMM p/o", "#SpMV p/o",
+    ]);
+    for entry in args.entries() {
+        let a = args.generate(entry.name);
+        let (_dev, rep) = run_variant(&GpuSpec::h100(), Variant::AmgtFp64, &a, args.iters);
+        let levels = rep.setup_stats.levels;
+        let spmv_expected = expected_spmv_calls(
+            levels,
+            args.iters,
+            amgt::CoarseSolver::Jacobi(1),
+            1,
+        );
+        assert_eq!(rep.spmv_calls, spmv_expected, "SpMV accounting drifted");
+        table.row(vec![
+            entry.group.to_string(),
+            entry.name.to_string(),
+            entry.paper_order.to_string(),
+            a.nrows().to_string(),
+            entry.paper_nnz.to_string(),
+            a.nnz().to_string(),
+            format!("{}/{}", entry.paper_levels, levels),
+            format!("{}/{}", entry.paper_spgemm, rep.spgemm_calls),
+            format!("{}/{}", entry.paper_spmv, rep.spmv_calls),
+        ]);
+    }
+    table.print();
+    println!("\np/o = paper / ours. Level counts differ where the synthetic stand-in");
+    println!("coarsens differently from the original SuiteSparse matrix; the SpGEMM");
+    println!("and SpMV call counts follow the paper's formulas exactly given the level");
+    println!("count (3(L-1) SpGEMMs; iters*(5(L-1)+2)+1 SpMVs with a 1-sweep coarse solve).");
+}

@@ -1,0 +1,190 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//! * `--full` — generate the paper-scale matrices (slow on CPU; default is
+//!   the CI-friendly small scale),
+//! * `--iters N` — override the 50 solve iterations of Section V.A,
+//! * `--matrix NAME` — restrict to a single suite matrix.
+
+// Tile-coordinate math deliberately indexes fixed-size 4x4 layouts and
+// parallel arrays; iterator rewrites of those loops obscure the lane/slot
+// correspondence the paper's algorithms are written in.
+#![allow(clippy::needless_range_loop)]
+// The split-at-mut plumbing that hands rayon disjoint per-row output slices
+// has an inherently wordy type; naming it would not make it clearer.
+#![allow(clippy::type_complexity)]
+
+use amgt::prelude::*;
+use amgt_sparse::gen::rhs_of_ones;
+use amgt_sparse::suite::{self, Scale, SuiteEntry};
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    pub scale: Scale,
+    pub iters: usize,
+    pub only: Option<String>,
+}
+
+impl HarnessArgs {
+    pub fn parse() -> Self {
+        Self::parse_with_default(Scale::Small)
+    }
+
+    /// Parse with a binary-specific default scale.
+    pub fn parse_with_default(default_scale: Scale) -> Self {
+        let mut scale = default_scale;
+        let mut iters = 50usize;
+        let mut only = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => scale = Scale::Paper,
+                "--medium" => scale = Scale::Medium,
+                "--small" => scale = Scale::Small,
+                "--iters" => {
+                    iters = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--iters needs an integer");
+                }
+                "--matrix" => only = Some(args.next().expect("--matrix needs a name")),
+                "--help" | "-h" => {
+                    eprintln!("options: [--small|--medium|--full] [--iters N] [--matrix NAME]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option '{other}' (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        HarnessArgs { scale, iters, only }
+    }
+
+    /// The suite entries selected by the CLI.
+    pub fn entries(&self) -> Vec<SuiteEntry> {
+        suite::entries()
+            .into_iter()
+            .filter(|e| self.only.as_deref().is_none_or(|n| n == e.name))
+            .collect()
+    }
+
+    pub fn generate(&self, name: &str) -> Csr {
+        suite::generate(name, self.scale)
+    }
+}
+
+/// The three solver variants compared throughout the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    HypreFp64,
+    AmgtFp64,
+    AmgtMixed,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 3] = [Variant::HypreFp64, Variant::AmgtFp64, Variant::AmgtMixed];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::HypreFp64 => "HYPRE (FP64)",
+            Variant::AmgtFp64 => "AmgT (FP64)",
+            Variant::AmgtMixed => "AmgT (Mixed)",
+        }
+    }
+
+    pub fn config(self, iters: usize) -> AmgConfig {
+        let mut cfg = match self {
+            Variant::HypreFp64 => AmgConfig::hypre_fp64(),
+            Variant::AmgtFp64 => AmgConfig::amgt_fp64(),
+            Variant::AmgtMixed => AmgConfig::amgt_mixed(),
+        };
+        cfg.max_iterations = iters;
+        cfg
+    }
+}
+
+/// Run one variant of one matrix on a fresh device of the given spec.
+pub fn run_variant(spec: &GpuSpec, variant: Variant, a: &Csr, iters: usize) -> (Device, RunReport) {
+    let device = Device::new(spec.clone());
+    let b = rhs_of_ones(a);
+    let cfg = variant.config(iters);
+    let (_x, _h, report) = run_amg(&device, &cfg, a.clone(), &b);
+    (device, report)
+}
+
+/// Pretty time with engineering units.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_configs() {
+        assert_eq!(Variant::HypreFp64.config(5).max_iterations, 5);
+        assert_eq!(Variant::AmgtMixed.config(50).backend, BackendKind::AmgT);
+    }
+
+    #[test]
+    fn run_variant_smoke() {
+        let a = amgt_sparse::gen::laplacian_2d(12, 12, amgt_sparse::gen::Stencil2d::Five);
+        let (dev, rep) = run_variant(&GpuSpec::a100(), Variant::AmgtFp64, &a, 2);
+        assert!(rep.total_seconds() > 0.0);
+        assert!(!dev.events().is_empty());
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5 us");
+    }
+}

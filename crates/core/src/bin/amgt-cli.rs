@@ -1,0 +1,184 @@
+//! `amgt-cli` — solve a sparse linear system with the AmgT reproduction.
+//!
+//! ```text
+//! amgt-cli --mtx system.mtx                       # Matrix Market input
+//! amgt-cli --suite venkat25                       # synthetic suite matrix
+//! amgt-cli --poisson2d 256                        # generated Laplacian
+//! amgt-cli --suite cant --backend vendor          # HYPRE baseline kernels
+//! amgt-cli --suite cant --mixed --gpu h100        # mixed precision on H100
+//! amgt-cli --suite cant --pcg --tol 1e-8          # AMG-preconditioned CG
+//! ```
+//!
+//! Prints the hierarchy, the convergence history and the simulated-GPU
+//! phase breakdown.
+
+use amgt::pcg::pcg_solve;
+use amgt::prelude::*;
+use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+use amgt_sparse::mm::read_matrix_market_path;
+use amgt_sparse::suite::{self, Scale};
+use std::path::PathBuf;
+
+struct Options {
+    matrix: MatrixSource,
+    backend: BackendKind,
+    precision: PrecisionPolicy,
+    gpu: GpuSpec,
+    pcg: bool,
+    info: bool,
+    tol: f64,
+    iters: usize,
+    verbose_history: bool,
+}
+
+enum MatrixSource {
+    Mtx(PathBuf),
+    Suite(String),
+    Poisson2d(usize),
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
+         \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
+         \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\n\
+         suite names: {}",
+        suite::entries().iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut matrix = None;
+    let mut backend = BackendKind::AmgT;
+    let mut precision = PrecisionPolicy::Uniform64;
+    let mut gpu = GpuSpec::a100();
+    let mut pcg = false;
+    let mut info = false;
+    let mut tol = 1e-8;
+    let mut iters = 50;
+    let mut verbose_history = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--mtx" => matrix = Some(MatrixSource::Mtx(PathBuf::from(next()))),
+            "--suite" => matrix = Some(MatrixSource::Suite(next())),
+            "--poisson2d" => {
+                matrix = Some(MatrixSource::Poisson2d(next().parse().unwrap_or_else(|_| usage())))
+            }
+            "--backend" => {
+                backend = match next().as_str() {
+                    "amgt" => BackendKind::AmgT,
+                    "vendor" => BackendKind::Vendor,
+                    _ => usage(),
+                }
+            }
+            "--mixed" => precision = PrecisionPolicy::Mixed,
+            "--gpu" => {
+                gpu = match next().as_str() {
+                    "a100" => GpuSpec::a100(),
+                    "h100" => GpuSpec::h100(),
+                    "mi210" => GpuSpec::mi210(),
+                    _ => usage(),
+                }
+            }
+            "--pcg" => pcg = true,
+            "--info" => info = true,
+            "--tol" => tol = next().parse().unwrap_or_else(|_| usage()),
+            "--iters" => iters = next().parse().unwrap_or_else(|_| usage()),
+            "--history" => verbose_history = true,
+            _ => usage(),
+        }
+    }
+    Options {
+        matrix: matrix.unwrap_or_else(|| usage()),
+        backend,
+        precision,
+        gpu,
+        pcg,
+        info,
+        tol,
+        iters,
+        verbose_history,
+    }
+}
+
+fn main() {
+    let opt = parse_args();
+    let a: Csr = match &opt.matrix {
+        MatrixSource::Mtx(path) => match read_matrix_market_path(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("failed to read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        MatrixSource::Suite(name) => suite::generate(name, Scale::Small),
+        MatrixSource::Poisson2d(n) => laplacian_2d(*n, *n, Stencil2d::Five),
+    };
+    if a.nrows() != a.ncols() {
+        eprintln!("AMG needs a square system; got {} x {}", a.nrows(), a.ncols());
+        std::process::exit(1);
+    }
+    if opt.info {
+        println!("{}", amgt_sparse::stats::matrix_stats(&a));
+        return;
+    }
+    let b = rhs_of_ones(&a);
+    println!("system: n = {}, nnz = {}", a.nrows(), a.nnz());
+
+    let device = Device::new(opt.gpu.clone());
+    let mut cfg = AmgConfig::paper(opt.backend, opt.precision);
+    cfg.max_iterations = opt.iters;
+    cfg.tolerance = opt.tol;
+
+    println!(
+        "solver: backend {:?}, precision {:?}, GPU {}, {}",
+        opt.backend,
+        opt.precision,
+        opt.gpu.name,
+        if opt.pcg { "AMG-PCG" } else { "V-cycles" }
+    );
+
+    let t0 = std::time::Instant::now();
+    if opt.pcg {
+        let h = setup(&device, &cfg, a);
+        println!("hierarchy: {} levels {:?}", h.n_levels(), h.stats.grid_sizes);
+        let mut x = vec![0.0; b.len()];
+        let rep = pcg_solve(&device, &cfg, &h, &b, &mut x, opt.tol, opt.iters);
+        println!(
+            "PCG: {} iterations, converged = {}",
+            rep.iterations, rep.converged
+        );
+        if opt.verbose_history {
+            for (i, r) in rep.history.iter().enumerate() {
+                println!("  iter {:>3}: relres {r:.3e}", i + 1);
+            }
+        }
+    } else {
+        let (_x, h, rep) = run_amg(&device, &cfg, a, &b);
+        println!("hierarchy: {} levels {:?}", h.n_levels(), rep.setup_stats.grid_sizes);
+        println!(
+            "solve: {} cycles, relres {:.3e}, converged = {}",
+            rep.solve_report.iterations,
+            rep.solve_report.final_relative_residual(),
+            rep.solve_report.converged
+        );
+        if opt.verbose_history {
+            for (i, r) in rep.solve_report.history.iter().enumerate() {
+                println!("  cycle {:>3}: relres {r:.3e}", i + 1);
+            }
+        }
+        println!(
+            "simulated {}: setup {:.1} us (SpGEMM {:.0}%), solve {:.1} us (SpMV {:.0}%)",
+            opt.gpu.name,
+            rep.setup.total * 1e6,
+            100.0 * rep.setup.share(rep.setup.spgemm),
+            rep.solve.total * 1e6,
+            100.0 * rep.solve.share(rep.solve.spmv),
+        );
+    }
+    println!("wall time: {:.2?}", t0.elapsed());
+}

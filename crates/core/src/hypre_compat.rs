@@ -1,0 +1,104 @@
+//! HYPRE-style interface names (Section IV.F).
+//!
+//! The paper integrates AmgT into HYPRE by attaching `AmgT_mBSR_*` arrays
+//! to `hypre_CSRMatrix` and swapping the kernels inside
+//! `hypre_CSRMatrixMultiplyDevice` / `hypre_CSRMatrixMatvecDevice2`. This
+//! module mirrors those entry points name-for-name over our [`Operator`],
+//! so code written against the paper's interface reads the same here:
+//!
+//! ```
+//! use amgt::hypre_compat::*;
+//! use amgt::prelude::*;
+//! use amgt_kernels::Ctx;
+//! use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+//!
+//! let device = Device::new(GpuSpec::a100());
+//! let ctx = Ctx::standalone(&device, Precision::Fp64);
+//! let a = laplacian_2d(16, 16, Stencil2d::Five);
+//!
+//! // The paper's flow: attach mBSR arrays, then call the device kernels.
+//! let mat = AmgT_CSR2mBSR(&ctx, a);
+//! let x = vec![1.0; mat.ncols()];
+//! let y = hypre_CSRMatrixMatvecDevice2(&ctx, &mat, &x);
+//! let c = hypre_CSRMatrixMultiplyDevice(&ctx, &mat, &mat);
+//! assert_eq!(c.nrows(), y.len());
+//! ```
+
+#![allow(non_snake_case)]
+
+use crate::backend::{op_matmul, Operator};
+use crate::config::BackendKind;
+use amgt_kernels::Ctx;
+use amgt_sparse::Csr;
+
+/// A `hypre_CSRMatrix` with the `AmgT_mBSR_` arrays attached: exactly our
+/// [`Operator`] prepared for the AmgT backend.
+pub type HypreCsrMatrixWithMbsr = Operator;
+
+/// `AmgT_CSR2mBSR`: attach the mBSR arrays (and the SpMV plan) to a CSR
+/// matrix — the format conversion the paper charges per level.
+pub fn AmgT_CSR2mBSR(ctx: &Ctx, a: Csr) -> HypreCsrMatrixWithMbsr {
+    Operator::prepare(ctx, BackendKind::AmgT, a)
+}
+
+/// `AmgT_mBSR_SpMV`: the tensor-core SpMV on the attached arrays.
+pub fn AmgT_mBSR_SpMV(ctx: &Ctx, a: &HypreCsrMatrixWithMbsr, x: &[f64]) -> Vec<f64> {
+    a.spmv(ctx, x)
+}
+
+/// `AmgT_mBSR_SpGEMM`: the tensor-core SpGEMM on the attached arrays.
+pub fn AmgT_mBSR_SpGEMM(
+    ctx: &Ctx,
+    a: &HypreCsrMatrixWithMbsr,
+    b: &HypreCsrMatrixWithMbsr,
+) -> HypreCsrMatrixWithMbsr {
+    op_matmul(ctx, a, b)
+}
+
+/// `hypre_CSRMatrixMatvecDevice2`: HYPRE's device matvec entry point, now
+/// dispatching to the AmgT kernel when the mBSR arrays are present (always,
+/// for this type) — the "minimal interface change" of Section IV.F.
+pub fn hypre_CSRMatrixMatvecDevice2(
+    ctx: &Ctx,
+    a: &HypreCsrMatrixWithMbsr,
+    x: &[f64],
+) -> Vec<f64> {
+    AmgT_mBSR_SpMV(ctx, a, x)
+}
+
+/// `hypre_CSRMatrixMultiplyDevice`: HYPRE's device matmul entry point.
+pub fn hypre_CSRMatrixMultiplyDevice(
+    ctx: &Ctx,
+    a: &HypreCsrMatrixWithMbsr,
+    b: &HypreCsrMatrixWithMbsr,
+) -> HypreCsrMatrixWithMbsr {
+    AmgT_mBSR_SpGEMM(ctx, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{Device, GpuSpec, Precision};
+    use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+
+    #[test]
+    fn paper_interface_names_work_end_to_end() {
+        let device = Device::new(GpuSpec::h100());
+        let ctx = Ctx::standalone(&device, Precision::Fp64);
+        let a_csr = laplacian_2d(10, 10, Stencil2d::Five);
+        let mat = AmgT_CSR2mBSR(&ctx, a_csr.clone());
+
+        let x: Vec<f64> = (0..mat.ncols()).map(|i| (i % 5) as f64).collect();
+        let y = hypre_CSRMatrixMatvecDevice2(&ctx, &mat, &x);
+        let expect = a_csr.matvec(&x);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-12);
+        }
+
+        let c = hypre_CSRMatrixMultiplyDevice(&ctx, &mat, &mat);
+        let expect = a_csr.matmul(&a_csr);
+        assert!(c.csr.max_abs_diff(&expect) < 1e-10);
+        // The product carries the mBSR arrays (stayed on the AmgT path).
+        assert!(c.mbsr.is_some());
+    }
+}

@@ -1,0 +1,428 @@
+//! Interpolation operator construction (Algorithm 1, line 4).
+//!
+//! Two schemes:
+//!
+//! * **Direct** — classical distance-1 interpolation (no SpGEMM), kept as a
+//!   baseline and fallback.
+//! * **Extended+i-style** — the paper selects the matrix-product
+//!   formulation of Li, Sjögreen and Yang, where strong F-F connections are
+//!   extended through their strong C neighbours with **one SpGEMM**:
+//!   `W = A_FCs + A_FFs * N`, `N = rowscale(A_FCs)`, and the final weights
+//!   are `P_F = -diag(1/D) * W` with weak couplings (and F neighbours that
+//!   have no strong C point) lumped into `D`. Truncation keeps at most
+//!   `max_elmts` weights per row, drops weights below `trunc_fact * rowmax`,
+//!   and rescales to preserve the row sum.
+
+use crate::backend::{op_matmul, Operator};
+use crate::config::{BackendKind, Interpolation};
+use crate::pmis::Splitting;
+use crate::strength::Strength;
+use amgt_kernels::Ctx;
+use amgt_sim::{Algo, KernelCost, KernelKind};
+use amgt_sparse::Csr;
+
+/// Build `P` (size `n x n_coarse`). The returned matrix is in CSR; callers
+/// prepare it for their backend.
+#[allow(clippy::too_many_arguments)] // Mirrors the HYPRE interpolation signature.
+pub fn build_interpolation(
+    ctx: &Ctx,
+    backend: BackendKind,
+    a: &Csr,
+    s: &Strength,
+    split: &Splitting,
+    scheme: Interpolation,
+    trunc_fact: f64,
+    max_elmts: usize,
+) -> Csr {
+    assert!(split.n_coarse > 0, "no coarse points to interpolate to");
+    let p = match scheme {
+        Interpolation::Direct => direct_interpolation(a, s, split),
+        Interpolation::ExtendedI => extended_i_interpolation(ctx, backend, a, s, split),
+    };
+    let p = truncate_rows(&p, split, trunc_fact, max_elmts);
+    let cost = KernelCost {
+        int_ops: p.nnz() as f64 * 4.0,
+        cuda_flops: p.nnz() as f64 * 2.0,
+        bytes: a.bytes() + 2.0 * p.bytes(),
+        launches: 2,
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
+    p
+}
+
+fn direct_interpolation(a: &Csr, s: &Strength, split: &Splitting) -> Csr {
+    let n = a.nrows();
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        if split.is_coarse(i) {
+            trips.push((i, split.coarse_index[i] as usize, 1.0));
+            continue;
+        }
+        let strong: &[u32] = s.row(i);
+        let (cols, vals) = a.row(i);
+        let mut diag = 0.0f64;
+        let mut off_sum = 0.0f64;
+        let mut cs_sum = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize == i {
+                diag = v;
+            } else {
+                off_sum += v;
+                if split.is_coarse(c as usize) && strong.binary_search(&c).is_ok() {
+                    cs_sum += v;
+                }
+            }
+        }
+        if cs_sum == 0.0 || diag == 0.0 {
+            continue; // Pure smoothing point: empty interpolation row.
+        }
+        let alpha = off_sum / cs_sum;
+        for (&c, &v) in cols.iter().zip(vals) {
+            let j = c as usize;
+            if j != i && split.is_coarse(j) && strong.binary_search(&c).is_ok() {
+                trips.push((i, split.coarse_index[j] as usize, -alpha * v / diag));
+            }
+        }
+    }
+    Csr::from_triplets(n, split.n_coarse, &trips)
+}
+
+fn extended_i_interpolation(
+    ctx: &Ctx,
+    backend: BackendKind,
+    a: &Csr,
+    s: &Strength,
+    split: &Splitting,
+) -> Csr {
+    let n = a.nrows();
+    // F-point local numbering.
+    let mut f_index = vec![u32::MAX; n];
+    let mut f_ids: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if !split.is_coarse(i) {
+            f_index[i] = f_ids.len() as u32;
+            f_ids.push(i);
+        }
+    }
+    let nf = f_ids.len();
+    let nc = split.n_coarse;
+
+    // A_FCs, A_FFs and the row scales d_k in one sweep over F rows.
+    let mut fc_trips: Vec<(usize, usize, f64)> = Vec::new();
+    let mut ff_trips: Vec<(usize, usize, f64)> = Vec::new();
+    let mut d = vec![0.0f64; nf];
+    for (fi, &i) in f_ids.iter().enumerate() {
+        let strong = s.row(i);
+        let (cols, vals) = a.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let j = c as usize;
+            if j == i || strong.binary_search(&c).is_err() {
+                continue;
+            }
+            if split.is_coarse(j) {
+                fc_trips.push((fi, split.coarse_index[j] as usize, v));
+                d[fi] += v;
+            } else {
+                ff_trips.push((fi, f_index[j] as usize, v));
+            }
+        }
+    }
+    let a_fcs = Csr::from_triplets(nf, nc, &fc_trips);
+    let a_ffs = Csr::from_triplets(nf, nf, &ff_trips);
+
+    // N = diag(1/d) * A_FCs; rows with d == 0 vanish (those F points cannot
+    // pass information through).
+    let mut n_mat = a_fcs.clone();
+    let scale: Vec<f64> = d.iter().map(|&dk| if dk != 0.0 { 1.0 / dk } else { 0.0 }).collect();
+    n_mat.scale_rows(&scale);
+    ctx.charge(
+        KernelKind::Graph,
+        Algo::Shared,
+        &KernelCost {
+            int_ops: (a.nnz() + a_fcs.nnz()) as f64 * 2.0,
+            cuda_flops: a_fcs.nnz() as f64,
+            bytes: a.bytes() + a_fcs.bytes() + a_ffs.bytes(),
+            launches: 2,
+            ..Default::default()
+        },
+    );
+
+    // The one SpGEMM of the scheme: distance-2 extension.
+    let ffs_op = Operator::prepare_for_spgemm(ctx, backend, a_ffs);
+    let n_op = Operator::prepare_for_spgemm(ctx, backend, n_mat);
+    let ext = op_matmul(ctx, &ffs_op, &n_op);
+
+    // W = A_FCs + ext (charged as a streaming add).
+    let w = a_fcs.add(&ext.csr);
+    ctx.charge(
+        KernelKind::Vector,
+        Algo::Shared,
+        &KernelCost {
+            cuda_flops: w.nnz() as f64,
+            bytes: (a_fcs.bytes() + ext.csr.bytes() + w.bytes()),
+            launches: 1,
+            ..Default::default()
+        },
+    );
+
+    // D_i = a_ii + sum of weak couplings + strong F couplings that cannot
+    // extend (d_k == 0) — the "+i" lumping.
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        if split.is_coarse(i) {
+            trips.push((i, split.coarse_index[i] as usize, 1.0));
+        }
+    }
+    for (fi, &i) in f_ids.iter().enumerate() {
+        let strong = s.row(i);
+        let (cols, vals) = a.row(i);
+        let mut dd = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            let j = c as usize;
+            if j == i {
+                dd += v;
+            } else if strong.binary_search(&c).is_err() {
+                dd += v; // Weak coupling lumped.
+            } else if !split.is_coarse(j) && d[f_index[j] as usize] == 0.0 {
+                dd += v; // Strong F neighbour with no strong C: lumped.
+            }
+        }
+        if dd == 0.0 {
+            continue;
+        }
+        let (wcols, wvals) = w.row(fi);
+        for (&c, &v) in wcols.iter().zip(wvals) {
+            if v != 0.0 {
+                trips.push((i, c as usize, -v / dd));
+            }
+        }
+    }
+    Csr::from_triplets(n, nc, &trips)
+}
+
+/// Interpolation truncation: per F row, drop weights `< trunc_fact * max`,
+/// keep the `max_elmts` largest, rescale to preserve the row sum.
+fn truncate_rows(p: &Csr, split: &Splitting, trunc_fact: f64, max_elmts: usize) -> Csr {
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..p.nrows() {
+        let (cols, vals) = p.row(i);
+        if split.is_coarse(i) || cols.len() <= 1 {
+            for (&c, &v) in cols.iter().zip(vals) {
+                trips.push((i, c as usize, v));
+            }
+            continue;
+        }
+        let row_max = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let total: f64 = vals.iter().sum();
+        let mut kept: Vec<(u32, f64)> = cols
+            .iter()
+            .zip(vals)
+            .filter(|&(_, &v)| v.abs() >= trunc_fact * row_max)
+            .map(|(&c, &v)| (c, v))
+            .collect();
+        if kept.len() > max_elmts {
+            kept.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+            kept.truncate(max_elmts);
+            kept.sort_unstable_by_key(|&(c, _)| c);
+        }
+        let kept_sum: f64 = kept.iter().map(|&(_, v)| v).sum();
+        let rescale = if kept_sum != 0.0 && total != 0.0 { total / kept_sum } else { 1.0 };
+        for (c, v) in kept {
+            trips.push((i, c as usize, v * rescale));
+        }
+    }
+    Csr::from_triplets(p.nrows(), p.ncols(), &trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmis::pmis;
+    use crate::strength::strength_graph;
+    use amgt_sim::{Device, GpuSpec, Phase, Precision};
+    use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+
+    fn ctx(dev: &Device) -> Ctx<'_> {
+        Ctx::new(dev, Phase::Setup, 0, Precision::Fp64)
+    }
+
+    fn setup(a: &Csr) -> (Strength, Splitting) {
+        let dev = Device::new(GpuSpec::a100());
+        let s = strength_graph(&ctx(&dev), a, 0.25, 1.0);
+        let sp = pmis(&ctx(&dev), &s, 42);
+        (s, sp)
+    }
+
+    /// Pure graph Laplacian (zero row sums except one pinned node).
+    fn graph_laplacian(nx: usize, ny: usize) -> Csr {
+        let base = laplacian_2d(nx, ny, Stencil2d::Five);
+        let mut trips = Vec::new();
+        for r in 0..base.nrows() {
+            let (cols, vals) = base.row(r);
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c as usize != r {
+                    trips.push((r, c as usize, v));
+                    off += v;
+                }
+            }
+            let pin = if r == 0 { 0.1 } else { 0.0 };
+            trips.push((r, r, -off + pin));
+        }
+        Csr::from_triplets(base.nrows(), base.ncols(), &trips)
+    }
+
+    fn check_interp(scheme: Interpolation, backend: BackendKind) {
+        let a = graph_laplacian(12, 12);
+        let (s, sp) = setup(&a);
+        let dev = Device::new(GpuSpec::a100());
+        let p = build_interpolation(&ctx(&dev), backend, &a, &s, &sp, scheme, 0.1, 4);
+        assert_eq!(p.nrows(), a.nrows());
+        assert_eq!(p.ncols(), sp.n_coarse);
+        // C rows are identity.
+        let mut f_rows_with_weights = 0;
+        for i in 0..a.nrows() {
+            let (cols, vals) = p.row(i);
+            if sp.is_coarse(i) {
+                assert_eq!(cols, &[sp.coarse_index[i]]);
+                assert_eq!(vals, &[1.0]);
+            } else {
+                assert!(cols.len() <= 4, "truncation cap violated: {}", cols.len());
+                if !cols.is_empty() {
+                    f_rows_with_weights += 1;
+                    // Constant-preserving on zero-row-sum rows: weights sum
+                    // close to 1.
+                    let sum: f64 = vals.iter().sum();
+                    assert!(
+                        (sum - 1.0).abs() < 0.35,
+                        "row {i} weight sum {sum} ({scheme:?})"
+                    );
+                }
+            }
+        }
+        assert!(f_rows_with_weights > 0);
+    }
+
+    #[test]
+    fn direct_interpolation_properties() {
+        check_interp(Interpolation::Direct, BackendKind::Vendor);
+    }
+
+    #[test]
+    fn extended_i_properties_vendor() {
+        check_interp(Interpolation::ExtendedI, BackendKind::Vendor);
+    }
+
+    #[test]
+    fn extended_i_properties_amgt() {
+        check_interp(Interpolation::ExtendedI, BackendKind::AmgT);
+    }
+
+    #[test]
+    fn extended_i_issues_one_spgemm() {
+        let a = graph_laplacian(10, 10);
+        let (s, sp) = setup(&a);
+        let dev = Device::new(GpuSpec::a100());
+        build_interpolation(
+            &ctx(&dev),
+            BackendKind::Vendor,
+            &a,
+            &s,
+            &sp,
+            Interpolation::ExtendedI,
+            0.1,
+            4,
+        );
+        let numeric = dev
+            .events()
+            .iter()
+            .filter(|e| e.kind == KernelKind::SpGemmNumeric)
+            .count();
+        assert_eq!(numeric, 1);
+    }
+
+    #[test]
+    fn direct_issues_no_spgemm() {
+        let a = graph_laplacian(10, 10);
+        let (s, sp) = setup(&a);
+        let dev = Device::new(GpuSpec::a100());
+        build_interpolation(
+            &ctx(&dev),
+            BackendKind::Vendor,
+            &a,
+            &s,
+            &sp,
+            Interpolation::Direct,
+            0.1,
+            4,
+        );
+        assert!(dev.events().iter().all(|e| e.kind != KernelKind::SpGemmNumeric));
+    }
+
+    #[test]
+    fn extended_i_reaches_distance_two() {
+        // A chain F-F-C: the middle F point has no strong C at distance 1
+        // in "direct", but extended+i reaches the C point through its F
+        // neighbour... construct: 0 -- 1 -- 2 with 2 coarse.
+        let a = Csr::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 1.0),
+            ],
+        );
+        let dev = Device::new(GpuSpec::a100());
+        let s = strength_graph(&ctx(&dev), &a, 0.25, 1.0);
+        // Force the splitting: node 2 coarse, 0 and 1 fine.
+        let split = Splitting {
+            cf: vec![crate::pmis::CfPoint::Fine, crate::pmis::CfPoint::Fine, crate::pmis::CfPoint::Coarse],
+            coarse_index: vec![u32::MAX, u32::MAX, 0],
+            n_coarse: 1,
+            rounds: 1,
+        };
+        let p = extended_i_interpolation(&ctx(&dev), BackendKind::Vendor, &a, &s, &split);
+        // Node 0 interpolates from C point 2 through F neighbour 1.
+        let (cols, vals) = p.row(0);
+        assert_eq!(cols, &[0]);
+        assert!(vals[0] > 0.0, "distance-2 weight {}", vals[0]);
+        // Direct interpolation cannot reach it.
+        let pd = direct_interpolation(&a, &s, &split);
+        assert_eq!(pd.row(0).0.len(), 0);
+    }
+
+    #[test]
+    fn truncation_caps_and_rescales() {
+        let split = Splitting {
+            cf: vec![crate::pmis::CfPoint::Fine],
+            coarse_index: vec![u32::MAX],
+            n_coarse: 6,
+            rounds: 0,
+        };
+        let p = Csr::from_triplets(
+            1,
+            6,
+            &[
+                (0, 0, 0.4),
+                (0, 1, 0.3),
+                (0, 2, 0.2),
+                (0, 3, 0.05),
+                (0, 4, 0.03),
+                (0, 5, 0.02),
+            ],
+        );
+        let t = truncate_rows(&p, &split, 0.1, 4);
+        let (cols, vals) = t.row(0);
+        assert!(cols.len() <= 4);
+        // 0.03 and 0.02 dropped by trunc_fact (0.1 * 0.4 = 0.04).
+        assert!(!cols.contains(&4) && !cols.contains(&5));
+        let sum: f64 = vals.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "row sum preserved, got {sum}");
+    }
+}

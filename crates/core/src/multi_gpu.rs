@@ -1,0 +1,467 @@
+//! Multi-GPU AMG (Section V.E, Figure 9).
+//!
+//! HYPRE's distributed model: every matrix in the hierarchy is partitioned
+//! into contiguous row blocks (tile-aligned, nonzero-balanced), one per
+//! device. The solve phase runs genuinely distributed: each device applies
+//! its backend SpMV to its row slice (charged to its own ledger), the
+//! halo of `x` entries referenced outside the local range is exchanged over
+//! the interconnect, and each bulk-synchronous step costs the slowest
+//! device plus communication — which is why the paper's 8-GPU speedups
+//! (geomean 1.35x) are lower than single-GPU (1.46x): communication is
+//! backend-independent and dilutes the kernel advantage.
+//!
+//! The setup phase (coarsening + SpGEMM chains) is computed once and its
+//! per-event cost distributed as `seconds / p` plus, per SpGEMM, the
+//! gather of remote `B` rows estimated from the level's halo fraction;
+//! distributed-SpGEMM row exchange is the standard HYPRE implementation
+//! strategy and this charge model is documented in EXPERIMENTS.md.
+
+use crate::backend::Operator;
+use crate::config::{AmgConfig, CoarseSolver, Smoother};
+use crate::hierarchy::{setup, Hierarchy};
+use crate::solve::SolveReport;
+use amgt_kernels::Ctx;
+use amgt_sim::{Cluster, Device, KernelKind, Phase, Precision};
+use amgt_sparse::Csr;
+
+/// One device's slice of a level matrix.
+struct DistSlice {
+    op: Operator,
+    /// Distinct columns referenced outside the owned row range — the halo
+    /// entries of the operand vector this device must receive.
+    ghost_cols: usize,
+}
+
+/// A distributed level.
+struct DistLevel {
+    /// Row-range offsets (length p + 1), tile-aligned.
+    offsets: Vec<usize>,
+    a: Vec<DistSlice>,
+    p_op: Option<Vec<DistSlice>>,
+    r_op: Option<Vec<DistSlice>>,
+    l1_diag_inv: Vec<f64>,
+    precision: Precision,
+    n: usize,
+}
+
+/// Report of a distributed run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuReport {
+    pub n_devices: usize,
+    pub setup_seconds: f64,
+    pub solve_seconds: f64,
+    /// Interconnect time inside the solve phase.
+    pub solve_comm_seconds: f64,
+    pub solve_report: SolveReport,
+    pub levels: usize,
+}
+
+impl MultiGpuReport {
+    pub fn total_seconds(&self) -> f64 {
+        self.setup_seconds + self.solve_seconds
+    }
+}
+
+/// Tile-aligned, nnz-balanced contiguous row partition.
+fn partition_rows(a: &Csr, p: usize) -> Vec<usize> {
+    let n = a.nrows();
+    let total = a.nnz().max(1);
+    let target = total.div_ceil(p);
+    let mut offsets = vec![0usize];
+    let mut acc = 0usize;
+    for r in 0..n {
+        acc += a.row_nnz(r);
+        if acc >= target * offsets.len() && offsets.len() < p {
+            // Align the cut to a tile boundary.
+            let cut = (r + 1).next_multiple_of(4).min(n);
+            if cut > *offsets.last().unwrap() {
+                offsets.push(cut);
+            }
+        }
+    }
+    while offsets.len() < p {
+        offsets.push(n);
+    }
+    offsets.push(n);
+    offsets
+}
+
+/// Extract the row slice `[lo, hi)` of a matrix (full column width).
+fn row_slice(a: &Csr, lo: usize, hi: usize) -> (Csr, usize) {
+    let mut row_ptr = vec![0usize; hi - lo + 1];
+    let base = a.row_ptr[lo];
+    for (i, r) in (lo..hi).enumerate() {
+        row_ptr[i + 1] = a.row_ptr[r + 1] - base;
+    }
+    let col_idx = a.col_idx[a.row_ptr[lo]..a.row_ptr[hi]].to_vec();
+    let vals = a.vals[a.row_ptr[lo]..a.row_ptr[hi]].to_vec();
+    let mut ghosts: Vec<u32> = col_idx
+        .iter()
+        .copied()
+        .filter(|&c| (c as usize) < lo || (c as usize) >= hi)
+        .collect();
+    ghosts.sort_unstable();
+    ghosts.dedup();
+    (
+        Csr::new(hi - lo, a.ncols(), row_ptr, col_idx, vals),
+        ghosts.len(),
+    )
+}
+
+fn distribute_matrix(
+    cluster: &Cluster,
+    cfg: &AmgConfig,
+    prec: Precision,
+    level: u32,
+    a: &Csr,
+    offsets: &[usize],
+) -> Vec<DistSlice> {
+    (0..cluster.n_devices())
+        .map(|d| {
+            let (lo, hi) = (offsets[d], offsets[d + 1]);
+            let ctx = Ctx::new(&cluster.devices[d], Phase::Setup, level, prec);
+            let (slice, ghost_cols) = row_slice(a, lo, hi);
+            DistSlice { op: Operator::prepare(&ctx, cfg.backend, slice), ghost_cols }
+        })
+        .collect()
+}
+
+/// Distributed SpMV: every device computes its row slice; the halo of `x`
+/// is exchanged first. Returns the concatenated result and advances the
+/// cluster clock by `max(compute) + comm`.
+fn dist_spmv(
+    cluster: &Cluster,
+    slices: &[DistSlice],
+    offsets: &[usize],
+    level: u32,
+    prec: Precision,
+    x: &[f64],
+    comm_seconds: &mut f64,
+) -> Vec<f64> {
+    let p = cluster.n_devices();
+    let mut y = Vec::with_capacity(offsets[p]);
+    let mut times = Vec::with_capacity(p);
+    let mut halo_bytes = 0.0;
+    for (d, slice) in slices.iter().enumerate() {
+        let dev = &cluster.devices[d];
+        let before = dev.elapsed();
+        let ctx = Ctx::new(dev, Phase::Solve, level, prec);
+        let part = slice.op.spmv(&ctx, x);
+        times.push(dev.elapsed() - before);
+        halo_bytes += slice.ghost_cols as f64 * prec.bytes() as f64;
+        y.extend(part);
+    }
+    // Halo exchanges are overlapped point-to-point rounds: latency scales
+    // with log2(p), not with the number of pairs. A single device has no
+    // peers and pays nothing.
+    let msgs = if p > 1 { (usize::BITS - p.leading_zeros()).max(1) } else { 0 };
+    let comm = cluster.interconnect.transfer_seconds(halo_bytes, msgs);
+    *comm_seconds += comm;
+    cluster.step(&times, halo_bytes, msgs);
+    y
+}
+
+/// Charge a scalar amount of perfectly-parallel vector work to the cluster.
+fn step_scalar(cluster: &Cluster, seconds: f64) {
+    let p = cluster.n_devices();
+    let per = vec![seconds / p as f64; p];
+    cluster.step(&per, 0.0, 0);
+}
+
+/// Run the full distributed AMG: setup is computed once (its cost
+/// distributed per event), the solve phase executes on all devices.
+pub fn run_amg_multi_gpu(
+    cluster: &Cluster,
+    cfg: &AmgConfig,
+    a: Csr,
+    b: &[f64],
+) -> (Vec<f64>, MultiGpuReport) {
+    let p = cluster.n_devices();
+    assert!(p >= 1);
+    // Reference (replicated) setup for the numerics + event stream.
+    let reference = Device::new(cluster.devices[0].spec().clone());
+    let h: Hierarchy = setup(&reference, cfg, a);
+    let setup_events = reference.events();
+
+    // Distribute every level.
+    let t_dist_start: f64 = cluster.devices.iter().map(|d| d.elapsed()).sum();
+    let dist_levels: Vec<DistLevel> = h
+        .levels
+        .iter()
+        .enumerate()
+        .map(|(k, lvl)| {
+            let offsets = partition_rows(&lvl.a.csr, p);
+            DistLevel {
+                a: distribute_matrix(cluster, cfg, lvl.precision, k as u32, &lvl.a.csr, &offsets),
+                p_op: lvl.p.as_ref().map(|op| {
+                    distribute_matrix(cluster, cfg, lvl.precision, k as u32, &op.csr, &offsets)
+                }),
+                r_op: lvl.r.as_ref().map(|op| {
+                    // R rows follow the *coarse* grid partition.
+                    let coarse_offsets = partition_rows(&op.csr, p);
+                    distribute_matrix(cluster, cfg, lvl.precision, k as u32, &op.csr, &coarse_offsets)
+                }),
+                l1_diag_inv: lvl.l1_diag_inv.clone(),
+                precision: lvl.precision,
+                n: lvl.n(),
+                offsets,
+            }
+        })
+        .collect();
+    let dist_prep_seconds: f64 =
+        cluster.devices.iter().map(|d| d.elapsed()).sum::<f64>() - t_dist_start;
+    // Devices convert their slices concurrently: the distributed prep cost
+    // is the average per device (balanced partitions), not the sum.
+
+    // Setup-phase clock: each row-parallel kernel scales by 1/p; SpGEMM
+    // events additionally gather remote B rows (halo fraction of the
+    // level's matrix traffic).
+    let halo_frac: Vec<f64> = dist_levels
+        .iter()
+        .map(|dl| {
+            let ghosts: usize = dl.a.iter().map(|s| s.ghost_cols).sum();
+            ghosts as f64 / dl.n.max(1) as f64
+        })
+        .collect();
+    let mut setup_seconds = dist_prep_seconds / p as f64;
+    // Distributed SpGEMM gathers the halo rows of its right operand once
+    // per level (HYPRE's hypre_ParCSRMatrixExtractBExt); the gathered rows
+    // are reused by the interpolation product and both RAP products, so the
+    // exchange is charged once per level, not per kernel.
+    let mut halo_paid = vec![false; dist_levels.len()];
+    for e in &setup_events {
+        let mut t = e.seconds / p as f64;
+        if matches!(e.kind, KernelKind::SpGemmNumeric | KernelKind::SpGemmSymbolic) {
+            let lvl = (e.level as usize).min(dist_levels.len() - 1);
+            if !halo_paid[lvl] && p > 1 {
+                halo_paid[lvl] = true;
+                let bytes = h.levels[lvl].a.csr.bytes() * halo_frac[lvl].min(1.0);
+                let rounds = (usize::BITS - p.leading_zeros()).max(1);
+                t += cluster.interconnect.transfer_seconds(bytes, rounds);
+            }
+        }
+        setup_seconds += t;
+    }
+
+    // ---- Distributed solve phase (Algorithm 2 over dist_spmv). ----
+    let solve_clock_start = cluster.elapsed();
+    let mut comm_seconds = 0.0;
+    let n = h.finest().n();
+    let mut x = vec![0.0f64; n];
+    let flop_time = |len: usize| 4.0 * len as f64 / 1e12; // Vector-op scalar model.
+
+    let smooth = |cluster: &Cluster,
+                  dl: &DistLevel,
+                  b: &[f64],
+                  x: &mut Vec<f64>,
+                  comm: &mut f64| {
+        let ax = dist_spmv(cluster, &dl.a, &dl.offsets, 0, dl.precision, x, comm);
+        // The distributed smoother always uses the Jacobi form (the
+        // sequential Gauss-Seidel sweep is not distributable as-is); the
+        // L1 diagonal covers every configured smoother conservatively.
+        let _ = matches!(cfg.smoother, Smoother::L1Jacobi);
+        for i in 0..dl.n {
+            x[i] += dl.l1_diag_inv[i] * (b[i] - ax[i]);
+        }
+        step_scalar(cluster, flop_time(dl.n));
+    };
+
+    // Recursive V-cycle over distributed levels (implemented iteratively
+    // with an explicit stack of (b, x) per level to keep borrows simple).
+    #[allow(clippy::too_many_arguments)] // Distributed cycle threads its full state.
+    fn vcycle_dist(
+        cluster: &Cluster,
+        cfg: &AmgConfig,
+        levels: &[DistLevel],
+        k: usize,
+        b: &[f64],
+        x: &mut Vec<f64>,
+        comm: &mut f64,
+        smooth: &dyn Fn(&Cluster, &DistLevel, &[f64], &mut Vec<f64>, &mut f64),
+    ) {
+        let dl = &levels[k];
+        if k + 1 == levels.len() {
+            let sweeps = match cfg.coarse_solver {
+                CoarseSolver::Jacobi(s) => s.max(1),
+                // Distributed runs replace direct solves with Jacobi sweeps.
+                CoarseSolver::DirectLu | CoarseSolver::SparseLdl { .. } => 1,
+            };
+            for _ in 0..sweeps {
+                smooth(cluster, dl, b, x, comm);
+            }
+            return;
+        }
+        for _ in 0..cfg.num_sweeps {
+            smooth(cluster, dl, b, x, comm);
+        }
+        let ax = dist_spmv(cluster, &dl.a, &dl.offsets, k as u32, dl.precision, x, comm);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let r_slices = dl.r_op.as_ref().expect("non-coarsest has R");
+        let coarse_offsets = partition_rows(&r_slices[0].op.csr, 1); // placeholder len
+        let _ = coarse_offsets;
+        // Restriction: R rows are partitioned by coarse rows; operand is r.
+        let b_next = {
+            let offsets: Vec<usize> = {
+                // Recover the coarse partition from slice sizes.
+                let mut o = vec![0usize];
+                for s in r_slices {
+                    o.push(o.last().unwrap() + s.op.nrows());
+                }
+                o
+            };
+            dist_spmv(cluster, r_slices, &offsets, k as u32, dl.precision, &r, comm)
+        };
+        let mut x_next = vec![0.0; b_next.len()];
+        vcycle_dist(cluster, cfg, levels, k + 1, &b_next, &mut x_next, comm, smooth);
+        let p_slices = dl.p_op.as_ref().expect("non-coarsest has P");
+        let e = dist_spmv(cluster, p_slices, &dl.offsets, k as u32, dl.precision, &x_next, comm);
+        for i in 0..dl.n {
+            x[i] += e[i];
+        }
+        step_scalar(cluster, 2.0 * dl.n as f64 / 1e12);
+        for _ in 0..cfg.num_sweeps {
+            smooth(cluster, dl, b, x, comm);
+        }
+    }
+
+    let b_norm = {
+        let nb = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if nb == 0.0 {
+            1.0
+        } else {
+            nb
+        }
+    };
+    let finest = &dist_levels[0];
+    let ax = dist_spmv(cluster, &finest.a, &finest.offsets, 0, finest.precision, &x, &mut comm_seconds);
+    let initial: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+
+    let mut history = Vec::new();
+    let mut final_norm = initial;
+    for _ in 0..cfg.max_iterations {
+        vcycle_dist(cluster, cfg, &dist_levels, 0, b, &mut x, &mut comm_seconds, &smooth);
+        let ax =
+            dist_spmv(cluster, &finest.a, &finest.offsets, 0, finest.precision, &x, &mut comm_seconds);
+        final_norm = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+        history.push(final_norm / b_norm);
+        if cfg.tolerance > 0.0 && final_norm / b_norm < cfg.tolerance {
+            break;
+        }
+    }
+    let solve_seconds = cluster.elapsed() - solve_clock_start;
+
+    let iterations = history.len();
+    let converged = cfg.tolerance > 0.0 && final_norm / b_norm < cfg.tolerance;
+    let report = MultiGpuReport {
+        n_devices: p,
+        setup_seconds,
+        solve_seconds,
+        solve_comm_seconds: comm_seconds,
+        solve_report: SolveReport {
+            iterations,
+            initial_residual_norm: initial,
+            final_residual_norm: final_norm,
+            history,
+            converged,
+        },
+        levels: h.n_levels(),
+    };
+    (x, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{GpuSpec, Interconnect};
+    use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+
+    fn cluster(p: usize) -> Cluster {
+        Cluster::new(GpuSpec::a100(), p, Interconnect::nvlink())
+    }
+
+    #[test]
+    fn partition_covers_and_aligns() {
+        let a = laplacian_2d(20, 20, Stencil2d::Five);
+        let offs = partition_rows(&a, 4);
+        assert_eq!(offs.len(), 5);
+        assert_eq!(offs[0], 0);
+        assert_eq!(offs[4], 400);
+        for w in offs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for &o in &offs[1..4] {
+            assert!(o % 4 == 0 || o == 400, "offset {o} not tile aligned");
+        }
+    }
+
+    #[test]
+    fn row_slice_ghosts() {
+        let a = laplacian_2d(8, 8, Stencil2d::Five);
+        let (slice, ghosts) = row_slice(&a, 8, 16);
+        assert_eq!(slice.nrows(), 8);
+        assert_eq!(slice.ncols(), 64);
+        // Each boundary row references one neighbour outside on each side.
+        assert!(ghosts > 0 && ghosts <= 16, "ghosts {ghosts}");
+    }
+
+    #[test]
+    fn distributed_solution_matches_single_device() {
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let b = rhs_of_ones(&a);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 8;
+
+        // Single-device reference.
+        let dev = Device::new(GpuSpec::a100());
+        let h = setup(&dev, &cfg, a.clone());
+        let mut x_ref = vec![0.0; b.len()];
+        crate::solve::solve(&dev, &cfg, &h, &b, &mut x_ref);
+
+        let cl = cluster(4);
+        let (x, rep) = run_amg_multi_gpu(&cl, &cfg, a, &b);
+        assert_eq!(rep.n_devices, 4);
+        for (u, v) in x.iter().zip(&x_ref) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+        assert!(rep.setup_seconds > 0.0);
+        assert!(rep.solve_seconds > 0.0);
+        assert!(rep.solve_comm_seconds > 0.0);
+        assert!(rep.solve_comm_seconds < rep.solve_seconds);
+    }
+
+    #[test]
+    fn more_devices_reduce_compute_but_add_comm() {
+        let a = laplacian_2d(100, 100, Stencil2d::Five);
+        let b = rhs_of_ones(&a);
+        let mut cfg = AmgConfig::hypre_fp64();
+        cfg.max_iterations = 3;
+        let c1 = cluster(1);
+        let (_, r1) = run_amg_multi_gpu(&c1, &cfg, a.clone(), &b);
+        let c8 = cluster(8);
+        let (_, r8) = run_amg_multi_gpu(&c8, &cfg, a, &b);
+        assert!(r8.solve_comm_seconds > r1.solve_comm_seconds);
+        // Setup compute scales ~1/p; the added comm must not negate it on a
+        // matrix of this size.
+        assert!(
+            r8.setup_seconds < r1.setup_seconds,
+            "r8 {} vs r1 {}",
+            r8.setup_seconds,
+            r1.setup_seconds
+        );
+    }
+
+    #[test]
+    fn mixed_precision_distributed_converges() {
+        let a = laplacian_2d(20, 20, Stencil2d::Five);
+        let b = rhs_of_ones(&a);
+        let mut cfg = AmgConfig::amgt_mixed();
+        cfg.max_iterations = 25;
+        let cl = cluster(2);
+        let (_, rep) = run_amg_multi_gpu(&cl, &cfg, a, &b);
+        assert!(
+            rep.solve_report.final_relative_residual() < 1e-5,
+            "relres {}",
+            rep.solve_report.final_relative_residual()
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! PMIS coarsening (De Sterck, Yang, Heys) — the paper's coarsening choice.
+//!
+//! Each point gets a measure `w(i) = |S^T_i| + rand(i)` (how many points it
+//! strongly influences, plus a deterministic pseudo-random tiebreak in
+//! `[0,1)`). Rounds of distributed independent-set selection mark local
+//! maxima as C-points and their strong neighbours as F-points until every
+//! point is classified. Points with no strong connections become F-points
+//! immediately (their error is handled by smoothing alone).
+
+use crate::strength::Strength;
+use amgt_kernels::Ctx;
+use amgt_sim::{Algo, KernelCost, KernelKind};
+
+/// Coarse/fine classification of one point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CfPoint {
+    Coarse,
+    Fine,
+}
+
+/// Result of coarsening.
+#[derive(Clone, Debug)]
+pub struct Splitting {
+    pub cf: Vec<CfPoint>,
+    /// For C-points, their index in the coarse grid; `u32::MAX` for F.
+    pub coarse_index: Vec<u32>,
+    pub n_coarse: usize,
+    /// Selection rounds until convergence (diagnostic).
+    pub rounds: usize,
+}
+
+impl Splitting {
+    pub fn is_coarse(&self, i: usize) -> bool {
+        self.cf[i] == CfPoint::Coarse
+    }
+}
+
+/// Deterministic per-point tiebreak in `[0, 1)` (splitmix64 hash).
+fn tiebreak(i: usize, seed: u64) -> f64 {
+    let mut z = (i as u64).wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Run PMIS on a strength pattern.
+pub fn pmis(ctx: &Ctx, s: &Strength, seed: u64) -> Splitting {
+    let n = s.n;
+    let st = s.transpose();
+
+    // Measure: number of points strongly influenced by i, plus tiebreak.
+    let measure: Vec<f64> =
+        (0..n).map(|i| (st.row(i).len()) as f64 + tiebreak(i, seed)).collect();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Undecided,
+        Coarse,
+        Fine,
+    }
+    let mut state = vec![State::Undecided; n];
+
+    // Points with no strong connections in either direction cannot (and
+    // need not) be interpolated: they become F immediately. Points that
+    // influence nobody and depend on somebody stay undecided.
+    let mut undecided = 0usize;
+    for i in 0..n {
+        if s.row(i).is_empty() && st.row(i).is_empty() {
+            state[i] = State::Fine;
+        } else {
+            undecided += 1;
+        }
+    }
+
+    let mut rounds = 0usize;
+    let mut ops = 0u64;
+    while undecided > 0 {
+        rounds += 1;
+        // Select the distributed independent set: undecided points whose
+        // measure beats every undecided neighbour in S ∪ S^T.
+        let mut selected: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if state[i] != State::Undecided {
+                continue;
+            }
+            let mi = measure[i];
+            let beats = |j: &u32| {
+                let j = *j as usize;
+                state[j] != State::Undecided || measure[j] < mi
+            };
+            ops += (s.row(i).len() + st.row(i).len()) as u64;
+            if s.row(i).iter().all(beats) && st.row(i).iter().all(beats) {
+                selected.push(i);
+            }
+        }
+        debug_assert!(!selected.is_empty(), "PMIS stalled");
+        for &i in &selected {
+            state[i] = State::Coarse;
+            undecided -= 1;
+        }
+        // Undecided points strongly depending on a new C-point become F.
+        for &c in &selected {
+            for &j in st.row(c) {
+                let j = j as usize;
+                if state[j] == State::Undecided {
+                    state[j] = State::Fine;
+                    undecided -= 1;
+                }
+            }
+        }
+    }
+
+    let mut cf = Vec::with_capacity(n);
+    let mut coarse_index = vec![u32::MAX; n];
+    let mut n_coarse = 0usize;
+    for i in 0..n {
+        match state[i] {
+            State::Coarse => {
+                cf.push(CfPoint::Coarse);
+                coarse_index[i] = n_coarse as u32;
+                n_coarse += 1;
+            }
+            _ => cf.push(CfPoint::Fine),
+        }
+    }
+
+    let cost = KernelCost {
+        int_ops: ops as f64 * 2.0 + n as f64 * (rounds.max(1)) as f64,
+        bytes: (s.nnz() as f64 * 4.0 + n as f64 * 8.0) * rounds.max(1) as f64,
+        // At least the initial classification kernel launches even when no
+        // selection round is needed.
+        launches: (2 * rounds as u32).max(1),
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
+
+    Splitting { cf, coarse_index, n_coarse, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::strength_graph;
+    use amgt_sim::{Device, GpuSpec, Phase, Precision};
+    use amgt_sparse::gen::{laplacian_2d, laplacian_3d, Stencil2d, Stencil3d};
+
+    fn ctx(dev: &Device) -> Ctx<'_> {
+        Ctx::new(dev, Phase::Setup, 0, Precision::Fp64)
+    }
+
+    fn split(a: &amgt_sparse::Csr) -> Splitting {
+        let dev = Device::new(GpuSpec::a100());
+        let s = strength_graph(&ctx(&dev), a, 0.25, 1.0);
+        pmis(&ctx(&dev), &s, 42)
+    }
+
+    /// Independence + maximality of the C set w.r.t. the strength graph.
+    fn check_valid(a: &amgt_sparse::Csr, sp: &Splitting) {
+        let dev = Device::new(GpuSpec::a100());
+        let s = strength_graph(&ctx(&dev), a, 0.25, 1.0);
+        let st = s.transpose();
+        for i in 0..s.n {
+            if sp.is_coarse(i) {
+                // No two strongly connected C points (independence over S).
+                for &j in s.row(i) {
+                    assert!(
+                        !sp.is_coarse(j as usize),
+                        "C-C strong pair ({i},{j})"
+                    );
+                }
+            } else if !s.row(i).is_empty() || !st.row(i).is_empty() {
+                // Every F point with strong connections is covered: it
+                // depends on or influences some C point... PMIS guarantees
+                // coverage through dependence or being beaten; verify the
+                // weaker standard property: some strong neighbour is C OR
+                // the point has no strong dependencies at all.
+                let covered = s.row(i).iter().chain(st.row(i)).any(|&j| sp.is_coarse(j as usize));
+                assert!(
+                    covered || s.row(i).is_empty(),
+                    "F point {i} uncovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_2d_coarsens() {
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let sp = split(&a);
+        assert!(sp.n_coarse > 0);
+        assert!(sp.n_coarse < a.nrows());
+        // PMIS on a 5-point Laplacian selects roughly a quarter to half.
+        let ratio = sp.n_coarse as f64 / a.nrows() as f64;
+        assert!((0.15..=0.6).contains(&ratio), "ratio {ratio}");
+        check_valid(&a, &sp);
+    }
+
+    #[test]
+    fn laplacian_3d_coarsens() {
+        let a = laplacian_3d(8, 8, 8, Stencil3d::Seven);
+        let sp = split(&a);
+        assert!(sp.n_coarse > 0 && sp.n_coarse < a.nrows());
+        check_valid(&a, &sp);
+    }
+
+    #[test]
+    fn coarse_index_dense_and_ordered() {
+        let a = laplacian_2d(10, 10, Stencil2d::Five);
+        let sp = split(&a);
+        let mut next = 0u32;
+        for i in 0..a.nrows() {
+            if sp.is_coarse(i) {
+                assert_eq!(sp.coarse_index[i], next);
+                next += 1;
+            } else {
+                assert_eq!(sp.coarse_index[i], u32::MAX);
+            }
+        }
+        assert_eq!(next as usize, sp.n_coarse);
+    }
+
+    #[test]
+    fn isolated_points_become_fine() {
+        // Diagonal matrix: no strong connections anywhere.
+        let a = amgt_sparse::Csr::identity(8);
+        let sp = split(&a);
+        assert_eq!(sp.n_coarse, 0);
+        assert!(sp.cf.iter().all(|&c| c == CfPoint::Fine));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = laplacian_2d(12, 12, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::a100());
+        let s = strength_graph(&ctx(&dev), &a, 0.25, 1.0);
+        let s1 = pmis(&ctx(&dev), &s, 7);
+        let s2 = pmis(&ctx(&dev), &s, 7);
+        assert_eq!(s1.cf, s2.cf);
+    }
+
+    #[test]
+    fn tiebreak_in_unit_interval() {
+        for i in 0..1000 {
+            let t = tiebreak(i, 42);
+            assert!((0.0..1.0).contains(&t));
+        }
+        // Distinct points get distinct tiebreaks (overwhelmingly).
+        let a = tiebreak(1, 42);
+        let b = tiebreak(2, 42);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Charged BLAS-1 vector operations.
+//!
+//! The non-SpMV remainder of the solve phase (the unshadowed part of the
+//! blue bars in Figure 7) is vector work: residual updates, scaled
+//! corrections, norms. Arithmetic is performed in f64 (kernels quantize at
+//! their own boundaries); traffic is charged at the context precision.
+
+use amgt_kernels::Ctx;
+use amgt_sim::{Algo, KernelCost, KernelKind};
+
+fn charge_stream(ctx: &Ctx, n: usize, vectors: f64, flops_per_elem: f64) {
+    let cost = KernelCost {
+        cuda_flops: n as f64 * flops_per_elem,
+        bytes: n as f64 * vectors * ctx.precision.bytes() as f64,
+        launches: 1,
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Vector, Algo::Shared, &cost);
+}
+
+/// `y += alpha * x`.
+pub fn axpy(ctx: &Ctx, alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    charge_stream(ctx, x.len(), 3.0, 2.0);
+}
+
+/// `y = x + beta * y`.
+pub fn xpby(ctx: &Ctx, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+    charge_stream(ctx, x.len(), 3.0, 2.0);
+}
+
+/// Elementwise `y += diag_inv[i] * r[i]` (the Jacobi correction).
+pub fn diag_scaled_add(ctx: &Ctx, diag_inv: &[f64], r: &[f64], y: &mut [f64]) {
+    assert_eq!(diag_inv.len(), y.len());
+    assert_eq!(r.len(), y.len());
+    for ((yi, &di), &ri) in y.iter_mut().zip(diag_inv).zip(r) {
+        *yi += di * ri;
+    }
+    charge_stream(ctx, y.len(), 4.0, 2.0);
+}
+
+/// Fused smoother update: `x += dinv .* (b - ax)` in one kernel launch
+/// (HYPRE fuses the relax update the same way).
+pub fn jacobi_fused(ctx: &Ctx, dinv: &[f64], b: &[f64], ax: &[f64], x: &mut [f64]) {
+    assert_eq!(dinv.len(), x.len());
+    assert_eq!(b.len(), x.len());
+    assert_eq!(ax.len(), x.len());
+    for i in 0..x.len() {
+        x[i] += dinv[i] * (b[i] - ax[i]);
+    }
+    charge_stream(ctx, x.len(), 5.0, 3.0);
+}
+
+/// `z = x - y` into a fresh vector.
+pub fn sub(ctx: &Ctx, x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len());
+    let z = x.iter().zip(y).map(|(a, b)| a - b).collect();
+    charge_stream(ctx, x.len(), 3.0, 1.0);
+    z
+}
+
+/// Dot product.
+pub fn dot(ctx: &Ctx, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let d = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    charge_stream(ctx, x.len(), 2.0, 2.0);
+    d
+}
+
+/// Euclidean norm.
+pub fn norm2(ctx: &Ctx, x: &[f64]) -> f64 {
+    let d: f64 = x.iter().map(|a| a * a).sum();
+    charge_stream(ctx, x.len(), 1.0, 2.0);
+    d.sqrt()
+}
+
+/// Fill with zeros (charged as a stream write).
+pub fn zero_fill(ctx: &Ctx, x: &mut [f64]) {
+    x.fill(0.0);
+    charge_stream(ctx, x.len(), 1.0, 0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{Device, GpuSpec, Phase, Precision};
+
+    fn ctx(dev: &Device) -> Ctx<'_> {
+        Ctx::new(dev, Phase::Solve, 0, Precision::Fp64)
+    }
+
+    #[test]
+    fn ops_compute_correctly() {
+        let dev = Device::new(GpuSpec::a100());
+        let c = ctx(&dev);
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(&c, 2.0, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+        xpby(&c, &[1.0, 1.0, 1.0], -1.0, &mut y);
+        assert_eq!(y, vec![-2.0, -3.0, -4.0]);
+        let mut z = vec![0.0; 3];
+        diag_scaled_add(&c, &[0.5, 0.5, 0.5], &[2.0, 4.0, 6.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+        assert_eq!(sub(&c, &[3.0, 3.0], &[1.0, 2.0]), vec![2.0, 1.0]);
+        assert_eq!(dot(&c, &[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&c, &[3.0, 4.0]), 5.0);
+        let mut w = vec![1.0; 4];
+        zero_fill(&c, &mut w);
+        assert_eq!(w, vec![0.0; 4]);
+        let mut xf = vec![1.0, 1.0];
+        jacobi_fused(&c, &[0.5, 0.25], &[3.0, 5.0], &[1.0, 1.0], &mut xf);
+        assert_eq!(xf, vec![2.0, 2.0]);
+        // Every op charged one Vector event.
+        assert_eq!(dev.events().len(), 8);
+        assert!(dev.events().iter().all(|e| e.kind == KernelKind::Vector));
+    }
+
+    #[test]
+    fn fp16_context_charges_fewer_bytes() {
+        let dev = Device::new(GpuSpec::a100());
+        let n = 1 << 16;
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        axpy(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64), 1.0, &x, &mut y);
+        axpy(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp16), 1.0, &x, &mut y);
+        let evs = dev.events();
+        assert!(evs[1].seconds < evs[0].seconds);
+    }
+}

@@ -1,0 +1,89 @@
+//! Instrumented format-conversion kernels (Figure 6 steps 4/5, Figure 10).
+//!
+//! The AmgT data flow converts CSR to mBSR before the interpolation SpGEMM
+//! and mBSR back to CSR after the Galerkin product — `2 * #levels - 1`
+//! conversions per setup. Figure 10 compares the CSR→mBSR cost against
+//! cuSPARSE's CSR→BSR: the only difference is writing the extra bitmap
+//! array, so the costs are nearly identical; these kernels charge exactly
+//! that.
+
+use crate::ctx::Ctx;
+use amgt_sim::{Algo, KernelCost, KernelKind};
+use amgt_sparse::{Bsr, Csr, Mbsr};
+
+/// CSR → mBSR (the paper's `AmgT_CSR2mBSR`). Charges reads of the CSR
+/// arrays and writes of all four mBSR arrays.
+pub fn csr_to_mbsr(ctx: &Ctx, a: &Csr) -> Mbsr {
+    let m = Mbsr::from_csr(a);
+    let cost = KernelCost {
+        int_ops: a.nnz() as f64 * 4.0 + m.n_blocks() as f64 * 2.0,
+        bytes: a.bytes() + m.bytes_at(8),
+        launches: 1, // Fused count+fill (atomics), like cusparse csr2bsr.
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Convert, Algo::AmgT, &cost);
+    m
+}
+
+/// CSR → classic BSR (cuSPARSE `csr2bsr` equivalent, baseline of Fig. 10).
+pub fn csr_to_bsr(ctx: &Ctx, a: &Csr) -> Bsr {
+    let b = Bsr::from_csr(a);
+    let cost = KernelCost {
+        int_ops: a.nnz() as f64 * 4.0 + b.n_blocks() as f64 * 2.0,
+        bytes: a.bytes() + b.bytes_at(8),
+        launches: 1,
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Convert, Algo::Vendor, &cost);
+    b
+}
+
+/// mBSR → CSR (the paper's `MBSR2CSR` after the `RAP` product).
+pub fn mbsr_to_csr(ctx: &Ctx, m: &Mbsr) -> Csr {
+    let a = m.to_csr();
+    let cost = KernelCost {
+        int_ops: m.n_blocks() as f64 * 16.0 + a.nnz() as f64 * 2.0,
+        bytes: m.bytes_at(8) + a.bytes(),
+        launches: 1,
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Convert, Algo::AmgT, &cost);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{Device, GpuSpec, Phase, Precision};
+    use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+
+    fn ctx(dev: &Device) -> Ctx<'_> {
+        Ctx::new(dev, Phase::Preprocess, 0, Precision::Fp64)
+    }
+
+    #[test]
+    fn roundtrip_and_events() {
+        let dev = Device::new(GpuSpec::a100());
+        let a = laplacian_2d(9, 9, Stencil2d::Five);
+        let m = csr_to_mbsr(&ctx(&dev), &a);
+        let back = mbsr_to_csr(&ctx(&dev), &m);
+        assert_eq!(a, back);
+        let evs = dev.events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|e| e.kind == amgt_sim::KernelKind::Convert));
+    }
+
+    #[test]
+    fn mbsr_conversion_slightly_costlier_than_bsr() {
+        // Figure 10: the two conversions are near-identical; mBSR pays only
+        // the bitmap write (2 bytes/block).
+        let dev = Device::new(GpuSpec::h100());
+        let a = laplacian_2d(40, 40, Stencil2d::Nine);
+        csr_to_mbsr(&ctx(&dev), &a);
+        csr_to_bsr(&ctx(&dev), &a);
+        let evs = dev.events();
+        let (t_mbsr, t_bsr) = (evs[0].seconds, evs[1].seconds);
+        assert!(t_mbsr >= t_bsr);
+        assert!(t_mbsr / t_bsr < 1.05, "ratio {}", t_mbsr / t_bsr);
+    }
+}

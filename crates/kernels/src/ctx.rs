@@ -1,0 +1,75 @@
+//! Execution context threaded through every kernel.
+//!
+//! A [`Ctx`] bundles the simulated device with the AMG bookkeeping (phase,
+//! level, precision) each kernel needs to charge its cost to the right
+//! ledger entry. Kernels compute exact results on the CPU and charge one
+//! ledger event per logical GPU kernel sequence.
+
+use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision};
+
+/// Kernel execution context.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    pub device: &'a Device,
+    pub phase: Phase,
+    /// AMG level (0 = finest) the kernel operates on.
+    pub level: u32,
+    /// Arithmetic/storage precision of the kernel call.
+    pub precision: Precision,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(device: &'a Device, phase: Phase, level: u32, precision: Precision) -> Self {
+        Ctx { device, phase, level, precision }
+    }
+
+    /// Context for standalone kernel benchmarking (solve phase, level 0).
+    pub fn standalone(device: &'a Device, precision: Precision) -> Self {
+        Ctx { device, phase: Phase::Solve, level: 0, precision }
+    }
+
+    /// Charge one kernel event; returns simulated seconds.
+    pub fn charge(&self, kind: KernelKind, algo: Algo, cost: &KernelCost) -> f64 {
+        self.device.charge(kind, algo, self.phase, self.level, self.precision, cost)
+    }
+
+    /// Same context at a different phase.
+    pub fn with_phase(self, phase: Phase) -> Self {
+        Ctx { phase, ..self }
+    }
+
+    /// Same context at a different level/precision.
+    pub fn at_level(self, level: u32, precision: Precision) -> Self {
+        Ctx { level, precision, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::GpuSpec;
+
+    #[test]
+    fn charge_records_event_with_context() {
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::new(&dev, Phase::Setup, 3, Precision::Fp32);
+        let cost = KernelCost { bytes: 1e6, ..Default::default() };
+        let t = ctx.charge(KernelKind::SpGemmNumeric, Algo::AmgT, &cost);
+        assert!(t > 0.0);
+        let ev = &dev.events()[0];
+        assert_eq!(ev.level, 3);
+        assert_eq!(ev.precision, Precision::Fp32);
+        assert_eq!(ev.phase, Phase::Setup);
+    }
+
+    #[test]
+    fn with_phase_and_level() {
+        let dev = Device::new(GpuSpec::h100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64)
+            .with_phase(Phase::Preprocess)
+            .at_level(2, Precision::Fp16);
+        assert_eq!(ctx.level, 2);
+        assert_eq!(ctx.precision, Precision::Fp16);
+        assert!(matches!(ctx.phase, Phase::Preprocess));
+    }
+}

@@ -1,0 +1,616 @@
+//! The AmgT SpGEMM on the mBSR format (Sections IV.C, Algorithms 3 and 4).
+//!
+//! Pipeline, exactly as in Figure 4 of the paper:
+//!
+//! 1. **Data analysis** — upper-bound intermediate block products per
+//!    block-row of `C` (`Cub_per_row`).
+//! 2. **Binning** — block-rows grouped into eight bins by `Cub_per_row`
+//!    (thresholds 128 doubling to 8192), which sizes the per-row hash
+//!    tables.
+//! 3. **Two-step symbolic** — hash-count the blocks of each `C` block-row
+//!    (step 1), prefix-sum into `blc_ptr`, then hash-fill, compress and
+//!    sort the column ids (step 2). A block exists in `C` iff some
+//!    `BITMAPMULTIPLY(mapA, mapB)` is nonzero.
+//! 4. **Numeric** — one warp per block-row. Per `blockA`:
+//!    `popcount(mapA) >= 10` takes the tensor-core path (fragA = blockA
+//!    replicated, two valid blockBs per `mma.m8n8k4`, shuffle extraction,
+//!    half the 8x8 product discarded); sparser blocks take the thread-level
+//!    CUDA-core path over bitmap positions.
+
+use crate::ctx::Ctx;
+use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC, MMA_FLOPS};
+use amgt_sim::precision::Precision;
+use amgt_sim::{Algo, KernelCost, KernelKind};
+use amgt_sparse::bitmap::{self, TENSOR_DENSITY_THRESHOLD, TILE_AREA};
+use amgt_sparse::Mbsr;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of bins; thresholds 128 * 2^k, k = 0..6, plus the >= 8192 bin.
+pub const N_BINS: usize = 8;
+/// Smallest bin bound.
+pub const BIN_BASE: usize = 128;
+/// Largest bin bound; rows at or above it go to the last bin.
+pub const BIN_MAX: usize = 8192;
+
+/// Bin index for an intermediate-product upper bound (paper Section IV.C.1).
+pub fn bin_index(cub_per_row: usize) -> usize {
+    let mut bound = BIN_BASE;
+    for bin in 0..N_BINS - 1 {
+        if cub_per_row < bound {
+            return bin;
+        }
+        bound *= 2;
+    }
+    N_BINS - 1
+}
+
+/// Statistics reported by one SpGEMM execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpgemmMbsrStats {
+    /// Block-rows per bin after the analysis step.
+    pub bins: [usize; N_BINS],
+    /// Total intermediate block products (the `Cub` bound actually visited).
+    pub intermediate_blocks: u64,
+    /// Intermediate block products that produced a nonzero bitmap.
+    pub valid_blocks: u64,
+    /// `blockA`s routed to the tensor-core path.
+    pub tc_block_a: u64,
+    /// `blockA`s routed to the CUDA-core path.
+    pub cuda_block_a: u64,
+    /// `mma` instructions issued.
+    pub mma_issued: u64,
+    /// Blocks stored in the result.
+    pub result_blocks: u64,
+    /// Scalar nonzeros (bitmap population) of the result.
+    pub result_nnz: u64,
+}
+
+/// Open-addressing hash table with linear probing, sized per bin like the
+/// shared-memory tables of the paper; counts probes for the cost model.
+struct HashTable {
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+    probes: u64,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl HashTable {
+    fn with_bound(distinct_bound: usize) -> Self {
+        let cap = (2 * distinct_bound.max(4)).next_power_of_two();
+        HashTable { slots: vec![EMPTY; cap], mask: cap - 1, len: 0, probes: 0 }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u32) {
+        let mut h = (key as usize).wrapping_mul(0x9E37_79B1) & self.mask;
+        loop {
+            self.probes += 1;
+            let slot = self.slots[h];
+            if slot == key {
+                return;
+            }
+            if slot == EMPTY {
+                self.slots[h] = key;
+                self.len += 1;
+                return;
+            }
+            h = (h + 1) & self.mask;
+        }
+    }
+
+    /// Compress non-empty slots and sort them (symbolic step 2 tail).
+    fn compress_sorted(&self) -> Vec<u32> {
+        let mut keys: Vec<u32> = self.slots.iter().copied().filter(|&k| k != EMPTY).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// `C = A * B` on mBSR with the AmgT algorithm. Returns the product and the
+/// execution statistics. Charges one symbolic and one numeric ledger event.
+pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    assert_eq!(a.blk_cols(), b.blk_rows(), "inner tile-grid mismatch");
+    let prec = ctx.precision;
+    let blk_rows = a.blk_rows();
+
+    // ---- Step 1+2: data analysis and binning. ----
+    let cub_per_row: Vec<usize> = (0..blk_rows)
+        .into_par_iter()
+        .map(|br| {
+            a.block_row(br)
+                .0
+                .iter()
+                .map(|&k| b.blc_ptr[k as usize + 1] - b.blc_ptr[k as usize])
+                .sum()
+        })
+        .collect();
+    let mut bins = [0usize; N_BINS];
+    for &cub in &cub_per_row {
+        bins[bin_index(cub)] += 1;
+    }
+    let total_cub: u64 = cub_per_row.iter().map(|&c| c as u64).sum();
+
+    // ---- Two-step symbolic computation. ----
+    let probes = AtomicU64::new(0);
+    let valid_counter = AtomicU64::new(0);
+    let row_cols: Vec<Vec<u32>> = (0..blk_rows)
+        .into_par_iter()
+        .map(|br| {
+            if cub_per_row[br] == 0 {
+                return Vec::new();
+            }
+            let mut table = HashTable::with_bound(cub_per_row[br]);
+            let (acols, amaps) = a.block_row(br);
+            let mut valid = 0u64;
+            for (&k, &map_a) in acols.iter().zip(amaps) {
+                let k = k as usize;
+                let lo = b.blc_ptr[k];
+                let hi = b.blc_ptr[k + 1];
+                for (bj, &map_b) in b.blc_idx[lo..hi].iter().zip(&b.blc_map[lo..hi]) {
+                    let map_c = bitmap::bitmap_multiply(map_a, map_b);
+                    if map_c != 0 {
+                        table.insert(*bj);
+                        valid += 1;
+                    }
+                }
+            }
+            probes.fetch_add(2 * table.probes, Ordering::Relaxed); // Steps 1 and 2.
+            valid_counter.fetch_add(valid, Ordering::Relaxed);
+            table.compress_sorted()
+        })
+        .collect();
+
+    let mut blc_ptr = vec![0usize; blk_rows + 1];
+    for br in 0..blk_rows {
+        blc_ptr[br + 1] = blc_ptr[br] + row_cols[br].len();
+    }
+    let n_blocks = blc_ptr[blk_rows];
+
+    let sym_cost = KernelCost {
+        // Bitmap multiply ~8 ops + hash probes, executed twice (both steps);
+        // binning/analysis adds one op per A block.
+        int_ops: 2.0 * 8.0 * total_cub as f64
+            + probes.load(Ordering::Relaxed) as f64 * 2.0
+            + a.n_blocks() as f64
+            + n_blocks as f64 * (n_blocks.max(2) as f64).log2() / blk_rows.max(1) as f64,
+        // Index/bitmap traffic: A and B (idx+map = 6 B per block) touched in
+        // both steps; C index written once.
+        bytes: 2.0 * (a.n_blocks() as f64 * 6.0 + total_cub as f64 * 6.0) + n_blocks as f64 * 4.0
+            + (blk_rows as f64) * 16.0,
+        launches: 3, // Analysis/binning + symbolic step 1 + step 2.
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::SpGemmSymbolic, Algo::AmgT, &sym_cost);
+
+    // ---- Numeric computation (warp per block-row). ----
+    let mut blc_idx = vec![0u32; n_blocks];
+    let mut blc_map = vec![0u16; n_blocks];
+    let mut blc_val = vec![0.0f64; n_blocks * TILE_AREA];
+
+    let tc_blocks = AtomicU64::new(0);
+    let cuda_blocks = AtomicU64::new(0);
+    let mma_count = AtomicU64::new(0);
+    let cuda_flops = AtomicU64::new(0);
+    let searches = AtomicU64::new(0);
+    // Value slots actually read: the tensor path streams whole 16-slot
+    // tiles, the CUDA path reads nonempty 4-slot tile rows only.
+    let val_slots_read = AtomicU64::new(0);
+
+    {
+        // Split outputs into disjoint per-block-row slices for rayon.
+        let mut idx_rest: &mut [u32] = &mut blc_idx;
+        let mut map_rest: &mut [u16] = &mut blc_map;
+        let mut val_rest: &mut [f64] = &mut blc_val;
+        let mut rows: Vec<(usize, &mut [u32], &mut [u16], &mut [f64])> =
+            Vec::with_capacity(blk_rows);
+        for br in 0..blk_rows {
+            let len = blc_ptr[br + 1] - blc_ptr[br];
+            let (i0, i1) = idx_rest.split_at_mut(len);
+            let (m0, m1) = map_rest.split_at_mut(len);
+            let (v0, v1) = val_rest.split_at_mut(len * TILE_AREA);
+            idx_rest = i1;
+            map_rest = m1;
+            val_rest = v1;
+            rows.push((br, i0, m0, v0));
+        }
+
+        rows.into_par_iter().for_each(|(br, c_idx, c_map, c_val)| {
+            c_idx.copy_from_slice(&row_cols[br]);
+            let (acols, amaps) = a.block_row(br);
+            let (mut tc, mut cu, mut mma_n, mut flops, mut srch) = (0u64, 0u64, 0u64, 0u64, 0u64);
+            let mut slots = 0u64;
+            for (apos_rel, (&cid_a, &map_a)) in acols.iter().zip(amaps).enumerate() {
+                let a_tile = a.tile_array(a.blc_ptr[br] + apos_rel);
+                let k = cid_a as usize;
+                let (b_lo, b_hi) = (b.blc_ptr[k], b.blc_ptr[k + 1]);
+                if bitmap::popcount(map_a) >= TENSOR_DENSITY_THRESHOLD {
+                    // --- Tensor-core path: pairs of valid blockBs. ---
+                    tc += 1;
+                    slots += TILE_AREA as u64; // fragA tile load.
+                    let frag_a = FragA::pack_tiles(&a_tile, &a_tile);
+                    let mut pending: Option<(usize, u16)> = None; // (b_pos, mapC)
+                    for b_pos in b_lo..b_hi {
+                        let map_b = b.blc_map[b_pos];
+                        let map_c = bitmap::bitmap_multiply(map_a, map_b);
+                        if map_c == 0 {
+                            continue;
+                        }
+                        slots += TILE_AREA as u64; // fragB tile load.
+                        match pending.take() {
+                            None => pending = Some((b_pos, map_c)),
+                            Some((p0, m0)) => {
+                                issue_mma(
+                                    prec, &frag_a, b, c_idx, c_map, c_val,
+                                    &[(p0, m0), (b_pos, map_c)],
+                                );
+                                mma_n += 1;
+                                srch += 2;
+                            }
+                        }
+                    }
+                    if let Some((p0, m0)) = pending {
+                        // Odd tail: pad fragB with a zero tile.
+                        issue_mma(prec, &frag_a, b, c_idx, c_map, c_val, &[(p0, m0)]);
+                        mma_n += 1;
+                        srch += 1;
+                    }
+                } else {
+                    // --- CUDA-core path: thread-level scalar products. ---
+                    cu += 1;
+                    slots += 4 * nonempty_rows(map_a);
+                    for b_pos in b_lo..b_hi {
+                        let map_b = b.blc_map[b_pos];
+                        let map_c = bitmap::bitmap_multiply(map_a, map_b);
+                        if map_c == 0 {
+                            continue;
+                        }
+                        slots += 4 * nonempty_rows(map_b);
+                        let j = b.blc_idx[b_pos];
+                        let slot = c_idx.binary_search(&j).expect("symbolic covered block");
+                        srch += 1;
+                        c_map[slot] |= map_c;
+                        let b_tile = b.tile_array(b_pos);
+                        let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
+                        flops += cuda_tile_mul(prec, &a_tile, map_a, &b_tile, map_b, out);
+                    }
+                }
+            }
+            tc_blocks.fetch_add(tc, Ordering::Relaxed);
+            val_slots_read.fetch_add(slots, Ordering::Relaxed);
+            cuda_blocks.fetch_add(cu, Ordering::Relaxed);
+            mma_count.fetch_add(mma_n, Ordering::Relaxed);
+            cuda_flops.fetch_add(flops, Ordering::Relaxed);
+            searches.fetch_add(srch, Ordering::Relaxed);
+        });
+    }
+
+    // Storage quantization of the result at the level's precision.
+    amgt_sim::precision::quantize_slice(prec, &mut blc_val);
+
+    let mma_n = mma_count.load(Ordering::Relaxed);
+    let vb = prec.bytes() as f64;
+    let result_nnz: u64 = blc_map.iter().map(|&m| m.count_ones() as u64).sum();
+    let valid = valid_counter.load(Ordering::Relaxed);
+    // C accumulation is row-granular too.
+    let c_rows: u64 = blc_map
+        .iter()
+        .map(|&m| (0..4).filter(|&r| bitmap::row_mask(m, r) != 0).count() as u64)
+        .sum();
+    let num_cost = KernelCost {
+        tc_flops: mma_n as f64 * MMA_FLOPS,
+        // Shuffle extraction (32 per MMA) + accumulate adds (32 per MMA),
+        // plus the CUDA-path scalar products.
+        cuda_flops: mma_n as f64 * 64.0 + cuda_flops.load(Ordering::Relaxed) as f64,
+        int_ops: 8.0 * total_cub as f64 // Bitmap multiplies revisited.
+            + searches.load(Ordering::Relaxed) as f64 * 8.0 // Binary searches.
+            + a.n_blocks() as f64, // popcount dispatch.
+        // Value traffic measured per path (whole tiles on the tensor path,
+        // nonempty tile rows on the CUDA path); operand re-reads hit L2 for
+        // B tiles shared across block-rows (0.35 residency factor folded in
+        // by charging each read once below at measured granularity). Index
+        // and bitmap arrays stream once per operand; C accumulates in and
+        // out at row granularity.
+        bytes: (a.n_blocks() as f64 + 0.35 * valid as f64) * 6.0
+            + 0.45 * val_slots_read.load(Ordering::Relaxed) as f64 * vb
+            + n_blocks as f64 * 6.0
+            + c_rows as f64 * 4.0 * vb * 2.0,
+        launches: 1,
+    };
+    ctx.charge(KernelKind::SpGemmNumeric, Algo::AmgT, &num_cost);
+
+    let c = mbsr_from_parts(
+        a.nrows(),
+        b.ncols(),
+        blk_rows,
+        b.blk_cols(),
+        blc_ptr,
+        blc_idx,
+        blc_map,
+        blc_val,
+    );
+
+    let stats = SpgemmMbsrStats {
+        bins,
+        intermediate_blocks: total_cub,
+        valid_blocks: valid,
+        tc_block_a: tc_blocks.load(Ordering::Relaxed),
+        cuda_block_a: cuda_blocks.load(Ordering::Relaxed),
+        mma_issued: mma_n,
+        result_blocks: n_blocks as u64,
+        result_nnz,
+    };
+    (c, stats)
+}
+
+/// One warp-level tensor-core step: multiply the replicated `fragA` with
+/// one or two valid blockBs, extract the useful tiles by shuffles, and
+/// accumulate bitmap + values into the `C` block-row.
+fn issue_mma(
+    prec: Precision,
+    frag_a: &FragA,
+    b: &Mbsr,
+    c_idx: &[u32],
+    c_map: &mut [u16],
+    c_val: &mut [f64],
+    targets: &[(usize, u16)],
+) {
+    debug_assert!(!targets.is_empty() && targets.len() <= 2);
+    let zero = [0.0f64; TILE_AREA];
+    let t0 = b.tile_array(targets[0].0);
+    let t1 = targets.get(1).map(|&(p, _)| b.tile_array(p));
+    let frag_b = FragB::pack_tiles(&t0, t1.as_ref().unwrap_or(&zero));
+    let mut frag_c = FragC::ZERO;
+    mma_8x8x4(&mut frag_c, frag_a, &frag_b, prec);
+    for (slot_idx, &(b_pos, map_c)) in targets.iter().enumerate() {
+        let j = b.blc_idx[b_pos];
+        let slot = c_idx.binary_search(&j).expect("symbolic covered block");
+        c_map[slot] |= map_c;
+        let (tile, _shuffles) = frag_c.extract_tile(0, slot_idx);
+        let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
+        for (o, t) in out.iter_mut().zip(tile.iter()) {
+            // Only bitmap positions may carry values; the rest of the MMA
+            // output is exact zeros anyway, but masking keeps the invariant
+            // robust under cancellation.
+            *o = prec.round_accum(*o + t);
+        }
+        // Clear any slop outside the bitmap (padding lanes are zero by
+        // construction; this enforces the mBSR value/bitmap invariant).
+        for bit in 0..TILE_AREA {
+            if c_map[slot] & (1 << bit) == 0 {
+                out[bit] = 0.0;
+            }
+        }
+    }
+}
+
+/// Nonempty 4-wide rows of a tile pattern (32-byte read transactions).
+#[inline]
+fn nonempty_rows(map: u16) -> u64 {
+    (0..4).filter(|&r| bitmap::row_mask(map, r) != 0).count() as u64
+}
+
+/// Thread-level tile product on CUDA cores: loops bitmap positions only.
+/// Returns the flop count performed.
+fn cuda_tile_mul(
+    prec: Precision,
+    a_tile: &[f64; TILE_AREA],
+    map_a: u16,
+    b_tile: &[f64; TILE_AREA],
+    map_b: u16,
+    out: &mut [f64],
+) -> u64 {
+    let mut flops = 0u64;
+    for i in 0..4 {
+        let arow = bitmap::row_mask(map_a, i);
+        if arow == 0 {
+            continue;
+        }
+        for k in 0..4 {
+            if arow & (1 << k) == 0 {
+                continue;
+            }
+            let brow = bitmap::row_mask(map_b, k);
+            if brow == 0 {
+                continue;
+            }
+            let av = a_tile[i * 4 + k];
+            for j in 0..4 {
+                if brow & (1 << j) != 0 {
+                    let prod = prec.round_product(av, b_tile[k * 4 + j]);
+                    out[i * 4 + j] = prec.round_accum(out[i * 4 + j] + prod);
+                    flops += 2;
+                }
+            }
+        }
+    }
+    flops
+}
+
+/// Assemble an [`Mbsr`] from raw parts via the CSR constructor invariants.
+#[allow(clippy::too_many_arguments)]
+fn mbsr_from_parts(
+    nrows: usize,
+    ncols: usize,
+    blk_rows: usize,
+    blk_cols: usize,
+    blc_ptr: Vec<usize>,
+    blc_idx: Vec<u32>,
+    blc_map: Vec<u16>,
+    blc_val: Vec<f64>,
+) -> Mbsr {
+    // The Mbsr type does not expose a raw constructor publicly for safety;
+    // rebuild through CSR would lose bitmap/value agreement on cancelled
+    // entries, so we reconstitute through the crate-provided builder.
+    Mbsr::from_raw_parts(nrows, ncols, blk_rows, blk_cols, blc_ptr, blc_idx, blc_map, blc_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{Device, GpuSpec, Phase};
+    use amgt_sparse::gen::{
+        block_cliques, elasticity_3d, laplacian_2d, random_sparse, NeighborSet, Stencil2d,
+    };
+    use amgt_sparse::Csr;
+
+    fn ctx(dev: &Device) -> Ctx<'_> {
+        Ctx::new(dev, Phase::Setup, 0, Precision::Fp64)
+    }
+
+    fn check_product(a: &Csr, b: &Csr, tol: f64) {
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(a);
+        let mb = Mbsr::from_csr(b);
+        let (mc, stats) = spgemm_mbsr(&ctx(&dev), &ma, &mb);
+        mc.validate();
+        let expect = a.matmul(b);
+        let got = mc.to_csr();
+        // Patterns may differ only by explicit zeros; compare values.
+        assert!(
+            got.max_abs_diff(&expect) < tol,
+            "value mismatch {} > {tol}",
+            got.max_abs_diff(&expect)
+        );
+        assert_eq!(stats.result_blocks as usize, mc.n_blocks());
+        assert_eq!(dev.events().len(), 2);
+    }
+
+    #[test]
+    fn bin_thresholds_match_paper() {
+        assert_eq!(bin_index(0), 0);
+        assert_eq!(bin_index(127), 0);
+        assert_eq!(bin_index(128), 1);
+        assert_eq!(bin_index(255), 1);
+        assert_eq!(bin_index(256), 2);
+        assert_eq!(bin_index(4095), 5);
+        assert_eq!(bin_index(4096), 6);
+        assert_eq!(bin_index(8191), 6);
+        assert_eq!(bin_index(8192), 7);
+        assert_eq!(bin_index(1_000_000), 7);
+    }
+
+    #[test]
+    fn identity_times_identity() {
+        let i = Csr::identity(16);
+        check_product(&i, &i, 1e-14);
+    }
+
+    #[test]
+    fn small_dense_blocks_use_tensor_path() {
+        let a = elasticity_3d(3, 3, 3, 4, NeighborSet::Face, 1);
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(&a);
+        let (_, stats) = spgemm_mbsr(&ctx(&dev), &ma, &ma);
+        assert!(stats.tc_block_a > 0, "dense tiles must route to tensor cores");
+        assert!(stats.mma_issued > 0);
+    }
+
+    #[test]
+    fn sparse_stencil_uses_cuda_path() {
+        let a = laplacian_2d(12, 12, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(&a);
+        let (_, stats) = spgemm_mbsr(&ctx(&dev), &ma, &ma);
+        assert!(stats.cuda_block_a > 0);
+    }
+
+    #[test]
+    fn product_correct_dense_blocks() {
+        let a = elasticity_3d(3, 3, 2, 4, NeighborSet::Face, 2);
+        check_product(&a, &a, 1e-8);
+    }
+
+    #[test]
+    fn product_correct_stencil() {
+        let a = laplacian_2d(15, 13, Stencil2d::Nine);
+        check_product(&a, &a, 1e-10);
+    }
+
+    #[test]
+    fn product_correct_random_rectangularish() {
+        let a = random_sparse(50, 6, 11);
+        let b = random_sparse(50, 5, 12);
+        check_product(&a, &b, 1e-10);
+    }
+
+    #[test]
+    fn product_correct_cliques() {
+        let a = block_cliques(40, 12, 5);
+        check_product(&a, &a, 1e-8);
+    }
+
+    #[test]
+    fn product_with_empty_matrix() {
+        let a = Csr::zero(8, 8);
+        let b = Csr::identity(8);
+        check_product(&a, &b, 1e-15);
+    }
+
+    #[test]
+    fn odd_valid_block_count_pads_with_zero_tile() {
+        // Build A with one dense tile whose B row has exactly 3 valid tiles:
+        // the pairing logic must flush an odd tail.
+        let mut trips = Vec::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                trips.push((r, c, (r * 4 + c + 1) as f64));
+            }
+        }
+        let a = Csr::from_triplets(4, 4, &trips);
+        let mut btrips = Vec::new();
+        for tile in 0..3usize {
+            for r in 0..4 {
+                for c in 0..4 {
+                    btrips.push((r, tile * 4 + c, (r + c + tile) as f64 + 0.5));
+                }
+            }
+        }
+        let b = Csr::from_triplets(4, 12, &btrips);
+        let dev = Device::new(GpuSpec::a100());
+        let (mc, stats) = spgemm_mbsr(&ctx(&dev), &Mbsr::from_csr(&a), &Mbsr::from_csr(&b));
+        assert_eq!(stats.mma_issued, 2); // Pair + odd tail.
+        let expect = a.matmul(&b);
+        assert!(mc.to_csr().max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn fp16_product_close_but_not_exact() {
+        let a = elasticity_3d(2, 2, 2, 4, NeighborSet::Face, 3);
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(&a);
+        let c64 = spgemm_mbsr(&Ctx::new(&dev, Phase::Setup, 0, Precision::Fp64), &ma, &ma).0;
+        let c16 = spgemm_mbsr(&Ctx::new(&dev, Phase::Setup, 0, Precision::Fp16), &ma, &ma).0;
+        let d = c64.to_csr().max_abs_diff(&c16.to_csr());
+        let scale = c64.to_csr().frob_norm();
+        assert!(d > 0.0, "fp16 must differ");
+        assert!(d / scale < 1e-2, "fp16 relative error too large: {}", d / scale);
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let a = random_sparse(64, 8, 21);
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(&a);
+        let (mc, stats) = spgemm_mbsr(&ctx(&dev), &ma, &ma);
+        assert_eq!(stats.bins.iter().sum::<usize>(), ma.blk_rows());
+        assert!(stats.valid_blocks <= stats.intermediate_blocks);
+        assert!(stats.result_blocks as usize <= stats.valid_blocks as usize);
+        assert_eq!(stats.result_nnz as usize, mc.nnz());
+        assert_eq!(stats.tc_block_a + stats.cuda_block_a, ma.n_blocks() as u64);
+    }
+
+    #[test]
+    fn hash_table_counts_probes_and_dedups() {
+        let mut t = HashTable::with_bound(8);
+        for k in [3u32, 7, 3, 3, 9, 7] {
+            t.insert(k);
+        }
+        assert_eq!(t.len, 3);
+        assert!(t.probes >= 6);
+        assert_eq!(t.compress_sorted(), vec![3, 7, 9]);
+    }
+}

@@ -1,0 +1,495 @@
+//! The AmgT SpMV on the mBSR format (Section IV.D, Algorithm 5).
+//!
+//! A preprocessing pass measures two properties of the matrix:
+//!
+//! * the **variation** of blocks per block-row, which decides whether the
+//!   load-balanced schedule (fixed 64 blocks per warp, long rows split
+//!   across warps) replaces the plain one-warp-per-row schedule; and
+//! * **`avg_nnz_blc`**, the average tile population, which selects the
+//!   compute path: >= 10 runs on tensor cores (two tiles per `mma`, result
+//!   on the accumulator diagonal), below that a CUDA-core path where four
+//!   threads cooperate on a tile and finish with a warp-level sum.
+
+use crate::ctx::Ctx;
+use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC, MMA_FLOPS, TILE};
+use amgt_sim::precision::Precision;
+use amgt_sim::{Algo, KernelCost, KernelKind};
+use amgt_sim::warp::{warp_reduce_sum_grouped, LaneRegs, WARP_SIZE};
+use amgt_sparse::bitmap;
+use amgt_sparse::Mbsr;
+use rayon::prelude::*;
+
+/// Fixed workload per warp in the load-balanced schedule (Section IV.D.1).
+pub const WARP_CAPACITY: usize = 64;
+
+/// Variation threshold above which the load-balanced schedule is selected.
+/// The paper does not publish the constant; 0.5 (a moderately skewed row
+/// distribution) reproduces its qualitative behaviour and is swept in the
+/// ablation bench.
+pub const VARIATION_THRESHOLD: f64 = 0.5;
+
+/// Which compute path the adaptive selection chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpmvPath {
+    TensorCore,
+    CudaCore,
+}
+
+/// One warp's assignment: a contiguous chunk of tiles within a block-row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarpJob {
+    pub block_row: u32,
+    /// Absolute tile range start (index into `blc_idx`).
+    pub start: usize,
+    pub len: usize,
+}
+
+/// The preprocessing result: schedule + adaptive-selection decisions.
+#[derive(Clone, Debug)]
+pub struct SpmvPlan {
+    pub load_balanced: bool,
+    pub path: SpmvPath,
+    pub avg_nnz_blc: f64,
+    pub variation: f64,
+    /// Per block-row list of warp jobs (each job's chunk, in order).
+    jobs_per_row: Vec<Vec<WarpJob>>,
+    pub n_warps: usize,
+}
+
+impl SpmvPlan {
+    pub fn jobs_for_row(&self, br: usize) -> &[WarpJob] {
+        &self.jobs_per_row[br]
+    }
+}
+
+/// Preprocess the matrix: compute the selection parameters and build the
+/// warp schedule (charged as a preprocessing kernel).
+pub fn analyze_spmv(ctx: &Ctx, a: &Mbsr) -> SpmvPlan {
+    analyze_spmv_with(ctx, a, VARIATION_THRESHOLD, bitmap::TENSOR_DENSITY_THRESHOLD as f64)
+}
+
+/// [`analyze_spmv`] with explicit thresholds (used by the ablation bench).
+pub fn analyze_spmv_with(
+    ctx: &Ctx,
+    a: &Mbsr,
+    variation_threshold: f64,
+    density_threshold: f64,
+) -> SpmvPlan {
+    let variation = a.block_row_variation();
+    let avg = a.avg_nnz_per_block();
+    let load_balanced = variation > variation_threshold;
+    let path = if avg >= density_threshold { SpmvPath::TensorCore } else { SpmvPath::CudaCore };
+
+    let mut n_warps = 0usize;
+    let jobs_per_row: Vec<Vec<WarpJob>> = (0..a.blk_rows())
+        .map(|br| {
+            let (lo, hi) = (a.blc_ptr[br], a.blc_ptr[br + 1]);
+            if lo == hi {
+                return Vec::new();
+            }
+            let mut jobs = Vec::new();
+            if load_balanced {
+                let mut s = lo;
+                while s < hi {
+                    let len = (hi - s).min(WARP_CAPACITY);
+                    jobs.push(WarpJob { block_row: br as u32, start: s, len });
+                    s += len;
+                }
+            } else {
+                jobs.push(WarpJob { block_row: br as u32, start: lo, len: hi - lo });
+            }
+            n_warps += jobs.len();
+            jobs
+        })
+        .collect();
+
+    let cost = KernelCost {
+        int_ops: a.n_blocks() as f64 + a.blk_rows() as f64 * 4.0,
+        bytes: a.blk_rows() as f64 * 8.0 + a.n_blocks() as f64 * 2.0,
+        launches: 1,
+        ..Default::default()
+    };
+    ctx.charge(KernelKind::Graph, Algo::AmgT, &cost);
+
+    SpmvPlan { load_balanced, path, avg_nnz_blc: avg, variation, jobs_per_row, n_warps }
+}
+
+/// `y = A x` with the AmgT algorithm under a precomputed plan.
+pub fn spmv_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.ncols());
+    let prec = ctx.precision;
+
+    // Pad x to a multiple of the tile size so tile-column slices are easy.
+    let padded_cols = a.blk_cols() * TILE;
+    let mut xp = vec![0.0f64; padded_cols];
+    for (dst, &src) in xp.iter_mut().zip(x.iter()) {
+        *dst = prec.quantize(src);
+    }
+
+    let mut y = vec![0.0f64; a.nrows()];
+    let mut mma_total = 0u64;
+    let mut flops_total = 0u64;
+    let mut nonempty_tile_rows = 0u64;
+
+    // Parallel over block-rows; each row's warp jobs run in order so the
+    // accumulation order (and hence the rounding) is deterministic.
+    let partials: Vec<([f64; TILE], u64, u64, u64)> = (0..a.blk_rows())
+        .into_par_iter()
+        .map(|br| {
+            let mut acc = [0.0f64; TILE];
+            let (mut mma_n, mut flops, mut ntr) = (0u64, 0u64, 0u64);
+            for job in plan.jobs_for_row(br) {
+                match plan.path {
+                    SpmvPath::TensorCore => {
+                        let (part, m) = tc_warp(prec, a, job, &xp);
+                        mma_n += m;
+                        for (o, p) in acc.iter_mut().zip(part.iter()) {
+                            *o = prec.round_accum(*o + p);
+                        }
+                    }
+                    SpmvPath::CudaCore => {
+                        let (part, f, tr) = cuda_warp(prec, a, job, &xp);
+                        flops += f;
+                        ntr += tr;
+                        for (o, p) in acc.iter_mut().zip(part.iter()) {
+                            *o = prec.round_accum(*o + p);
+                        }
+                    }
+                }
+            }
+            (acc, mma_n, flops, ntr)
+        })
+        .collect();
+
+    for (br, (acc, m, f, tr)) in partials.into_iter().enumerate() {
+        mma_total += m;
+        flops_total += f;
+        nonempty_tile_rows += tr;
+        for lr in 0..TILE {
+            let r = br * TILE + lr;
+            if r < a.nrows() {
+                y[r] = acc[lr];
+            }
+        }
+    }
+
+    let vb = prec.bytes() as f64;
+    let nb = a.n_blocks() as f64;
+    let cost = match plan.path {
+        SpmvPath::TensorCore => KernelCost {
+            tc_flops: mma_total as f64 * MMA_FLOPS,
+            // Shuffle extraction (8/warp) + final adds.
+            cuda_flops: plan.n_warps as f64 * 16.0,
+            int_ops: nb * 2.0, // Index decode + x segment addressing.
+            // Tiles are streamed whole on the tensor path.
+            bytes: nb * (4.0 + 2.0 + 16.0 * vb) + nb * 4.0 * vb /* x segments */
+                + a.nrows() as f64 * vb,
+            launches: 1,
+        },
+        SpmvPath::CudaCore => KernelCost {
+            cuda_flops: flops_total as f64,
+            int_ops: nb * (2.0 + 16.0), // Bitmap bit tests per tile.
+            // Row-granular tile reads: only nonempty 4-value tile rows hit
+            // DRAM (one 32-byte transaction each at FP64). The x segments
+            // of vertically adjacent tiles overlap and mostly hit L1
+            // (factor 0.6).
+            bytes: nb * (4.0 + 2.0)
+                + nonempty_tile_rows as f64 * 4.0 * vb
+                + 0.6 * nb * 4.0 * vb
+                + a.nrows() as f64 * vb,
+            launches: 1,
+            ..Default::default()
+        },
+    };
+    ctx.charge(KernelKind::SpMV, Algo::AmgT, &cost);
+    y
+}
+
+/// Tensor-core warp: process the job's tiles two per `mma`, accumulating in
+/// the fragment; the diagonal carries the 8 partial row sums. Returns the
+/// 4 partial sums for the block-row and the `mma` count.
+///
+/// This is the fast scalar transcription of the fragment computation: it
+/// performs, element by element and in the same order, exactly the
+/// arithmetic [`mma_8x8x4`] performs for the diagonal lanes (verified
+/// against the full-fragment emulation in the tests below).
+fn tc_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64) {
+    let mut diag = [0.0f64; 8];
+    let mut mma_n = 0u64;
+    let mut b = job.start;
+    let end = job.start + job.len;
+    while b < end {
+        let pair = [(b, true), (b + 1, b + 1 < end)];
+        for (slot, &(pos, valid)) in pair.iter().enumerate() {
+            if !valid {
+                continue;
+            }
+            let tile = a.tile(pos);
+            let bc = a.blc_idx[pos] as usize;
+            let xseg = &xp[bc * TILE..bc * TILE + TILE];
+            for r in 0..TILE {
+                let mut acc = diag[slot * TILE + r];
+                for k in 0..TILE {
+                    let prod = prec.round_product(tile[r * TILE + k], xseg[k]);
+                    acc = prec.round_accum(acc + prod);
+                }
+                diag[slot * TILE + r] = acc;
+            }
+        }
+        mma_n += 1;
+        b += 2;
+    }
+    // Extract: y_r = diag[r] + diag[4 + r] (the two fragment halves).
+    let mut out = [0.0f64; TILE];
+    for r in 0..TILE {
+        out[r] = prec.round_accum(diag[r] + diag[TILE + r]);
+    }
+    (out, mma_n)
+}
+
+/// Reference implementation of one tensor-core warp using the *full*
+/// fragment emulation (packs real fragments, issues [`mma_8x8x4`], extracts
+/// the diagonal). Used by tests to prove `tc_warp` is arithmetic-identical.
+pub fn tc_warp_fragments(
+    prec: Precision,
+    a: &Mbsr,
+    job: &WarpJob,
+    xp: &[f64],
+) -> ([f64; TILE], u64) {
+    let zero_tile = [0.0f64; 16];
+    let zero_x = [0.0f64; TILE];
+    let mut frag_c = FragC::ZERO;
+    let mut mma_n = 0u64;
+    let mut b = job.start;
+    let end = job.start + job.len;
+    while b < end {
+        let t0 = a.tile_array(b);
+        let bc0 = a.blc_idx[b] as usize;
+        let x0: [f64; TILE] = std::array::from_fn(|k| xp[bc0 * TILE + k]);
+        let (t1, x1) = if b + 1 < end {
+            let bc1 = a.blc_idx[b + 1] as usize;
+            (a.tile_array(b + 1), std::array::from_fn(|k| xp[bc1 * TILE + k]))
+        } else {
+            (zero_tile, zero_x)
+        };
+        let frag_a = FragA::pack_tiles(&t0, &t1);
+        let frag_b = FragB::pack_spmv(&x0, &x1);
+        mma_8x8x4(&mut frag_c, &frag_a, &frag_b, prec);
+        mma_n += 1;
+        b += 2;
+    }
+    let (diag, _shuffles) = frag_c.extract_diagonal();
+    let mut out = [0.0f64; TILE];
+    for r in 0..TILE {
+        out[r] = prec.round_accum(diag[r] + diag[TILE + r]);
+    }
+    (out, mma_n)
+}
+
+/// CUDA-core warp (Algorithm 5): four lanes per tile, lane `i` handles tile
+/// row `i` guided by the bitmap, then a grouped warp sum. Returns the
+/// 4 partial sums, flops, and the number of nonempty tile rows touched.
+fn cuda_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64, u64) {
+    // Emulate the lane layout: 8 groups of 4 lanes stride the job's tiles
+    // (Algorithm 5 line 6: `for i = start + groupid to end stride 8`), each
+    // lane accumulating one tile row into its register, then a grouped
+    // reduction. We reproduce the math with the same per-lane accumulation
+    // order, then a literal warp reduction.
+    let mut lane_acc: LaneRegs<f64> = [0.0; WARP_SIZE];
+    let (mut flops, mut ntr) = (0u64, 0u64);
+    for (offset, pos) in (job.start..job.start + job.len).enumerate() {
+        let group = offset % 8;
+        let map = a.blc_map[pos];
+        let tile = a.tile(pos);
+        let bc = a.blc_idx[pos] as usize;
+        let xseg = &xp[bc * TILE..bc * TILE + TILE];
+        for lane_in_group in 0..TILE {
+            let lane = group * TILE + lane_in_group;
+            let row = bitmap::row_mask(map, lane_in_group);
+            if row == 0 {
+                continue;
+            }
+            ntr += 1;
+            let mut acc = lane_acc[lane];
+            for k in 0..TILE {
+                if row & (1 << k) != 0 {
+                    let prod = prec.round_product(tile[lane_in_group * TILE + k], xseg[k]);
+                    acc = prec.round_accum(acc + prod);
+                    flops += 2;
+                }
+            }
+            lane_acc[lane] = acc;
+        }
+    }
+    // Warp-level sum within each "row lane" class: lane l holds row l % 4 of
+    // some tile group; sum lanes with equal (l % 4).
+    // Rearrange so a grouped reduction matches Algorithm 5's WarpLevelSum:
+    // transpose lanes to put equal rows adjacent.
+    let rearranged: LaneRegs<f64> =
+        std::array::from_fn(|l| lane_acc[(l % 8) * TILE + (l / 8)]);
+    let summed = warp_reduce_sum_grouped(&rearranged, 8);
+    let mut out = [0.0f64; TILE];
+    for (r, item) in out.iter_mut().enumerate() {
+        *item = prec.round_accum(summed[r * 8]);
+    }
+    (out, flops, ntr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{Device, GpuSpec, Phase};
+    use amgt_sparse::gen::{
+        block_cliques, elasticity_3d, laplacian_2d, network_laplacian, random_sparse,
+        NeighborSet, Stencil2d,
+    };
+    use amgt_sparse::Csr;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx(dev: &Device) -> Ctx<'_> {
+        Ctx::new(dev, Phase::Solve, 0, Precision::Fp64)
+    }
+
+    fn check_spmv(a: &Csr, tol: f64) -> SpmvPlan {
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(a);
+        let plan = analyze_spmv(&ctx(&dev), &m);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = spmv_mbsr(&ctx(&dev), &m, &plan, &x);
+        let expect = a.matvec(&x);
+        for (i, (u, v)) in y.iter().zip(&expect).enumerate() {
+            assert!((u - v).abs() < tol, "row {i}: {u} vs {v}");
+        }
+        plan
+    }
+
+    #[test]
+    fn dense_blocks_select_tensor_path() {
+        let a = elasticity_3d(3, 3, 3, 4, NeighborSet::Face, 1);
+        let plan = check_spmv(&a, 1e-10);
+        assert_eq!(plan.path, SpmvPath::TensorCore);
+    }
+
+    #[test]
+    fn stencil_selects_cuda_path() {
+        let a = laplacian_2d(13, 17, Stencil2d::Five);
+        let plan = check_spmv(&a, 1e-12);
+        assert_eq!(plan.path, SpmvPath::CudaCore);
+    }
+
+    #[test]
+    fn skewed_rows_select_load_balancing() {
+        let a = network_laplacian(600, 3, 30, 3);
+        let plan = check_spmv(&a, 1e-10);
+        assert!(plan.variation > VARIATION_THRESHOLD);
+        assert!(plan.load_balanced);
+    }
+
+    #[test]
+    fn uniform_rows_skip_load_balancing() {
+        let a = laplacian_2d(20, 20, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv(&ctx(&dev), &m);
+        assert!(!plan.load_balanced, "variation {}", plan.variation);
+        // One warp per nonempty block-row.
+        assert_eq!(plan.n_warps, m.blk_rows());
+    }
+
+    #[test]
+    fn long_rows_split_into_capacity_chunks() {
+        let a = block_cliques(512, 512, 1); // One dense block-row band.
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv_with(&ctx(&dev), &m, -1.0, 10.0); // Force balanced.
+        assert!(plan.load_balanced);
+        let jobs = plan.jobs_for_row(0);
+        assert!(jobs.len() > 1);
+        assert!(jobs.iter().all(|j| j.len <= WARP_CAPACITY));
+        let total: usize = jobs.iter().map(|j| j.len).sum();
+        assert_eq!(total, m.blc_ptr[1] - m.blc_ptr[0]);
+        // Result still correct under the split schedule.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = spmv_mbsr(&ctx(&dev), &m, &plan, &x);
+        let expect = a.matvec(&x);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_matrices_correct_both_paths() {
+        for seed in 0..5 {
+            let a = random_sparse(70 + seed as usize * 13, 7, seed);
+            check_spmv(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fast_tc_warp_matches_full_fragment_emulation() {
+        let a = elasticity_3d(2, 3, 2, 4, NeighborSet::Face, 8);
+        let m = Mbsr::from_csr(&a);
+        let mut rng = StdRng::seed_from_u64(17);
+        let xp: Vec<f64> = (0..m.blk_cols() * TILE).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            for br in 0..m.blk_rows() {
+                let (lo, hi) = (m.blc_ptr[br], m.blc_ptr[br + 1]);
+                if lo == hi {
+                    continue;
+                }
+                let job = WarpJob { block_row: br as u32, start: lo, len: hi - lo };
+                let (fast, m1) = tc_warp(prec, &m, &job, &xp);
+                let (full, m2) = tc_warp_fragments(prec, &m, &job, &xp);
+                assert_eq!(m1, m2);
+                for r in 0..TILE {
+                    assert_eq!(
+                        fast[r].to_bits(),
+                        full[r].to_bits(),
+                        "prec {prec:?} row {br}.{r}: {} vs {}",
+                        fast[r],
+                        full[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_spmv_error_bounded() {
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(&a);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 37) % 97) as f64 / 97.0).collect();
+        let plan = analyze_spmv(&ctx(&dev), &m);
+        let y64 = spmv_mbsr(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64), &m, &plan, &x);
+        let y16 = spmv_mbsr(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp16), &m, &plan, &x);
+        let err = y64.iter().zip(&y16).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
+        assert!(err > 0.0);
+        assert!(err < 0.05, "err {err}");
+    }
+
+    #[test]
+    fn charges_one_spmv_event_per_call() {
+        let a = laplacian_2d(8, 8, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::h100());
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv(&ctx(&dev), &m);
+        let before = dev.events().len(); // analyze charged one Graph event.
+        let x = vec![1.0; a.ncols()];
+        spmv_mbsr(&ctx(&dev), &m, &plan, &x);
+        spmv_mbsr(&ctx(&dev), &m, &plan, &x);
+        let evs = dev.events();
+        assert_eq!(evs.len(), before + 2);
+        assert!(evs[before..].iter().all(|e| e.kind == amgt_sim::KernelKind::SpMV
+            && e.algo == amgt_sim::Algo::AmgT));
+    }
+
+    #[test]
+    fn empty_rows_produce_zero() {
+        let a = Csr::from_triplets(10, 10, &[(0, 0, 2.0), (9, 9, 3.0)]);
+        check_spmv(&a, 1e-15);
+    }
+}

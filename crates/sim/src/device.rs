@@ -1,0 +1,289 @@
+//! Simulated device: a [`GpuSpec`] plus an event ledger.
+//!
+//! Every kernel in the reproduction charges exactly one [`KernelEvent`] per
+//! logical GPU kernel launch sequence. The ledger is the source of Figures
+//! 1, 2 and 8: it records, in execution order, which kernel ran, in which
+//! phase and level, at which precision, and for how many simulated seconds.
+
+use crate::cost::{kernel_seconds, Algo, GpuSpec, KernelCost, KernelKind};
+use crate::precision::Precision;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Phase of the AMG algorithm an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Format conversions and analysis ahead of the solver proper.
+    Preprocess,
+    Setup,
+    Solve,
+}
+
+/// One entry of the simulated-time ledger.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelEvent {
+    /// Monotone sequence number (execution order — the x axis of Fig. 8).
+    pub seq: u64,
+    pub kind: KernelKind,
+    pub algo: Algo,
+    pub phase: Phase,
+    /// AMG level the kernel ran on (0 = finest).
+    pub level: u32,
+    pub precision: Precision,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+}
+
+#[derive(Default)]
+struct DeviceState {
+    clock: f64,
+    seq: u64,
+    events: Vec<KernelEvent>,
+}
+
+/// A simulated GPU: immutable spec + mutable clock/ledger.
+pub struct Device {
+    spec: GpuSpec,
+    state: Mutex<DeviceState>,
+}
+
+impl Device {
+    pub fn new(spec: GpuSpec) -> Self {
+        Device { spec, state: Mutex::new(DeviceState::default()) }
+    }
+
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Price a cost without recording it (pure query).
+    pub fn price(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        precision: Precision,
+        cost: &KernelCost,
+    ) -> f64 {
+        kernel_seconds(&self.spec, kind, algo, precision, cost)
+    }
+
+    /// Record one kernel execution; returns its simulated duration.
+    pub fn charge(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        phase: Phase,
+        level: u32,
+        precision: Precision,
+        cost: &KernelCost,
+    ) -> f64 {
+        let seconds = kernel_seconds(&self.spec, kind, algo, precision, cost);
+        let mut st = self.state.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        st.clock += seconds;
+        st.events.push(KernelEvent { seq, kind, algo, phase, level, precision, seconds });
+        seconds
+    }
+
+    /// Record an externally priced duration (used by the cluster layer for
+    /// steps whose time is a max over member devices).
+    pub fn charge_priced(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        phase: Phase,
+        level: u32,
+        precision: Precision,
+        seconds: f64,
+    ) {
+        let mut st = self.state.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        st.clock += seconds;
+        st.events.push(KernelEvent { seq, kind, algo, phase, level, precision, seconds });
+    }
+
+    /// Total simulated seconds elapsed on this device.
+    pub fn elapsed(&self) -> f64 {
+        self.state.lock().clock
+    }
+
+    /// Snapshot of the ledger in execution order.
+    pub fn events(&self) -> Vec<KernelEvent> {
+        self.state.lock().events.clone()
+    }
+
+    /// Clear the ledger and clock (e.g. between solver variants).
+    pub fn reset(&self) {
+        *self.state.lock() = DeviceState::default();
+    }
+
+    /// Sum of durations matching a predicate — the building block of the
+    /// Figure 1/2 breakdowns.
+    pub fn total_where(&self, pred: impl Fn(&KernelEvent) -> bool) -> f64 {
+        self.state.lock().events.iter().filter(|e| pred(e)).map(|e| e.seconds).sum()
+    }
+}
+
+/// Inter-device link model for the multi-GPU experiments (Figure 9).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Per-link bandwidth, GB/s (NVLink-class for 8x A100).
+    pub bw_gbs: f64,
+    /// Per-message latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl Interconnect {
+    /// NVLink 3.0-class all-to-all fabric of an 8x A100 HGX node.
+    /// Latency is the per-round point-to-point cost (~2 us for NVLink P2P
+    /// with NCCL small-message overhead).
+    pub fn nvlink() -> Self {
+        Interconnect { bw_gbs: 250.0, latency_us: 2.0 }
+    }
+
+    /// Time to move `bytes` in `messages` messages over one link.
+    pub fn transfer_seconds(&self, bytes: f64, messages: u32) -> f64 {
+        messages as f64 * self.latency_us * 1e-6 + bytes / (self.bw_gbs * 1e9)
+    }
+}
+
+/// A group of simulated devices joined by an interconnect.
+///
+/// The cluster owns a *step clock*: distributed operations advance it by the
+/// maximum per-device compute time plus the communication time, which is how
+/// bulk-synchronous AMG actually behaves.
+pub struct Cluster {
+    pub devices: Vec<Device>,
+    pub interconnect: Interconnect,
+    clock: Mutex<f64>,
+}
+
+impl Cluster {
+    pub fn new(spec: GpuSpec, n: usize, interconnect: Interconnect) -> Self {
+        Cluster {
+            devices: (0..n).map(|_| Device::new(spec.clone())).collect(),
+            interconnect,
+            clock: Mutex::new(0.0),
+        }
+    }
+
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Advance the cluster clock by one bulk-synchronous step: the slowest
+    /// device's compute time plus communication. Returns the step seconds.
+    pub fn step(&self, per_device_seconds: &[f64], comm_bytes: f64, comm_messages: u32) -> f64 {
+        assert_eq!(per_device_seconds.len(), self.devices.len());
+        let compute = per_device_seconds.iter().cloned().fold(0.0, f64::max);
+        let comm = if comm_bytes > 0.0 || comm_messages > 0 {
+            self.interconnect.transfer_seconds(comm_bytes, comm_messages)
+        } else {
+            0.0
+        };
+        let step = compute + comm;
+        *self.clock.lock() += step;
+        step
+    }
+
+    pub fn elapsed(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    pub fn reset(&self) {
+        *self.clock.lock() = 0.0;
+        for d in &self.devices {
+            d.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost_bytes(b: f64) -> KernelCost {
+        KernelCost { bytes: b, ..Default::default() }
+    }
+
+    #[test]
+    fn ledger_records_in_order() {
+        let dev = Device::new(GpuSpec::a100());
+        let t1 = dev.charge(
+            KernelKind::SpMV,
+            Algo::AmgT,
+            Phase::Solve,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
+        let t2 = dev.charge(
+            KernelKind::SpGemmNumeric,
+            Algo::AmgT,
+            Phase::Setup,
+            1,
+            Precision::Fp32,
+            &cost_bytes(2e6),
+        );
+        let events = dev.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[0].kind, KernelKind::SpMV);
+        assert_eq!(events[1].level, 1);
+        assert!((dev.elapsed() - (t1 + t2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn total_where_filters() {
+        let dev = Device::new(GpuSpec::h100());
+        dev.charge(KernelKind::SpMV, Algo::Vendor, Phase::Solve, 0, Precision::Fp64, &cost_bytes(1e6));
+        dev.charge(KernelKind::Vector, Algo::Shared, Phase::Solve, 0, Precision::Fp64, &cost_bytes(1e6));
+        let spmv = dev.total_where(|e| e.kind == KernelKind::SpMV);
+        let all = dev.total_where(|_| true);
+        assert!(spmv > 0.0 && spmv < all);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let dev = Device::new(GpuSpec::a100());
+        dev.charge(KernelKind::SpMV, Algo::AmgT, Phase::Solve, 0, Precision::Fp64, &cost_bytes(1e6));
+        dev.reset();
+        assert_eq!(dev.elapsed(), 0.0);
+        assert!(dev.events().is_empty());
+    }
+
+    #[test]
+    fn cluster_step_is_max_plus_comm() {
+        let cluster = Cluster::new(GpuSpec::a100(), 4, Interconnect { bw_gbs: 100.0, latency_us: 10.0 });
+        let step = cluster.step(&[1e-3, 2e-3, 0.5e-3, 1.5e-3], 1e8, 3);
+        let comm = 3.0 * 10e-6 + 1e8 / 100e9;
+        assert!((step - (2e-3 + comm)).abs() < 1e-12);
+        assert!((cluster.elapsed() - step).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cluster_zero_comm_step() {
+        let cluster = Cluster::new(GpuSpec::a100(), 2, Interconnect::nvlink());
+        let step = cluster.step(&[1e-3, 2e-3], 0.0, 0);
+        assert_eq!(step, 2e-3);
+    }
+
+    #[test]
+    fn interconnect_latency_and_bandwidth() {
+        let link = Interconnect { bw_gbs: 200.0, latency_us: 5.0 };
+        let t = link.transfer_seconds(200e9, 2);
+        assert!((t - (1.0 + 10e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_does_not_record() {
+        let dev = Device::new(GpuSpec::a100());
+        let p = dev.price(KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &cost_bytes(1e6));
+        assert!(p > 0.0);
+        assert!(dev.events().is_empty());
+        assert_eq!(dev.elapsed(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # amgt-sim — simulated GPU substrate for the AmgT reproduction
+//!
+//! The AmgT paper (SC 2024) runs on NVIDIA/AMD GPUs with tensor cores. This
+//! crate replaces the silicon with a deterministic software model so the
+//! rest of the reproduction can execute the paper's algorithms verbatim:
+//!
+//! * [`precision`] — bit-exact software binary16 ([`precision::F16`]) and
+//!   TF32 rounding, plus the [`precision::Precision`] policy type used by
+//!   the mixed-precision AMG data flow.
+//! * [`warp`] — 32-lane warps with shuffle intrinsics and warp reductions.
+//! * [`mma`] — the 8x8x4 `mma` instruction with its PTX fragment layout,
+//!   shuffle-based result extraction, and FP64/TF32/FP16 data paths.
+//! * [`cost`] — an analytic roofline cost model calibrated to the paper's
+//!   Table I (A100 / H100 / MI210), converting measured operation counts
+//!   into simulated seconds.
+//! * [`device`] — the per-kernel event ledger behind Figures 1, 2 and 8,
+//!   and the multi-device cluster model behind Figure 9.
+//!
+//! Numerical results in the reproduction are *real* (actual rounded
+//! arithmetic); only the clock is simulated.
+
+// Tile-coordinate math deliberately indexes fixed-size 4x4 layouts and
+// parallel arrays; iterator rewrites of those loops obscure the lane/slot
+// correspondence the paper's algorithms are written in.
+#![allow(clippy::needless_range_loop)]
+// The split-at-mut plumbing that hands rayon disjoint per-row output slices
+// has an inherently wordy type; naming it would not make it clearer.
+#![allow(clippy::type_complexity)]
+
+pub mod cost;
+pub mod device;
+pub mod mma;
+pub mod precision;
+pub mod warp;
+
+pub use cost::{Algo, GpuSpec, KernelCost, KernelKind};
+pub use device::{Cluster, Device, Interconnect, KernelEvent, Phase};
+pub use precision::{Precision, F16};

@@ -1,0 +1,441 @@
+//! Emulation of the 8x8x4 tensor-core `mma` instruction.
+//!
+//! The paper builds both SpGEMM and SpMV on the double-precision
+//! `mma.m8n8k4` shape: `C (8x8) += A (8x4) * B (4x8)`, with the three
+//! fragments living in registers distributed across the 32 lanes of a warp.
+//! This module reproduces that instruction bit-faithfully for FP64 and, via
+//! the software floats in [`crate::precision`], for the TF32 and
+//! FP16-with-FP32-accumulate modes used on coarse AMG levels.
+//!
+//! Fragment lane ownership follows the PTX layout for `mma.m8n8k4.f64`:
+//! * `fragA` (8x4): lane `l` owns `A[l / 4][l % 4]` — one element per lane.
+//! * `fragB` (4x8): lane `l` owns `B[l % 4][l / 4]` — one element per lane.
+//! * `fragC` (8x8): lane `l` owns the two elements `C[l / 4][2*(l % 4)]`
+//!   and `C[l / 4][2*(l % 4) + 1]`.
+//!
+//! Kernels never touch matrix storage directly during the MMA; they pack
+//! tiles into fragments, issue [`mma_8x8x4`], and read results back through
+//! the shuffle-based extractors — the same data movement the GPU performs.
+
+use crate::precision::Precision;
+use crate::warp::{shfl_sync, LaneRegs, WARP_SIZE};
+
+/// Rows of the `A` fragment and of the accumulator.
+pub const MMA_M: usize = 8;
+/// Columns of the `B` fragment and of the accumulator.
+pub const MMA_N: usize = 8;
+/// Inner (reduction) dimension.
+pub const MMA_K: usize = 4;
+/// The 4x4 tile edge of the mBSR format; two tiles piece together one
+/// fragment side.
+pub const TILE: usize = 4;
+
+/// `A` fragment: one f64 register per lane holding `A[lane/4][lane%4]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FragA(pub LaneRegs<f64>);
+
+/// `B` fragment: one f64 register per lane holding `B[lane%4][lane/4]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FragB(pub LaneRegs<f64>);
+
+/// Accumulator fragment: two f64 registers per lane holding
+/// `C[lane/4][2*(lane%4)]` and `C[lane/4][2*(lane%4)+1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FragC(pub LaneRegs<[f64; 2]>);
+
+impl FragA {
+    /// Pack a logical 8x4 matrix into the per-lane register layout.
+    pub fn pack(a: &[[f64; MMA_K]; MMA_M]) -> Self {
+        FragA(std::array::from_fn(|lane| a[lane / 4][lane % 4]))
+    }
+
+    /// Pack two 4x4 tiles stacked vertically: rows 0..4 from `top`, rows
+    /// 4..8 from `bottom`. The paper's SpGEMM replicates one `blockA` into
+    /// both halves; its SpMV loads two consecutive blocks.
+    pub fn pack_tiles(top: &[f64; 16], bottom: &[f64; 16]) -> Self {
+        FragA(std::array::from_fn(|lane| {
+            let (row, col) = (lane / 4, lane % 4);
+            if row < TILE {
+                top[row * TILE + col]
+            } else {
+                bottom[(row - TILE) * TILE + col]
+            }
+        }))
+    }
+
+    /// Recover the logical matrix (test/debug aid).
+    pub fn unpack(&self) -> [[f64; MMA_K]; MMA_M] {
+        let mut a = [[0.0; MMA_K]; MMA_M];
+        for lane in 0..WARP_SIZE {
+            a[lane / 4][lane % 4] = self.0[lane];
+        }
+        a
+    }
+}
+
+impl FragB {
+    /// Pack a logical 4x8 matrix into the per-lane register layout.
+    pub fn pack(b: &[[f64; MMA_N]; MMA_K]) -> Self {
+        FragB(std::array::from_fn(|lane| b[lane % 4][lane / 4]))
+    }
+
+    /// Pack two 4x4 tiles side by side: columns 0..4 from `left`, columns
+    /// 4..8 from `right`.
+    pub fn pack_tiles(left: &[f64; 16], right: &[f64; 16]) -> Self {
+        FragB(std::array::from_fn(|lane| {
+            let (row, col) = (lane % 4, lane / 4);
+            if col < TILE {
+                left[row * TILE + col]
+            } else {
+                right[row * TILE + (col - TILE)]
+            }
+        }))
+    }
+
+    /// Pack the SpMV operand: column `c` of the 4x8 fragment holds the
+    /// 4-long slice of `x` for tile 0 when `c < 4` and for tile 1 otherwise,
+    /// so that the accumulator *diagonal* carries `A0*x0` and `A1*x1`
+    /// (Section IV.D of the paper).
+    pub fn pack_spmv(x0: &[f64; TILE], x1: &[f64; TILE]) -> Self {
+        FragB(std::array::from_fn(|lane| {
+            let (row, col) = (lane % 4, lane / 4);
+            if col < TILE {
+                x0[row]
+            } else {
+                x1[row]
+            }
+        }))
+    }
+
+    pub fn unpack(&self) -> [[f64; MMA_N]; MMA_K] {
+        let mut b = [[0.0; MMA_N]; MMA_K];
+        for lane in 0..WARP_SIZE {
+            b[lane % 4][lane / 4] = self.0[lane];
+        }
+        b
+    }
+}
+
+impl FragC {
+    pub const ZERO: FragC = FragC([[0.0; 2]; WARP_SIZE]);
+
+    pub fn unpack(&self) -> [[f64; MMA_N]; MMA_M] {
+        let mut c = [[0.0; MMA_N]; MMA_M];
+        for lane in 0..WARP_SIZE {
+            let (row, col) = (lane / 4, 2 * (lane % 4));
+            c[row][col] = self.0[lane][0];
+            c[row][col + 1] = self.0[lane][1];
+        }
+        c
+    }
+
+    /// Extract one 4x4 sub-tile of the accumulator, `(ti, tj)` in
+    /// `{0,1}x{0,1}`, emulating the shuffle-based extraction of the paper's
+    /// numeric SpGEMM (step 4). Returns the tile in row-major order together
+    /// with the number of shuffle instructions the warp issued.
+    pub fn extract_tile(&self, ti: usize, tj: usize) -> ([f64; 16], u32) {
+        assert!(ti < 2 && tj < 2);
+        // A 4x4 tile covers lanes (4*ti + r)*4 + c for r in 0..4; each lane
+        // holds two consecutive columns, so the tile's 16 elements live in 8
+        // lanes. Emulate the broadcast with shfl_sync over both registers.
+        let reg0: LaneRegs<f64> = std::array::from_fn(|l| self.0[l][0]);
+        let reg1: LaneRegs<f64> = std::array::from_fn(|l| self.0[l][1]);
+        let mut out = [0.0; 16];
+        let mut shuffles = 0;
+        for r in 0..TILE {
+            for c in 0..TILE {
+                let (row, col) = (4 * ti + r, 4 * tj + c);
+                let src = row * 4 + col / 2;
+                let gathered = if col % 2 == 0 {
+                    shfl_sync(&reg0, |_| src)
+                } else {
+                    shfl_sync(&reg1, |_| src)
+                };
+                shuffles += 1;
+                out[r * TILE + c] = gathered[0];
+            }
+        }
+        (out, shuffles)
+    }
+
+    /// Extract the accumulator diagonal (the SpMV result layout): element
+    /// `i` of the return value is `C[i][i]`. Also reports shuffles issued.
+    pub fn extract_diagonal(&self) -> ([f64; MMA_M], u32) {
+        let reg0: LaneRegs<f64> = std::array::from_fn(|l| self.0[l][0]);
+        let reg1: LaneRegs<f64> = std::array::from_fn(|l| self.0[l][1]);
+        let mut out = [0.0; MMA_M];
+        let mut shuffles = 0;
+        for i in 0..MMA_M {
+            let src = i * 4 + i / 2;
+            let gathered = if i % 2 == 0 {
+                shfl_sync(&reg0, |_| src)
+            } else {
+                shfl_sync(&reg1, |_| src)
+            };
+            shuffles += 1;
+            out[i] = gathered[0];
+        }
+        (out, shuffles)
+    }
+}
+
+/// Execute `C += A * B` at the given precision mode.
+///
+/// FP64 multiplies and accumulates in binary64. FP32 mode rounds inputs to
+/// TF32, multiplies, and accumulates in binary32. FP16 mode rounds inputs to
+/// binary16 and accumulates in binary32 — matching the respective tensor
+/// core data paths. The `k`-loop accumulation order (k = 0..4 in sequence)
+/// matches the hardware's fixed four-cycle pipeline.
+pub fn mma_8x8x4(c: &mut FragC, a: &FragA, b: &FragB, prec: Precision) {
+    let am = a.unpack();
+    let bm = b.unpack();
+    for lane in 0..WARP_SIZE {
+        let row = lane / 4;
+        for (slot, item) in c.0[lane].iter_mut().enumerate() {
+            let col = 2 * (lane % 4) + slot;
+            let mut acc = *item;
+            for k in 0..MMA_K {
+                let prod = prec.round_product(am[row][k], bm[k][col]);
+                acc = prec.round_accum(acc + prod);
+            }
+            *item = acc;
+        }
+    }
+}
+
+/// Floating-point operations one `mma_8x8x4` performs (multiply + add per
+/// output element per k): 8*8*4*2.
+pub const MMA_FLOPS: f64 = (MMA_M * MMA_N * MMA_K * 2) as f64;
+
+/// Reference dense multiply used by tests: `C += A * B` in f64.
+pub fn reference_gemm_8x8x4(
+    c: &mut [[f64; MMA_N]; MMA_M],
+    a: &[[f64; MMA_K]; MMA_M],
+    b: &[[f64; MMA_N]; MMA_K],
+) {
+    for (crow, arow) in c.iter_mut().zip(a.iter()) {
+        for (j, cval) in crow.iter_mut().enumerate() {
+            for (k, &aval) in arow.iter().enumerate() {
+                *cval += aval * b[k][j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_a(rng: &mut StdRng) -> [[f64; MMA_K]; MMA_M] {
+        std::array::from_fn(|_| std::array::from_fn(|_| rng.gen_range(-2.0..2.0)))
+    }
+
+    fn random_b(rng: &mut StdRng) -> [[f64; MMA_N]; MMA_K] {
+        std::array::from_fn(|_| std::array::from_fn(|_| rng.gen_range(-2.0..2.0)))
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_a(&mut rng);
+        let b = random_b(&mut rng);
+        assert_eq!(FragA::pack(&a).unpack(), a);
+        assert_eq!(FragB::pack(&b).unpack(), b);
+    }
+
+    #[test]
+    fn fp64_mma_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = random_a(&mut rng);
+            let b = random_b(&mut rng);
+            let mut frag_c = FragC::ZERO;
+            mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+            let mut expect = [[0.0; MMA_N]; MMA_M];
+            reference_gemm_8x8x4(&mut expect, &a, &b);
+            let got = frag_c.unpack();
+            for i in 0..MMA_M {
+                for j in 0..MMA_N {
+                    assert!(
+                        (got[i][j] - expect[i][j]).abs() < 1e-13,
+                        "mismatch at ({i},{j}): {} vs {}",
+                        got[i][j],
+                        expect[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp64_mma_accumulates_into_c() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_a(&mut rng);
+        let b = random_b(&mut rng);
+        let mut frag_c = FragC::ZERO;
+        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        let first = frag_c.unpack();
+        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        let second = frag_c.unpack();
+        for i in 0..MMA_M {
+            for j in 0..MMA_N {
+                assert!((second[i][j] - 2.0 * first[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_mma_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_a(&mut rng);
+        let b = random_b(&mut rng);
+        let mut frag_c = FragC::ZERO;
+        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp16);
+        let mut expect = [[0.0; MMA_N]; MMA_M];
+        reference_gemm_8x8x4(&mut expect, &a, &b);
+        let got = frag_c.unpack();
+        let mut max_rel: f64 = 0.0;
+        for i in 0..MMA_M {
+            for j in 0..MMA_N {
+                let denom = expect[i][j].abs().max(1.0);
+                max_rel = max_rel.max((got[i][j] - expect[i][j]).abs() / denom);
+            }
+        }
+        // Inputs rounded to ~1e-3 relative, so error should be small but
+        // clearly nonzero compared to FP64.
+        assert!(max_rel < 5e-3, "fp16 error too large: {max_rel}");
+        assert!(max_rel > 1e-8, "fp16 emulation appears to run in fp64");
+    }
+
+    #[test]
+    fn tf32_mma_between_fp64_and_fp16() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_a(&mut rng);
+        let b = random_b(&mut rng);
+        let run = |prec| {
+            let mut c = FragC::ZERO;
+            mma_8x8x4(&mut c, &FragA::pack(&a), &FragB::pack(&b), prec);
+            c.unpack()
+        };
+        let exact = run(Precision::Fp64);
+        let err = |got: [[f64; 8]; 8]| {
+            let mut e: f64 = 0.0;
+            for i in 0..8 {
+                for j in 0..8 {
+                    e = e.max((got[i][j] - exact[i][j]).abs());
+                }
+            }
+            e
+        };
+        let e32 = err(run(Precision::Fp32));
+        let e16 = err(run(Precision::Fp16));
+        assert!(e32 > 0.0 && e32 <= e16, "e32={e32} e16={e16}");
+    }
+
+    #[test]
+    fn pack_tiles_layout() {
+        let top: [f64; 16] = std::array::from_fn(|i| i as f64);
+        let bottom: [f64; 16] = std::array::from_fn(|i| 100.0 + i as f64);
+        let a = FragA::pack_tiles(&top, &bottom).unpack();
+        assert_eq!(a[0][0], 0.0);
+        assert_eq!(a[3][3], 15.0);
+        assert_eq!(a[4][0], 100.0);
+        assert_eq!(a[7][3], 115.0);
+
+        let left: [f64; 16] = std::array::from_fn(|i| i as f64);
+        let right: [f64; 16] = std::array::from_fn(|i| 200.0 + i as f64);
+        let b = FragB::pack_tiles(&left, &right).unpack();
+        assert_eq!(b[0][0], 0.0);
+        assert_eq!(b[3][3], 15.0);
+        assert_eq!(b[0][4], 200.0);
+        assert_eq!(b[3][7], 215.0);
+    }
+
+    #[test]
+    fn spgemm_piecing_computes_two_products() {
+        // The paper's trick: fragA = [blockA; blockA], fragB = [B1 | B2];
+        // the top half of C is [A*B1 | A*B2].
+        let mut rng = StdRng::seed_from_u64(6);
+        let block_a: [f64; 16] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let b1: [f64; 16] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let b2: [f64; 16] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let frag_a = FragA::pack_tiles(&block_a, &block_a);
+        let frag_b = FragB::pack_tiles(&b1, &b2);
+        let mut frag_c = FragC::ZERO;
+        mma_8x8x4(&mut frag_c, &frag_a, &frag_b, Precision::Fp64);
+
+        let dense_mul = |a: &[f64; 16], b: &[f64; 16]| -> [f64; 16] {
+            let mut c = [0.0; 16];
+            for i in 0..4 {
+                for j in 0..4 {
+                    for k in 0..4 {
+                        c[i * 4 + j] += a[i * 4 + k] * b[k * 4 + j];
+                    }
+                }
+            }
+            c
+        };
+        let (t00, sh) = frag_c.extract_tile(0, 0);
+        assert_eq!(sh, 16);
+        let (t01, _) = frag_c.extract_tile(0, 1);
+        let e1 = dense_mul(&block_a, &b1);
+        let e2 = dense_mul(&block_a, &b2);
+        for i in 0..16 {
+            assert!((t00[i] - e1[i]).abs() < 1e-13);
+            assert!((t01[i] - e2[i]).abs() < 1e-13);
+        }
+        // And the bottom half duplicates the top (the "half wasted" results).
+        let (t10, _) = frag_c.extract_tile(1, 0);
+        for i in 0..16 {
+            assert!((t10[i] - e1[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn spmv_diagonal_layout() {
+        // fragA = [A0; A1], fragB = pack_spmv(x0, x1): the diagonal of C is
+        // [A0*x0 ; A1*x1].
+        let mut rng = StdRng::seed_from_u64(7);
+        let a0: [f64; 16] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let a1: [f64; 16] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let x0: [f64; 4] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let x1: [f64; 4] = std::array::from_fn(|_| rng.gen_range(-1.0..1.0));
+        let mut frag_c = FragC::ZERO;
+        mma_8x8x4(
+            &mut frag_c,
+            &FragA::pack_tiles(&a0, &a1),
+            &FragB::pack_spmv(&x0, &x1),
+            Precision::Fp64,
+        );
+        let (diag, shuffles) = frag_c.extract_diagonal();
+        assert_eq!(shuffles, 8);
+        for r in 0..4 {
+            let y0: f64 = (0..4).map(|k| a0[r * 4 + k] * x0[k]).sum();
+            let y1: f64 = (0..4).map(|k| a1[r * 4 + k] * x1[k]).sum();
+            assert!((diag[r] - y0).abs() < 1e-13, "row {r}");
+            assert!((diag[4 + r] - y1).abs() < 1e-13, "row {}", 4 + r);
+        }
+    }
+
+    #[test]
+    fn extract_tile_matches_unpack() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_a(&mut rng);
+        let b = random_b(&mut rng);
+        let mut frag_c = FragC::ZERO;
+        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        let full = frag_c.unpack();
+        for ti in 0..2 {
+            for tj in 0..2 {
+                let (tile, _) = frag_c.extract_tile(ti, tj);
+                for r in 0..4 {
+                    for c in 0..4 {
+                        assert_eq!(tile[r * 4 + c], full[4 * ti + r][4 * tj + c]);
+                    }
+                }
+            }
+        }
+    }
+}

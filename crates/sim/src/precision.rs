@@ -1,0 +1,489 @@
+//! Software floating-point types used to emulate tensor-core precisions.
+//!
+//! Tensor cores operate on IEEE binary16 (`f16`), TF32 (a 19-bit format with
+//! an 8-bit exponent and 10-bit mantissa) and binary64. Rust has no stable
+//! `f16`, so [`F16`] implements IEEE 754 binary16 bit-exactly: conversions
+//! round to nearest even, subnormals are preserved, and arithmetic is
+//! performed by widening to `f32` and rounding the result back (the same
+//! single-rounding-per-op behaviour the hardware exhibits for isolated
+//! operations).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// IEEE 754 binary16 implemented in software.
+///
+/// The representation is the raw 16-bit pattern; all conversions are
+/// bit-exact with round-to-nearest-even.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct F16(u16);
+
+impl F16 {
+    pub const ZERO: F16 = F16(0x0000);
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    pub const ONE: F16 = F16(0x3c00);
+    pub const INFINITY: F16 = F16(0x7c00);
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    pub const NAN: F16 = F16(0x7e00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, 2^-24.
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon for binary16, 2^-10.
+    pub const EPSILON: f64 = 9.765625e-4;
+
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let x = value.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let exp = ((x >> 23) & 0xff) as i32;
+        let man = x & 0x007f_ffff;
+
+        if exp == 0xff {
+            // Infinity or NaN. Keep NaN payloads nonzero.
+            return if man == 0 {
+                F16(sign | 0x7c00)
+            } else {
+                F16(sign | 0x7e00 | ((man >> 13) as u16 & 0x03ff) | 1)
+            };
+        }
+
+        // Re-bias the exponent from f32 (127) to f16 (15).
+        let e = exp - 127 + 15;
+
+        if e >= 0x1f {
+            // Overflows to infinity.
+            return F16(sign | 0x7c00);
+        }
+
+        if e <= 0 {
+            // Result is subnormal (or rounds to zero). The significand with
+            // its implicit leading one must be shifted right by `14 - e`
+            // bits to land in the 10-bit subnormal field.
+            if e < -10 {
+                return F16(sign); // Rounds to signed zero.
+            }
+            let m = man | 0x0080_0000;
+            let shift = (14 - e) as u32;
+            let halfway = 1u32 << (shift - 1);
+            // Round to nearest, ties to even.
+            let rounded = (m + halfway - 1 + ((m >> shift) & 1)) >> shift;
+            return F16(sign | rounded as u16);
+        }
+
+        // Normal range: keep the top 10 mantissa bits, round on the rest.
+        let mut m = man >> 13;
+        let rem = man & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+            m += 1; // May carry into the exponent; the addition handles it.
+        }
+        let bits = ((e as u32) << 10) + m;
+        if bits >= 0x7c00 {
+            return F16(sign | 0x7c00); // Mantissa carry overflowed to infinity.
+        }
+        F16(sign | bits as u16)
+    }
+
+    /// Convert to `f32`; exact (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = (self.0 >> 10) & 0x1f;
+        let man = (self.0 & 0x03ff) as u32;
+        match exp {
+            0 => {
+                if man == 0 {
+                    f32::from_bits(sign)
+                } else {
+                    // Subnormal: man * 2^-24.
+                    let v = man as f32 * (1.0 / 16_777_216.0);
+                    if sign != 0 {
+                        -v
+                    } else {
+                        v
+                    }
+                }
+            }
+            0x1f => {
+                if man == 0 {
+                    f32::from_bits(sign | 0x7f80_0000)
+                } else {
+                    f32::from_bits(sign | 0x7fc0_0000 | (man << 13))
+                }
+            }
+            _ => f32::from_bits(sign | ((exp as u32 + 112) << 23) | (man << 13)),
+        }
+    }
+
+    pub fn from_f64(value: f64) -> Self {
+        // Double rounding f64 -> f32 -> f16 can differ from direct rounding
+        // only for values within half an f32 ulp of an f16 halfway point,
+        // which cannot occur because every f16 halfway point is exactly
+        // representable in f32. Hence this is exact round-to-nearest-even.
+        F16::from_f32(value as f32)
+    }
+
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x03ff) != 0
+    }
+
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7c00
+    }
+
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7c00) != 0x7c00
+    }
+
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    pub fn abs(self) -> Self {
+        F16(self.0 & 0x7fff)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    fn from(v: F16) -> Self {
+        v.to_f64()
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, +);
+f16_binop!(Sub, sub, -);
+f16_binop!(Mul, mul, *);
+f16_binop!(Div, div, /);
+
+impl AddAssign for F16 {
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+/// Round an `f32` to TF32: 8-bit exponent, 10-bit mantissa, round to nearest.
+///
+/// TF32 is what NVIDIA tensor cores feed their FP32-mode multipliers; the
+/// accumulation stays full `f32`.
+pub fn round_tf32(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // Round-to-nearest-even on the low 13 mantissa bits.
+    let rounded = bits.wrapping_add(0x0fff + ((bits >> 13) & 1)) & !0x1fff;
+    let y = f32::from_bits(rounded);
+    if y.is_finite() {
+        y
+    } else {
+        // Rounding carried past f32::MAX; saturate like the hardware.
+        if x > 0.0 {
+            f32::INFINITY
+        } else {
+            f32::NEG_INFINITY
+        }
+    }
+}
+
+/// Floating-point precision levels used across the AMG hierarchy.
+///
+/// The paper (following Tsai et al.) assigns FP64 to the finest level, FP32
+/// to the second level, and FP16 to the rest; on AMD, FP16 is replaced by
+/// FP32.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    Fp64,
+    Fp32,
+    Fp16,
+}
+
+impl Precision {
+    /// Storage size in bytes of one value at this precision.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Fp64 => 8,
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+        }
+    }
+
+    /// Quantize a value: round to this precision, then widen back to `f64`.
+    ///
+    /// This is the "data precision conversion with very low cost" the paper
+    /// performs before calling a kernel at a coarse level.
+    pub fn quantize(self, x: f64) -> f64 {
+        match self {
+            Precision::Fp64 => x,
+            Precision::Fp32 => x as f32 as f64,
+            Precision::Fp16 => F16::from_f64(x).to_f64(),
+        }
+    }
+
+    /// Round a product term the way the matching MMA mode would.
+    ///
+    /// FP64 MMA multiplies in binary64. TF32 mode rounds the *inputs* to
+    /// TF32 and multiplies into f32. FP16 mode multiplies binary16 inputs
+    /// exactly into an f32 accumulator (binary16 products are exact in f32).
+    pub fn round_product(self, a: f64, b: f64) -> f64 {
+        match self {
+            Precision::Fp64 => a * b,
+            Precision::Fp32 => (round_tf32(a as f32) as f64 * round_tf32(b as f32) as f64) as f32 as f64,
+            Precision::Fp16 => (F16::from_f64(a).to_f32() * F16::from_f64(b).to_f32()) as f64,
+        }
+    }
+
+    /// Round an accumulator value to the accumulation precision of the
+    /// matching MMA mode (f64 for FP64, f32 for both TF32 and FP16 modes).
+    pub fn round_accum(self, x: f64) -> f64 {
+        match self {
+            Precision::Fp64 => x,
+            Precision::Fp32 | Precision::Fp16 => x as f32 as f64,
+        }
+    }
+
+    /// Unit roundoff of the storage format.
+    pub fn unit_roundoff(self) -> f64 {
+        match self {
+            Precision::Fp64 => f64::EPSILON / 2.0,
+            Precision::Fp32 => f32::EPSILON as f64 / 2.0,
+            Precision::Fp16 => F16::EPSILON / 2.0,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fp64 => "FP64",
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+        }
+    }
+}
+
+/// Quantize a slice in place to the given precision.
+pub fn quantize_slice(prec: Precision, values: &mut [f64]) {
+    match prec {
+        Precision::Fp64 => {}
+        Precision::Fp32 => {
+            for v in values {
+                *v = *v as f32 as f64;
+            }
+        }
+        Precision::Fp16 => {
+            for v in values {
+                *v = F16::from_f64(*v).to_f64();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_constants_roundtrip() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert!(F16::NAN.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::INFINITY.is_sign_negative());
+        assert!(F16::NEG_INFINITY.is_sign_negative());
+    }
+
+    #[test]
+    fn f16_exact_small_integers() {
+        // All integers up to 2048 are exactly representable in binary16.
+        for i in 0..=2048u32 {
+            let h = F16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "integer {i}");
+        }
+    }
+
+    #[test]
+    fn f16_rounding_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and 1.0+2^-10:
+        // ties-to-even keeps 1.0.
+        let halfway = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0f32 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+        // 1.0 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+        let halfway_odd = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_odd).to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn f16_overflow_and_underflow() {
+        assert!(F16::from_f32(65520.0).is_infinite()); // Above MAX rounds to inf.
+        assert_eq!(F16::from_f32(65519.0).to_f32(), 65504.0); // Below halfway stays MAX.
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)).to_f32(), 0.0); // Halfway to zero, even.
+        assert_eq!(
+            F16::from_f32(2.0f32.powi(-25) * 1.5).to_f32(),
+            2.0f32.powi(-24)
+        );
+        assert!(F16::from_f32(-65520.0).is_infinite());
+        assert!(F16::from_f32(-65520.0).is_sign_negative());
+    }
+
+    #[test]
+    fn f16_subnormal_roundtrip() {
+        for bits in 1..0x400u16 {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "subnormal bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn f16_all_finite_bits_roundtrip_through_f32() {
+        let mut checked = 0u32;
+        for bits in 0..=0xffffu32 {
+            let h = F16::from_bits(bits as u16);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits as u16);
+            checked += 1;
+        }
+        assert!(checked > 63000);
+    }
+
+    #[test]
+    fn f16_arithmetic() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((b / a).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.to_f32(), 3.75);
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!((F16::NAN + F16::ONE).is_nan());
+        assert!(F16::from_f64(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn tf32_rounding() {
+        // TF32 keeps 10 mantissa bits: 1 + 2^-10 representable, 1 + 2^-11
+        // rounds to even (1.0).
+        assert_eq!(round_tf32(1.0 + 2.0f32.powi(-10)), 1.0 + 2.0f32.powi(-10));
+        assert_eq!(round_tf32(1.0 + 2.0f32.powi(-11)), 1.0);
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-18);
+        assert_eq!(round_tf32(above), 1.0 + 2.0f32.powi(-10));
+        assert_eq!(round_tf32(0.0), 0.0);
+        assert!(round_tf32(f32::NAN).is_nan());
+        assert_eq!(round_tf32(f32::INFINITY), f32::INFINITY);
+        // Near f32::MAX, rounding up saturates to infinity rather than NaN.
+        assert_eq!(round_tf32(f32::MAX), f32::INFINITY);
+    }
+
+    #[test]
+    fn precision_quantize() {
+        let x = 1.0 + 2.0f64.powi(-30);
+        assert_eq!(Precision::Fp64.quantize(x), x);
+        assert_eq!(Precision::Fp32.quantize(x), 1.0);
+        assert_eq!(Precision::Fp16.quantize(1.0 + 2.0f64.powi(-11)), 1.0);
+        assert_eq!(Precision::Fp64.bytes(), 8);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp16.bytes(), 2);
+    }
+
+    #[test]
+    fn precision_round_product_fp16_exact_in_f32() {
+        // Products of two binary16 values are exact in binary32.
+        let a = F16::from_f32(3.140625).to_f64();
+        let b = F16::from_f32(-2.71875).to_f64();
+        let p = Precision::Fp16.round_product(a, b);
+        assert_eq!(p, (a as f32 * b as f32) as f64);
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let mut v = vec![1.0 + 2.0f64.powi(-20), -3.5, 0.1];
+        let expect: Vec<f64> = v.iter().map(|&x| Precision::Fp16.quantize(x)).collect();
+        quantize_slice(Precision::Fp16, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn unit_roundoff_ordering() {
+        assert!(Precision::Fp64.unit_roundoff() < Precision::Fp32.unit_roundoff());
+        assert!(Precision::Fp32.unit_roundoff() < Precision::Fp16.unit_roundoff());
+    }
+}

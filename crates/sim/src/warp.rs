@@ -1,0 +1,188 @@
+//! Warp execution model: 32 lanes with private registers exchanging data
+//! through shuffle intrinsics, exactly as CUDA warps do.
+//!
+//! The AmgT kernels use warp-level primitives in three places: the MMA
+//! fragments live in registers spread across the 32 lanes; results are
+//! extracted from fragments with `__shfl_sync`; and the CUDA-core SpMV path
+//! finishes with a warp-level reduction. This module reproduces those
+//! primitives as pure functions over `[T; 32]` register files so kernels can
+//! be written against the same semantics and property-tested.
+
+/// Number of lanes in a warp.
+pub const WARP_SIZE: usize = 32;
+
+/// A register file: one value of type `T` per lane.
+pub type LaneRegs<T> = [T; WARP_SIZE];
+
+/// `__shfl_sync(FULL_MASK, value, src_lane)`: every lane reads the register
+/// of `src_lane(lane)`.
+#[inline]
+pub fn shfl_sync<T: Copy>(regs: &LaneRegs<T>, src_lane: impl Fn(usize) -> usize) -> LaneRegs<T> {
+    std::array::from_fn(|lane| regs[src_lane(lane) & (WARP_SIZE - 1)])
+}
+
+/// `__shfl_xor_sync`: lane `l` reads lane `l ^ mask`.
+#[inline]
+pub fn shfl_xor<T: Copy>(regs: &LaneRegs<T>, mask: usize) -> LaneRegs<T> {
+    shfl_sync(regs, |lane| lane ^ mask)
+}
+
+/// `__shfl_down_sync`: lane `l` reads lane `l + delta` (clamped to the warp).
+#[inline]
+pub fn shfl_down<T: Copy>(regs: &LaneRegs<T>, delta: usize) -> LaneRegs<T> {
+    std::array::from_fn(|lane| {
+        let src = lane + delta;
+        if src < WARP_SIZE {
+            regs[src]
+        } else {
+            regs[lane]
+        }
+    })
+}
+
+/// `__shfl_up_sync`: lane `l` reads lane `l - delta` (clamped to lane 0).
+#[inline]
+pub fn shfl_up<T: Copy>(regs: &LaneRegs<T>, delta: usize) -> LaneRegs<T> {
+    std::array::from_fn(|lane| if lane >= delta { regs[lane - delta] } else { regs[lane] })
+}
+
+/// `__ballot_sync`: one bit per lane holding its predicate.
+#[inline]
+pub fn ballot(preds: &LaneRegs<bool>) -> u32 {
+    preds
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (lane, &p)| acc | ((p as u32) << lane))
+}
+
+/// Butterfly warp-level sum: after `log2(32)` xor-shuffle rounds every lane
+/// holds the sum of all 32 registers. This is the `WarpLevelSum` of the
+/// paper's Algorithm 5.
+pub fn warp_reduce_sum(regs: &LaneRegs<f64>) -> LaneRegs<f64> {
+    let mut cur = *regs;
+    let mut offset = WARP_SIZE / 2;
+    while offset > 0 {
+        let other = shfl_xor(&cur, offset);
+        for lane in 0..WARP_SIZE {
+            cur[lane] += other[lane];
+        }
+        offset /= 2;
+    }
+    cur
+}
+
+/// Segmented warp sum over groups of `group` consecutive lanes (`group` must
+/// divide 32). Used by the CUDA-core SpMV path where four lanes cooperate on
+/// one 4x4 block: a reduction over each 4-lane group leaves every group's
+/// total in each of its lanes.
+pub fn warp_reduce_sum_grouped(regs: &LaneRegs<f64>, group: usize) -> LaneRegs<f64> {
+    assert!(group.is_power_of_two() && group <= WARP_SIZE && group > 0);
+    let mut cur = *regs;
+    let mut offset = group / 2;
+    while offset > 0 {
+        let other = shfl_xor(&cur, offset);
+        for lane in 0..WARP_SIZE {
+            cur[lane] += other[lane];
+        }
+        offset /= 2;
+    }
+    cur
+}
+
+/// Number of shuffle instructions a full warp reduction issues (per lane the
+/// hardware executes them warp-wide, so we count rounds).
+pub const fn reduce_shuffle_rounds(group: usize) -> u32 {
+    group.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota() -> LaneRegs<f64> {
+        std::array::from_fn(|l| l as f64)
+    }
+
+    #[test]
+    fn shfl_sync_broadcast() {
+        let r = iota();
+        let b = shfl_sync(&r, |_| 7);
+        assert!(b.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn shfl_sync_wraps_out_of_range_sources() {
+        let r = iota();
+        let b = shfl_sync(&r, |lane| lane + 32); // Wraps to the same lane.
+        assert_eq!(b, r);
+    }
+
+    #[test]
+    fn shfl_xor_is_involution() {
+        let r = iota();
+        let once = shfl_xor(&r, 5);
+        let twice = shfl_xor(&once, 5);
+        assert_eq!(twice, r);
+    }
+
+    #[test]
+    fn shfl_down_clamps() {
+        let r = iota();
+        let d = shfl_down(&r, 4);
+        assert_eq!(d[0], 4.0);
+        assert_eq!(d[27], 31.0);
+        assert_eq!(d[28], 28.0); // Out of range keeps own value.
+        assert_eq!(d[31], 31.0);
+    }
+
+    #[test]
+    fn shfl_up_clamps() {
+        let r = iota();
+        let u = shfl_up(&r, 4);
+        assert_eq!(u[4], 0.0);
+        assert_eq!(u[31], 27.0);
+        assert_eq!(u[3], 3.0); // Below delta keeps own value.
+    }
+
+    #[test]
+    fn ballot_packs_bits() {
+        let mut preds = [false; WARP_SIZE];
+        preds[0] = true;
+        preds[5] = true;
+        preds[31] = true;
+        assert_eq!(ballot(&preds), (1 << 0) | (1 << 5) | (1u32 << 31));
+    }
+
+    #[test]
+    fn warp_reduce_sum_totals() {
+        let r = iota();
+        let s = warp_reduce_sum(&r);
+        let total: f64 = (0..32).map(|l| l as f64).sum();
+        assert!(s.iter().all(|&v| v == total));
+    }
+
+    #[test]
+    fn warp_reduce_sum_grouped_by_four() {
+        let r = iota();
+        let s = warp_reduce_sum_grouped(&r, 4);
+        for g in 0..8 {
+            let expect: f64 = (0..4).map(|i| (g * 4 + i) as f64).sum();
+            for i in 0..4 {
+                assert_eq!(s[g * 4 + i], expect, "group {g} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_reduction_with_full_group_matches_full() {
+        let r = iota();
+        assert_eq!(warp_reduce_sum_grouped(&r, 32), warp_reduce_sum(&r));
+    }
+
+    #[test]
+    fn shuffle_round_counts() {
+        assert_eq!(reduce_shuffle_rounds(32), 5);
+        assert_eq!(reduce_shuffle_rounds(4), 2);
+        assert_eq!(reduce_shuffle_rounds(1), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the simulated-GPU substrate: software floats,
+//! warp primitives, MMA algebra and the cost model.
+
+use amgt_sim::cost::{kernel_seconds, KernelCost};
+use amgt_sim::mma::{mma_8x8x4, reference_gemm_8x8x4, FragA, FragB, FragC};
+use amgt_sim::precision::{round_tf32, F16};
+use amgt_sim::warp::{ballot, shfl_xor, warp_reduce_sum, LaneRegs, WARP_SIZE};
+use amgt_sim::{Algo, GpuSpec, KernelKind, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---------- F16 ----------
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(x in -1e5f32..1e5f32) {
+        // Rounding twice equals rounding once.
+        let once = F16::from_f32(x);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_rounding_is_monotone(a in -7e4f32..7e4f32, b in -7e4f32..7e4f32) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn f16_error_within_half_ulp(x in -6e4f32..6e4f32) {
+        let h = F16::from_f32(x).to_f32();
+        // Half ULP at |x|: 2^(exp - 11) for normals, 2^-25 floor.
+        let exp = x.abs().max(2.0f32.powi(-14)).log2().floor() as i32;
+        let half_ulp = 2.0f32.powi(exp - 11);
+        prop_assert!((h - x).abs() <= half_ulp * 1.0001, "x={x} h={h}");
+    }
+
+    #[test]
+    fn f16_negation_is_exact(x in -6e4f32..6e4f32) {
+        prop_assert_eq!((-F16::from_f32(x)).to_f32(), F16::from_f32(-x).to_f32());
+    }
+
+    #[test]
+    fn f16_add_commutes(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!((x + y).to_bits(), (y + x).to_bits());
+    }
+
+    #[test]
+    fn tf32_idempotent_and_monotone(a in -1e30f32..1e30f32, b in -1e30f32..1e30f32) {
+        prop_assert_eq!(round_tf32(round_tf32(a)), round_tf32(a));
+        if a <= b {
+            prop_assert!(round_tf32(a) <= round_tf32(b));
+        }
+    }
+
+    // ---------- Warp primitives ----------
+
+    #[test]
+    fn shfl_xor_permutation(vals in proptest::array::uniform32(-1e6f64..1e6), mask in 0usize..32) {
+        let regs: LaneRegs<f64> = vals;
+        let shuffled = shfl_xor(&regs, mask);
+        // A xor-shuffle is a permutation: sorted contents match.
+        let mut a: Vec<u64> = regs.iter().map(|v| v.to_bits()).collect();
+        let mut b: Vec<u64> = shuffled.iter().map(|v| v.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warp_reduce_matches_sum(vals in proptest::array::uniform32(-100.0f64..100.0)) {
+        let out = warp_reduce_sum(&vals);
+        let direct: f64 = vals.iter().sum();
+        for &o in out.iter().take(WARP_SIZE) {
+            prop_assert!((o - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+        }
+    }
+
+    #[test]
+    fn ballot_popcount_matches(preds in proptest::array::uniform32(any::<bool>())) {
+        let word = ballot(&preds);
+        prop_assert_eq!(word.count_ones() as usize, preds.iter().filter(|&&p| p).count());
+    }
+
+    // ---------- MMA ----------
+
+    #[test]
+    fn mma_fp64_matches_reference(
+        a_flat in proptest::collection::vec(-10.0f64..10.0, 32),
+        b_flat in proptest::collection::vec(-10.0f64..10.0, 32),
+    ) {
+        let a: [[f64; 4]; 8] = std::array::from_fn(|i| std::array::from_fn(|j| a_flat[i * 4 + j]));
+        let b: [[f64; 8]; 4] = std::array::from_fn(|i| std::array::from_fn(|j| b_flat[i * 8 + j]));
+        let mut frag = FragC::ZERO;
+        mma_8x8x4(&mut frag, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        let mut expect = [[0.0; 8]; 8];
+        reference_gemm_8x8x4(&mut expect, &a, &b);
+        let got = frag.unpack();
+        for i in 0..8 {
+            for j in 0..8 {
+                prop_assert!((got[i][j] - expect[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mma_is_additive_in_c(
+        a_flat in proptest::collection::vec(-5.0f64..5.0, 32),
+        b_flat in proptest::collection::vec(-5.0f64..5.0, 32),
+    ) {
+        // Issuing the same MMA twice doubles the accumulator (FP64 exact).
+        let a: [[f64; 4]; 8] = std::array::from_fn(|i| std::array::from_fn(|j| a_flat[i * 4 + j]));
+        let b: [[f64; 8]; 4] = std::array::from_fn(|i| std::array::from_fn(|j| b_flat[i * 8 + j]));
+        let (fa, fb) = (FragA::pack(&a), FragB::pack(&b));
+        let mut once = FragC::ZERO;
+        mma_8x8x4(&mut once, &fa, &fb, Precision::Fp64);
+        let mut twice = once;
+        mma_8x8x4(&mut twice, &fa, &fb, Precision::Fp64);
+        let (u1, u2) = (once.unpack(), twice.unpack());
+        for i in 0..8 {
+            for j in 0..8 {
+                prop_assert!((u2[i][j] - 2.0 * u1[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    // ---------- Cost model ----------
+
+    #[test]
+    fn cost_is_monotone_in_every_input(
+        tc in 0.0f64..1e12, cf in 0.0f64..1e12, io in 0.0f64..1e12,
+        by in 0.0f64..1e12, l in 0u32..1000,
+    ) {
+        let spec = GpuSpec::a100();
+        let base = KernelCost { tc_flops: tc, cuda_flops: cf, int_ops: io, bytes: by, launches: l };
+        let t0 = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &base);
+        prop_assert!(t0 >= 0.0 && t0.is_finite());
+        for grow in [
+            KernelCost { tc_flops: tc * 2.0 + 1.0, ..base },
+            KernelCost { cuda_flops: cf * 2.0 + 1.0, ..base },
+            KernelCost { int_ops: io * 2.0 + 1.0, ..base },
+            KernelCost { bytes: by * 2.0 + 1.0, ..base },
+            KernelCost { launches: l + 1, ..base },
+        ] {
+            let t = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &grow);
+            prop_assert!(t >= t0, "{t} < {t0}");
+        }
+    }
+
+    #[test]
+    fn lower_precision_never_slower_on_nvidia(
+        tc in 1.0f64..1e12, by in 1.0f64..1e12,
+    ) {
+        let spec = GpuSpec::h100();
+        let cost = KernelCost { tc_flops: tc, bytes: by, launches: 1, ..Default::default() };
+        let t64 = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &cost);
+        let t32 = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp32, &cost);
+        let t16 = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp16, &cost);
+        prop_assert!(t32 <= t64 + 1e-15);
+        prop_assert!(t16 <= t32 + 1e-15);
+    }
+}

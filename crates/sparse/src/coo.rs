@@ -1,0 +1,149 @@
+//! Coordinate (triplet) format — the assembly-friendly representation.
+//!
+//! FEM assembly and Matrix Market files naturally produce unordered
+//! (row, col, value) triplets; [`Coo`] collects them incrementally and
+//! converts to CSR once (duplicates summed), the usual ingestion path of
+//! sparse solvers.
+
+use crate::csr::Csr;
+
+/// An unordered triplet collection.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo { nrows, ncols, rows: vec![], cols: vec![], vals: vec![] }
+    }
+
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored entries (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Append one entry. Duplicates are allowed and summed at conversion.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.nrows && col < self.ncols, "({row},{col}) out of range");
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Append a symmetric pair `(r,c,v)` and `(c,r,v)` (skips the mirror on
+    /// the diagonal).
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) {
+        self.push(row, col, val);
+        if row != col {
+            self.push(col, row, val);
+        }
+    }
+
+    /// Convert to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let trips: Vec<(usize, usize, f64)> = self
+            .rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+            .collect();
+        Csr::from_triplets(self.nrows, self.ncols, &trips)
+    }
+
+    /// Build from a CSR matrix (row-major entry order).
+    pub fn from_csr(a: &Csr) -> Coo {
+        let mut coo = Coo::with_capacity(a.nrows(), a.ncols(), a.nnz());
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r, c as usize, v);
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_with_duplicates() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(2, 1, 4.0);
+        coo.push(0, 0, 2.0); // Duplicate: summed.
+        coo.push(1, 2, -1.0);
+        assert_eq!(coo.len(), 4);
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), Some(3.0));
+        assert_eq!(a.get(2, 1), Some(4.0));
+        assert_eq!(a.get(1, 2), Some(-1.0));
+    }
+
+    #[test]
+    fn symmetric_push() {
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 2, -1.0);
+        coo.push_sym(1, 1, 5.0); // Diagonal: no mirror.
+        assert_eq!(coo.len(), 3);
+        let a = coo.to_csr();
+        assert_eq!(a.get(0, 2), Some(-1.0));
+        assert_eq!(a.get(2, 0), Some(-1.0));
+        assert_eq!(a.get(1, 1), Some(5.0));
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let a = crate::gen::random_sparse(40, 5, 77);
+        let back = Coo::from_csr(&a).to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn empty_conversion() {
+        let coo = Coo::new(4, 5);
+        assert!(coo.is_empty());
+        let a = coo.to_csr();
+        assert_eq!(a.nrows(), 4);
+        assert_eq!(a.ncols(), 5);
+        assert_eq!(a.nnz(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Dense matrices and an LU direct solver.
+//!
+//! The AMG coarsest level (Algorithm 2, line 6) is solved by "an iterative
+//! or direct method"; the paper cites PanguLU. The coarsest grid here is at
+//! most a few hundred rows, so dense LU with partial pivoting is the
+//! faithful substitute for the direct option.
+
+use crate::csr::Csr;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    pub fn from_csr(a: &Csr) -> Self {
+        let mut d = Dense::zeros(a.nrows(), a.ncols());
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d[(r, c as usize)] = v;
+            }
+        }
+        d
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Dense {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Dense {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+/// LU factorization with partial pivoting: `P A = L U` stored packed.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    n: usize,
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Dense,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+}
+
+/// Error from a singular (to working precision) pivot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix {
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl Lu {
+    /// Factor a square dense matrix.
+    pub fn factor(a: &Dense) -> Result<Lu, SingularMatrix> {
+        assert_eq!(a.nrows, a.ncols, "LU requires a square matrix");
+        let n = a.nrows;
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let (mut pivot_row, mut pivot_val) = (k, lu[(k, k)].abs());
+            for r in k + 1..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_row = r;
+                    pivot_val = v;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE {
+                return Err(SingularMatrix { column: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+            }
+            let inv = 1.0 / lu[(k, k)];
+            for r in k + 1..n {
+                let m = lu[(r, k)] * inv;
+                lu[(r, k)] = m;
+                for c in k + 1..n {
+                    let kc = lu[(k, c)];
+                    lu[(r, c)] -= m * kc;
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm })
+    }
+
+    /// Factor directly from a sparse matrix.
+    pub fn factor_csr(a: &Csr) -> Result<Lu, SingularMatrix> {
+        Lu::factor(&Dense::from_csr(a))
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..self.n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc;
+        }
+        for r in (0..self.n).rev() {
+            let mut acc = x[r];
+            for c in r + 1..self.n {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc / self.lu[(r, r)];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identity_solve() {
+        let mut a = Dense::zeros(3, 3);
+        for i in 0..3 {
+            a[(i, i)] = 1.0;
+        }
+        let lu = Lu::factor(&a).unwrap();
+        assert_eq!(lu.solve(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let mut a = Dense::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = Dense::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 4.0]);
+        assert!((x[0] - 4.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = Dense::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(Lu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn random_spd_residual_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 5, 20, 64] {
+            // A = M^T M + n*I is SPD and well conditioned.
+            let m: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            let mut a = Dense::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += m[k][i] * m[k][j];
+                    }
+                    a[(i, j)] = s + if i == j { n as f64 } else { 0.0 };
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = Lu::factor(&a).unwrap().solve(&b);
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += a[(i, j)] * x[j];
+                }
+                assert!((acc - b[i]).abs() < 1e-9, "n={n} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_csr_matches_dense() {
+        let a = Csr::from_triplets(
+            3,
+            3,
+            &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 2.0)],
+        );
+        let x = Lu::factor_csr(&a).unwrap().solve(&[1.0, 2.0, 4.0]);
+        let y = a.matvec(&x);
+        for (u, v) in y.iter().zip(&[1.0, 2.0, 4.0]) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_from_csr_roundtrip_values() {
+        let a = Csr::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, -1.0)]);
+        let d = Dense::from_csr(&a);
+        assert_eq!(d[(0, 2)], 5.0);
+        assert_eq!(d[(1, 0)], -1.0);
+        assert_eq!(d[(0, 0)], 0.0);
+        assert_eq!(d.row(0), &[0.0, 0.0, 5.0]);
+    }
+}

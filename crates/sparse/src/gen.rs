@@ -1,0 +1,541 @@
+//! Synthetic sparse matrix generators.
+//!
+//! The paper's evaluation inputs come from the SuiteSparse collection,
+//! which is not available offline; these generators produce matrices with
+//! the same structural characters (stencil Laplacians, vector-FEM block
+//! matrices, banded systems, irregular network Laplacians) at controllable
+//! sizes. All are deterministic given their parameters/seed, and all are
+//! diagonally dominant so the paper's AMG configuration converges on them.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2D structured-grid stencil shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil2d {
+    /// Classic 5-point Laplacian.
+    Five,
+    /// 9-point (includes diagonal neighbours).
+    Nine,
+}
+
+/// 2D Laplacian on an `nx` x `ny` grid with Dirichlet boundaries.
+pub fn laplacian_2d(nx: usize, ny: usize, stencil: Stencil2d) -> Csr {
+    anisotropic_2d(nx, ny, stencil, 1.0)
+}
+
+/// 2D anisotropic Laplacian: y-direction couplings scaled by `epsilon`.
+/// `epsilon << 1` produces the strong/weak connection structure that drives
+/// AMG semicoarsening behaviour.
+pub fn anisotropic_2d(nx: usize, ny: usize, stencil: Stencil2d, epsilon: f64) -> Csr {
+    assert!(nx > 0 && ny > 0);
+    let n = nx * ny;
+    let id = |i: usize, j: usize| i * ny + j;
+    let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(n * 9);
+    for i in 0..nx {
+        for j in 0..ny {
+            let r = id(i, j);
+            let mut diag = 0.0;
+            let mut push = |rr: usize, cc: usize, v: f64, diag: &mut f64| {
+                trips.push((rr, cc, v));
+                *diag += -v;
+            };
+            if i > 0 {
+                push(r, id(i - 1, j), -1.0, &mut diag);
+            }
+            if i + 1 < nx {
+                push(r, id(i + 1, j), -1.0, &mut diag);
+            }
+            if j > 0 {
+                push(r, id(i, j - 1), -epsilon, &mut diag);
+            }
+            if j + 1 < ny {
+                push(r, id(i, j + 1), -epsilon, &mut diag);
+            }
+            if stencil == Stencil2d::Nine {
+                let w = 0.5 * epsilon.min(1.0);
+                for (di, dj) in [(-1isize, -1isize), (-1, 1), (1, -1), (1, 1)] {
+                    let (ii, jj) = (i as isize + di, j as isize + dj);
+                    if ii >= 0 && jj >= 0 && (ii as usize) < nx && (jj as usize) < ny {
+                        push(r, id(ii as usize, jj as usize), -w, &mut diag);
+                    }
+                }
+            }
+            // Dirichlet boundary keeps the matrix nonsingular.
+            trips.push((r, r, diag + 2.0 + 2.0 * epsilon));
+        }
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// 3D stencil shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil3d {
+    Seven,
+    TwentySeven,
+}
+
+/// 3D Laplacian on an `nx` x `ny` x `nz` grid, Dirichlet boundaries.
+pub fn laplacian_3d(nx: usize, ny: usize, nz: usize, stencil: Stencil3d) -> Csr {
+    assert!(nx > 0 && ny > 0 && nz > 0);
+    let n = nx * ny * nz;
+    let id = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(n * 27);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let r = id(i, j, k);
+                let mut diag = 0.0;
+                let neighbours: &[(isize, isize, isize)] = match stencil {
+                    Stencil3d::Seven => {
+                        &[(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
+                    }
+                    Stencil3d::TwentySeven => &ALL_27,
+                };
+                for &(di, dj, dk) in neighbours {
+                    if di == 0 && dj == 0 && dk == 0 {
+                        continue;
+                    }
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                    if ii >= 0
+                        && jj >= 0
+                        && kk >= 0
+                        && (ii as usize) < nx
+                        && (jj as usize) < ny
+                        && (kk as usize) < nz
+                    {
+                        let dist = (di * di + dj * dj + dk * dk) as f64;
+                        let w = -1.0 / dist;
+                        trips.push((r, id(ii as usize, jj as usize, kk as usize), w));
+                        diag += -w;
+                    }
+                }
+                trips.push((r, r, diag + 1.0));
+            }
+        }
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+const ALL_27: [(isize, isize, isize); 27] = {
+    let mut out = [(0isize, 0isize, 0isize); 27];
+    let mut idx = 0;
+    let mut i = -1isize;
+    while i <= 1 {
+        let mut j = -1isize;
+        while j <= 1 {
+            let mut k = -1isize;
+            while k <= 1 {
+                out[idx] = (i, j, k);
+                idx += 1;
+                k += 1;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    out
+};
+
+/// Which 3D grid neighbours a node couples with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NeighborSet {
+    /// 6 face neighbours.
+    Face,
+    /// 18: faces + edges.
+    Edge,
+    /// 26: faces + edges + corners.
+    Full,
+}
+
+impl NeighborSet {
+    fn includes(self, di: isize, dj: isize, dk: isize) -> bool {
+        let order = di.abs() + dj.abs() + dk.abs();
+        match self {
+            NeighborSet::Face => order == 1,
+            NeighborSet::Edge => (1..=2).contains(&order),
+            NeighborSet::Full => (1..=3).contains(&order),
+        }
+    }
+}
+
+/// Vector-FEM style block matrix: a 3D grid graph whose nodes carry `dof`
+/// unknowns, coupled by dense `dof x dof` blocks. With `dof = 4` the blocks
+/// align with mBSR tiles and produce the dense tiles that drive the paper's
+/// tensor-core path ('cant', 'bcsstk39', 'ldoor'-class matrices).
+pub fn elasticity_3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dof: usize,
+    neighbors: NeighborSet,
+    seed: u64,
+) -> Csr {
+    assert!((1..=8).contains(&dof));
+    let nodes = nx * ny * nz;
+    let n = nodes * dof;
+    let id = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(n * dof * 7);
+
+    // Deterministic per-edge dense coupling block, symmetric across the
+    // edge: B_uv = B_vu^T.
+    let edge_block = |rng: &mut StdRng| -> Vec<f64> {
+        (0..dof * dof).map(|_| -(0.5 + rng.gen_range(0.0..1.0))).collect()
+    };
+
+    // Enumerate each undirected edge once: lexicographically positive
+    // offsets only.
+    let offsets: Vec<(isize, isize, isize)> = {
+        let mut o = Vec::new();
+        for di in -1isize..=1 {
+            for dj in -1isize..=1 {
+                for dk in -1isize..=1 {
+                    if (di, dj, dk) > (0, 0, 0) && neighbors.includes(di, dj, dk) {
+                        o.push((di, dj, dk));
+                    }
+                }
+            }
+        }
+        o
+    };
+
+    let mut accum_diag = vec![0.0f64; n];
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let u = id(i, j, k);
+                for &(di, dj, dk) in &offsets {
+                    let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
+                    if ii < 0
+                        || jj < 0
+                        || kk < 0
+                        || ii as usize >= nx
+                        || jj as usize >= ny
+                        || kk as usize >= nz
+                    {
+                        continue;
+                    }
+                    let v = id(ii as usize, jj as usize, kk as usize);
+                    let block = edge_block(&mut rng);
+                    for a in 0..dof {
+                        for b in 0..dof {
+                            let w = block[a * dof + b];
+                            trips.push((u * dof + a, v * dof + b, w));
+                            trips.push((v * dof + b, u * dof + a, w));
+                            accum_diag[u * dof + a] += w.abs();
+                            accum_diag[v * dof + b] += w.abs();
+                        }
+                    }
+                }
+                // Intra-node coupling block (symmetric, off-diagonal).
+                for a in 0..dof {
+                    for b in (a + 1)..dof {
+                        let w = -rng.gen_range(0.1..0.6);
+                        trips.push((u * dof + a, u * dof + b, w));
+                        trips.push((u * dof + b, u * dof + a, w));
+                        accum_diag[u * dof + a] += w.abs();
+                        accum_diag[u * dof + b] += w.abs();
+                    }
+                }
+            }
+        }
+    }
+    for (r, &d) in accum_diag.iter().enumerate() {
+        trips.push((r, r, d + 1.0)); // Strict diagonal dominance.
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// Matrix of consecutive dense cliques: rows are partitioned into groups of
+/// `clique` unknowns with a fully dense SPD coupling block per group, plus
+/// a weak chain between adjacent groups. Mimics the extremely dense rows of
+/// power-flow ('TSOPF') and nested-dissection ('nd24k') matrices.
+pub fn block_cliques(n: usize, clique: usize, seed: u64) -> Csr {
+    assert!(clique >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    let mut diag = vec![0.0f64; n];
+    let n_groups = n.div_ceil(clique);
+    for g in 0..n_groups {
+        let lo = g * clique;
+        let hi = ((g + 1) * clique).min(n);
+        for a in lo..hi {
+            for b in (a + 1)..hi {
+                let w = -rng.gen_range(0.01..1.0) / clique as f64;
+                trips.push((a, b, w));
+                trips.push((b, a, w));
+                diag[a] += w.abs();
+                diag[b] += w.abs();
+            }
+        }
+        // Chain coupling to the next clique keeps the matrix irreducible.
+        if hi < n {
+            let w = -0.5;
+            trips.push((hi - 1, hi, w));
+            trips.push((hi, hi - 1, w));
+            diag[hi - 1] += w.abs();
+            diag[hi] += w.abs();
+        }
+    }
+    for (r, &d) in diag.iter().enumerate() {
+        trips.push((r, r, d + 1.0));
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// Banded matrix built from groups of contiguous diagonals. Each group is
+/// `(start_offset, width)`: diagonals `start..start+width`. Contiguous
+/// groups of width >= 4 create dense mBSR tiles; isolated diagonals create
+/// sparse ones — the knob for exercising both compute paths.
+pub fn banded_groups(n: usize, groups: &[(isize, usize)], seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    let mut diag_accum = vec![0.0f64; n];
+    for &(start, width) in groups {
+        for w in 0..width as isize {
+            let off = start + w;
+            if off == 0 {
+                continue; // Main diagonal added at the end.
+            }
+            let coeff = -(1.0 + rng.gen_range(0.0..0.5)) / (1.0 + off.unsigned_abs() as f64).sqrt();
+            for r in 0..n {
+                let c = r as isize + off;
+                if c >= 0 && (c as usize) < n {
+                    trips.push((r, c as usize, coeff));
+                    diag_accum[r] += coeff.abs();
+                }
+            }
+        }
+    }
+    for (r, &d) in diag_accum.iter().enumerate() {
+        trips.push((r, r, d + 1.0));
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// Irregular network Laplacian with heavy-tailed degrees: `hubs` vertices
+/// of very high degree over a ring of average degree `avg_deg`. Mimics the
+/// power-network matrices ('TSOPF'-class) whose row-length skew triggers
+/// the load-balanced SpMV schedule.
+pub fn network_laplacian(n: usize, avg_deg: usize, hubs: usize, seed: u64) -> Csr {
+    assert!(n >= 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Ring backbone keeps the graph connected.
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+    }
+    let extra = n * avg_deg.saturating_sub(2) / 2;
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    // Hubs connect to a large random subset.
+    for h in 0..hubs.min(n) {
+        let hub = (h * n) / hubs.max(1);
+        let fan = n / 20 + 4;
+        for _ in 0..fan {
+            let v = rng.gen_range(0..n);
+            if v != hub {
+                edges.push((hub.min(v), hub.max(v)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(edges.len() * 2 + n);
+    let mut deg = vec![0.0f64; n];
+    for &(u, v) in &edges {
+        let w = -rng.gen_range(0.5..1.5);
+        trips.push((u, v, w));
+        trips.push((v, u, w));
+        deg[u] += w.abs();
+        deg[v] += w.abs();
+    }
+    for (r, &d) in deg.iter().enumerate() {
+        trips.push((r, r, d + 0.1)); // Shifted Laplacian: SPD.
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// Fully random sparse diagonally-dominant matrix (fuzz-test input).
+pub fn random_sparse(n: usize, nnz_per_row: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (nnz_per_row + 1));
+    for r in 0..n {
+        let mut row_sum = 0.0;
+        for _ in 0..nnz_per_row {
+            let c = rng.gen_range(0..n);
+            if c != r {
+                let v = rng.gen_range(-1.0..0.0);
+                trips.push((r, c, v));
+                row_sum += v.abs();
+            }
+        }
+        trips.push((r, r, row_sum + 1.0));
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// Right-hand side with known solution `x = 1`: `b = A * ones`.
+pub fn rhs_of_ones(a: &Csr) -> Vec<f64> {
+    a.matvec(&vec![1.0; a.ncols()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_diag_dominant(a: &Csr) -> bool {
+        (0..a.nrows()).all(|r| {
+            let (cols, vals) = a.row(r);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c as usize == r {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            diag >= off
+        })
+    }
+
+    #[test]
+    fn laplacian_2d_five_point_structure() {
+        let a = laplacian_2d(4, 5, Stencil2d::Five);
+        assert_eq!(a.nrows(), 20);
+        assert!(a.is_symmetric(1e-14));
+        assert!(is_diag_dominant(&a));
+        // Interior point has 5 entries.
+        let interior = 5 + 2; // Grid point (1, 2).
+        assert_eq!(a.row_nnz(interior), 5);
+        // Corner point has 3.
+        assert_eq!(a.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn laplacian_2d_nine_point_has_diagonal_neighbours() {
+        let a = laplacian_2d(5, 5, Stencil2d::Nine);
+        let center = 2 * 5 + 2;
+        assert_eq!(a.row_nnz(center), 9);
+        assert!(a.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn anisotropy_weakens_y_direction() {
+        let a = anisotropic_2d(4, 4, Stencil2d::Five, 0.01);
+        // x-neighbour coupling -1, y-neighbour coupling -0.01.
+        let r = 4 + 1; // Grid point (1, 1).
+        assert_eq!(a.get(r, r - 4), Some(-1.0));
+        assert_eq!(a.get(r, r - 1), Some(-0.01));
+    }
+
+    #[test]
+    fn laplacian_3d_seven_point() {
+        let a = laplacian_3d(3, 3, 3, Stencil3d::Seven);
+        assert_eq!(a.nrows(), 27);
+        assert!(a.is_symmetric(1e-14));
+        let center = (3 + 1) * 3 + 1; // Grid point (1, 1, 1).
+        assert_eq!(a.row_nnz(center), 7);
+    }
+
+    #[test]
+    fn laplacian_3d_27_point() {
+        let a = laplacian_3d(4, 4, 4, Stencil3d::TwentySeven);
+        assert!(a.is_symmetric(1e-12));
+        let center = (4 + 1) * 4 + 1; // Grid point (1, 1, 1).
+        assert_eq!(a.row_nnz(center), 27);
+        assert!(is_diag_dominant(&a));
+    }
+
+    #[test]
+    fn elasticity_blocks_dense_tiles() {
+        let a = elasticity_3d(3, 3, 3, 4, NeighborSet::Face, 1);
+        assert_eq!(a.nrows(), 27 * 4);
+        assert!(a.is_symmetric(1e-12));
+        assert!(is_diag_dominant(&a));
+        // With dof=4 aligned to tiles, tile fill should be high.
+        let m = crate::mbsr::Mbsr::from_csr(&a);
+        assert!(m.avg_nnz_per_block() > 10.0, "avg = {}", m.avg_nnz_per_block());
+    }
+
+    #[test]
+    fn elasticity_deterministic() {
+        let a = elasticity_3d(2, 2, 2, 3, NeighborSet::Face, 7);
+        let b = elasticity_3d(2, 2, 2, 3, NeighborSet::Face, 7);
+        assert_eq!(a, b);
+        let c = elasticity_3d(2, 2, 2, 3, NeighborSet::Face, 8);
+        assert_ne!(a, c);
+    }
+
+
+    #[test]
+    fn elasticity_neighbor_sets_grow_density() {
+        let face = elasticity_3d(4, 4, 4, 2, NeighborSet::Face, 1);
+        let edge = elasticity_3d(4, 4, 4, 2, NeighborSet::Edge, 1);
+        let full = elasticity_3d(4, 4, 4, 2, NeighborSet::Full, 1);
+        assert!(face.nnz() < edge.nnz());
+        assert!(edge.nnz() < full.nnz());
+        assert!(full.is_symmetric(1e-12));
+        assert!(is_diag_dominant(&full));
+    }
+
+    #[test]
+    fn block_cliques_dense_groups() {
+        let a = block_cliques(60, 20, 2);
+        assert!(a.is_symmetric(1e-12));
+        assert!(is_diag_dominant(&a));
+        // Interior rows of a clique touch all 20 members.
+        assert!(a.row_nnz(5) >= 20);
+        // Chain rows touch one extra neighbour.
+        assert_eq!(a.row_nnz(19), 21);
+        let b = block_cliques(10, 64, 2); // Clique larger than matrix.
+        assert!(b.is_symmetric(1e-12));
+        assert_eq!(b.row_nnz(3), 10);
+    }
+
+    #[test]
+    fn banded_groups_structure() {
+        let a = banded_groups(32, &[(-2, 5), (8, 4)], 3);
+        assert!(is_diag_dominant(&a));
+        // Row 16 hits diagonals -2..3 (excluding 0 replaced by dominance) and 8..12.
+        let (cols, _) = a.row(16);
+        assert!(cols.contains(&(16 + 8)));
+        assert!(cols.contains(&(16 - 2)));
+        assert!(cols.contains(&16));
+    }
+
+    #[test]
+    fn network_laplacian_has_hubs() {
+        let a = network_laplacian(200, 4, 3, 5);
+        assert!(a.is_symmetric(1e-12));
+        assert!(is_diag_dominant(&a));
+        let max_row = (0..a.nrows()).map(|r| a.row_nnz(r)).max().unwrap();
+        let avg_row = a.nnz() as f64 / a.nrows() as f64;
+        assert!(max_row as f64 > 3.0 * avg_row, "max {max_row} avg {avg_row}");
+    }
+
+    #[test]
+    fn random_sparse_dominant() {
+        let a = random_sparse(100, 6, 9);
+        assert!(is_diag_dominant(&a));
+        assert_eq!(a.nrows(), 100);
+    }
+
+    #[test]
+    fn rhs_of_ones_gives_row_sums() {
+        let a = laplacian_2d(3, 3, Stencil2d::Five);
+        let b = rhs_of_ones(&a);
+        for r in 0..a.nrows() {
+            let sum: f64 = a.row(r).1.iter().sum();
+            assert!((b[r] - sum).abs() < 1e-14);
+        }
+    }
+}

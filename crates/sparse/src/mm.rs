@@ -1,0 +1,228 @@
+//! Matrix Market I/O.
+//!
+//! The paper evaluates on 16 SuiteSparse matrices distributed in Matrix
+//! Market coordinate format. The synthetic suite replaces them by default,
+//! but users holding the real `.mtx` files can load them with
+//! [`read_matrix_market`] and run every experiment unchanged.
+
+use crate::csr::Csr;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    Parse { line: usize, message: String },
+    Unsupported(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            MmError::Unsupported(what) => write!(f, "unsupported Matrix Market variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> MmError {
+    MmError::Parse { line, message: message.into() }
+}
+
+/// Parse a Matrix Market coordinate file into CSR (see
+/// [`read_matrix_market_str`] for the supported subset).
+pub fn read_matrix_market_path(path: &Path) -> Result<Csr, MmError> {
+    let text = std::fs::read_to_string(path)?;
+    read_matrix_market_str(&text)
+}
+
+/// Parse a Matrix Market coordinate stream into CSR.
+pub fn read_matrix_market<R: BufRead>(mut reader: R) -> Result<Csr, MmError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    read_matrix_market_str(&text)
+}
+
+/// Parse Matrix Market *coordinate* text into CSR.
+///
+/// Supported qualifiers: `real` / `integer` / `pattern` values, `general` /
+/// `symmetric` / `skew-symmetric` symmetry. `pattern` entries get value 1.
+/// Symmetric files are expanded (off-diagonal entries mirrored).
+pub fn read_matrix_market_str(text: &str) -> Result<Csr, MmError> {
+    let mut it = text.lines().enumerate();
+    let (_, header) = it.next().ok_or_else(|| parse_err(1, "empty file"))?;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 4 || !h[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(parse_err(1, "missing %%MatrixMarket header"));
+    }
+    if !h[1].eq_ignore_ascii_case("matrix") || !h[2].eq_ignore_ascii_case("coordinate") {
+        return Err(MmError::Unsupported(format!("{} {}", h[1], h[2])));
+    }
+    let field = h[3].to_ascii_lowercase();
+    if !matches!(field.as_str(), "real" | "integer" | "pattern") {
+        return Err(MmError::Unsupported(format!("field {field}")));
+    }
+    let symmetry = h.get(4).map(|s| s.to_ascii_lowercase()).unwrap_or_else(|| "general".into());
+    if !matches!(symmetry.as_str(), "general" | "symmetric" | "skew-symmetric") {
+        return Err(MmError::Unsupported(format!("symmetry {symmetry}")));
+    }
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for (no, line) in it.by_ref() {
+        let l = line.trim();
+        if l.is_empty() || l.starts_with('%') {
+            continue;
+        }
+        size_line = Some((no + 1, l.to_string()));
+        break;
+    }
+    let (size_no, size_line) = size_line.ok_or_else(|| parse_err(0, "missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(size_no, format!("bad size token '{t}'"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(size_no, "size line must have 3 entries"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(nnz * 2);
+    let mut seen = 0usize;
+    for (no, line) in it {
+        let l = line.trim();
+        if l.is_empty() || l.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = l.split_whitespace().collect();
+        let min_toks = if field == "pattern" { 2 } else { 3 };
+        if toks.len() < min_toks {
+            return Err(parse_err(no + 1, "too few tokens"));
+        }
+        let r: usize = toks[0].parse().map_err(|_| parse_err(no + 1, "bad row index"))?;
+        let c: usize = toks[1].parse().map_err(|_| parse_err(no + 1, "bad column index"))?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(no + 1, format!("index ({r},{c}) out of bounds")));
+        }
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            toks[2].parse().map_err(|_| parse_err(no + 1, "bad value"))?
+        };
+        let (r, c) = (r - 1, c - 1);
+        triplets.push((r, c, v));
+        match symmetry.as_str() {
+            "symmetric" if r != c => triplets.push((c, r, v)),
+            "skew-symmetric" if r != c => triplets.push((c, r, -v)),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(0, format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(Csr::from_triplets(nrows, ncols, &triplets))
+}
+
+/// Write a CSR matrix as `coordinate real general` Matrix Market text.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &Csr) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by amgt-rs")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 3 3\n\
+                    1 1 2.0\n\
+                    2 3 -1.5\n\
+                    3 2 4\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.get(0, 0), Some(2.0));
+        assert_eq!(a.get(1, 2), Some(-1.5));
+        assert_eq!(a.get(2, 1), Some(4.0));
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 5.0\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), Some(5.0));
+        assert_eq!(a.get(1, 0), Some(5.0));
+    }
+
+    #[test]
+    fn parse_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.get(1, 0), Some(3.0));
+        assert_eq!(a.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market_str("nonsense\n1 1 0\n").is_err());
+        assert!(read_matrix_market_str("%%MatrixMarket matrix array real general\n").is_err());
+        assert!(matches!(
+            read_matrix_market_str("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+            Err(MmError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_count_mismatch() {
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_str(oob).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market_str(short).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = Csr::from_triplets(3, 4, &[(0, 3, 1.25), (2, 0, -7.5), (1, 1, 0.333)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let back = read_matrix_market_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(a, back);
+    }
+}

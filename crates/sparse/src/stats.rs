@@ -1,0 +1,190 @@
+//! Matrix diagnostics: the structural quantities that decide how the AmgT
+//! kernels behave on a given input.
+//!
+//! The adaptive decisions of Section IV.D key off two statistics —
+//! `avg_nnz_blc` and the block-row variation — but understanding *why* a
+//! matrix lands on one path needs the full picture: the tile-fill
+//! histogram, row-length spread and bandwidth collected here. The CLI's
+//! `--info` mode prints this report.
+
+use crate::bitmap;
+use crate::csr::Csr;
+use crate::mbsr::Mbsr;
+use crate::reorder::bandwidth;
+
+/// Structural report for one matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixStats {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    pub symmetric: bool,
+    pub bandwidth: usize,
+    pub min_row_nnz: usize,
+    pub max_row_nnz: usize,
+    pub avg_row_nnz: f64,
+    /// Coefficient of variation of the row lengths.
+    pub row_variation: f64,
+    pub diag_dominant_rows: usize,
+    // --- Tile (mBSR) structure. ---
+    pub tiles: usize,
+    pub avg_nnz_per_tile: f64,
+    pub block_row_variation: f64,
+    /// `hist[k]` = number of tiles with exactly `k+1` nonzeros (1..=16).
+    pub tile_fill_histogram: [usize; 16],
+    /// Fraction of tiles on the tensor path (`popcount >= 10`).
+    pub tensor_tile_fraction: f64,
+    /// Fraction of *nonzeros* living in tensor-path tiles.
+    pub tensor_nnz_fraction: f64,
+}
+
+/// Collect the full report.
+pub fn matrix_stats(a: &Csr) -> MatrixStats {
+    let n = a.nrows();
+    let mut min_row = usize::MAX;
+    let mut max_row = 0usize;
+    let mut dominant = 0usize;
+    for r in 0..n {
+        let len = a.row_nnz(r);
+        min_row = min_row.min(len);
+        max_row = max_row.max(len);
+        let (cols, vals) = a.row(r);
+        let mut diag = 0.0f64;
+        let mut off = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize == r {
+                diag = v.abs();
+            } else {
+                off += v.abs();
+            }
+        }
+        if diag >= off {
+            dominant += 1;
+        }
+    }
+    if n == 0 {
+        min_row = 0;
+    }
+    let avg_row = a.nnz() as f64 / n.max(1) as f64;
+    let var = (0..n)
+        .map(|r| {
+            let d = a.row_nnz(r) as f64 - avg_row;
+            d * d
+        })
+        .sum::<f64>()
+        / n.max(1) as f64;
+    let row_variation = if avg_row > 0.0 { var.sqrt() / avg_row } else { 0.0 };
+
+    let m = Mbsr::from_csr(a);
+    let mut hist = [0usize; 16];
+    let mut tensor_tiles = 0usize;
+    let mut tensor_nnz = 0usize;
+    for &map in &m.blc_map {
+        let pop = bitmap::popcount(map) as usize;
+        if pop > 0 {
+            hist[pop - 1] += 1;
+        }
+        if pop as u32 >= bitmap::TENSOR_DENSITY_THRESHOLD {
+            tensor_tiles += 1;
+            tensor_nnz += pop;
+        }
+    }
+
+    MatrixStats {
+        nrows: n,
+        ncols: a.ncols(),
+        nnz: a.nnz(),
+        symmetric: a.nrows() == a.ncols() && a.is_symmetric(1e-12),
+        bandwidth: if a.nrows() == a.ncols() { bandwidth(a) } else { 0 },
+        min_row_nnz: min_row,
+        max_row_nnz: max_row,
+        avg_row_nnz: avg_row,
+        row_variation,
+        diag_dominant_rows: dominant,
+        tiles: m.n_blocks(),
+        avg_nnz_per_tile: m.avg_nnz_per_block(),
+        block_row_variation: m.block_row_variation(),
+        tile_fill_histogram: hist,
+        tensor_tile_fraction: tensor_tiles as f64 / m.n_blocks().max(1) as f64,
+        tensor_nnz_fraction: tensor_nnz as f64 / a.nnz().max(1) as f64,
+    }
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "matrix: {} x {}, nnz {}", self.nrows, self.ncols, self.nnz)?;
+        writeln!(
+            f,
+            "  symmetric {}, bandwidth {}, diag-dominant rows {}/{}",
+            self.symmetric, self.bandwidth, self.diag_dominant_rows, self.nrows
+        )?;
+        writeln!(
+            f,
+            "  row nnz: min {} avg {:.2} max {} (variation {:.2})",
+            self.min_row_nnz, self.avg_row_nnz, self.max_row_nnz, self.row_variation
+        )?;
+        writeln!(
+            f,
+            "  tiles: {} (avg fill {:.2}/16, block-row variation {:.2})",
+            self.tiles, self.avg_nnz_per_tile, self.block_row_variation
+        )?;
+        writeln!(
+            f,
+            "  tensor path: {:.1}% of tiles, {:.1}% of nonzeros",
+            self.tensor_tile_fraction * 100.0,
+            self.tensor_nnz_fraction * 100.0
+        )?;
+        write!(f, "  tile-fill histogram (1..16): {:?}", self.tile_fill_histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{elasticity_3d, laplacian_2d, network_laplacian, NeighborSet, Stencil2d};
+
+    #[test]
+    fn stencil_stats() {
+        let a = laplacian_2d(12, 12, Stencil2d::Five);
+        let s = matrix_stats(&a);
+        assert_eq!(s.nrows, 144);
+        assert_eq!(s.nnz, a.nnz());
+        assert!(s.symmetric);
+        assert_eq!(s.bandwidth, 12);
+        assert_eq!(s.min_row_nnz, 3);
+        assert_eq!(s.max_row_nnz, 5);
+        assert_eq!(s.diag_dominant_rows, 144);
+        assert!(s.avg_nnz_per_tile < 10.0);
+        assert!(s.tensor_tile_fraction < 0.5);
+        // Histogram accounts for every tile and every nonzero.
+        assert_eq!(s.tile_fill_histogram.iter().sum::<usize>(), s.tiles);
+        let nnz_from_hist: usize =
+            s.tile_fill_histogram.iter().enumerate().map(|(k, &c)| (k + 1) * c).sum();
+        assert_eq!(nnz_from_hist, s.nnz);
+    }
+
+    #[test]
+    fn block_matrix_is_tensor_dominated() {
+        let a = elasticity_3d(3, 3, 3, 4, NeighborSet::Face, 1);
+        let s = matrix_stats(&a);
+        assert!(s.tensor_tile_fraction > 0.9, "{}", s.tensor_tile_fraction);
+        assert!(s.tensor_nnz_fraction > 0.9);
+        assert!(s.avg_nnz_per_tile > 10.0);
+    }
+
+    #[test]
+    fn skewed_network_has_high_variation() {
+        let a = network_laplacian(400, 3, 10, 7);
+        let s = matrix_stats(&a);
+        assert!(s.row_variation > 0.5, "{}", s.row_variation);
+        assert!(s.max_row_nnz > 4 * s.min_row_nnz);
+    }
+
+    #[test]
+    fn display_renders() {
+        let a = laplacian_2d(6, 6, Stencil2d::Five);
+        let text = format!("{}", matrix_stats(&a));
+        assert!(text.contains("tiles:"));
+        assert!(text.contains("tensor path:"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Mixed precision on a vector-valued FEM problem — the workload class
+//! ('cant', 'ldoor', ...) where the paper's tensor-core path shines: dense
+//! 4x4 tiles from 4-dof nodal blocks.
+//!
+//! ```text
+//! cargo run --release -p amgt-examples --bin elasticity_mixed_precision
+//! ```
+//!
+//! Runs AmgT in uniform FP64 and in the paper's FP64/FP32/FP16 per-level
+//! policy, comparing convergence (real reduced-precision arithmetic) and
+//! simulated time.
+
+use amgt::prelude::*;
+use amgt_sparse::gen::{elasticity_3d, rhs_of_ones, NeighborSet};
+use amgt_sparse::Mbsr;
+
+fn main() {
+    let a = elasticity_3d(14, 14, 14, 4, NeighborSet::Face, 42);
+    let b = rhs_of_ones(&a);
+    let tiles = Mbsr::from_csr(&a);
+    println!(
+        "elasticity block system: n = {}, nnz = {}, avg nnz/tile = {:.1} (tensor path: {})\n",
+        a.nrows(),
+        a.nnz(),
+        tiles.avg_nnz_per_block(),
+        tiles.avg_nnz_per_block() >= 10.0
+    );
+
+    for (label, cfg_base) in [
+        ("AmgT (FP64)  ", AmgConfig::amgt_fp64()),
+        ("AmgT (Mixed) ", AmgConfig::amgt_mixed()),
+    ] {
+        let device = Device::new(GpuSpec::h100());
+        let mut cfg = cfg_base;
+        cfg.max_iterations = 30;
+        let (_x, h, report) = run_amg(&device, &cfg, a.clone(), &b);
+        let precisions: Vec<&str> = h.levels.iter().map(|l| l.precision.label()).collect();
+        println!("{label}: levels {:?}", precisions);
+        println!(
+            "  relres after {} cycles: {:.2e}",
+            report.solve_report.iterations,
+            report.solve_report.final_relative_residual()
+        );
+        println!(
+            "  simulated time: setup {:.1} us + solve {:.1} us = {:.1} us",
+            report.setup.total * 1e6,
+            report.solve.total * 1e6,
+            report.total_seconds() * 1e6
+        );
+    }
+    println!("\nThe mixed run uses real software-FP16 arithmetic on coarse levels;");
+    println!("convergence matches FP64 to within the smoother's tolerance while the");
+    println!("simulated time drops (smaller values, higher tensor-core peak).");
+}

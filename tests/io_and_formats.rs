@@ -1,0 +1,73 @@
+//! Integration tests for the I/O path: Matrix Market round-trips feeding
+//! the full solver, exactly the route a user of the real SuiteSparse files
+//! would take.
+
+use amgt::prelude::*;
+use amgt_sparse::gen::rhs_of_ones;
+use amgt_sparse::mm::{read_matrix_market_str, write_matrix_market};
+use amgt_sparse::suite::{self, Scale};
+use amgt_sparse::Mbsr;
+
+#[test]
+fn mtx_roundtrip_then_solve() {
+    let a = suite::generate("thermal1", Scale::Small);
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, &a).unwrap();
+    let a2 = read_matrix_market_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+    assert_eq!(a, a2);
+
+    let b = rhs_of_ones(&a2);
+    let dev = Device::new(GpuSpec::a100());
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.max_iterations = 20;
+    let (_x, _h, rep) = run_amg(&dev, &cfg, a2, &b);
+    assert!(rep.solve_report.final_relative_residual() < 1e-6);
+}
+
+#[test]
+fn mtx_file_roundtrip_via_disk() {
+    let a = suite::generate("spmsrtls", Scale::Small);
+    let dir = std::env::temp_dir().join("amgt_test_mtx");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spmsrtls.mtx");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        write_matrix_market(&mut f, &a).unwrap();
+    }
+    let a2 = amgt_sparse::mm::read_matrix_market_path(&path).unwrap();
+    assert_eq!(a, a2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_suite_matrix_converts_and_validates() {
+    for entry in suite::entries() {
+        let a = suite::generate(entry.name, Scale::Small);
+        let m = Mbsr::from_csr(&a);
+        m.validate();
+        assert_eq!(m.nnz(), a.nnz(), "{}", entry.name);
+        assert_eq!(m.to_csr(), a, "{}", entry.name);
+        // The suite spans both compute paths.
+        assert!(m.avg_nnz_per_block() > 0.0);
+    }
+}
+
+#[test]
+fn suite_covers_both_spmv_paths_and_load_balancing() {
+    use amgt_kernels::spmv_mbsr::{analyze_spmv, SpmvPath};
+    use amgt_kernels::Ctx;
+    let dev = Device::new(GpuSpec::a100());
+    let ctx = Ctx::standalone(&dev, Precision::Fp64);
+    let mut tensor = 0;
+    let mut cuda = 0;
+    for entry in suite::entries() {
+        let a = suite::generate(entry.name, Scale::Small);
+        let m = Mbsr::from_csr(&a);
+        match analyze_spmv(&ctx, &m).path {
+            SpmvPath::TensorCore => tensor += 1,
+            SpmvPath::CudaCore => cuda += 1,
+        }
+    }
+    assert!(tensor >= 4, "tensor-path matrices in suite: {tensor}");
+    assert!(cuda >= 4, "cuda-path matrices in suite: {cuda}");
+}

@@ -1,0 +1,167 @@
+//! Property-based cross-crate tests: the simulated-GPU kernels must agree
+//! with the exact CSR reference operations on arbitrary matrices.
+
+use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
+use amgt_kernels::spmv_mbsr::{analyze_spmv, spmv_mbsr};
+use amgt_kernels::vendor::{spgemm_csr, spmv_csr};
+use amgt_kernels::Ctx;
+use amgt_sim::{Device, GpuSpec, Precision};
+use amgt_sparse::{Csr, Mbsr};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix with bounded size/density.
+fn arb_matrix(max_n: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n, 0u64..1_000_000).prop_map(move |(n, seed)| {
+        let nnz_per_row = 1 + (seed % 9) as usize;
+        amgt_sparse::gen::random_sparse(n, nnz_per_row, seed)
+    })
+}
+
+fn arb_vector(len: usize, seed: u64) -> Vec<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mbsr_roundtrip_preserves_matrix(a in arb_matrix(120)) {
+        let m = Mbsr::from_csr(&a);
+        m.validate();
+        prop_assert_eq!(m.to_csr(), a);
+    }
+
+    #[test]
+    fn amgt_spmv_matches_reference((a, seed) in (arb_matrix(100), 0u64..u64::MAX)) {
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv(&ctx, &m);
+        let x = arb_vector(a.ncols(), seed);
+        let got = spmv_mbsr(&ctx, &m, &plan, &x);
+        let expect = a.matvec(&x);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-8 * (1.0 + e.abs()), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn vendor_spmv_matches_reference((a, seed) in (arb_matrix(100), 0u64..u64::MAX)) {
+        let dev = Device::new(GpuSpec::h100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let x = arb_vector(a.ncols(), seed);
+        let got = spmv_csr(&ctx, &a, &x);
+        let expect = a.matvec(&x);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-9 * (1.0 + e.abs()));
+        }
+    }
+
+    #[test]
+    fn spgemm_backends_agree(a in arb_matrix(70)) {
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let m = Mbsr::from_csr(&a);
+        let (cv, _) = spgemm_csr(&ctx, &a, &a);
+        let (ct, stats) = spgemm_mbsr(&ctx, &m, &m);
+        ct.validate();
+        let ct_csr = ct.to_csr();
+        prop_assert!(cv.max_abs_diff(&ct_csr) < 1e-7 * (1.0 + cv.frob_norm()));
+        prop_assert_eq!(stats.result_blocks as usize, ct.n_blocks());
+        // Every scalar product position in the reference pattern appears in
+        // the mBSR bitmap pattern.
+        for r in 0..cv.nrows() {
+            let (cols, _) = cv.row(r);
+            for &c in cols {
+                prop_assert!(
+                    ct_csr.get(r, c as usize).is_some(),
+                    "missing ({r},{c}) in mBSR product"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_spmv_error_scales_with_precision((a, seed) in (arb_matrix(80), 0u64..u64::MAX)) {
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(&a);
+        let x = arb_vector(a.ncols(), seed);
+        let exact = a.matvec(&x);
+        let scale = exact.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1.0);
+        let mut errs = Vec::new();
+        for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            let ctx = Ctx::standalone(&dev, prec);
+            let plan = analyze_spmv(&ctx, &m);
+            let got = spmv_mbsr(&ctx, &m, &plan, &x);
+            let err = got
+                .iter()
+                .zip(&exact)
+                .map(|(g, e)| (g - e).abs())
+                .fold(0.0f64, f64::max)
+                / scale;
+            errs.push(err);
+        }
+        prop_assert!(errs[0] < 1e-12);
+        // "FP32" tensor mode rounds inputs to TF32 (10-bit mantissa), so
+        // its unit roundoff matches FP16's; the accumulator (f32 vs f32)
+        // and the wider exponent still keep it at or below the FP16 error.
+        prop_assert!(errs[1] < 5e-3, "tf32 err {}", errs[1]);
+        prop_assert!(errs[2] < 2e-2, "fp16 err {}", errs[2]);
+        prop_assert!(errs[0] <= errs[1] + 1e-15);
+        prop_assert!(errs[1] <= errs[2] + 1e-3);
+    }
+
+    #[test]
+    fn spmm_matches_column_spmv((a, seed) in (arb_matrix(80), 0u64..u64::MAX)) {
+        use amgt_kernels::spmm_mbsr::{spmm_mbsr, MultiVector};
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv(&ctx, &m);
+        let nrhs = 1 + (seed % 11) as usize;
+        let cols: Vec<Vec<f64>> = (0..nrhs)
+            .map(|j| arb_vector(a.ncols(), seed.wrapping_add(j as u64)))
+            .collect();
+        let x = MultiVector::from_columns(&cols);
+        let y = spmm_mbsr(&ctx, &m, &plan, &x);
+        for (j, col) in cols.iter().enumerate() {
+            let expect = a.matvec(col);
+            for (i, e) in expect.iter().enumerate() {
+                prop_assert!((y.get(i, j) - e).abs() < 1e-8 * (1.0 + e.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_bsr_spmv_matches_reference((a, seed) in (arb_matrix(90), 0u64..u64::MAX)) {
+        use amgt_kernels::spmv_bsr::spmv_bsr_dense;
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let m = Mbsr::from_csr(&a);
+        let x = arb_vector(a.ncols(), seed);
+        let got = spmv_bsr_dense(&ctx, &m, &x);
+        let expect = a.matvec(&x);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-9 * (1.0 + e.abs()));
+        }
+    }
+
+    #[test]
+    fn cost_ledger_monotone((a, seed) in (arb_matrix(60), 0u64..u64::MAX)) {
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv(&ctx, &m);
+        let x = arb_vector(a.ncols(), seed);
+        let before = dev.elapsed();
+        let _ = spmv_mbsr(&ctx, &m, &plan, &x);
+        let _ = spgemm_mbsr(&ctx, &m, &m);
+        prop_assert!(dev.elapsed() > before);
+        let events = dev.events();
+        for w in events.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

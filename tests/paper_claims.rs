@@ -1,0 +1,141 @@
+//! Shape tests for the paper's headline claims, run on the small-scale
+//! suite. These assert directions and orderings (who wins, where) rather
+//! than exact factors — the contract EXPERIMENTS.md documents.
+
+use amgt::geomean;
+use amgt::prelude::*;
+use amgt_kernels::convert::{csr_to_bsr, csr_to_mbsr};
+use amgt_kernels::Ctx;
+use amgt_sim::Phase;
+use amgt_sparse::gen::rhs_of_ones;
+use amgt_sparse::suite::{self, Scale};
+
+fn totals(name: &str, spec: &GpuSpec, cfg: AmgConfig, iters: usize) -> amgt::RunReport {
+    let a = suite::generate(name, Scale::Small);
+    let b = rhs_of_ones(&a);
+    let dev = Device::new(spec.clone());
+    let mut cfg = cfg;
+    cfg.max_iterations = iters;
+    let (_x, _h, rep) = run_amg(&dev, &cfg, a, &b);
+    rep
+}
+
+/// A handful of matrices spanning the suite's structure classes.
+const SAMPLE: [&str; 6] =
+    ["venkat25", "bcsstk39", "TSOPF_RS_b300_c3", "mc2depi", "spmsrtls", "nd24k"];
+
+#[test]
+fn amgt_beats_hypre_in_geomean_on_every_gpu() {
+    for spec in [GpuSpec::a100(), GpuSpec::h100(), GpuSpec::mi210()] {
+        let speedups: Vec<f64> = SAMPLE
+            .iter()
+            .map(|name| {
+                let rv = totals(name, &spec, AmgConfig::hypre_fp64(), 10);
+                let rt = totals(name, &spec, AmgConfig::amgt_fp64(), 10);
+                rv.total_seconds() / rt.total_seconds()
+            })
+            .collect();
+        let g = geomean(&speedups);
+        assert!(g > 1.1, "{}: geomean speedup {g}", spec.name);
+        assert!(g < 4.0, "{}: implausibly large speedup {g}", spec.name);
+    }
+}
+
+#[test]
+fn mi210_gains_exceed_nvidia_gains() {
+    // Paper: 2.24x on MI210 vs 1.46x/1.32x on A100/H100 (rocSPARSE trails).
+    let gain = |spec: &GpuSpec| {
+        let s: Vec<f64> = SAMPLE
+            .iter()
+            .map(|name| {
+                totals(name, spec, AmgConfig::hypre_fp64(), 10).total_seconds()
+                    / totals(name, spec, AmgConfig::amgt_fp64(), 10).total_seconds()
+            })
+            .collect();
+        geomean(&s)
+    };
+    let (a100, h100, mi210) = (gain(&GpuSpec::a100()), gain(&GpuSpec::h100()), gain(&GpuSpec::mi210()));
+    assert!(mi210 > a100, "MI210 {mi210} vs A100 {a100}");
+    assert!(a100 > h100, "A100 {a100} vs H100 {h100}");
+}
+
+#[test]
+fn mixed_precision_gains_small_but_positive_on_nvidia() {
+    for spec in [GpuSpec::a100(), GpuSpec::h100()] {
+        let speedups: Vec<f64> = ["venkat25", "bcsstk39", "cant"]
+            .iter()
+            .map(|name| {
+                let r64 = totals(name, &spec, AmgConfig::amgt_fp64(), 10);
+                let rmx = totals(name, &spec, AmgConfig::amgt_mixed(), 10);
+                r64.total_seconds() / rmx.total_seconds()
+            })
+            .collect();
+        let g = geomean(&speedups);
+        assert!(g > 1.0, "{}: mixed should help, got {g}", spec.name);
+        assert!(g < 1.35, "{}: mixed gain implausible: {g}", spec.name);
+    }
+}
+
+#[test]
+fn mi210_mixed_nearly_identical_to_fp64() {
+    // Equal FP32/FP64 throughput + no FP16 => near-identical times (V.F).
+    let r64 = totals("bcsstk39", &GpuSpec::mi210(), AmgConfig::amgt_fp64(), 10);
+    let rmx = totals("bcsstk39", &GpuSpec::mi210(), AmgConfig::amgt_mixed(), 10);
+    let ratio = r64.total_seconds() / rmx.total_seconds();
+    assert!((0.9..1.15).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn spgemm_dominates_setup_on_baseline() {
+    // Figure 1: ~59% average.
+    let shares: Vec<f64> = SAMPLE
+        .iter()
+        .map(|name| {
+            let rep = totals(name, &GpuSpec::h100(), AmgConfig::hypre_fp64(), 1);
+            rep.setup.share(rep.setup.spgemm)
+        })
+        .collect();
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    assert!((0.4..0.8).contains(&avg), "avg SpGEMM setup share {avg}");
+}
+
+#[test]
+fn spmv_dominates_solve_on_baseline() {
+    // Figure 2: ~80% average.
+    let shares: Vec<f64> = SAMPLE
+        .iter()
+        .map(|name| {
+            let rep = totals(name, &GpuSpec::h100(), AmgConfig::hypre_fp64(), 20);
+            rep.solve.share(rep.solve.spmv)
+        })
+        .collect();
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    assert!((0.6..0.95).contains(&avg), "avg SpMV solve share {avg}");
+}
+
+#[test]
+fn conversion_costs_nearly_identical_fig10() {
+    for name in SAMPLE {
+        let a = suite::generate(name, Scale::Small);
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::new(&dev, Phase::Preprocess, 0, Precision::Fp64);
+        csr_to_mbsr(&ctx, &a);
+        csr_to_bsr(&ctx, &a);
+        let evs = dev.events();
+        let ratio = evs[0].seconds / evs[1].seconds;
+        assert!((1.0..1.05).contains(&ratio), "{name}: conversion ratio {ratio}");
+    }
+}
+
+#[test]
+fn dense_tile_matrices_gain_more_than_stencils() {
+    // The tensor-core path drives the win: block matrices > stencils.
+    let spec = GpuSpec::a100();
+    let gain = |name: &str| {
+        totals(name, &spec, AmgConfig::hypre_fp64(), 10).setup.spgemm
+            / totals(name, &spec, AmgConfig::amgt_fp64(), 10).setup.spgemm
+    };
+    let dense = gain("venkat25");
+    let stencil = gain("mc2depi");
+    assert!(dense > stencil, "dense {dense} vs stencil {stencil}");
+}
