@@ -19,7 +19,7 @@ fn bench_amg(c: &mut Criterion) {
             bench.iter(|| {
                 let dev = Device::new(GpuSpec::a100());
                 black_box(setup(&dev, &cfg, black_box(a.clone())))
-            })
+            });
         });
     }
     for (label, mut cfg) in [
@@ -34,7 +34,7 @@ fn bench_amg(c: &mut Criterion) {
             bench.iter(|| {
                 let mut x = vec![0.0; b.len()];
                 black_box(solve(&dev, &cfg, &h, black_box(&b), &mut x))
-            })
+            });
         });
     }
     g.finish();

@@ -7,13 +7,19 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_conversion(c: &mut Criterion) {
     for name in ["venkat25", "mc2depi"] {
-        let a = generate(name, Scale::Small);
+        let a = generate(name, Scale::Small).unwrap();
         let m = Mbsr::from_csr(&a);
         let mut g = c.benchmark_group(format!("convert/{name}"));
         g.sample_size(20);
-        g.bench_function("csr_to_mbsr", |b| b.iter(|| black_box(Mbsr::from_csr(black_box(&a)))));
-        g.bench_function("csr_to_bsr", |b| b.iter(|| black_box(Bsr::from_csr(black_box(&a)))));
-        g.bench_function("mbsr_to_csr", |b| b.iter(|| black_box(black_box(&m).to_csr())));
+        g.bench_function("csr_to_mbsr", |b| {
+            b.iter(|| black_box(Mbsr::from_csr(black_box(&a))));
+        });
+        g.bench_function("csr_to_bsr", |b| {
+            b.iter(|| black_box(Bsr::from_csr(black_box(&a))));
+        });
+        g.bench_function("mbsr_to_csr", |b| {
+            b.iter(|| black_box(black_box(&m).to_csr()));
+        });
         g.finish();
     }
 }

@@ -6,8 +6,10 @@ use amgt_sim::Precision;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_mma(c: &mut Criterion) {
-    let a: [[f64; 4]; 8] = std::array::from_fn(|i| std::array::from_fn(|j| (i * 4 + j) as f64 * 0.1));
-    let b: [[f64; 8]; 4] = std::array::from_fn(|i| std::array::from_fn(|j| (i * 8 + j) as f64 * 0.05));
+    let a: [[f64; 4]; 8] =
+        std::array::from_fn(|i| std::array::from_fn(|j| (i * 4 + j) as f64 * 0.1));
+    let b: [[f64; 8]; 4] =
+        std::array::from_fn(|i| std::array::from_fn(|j| (i * 8 + j) as f64 * 0.05));
     let fa = FragA::pack(&a);
     let fb = FragB::pack(&b);
 
@@ -18,7 +20,7 @@ fn bench_mma(c: &mut Criterion) {
                 let mut fc = FragC::ZERO;
                 mma_8x8x4(&mut fc, black_box(&fa), black_box(&fb), prec);
                 black_box(fc)
-            })
+            });
         });
     }
     g.finish();
@@ -26,13 +28,13 @@ fn bench_mma(c: &mut Criterion) {
     c.bench_function("frag_pack_tiles", |bench| {
         let t0: [f64; 16] = std::array::from_fn(|i| i as f64);
         let t1: [f64; 16] = std::array::from_fn(|i| (i * 2) as f64);
-        bench.iter(|| FragA::pack_tiles(black_box(&t0), black_box(&t1)))
+        bench.iter(|| FragA::pack_tiles(black_box(&t0), black_box(&t1)));
     });
 
     c.bench_function("frag_extract_tile", |bench| {
         let mut fc = FragC::ZERO;
         mma_8x8x4(&mut fc, &fa, &fb, Precision::Fp64);
-        bench.iter(|| black_box(&fc).extract_tile(0, 1))
+        bench.iter(|| black_box(&fc).extract_tile(0, 1));
     });
 }
 

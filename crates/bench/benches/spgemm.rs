@@ -11,7 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_spgemm(c: &mut Criterion) {
     for name in ["venkat25", "mc2depi"] {
-        let a = generate(name, Scale::Small);
+        let a = generate(name, Scale::Small).unwrap();
         let m = Mbsr::from_csr(&a);
         let dev = Device::new(GpuSpec::a100());
         let ctx = Ctx::standalone(&dev, Precision::Fp64);
@@ -19,10 +19,10 @@ fn bench_spgemm(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("spgemm/{name}"));
         g.sample_size(10);
         g.bench_function("vendor_csr", |b| {
-            b.iter(|| black_box(spgemm_csr(&ctx, black_box(&a), black_box(&a))))
+            b.iter(|| black_box(spgemm_csr(&ctx, black_box(&a), black_box(&a))));
         });
         g.bench_function("amgt_mbsr", |b| {
-            b.iter(|| black_box(spgemm_mbsr(&ctx, black_box(&m), black_box(&m))))
+            b.iter(|| black_box(spgemm_mbsr(&ctx, black_box(&m), black_box(&m))));
         });
         g.finish();
     }

@@ -11,23 +11,27 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_spmm(c: &mut Criterion) {
     for name in ["venkat25", "mc2depi"] {
-        let a = generate(name, Scale::Small);
+        let a = generate(name, Scale::Small).unwrap();
         let m = Mbsr::from_csr(&a);
         let dev = Device::new(GpuSpec::a100());
         let ctx = Ctx::standalone(&dev, Precision::Fp64);
         let plan = analyze_spmv(&ctx, &m);
         let cols: Vec<Vec<f64>> = (0..8)
-            .map(|j| (0..a.ncols()).map(|i| ((i + j) % 13) as f64 * 0.3).collect())
+            .map(|j| {
+                (0..a.ncols())
+                    .map(|i| ((i + j) % 13) as f64 * 0.3)
+                    .collect()
+            })
             .collect();
         let x = MultiVector::from_columns(&cols);
 
         let mut g = c.benchmark_group(format!("spmm8/{name}"));
         g.sample_size(20);
         g.bench_function("fused_mbsr", |b| {
-            b.iter(|| black_box(spmm_mbsr(&ctx, black_box(&m), &plan, black_box(&x))))
+            b.iter(|| black_box(spmm_mbsr(&ctx, black_box(&m), &plan, black_box(&x))));
         });
         g.bench_function("column_loop_csr", |b| {
-            b.iter(|| black_box(spmm_by_columns(&ctx, black_box(&a), black_box(&x))))
+            b.iter(|| black_box(spmm_by_columns(&ctx, black_box(&a), black_box(&x))));
         });
         g.finish();
     }

@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn bench_spmv(c: &mut Criterion) {
     // venkat25: dense tiles (tensor path); mc2depi: sparse tiles (CUDA path).
     for name in ["venkat25", "mc2depi"] {
-        let a = generate(name, Scale::Small);
+        let a = generate(name, Scale::Small).unwrap();
         let m = Mbsr::from_csr(&a);
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 17) as f64 * 0.21).collect();
         let dev = Device::new(GpuSpec::a100());
@@ -21,14 +21,14 @@ fn bench_spmv(c: &mut Criterion) {
 
         let mut g = c.benchmark_group(format!("spmv/{name}"));
         g.bench_function("vendor_csr", |b| {
-            b.iter(|| black_box(spmv_csr(&ctx, black_box(&a), black_box(&x))))
+            b.iter(|| black_box(spmv_csr(&ctx, black_box(&a), black_box(&x))));
         });
         g.bench_function("amgt_mbsr", |b| {
-            b.iter(|| black_box(spmv_mbsr(&ctx, black_box(&m), &plan, black_box(&x))))
+            b.iter(|| black_box(spmv_mbsr(&ctx, black_box(&m), &plan, black_box(&x))));
         });
         g.bench_function("amgt_mbsr_fp16", |b| {
             let ctx16 = Ctx::standalone(&dev, Precision::Fp16);
-            b.iter(|| black_box(spmv_mbsr(&ctx16, black_box(&m), &plan, black_box(&x))))
+            b.iter(|| black_box(spmv_mbsr(&ctx16, black_box(&m), &plan, black_box(&x))));
         });
         g.finish();
     }

@@ -16,15 +16,21 @@ use amgt_sim::{Device, GpuSpec, KernelCost, KernelKind, Precision};
 use amgt_sparse::bitmap;
 use amgt_sparse::Mbsr;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     let spec = GpuSpec::a100();
 
     // ---- Ablation 1: density threshold sweep for the SpMV dispatch. ----
     println!("== Ablation 1: SpMV tensor/CUDA dispatch threshold (A100, FP64) ==\n");
-    let mut t1 = Table::new(&["matrix", "avg_nnz_blc", "thr=1 (always TC)", "thr=10 (paper)", "thr=17 (never TC)"]);
+    let mut t1 = Table::new(&[
+        "matrix",
+        "avg_nnz_blc",
+        "thr=1 (always TC)",
+        "thr=10 (paper)",
+        "thr=17 (never TC)",
+    ]);
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let m = Mbsr::from_csr(&a);
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64 * 0.3).collect();
         let mut times = Vec::new();
@@ -49,9 +55,15 @@ fn main() {
 
     // ---- Ablation 2: load balancing on the most skewed matrix. ----
     println!("\n== Ablation 2: load-balanced schedule vs row-per-warp ==\n");
-    let mut t2 = Table::new(&["matrix", "variation", "row-per-warp warps", "balanced warps", "max blocks/warp (plain)"]);
+    let mut t2 = Table::new(&[
+        "matrix",
+        "variation",
+        "row-per-warp warps",
+        "balanced warps",
+        "max blocks/warp (plain)",
+    ]);
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let m = Mbsr::from_csr(&a);
         let dev = Device::new(spec.clone());
         let ctx = Ctx::standalone(&dev, Precision::Fp64);
@@ -73,9 +85,15 @@ fn main() {
 
     // ---- Ablation 3: the bitmap's value (executed kernels). ----
     println!("\n== Ablation 3: bitmap-guided mBSR SpMV vs dense-tile BSR SpMV ==\n");
-    let mut t3 = Table::new(&["matrix", "avg nnz/tile", "bitmap spmv", "dense spmv", "bitmap speedup"]);
+    let mut t3 = Table::new(&[
+        "matrix",
+        "avg nnz/tile",
+        "bitmap spmv",
+        "dense spmv",
+        "bitmap speedup",
+    ]);
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let m = Mbsr::from_csr(&a);
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 11) as f64 * 0.4).collect();
         let dev = Device::new(spec.clone());
@@ -100,9 +118,14 @@ fn main() {
 
     // ---- Ablation 4: hash-table sizing by bin. ----
     println!("\n== Ablation 4: binned vs flat hash sizing (symbolic SpGEMM) ==\n");
-    let mut t4 = Table::new(&["matrix", "bins (rows per bin)", "binned table bytes", "flat-8192 bytes"]);
+    let mut t4 = Table::new(&[
+        "matrix",
+        "bins (rows per bin)",
+        "binned table bytes",
+        "flat-8192 bytes",
+    ]);
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let m = Mbsr::from_csr(&a);
         let dev = Device::new(spec.clone());
         let ctx = Ctx::standalone(&dev, Precision::Fp64);
@@ -128,9 +151,11 @@ fn main() {
 
     // ---- Ablation 5: cycle shape (V vs W vs F). ----
     println!("\n== Ablation 5: cycle type at equal iteration counts (A100, AmgT FP64) ==\n");
-    let mut t5 = Table::new(&["matrix", "V relres", "W relres", "F relres", "V time", "W time"]);
+    let mut t5 = Table::new(&[
+        "matrix", "V relres", "W relres", "F relres", "V time", "W time",
+    ]);
     for entry in args.entries().into_iter().take(6) {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let b = amgt_sparse::gen::rhs_of_ones(&a);
         let mut row = vec![entry.name.to_string()];
         let mut times = Vec::new();
@@ -140,7 +165,10 @@ fn main() {
             cfg.cycle = cycle;
             cfg.max_iterations = 8;
             let (_x, _h, rep) = amgt::run_amg(&dev, &cfg, a.clone(), &b);
-            row.push(format!("{:.1e}", rep.solve_report.final_relative_residual()));
+            row.push(format!(
+                "{:.1e}",
+                rep.solve_report.final_relative_residual()
+            ));
             times.push(rep.solve.total);
         }
         row.push(format!("{:.1} us", times[0] * 1e6));
@@ -155,7 +183,7 @@ fn main() {
     println!("\n== Ablation 6: setup vs alpha-Setup-style re-setup ==\n");
     let mut t6 = Table::new(&["matrix", "full setup", "re-setup", "saving"]);
     for entry in args.entries().into_iter().take(6) {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let dev = Device::new(spec.clone());
         let cfg = amgt::AmgConfig::amgt_fp64();
         let t0 = dev.elapsed();
@@ -175,4 +203,5 @@ fn main() {
     let _ = KernelCost::default();
     let _ = KernelKind::SpMV;
     let _ = bitmap::TENSOR_DENSITY_THRESHOLD;
+    Ok(())
 }

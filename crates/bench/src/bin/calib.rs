@@ -6,10 +6,10 @@ use amgt_bench::{fmt_time, run_variant, HarnessArgs, Variant};
 use amgt_sim::{GpuSpec, Phase};
 use std::collections::BTreeMap;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     let name = args.only.clone().unwrap_or_else(|| "venkat25".into());
-    let a = args.generate(&name);
+    let a = args.generate(&name)?;
     println!("matrix {name}: n={} nnz={}", a.nrows(), a.nnz());
     let m = amgt_sparse::Mbsr::from_csr(&a);
     println!(
@@ -40,4 +40,5 @@ fn main() {
         }
         let _ = Phase::Setup;
     }
+    Ok(())
 }

@@ -9,15 +9,22 @@ use amgt_kernels::convert::{csr_to_bsr, csr_to_mbsr};
 use amgt_kernels::Ctx;
 use amgt_sim::{Device, GpuSpec, Phase, Precision};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     let spec = GpuSpec::a100();
-    println!("== Figure 10: CSR->mBSR (AmgT) vs CSR->BSR (cuSPARSE) on {} ==\n", spec.name);
+    println!(
+        "== Figure 10: CSR->mBSR (AmgT) vs CSR->BSR (cuSPARSE) on {} ==\n",
+        spec.name
+    );
     let mut table = Table::new(&[
-        "matrix", "csr2mbsr", "csr2bsr", "ratio", "conv share of total",
+        "matrix",
+        "csr2mbsr",
+        "csr2bsr",
+        "ratio",
+        "conv share of total",
     ]);
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let dev = Device::new(spec.clone());
         let ctx = Ctx::new(&dev, Phase::Preprocess, 0, Precision::Fp64);
         csr_to_mbsr(&ctx, &a);
@@ -40,4 +47,5 @@ fn main() {
     table.print();
     println!("\nPaper: the two conversions are nearly identical (mBSR adds only the");
     println!("2-byte bitmap per block) and the total conversion cost stays small.");
+    Ok(())
 }

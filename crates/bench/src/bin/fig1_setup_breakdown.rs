@@ -6,14 +6,17 @@
 use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     let spec = GpuSpec::h100();
-    println!("== Figure 1: setup-phase breakdown on {} (HYPRE baseline) ==\n", spec.name);
+    println!(
+        "== Figure 1: setup-phase breakdown on {} (HYPRE baseline) ==\n",
+        spec.name
+    );
     let mut table = Table::new(&["matrix", "setup total", "SpGEMM", "SpGEMM %", "others %"]);
     let mut shares = Vec::new();
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let (_dev, rep) = run_variant(&spec, Variant::HypreFp64, &a, 1);
         let share = rep.setup.share(rep.setup.spgemm);
         shares.push(share);
@@ -27,5 +30,9 @@ fn main() {
     }
     table.print();
     let avg = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
-    println!("\naverage SpGEMM share of setup: {:.2}%   (paper: 59.22%)", avg * 100.0);
+    println!(
+        "\naverage SpGEMM share of setup: {:.2}%   (paper: 59.22%)",
+        avg * 100.0
+    );
+    Ok(())
 }

@@ -5,15 +5,24 @@
 use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     let spec = GpuSpec::h100();
-    println!("== Figure 2: solve-phase breakdown on {} (HYPRE baseline) ==\n", spec.name);
-    let mut table =
-        Table::new(&["matrix", "solve total", "SpMV", "SpMV calls", "SpMV %", "others %"]);
+    println!(
+        "== Figure 2: solve-phase breakdown on {} (HYPRE baseline) ==\n",
+        spec.name
+    );
+    let mut table = Table::new(&[
+        "matrix",
+        "solve total",
+        "SpMV",
+        "SpMV calls",
+        "SpMV %",
+        "others %",
+    ]);
     let mut shares = Vec::new();
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let (_dev, rep) = run_variant(&spec, Variant::HypreFp64, &a, args.iters);
         let share = rep.solve.share(rep.solve.spmv);
         shares.push(share);
@@ -28,5 +37,9 @@ fn main() {
     }
     table.print();
     let avg = shares.iter().sum::<f64>() / shares.len().max(1) as f64;
-    println!("\naverage SpMV share of solve: {:.2}%   (paper: 80.23%)", avg * 100.0);
+    println!(
+        "\naverage SpMV share of solve: {:.2}%   (paper: 80.23%)",
+        avg * 100.0
+    );
+    Ok(())
 }

@@ -12,7 +12,7 @@ use amgt::geomean;
 use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     println!("== Figure 7: HYPRE (FP64) vs AmgT (FP64) vs AmgT (Mixed) ==");
     println!("Table I specs in effect:");
@@ -41,7 +41,7 @@ fn main() {
         let mut sp_spmv = Vec::new();
 
         for entry in args.entries() {
-            let a = args.generate(entry.name);
+            let a = args.generate(entry.name)?;
             let mut totals = Vec::new();
             let mut reports = Vec::new();
             for v in Variant::ALL {
@@ -92,4 +92,5 @@ fn main() {
     }
     println!("\nPaper reference: total geomean 1.46x (A100), 1.32x (H100), 2.24x (MI210);");
     println!("mixed-over-FP64 geomean 1.02-1.04x (NVIDIA), ~1.00x (MI210).");
+    Ok(())
 }

@@ -10,20 +10,31 @@
 use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::{GpuSpec, KernelKind, Phase};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     let spec = GpuSpec::h100();
-    println!("== Figure 8: per-call SpGEMM/SpMV timeline on {} ==", spec.name);
+    println!(
+        "== Figure 8: per-call SpGEMM/SpMV timeline on {} ==",
+        spec.name
+    );
     // Full dumps are long; print the series for one matrix (default
     // TSOPF — the paper's walkthrough example) and summaries for the rest.
-    let detail = args.only.clone().unwrap_or_else(|| "TSOPF_RS_b300_c3".to_string());
+    let detail = args
+        .only
+        .clone()
+        .unwrap_or_else(|| "TSOPF_RS_b300_c3".to_string());
 
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         println!("\n--- {} ---", entry.name);
         let mut summary = Table::new(&[
-            "variant", "spgemm calls", "spgemm mean", "spmv calls", "spmv mean",
-            "spmv lvl0 mean", "spmv coarse mean",
+            "variant",
+            "spgemm calls",
+            "spgemm mean",
+            "spmv calls",
+            "spmv mean",
+            "spmv lvl0 mean",
+            "spmv coarse mean",
         ]);
         for v in Variant::ALL {
             let (_dev, rep) = run_variant(&spec, v, &a, args.iters);
@@ -57,7 +68,10 @@ fn main() {
             ]);
 
             if entry.name == detail {
-                println!("\n[{}] full series (seq kernel level precision us):", v.label());
+                println!(
+                    "\n[{}] full series (seq kernel level precision us):",
+                    v.label()
+                );
                 for e in spgemm.iter().take(18) {
                     println!(
                         "  spgemm {:>5} L{} {:>4} {:>9.2}",
@@ -85,4 +99,5 @@ fn main() {
     }
     println!("\nExpected banding (paper Section V.D): HYPRE dots sit above AmgT dots at");
     println!("level 0; AmgT(Mixed) coarse-level dots sit below AmgT(FP64) ones (FP16).");
+    Ok(())
 }

@@ -11,17 +11,20 @@ use amgt_bench::{fmt_time, HarnessArgs, Table, Variant};
 use amgt_sim::{Cluster, GpuSpec, Interconnect};
 use amgt_sparse::gen::rhs_of_ones;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse_with_default(amgt_sparse::suite::Scale::Medium);
     const N_GPUS: usize = 8;
-    println!("== Figure 9: {} x A100 over NVLink (scale {:?}) ==\n", N_GPUS, args.scale);
+    println!(
+        "== Figure 9: {} x A100 over NVLink (scale {:?}) ==\n",
+        N_GPUS, args.scale
+    );
     let mut table = Table::new(&[
         "matrix", "variant", "setup", "solve", "(comm)", "total", "rel.res",
     ]);
     let mut sp_amgt = Vec::new();
     let mut sp_mixed = Vec::new();
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let b = rhs_of_ones(&a);
         let mut totals = Vec::new();
         for v in Variant::ALL {
@@ -33,7 +36,10 @@ fn main() {
                 v.label().to_string(),
                 fmt_time(rep.setup_seconds),
                 fmt_time(rep.solve_seconds),
-                format!("{:.0}%", 100.0 * rep.solve_comm_seconds / rep.solve_seconds.max(1e-30)),
+                format!(
+                    "{:.0}%",
+                    100.0 * rep.solve_comm_seconds / rep.solve_seconds.max(1e-30)
+                ),
                 fmt_time(rep.total_seconds()),
                 format!("{:.1e}", rep.solve_report.final_relative_residual()),
             ]);
@@ -54,4 +60,5 @@ fn main() {
         geomean(&sp_mixed),
         max(&sp_mixed)
     );
+    Ok(())
 }

@@ -11,18 +11,23 @@ use amgt::geomean;
 use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     for spec in [GpuSpec::a100(), GpuSpec::h100(), GpuSpec::mi210()] {
         println!("\n--- {} (in-AMG kernel totals, FP64) ---", spec.name);
         let mut table = Table::new(&[
-            "matrix", "spgemm vendor", "spgemm AmgT", "speedup", "spmv vendor", "spmv AmgT",
+            "matrix",
+            "spgemm vendor",
+            "spgemm AmgT",
+            "speedup",
+            "spmv vendor",
+            "spmv AmgT",
             "speedup",
         ]);
         let mut sp_gemm = Vec::new();
         let mut sp_mv = Vec::new();
         for entry in args.entries() {
-            let a = args.generate(entry.name);
+            let a = args.generate(entry.name)?;
             let (_d, rv) = run_variant(&spec, Variant::HypreFp64, &a, args.iters);
             let (_d, rt) = run_variant(&spec, Variant::AmgtFp64, &a, args.iters);
             let g = rv.setup.spgemm / rt.setup.spgemm;
@@ -52,4 +57,5 @@ fn main() {
     }
     println!("\nPaper: SpGEMM 3.09/2.40/4.67x geomean (max 7.61/6.11/5.96x);");
     println!("SpMV 1.34/1.19/2.92x geomean (max 2.21/2.09/6.70x) on A100/H100/MI210.");
+    Ok(())
 }

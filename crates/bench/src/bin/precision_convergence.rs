@@ -9,15 +9,20 @@
 use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     println!("== Mixed-precision convergence (real FP16/TF32 arithmetic) ==\n");
     let mut table = Table::new(&[
-        "matrix", "levels", "relres FP64", "relres Mixed", "ratio", "iters",
+        "matrix",
+        "levels",
+        "relres FP64",
+        "relres Mixed",
+        "ratio",
+        "iters",
     ]);
     let mut worst: f64 = 0.0;
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let (_d, r64) = run_variant(&GpuSpec::h100(), Variant::AmgtFp64, &a, args.iters);
         let (_d, rmx) = run_variant(&GpuSpec::h100(), Variant::AmgtMixed, &a, args.iters);
         let (f64res, mixres) = (
@@ -40,4 +45,5 @@ fn main() {
     println!("iteration count. Ratios near 1 confirm the premise; large ratios mark");
     println!("matrices where FP16 coarse grids would need safeguarding (none expected");
     println!("for the diagonally dominant suite). Worst ratio observed: {worst:.1}.");
+    Ok(())
 }

@@ -8,23 +8,26 @@ use amgt::expected_spmv_calls;
 use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
     println!("== Table II: evaluation matrices (paper values vs this reproduction) ==\n");
     let mut table = Table::new(&[
-        "group", "matrix", "n (paper)", "n (ours)", "nnz (paper)", "nnz (ours)",
-        "levels p/o", "#SpGEMM p/o", "#SpMV p/o",
+        "group",
+        "matrix",
+        "n (paper)",
+        "n (ours)",
+        "nnz (paper)",
+        "nnz (ours)",
+        "levels p/o",
+        "#SpGEMM p/o",
+        "#SpMV p/o",
     ]);
     for entry in args.entries() {
-        let a = args.generate(entry.name);
+        let a = args.generate(entry.name)?;
         let (_dev, rep) = run_variant(&GpuSpec::h100(), Variant::AmgtFp64, &a, args.iters);
         let levels = rep.setup_stats.levels;
-        let spmv_expected = expected_spmv_calls(
-            levels,
-            args.iters,
-            amgt::CoarseSolver::Jacobi(1),
-            1,
-        );
+        let spmv_expected =
+            expected_spmv_calls(levels, args.iters, amgt::CoarseSolver::Jacobi(1), 1);
         assert_eq!(rep.spmv_calls, spmv_expected, "SpMV accounting drifted");
         table.row(vec![
             entry.group.to_string(),
@@ -43,4 +46,5 @@ fn main() {
     println!("coarsens differently from the original SuiteSparse matrix; the SpGEMM");
     println!("and SpMV call counts follow the paper's formulas exactly given the level");
     println!("count (3(L-1) SpGEMMs; iters*(5(L-1)+2)+1 SpMVs with a 1-sweep coarse solve).");
+    Ok(())
 }

@@ -16,7 +16,7 @@
 
 use amgt::prelude::*;
 use amgt_sparse::gen::rhs_of_ones;
-use amgt_sparse::suite::{self, Scale, SuiteEntry};
+use amgt_sparse::suite::{self, Scale, SuiteEntry, SuiteError};
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
@@ -70,7 +70,12 @@ impl HarnessArgs {
             .collect()
     }
 
-    pub fn generate(&self, name: &str) -> Csr {
+    /// Generate one suite matrix at the selected scale.
+    ///
+    /// # Errors
+    /// Propagates [`SuiteError`] for names outside the suite (reachable via
+    /// binaries that accept a free-form matrix name).
+    pub fn generate(&self, name: &str) -> Result<Csr, SuiteError> {
         suite::generate(name, self.scale)
     }
 }
@@ -133,7 +138,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -151,12 +159,15 @@ impl Table {
         let line = |cells: &[String]| {
             let mut s = String::new();
             for (c, w) in cells.iter().zip(&widths) {
-                s.push_str(&format!("{c:>w$}  ", w = w));
+                s.push_str(&format!("{c:>w$}  "));
             }
             println!("{}", s.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

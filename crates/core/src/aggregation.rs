@@ -77,7 +77,10 @@ pub fn aggregate(ctx: &Ctx, s: &Strength, seed: u64) -> Aggregation {
             ..Default::default()
         },
     );
-    Aggregation { aggregate_of: agg, n_aggregates: count as usize }
+    Aggregation {
+        aggregate_of: agg,
+        n_aggregates: count as usize,
+    }
 }
 
 /// Piecewise-constant tentative prolongator: `P[i, agg(i)] = 1`.
@@ -108,8 +111,10 @@ pub fn smoothed_prolongator(
     // Scale rows of AP by -omega / d_i and add the tentative part.
     let diag = a.diagonal();
     let mut scaled = ap.csr;
-    let scale: Vec<f64> =
-        diag.iter().map(|&d| if d != 0.0 { -omega / d } else { 0.0 }).collect();
+    let scale: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d != 0.0 { -omega / d } else { 0.0 })
+        .collect();
     scaled.scale_rows(&scale);
     let p = p_tent.add(&scaled);
     ctx.charge(
@@ -192,7 +197,11 @@ mod tests {
         let d = a.diagonal();
         for i in 0..p.nrows() {
             let expect = 1.0 - (2.0 / 3.0) * a1[i] / d[i];
-            assert!((p1[i] - expect).abs() < 1e-12, "row {i}: {} vs {expect}", p1[i]);
+            assert!(
+                (p1[i] - expect).abs() < 1e-12,
+                "row {i}: {} vs {expect}",
+                p1[i]
+            );
         }
     }
 

@@ -11,6 +11,7 @@
 use crate::config::BackendKind;
 use amgt_kernels::convert::{csr_to_mbsr, mbsr_to_csr};
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
+use amgt_kernels::spmm_mbsr::{spmm_by_columns, spmm_mbsr, MultiVector};
 use amgt_kernels::spmv_mbsr::{analyze_spmv, spmv_mbsr, SpmvPlan};
 use amgt_kernels::vendor::{spgemm_csr, spmv_csr};
 use amgt_kernels::Ctx;
@@ -32,11 +33,21 @@ impl Operator {
     /// (charged) `CSR2MBSR` conversion and SpMV preprocessing.
     pub fn prepare(ctx: &Ctx, backend: BackendKind, csr: Csr) -> Operator {
         match backend {
-            BackendKind::Vendor => Operator { backend, csr, mbsr: None, plan: None },
+            BackendKind::Vendor => Operator {
+                backend,
+                csr,
+                mbsr: None,
+                plan: None,
+            },
             BackendKind::AmgT => {
                 let m = csr_to_mbsr(ctx, &csr);
                 let plan = analyze_spmv(ctx, &m);
-                Operator { backend, csr, mbsr: Some(m), plan: Some(plan) }
+                Operator {
+                    backend,
+                    csr,
+                    mbsr: Some(m),
+                    plan: Some(plan),
+                }
             }
         }
     }
@@ -45,10 +56,20 @@ impl Operator {
     /// intermediates): converts to mBSR but skips the SpMV preprocessing.
     pub fn prepare_for_spgemm(ctx: &Ctx, backend: BackendKind, csr: Csr) -> Operator {
         match backend {
-            BackendKind::Vendor => Operator { backend, csr, mbsr: None, plan: None },
+            BackendKind::Vendor => Operator {
+                backend,
+                csr,
+                mbsr: None,
+                plan: None,
+            },
             BackendKind::AmgT => {
                 let m = csr_to_mbsr(ctx, &csr);
-                Operator { backend, csr, mbsr: Some(m), plan: None }
+                Operator {
+                    backend,
+                    csr,
+                    mbsr: Some(m),
+                    plan: None,
+                }
             }
         }
     }
@@ -58,7 +79,12 @@ impl Operator {
     /// SpMV plan (products feeding further setup steps never run SpMV).
     pub fn from_mbsr(ctx: &Ctx, m: Mbsr) -> Operator {
         let csr = mbsr_to_csr(ctx, &m);
-        Operator { backend: BackendKind::AmgT, csr, mbsr: Some(m), plan: None }
+        Operator {
+            backend: BackendKind::AmgT,
+            csr,
+            mbsr: Some(m),
+            plan: None,
+        }
     }
 
     pub fn backend(&self) -> BackendKind {
@@ -90,6 +116,22 @@ impl Operator {
         }
     }
 
+    /// `Y = A X` on a dense multi-vector. The AmgT backend coalesces the
+    /// columns into [`amgt_kernels::spmm_mbsr::RHS_TILE`]-wide tensor slabs
+    /// (each output column stays bitwise equal to [`Operator::spmv`] of that
+    /// column); the vendor backend has no fused SpMM and loops columns.
+    pub fn spmm(&self, ctx: &Ctx, x: &MultiVector) -> MultiVector {
+        match self.backend {
+            BackendKind::Vendor => spmm_by_columns(ctx, &self.csr, x),
+            BackendKind::AmgT => spmm_mbsr(
+                ctx,
+                self.mbsr.as_ref().expect("AmgT operator carries mBSR"),
+                self.plan.as_ref().expect("AmgT operator carries a plan"),
+                x,
+            ),
+        }
+    }
+
     /// Quantize the operator's stored values to the context precision
     /// (charged): the "very low cost" per-level conversion of Section IV.E.
     pub fn quantize(&mut self, ctx: &Ctx) {
@@ -112,7 +154,12 @@ pub fn op_matmul(ctx: &Ctx, a: &Operator, b: &Operator) -> Operator {
     match a.backend {
         BackendKind::Vendor => {
             let (c, _stats) = spgemm_csr(ctx, &a.csr, &b.csr);
-            Operator { backend: BackendKind::Vendor, csr: c, mbsr: None, plan: None }
+            Operator {
+                backend: BackendKind::Vendor,
+                csr: c,
+                mbsr: None,
+                plan: None,
+            }
         }
         BackendKind::AmgT => {
             let (c, _stats) = spgemm_mbsr(

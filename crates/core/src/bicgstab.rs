@@ -126,7 +126,12 @@ pub fn bicgstab_solve(
         converged = rel < tol;
     }
 
-    BicgstabReport { iterations, converged, breakdown, history }
+    BicgstabReport {
+        iterations,
+        converged,
+        breakdown,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +187,12 @@ mod tests {
         let rep = bicgstab_solve(&dev, &cfg, &h, &b, &mut x, 1e-9, 60);
         assert!(rep.converged, "history {:?}", rep.history);
         let ax = a.matvec(&x);
-        let res: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(res / bn < 1e-8);
     }

@@ -43,7 +43,11 @@ fn usage() -> ! {
          \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
          \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\n\
          suite names: {}",
-        suite::entries().iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+        suite::entries()
+            .iter()
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
@@ -66,7 +70,9 @@ fn parse_args() -> Options {
             "--mtx" => matrix = Some(MatrixSource::Mtx(PathBuf::from(next()))),
             "--suite" => matrix = Some(MatrixSource::Suite(next())),
             "--poisson2d" => {
-                matrix = Some(MatrixSource::Poisson2d(next().parse().unwrap_or_else(|_| usage())))
+                matrix = Some(MatrixSource::Poisson2d(
+                    next().parse().unwrap_or_else(|_| usage()),
+                ));
             }
             "--backend" => {
                 backend = match next().as_str() {
@@ -115,11 +121,21 @@ fn main() {
                 std::process::exit(1);
             }
         },
-        MatrixSource::Suite(name) => suite::generate(name, Scale::Small),
+        MatrixSource::Suite(name) => match suite::generate(name, Scale::Small) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
         MatrixSource::Poisson2d(n) => laplacian_2d(*n, *n, Stencil2d::Five),
     };
     if a.nrows() != a.ncols() {
-        eprintln!("AMG needs a square system; got {} x {}", a.nrows(), a.ncols());
+        eprintln!(
+            "AMG needs a square system; got {} x {}",
+            a.nrows(),
+            a.ncols()
+        );
         std::process::exit(1);
     }
     if opt.info {
@@ -145,7 +161,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     if opt.pcg {
         let h = setup(&device, &cfg, a);
-        println!("hierarchy: {} levels {:?}", h.n_levels(), h.stats.grid_sizes);
+        println!(
+            "hierarchy: {} levels {:?}",
+            h.n_levels(),
+            h.stats.grid_sizes
+        );
         let mut x = vec![0.0; b.len()];
         let rep = pcg_solve(&device, &cfg, &h, &b, &mut x, opt.tol, opt.iters);
         println!(
@@ -159,7 +179,11 @@ fn main() {
         }
     } else {
         let (_x, h, rep) = run_amg(&device, &cfg, a, &b);
-        println!("hierarchy: {} levels {:?}", h.n_levels(), rep.setup_stats.grid_sizes);
+        println!(
+            "hierarchy: {} levels {:?}",
+            h.n_levels(),
+            rep.setup_stats.grid_sizes
+        );
         println!(
             "solve: {} cycles, relres {:.3e}, converged = {}",
             rep.solve_report.iterations,

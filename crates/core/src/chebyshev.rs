@@ -66,7 +66,11 @@ pub struct Chebyshev {
 
 impl Chebyshev {
     pub fn new(degree: usize, lambda_max: f64) -> Self {
-        Chebyshev { degree, lambda_max, eig_ratio: 30.0 }
+        Chebyshev {
+            degree,
+            lambda_max,
+            eig_ratio: 30.0,
+        }
     }
 
     /// Construct with the safe Gershgorin spectral bound of the level.
@@ -162,7 +166,11 @@ mod tests {
 
         let residual = |x: &[f64]| {
             let ax = a.matvec(x);
-            ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt()
+            ax.iter()
+                .zip(&b)
+                .map(|(u, v)| (u - v) * (u - v))
+                .sum::<f64>()
+                .sqrt()
         };
         let mut errs = Vec::new();
         for degree in [1usize, 4] {
@@ -199,13 +207,20 @@ mod tests {
         for _ in 0..6 {
             cheb.apply(&ctx, h.finest(), &b, &mut x);
             let ax = a.matvec(&x);
-            let res: f64 =
-                ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+            let res: f64 = ax
+                .iter()
+                .zip(&b)
+                .map(|(u, v)| (u - v) * (u - v))
+                .sum::<f64>()
+                .sqrt();
             assert!(res < prev * 1.0001, "residual grew: {res} after {prev}");
             prev = res;
         }
         // Smooth modes are left to the coarse grid, so the smoother alone
         // only contracts moderately — but it must contract.
-        assert!(prev < 0.2 * initial, "final residual {prev} vs initial {initial}");
+        assert!(
+            prev < 0.2 * initial,
+            "final residual {prev} vs initial {initial}"
+        );
     }
 }

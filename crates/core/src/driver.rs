@@ -77,7 +77,12 @@ impl RunReport {
 /// Run setup + solve for `A x = b` (zero initial guess) and collect the
 /// report. The device ledger is *not* reset; events are sliced from the
 /// call boundary so multiple runs can share a device if desired.
-pub fn run_amg(device: &Device, cfg: &AmgConfig, a: Csr, b: &[f64]) -> (Vec<f64>, Hierarchy, RunReport) {
+pub fn run_amg(
+    device: &Device,
+    cfg: &AmgConfig,
+    a: Csr,
+    b: &[f64],
+) -> (Vec<f64>, Hierarchy, RunReport) {
     let start = device.events().len();
     let h = setup(device, cfg, a);
     let solve_start = device.events().len();
@@ -90,7 +95,10 @@ pub fn run_amg(device: &Device, cfg: &AmgConfig, a: Csr, b: &[f64]) -> (Vec<f64>
     let report = RunReport {
         setup: PhaseBreakdown::from_events(setup_events.iter()),
         solve: PhaseBreakdown::from_events(solve_events.iter()),
-        spmv_calls: solve_events.iter().filter(|e| e.kind == KernelKind::SpMV).count(),
+        spmv_calls: solve_events
+            .iter()
+            .filter(|e| e.kind == KernelKind::SpMV)
+            .count(),
         spgemm_calls: setup_events
             .iter()
             .filter(|e| e.kind == KernelKind::SpGemmNumeric)

@@ -156,7 +156,12 @@ pub fn fgmres_solve(
         }
     }
 
-    GmresReport { iterations: total_iters, restarts, converged, history }
+    GmresReport {
+        iterations: total_iters,
+        restarts,
+        converged,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +215,12 @@ mod tests {
         let rep = fgmres_solve(&dev, &cfg, &h, &b, &mut x, 1e-9, 25, 8);
         assert!(rep.converged, "history {:?}", rep.history);
         let ax = a.matvec(&x);
-        let res: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(res / bn < 1e-8);
     }

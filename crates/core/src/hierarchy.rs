@@ -22,6 +22,7 @@ use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision};
 use amgt_sparse::{Csr, Lu, SparseLdl};
 
 /// One level of the grid hierarchy.
+#[derive(Clone)]
 pub struct Level {
     /// The level's system matrix, prepared for the backend.
     pub a: Operator,
@@ -58,6 +59,7 @@ pub struct SetupStats {
 }
 
 /// The assembled hierarchy.
+#[derive(Clone)]
 pub struct Hierarchy {
     pub levels: Vec<Level>,
     /// Dense factorization of the coarsest matrix when the direct coarse
@@ -109,10 +111,16 @@ fn rap(ctx: &Ctx, backend: BackendKind, a: &Operator, p: &Operator, r: &Operator
 
 /// Charged computation of the smoother diagonals.
 fn smoother_diagonals(ctx: &Ctx, a: &Csr) -> (Vec<f64>, Vec<f64>) {
-    let l1: Vec<f64> =
-        a.l1_diagonal().iter().map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 }).collect();
-    let dg: Vec<f64> =
-        a.diagonal().iter().map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 }).collect();
+    let l1: Vec<f64> = a
+        .l1_diagonal()
+        .iter()
+        .map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 })
+        .collect();
+    let dg: Vec<f64> = a
+        .diagonal()
+        .iter()
+        .map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 })
+        .collect();
     ctx.charge(
         KernelKind::Vector,
         Algo::Shared,
@@ -150,7 +158,14 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         let at_cap = k + 1 >= cfg.max_levels;
         let small_enough = n <= cfg.max_coarse_size;
         if at_cap || small_enough {
-            levels.push(Level { a: a_op, p: None, r: None, l1_diag_inv: l1, diag_inv: dg, precision: prec });
+            levels.push(Level {
+                a: a_op,
+                p: None,
+                r: None,
+                l1_diag_inv: l1,
+                diag_inv: dg,
+                precision: prec,
+            });
             break;
         }
 
@@ -221,8 +236,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     }
 
     stats.levels = levels.len();
-    stats.operator_complexity =
-        stats.grid_nnz.iter().map(|&z| z as f64).sum::<f64>() / nnz0 as f64;
+    stats.operator_complexity = stats.grid_nnz.iter().map(|&z| z as f64).sum::<f64>() / nnz0 as f64;
 
     // Coarsest-level factorization for the direct options.
     let last_level = (levels.len() - 1) as u32;
@@ -268,7 +282,12 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         crate::config::CoarseSolver::Jacobi(_) => {}
     }
 
-    Hierarchy { levels, coarse_lu, coarse_ldl, stats }
+    Hierarchy {
+        levels,
+        coarse_lu,
+        coarse_ldl,
+        stats,
+    }
 }
 
 /// Value-only re-setup for a *sequence* of systems with a fixed sparsity
@@ -301,8 +320,8 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
         lvl.l1_diag_inv = l1;
         lvl.diag_inv = dg;
     }
-    h.stats.operator_complexity = h.stats.grid_nnz.iter().map(|&z| z as f64).sum::<f64>()
-        / h.stats.grid_nnz[0].max(1) as f64;
+    h.stats.operator_complexity =
+        h.stats.grid_nnz.iter().map(|&z| z as f64).sum::<f64>() / h.stats.grid_nnz[0].max(1) as f64;
 
     // Refresh the coarse factorization.
     let last_level = (n_levels - 1) as u32;
@@ -417,7 +436,10 @@ mod tests {
         let a = laplacian_2d(16, 16, Stencil2d::Five);
         let (_, h) = build(&cfg, a);
         assert!(h.coarse_lu.is_some());
-        assert_eq!(h.coarse_lu.as_ref().unwrap().n(), h.levels.last().unwrap().n());
+        assert_eq!(
+            h.coarse_lu.as_ref().unwrap().n(),
+            h.levels.last().unwrap().n()
+        );
     }
 
     #[test]
@@ -479,7 +501,11 @@ mod tests {
         );
         // Galerkin consistency of the refreshed level 1.
         let l0 = &h.levels[0];
-        let expect = l0.r.as_ref().unwrap().csr.matmul(&l0.a.csr.matmul(&l0.p.as_ref().unwrap().csr));
+        let expect =
+            l0.r.as_ref()
+                .unwrap()
+                .csr
+                .matmul(&l0.a.csr.matmul(&l0.p.as_ref().unwrap().csr));
         assert!(h.levels[1].a.csr.max_abs_diff(&expect) < 1e-9);
     }
 

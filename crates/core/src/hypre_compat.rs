@@ -58,11 +58,7 @@ pub fn AmgT_mBSR_SpGEMM(
 /// `hypre_CSRMatrixMatvecDevice2`: HYPRE's device matvec entry point, now
 /// dispatching to the AmgT kernel when the mBSR arrays are present (always,
 /// for this type) — the "minimal interface change" of Section IV.F.
-pub fn hypre_CSRMatrixMatvecDevice2(
-    ctx: &Ctx,
-    a: &HypreCsrMatrixWithMbsr,
-    x: &[f64],
-) -> Vec<f64> {
+pub fn hypre_CSRMatrixMatvecDevice2(ctx: &Ctx, a: &HypreCsrMatrixWithMbsr, x: &[f64]) -> Vec<f64> {
     AmgT_mBSR_SpMV(ctx, a, x)
 }
 

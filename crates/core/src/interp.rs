@@ -134,7 +134,10 @@ fn extended_i_interpolation(
     // N = diag(1/d) * A_FCs; rows with d == 0 vanish (those F points cannot
     // pass information through).
     let mut n_mat = a_fcs.clone();
-    let scale: Vec<f64> = d.iter().map(|&dk| if dk != 0.0 { 1.0 / dk } else { 0.0 }).collect();
+    let scale: Vec<f64> = d
+        .iter()
+        .map(|&dk| if dk != 0.0 { 1.0 / dk } else { 0.0 })
+        .collect();
     n_mat.scale_rows(&scale);
     ctx.charge(
         KernelKind::Graph,
@@ -227,7 +230,11 @@ fn truncate_rows(p: &Csr, split: &Splitting, trunc_fact: f64, max_elmts: usize) 
             kept.sort_unstable_by_key(|&(c, _)| c);
         }
         let kept_sum: f64 = kept.iter().map(|&(_, v)| v).sum();
-        let rescale = if kept_sum != 0.0 && total != 0.0 { total / kept_sum } else { 1.0 };
+        let rescale = if kept_sum != 0.0 && total != 0.0 {
+            total / kept_sum
+        } else {
+            1.0
+        };
         for (c, v) in kept {
             trips.push((i, c as usize, v * rescale));
         }
@@ -357,7 +364,10 @@ mod tests {
             0.1,
             4,
         );
-        assert!(dev.events().iter().all(|e| e.kind != KernelKind::SpGemmNumeric));
+        assert!(dev
+            .events()
+            .iter()
+            .all(|e| e.kind != KernelKind::SpGemmNumeric));
     }
 
     #[test]
@@ -382,7 +392,11 @@ mod tests {
         let s = strength_graph(&ctx(&dev), &a, 0.25, 1.0);
         // Force the splitting: node 2 coarse, 0 and 1 fine.
         let split = Splitting {
-            cf: vec![crate::pmis::CfPoint::Fine, crate::pmis::CfPoint::Fine, crate::pmis::CfPoint::Coarse],
+            cf: vec![
+                crate::pmis::CfPoint::Fine,
+                crate::pmis::CfPoint::Fine,
+                crate::pmis::CfPoint::Coarse,
+            ],
             coarse_index: vec![u32::MAX, u32::MAX, 0],
             n_coarse: 1,
             rounds: 1,

@@ -48,20 +48,24 @@ pub mod strength;
 pub mod vec_ops;
 
 pub use backend::Operator;
-pub use config::{AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy, Smoother};
+pub use config::{
+    AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy,
+    Smoother,
+};
 pub use driver::{geomean, run_amg, PhaseBreakdown, RunReport};
 pub use hierarchy::{resetup, setup, Hierarchy, Level, SetupStats};
-pub use solve::{expected_spmv_calls, solve, SolveReport};
+pub use solve::{expected_spmv_calls, solve, solve_batched, BatchedSolveReport, SolveReport};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::bicgstab::bicgstab_solve;
     pub use crate::config::{AmgConfig, BackendKind, CoarseSolver, Interpolation, PrecisionPolicy};
     pub use crate::driver::{geomean, run_amg, RunReport};
-    pub use crate::hierarchy::{setup, Hierarchy};
-    pub use crate::bicgstab::bicgstab_solve;
     pub use crate::gmres::fgmres_solve;
+    pub use crate::hierarchy::{setup, Hierarchy};
     pub use crate::pcg::pcg_solve;
-    pub use crate::solve::{solve, SolveReport};
+    pub use crate::solve::{solve, solve_batched, BatchedSolveReport, SolveReport};
+    pub use amgt_kernels::spmm_mbsr::MultiVector;
     pub use amgt_sim::{Device, GpuSpec, Precision};
     pub use amgt_sparse::Csr;
 }

@@ -121,7 +121,10 @@ fn distribute_matrix(
             let (lo, hi) = (offsets[d], offsets[d + 1]);
             let ctx = Ctx::new(&cluster.devices[d], Phase::Setup, level, prec);
             let (slice, ghost_cols) = row_slice(a, lo, hi);
-            DistSlice { op: Operator::prepare(&ctx, cfg.backend, slice), ghost_cols }
+            DistSlice {
+                op: Operator::prepare(&ctx, cfg.backend, slice),
+                ghost_cols,
+            }
         })
         .collect()
 }
@@ -154,7 +157,11 @@ fn dist_spmv(
     // Halo exchanges are overlapped point-to-point rounds: latency scales
     // with log2(p), not with the number of pairs. A single device has no
     // peers and pays nothing.
-    let msgs = if p > 1 { (usize::BITS - p.leading_zeros()).max(1) } else { 0 };
+    let msgs = if p > 1 {
+        (usize::BITS - p.leading_zeros()).max(1)
+    } else {
+        0
+    };
     let comm = cluster.interconnect.transfer_seconds(halo_bytes, msgs);
     *comm_seconds += comm;
     cluster.step(&times, halo_bytes, msgs);
@@ -199,7 +206,14 @@ pub fn run_amg_multi_gpu(
                 r_op: lvl.r.as_ref().map(|op| {
                     // R rows follow the *coarse* grid partition.
                     let coarse_offsets = partition_rows(&op.csr, p);
-                    distribute_matrix(cluster, cfg, lvl.precision, k as u32, &op.csr, &coarse_offsets)
+                    distribute_matrix(
+                        cluster,
+                        cfg,
+                        lvl.precision,
+                        k as u32,
+                        &op.csr,
+                        &coarse_offsets,
+                    )
                 }),
                 l1_diag_inv: lvl.l1_diag_inv.clone(),
                 precision: lvl.precision,
@@ -231,7 +245,10 @@ pub fn run_amg_multi_gpu(
     let mut halo_paid = vec![false; dist_levels.len()];
     for e in &setup_events {
         let mut t = e.seconds / p as f64;
-        if matches!(e.kind, KernelKind::SpGemmNumeric | KernelKind::SpGemmSymbolic) {
+        if matches!(
+            e.kind,
+            KernelKind::SpGemmNumeric | KernelKind::SpGemmSymbolic
+        ) {
             let lvl = (e.level as usize).min(dist_levels.len() - 1);
             if !halo_paid[lvl] && p > 1 {
                 halo_paid[lvl] = true;
@@ -250,21 +267,18 @@ pub fn run_amg_multi_gpu(
     let mut x = vec![0.0f64; n];
     let flop_time = |len: usize| 4.0 * len as f64 / 1e12; // Vector-op scalar model.
 
-    let smooth = |cluster: &Cluster,
-                  dl: &DistLevel,
-                  b: &[f64],
-                  x: &mut Vec<f64>,
-                  comm: &mut f64| {
-        let ax = dist_spmv(cluster, &dl.a, &dl.offsets, 0, dl.precision, x, comm);
-        // The distributed smoother always uses the Jacobi form (the
-        // sequential Gauss-Seidel sweep is not distributable as-is); the
-        // L1 diagonal covers every configured smoother conservatively.
-        let _ = matches!(cfg.smoother, Smoother::L1Jacobi);
-        for i in 0..dl.n {
-            x[i] += dl.l1_diag_inv[i] * (b[i] - ax[i]);
-        }
-        step_scalar(cluster, flop_time(dl.n));
-    };
+    let smooth =
+        |cluster: &Cluster, dl: &DistLevel, b: &[f64], x: &mut Vec<f64>, comm: &mut f64| {
+            let ax = dist_spmv(cluster, &dl.a, &dl.offsets, 0, dl.precision, x, comm);
+            // The distributed smoother always uses the Jacobi form (the
+            // sequential Gauss-Seidel sweep is not distributable as-is); the
+            // L1 diagonal covers every configured smoother conservatively.
+            let _ = matches!(cfg.smoother, Smoother::L1Jacobi);
+            for i in 0..dl.n {
+                x[i] += dl.l1_diag_inv[i] * (b[i] - ax[i]);
+            }
+            step_scalar(cluster, flop_time(dl.n));
+        };
 
     // Recursive V-cycle over distributed levels (implemented iteratively
     // with an explicit stack of (b, x) per level to keep borrows simple).
@@ -309,12 +323,37 @@ pub fn run_amg_multi_gpu(
                 }
                 o
             };
-            dist_spmv(cluster, r_slices, &offsets, k as u32, dl.precision, &r, comm)
+            dist_spmv(
+                cluster,
+                r_slices,
+                &offsets,
+                k as u32,
+                dl.precision,
+                &r,
+                comm,
+            )
         };
         let mut x_next = vec![0.0; b_next.len()];
-        vcycle_dist(cluster, cfg, levels, k + 1, &b_next, &mut x_next, comm, smooth);
+        vcycle_dist(
+            cluster,
+            cfg,
+            levels,
+            k + 1,
+            &b_next,
+            &mut x_next,
+            comm,
+            smooth,
+        );
         let p_slices = dl.p_op.as_ref().expect("non-coarsest has P");
-        let e = dist_spmv(cluster, p_slices, &dl.offsets, k as u32, dl.precision, &x_next, comm);
+        let e = dist_spmv(
+            cluster,
+            p_slices,
+            &dl.offsets,
+            k as u32,
+            dl.precision,
+            &x_next,
+            comm,
+        );
         for i in 0..dl.n {
             x[i] += e[i];
         }
@@ -333,16 +372,50 @@ pub fn run_amg_multi_gpu(
         }
     };
     let finest = &dist_levels[0];
-    let ax = dist_spmv(cluster, &finest.a, &finest.offsets, 0, finest.precision, &x, &mut comm_seconds);
-    let initial: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+    let ax = dist_spmv(
+        cluster,
+        &finest.a,
+        &finest.offsets,
+        0,
+        finest.precision,
+        &x,
+        &mut comm_seconds,
+    );
+    let initial: f64 = b
+        .iter()
+        .zip(&ax)
+        .map(|(bi, ai)| (bi - ai) * (bi - ai))
+        .sum::<f64>()
+        .sqrt();
 
     let mut history = Vec::new();
     let mut final_norm = initial;
     for _ in 0..cfg.max_iterations {
-        vcycle_dist(cluster, cfg, &dist_levels, 0, b, &mut x, &mut comm_seconds, &smooth);
-        let ax =
-            dist_spmv(cluster, &finest.a, &finest.offsets, 0, finest.precision, &x, &mut comm_seconds);
-        final_norm = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+        vcycle_dist(
+            cluster,
+            cfg,
+            &dist_levels,
+            0,
+            b,
+            &mut x,
+            &mut comm_seconds,
+            &smooth,
+        );
+        let ax = dist_spmv(
+            cluster,
+            &finest.a,
+            &finest.offsets,
+            0,
+            finest.precision,
+            &x,
+            &mut comm_seconds,
+        );
+        final_norm = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt();
         history.push(final_norm / b_norm);
         if cfg.tolerance > 0.0 && final_norm / b_norm < cfg.tolerance {
             break;

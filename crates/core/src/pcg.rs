@@ -62,7 +62,11 @@ pub fn pcg_solve(
     let ax = h.finest().a.spmv(&ctx, x);
     let mut r = vec_ops::sub(&ctx, b, &ax);
     if vec_ops::norm2(&ctx, &r) / b_norm < tol {
-        return PcgReport { iterations: 0, converged: true, history: vec![] };
+        return PcgReport {
+            iterations: 0,
+            converged: true,
+            history: vec![],
+        };
     }
     let mut z = precond(&r);
     let mut p = z.clone();
@@ -94,7 +98,11 @@ pub fn pcg_solve(
         vec_ops::xpby(&ctx, &z, beta, &mut p);
     }
 
-    PcgReport { iterations, converged, history }
+    PcgReport {
+        iterations,
+        converged,
+        history,
+    }
 }
 
 #[cfg(test)]

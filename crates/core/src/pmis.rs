@@ -37,7 +37,9 @@ impl Splitting {
 
 /// Deterministic per-point tiebreak in `[0, 1)` (splitmix64 hash).
 fn tiebreak(i: usize, seed: u64) -> f64 {
-    let mut z = (i as u64).wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = (i as u64)
+        .wrapping_add(seed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -50,8 +52,9 @@ pub fn pmis(ctx: &Ctx, s: &Strength, seed: u64) -> Splitting {
     let st = s.transpose();
 
     // Measure: number of points strongly influenced by i, plus tiebreak.
-    let measure: Vec<f64> =
-        (0..n).map(|i| (st.row(i).len()) as f64 + tiebreak(i, seed)).collect();
+    let measure: Vec<f64> = (0..n)
+        .map(|i| (st.row(i).len()) as f64 + tiebreak(i, seed))
+        .collect();
 
     #[derive(Clone, Copy, PartialEq)]
     enum State {
@@ -135,7 +138,12 @@ pub fn pmis(ctx: &Ctx, s: &Strength, seed: u64) -> Splitting {
     };
     ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
 
-    Splitting { cf, coarse_index, n_coarse, rounds }
+    Splitting {
+        cf,
+        coarse_index,
+        n_coarse,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -164,10 +172,7 @@ mod tests {
             if sp.is_coarse(i) {
                 // No two strongly connected C points (independence over S).
                 for &j in s.row(i) {
-                    assert!(
-                        !sp.is_coarse(j as usize),
-                        "C-C strong pair ({i},{j})"
-                    );
+                    assert!(!sp.is_coarse(j as usize), "C-C strong pair ({i},{j})");
                 }
             } else if !s.row(i).is_empty() || !st.row(i).is_empty() {
                 // Every F point with strong connections is covered: it
@@ -175,11 +180,12 @@ mod tests {
                 // coverage through dependence or being beaten; verify the
                 // weaker standard property: some strong neighbour is C OR
                 // the point has no strong dependencies at all.
-                let covered = s.row(i).iter().chain(st.row(i)).any(|&j| sp.is_coarse(j as usize));
-                assert!(
-                    covered || s.row(i).is_empty(),
-                    "F point {i} uncovered"
-                );
+                let covered = s
+                    .row(i)
+                    .iter()
+                    .chain(st.row(i))
+                    .any(|&j| sp.is_coarse(j as usize));
+                assert!(covered || s.row(i).is_empty(), "F point {i} uncovered");
             }
         }
     }

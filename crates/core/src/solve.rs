@@ -11,6 +11,7 @@
 use crate::config::{AmgConfig, CoarseSolver, CycleType, Smoother};
 use crate::hierarchy::{Hierarchy, Level};
 use crate::vec_ops;
+use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
 use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase};
 
@@ -42,12 +43,12 @@ fn smooth(ctx: &Ctx, cfg: &AmgConfig, lvl: &Level, b: &[f64], x: &mut [f64]) {
     match cfg.smoother {
         Smoother::L1Jacobi => {
             let ax = lvl.a.spmv(ctx, x);
-            vec_ops::jacobi_fused(ctx, &lvl.l1_diag_inv, b, &ax, x)
+            vec_ops::jacobi_fused(ctx, &lvl.l1_diag_inv, b, &ax, x);
         }
         Smoother::WeightedJacobi(w) => {
             let ax = lvl.a.spmv(ctx, x);
             let scaled: Vec<f64> = lvl.diag_inv.iter().map(|&d| d * w).collect();
-            vec_ops::jacobi_fused(ctx, &scaled, b, &ax, x)
+            vec_ops::jacobi_fused(ctx, &scaled, b, &ax, x);
         }
         Smoother::HybridGaussSeidel => hybrid_gauss_seidel(ctx, lvl, b, x),
     }
@@ -241,8 +242,231 @@ pub fn solve(
     }
 }
 
+/// Result of a batched multi-RHS solve.
+#[derive(Clone, Debug)]
+pub struct BatchedSolveReport {
+    /// Number of right-hand sides solved together.
+    pub ncols: usize,
+    /// V-cycles executed (the slowest column's count).
+    pub iterations: usize,
+    /// Per-column convergence flag.
+    pub converged: Vec<bool>,
+    /// Per-column cycle count at which the column left the active set
+    /// (equals `iterations` for columns that never converged).
+    pub column_iterations: Vec<usize>,
+    /// Per-column final relative residual.
+    pub final_relative_residuals: Vec<f64>,
+}
+
+impl BatchedSolveReport {
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
+}
+
+/// Batched smoothing sweep: one fused SpMM over all columns for the
+/// Jacobi-type smoothers; hybrid Gauss-Seidel is inherently sequential per
+/// column and falls back to a column loop.
+fn smooth_mv(ctx: &Ctx, cfg: &AmgConfig, lvl: &Level, b: &MultiVector, x: &mut MultiVector) {
+    match cfg.smoother {
+        Smoother::L1Jacobi => {
+            let ax = lvl.a.spmm(ctx, x);
+            vec_ops::jacobi_fused_mv(ctx, &lvl.l1_diag_inv, b, &ax, x);
+        }
+        Smoother::WeightedJacobi(w) => {
+            let ax = lvl.a.spmm(ctx, x);
+            let scaled: Vec<f64> = lvl.diag_inv.iter().map(|&d| d * w).collect();
+            vec_ops::jacobi_fused_mv(ctx, &scaled, b, &ax, x);
+        }
+        Smoother::HybridGaussSeidel => {
+            let n = x.nrows;
+            for j in 0..x.ncols {
+                let mut xc = x.col(j).to_vec();
+                hybrid_gauss_seidel(ctx, lvl, &b.data[j * n..(j + 1) * n], &mut xc);
+                x.data[j * n..(j + 1) * n].copy_from_slice(&xc);
+            }
+        }
+    }
+}
+
+/// Batched coarsest-level solve. The direct factorizations run one
+/// triangular solve per column (their cost is per-column by nature); the
+/// Jacobi option smooths the whole batch per sweep.
+fn coarse_solve_mv(
+    ctx: &Ctx,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    b: &MultiVector,
+    x: &mut MultiVector,
+) {
+    match cfg.coarse_solver {
+        CoarseSolver::DirectLu | CoarseSolver::SparseLdl { .. } => {
+            let n = x.nrows;
+            for j in 0..x.ncols {
+                let mut xc = x.col(j).to_vec();
+                coarse_solve(ctx, cfg, h, &b.data[j * n..(j + 1) * n], &mut xc);
+                x.data[j * n..(j + 1) * n].copy_from_slice(&xc);
+            }
+        }
+        CoarseSolver::Jacobi(sweeps) => {
+            let lvl = h.levels.last().unwrap();
+            for _ in 0..sweeps {
+                smooth_mv(ctx, cfg, lvl, b, x);
+            }
+        }
+    }
+}
+
+/// One batched multigrid cycle starting at level `k`: the multi-vector
+/// mirror of [`vcycle`], with every SpMV widened to an SpMM over the batch.
+fn vcycle_mv(
+    device: &Device,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    k: usize,
+    b: &MultiVector,
+    x: &mut MultiVector,
+) {
+    let lvl = &h.levels[k];
+    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
+    if k + 1 == h.n_levels() {
+        coarse_solve_mv(&ctx, cfg, h, b, x);
+        return;
+    }
+
+    for _ in 0..cfg.num_sweeps {
+        smooth_mv(&ctx, cfg, lvl, b, x);
+    }
+
+    let ax = lvl.a.spmm(&ctx, x);
+    let r = vec_ops::sub_mv(&ctx, b, &ax);
+    let restriction = lvl.r.as_ref().expect("non-coarsest level has R");
+    let b_next = restriction.spmm(&ctx, &r);
+
+    let mut x_next = MultiVector::zeros(b_next.nrows, b_next.ncols);
+    let visits = match cfg.cycle {
+        CycleType::V => 1,
+        CycleType::W | CycleType::F => 2,
+    };
+    for visit in 0..visits {
+        if cfg.cycle == CycleType::F && visit == 1 {
+            let mut vcfg = cfg.clone();
+            vcfg.cycle = CycleType::V;
+            vcycle_mv(device, &vcfg, h, k + 1, &b_next, &mut x_next);
+        } else {
+            vcycle_mv(device, cfg, h, k + 1, &b_next, &mut x_next);
+        }
+    }
+
+    let p = lvl.p.as_ref().expect("non-coarsest level has P");
+    let e = p.spmm(&ctx, &x_next);
+    vec_ops::axpy_mv(&ctx, 1.0, &e, x);
+
+    for _ in 0..cfg.num_sweeps {
+        smooth_mv(&ctx, cfg, lvl, b, x);
+    }
+}
+
+/// Copy the selected columns of `src` into a compact batch.
+fn gather_columns(src: &MultiVector, idx: &[usize]) -> MultiVector {
+    let n = src.nrows;
+    let mut out = MultiVector::zeros(n, idx.len());
+    for (c, &j) in idx.iter().enumerate() {
+        out.data[c * n..(c + 1) * n].copy_from_slice(src.col(j));
+    }
+    out
+}
+
+/// Solve `A X = B` for a batch of right-hand sides over one hierarchy.
+///
+/// All columns advance through the same V-cycles so every SpMV becomes a
+/// fused SpMM; convergence is tracked **per column**. Columns that reach
+/// `cfg.tolerance` leave the active set (early-exit masking): the batch is
+/// compacted so later cycles only pay for the still-active columns.
+pub fn solve_batched(
+    device: &Device,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    b: &MultiVector,
+    x: &mut MultiVector,
+) -> BatchedSolveReport {
+    let n = h.finest().n();
+    assert_eq!(b.nrows, n, "RHS size mismatch");
+    let ncols = b.ncols;
+    if x.nrows != n || x.ncols != ncols {
+        *x = MultiVector::zeros(n, ncols);
+    }
+    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+
+    let b_norms: Vec<f64> = vec_ops::norms2_mv(&ctx0, b)
+        .into_iter()
+        .map(|nb| if nb == 0.0 { 1.0 } else { nb })
+        .collect();
+    let ax = h.finest().a.spmm(&ctx0, x);
+    let r0 = vec_ops::sub_mv(&ctx0, b, &ax);
+    let initial = vec_ops::norms2_mv(&ctx0, &r0);
+
+    let mut converged = vec![false; ncols];
+    let mut column_iterations = vec![0usize; ncols];
+    let mut final_rel: Vec<f64> = initial.iter().zip(&b_norms).map(|(r, nb)| r / nb).collect();
+    let mut active: Vec<usize> = (0..ncols).collect();
+    if cfg.tolerance > 0.0 {
+        active.retain(|&j| {
+            if final_rel[j] < cfg.tolerance {
+                converged[j] = true;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let mut iterations = 0usize;
+    for _ in 0..cfg.max_iterations {
+        if active.is_empty() {
+            break;
+        }
+        // Compact the still-active columns into a dense batch.
+        let bc = gather_columns(b, &active);
+        let mut xc = gather_columns(x, &active);
+        vcycle_mv(device, cfg, h, 0, &bc, &mut xc);
+        iterations += 1;
+
+        // Batched residual for the active columns only.
+        let ax = h.finest().a.spmm(&ctx0, &xc);
+        let r = vec_ops::sub_mv(&ctx0, &bc, &ax);
+        let norms = vec_ops::norms2_mv(&ctx0, &r);
+
+        let mut still_active = Vec::with_capacity(active.len());
+        for (c, &j) in active.iter().enumerate() {
+            x.data[j * n..(j + 1) * n].copy_from_slice(xc.col(c));
+            final_rel[j] = norms[c] / b_norms[j];
+            column_iterations[j] = iterations;
+            if cfg.tolerance > 0.0 && final_rel[j] < cfg.tolerance {
+                converged[j] = true;
+            } else {
+                still_active.push(j);
+            }
+        }
+        active = still_active;
+    }
+
+    BatchedSolveReport {
+        ncols,
+        iterations,
+        converged,
+        column_iterations,
+        final_relative_residuals: final_rel,
+    }
+}
+
 /// Expected SpMV calls for a solve: the paper's Section V.A formulas.
-pub fn expected_spmv_calls(levels: usize, iterations: usize, coarse: CoarseSolver, sweeps: usize) -> usize {
+pub fn expected_spmv_calls(
+    levels: usize,
+    iterations: usize,
+    coarse: CoarseSolver,
+    sweeps: usize,
+) -> usize {
     // Per cycle: each non-coarsest level runs (2*sweeps + 3) SpMVs... with
     // sweeps = 1 that is the paper's five; plus coarse-level extras; plus
     // one outer residual per iteration; plus the initial residual.
@@ -303,7 +527,11 @@ mod tests {
         cfg.max_iterations = 30;
         let a = laplacian_3d(8, 8, 8, Stencil3d::Seven);
         let (_, rep, _) = run(&cfg, a);
-        assert!(rep.final_relative_residual() < 1e-6, "relres {}", rep.final_relative_residual());
+        assert!(
+            rep.final_relative_residual() < 1e-6,
+            "relres {}",
+            rep.final_relative_residual()
+        );
     }
 
     #[test]
@@ -348,8 +576,12 @@ mod tests {
             .iter()
             .filter(|e| e.kind == KernelKind::SpMV)
             .count();
-        let expect =
-            expected_spmv_calls(h.n_levels(), cfg.max_iterations, cfg.coarse_solver, cfg.num_sweeps);
+        let expect = expected_spmv_calls(
+            h.n_levels(),
+            cfg.max_iterations,
+            cfg.coarse_solver,
+            cfg.num_sweeps,
+        );
         assert_eq!(spmv, expect, "levels {}", h.n_levels());
     }
 
@@ -375,7 +607,11 @@ mod tests {
         cfg.max_iterations = 20;
         let a = laplacian_2d(18, 18, Stencil2d::Five);
         let (_, rep, _) = run(&cfg, a);
-        assert!(rep.final_relative_residual() < 1e-7, "{}", rep.final_relative_residual());
+        assert!(
+            rep.final_relative_residual() < 1e-7,
+            "{}",
+            rep.final_relative_residual()
+        );
     }
 
     #[test]
@@ -433,13 +669,87 @@ mod tests {
     }
 
     #[test]
+    fn batched_solve_bitwise_matches_serial_columns() {
+        // Each column of the batch must follow the exact arithmetic path a
+        // standalone solve of that column takes (spmm is bitwise-equal to
+        // per-column spmv, and the MV vector ops reuse the scalar order).
+        let a = laplacian_2d(14, 14, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 6;
+        cfg.tolerance = 0.0;
+        let dev = Device::new(GpuSpec::a100());
+        let h = setup(&dev, &cfg, a.clone());
+        let n = a.nrows();
+        let cols: Vec<Vec<f64>> = (0..5)
+            .map(|j| (0..n).map(|i| ((i * (j + 2)) as f64).sin()).collect())
+            .collect();
+        let b = amgt_kernels::spmm_mbsr::MultiVector::from_columns(&cols);
+        let mut x = amgt_kernels::spmm_mbsr::MultiVector::zeros(n, cols.len());
+        let rep = solve_batched(&dev, &cfg, &h, &b, &mut x);
+        assert_eq!(rep.iterations, 6);
+        for (j, col) in cols.iter().enumerate() {
+            let mut xs = vec![0.0; n];
+            solve(&dev, &cfg, &h, col, &mut xs);
+            for i in 0..n {
+                assert_eq!(
+                    x.get(i, j).to_bits(),
+                    xs[i].to_bits(),
+                    "col {j} row {i}: {} vs {}",
+                    x.get(i, j),
+                    xs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_early_exit_masks_converged_columns() {
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 40;
+        cfg.tolerance = 1e-8;
+        let dev = Device::new(GpuSpec::a100());
+        let h = setup(&dev, &cfg, a.clone());
+        let n = a.nrows();
+        // An easy column (already nearly the solution's image) next to
+        // harder ones: the easy column must exit in fewer cycles.
+        let ones = vec![1.0; n];
+        let easy = a.matvec(&ones);
+        let hard: Vec<f64> = (0..n)
+            .map(|i| if i % 7 == 0 { 1.0 } else { -0.25 })
+            .collect();
+        let b = amgt_kernels::spmm_mbsr::MultiVector::from_columns(&[easy, hard]);
+        let mut x = amgt_kernels::spmm_mbsr::MultiVector::zeros(n, 2);
+        let rep = solve_batched(&dev, &cfg, &h, &b, &mut x);
+        assert!(
+            rep.all_converged(),
+            "residuals {:?}",
+            rep.final_relative_residuals
+        );
+        for r in &rep.final_relative_residuals {
+            assert!(*r < 1e-8);
+        }
+        assert!(
+            rep.column_iterations[0] <= rep.column_iterations[1],
+            "easy {} vs hard {}",
+            rep.column_iterations[0],
+            rep.column_iterations[1]
+        );
+        assert_eq!(rep.iterations, *rep.column_iterations.iter().max().unwrap());
+    }
+
+    #[test]
     fn weighted_jacobi_converges() {
         let a = laplacian_2d(16, 16, Stencil2d::Five);
         let mut cfg = AmgConfig::amgt_fp64();
         cfg.smoother = crate::config::Smoother::WeightedJacobi(0.8);
         cfg.max_iterations = 30;
         let (_, rep, _) = run(&cfg, a);
-        assert!(rep.final_relative_residual() < 1e-6, "{}", rep.final_relative_residual());
+        assert!(
+            rep.final_relative_residual() < 1e-6,
+            "{}",
+            rep.final_relative_residual()
+        );
     }
 
     #[test]
@@ -468,7 +778,10 @@ mod tests {
             let start = dev.events().len();
             let mut x = vec![0.0; b.len()];
             solve(&dev, cfg, &h, &b, &mut x);
-            dev.events()[start..].iter().filter(|e| e.kind == KernelKind::SpMV && e.level >= 2).count()
+            dev.events()[start..]
+                .iter()
+                .filter(|e| e.kind == KernelKind::SpMV && e.level >= 2)
+                .count()
         };
         let mut v = AmgConfig::amgt_fp64();
         v.max_iterations = 3;

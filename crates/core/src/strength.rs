@@ -45,7 +45,11 @@ impl Strength {
                 cursor[c as usize] += 1;
             }
         }
-        Strength { n: self.n, row_ptr: counts, col_idx: cols }
+        Strength {
+            n: self.n,
+            row_ptr: counts,
+            col_idx: cols,
+        }
     }
 }
 
@@ -112,7 +116,11 @@ pub fn strength_graph(ctx: &Ctx, a: &Csr, theta: f64, max_row_sum: f64) -> Stren
         ..Default::default()
     };
     ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
-    Strength { n, row_ptr, col_idx }
+    Strength {
+        n,
+        row_ptr,
+        col_idx,
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! corrections, norms. Arithmetic is performed in f64 (kernels quantize at
 //! their own boundaries); traffic is charged at the context precision.
 
+use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 
@@ -87,6 +88,66 @@ pub fn zero_fill(ctx: &Ctx, x: &mut [f64]) {
     charge_stream(ctx, x.len(), 1.0, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-vector (batched-RHS) variants: the same arithmetic applied to every
+// column, charged as ONE kernel launch streaming `n * ncols` elements —
+// batching amortizes launch overhead, not arithmetic.
+
+/// Batched [`sub`]: `Z = X - Y` columnwise.
+pub fn sub_mv(ctx: &Ctx, x: &MultiVector, y: &MultiVector) -> MultiVector {
+    assert_eq!(x.nrows, y.nrows);
+    assert_eq!(x.ncols, y.ncols);
+    let data = x.data.iter().zip(&y.data).map(|(a, b)| a - b).collect();
+    charge_stream(ctx, x.data.len(), 3.0, 1.0);
+    MultiVector {
+        nrows: x.nrows,
+        ncols: x.ncols,
+        data,
+    }
+}
+
+/// Batched [`axpy`]: `Y += alpha * X` columnwise.
+pub fn axpy_mv(ctx: &Ctx, alpha: f64, x: &MultiVector, y: &mut MultiVector) {
+    assert_eq!(x.nrows, y.nrows);
+    assert_eq!(x.ncols, y.ncols);
+    for (yi, &xi) in y.data.iter_mut().zip(&x.data) {
+        *yi += alpha * xi;
+    }
+    charge_stream(ctx, x.data.len(), 3.0, 2.0);
+}
+
+/// Batched [`jacobi_fused`]: `X[:,j] += dinv .* (B[:,j] - AX[:,j])` for
+/// every column, with the diagonal broadcast across columns.
+pub fn jacobi_fused_mv(
+    ctx: &Ctx,
+    dinv: &[f64],
+    b: &MultiVector,
+    ax: &MultiVector,
+    x: &mut MultiVector,
+) {
+    assert_eq!(dinv.len(), x.nrows);
+    assert_eq!(b.nrows, x.nrows);
+    assert_eq!(ax.nrows, x.nrows);
+    assert_eq!(b.ncols, x.ncols);
+    assert_eq!(ax.ncols, x.ncols);
+    let n = x.nrows;
+    for j in 0..x.ncols {
+        for i in 0..n {
+            x.data[j * n + i] += dinv[i] * (b.data[j * n + i] - ax.data[j * n + i]);
+        }
+    }
+    charge_stream(ctx, x.data.len(), 5.0, 3.0);
+}
+
+/// Per-column Euclidean norms in one reduction launch.
+pub fn norms2_mv(ctx: &Ctx, x: &MultiVector) -> Vec<f64> {
+    let norms = (0..x.ncols)
+        .map(|j| x.col(j).iter().map(|a| a * a).sum::<f64>().sqrt())
+        .collect();
+    charge_stream(ctx, x.data.len(), 1.0, 2.0);
+    norms
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,8 +189,18 @@ mod tests {
         let n = 1 << 16;
         let x = vec![1.0; n];
         let mut y = vec![0.0; n];
-        axpy(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64), 1.0, &x, &mut y);
-        axpy(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp16), 1.0, &x, &mut y);
+        axpy(
+            &Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64),
+            1.0,
+            &x,
+            &mut y,
+        );
+        axpy(
+            &Ctx::new(&dev, Phase::Solve, 0, Precision::Fp16),
+            1.0,
+            &x,
+            &mut y,
+        );
         let evs = dev.events();
         assert!(evs[1].seconds < evs[0].seconds);
     }

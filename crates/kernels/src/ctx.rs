@@ -20,17 +20,28 @@ pub struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     pub fn new(device: &'a Device, phase: Phase, level: u32, precision: Precision) -> Self {
-        Ctx { device, phase, level, precision }
+        Ctx {
+            device,
+            phase,
+            level,
+            precision,
+        }
     }
 
     /// Context for standalone kernel benchmarking (solve phase, level 0).
     pub fn standalone(device: &'a Device, precision: Precision) -> Self {
-        Ctx { device, phase: Phase::Solve, level: 0, precision }
+        Ctx {
+            device,
+            phase: Phase::Solve,
+            level: 0,
+            precision,
+        }
     }
 
     /// Charge one kernel event; returns simulated seconds.
     pub fn charge(&self, kind: KernelKind, algo: Algo, cost: &KernelCost) -> f64 {
-        self.device.charge(kind, algo, self.phase, self.level, self.precision, cost)
+        self.device
+            .charge(kind, algo, self.phase, self.level, self.precision, cost)
     }
 
     /// Same context at a different phase.
@@ -40,7 +51,11 @@ impl<'a> Ctx<'a> {
 
     /// Same context at a different level/precision.
     pub fn at_level(self, level: u32, precision: Precision) -> Self {
-        Ctx { level, precision, ..self }
+        Ctx {
+            level,
+            precision,
+            ..self
+        }
     }
 }
 
@@ -53,7 +68,10 @@ mod tests {
     fn charge_records_event_with_context() {
         let dev = Device::new(GpuSpec::a100());
         let ctx = Ctx::new(&dev, Phase::Setup, 3, Precision::Fp32);
-        let cost = KernelCost { bytes: 1e6, ..Default::default() };
+        let cost = KernelCost {
+            bytes: 1e6,
+            ..Default::default()
+        };
         let t = ctx.charge(KernelKind::SpGemmNumeric, Algo::AmgT, &cost);
         assert!(t > 0.0);
         let ev = &dev.events()[0];

@@ -80,7 +80,12 @@ const EMPTY: u32 = u32::MAX;
 impl HashTable {
     fn with_bound(distinct_bound: usize) -> Self {
         let cap = (2 * distinct_bound.max(4)).next_power_of_two();
-        HashTable { slots: vec![EMPTY; cap], mask: cap - 1, len: 0, probes: 0 }
+        HashTable {
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+            len: 0,
+            probes: 0,
+        }
     }
 
     #[inline]
@@ -179,7 +184,8 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
             + n_blocks as f64 * (n_blocks.max(2) as f64).log2() / blk_rows.max(1) as f64,
         // Index/bitmap traffic: A and B (idx+map = 6 B per block) touched in
         // both steps; C index written once.
-        bytes: 2.0 * (a.n_blocks() as f64 * 6.0 + total_cub as f64 * 6.0) + n_blocks as f64 * 4.0
+        bytes: 2.0 * (a.n_blocks() as f64 * 6.0 + total_cub as f64 * 6.0)
+            + n_blocks as f64 * 4.0
             + (blk_rows as f64) * 16.0,
         launches: 3, // Analysis/binning + symbolic step 1 + step 2.
         ..Default::default()
@@ -244,7 +250,12 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
                             None => pending = Some((b_pos, map_c)),
                             Some((p0, m0)) => {
                                 issue_mma(
-                                    prec, &frag_a, b, c_idx, c_map, c_val,
+                                    prec,
+                                    &frag_a,
+                                    b,
+                                    c_idx,
+                                    c_map,
+                                    c_val,
                                     &[(p0, m0), (b_pos, map_c)],
                                 );
                                 mma_n += 1;
@@ -445,7 +456,9 @@ fn mbsr_from_parts(
     // The Mbsr type does not expose a raw constructor publicly for safety;
     // rebuild through CSR would lose bitmap/value agreement on cancelled
     // entries, so we reconstitute through the crate-provided builder.
-    Mbsr::from_raw_parts(nrows, ncols, blk_rows, blk_cols, blc_ptr, blc_idx, blc_map, blc_val)
+    Mbsr::from_raw_parts(
+        nrows, ncols, blk_rows, blk_cols, blc_ptr, blc_idx, blc_map, blc_val,
+    )
 }
 
 #[cfg(test)]
@@ -505,7 +518,10 @@ mod tests {
         let dev = Device::new(GpuSpec::a100());
         let ma = Mbsr::from_csr(&a);
         let (_, stats) = spgemm_mbsr(&ctx(&dev), &ma, &ma);
-        assert!(stats.tc_block_a > 0, "dense tiles must route to tensor cores");
+        assert!(
+            stats.tc_block_a > 0,
+            "dense tiles must route to tensor cores"
+        );
         assert!(stats.mma_issued > 0);
     }
 
@@ -587,7 +603,11 @@ mod tests {
         let d = c64.to_csr().max_abs_diff(&c16.to_csr());
         let scale = c64.to_csr().frob_norm();
         assert!(d > 0.0, "fp16 must differ");
-        assert!(d / scale < 1e-2, "fp16 relative error too large: {}", d / scale);
+        assert!(
+            d / scale < 1e-2,
+            "fp16 relative error too large: {}",
+            d / scale
+        );
     }
 
     #[test]

@@ -8,10 +8,9 @@
 //! vectors in FEM, block Krylov methods) hit exactly this kernel.
 
 use crate::ctx::Ctx;
-use crate::spmv_mbsr::{SpmvPath, SpmvPlan};
+use crate::spmv_mbsr::{cuda_warp, tc_warp, SpmvPath, SpmvPlan};
 use amgt_sim::mma::MMA_FLOPS;
 use amgt_sim::{Algo, KernelCost, KernelKind};
-use amgt_sparse::bitmap;
 use amgt_sparse::bitmap::{TILE, TILE_AREA};
 use amgt_sparse::Mbsr;
 use rayon::prelude::*;
@@ -30,7 +29,11 @@ pub struct MultiVector {
 
 impl MultiVector {
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        MultiVector { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        MultiVector {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     pub fn from_columns(cols: &[Vec<f64>]) -> Self {
@@ -41,7 +44,11 @@ impl MultiVector {
             assert_eq!(c.len(), nrows);
             data.extend_from_slice(c);
         }
-        MultiVector { nrows, ncols: cols.len(), data }
+        MultiVector {
+            nrows,
+            ncols: cols.len(),
+            data,
+        }
     }
 
     #[inline]
@@ -60,16 +67,52 @@ impl MultiVector {
     }
 }
 
-/// `Y = A X` on mBSR. Right-hand sides are processed in slabs of
-/// [`RHS_TILE`]; within a slab the tensor path issues one `mma` per tile
-/// pair with zero wasted accumulator lanes.
+/// Per-call statistics reported by [`spmm_mbsr_with_stats`] — consumed by
+/// the serving layer's metrics and by the throughput bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpmmStats {
+    /// Number of RHS columns processed.
+    pub ncols: usize,
+    /// Number of [`RHS_TILE`]-wide slabs the columns were coalesced into.
+    pub slabs: u32,
+    /// Tensor-core `mma` instructions issued (tensor path only).
+    pub mma_count: u64,
+    /// Scalar flops on the CUDA-core path.
+    pub cuda_flops: u64,
+}
+
+/// `Y = A X` on mBSR. See [`spmm_mbsr_with_stats`]; this wrapper drops the
+/// statistics.
 pub fn spmm_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &MultiVector) -> MultiVector {
+    spmm_mbsr_with_stats(ctx, a, plan, x).0
+}
+
+/// `Y = A X` on mBSR, returning per-call [`SpmmStats`].
+///
+/// Right-hand sides are processed in slabs of [`RHS_TILE`]: `fragB` carries
+/// the 4x8 X sub-slab of one tile's column range, so one `mma` per tile per
+/// slab produces 4x8 useful accumulator lanes (the SpMV of Section IV.D
+/// consumes only the 8-lane diagonal of each `mma`). `A`'s values, indices
+/// and bitmaps stream once per slab instead of once per column.
+///
+/// Each column's arithmetic reuses the per-warp kernels of
+/// [`crate::spmv_mbsr::spmv_mbsr`] (same path selection, same job schedule,
+/// same accumulation order), so every output column is **bitwise identical**
+/// to a standalone SpMV of that column at every precision — only the charged
+/// cost differs.
+pub fn spmm_mbsr_with_stats(
+    ctx: &Ctx,
+    a: &Mbsr,
+    plan: &SpmvPlan,
+    x: &MultiVector,
+) -> (MultiVector, SpmmStats) {
     assert_eq!(x.nrows, a.ncols());
     let prec = ctx.precision;
     let nrhs = x.ncols;
     let padded = a.blk_cols() * TILE;
 
-    // Quantized, padded, column-major operand.
+    // Quantized, padded, column-major operand (per column, exactly the
+    // padded vector spmv_mbsr builds).
     let mut xq = vec![0.0f64; padded * nrhs];
     for j in 0..nrhs {
         for (i, &v) in x.col(j).iter().enumerate() {
@@ -80,68 +123,55 @@ pub fn spmm_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &MultiVector) -> Multi
     let mut y = MultiVector::zeros(a.nrows(), nrhs);
     let mut mma_total = 0u64;
     let mut flops_total = 0u64;
+    let mut nonempty_tile_rows = 0u64;
 
     // One slab of up to 8 RHS at a time.
     let mut slab_start = 0usize;
     while slab_start < nrhs {
         let slab = (nrhs - slab_start).min(RHS_TILE);
-        let results: Vec<(Vec<[f64; TILE]>, u64, u64)> = (0..a.blk_rows())
+        let results: Vec<(Vec<[f64; TILE]>, u64, u64, u64)> = (0..a.blk_rows())
             .into_par_iter()
             .map(|br| {
                 let mut acc = vec![[0.0f64; TILE]; slab];
-                let (mut mma_n, mut flops) = (0u64, 0u64);
-                for pos in a.blc_ptr[br]..a.blc_ptr[br + 1] {
-                    let tile = a.tile(pos);
-                    let map = a.blc_map[pos];
-                    let bc = a.blc_idx[pos] as usize;
-                    let dense = bitmap::popcount(map) >= bitmap::TENSOR_DENSITY_THRESHOLD;
-                    if dense {
-                        // Tensor path: full 4x4 x 4xslab product; pairs of
-                        // tiles share an mma (two row-tiles per fragA), so
-                        // charge one mma per two tiles (rounded up at row
-                        // end by the +1 below).
-                        mma_n += 1;
-                        for (c, item) in acc.iter_mut().enumerate() {
-                            let xseg = &xq[(slab_start + c) * padded + bc * TILE..];
-                            for r in 0..TILE {
-                                let mut s = item[r];
-                                for k in 0..TILE {
-                                    let prod = prec.round_product(tile[r * TILE + k], xseg[k]);
-                                    s = prec.round_accum(s + prod);
+                let (mut mma_n, mut flops, mut ntr) = (0u64, 0u64, 0u64);
+                for (c, item) in acc.iter_mut().enumerate() {
+                    let xcol = &xq[(slab_start + c) * padded..(slab_start + c + 1) * padded];
+                    for job in plan.jobs_for_row(br) {
+                        match plan.path {
+                            SpmvPath::TensorCore => {
+                                let (part, _pair_mmas) = tc_warp(prec, a, job, xcol);
+                                // One mma per tile per slab: fragB is the
+                                // X sub-slab, so tiles cannot pair the way
+                                // SpMV's half-empty fragments do. Count once
+                                // per slab, not per column.
+                                if c == 0 {
+                                    mma_n += job.len as u64;
                                 }
-                                item[r] = s;
+                                for (o, p) in item.iter_mut().zip(part.iter()) {
+                                    *o = prec.round_accum(*o + p);
+                                }
                             }
-                        }
-                    } else {
-                        // CUDA path: bitmap positions only.
-                        for (c, item) in acc.iter_mut().enumerate() {
-                            let xseg = &xq[(slab_start + c) * padded + bc * TILE..];
-                            for r in 0..TILE {
-                                let row = bitmap::row_mask(map, r);
-                                if row == 0 {
-                                    continue;
+                            SpmvPath::CudaCore => {
+                                let (part, f, tr) = cuda_warp(prec, a, job, xcol);
+                                flops += f; // Scalar flops happen per column.
+                                if c == 0 {
+                                    ntr += tr; // A-value traffic: once per slab.
                                 }
-                                let mut s = item[r];
-                                for k in 0..TILE {
-                                    if row & (1 << k) != 0 {
-                                        let prod =
-                                            prec.round_product(tile[r * TILE + k], xseg[k]);
-                                        s = prec.round_accum(s + prod);
-                                        flops += 2;
-                                    }
+                                for (o, p) in item.iter_mut().zip(part.iter()) {
+                                    *o = prec.round_accum(*o + p);
                                 }
-                                item[r] = s;
                             }
                         }
                     }
                 }
-                (acc, mma_n.div_ceil(2), flops)
+                (acc, mma_n, flops, ntr)
             })
             .collect();
 
-        for (br, (acc, m, f)) in results.into_iter().enumerate() {
+        for (br, (acc, m, f, tr)) in results.into_iter().enumerate() {
             mma_total += m;
             flops_total += f;
+            nonempty_tile_rows += tr;
             for (c, col_acc) in acc.iter().enumerate() {
                 for lr in 0..TILE {
                     let r = br * TILE + lr;
@@ -157,18 +187,40 @@ pub fn spmm_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &MultiVector) -> Multi
     let vb = prec.bytes() as f64;
     let nb = a.n_blocks() as f64;
     let slabs = nrhs.div_ceil(RHS_TILE) as f64;
-    let cost = KernelCost {
-        tc_flops: mma_total as f64 * MMA_FLOPS,
-        cuda_flops: flops_total as f64,
-        int_ops: nb * 2.0 * slabs,
-        // A streams once per slab; X and Y stream fully.
-        bytes: slabs * nb * (6.0 + TILE_AREA as f64 * vb)
-            + (a.ncols() + a.nrows()) as f64 * nrhs as f64 * vb,
-        launches: slabs as u32,
+    let cost = match plan.path {
+        SpmvPath::TensorCore => KernelCost {
+            tc_flops: mma_total as f64 * MMA_FLOPS,
+            // Shuffle extraction + final adds, per warp per column.
+            cuda_flops: plan.n_warps as f64 * 16.0 * nrhs as f64,
+            int_ops: nb * 2.0 * slabs,
+            // A (indices + bitmaps + whole tiles) streams once per slab;
+            // X segments and Y stream per column.
+            bytes: slabs * nb * (4.0 + 2.0 + TILE_AREA as f64 * vb)
+                + nb * TILE as f64 * vb * nrhs as f64
+                + a.nrows() as f64 * nrhs as f64 * vb,
+            launches: slabs as u32,
+        },
+        SpmvPath::CudaCore => KernelCost {
+            cuda_flops: flops_total as f64,
+            int_ops: nb * (2.0 + 16.0) * slabs,
+            // Row-granular tile reads once per slab (matching spmv_mbsr's
+            // model); X segments with the same 0.6 L1 factor, per column.
+            bytes: slabs * nb * (4.0 + 2.0)
+                + nonempty_tile_rows as f64 * TILE as f64 * vb
+                + 0.6 * nb * TILE as f64 * vb * nrhs as f64
+                + a.nrows() as f64 * nrhs as f64 * vb,
+            launches: slabs as u32,
+            ..Default::default()
+        },
     };
     ctx.charge(KernelKind::SpMV, Algo::AmgT, &cost);
-    let _ = matches!(plan.path, SpmvPath::TensorCore); // Plan reserved for scheduling reuse.
-    y
+    let stats = SpmmStats {
+        ncols: nrhs,
+        slabs: slabs as u32,
+        mma_count: mma_total,
+        cuda_flops: flops_total,
+    };
+    (y, stats)
 }
 
 /// Reference SpMM: column-by-column vendor SpMV (what HYPRE does absent a
@@ -195,8 +247,9 @@ mod tests {
 
     fn random_mv(nrows: usize, ncols: usize, seed: u64) -> MultiVector {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cols: Vec<Vec<f64>> =
-            (0..ncols).map(|_| (0..nrows).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let cols: Vec<Vec<f64>> = (0..ncols)
+            .map(|_| (0..nrows).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         MultiVector::from_columns(&cols)
     }
 

@@ -63,8 +63,7 @@ pub fn spmv_bsr_dense(ctx: &Ctx, a: &Mbsr, x: &[f64]) -> Vec<f64> {
         int_ops: nb * 2.0,
         // Full tile values always stream; x segments and y as in the
         // bitmap kernel.
-        bytes: nb * (4.0 + TILE_AREA as f64 * vb) + 0.6 * nb * 4.0 * vb
-            + a.nrows() as f64 * vb,
+        bytes: nb * (4.0 + TILE_AREA as f64 * vb) + 0.6 * nb * 4.0 * vb + a.nrows() as f64 * vb,
         launches: 1,
         ..Default::default()
     };

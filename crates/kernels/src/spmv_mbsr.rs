@@ -13,8 +13,8 @@
 use crate::ctx::Ctx;
 use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC, MMA_FLOPS, TILE};
 use amgt_sim::precision::Precision;
-use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sim::warp::{warp_reduce_sum_grouped, LaneRegs, WARP_SIZE};
+use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::bitmap;
 use amgt_sparse::Mbsr;
 use rayon::prelude::*;
@@ -65,7 +65,12 @@ impl SpmvPlan {
 /// Preprocess the matrix: compute the selection parameters and build the
 /// warp schedule (charged as a preprocessing kernel).
 pub fn analyze_spmv(ctx: &Ctx, a: &Mbsr) -> SpmvPlan {
-    analyze_spmv_with(ctx, a, VARIATION_THRESHOLD, bitmap::TENSOR_DENSITY_THRESHOLD as f64)
+    analyze_spmv_with(
+        ctx,
+        a,
+        VARIATION_THRESHOLD,
+        bitmap::TENSOR_DENSITY_THRESHOLD as f64,
+    )
 }
 
 /// [`analyze_spmv`] with explicit thresholds (used by the ablation bench).
@@ -78,7 +83,11 @@ pub fn analyze_spmv_with(
     let variation = a.block_row_variation();
     let avg = a.avg_nnz_per_block();
     let load_balanced = variation > variation_threshold;
-    let path = if avg >= density_threshold { SpmvPath::TensorCore } else { SpmvPath::CudaCore };
+    let path = if avg >= density_threshold {
+        SpmvPath::TensorCore
+    } else {
+        SpmvPath::CudaCore
+    };
 
     let mut n_warps = 0usize;
     let jobs_per_row: Vec<Vec<WarpJob>> = (0..a.blk_rows())
@@ -92,11 +101,19 @@ pub fn analyze_spmv_with(
                 let mut s = lo;
                 while s < hi {
                     let len = (hi - s).min(WARP_CAPACITY);
-                    jobs.push(WarpJob { block_row: br as u32, start: s, len });
+                    jobs.push(WarpJob {
+                        block_row: br as u32,
+                        start: s,
+                        len,
+                    });
                     s += len;
                 }
             } else {
-                jobs.push(WarpJob { block_row: br as u32, start: lo, len: hi - lo });
+                jobs.push(WarpJob {
+                    block_row: br as u32,
+                    start: lo,
+                    len: hi - lo,
+                });
             }
             n_warps += jobs.len();
             jobs
@@ -111,7 +128,14 @@ pub fn analyze_spmv_with(
     };
     ctx.charge(KernelKind::Graph, Algo::AmgT, &cost);
 
-    SpmvPlan { load_balanced, path, avg_nnz_blc: avg, variation, jobs_per_row, n_warps }
+    SpmvPlan {
+        load_balanced,
+        path,
+        avg_nnz_blc: avg,
+        variation,
+        jobs_per_row,
+        n_warps,
+    }
 }
 
 /// `y = A x` with the AmgT algorithm under a precomputed plan.
@@ -213,7 +237,7 @@ pub fn spmv_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
 /// performs, element by element and in the same order, exactly the
 /// arithmetic [`mma_8x8x4`] performs for the diagonal lanes (verified
 /// against the full-fragment emulation in the tests below).
-fn tc_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64) {
+pub(crate) fn tc_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64) {
     let mut diag = [0.0f64; 8];
     let mut mma_n = 0u64;
     let mut b = job.start;
@@ -268,7 +292,10 @@ pub fn tc_warp_fragments(
         let x0: [f64; TILE] = std::array::from_fn(|k| xp[bc0 * TILE + k]);
         let (t1, x1) = if b + 1 < end {
             let bc1 = a.blc_idx[b + 1] as usize;
-            (a.tile_array(b + 1), std::array::from_fn(|k| xp[bc1 * TILE + k]))
+            (
+                a.tile_array(b + 1),
+                std::array::from_fn(|k| xp[bc1 * TILE + k]),
+            )
         } else {
             (zero_tile, zero_x)
         };
@@ -289,7 +316,12 @@ pub fn tc_warp_fragments(
 /// CUDA-core warp (Algorithm 5): four lanes per tile, lane `i` handles tile
 /// row `i` guided by the bitmap, then a grouped warp sum. Returns the
 /// 4 partial sums, flops, and the number of nonempty tile rows touched.
-fn cuda_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64, u64) {
+pub(crate) fn cuda_warp(
+    prec: Precision,
+    a: &Mbsr,
+    job: &WarpJob,
+    xp: &[f64],
+) -> ([f64; TILE], u64, u64) {
     // Emulate the lane layout: 8 groups of 4 lanes stride the job's tiles
     // (Algorithm 5 line 6: `for i = start + groupid to end stride 8`), each
     // lane accumulating one tile row into its register, then a grouped
@@ -325,8 +357,7 @@ fn cuda_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TIL
     // some tile group; sum lanes with equal (l % 4).
     // Rearrange so a grouped reduction matches Algorithm 5's WarpLevelSum:
     // transpose lanes to put equal rows adjacent.
-    let rearranged: LaneRegs<f64> =
-        std::array::from_fn(|l| lane_acc[(l % 8) * TILE + (l / 8)]);
+    let rearranged: LaneRegs<f64> = std::array::from_fn(|l| lane_acc[(l % 8) * TILE + (l / 8)]);
     let summed = warp_reduce_sum_grouped(&rearranged, 8);
     let mut out = [0.0f64; TILE];
     for (r, item) in out.iter_mut().enumerate() {
@@ -340,8 +371,8 @@ mod tests {
     use super::*;
     use amgt_sim::{Device, GpuSpec, Phase};
     use amgt_sparse::gen::{
-        block_cliques, elasticity_3d, laplacian_2d, network_laplacian, random_sparse,
-        NeighborSet, Stencil2d,
+        block_cliques, elasticity_3d, laplacian_2d, network_laplacian, random_sparse, NeighborSet,
+        Stencil2d,
     };
     use amgt_sparse::Csr;
     use rand::rngs::StdRng;
@@ -433,14 +464,20 @@ mod tests {
         let a = elasticity_3d(2, 3, 2, 4, NeighborSet::Face, 8);
         let m = Mbsr::from_csr(&a);
         let mut rng = StdRng::seed_from_u64(17);
-        let xp: Vec<f64> = (0..m.blk_cols() * TILE).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let xp: Vec<f64> = (0..m.blk_cols() * TILE)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         for prec in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
             for br in 0..m.blk_rows() {
                 let (lo, hi) = (m.blc_ptr[br], m.blc_ptr[br + 1]);
                 if lo == hi {
                     continue;
                 }
-                let job = WarpJob { block_row: br as u32, start: lo, len: hi - lo };
+                let job = WarpJob {
+                    block_row: br as u32,
+                    start: lo,
+                    len: hi - lo,
+                };
                 let (fast, m1) = tc_warp(prec, &m, &job, &xp);
                 let (full, m2) = tc_warp_fragments(prec, &m, &job, &xp);
                 assert_eq!(m1, m2);
@@ -462,11 +499,27 @@ mod tests {
         let a = laplacian_2d(16, 16, Stencil2d::Five);
         let dev = Device::new(GpuSpec::a100());
         let m = Mbsr::from_csr(&a);
-        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 37) % 97) as f64 / 97.0).collect();
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| ((i * 37) % 97) as f64 / 97.0)
+            .collect();
         let plan = analyze_spmv(&ctx(&dev), &m);
-        let y64 = spmv_mbsr(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64), &m, &plan, &x);
-        let y16 = spmv_mbsr(&Ctx::new(&dev, Phase::Solve, 0, Precision::Fp16), &m, &plan, &x);
-        let err = y64.iter().zip(&y16).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
+        let y64 = spmv_mbsr(
+            &Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64),
+            &m,
+            &plan,
+            &x,
+        );
+        let y16 = spmv_mbsr(
+            &Ctx::new(&dev, Phase::Solve, 0, Precision::Fp16),
+            &m,
+            &plan,
+            &x,
+        );
+        let err = y64
+            .iter()
+            .zip(&y16)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max);
         assert!(err > 0.0);
         assert!(err < 0.05, "err {err}");
     }
@@ -483,8 +536,9 @@ mod tests {
         spmv_mbsr(&ctx(&dev), &m, &plan, &x);
         let evs = dev.events();
         assert_eq!(evs.len(), before + 2);
-        assert!(evs[before..].iter().all(|e| e.kind == amgt_sim::KernelKind::SpMV
-            && e.algo == amgt_sim::Algo::AmgT));
+        assert!(evs[before..]
+            .iter()
+            .all(|e| e.kind == amgt_sim::KernelKind::SpMV && e.algo == amgt_sim::Algo::AmgT));
     }
 
     #[test]

@@ -60,7 +60,13 @@ pub fn spmv_csr(ctx: &Ctx, a: &Csr, x: &[f64]) -> Vec<f64> {
 pub fn intermediate_products(a: &Csr, b: &Csr) -> u64 {
     (0..a.nrows())
         .into_par_iter()
-        .map(|r| a.row(r).0.iter().map(|&k| b.row_nnz(k as usize) as u64).sum::<u64>())
+        .map(|r| {
+            a.row(r)
+                .0
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum::<u64>()
+        })
         .sum()
 }
 
@@ -169,7 +175,13 @@ pub fn spgemm_csr(ctx: &Ctx, a: &Csr, b: &Csr) -> (Csr, VendorSpgemmStats) {
     ctx.charge(KernelKind::SpGemmNumeric, Algo::Vendor, &num_cost);
 
     let c = Csr::new(n, b.ncols(), row_ptr, col_idx, vals);
-    (c, VendorSpgemmStats { intermediate_products: products, result_nnz: nnz as u64 })
+    (
+        c,
+        VendorSpgemmStats {
+            intermediate_products: products,
+            result_nnz: nnz as u64,
+        },
+    )
 }
 
 /// Quantize a CSR matrix's values in place to the context precision —
@@ -246,7 +258,10 @@ mod tests {
             .map(|(u, v)| (u - v).abs())
             .fold(0.0f64, f64::max);
         assert!(max_err > 1e-8, "fp16 should differ from fp64");
-        assert!(max_err < 0.3, "fp16 error should stay bounded, got {max_err}");
+        assert!(
+            max_err < 0.3,
+            "fp16 error should stay bounded, got {max_err}"
+        );
     }
 
     #[test]

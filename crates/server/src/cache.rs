@@ -1,0 +1,251 @@
+//! LRU cache of assembled AMG hierarchies.
+//!
+//! The expensive part of serving repeated solves is the setup phase
+//! (strength + PMIS + extended+i + two RAP SpGEMMs per level). Systems with
+//! an unchanged sparsity pattern recur constantly in practice —
+//! time-stepping, Newton chains, parameter sweeps — so the service keys
+//! hierarchies by [`Fingerprint`] + config hash and distinguishes three
+//! outcomes:
+//!
+//! * **hit** — same structure *and* same value bits: reuse the hierarchy
+//!   as-is, skipping setup entirely;
+//! * **refresh** — same structure, new values: keep the coarsening and
+//!   interpolation operators, redo only the Galerkin products
+//!   (`amgt::resetup`), which skips 1 of 3 SpGEMMs per level plus all the
+//!   graph work;
+//! * **miss** — unknown structure: full setup.
+
+use crate::fingerprint::Fingerprint;
+use amgt::Hierarchy;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: structural identity plus solver configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub fingerprint: Fingerprint,
+    pub config_hash: u64,
+}
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    Hit,
+    Refresh,
+    Miss,
+}
+
+struct Entry {
+    hierarchy: Arc<Hierarchy>,
+    value_hash: u64,
+    /// Monotone LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// Counters exposed through the service metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub refreshes: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that avoided a full setup (hits + refreshes).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.refreshes + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hits + self.refreshes) as f64 / total as f64
+    }
+}
+
+/// Bounded LRU map from [`CacheKey`] to an assembled hierarchy.
+pub struct HierarchyCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl HierarchyCache {
+    /// `capacity` is the maximum number of retained hierarchies (>= 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache needs room for at least one hierarchy");
+        HierarchyCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a hierarchy for (`key`, `value_hash`). A structural match
+    /// with different values returns [`CacheOutcome::Refresh`] together with
+    /// the stale hierarchy — the caller re-assembles values via
+    /// `amgt::resetup` and stores the result with [`HierarchyCache::insert`].
+    pub fn lookup(
+        &mut self,
+        key: &CacheKey,
+        value_hash: u64,
+    ) -> (CacheOutcome, Option<Arc<Hierarchy>>) {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(e) if e.value_hash == value_hash => {
+                e.stamp = self.clock;
+                self.stats.hits += 1;
+                (CacheOutcome::Hit, Some(Arc::clone(&e.hierarchy)))
+            }
+            Some(e) => {
+                e.stamp = self.clock;
+                self.stats.refreshes += 1;
+                (CacheOutcome::Refresh, Some(Arc::clone(&e.hierarchy)))
+            }
+            None => {
+                self.stats.misses += 1;
+                (CacheOutcome::Miss, None)
+            }
+        }
+    }
+
+    /// Insert (or replace) the hierarchy for a key, evicting the least
+    /// recently used entry when over capacity.
+    pub fn insert(&mut self, key: CacheKey, value_hash: u64, hierarchy: Arc<Hierarchy>) {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.entries.insert(
+            key,
+            Entry {
+                hierarchy,
+                value_hash,
+                stamp,
+            },
+        );
+        while self.entries.len() > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty over-capacity cache");
+            self.entries.remove(&lru);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::{config_hash, of_csr, value_hash};
+    use amgt::prelude::*;
+    use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+
+    fn build(a: &Csr) -> Arc<Hierarchy> {
+        let dev = Device::new(GpuSpec::a100());
+        Arc::new(setup(&dev, &AmgConfig::amgt_fp64(), a.clone()))
+    }
+
+    fn key(a: &Csr) -> CacheKey {
+        CacheKey {
+            fingerprint: of_csr(a),
+            config_hash: config_hash(&AmgConfig::amgt_fp64()),
+        }
+    }
+
+    #[test]
+    fn exact_repeat_hits() {
+        let a = laplacian_2d(10, 10, Stencil2d::Five);
+        let mut cache = HierarchyCache::new(4);
+        let k = key(&a);
+        let vh = value_hash(&a);
+        assert_eq!(cache.lookup(&k, vh).0, CacheOutcome::Miss);
+        cache.insert(k, vh, build(&a));
+        let (outcome, h) = cache.lookup(&k, vh);
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(h.is_some());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn same_structure_new_values_refreshes() {
+        let a = laplacian_2d(10, 10, Stencil2d::Five);
+        let mut b = a.clone();
+        for v in b.vals.iter_mut() {
+            *v *= 1.1;
+        }
+        let mut cache = HierarchyCache::new(4);
+        cache.insert(key(&a), value_hash(&a), build(&a));
+        // Identical pattern, different values: the key matches but the
+        // value hash does not.
+        assert_eq!(key(&a), key(&b));
+        let (outcome, h) = cache.lookup(&key(&b), value_hash(&b));
+        assert_eq!(outcome, CacheOutcome::Refresh);
+        assert!(h.is_some());
+        assert!((cache.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_config_misses() {
+        let a = laplacian_2d(10, 10, Stencil2d::Five);
+        let mut cache = HierarchyCache::new(4);
+        cache.insert(key(&a), value_hash(&a), build(&a));
+        let mut other = AmgConfig::amgt_fp64();
+        other.max_iterations = 3;
+        let k2 = CacheKey {
+            fingerprint: of_csr(&a),
+            config_hash: config_hash(&other),
+        };
+        assert_eq!(cache.lookup(&k2, value_hash(&a)).0, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_lru_order() {
+        let mats: Vec<Csr> = [(8, 8), (9, 9), (10, 10), (11, 11)]
+            .iter()
+            .map(|&(w, h)| laplacian_2d(w, h, Stencil2d::Five))
+            .collect();
+        let mut cache = HierarchyCache::new(2);
+        let h0 = build(&mats[0]);
+        cache.insert(key(&mats[0]), value_hash(&mats[0]), Arc::clone(&h0));
+        cache.insert(key(&mats[1]), value_hash(&mats[1]), h0.clone());
+        // Touch entry 0 so entry 1 is the LRU.
+        assert_eq!(
+            cache.lookup(&key(&mats[0]), value_hash(&mats[0])).0,
+            CacheOutcome::Hit
+        );
+        cache.insert(key(&mats[2]), value_hash(&mats[2]), h0.clone());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Entry 1 was evicted; entry 0 survived.
+        assert_eq!(
+            cache.lookup(&key(&mats[1]), value_hash(&mats[1])).0,
+            CacheOutcome::Miss
+        );
+        assert_eq!(
+            cache.lookup(&key(&mats[0]), value_hash(&mats[0])).0,
+            CacheOutcome::Hit
+        );
+    }
+}

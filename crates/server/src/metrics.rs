@@ -1,0 +1,122 @@
+//! Service observability: a serializable snapshot of queue, cache, batching
+//! and latency state.
+
+use crate::cache::CacheStats;
+use serde::Serialize;
+
+/// Maximum RHS columns one batched V-cycle coalesces (one tensor slab).
+pub const MAX_BATCH: usize = 8;
+
+/// Point-in-time service metrics. Serializable so operators can scrape it
+/// as JSON (`serde::Serialize::to_json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceMetrics {
+    /// Jobs waiting in the submission queue right now.
+    pub queue_depth: usize,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub cache_hits: u64,
+    pub cache_refreshes: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    /// Fraction of lookups that skipped full setup (hits + refreshes).
+    pub cache_hit_rate: f64,
+    /// `batch_occupancy[k]` counts batches that solved `k + 1` RHS at once.
+    pub batch_occupancy: [u64; MAX_BATCH],
+    /// Wall-clock latency percentiles over completed jobs, in seconds.
+    pub p50_wall_seconds: f64,
+    pub p99_wall_seconds: f64,
+    /// Simulated-GPU latency percentiles over completed jobs, in seconds.
+    pub p50_simulated_seconds: f64,
+    pub p99_simulated_seconds: f64,
+}
+
+/// Mutable accumulator behind the service's metrics mutex.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsInner {
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub batch_occupancy: [u64; MAX_BATCH],
+    pub wall_latencies: Vec<f64>,
+    pub simulated_latencies: Vec<f64>,
+}
+
+impl MetricsInner {
+    pub fn record_batch(&mut self, occupancy: usize) {
+        assert!((1..=MAX_BATCH).contains(&occupancy));
+        self.batch_occupancy[occupancy - 1] += 1;
+    }
+
+    pub fn record_job(&mut self, wall_seconds: f64, simulated_seconds: f64) {
+        self.jobs_completed += 1;
+        self.wall_latencies.push(wall_seconds);
+        self.simulated_latencies.push(simulated_seconds);
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServiceMetrics {
+        ServiceMetrics {
+            queue_depth,
+            jobs_completed: self.jobs_completed,
+            jobs_failed: self.jobs_failed,
+            cache_hits: cache.hits,
+            cache_refreshes: cache.refreshes,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_hit_rate: cache.hit_rate(),
+            batch_occupancy: self.batch_occupancy,
+            p50_wall_seconds: percentile(&self.wall_latencies, 0.50),
+            p99_wall_seconds: percentile(&self.wall_latencies, 0.99),
+            p50_simulated_seconds: percentile(&self.simulated_latencies, 0.50),
+            p99_simulated_seconds: percentile(&self.simulated_latencies, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile; 0.0 for an empty sample.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let mut inner = MetricsInner::default();
+        inner.record_batch(8);
+        inner.record_batch(1);
+        inner.record_job(0.25, 1e-4);
+        let m = inner.snapshot(
+            3,
+            CacheStats {
+                hits: 9,
+                misses: 1,
+                ..Default::default()
+            },
+        );
+        let json = serde::Serialize::to_json(&m);
+        assert!(json.contains("\"queue_depth\":3"), "{json}");
+        assert!(json.contains("\"cache_hit_rate\":0.9"), "{json}");
+        assert!(
+            json.contains("\"batch_occupancy\":[1,0,0,0,0,0,0,1]"),
+            "{json}"
+        );
+        assert!(json.contains("\"p50_wall_seconds\":0.25"), "{json}");
+    }
+}

@@ -1,0 +1,473 @@
+//! The solve service: bounded job queue, worker pool over simulated
+//! devices, fingerprint-keyed hierarchy cache and batched-RHS V-cycles.
+//!
+//! Data flow:
+//!
+//! ```text
+//! submit() --bounded queue--> worker (one simulated Device each)
+//!                               |- coalesce <= MAX_BATCH compatible jobs
+//!                               |- hierarchy cache: hit / refresh / miss
+//!                               |- solve_batched (fused SpMM V-cycles)
+//!                               '- complete JobHandles, record metrics
+//! ```
+//!
+//! Jobs are *compatible* (batchable) when they share the exact system —
+//! structural fingerprint, value hash and solver config — so a single
+//! hierarchy and one batched V-cycle serves all of them. With `workers: 0`
+//! the service runs synchronously: nothing drains the queue until
+//! [`SolverService::shutdown`], which processes the backlog inline — the
+//! deterministic mode the backpressure/cancellation/drain tests rely on.
+
+use crate::cache::{CacheKey, CacheOutcome, HierarchyCache};
+use crate::fingerprint::{config_hash, of_csr, value_hash};
+use crate::metrics::{MetricsInner, ServiceMetrics, MAX_BATCH};
+use amgt::prelude::*;
+use amgt::{resetup, setup, solve_batched, Hierarchy};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads, each owning one simulated device. `0` = synchronous
+    /// mode: jobs queue up and are drained by [`SolverService::shutdown`].
+    pub workers: usize,
+    /// Bounded submission-queue capacity; a full queue rejects submits.
+    pub queue_capacity: usize,
+    /// Upper bound on RHS coalesced into one batched V-cycle (<= 8).
+    pub batch_max: usize,
+    /// How long a worker waits for more compatible jobs before solving an
+    /// under-full batch.
+    pub batch_window: Duration,
+    /// Hierarchies retained in the LRU cache.
+    pub cache_capacity: usize,
+    /// Simulated GPU each worker models.
+    pub spec: GpuSpec,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batch_max: MAX_BATCH,
+            batch_window: Duration::from_millis(2),
+            cache_capacity: 8,
+            spec: GpuSpec::a100(),
+        }
+    }
+}
+
+/// One solve request: a system, a right-hand side and a solver config.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    pub matrix: Csr,
+    pub rhs: Vec<f64>,
+    pub config: AmgConfig,
+    /// Give up if the job has not *started* within this budget of its
+    /// submission (checked when a worker picks the job up).
+    pub deadline: Option<Duration>,
+}
+
+impl SolveRequest {
+    pub fn new(matrix: Csr, rhs: Vec<f64>, config: AmgConfig) -> Self {
+        SolveRequest {
+            matrix,
+            rhs,
+            config,
+            deadline: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A completed solve.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    pub x: Vec<f64>,
+    pub relative_residual: f64,
+    pub iterations: usize,
+    pub converged: bool,
+    /// How the hierarchy was obtained.
+    pub cache: CacheOutcome,
+    /// RHS columns that shared this job's batched V-cycle (>= 1).
+    pub batch_size: usize,
+    /// Simulated device time attributed to this job's batch.
+    pub simulated_seconds: f64,
+    /// Wall-clock time from submission to completion.
+    pub wall_seconds: f64,
+}
+
+/// Why a job failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The deadline elapsed before a worker picked the job up.
+    DeadlineExceeded,
+    /// The handle was cancelled before processing started.
+    Cancelled,
+    /// The matrix was rejected (non-square, or RHS length mismatch).
+    Invalid(String),
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Backpressure: the bounded queue is full.
+    QueueFull,
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::DeadlineExceeded => write!(f, "deadline exceeded before processing"),
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::Invalid(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// One-shot completion slot shared between a worker and a [`JobHandle`].
+struct JobState {
+    result: Mutex<Option<Result<SolveOutcome, JobError>>>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+/// Caller-side handle to a submitted job.
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Block until the job completes (or fails).
+    pub fn wait(&self) -> Result<SolveOutcome, JobError> {
+        let mut slot = self.state.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.done.wait(slot).unwrap();
+        }
+        slot.as_ref().unwrap().clone()
+    }
+
+    /// Non-blocking probe; `None` while the job is still queued or running.
+    pub fn try_wait(&self) -> Option<Result<SolveOutcome, JobError>> {
+        self.state.result.lock().unwrap().clone()
+    }
+
+    /// Request cancellation. Effective until a worker starts the job;
+    /// already-started solves run to completion.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Batching identity: jobs with equal keys solve the same system under the
+/// same config and may share one hierarchy and one batched V-cycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct BatchKey {
+    cache_key: CacheKey,
+    value_hash: u64,
+}
+
+struct Job {
+    request: SolveRequest,
+    key: BatchKey,
+    submitted: Instant,
+    state: Arc<JobState>,
+}
+
+impl Job {
+    fn complete(&self, result: Result<SolveOutcome, JobError>) {
+        let mut slot = self.state.result.lock().unwrap();
+        *slot = Some(result);
+        self.state.done.notify_all();
+    }
+}
+
+struct Shared {
+    cache: Mutex<HierarchyCache>,
+    metrics: Mutex<MetricsInner>,
+    shutdown: AtomicBool,
+}
+
+/// The in-process multi-tenant solve service.
+pub struct SolverService {
+    config: ServiceConfig,
+    tx: Sender<Job>,
+    /// Retained for synchronous drain (`workers == 0`) and queue-depth
+    /// metrics; workers hold clones.
+    rx: Receiver<Job>,
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl SolverService {
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.queue_capacity >= 1);
+        assert!(
+            (1..=MAX_BATCH).contains(&config.batch_max),
+            "batch_max must be 1..=8"
+        );
+        let (tx, rx) = bounded::<Job>(config.queue_capacity);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(HierarchyCache::new(config.cache_capacity)),
+            metrics: Mutex::new(MetricsInner::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                let cfg = config.clone();
+                thread::spawn(move || worker_loop(&cfg, &rx, &shared))
+            })
+            .collect();
+        SolverService {
+            config,
+            tx,
+            rx,
+            shared,
+            workers,
+        }
+    }
+
+    /// Enqueue a solve. Returns immediately with a handle; rejects with
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity.
+    pub fn submit(&self, request: SolveRequest) -> Result<JobHandle, SubmitError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::Shutdown);
+        }
+        let key = BatchKey {
+            cache_key: CacheKey {
+                fingerprint: of_csr(&request.matrix),
+                config_hash: config_hash(&request.config),
+            },
+            value_hash: value_hash(&request.matrix),
+        };
+        let state = Arc::new(JobState {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        });
+        let job = Job {
+            request,
+            key,
+            submitted: Instant::now(),
+            state: Arc::clone(&state),
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(JobHandle { state }),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let cache = self.shared.cache.lock().unwrap().stats();
+        self.shared
+            .metrics
+            .lock()
+            .unwrap()
+            .snapshot(self.rx.len(), cache)
+    }
+
+    /// Process everything currently queued on the caller's thread, batching
+    /// compatible jobs exactly like a worker would. The synchronous mode
+    /// (`workers: 0`) uses this between submissions; with live workers it
+    /// merely competes with them for queued jobs.
+    pub fn drain_pending(&self) {
+        let device = Device::new(self.config.spec.clone());
+        let mut stash: VecDeque<Job> = VecDeque::new();
+        while let Ok(job) = self.rx.try_recv() {
+            stash.push_back(job);
+        }
+        while let Some(first) = stash.pop_front() {
+            let mut batch = vec![first];
+            let mut i = 0;
+            while i < stash.len() && batch.len() < self.config.batch_max {
+                if stash[i].key == batch[0].key {
+                    batch.push(stash.remove(i).unwrap());
+                } else {
+                    i += 1;
+                }
+            }
+            process_batch(&device, &self.shared, batch);
+        }
+    }
+
+    /// Stop accepting new jobs, drain everything already queued, and join
+    /// the workers. Every outstanding [`JobHandle`] resolves before this
+    /// returns. Consumes the service.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Synchronous mode (or jobs the workers never observed).
+        self.drain_pending();
+    }
+}
+
+fn worker_loop(cfg: &ServiceConfig, rx: &Receiver<Job>, shared: &Shared) {
+    let device = Device::new(cfg.spec.clone());
+    // Jobs pulled while assembling a batch that belong to a *different*
+    // system wait here and seed the next batch.
+    let mut stash: VecDeque<Job> = VecDeque::new();
+    loop {
+        let first = match stash.pop_front() {
+            Some(job) => job,
+            None => match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+        };
+
+        let mut batch = vec![first];
+        let window_end = Instant::now() + cfg.batch_window;
+        while batch.len() < cfg.batch_max {
+            if let Some(pos) = stash.iter().position(|j| j.key == batch[0].key) {
+                batch.push(stash.remove(pos).unwrap());
+                continue;
+            }
+            let Some(remaining) = window_end.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(job) if job.key == batch[0].key => batch.push(job),
+                Ok(job) => stash.push_back(job),
+                Err(_) => break,
+            }
+        }
+        process_batch(&device, shared, batch);
+    }
+}
+
+/// Solve one batch of compatible jobs on `device`, completing every handle.
+fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
+    // Pre-flight: cancellation, deadlines and request validation.
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        let err = if job.state.cancelled.load(Ordering::SeqCst) {
+            Some(JobError::Cancelled)
+        } else if job
+            .request
+            .deadline
+            .is_some_and(|d| job.submitted.elapsed() > d)
+        {
+            Some(JobError::DeadlineExceeded)
+        } else if job.request.matrix.nrows() != job.request.matrix.ncols() {
+            Some(JobError::Invalid(format!(
+                "AMG needs a square system; got {} x {}",
+                job.request.matrix.nrows(),
+                job.request.matrix.ncols()
+            )))
+        } else if job.request.rhs.len() != job.request.matrix.nrows() {
+            Some(JobError::Invalid(format!(
+                "RHS length {} does not match matrix order {}",
+                job.request.rhs.len(),
+                job.request.matrix.nrows()
+            )))
+        } else {
+            None
+        };
+        match err {
+            Some(e) => {
+                shared.metrics.lock().unwrap().jobs_failed += 1;
+                job.complete(Err(e));
+            }
+            None => live.push(job),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let amg_cfg = live[0].request.config.clone();
+    let sim_start = device.elapsed();
+
+    // Hierarchy: cache hit / value refresh / full setup. Setup and refresh
+    // are charged to the same device, so `simulated_seconds` honestly
+    // includes them on a miss and excludes them on a hit.
+    let cache_key = live[0].key.cache_key;
+    let vhash = live[0].key.value_hash;
+    let (outcome, cached) = shared.cache.lock().unwrap().lookup(&cache_key, vhash);
+    let hierarchy: Arc<Hierarchy> = match (outcome, cached) {
+        (CacheOutcome::Hit, Some(h)) => h,
+        (CacheOutcome::Refresh, Some(stale)) => {
+            let mut h = (*stale).clone();
+            resetup(device, &amg_cfg, &mut h, live[0].request.matrix.clone());
+            let h = Arc::new(h);
+            shared
+                .cache
+                .lock()
+                .unwrap()
+                .insert(cache_key, vhash, Arc::clone(&h));
+            h
+        }
+        _ => {
+            let h = Arc::new(setup(device, &amg_cfg, live[0].request.matrix.clone()));
+            shared
+                .cache
+                .lock()
+                .unwrap()
+                .insert(cache_key, vhash, Arc::clone(&h));
+            h
+        }
+    };
+
+    // One batched V-cycle sequence over all coalesced RHS.
+    let columns: Vec<Vec<f64>> = live.iter().map(|j| j.request.rhs.clone()).collect();
+    let b = MultiVector::from_columns(&columns);
+    let mut x = MultiVector::zeros(b.nrows, b.ncols);
+    let report = solve_batched(device, &amg_cfg, &hierarchy, &b, &mut x);
+    let simulated = device.elapsed() - sim_start;
+
+    let batch_size = live.len();
+    {
+        let mut m = shared.metrics.lock().unwrap();
+        m.record_batch(batch_size);
+    }
+    for (c, job) in live.into_iter().enumerate() {
+        let wall = job.submitted.elapsed().as_secs_f64();
+        shared.metrics.lock().unwrap().record_job(wall, simulated);
+        job.complete(Ok(SolveOutcome {
+            x: x.col(c).to_vec(),
+            relative_residual: report.final_relative_residuals[c],
+            iterations: report.column_iterations[c],
+            converged: report.converged[c],
+            cache: outcome,
+            batch_size,
+            simulated_seconds: simulated,
+            wall_seconds: wall,
+        }));
+    }
+}

@@ -213,19 +213,71 @@ pub mod tuning {
         use Algo::*;
         use KernelKind::*;
         match (kind, algo) {
-            (SpMV, Vendor) => Efficiency { tensor: 0.0, cuda: 0.08, memory: 0.46 },
-            (SpMV, AmgT) => Efficiency { tensor: 0.28, cuda: 0.12, memory: 0.78 },
-            (SpGemmSymbolic, Vendor) => Efficiency { tensor: 0.0, cuda: 0.012, memory: 0.25 },
-            (SpGemmSymbolic, AmgT) => Efficiency { tensor: 0.0, cuda: 0.18, memory: 0.60 },
-            (SpGemmNumeric, Vendor) => Efficiency { tensor: 0.0, cuda: 0.012, memory: 0.25 },
-            (SpGemmNumeric, AmgT) => Efficiency { tensor: 0.30, cuda: 0.15, memory: 0.65 },
-            (Convert, _) => Efficiency { tensor: 0.0, cuda: 0.20, memory: 0.80 },
-            (Vector, _) => Efficiency { tensor: 0.0, cuda: 0.30, memory: 0.80 },
-            (Graph, _) => Efficiency { tensor: 0.0, cuda: 0.04, memory: 0.35 },
-            (CoarseSolve, _) => Efficiency { tensor: 0.0, cuda: 0.05, memory: 0.50 },
-            (Transpose, _) => Efficiency { tensor: 0.0, cuda: 0.08, memory: 0.45 },
-            (Comm, _) => Efficiency { tensor: 0.0, cuda: 1.0, memory: 1.0 },
-            _ => Efficiency { tensor: 0.2, cuda: 0.1, memory: 0.5 },
+            (SpMV, Vendor) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.08,
+                memory: 0.46,
+            },
+            (SpMV, AmgT) => Efficiency {
+                tensor: 0.28,
+                cuda: 0.12,
+                memory: 0.78,
+            },
+            (SpGemmSymbolic, Vendor) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.012,
+                memory: 0.25,
+            },
+            (SpGemmSymbolic, AmgT) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.18,
+                memory: 0.60,
+            },
+            (SpGemmNumeric, Vendor) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.012,
+                memory: 0.25,
+            },
+            (SpGemmNumeric, AmgT) => Efficiency {
+                tensor: 0.30,
+                cuda: 0.15,
+                memory: 0.65,
+            },
+            (Convert, _) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.20,
+                memory: 0.80,
+            },
+            (Vector, _) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.30,
+                memory: 0.80,
+            },
+            (Graph, _) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.04,
+                memory: 0.35,
+            },
+            (CoarseSolve, _) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.05,
+                memory: 0.50,
+            },
+            (Transpose, _) => Efficiency {
+                tensor: 0.0,
+                cuda: 0.08,
+                memory: 0.45,
+            },
+            (Comm, _) => Efficiency {
+                tensor: 0.0,
+                cuda: 1.0,
+                memory: 1.0,
+            },
+            _ => Efficiency {
+                tensor: 0.2,
+                cuda: 0.1,
+                memory: 0.5,
+            },
         }
     }
 }
@@ -327,8 +379,18 @@ mod tests {
     #[test]
     fn memory_bound_kernel_times_by_bandwidth() {
         let spec = GpuSpec::a100();
-        let cost = KernelCost { bytes: 1.94e9, launches: 1, ..Default::default() };
-        let t = kernel_seconds(&spec, KernelKind::Vector, Algo::Shared, Precision::Fp64, &cost);
+        let cost = KernelCost {
+            bytes: 1.94e9,
+            launches: 1,
+            ..Default::default()
+        };
+        let t = kernel_seconds(
+            &spec,
+            KernelKind::Vector,
+            Algo::Shared,
+            Precision::Fp64,
+            &cost,
+        );
         // 1.94 GB at 80% of 1940 GB/s = 1.25 ms, plus one launch overhead.
         let launch = spec.launch_overhead_us * 1e-6;
         assert!((t - (1.0 / 800.0 + launch)).abs() < 1e-9, "t = {t}");
@@ -337,8 +399,17 @@ mod tests {
     #[test]
     fn launch_overhead_additive() {
         let spec = GpuSpec::h100();
-        let cost = KernelCost { launches: 10, ..Default::default() };
-        let t = kernel_seconds(&spec, KernelKind::Vector, Algo::Shared, Precision::Fp64, &cost);
+        let cost = KernelCost {
+            launches: 10,
+            ..Default::default()
+        };
+        let t = kernel_seconds(
+            &spec,
+            KernelKind::Vector,
+            Algo::Shared,
+            Precision::Fp64,
+            &cost,
+        );
         assert!((t - 10.0 * spec.launch_overhead_us * 1e-6).abs() < 1e-12);
     }
 
@@ -346,17 +417,39 @@ mod tests {
     fn tensor_path_faster_than_cuda_path_for_same_flops() {
         let spec = GpuSpec::a100();
         let flops = 1e12;
-        let tc = KernelCost { tc_flops: flops, ..Default::default() };
-        let cc = KernelCost { cuda_flops: flops, ..Default::default() };
-        let t_tc = kernel_seconds(&spec, KernelKind::SpGemmNumeric, Algo::AmgT, Precision::Fp64, &tc);
-        let t_cc = kernel_seconds(&spec, KernelKind::SpGemmNumeric, Algo::AmgT, Precision::Fp64, &cc);
+        let tc = KernelCost {
+            tc_flops: flops,
+            ..Default::default()
+        };
+        let cc = KernelCost {
+            cuda_flops: flops,
+            ..Default::default()
+        };
+        let t_tc = kernel_seconds(
+            &spec,
+            KernelKind::SpGemmNumeric,
+            Algo::AmgT,
+            Precision::Fp64,
+            &tc,
+        );
+        let t_cc = kernel_seconds(
+            &spec,
+            KernelKind::SpGemmNumeric,
+            Algo::AmgT,
+            Precision::Fp64,
+            &cc,
+        );
         assert!(t_tc < t_cc, "tensor {t_tc} vs cuda {t_cc}");
     }
 
     #[test]
     fn fp16_cheaper_than_fp64_on_nvidia() {
         let spec = GpuSpec::h100();
-        let cost = KernelCost { tc_flops: 1e12, bytes: 1e6, ..Default::default() };
+        let cost = KernelCost {
+            tc_flops: 1e12,
+            bytes: 1e6,
+            ..Default::default()
+        };
         let t64 = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &cost);
         let t16 = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp16, &cost);
         assert!(t16 < t64 / 4.0, "t16 {t16} vs t64 {t64}");
@@ -364,17 +457,48 @@ mod tests {
 
     #[test]
     fn cost_add_accumulates() {
-        let mut a = KernelCost { tc_flops: 1.0, cuda_flops: 2.0, int_ops: 3.0, bytes: 4.0, launches: 1 };
-        let b = KernelCost { tc_flops: 10.0, cuda_flops: 20.0, int_ops: 30.0, bytes: 40.0, launches: 2 };
+        let mut a = KernelCost {
+            tc_flops: 1.0,
+            cuda_flops: 2.0,
+            int_ops: 3.0,
+            bytes: 4.0,
+            launches: 1,
+        };
+        let b = KernelCost {
+            tc_flops: 10.0,
+            cuda_flops: 20.0,
+            int_ops: 30.0,
+            bytes: 40.0,
+            launches: 2,
+        };
         a.add(&b);
-        assert_eq!(a, KernelCost { tc_flops: 11.0, cuda_flops: 22.0, int_ops: 33.0, bytes: 44.0, launches: 3 });
+        assert_eq!(
+            a,
+            KernelCost {
+                tc_flops: 11.0,
+                cuda_flops: 22.0,
+                int_ops: 33.0,
+                bytes: 44.0,
+                launches: 3
+            }
+        );
     }
 
     #[test]
     fn vendor_spmv_slower_than_amgt_spmv_same_cost() {
         let spec = GpuSpec::a100();
-        let cost = KernelCost { bytes: 1e8, cuda_flops: 1e7, ..Default::default() };
-        let tv = kernel_seconds(&spec, KernelKind::SpMV, Algo::Vendor, Precision::Fp64, &cost);
+        let cost = KernelCost {
+            bytes: 1e8,
+            cuda_flops: 1e7,
+            ..Default::default()
+        };
+        let tv = kernel_seconds(
+            &spec,
+            KernelKind::SpMV,
+            Algo::Vendor,
+            Precision::Fp64,
+            &cost,
+        );
         let ta = kernel_seconds(&spec, KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &cost);
         assert!(tv > ta);
     }

@@ -49,7 +49,10 @@ pub struct Device {
 
 impl Device {
     pub fn new(spec: GpuSpec) -> Self {
-        Device { spec, state: Mutex::new(DeviceState::default()) }
+        Device {
+            spec,
+            state: Mutex::new(DeviceState::default()),
+        }
     }
 
     pub fn spec(&self) -> &GpuSpec {
@@ -82,7 +85,15 @@ impl Device {
         let seq = st.seq;
         st.seq += 1;
         st.clock += seconds;
-        st.events.push(KernelEvent { seq, kind, algo, phase, level, precision, seconds });
+        st.events.push(KernelEvent {
+            seq,
+            kind,
+            algo,
+            phase,
+            level,
+            precision,
+            seconds,
+        });
         seconds
     }
 
@@ -101,7 +112,15 @@ impl Device {
         let seq = st.seq;
         st.seq += 1;
         st.clock += seconds;
-        st.events.push(KernelEvent { seq, kind, algo, phase, level, precision, seconds });
+        st.events.push(KernelEvent {
+            seq,
+            kind,
+            algo,
+            phase,
+            level,
+            precision,
+            seconds,
+        });
     }
 
     /// Total simulated seconds elapsed on this device.
@@ -122,7 +141,13 @@ impl Device {
     /// Sum of durations matching a predicate — the building block of the
     /// Figure 1/2 breakdowns.
     pub fn total_where(&self, pred: impl Fn(&KernelEvent) -> bool) -> f64 {
-        self.state.lock().events.iter().filter(|e| pred(e)).map(|e| e.seconds).sum()
+        self.state
+            .lock()
+            .events
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.seconds)
+            .sum()
     }
 }
 
@@ -140,7 +165,10 @@ impl Interconnect {
     /// Latency is the per-round point-to-point cost (~2 us for NVLink P2P
     /// with NCCL small-message overhead).
     pub fn nvlink() -> Self {
-        Interconnect { bw_gbs: 250.0, latency_us: 2.0 }
+        Interconnect {
+            bw_gbs: 250.0,
+            latency_us: 2.0,
+        }
     }
 
     /// Time to move `bytes` in `messages` messages over one link.
@@ -179,7 +207,8 @@ impl Cluster {
         assert_eq!(per_device_seconds.len(), self.devices.len());
         let compute = per_device_seconds.iter().cloned().fold(0.0, f64::max);
         let comm = if comm_bytes > 0.0 || comm_messages > 0 {
-            self.interconnect.transfer_seconds(comm_bytes, comm_messages)
+            self.interconnect
+                .transfer_seconds(comm_bytes, comm_messages)
         } else {
             0.0
         };
@@ -205,7 +234,10 @@ mod tests {
     use super::*;
 
     fn cost_bytes(b: f64) -> KernelCost {
-        KernelCost { bytes: b, ..Default::default() }
+        KernelCost {
+            bytes: b,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -239,8 +271,22 @@ mod tests {
     #[test]
     fn total_where_filters() {
         let dev = Device::new(GpuSpec::h100());
-        dev.charge(KernelKind::SpMV, Algo::Vendor, Phase::Solve, 0, Precision::Fp64, &cost_bytes(1e6));
-        dev.charge(KernelKind::Vector, Algo::Shared, Phase::Solve, 0, Precision::Fp64, &cost_bytes(1e6));
+        dev.charge(
+            KernelKind::SpMV,
+            Algo::Vendor,
+            Phase::Solve,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
+        dev.charge(
+            KernelKind::Vector,
+            Algo::Shared,
+            Phase::Solve,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
         let spmv = dev.total_where(|e| e.kind == KernelKind::SpMV);
         let all = dev.total_where(|_| true);
         assert!(spmv > 0.0 && spmv < all);
@@ -249,7 +295,14 @@ mod tests {
     #[test]
     fn reset_clears() {
         let dev = Device::new(GpuSpec::a100());
-        dev.charge(KernelKind::SpMV, Algo::AmgT, Phase::Solve, 0, Precision::Fp64, &cost_bytes(1e6));
+        dev.charge(
+            KernelKind::SpMV,
+            Algo::AmgT,
+            Phase::Solve,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
         dev.reset();
         assert_eq!(dev.elapsed(), 0.0);
         assert!(dev.events().is_empty());
@@ -257,7 +310,14 @@ mod tests {
 
     #[test]
     fn cluster_step_is_max_plus_comm() {
-        let cluster = Cluster::new(GpuSpec::a100(), 4, Interconnect { bw_gbs: 100.0, latency_us: 10.0 });
+        let cluster = Cluster::new(
+            GpuSpec::a100(),
+            4,
+            Interconnect {
+                bw_gbs: 100.0,
+                latency_us: 10.0,
+            },
+        );
         let step = cluster.step(&[1e-3, 2e-3, 0.5e-3, 1.5e-3], 1e8, 3);
         let comm = 3.0 * 10e-6 + 1e8 / 100e9;
         assert!((step - (2e-3 + comm)).abs() < 1e-12);
@@ -273,7 +333,10 @@ mod tests {
 
     #[test]
     fn interconnect_latency_and_bandwidth() {
-        let link = Interconnect { bw_gbs: 200.0, latency_us: 5.0 };
+        let link = Interconnect {
+            bw_gbs: 200.0,
+            latency_us: 5.0,
+        };
         let t = link.transfer_seconds(200e9, 2);
         assert!((t - (1.0 + 10e-6)).abs() < 1e-9);
     }
@@ -281,7 +344,12 @@ mod tests {
     #[test]
     fn price_does_not_record() {
         let dev = Device::new(GpuSpec::a100());
-        let p = dev.price(KernelKind::SpMV, Algo::AmgT, Precision::Fp64, &cost_bytes(1e6));
+        let p = dev.price(
+            KernelKind::SpMV,
+            Algo::AmgT,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
         assert!(p > 0.0);
         assert!(dev.events().is_empty());
         assert_eq!(dev.elapsed(), 0.0);

@@ -252,7 +252,12 @@ mod tests {
             let a = random_a(&mut rng);
             let b = random_b(&mut rng);
             let mut frag_c = FragC::ZERO;
-            mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+            mma_8x8x4(
+                &mut frag_c,
+                &FragA::pack(&a),
+                &FragB::pack(&b),
+                Precision::Fp64,
+            );
             let mut expect = [[0.0; MMA_N]; MMA_M];
             reference_gemm_8x8x4(&mut expect, &a, &b);
             let got = frag_c.unpack();
@@ -275,9 +280,19 @@ mod tests {
         let a = random_a(&mut rng);
         let b = random_b(&mut rng);
         let mut frag_c = FragC::ZERO;
-        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        mma_8x8x4(
+            &mut frag_c,
+            &FragA::pack(&a),
+            &FragB::pack(&b),
+            Precision::Fp64,
+        );
         let first = frag_c.unpack();
-        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        mma_8x8x4(
+            &mut frag_c,
+            &FragA::pack(&a),
+            &FragB::pack(&b),
+            Precision::Fp64,
+        );
         let second = frag_c.unpack();
         for i in 0..MMA_M {
             for j in 0..MMA_N {
@@ -292,7 +307,12 @@ mod tests {
         let a = random_a(&mut rng);
         let b = random_b(&mut rng);
         let mut frag_c = FragC::ZERO;
-        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp16);
+        mma_8x8x4(
+            &mut frag_c,
+            &FragA::pack(&a),
+            &FragB::pack(&b),
+            Precision::Fp16,
+        );
         let mut expect = [[0.0; MMA_N]; MMA_M];
         reference_gemm_8x8x4(&mut expect, &a, &b);
         let got = frag_c.unpack();
@@ -425,7 +445,12 @@ mod tests {
         let a = random_a(&mut rng);
         let b = random_b(&mut rng);
         let mut frag_c = FragC::ZERO;
-        mma_8x8x4(&mut frag_c, &FragA::pack(&a), &FragB::pack(&b), Precision::Fp64);
+        mma_8x8x4(
+            &mut frag_c,
+            &FragA::pack(&a),
+            &FragB::pack(&b),
+            Precision::Fp64,
+        );
         let full = frag_c.unpack();
         for ti in 0..2 {
             for tj in 0..2 {

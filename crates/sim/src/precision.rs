@@ -254,7 +254,9 @@ pub fn round_tf32(x: f32) -> f32 {
 /// The paper (following Tsai et al.) assigns FP64 to the finest level, FP32
 /// to the second level, and FP16 to the rest; on AMD, FP16 is replaced by
 /// FP32.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Precision {
     Fp64,
     Fp32,
@@ -291,7 +293,9 @@ impl Precision {
     pub fn round_product(self, a: f64, b: f64) -> f64 {
         match self {
             Precision::Fp64 => a * b,
-            Precision::Fp32 => (round_tf32(a as f32) as f64 * round_tf32(b as f32) as f64) as f32 as f64,
+            Precision::Fp32 => {
+                (round_tf32(a as f32) as f64 * round_tf32(b as f32) as f64) as f32 as f64
+            }
             Precision::Fp16 => (F16::from_f64(a).to_f32() * F16::from_f64(b).to_f32()) as f64,
         }
     }

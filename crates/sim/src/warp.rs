@@ -43,7 +43,13 @@ pub fn shfl_down<T: Copy>(regs: &LaneRegs<T>, delta: usize) -> LaneRegs<T> {
 /// `__shfl_up_sync`: lane `l` reads lane `l - delta` (clamped to lane 0).
 #[inline]
 pub fn shfl_up<T: Copy>(regs: &LaneRegs<T>, delta: usize) -> LaneRegs<T> {
-    std::array::from_fn(|lane| if lane >= delta { regs[lane - delta] } else { regs[lane] })
+    std::array::from_fn(|lane| {
+        if lane >= delta {
+            regs[lane - delta]
+        } else {
+            regs[lane]
+        }
+    })
 }
 
 /// `__ballot_sync`: one bit per lane holding its predicate.

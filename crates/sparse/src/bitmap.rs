@@ -50,8 +50,11 @@ pub const fn row_mask(map: u16, r: usize) -> u16 {
 #[inline]
 pub const fn col_mask(map: u16, c: usize) -> u16 {
     let spread = (map >> c) & 0x1111; // bit 4*r set when (r, c) present
-    // Compress bits 0,4,8,12 into bits 0..4.
-    (spread & 0x0001) | ((spread & 0x0010) >> 3) | ((spread & 0x0100) >> 6) | ((spread & 0x1000) >> 9)
+                                      // Compress bits 0,4,8,12 into bits 0..4.
+    (spread & 0x0001)
+        | ((spread & 0x0010) >> 3)
+        | ((spread & 0x0100) >> 6)
+        | ((spread & 0x1000) >> 9)
 }
 
 /// Boolean 4x4 matrix product of two tile patterns: the result has bit

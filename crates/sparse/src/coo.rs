@@ -19,7 +19,13 @@ pub struct Coo {
 
 impl Coo {
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo { nrows, ncols, rows: vec![], cols: vec![], vals: vec![] }
+        Coo {
+            nrows,
+            ncols,
+            rows: vec![],
+            cols: vec![],
+            vals: vec![],
+        }
     }
 
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
@@ -51,7 +57,10 @@ impl Coo {
 
     /// Append one entry. Duplicates are allowed and summed at conversion.
     pub fn push(&mut self, row: usize, col: usize, val: f64) {
-        assert!(row < self.nrows && col < self.ncols, "({row},{col}) out of range");
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "({row},{col}) out of range"
+        );
         self.rows.push(row as u32);
         self.cols.push(col as u32);
         self.vals.push(val);

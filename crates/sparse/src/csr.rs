@@ -49,12 +49,24 @@ impl Csr {
                 assert!((last as usize) < ncols, "row {r} column out of range");
             }
         }
-        Csr { nrows, ncols, row_ptr, col_idx, vals }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// An `n x n` matrix with no nonzeros.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
-        Csr { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: vec![], vals: vec![] }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: vec![],
+            vals: vec![],
+        }
     }
 
     /// The `n x n` identity.
@@ -95,8 +107,11 @@ impl Csr {
         let mut out_vals = Vec::with_capacity(triplets.len());
         for r in 0..nrows {
             let (lo, hi) = (counts[r], counts[r + 1]);
-            let mut row: Vec<(u32, f64)> =
-                cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
+            let mut row: Vec<(u32, f64)> = cols[lo..hi]
+                .iter()
+                .copied()
+                .zip(vals[lo..hi].iter().copied())
+                .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row.len() {
@@ -113,7 +128,13 @@ impl Csr {
             }
             out_ptr[r + 1] = out_cols.len();
         }
-        Csr { nrows, ncols, row_ptr: out_ptr, col_idx: out_cols, vals: out_vals }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr: out_ptr,
+            col_idx: out_cols,
+            vals: out_vals,
+        }
     }
 
     pub fn nrows(&self) -> usize {
@@ -147,7 +168,9 @@ impl Csr {
 
     /// Main-diagonal entries (0.0 where absent).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.nrows).map(|r| self.get(r, r).unwrap_or(0.0)).collect()
+        (0..self.nrows)
+            .map(|r| self.get(r, r).unwrap_or(0.0))
+            .collect()
     }
 
     /// The L1 smoother diagonal: `d_i = sum_j |a_ij|`.
@@ -163,7 +186,10 @@ impl Csr {
         (0..self.nrows)
             .map(|r| {
                 let (cols, vals) = self.row(r);
-                cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
             })
             .collect()
     }
@@ -191,7 +217,13 @@ impl Csr {
         }
         // Row-major traversal writes ascending row indices per column, so
         // the transposed rows are already sorted.
-        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr: counts, col_idx: cols, vals }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: counts,
+            col_idx: cols,
+            vals,
+        }
     }
 
     /// Exact `C = A * B` with a dense-accumulator per row (reference
@@ -219,7 +251,13 @@ impl Csr {
             }
             row_ptr[r + 1] = cols.len();
         }
-        Csr { nrows: self.nrows, ncols: b.ncols, row_ptr, col_idx: cols, vals }
+        Csr {
+            nrows: self.nrows,
+            ncols: b.ncols,
+            row_ptr,
+            col_idx: cols,
+            vals,
+        }
     }
 
     /// Exact sparse sum `A + B` (patterns merged).
@@ -253,7 +291,13 @@ impl Csr {
             }
             row_ptr[r + 1] = cols.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx: cols, vals }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx: cols,
+            vals,
+        }
     }
 
     /// Drop stored entries with `|a_ij| <= threshold` (diagonal kept).
@@ -271,7 +315,13 @@ impl Csr {
             }
             row_ptr[r + 1] = cols.len();
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx: cols, vals }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx: cols,
+            vals,
+        }
     }
 
     /// Scale row `r` by `s[r]`.
@@ -311,7 +361,10 @@ impl Csr {
         if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
             return false;
         }
-        self.vals.iter().zip(&t.vals).all(|(a, b)| (a - b).abs() <= tol)
+        self.vals
+            .iter()
+            .zip(&t.vals)
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Maximum absolute difference against another matrix with the same

@@ -17,7 +17,11 @@ pub struct Dense {
 
 impl Dense {
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Dense { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Dense {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     pub fn from_csr(a: &Csr) -> Self {
@@ -209,8 +213,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for n in [1usize, 2, 5, 20, 64] {
             // A = M^T M + n*I is SPD and well conditioned.
-            let m: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            let m: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
             let mut a = Dense::zeros(n, n);
             for i in 0..n {
                 for j in 0..n {
@@ -238,7 +243,13 @@ mod tests {
         let a = Csr::from_triplets(
             3,
             3,
-            &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 2.0)],
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 2, 2.0),
+            ],
         );
         let x = Lu::factor_csr(&a).unwrap().solve(&[1.0, 2.0, 4.0]);
         let y = a.matvec(&x);

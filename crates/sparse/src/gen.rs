@@ -88,9 +88,14 @@ pub fn laplacian_3d(nx: usize, ny: usize, nz: usize, stencil: Stencil3d) -> Csr 
                 let r = id(i, j, k);
                 let mut diag = 0.0;
                 let neighbours: &[(isize, isize, isize)] = match stencil {
-                    Stencil3d::Seven => {
-                        &[(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
-                    }
+                    Stencil3d::Seven => &[
+                        (-1, 0, 0),
+                        (1, 0, 0),
+                        (0, -1, 0),
+                        (0, 1, 0),
+                        (0, 0, -1),
+                        (0, 0, 1),
+                    ],
                     Stencil3d::TwentySeven => &ALL_27,
                 };
                 for &(di, dj, dk) in neighbours {
@@ -182,7 +187,9 @@ pub fn elasticity_3d(
     // Deterministic per-edge dense coupling block, symmetric across the
     // edge: B_uv = B_vu^T.
     let edge_block = |rng: &mut StdRng| -> Vec<f64> {
-        (0..dof * dof).map(|_| -(0.5 + rng.gen_range(0.0..1.0))).collect()
+        (0..dof * dof)
+            .map(|_| -(0.5 + rng.gen_range(0.0..1.0)))
+            .collect()
     };
 
     // Enumerate each undirected edge once: lexicographically positive
@@ -463,7 +470,11 @@ mod tests {
         assert!(is_diag_dominant(&a));
         // With dof=4 aligned to tiles, tile fill should be high.
         let m = crate::mbsr::Mbsr::from_csr(&a);
-        assert!(m.avg_nnz_per_block() > 10.0, "avg = {}", m.avg_nnz_per_block());
+        assert!(
+            m.avg_nnz_per_block() > 10.0,
+            "avg = {}",
+            m.avg_nnz_per_block()
+        );
     }
 
     #[test]
@@ -474,7 +485,6 @@ mod tests {
         let c = elasticity_3d(2, 2, 2, 3, NeighborSet::Face, 8);
         assert_ne!(a, c);
     }
-
 
     #[test]
     fn elasticity_neighbor_sets_grow_density() {
@@ -519,7 +529,10 @@ mod tests {
         assert!(is_diag_dominant(&a));
         let max_row = (0..a.nrows()).map(|r| a.row_nnz(r)).max().unwrap();
         let avg_row = a.nnz() as f64 / a.nrows() as f64;
-        assert!(max_row as f64 > 3.0 * avg_row, "max {max_row} avg {avg_row}");
+        assert!(
+            max_row as f64 > 3.0 * avg_row,
+            "max {max_row} avg {avg_row}"
+        );
     }
 
     #[test]

@@ -48,9 +48,16 @@ impl SparseLdl {
     pub fn factor(a: &Csr, reorder: bool) -> Result<SparseLdl, ZeroPivot> {
         assert_eq!(a.nrows(), a.ncols(), "LDL^T needs a square matrix");
         let n = a.nrows();
-        let perm: Vec<u32> =
-            if reorder { rcm(a) } else { (0..n as u32).collect() };
-        let ap = if reorder { permute_symmetric(a, &perm) } else { a.clone() };
+        let perm: Vec<u32> = if reorder {
+            rcm(a)
+        } else {
+            (0..n as u32).collect()
+        };
+        let ap = if reorder {
+            permute_symmetric(a, &perm)
+        } else {
+            a.clone()
+        };
 
         // --- Symbolic: elimination tree + column counts (Davis, ldl.c). ---
         let mut parent = vec![usize::MAX; n];
@@ -143,7 +150,14 @@ impl SparseLdl {
             }
         }
 
-        Ok(SparseLdl { n, lp, li, lx, d, perm })
+        Ok(SparseLdl {
+            n,
+            lp,
+            li,
+            lx,
+            d,
+            perm,
+        })
     }
 
     pub fn n(&self) -> usize {
@@ -190,7 +204,9 @@ mod tests {
 
     fn check_solve(a: &Csr, reorder: bool, tol: f64) {
         let ldl = SparseLdl::factor(a, reorder).unwrap();
-        let x_true: Vec<f64> = (0..a.nrows()).map(|i| ((i * 7) % 23) as f64 * 0.3 - 2.0).collect();
+        let x_true: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 7) % 23) as f64 * 0.3 - 2.0)
+            .collect();
         let b = a.matvec(&x_true);
         let x = ldl.solve(&b);
         for (u, v) in x.iter().zip(&x_true) {
@@ -226,8 +242,9 @@ mod tests {
     fn rcm_reduces_fill_on_scrambled_matrix() {
         let a = laplacian_2d(24, 24, Stencil2d::Five);
         let n = a.nrows();
-        let shuffle: Vec<u32> =
-            (0..n as u32).map(|i| ((i as usize * 247) % n) as u32).collect();
+        let shuffle: Vec<u32> = (0..n as u32)
+            .map(|i| ((i as usize * 247) % n) as u32)
+            .collect();
         let scrambled = crate::reorder::permute_symmetric(&a, &shuffle);
         let plain = SparseLdl::factor(&scrambled, false).unwrap();
         let reordered = SparseLdl::factor(&scrambled, true).unwrap();
@@ -252,11 +269,7 @@ mod tests {
     #[test]
     fn singular_matrix_reports_zero_pivot() {
         // Second row identical to the first: singular.
-        let a = Csr::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
-        );
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
         assert!(SparseLdl::factor(&a, false).is_err());
     }
 

@@ -69,7 +69,16 @@ impl Mbsr {
         assert_eq!(blc_idx.len(), blc_map.len());
         assert_eq!(blc_val.len(), blc_idx.len() * TILE_AREA);
         assert_eq!(*blc_ptr.last().unwrap_or(&0), blc_idx.len());
-        let m = Mbsr { nrows, ncols, blk_rows, blk_cols, blc_ptr, blc_idx, blc_map, blc_val };
+        let m = Mbsr {
+            nrows,
+            ncols,
+            blk_rows,
+            blk_cols,
+            blc_ptr,
+            blc_idx,
+            blc_map,
+            blc_val,
+        };
         #[cfg(debug_assertions)]
         m.validate();
         m
@@ -226,7 +235,16 @@ impl Mbsr {
             });
         }
 
-        Mbsr { nrows, ncols, blk_rows, blk_cols, blc_ptr, blc_idx, blc_map, blc_val }
+        Mbsr {
+            nrows,
+            ncols,
+            blk_rows,
+            blk_cols,
+            blc_ptr,
+            blc_idx,
+            blc_map,
+            blc_val,
+        }
     }
 
     /// Convert back to CSR (the `MBSR2CSR` step after the Galerkin product).
@@ -429,7 +447,11 @@ mod tests {
             let nnz = rng.gen_range(0..n * ncols / 2 + 1);
             let trips: Vec<(usize, usize, f64)> = (0..nnz)
                 .map(|_| {
-                    (rng.gen_range(0..n), rng.gen_range(0..ncols), rng.gen_range(-5.0..5.0))
+                    (
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..ncols),
+                        rng.gen_range(-5.0..5.0),
+                    )
                 })
                 .collect();
             let a = Csr::from_triplets(n, ncols, &trips);
@@ -444,7 +466,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 37; // Deliberately not a multiple of 4.
         let trips: Vec<(usize, usize, f64)> = (0..300)
-            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
             .collect();
         let a = Csr::from_triplets(n, n, &trips);
         let m = Mbsr::from_csr(&a);

@@ -36,7 +36,10 @@ impl From<std::io::Error> for MmError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> MmError {
-    MmError::Parse { line, message: message.into() }
+    MmError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse a Matrix Market coordinate file into CSR (see
@@ -72,8 +75,14 @@ pub fn read_matrix_market_str(text: &str) -> Result<Csr, MmError> {
     if !matches!(field.as_str(), "real" | "integer" | "pattern") {
         return Err(MmError::Unsupported(format!("field {field}")));
     }
-    let symmetry = h.get(4).map(|s| s.to_ascii_lowercase()).unwrap_or_else(|| "general".into());
-    if !matches!(symmetry.as_str(), "general" | "symmetric" | "skew-symmetric") {
+    let symmetry = h
+        .get(4)
+        .map(|s| s.to_ascii_lowercase())
+        .unwrap_or_else(|| "general".into());
+    if !matches!(
+        symmetry.as_str(),
+        "general" | "symmetric" | "skew-symmetric"
+    ) {
         return Err(MmError::Unsupported(format!("symmetry {symmetry}")));
     }
 
@@ -90,7 +99,10 @@ pub fn read_matrix_market_str(text: &str) -> Result<Csr, MmError> {
     let (size_no, size_line) = size_line.ok_or_else(|| parse_err(0, "missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(size_no, format!("bad size token '{t}'"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(size_no, format!("bad size token '{t}'")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err(size_no, "size line must have 3 entries"));
@@ -109,15 +121,21 @@ pub fn read_matrix_market_str(text: &str) -> Result<Csr, MmError> {
         if toks.len() < min_toks {
             return Err(parse_err(no + 1, "too few tokens"));
         }
-        let r: usize = toks[0].parse().map_err(|_| parse_err(no + 1, "bad row index"))?;
-        let c: usize = toks[1].parse().map_err(|_| parse_err(no + 1, "bad column index"))?;
+        let r: usize = toks[0]
+            .parse()
+            .map_err(|_| parse_err(no + 1, "bad row index"))?;
+        let c: usize = toks[1]
+            .parse()
+            .map_err(|_| parse_err(no + 1, "bad column index"))?;
         if r == 0 || c == 0 || r > nrows || c > ncols {
             return Err(parse_err(no + 1, format!("index ({r},{c}) out of bounds")));
         }
         let v: f64 = if field == "pattern" {
             1.0
         } else {
-            toks[2].parse().map_err(|_| parse_err(no + 1, "bad value"))?
+            toks[2]
+                .parse()
+                .map_err(|_| parse_err(no + 1, "bad value"))?
         };
         let (r, c) = (r - 1, c - 1);
         triplets.push((r, c, v));
@@ -129,7 +147,10 @@ pub fn read_matrix_market_str(text: &str) -> Result<Csr, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(0, format!("expected {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            0,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
     }
     Ok(Csr::from_triplets(nrows, ncols, &triplets))
 }

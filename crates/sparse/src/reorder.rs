@@ -123,10 +123,16 @@ mod tests {
         let n = a.nrows();
         let shuffle: Vec<u32> = {
             let stride = 173; // Coprime with 400.
-            (0..n as u32).map(|i| ((i as usize * stride) % n) as u32).collect()
+            (0..n as u32)
+                .map(|i| ((i as usize * stride) % n) as u32)
+                .collect()
         };
         let shuffled = permute_symmetric(&a, &shuffle);
-        assert!(bandwidth(&shuffled) > 100, "shuffle too tame: {}", bandwidth(&shuffled));
+        assert!(
+            bandwidth(&shuffled) > 100,
+            "shuffle too tame: {}",
+            bandwidth(&shuffled)
+        );
         let perm = rcm(&shuffled);
         let restored = permute_symmetric(&shuffled, &perm);
         assert!(
@@ -168,8 +174,9 @@ mod tests {
         // recovers the clustering.)
         let a = laplacian_2d(24, 24, Stencil2d::Five);
         let n = a.nrows();
-        let shuffle: Vec<u32> =
-            (0..n as u32).map(|i| ((i as usize * 247) % n) as u32).collect();
+        let shuffle: Vec<u32> = (0..n as u32)
+            .map(|i| ((i as usize * 247) % n) as u32)
+            .collect();
         let scrambled = permute_symmetric(&a, &shuffle);
         let before = Mbsr::from_csr(&scrambled).avg_nnz_per_block();
         let perm = rcm(&scrambled);

@@ -73,7 +73,11 @@ pub fn matrix_stats(a: &Csr) -> MatrixStats {
         })
         .sum::<f64>()
         / n.max(1) as f64;
-    let row_variation = if avg_row > 0.0 { var.sqrt() / avg_row } else { 0.0 };
+    let row_variation = if avg_row > 0.0 {
+        var.sqrt() / avg_row
+    } else {
+        0.0
+    };
 
     let m = Mbsr::from_csr(a);
     let mut hist = [0usize; 16];
@@ -95,7 +99,11 @@ pub fn matrix_stats(a: &Csr) -> MatrixStats {
         ncols: a.ncols(),
         nnz: a.nnz(),
         symmetric: a.nrows() == a.ncols() && a.is_symmetric(1e-12),
-        bandwidth: if a.nrows() == a.ncols() { bandwidth(a) } else { 0 },
+        bandwidth: if a.nrows() == a.ncols() {
+            bandwidth(a)
+        } else {
+            0
+        },
         min_row_nnz: min_row,
         max_row_nnz: max_row,
         avg_row_nnz: avg_row,
@@ -112,7 +120,11 @@ pub fn matrix_stats(a: &Csr) -> MatrixStats {
 
 impl std::fmt::Display for MatrixStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "matrix: {} x {}, nnz {}", self.nrows, self.ncols, self.nnz)?;
+        writeln!(
+            f,
+            "matrix: {} x {}, nnz {}",
+            self.nrows, self.ncols, self.nnz
+        )?;
         writeln!(
             f,
             "  symmetric {}, bandwidth {}, diag-dominant rows {}/{}",
@@ -134,7 +146,11 @@ impl std::fmt::Display for MatrixStats {
             self.tensor_tile_fraction * 100.0,
             self.tensor_nnz_fraction * 100.0
         )?;
-        write!(f, "  tile-fill histogram (1..16): {:?}", self.tile_fill_histogram)
+        write!(
+            f,
+            "  tile-fill histogram (1..16): {:?}",
+            self.tile_fill_histogram
+        )
     }
 }
 
@@ -158,8 +174,12 @@ mod tests {
         assert!(s.tensor_tile_fraction < 0.5);
         // Histogram accounts for every tile and every nonzero.
         assert_eq!(s.tile_fill_histogram.iter().sum::<usize>(), s.tiles);
-        let nnz_from_hist: usize =
-            s.tile_fill_histogram.iter().enumerate().map(|(k, &c)| (k + 1) * c).sum();
+        let nnz_from_hist: usize = s
+            .tile_fill_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k + 1) * c)
+            .sum();
         assert_eq!(nnz_from_hist, s.nnz);
     }
 

@@ -50,44 +50,213 @@ pub struct SuiteEntry {
 
 /// All 16 entries in Table II order (ascending nnz).
 pub fn entries() -> Vec<SuiteEntry> {
-    let e = |group, name, paper_order, paper_nnz, paper_levels, paper_spgemm, paper_spmv, character| SuiteEntry {
-        group,
-        name,
-        paper_order,
-        paper_nnz,
-        paper_levels,
-        paper_spgemm,
-        paper_spmv,
-        character,
-    };
+    let e =
+        |group, name, paper_order, paper_nnz, paper_levels, paper_spgemm, paper_spmv, character| {
+            SuiteEntry {
+                group,
+                name,
+                paper_order,
+                paper_nnz,
+                paper_levels,
+                paper_spgemm,
+                paper_spmv,
+                character,
+            }
+        };
     vec![
-        e("GHS_indef", "spmsrtls", 29_995, 229_947, 2, 3, 351, "narrow multi-band"),
-        e("Schmid", "thermal1", 82_654, 574_458, 2, 3, 351, "2D thermal stencil"),
-        e("ACUSIM", "Pres_Poisson", 14_822, 715_804, 3, 6, 551, "wide-band pressure FEM"),
-        e("Chevron", "Chevron2", 90_249, 803_173, 2, 3, 351, "2D 9-pt seismic grid"),
-        e("Simon", "venkat25", 62_424, 1_717_792, 3, 6, 601, "CFD 4-dof blocks"),
-        e("Boeing", "bcsstk39", 46_772, 2_089_294, 4, 9, 851, "structural 4-dof blocks"),
-        e("Williams", "mc2depi", 525_825, 2_100_225, 5, 12, 1101, "2D epidemiology stencil"),
-        e("Norris", "stomach", 213_360, 3_021_648, 2, 3, 351, "3D 2-dof bio model"),
-        e("Wissgott", "parabolic_fem", 525_825, 3_674_625, 3, 6, 601, "3D 7-pt parabolic FEM"),
-        e("Williams", "cant", 62_451, 4_007_383, 7, 18, 1701, "3-dof cantilever FEM"),
-        e("TSOPF", "TSOPF_RS_b300_c3", 42_138, 4_413_449, 7, 18, 1701, "power-flow dense cliques"),
-        e("Schenk_AFE", "af_shell4", 504_855, 17_588_875, 2, 3, 351, "shell 4-dof blocks"),
-        e("INPRO", "msdoor", 415_863, 20_240_935, 3, 6, 601, "structural 3-dof blocks"),
-        e("Janna", "CoupCons3D", 416_800, 22_322_336, 3, 6, 601, "coupled 4-dof blocks"),
-        e("ND", "nd24k", 72_000, 28_715_634, 7, 18, 1701, "ND near-dense cliques"),
-        e("GHS_psdef", "ldoor", 952_203, 46_522_475, 3, 6, 601, "structural 3-dof blocks"),
+        e(
+            "GHS_indef",
+            "spmsrtls",
+            29_995,
+            229_947,
+            2,
+            3,
+            351,
+            "narrow multi-band",
+        ),
+        e(
+            "Schmid",
+            "thermal1",
+            82_654,
+            574_458,
+            2,
+            3,
+            351,
+            "2D thermal stencil",
+        ),
+        e(
+            "ACUSIM",
+            "Pres_Poisson",
+            14_822,
+            715_804,
+            3,
+            6,
+            551,
+            "wide-band pressure FEM",
+        ),
+        e(
+            "Chevron",
+            "Chevron2",
+            90_249,
+            803_173,
+            2,
+            3,
+            351,
+            "2D 9-pt seismic grid",
+        ),
+        e(
+            "Simon",
+            "venkat25",
+            62_424,
+            1_717_792,
+            3,
+            6,
+            601,
+            "CFD 4-dof blocks",
+        ),
+        e(
+            "Boeing",
+            "bcsstk39",
+            46_772,
+            2_089_294,
+            4,
+            9,
+            851,
+            "structural 4-dof blocks",
+        ),
+        e(
+            "Williams",
+            "mc2depi",
+            525_825,
+            2_100_225,
+            5,
+            12,
+            1101,
+            "2D epidemiology stencil",
+        ),
+        e(
+            "Norris",
+            "stomach",
+            213_360,
+            3_021_648,
+            2,
+            3,
+            351,
+            "3D 2-dof bio model",
+        ),
+        e(
+            "Wissgott",
+            "parabolic_fem",
+            525_825,
+            3_674_625,
+            3,
+            6,
+            601,
+            "3D 7-pt parabolic FEM",
+        ),
+        e(
+            "Williams",
+            "cant",
+            62_451,
+            4_007_383,
+            7,
+            18,
+            1701,
+            "3-dof cantilever FEM",
+        ),
+        e(
+            "TSOPF",
+            "TSOPF_RS_b300_c3",
+            42_138,
+            4_413_449,
+            7,
+            18,
+            1701,
+            "power-flow dense cliques",
+        ),
+        e(
+            "Schenk_AFE",
+            "af_shell4",
+            504_855,
+            17_588_875,
+            2,
+            3,
+            351,
+            "shell 4-dof blocks",
+        ),
+        e(
+            "INPRO",
+            "msdoor",
+            415_863,
+            20_240_935,
+            3,
+            6,
+            601,
+            "structural 3-dof blocks",
+        ),
+        e(
+            "Janna",
+            "CoupCons3D",
+            416_800,
+            22_322_336,
+            3,
+            6,
+            601,
+            "coupled 4-dof blocks",
+        ),
+        e(
+            "ND",
+            "nd24k",
+            72_000,
+            28_715_634,
+            7,
+            18,
+            1701,
+            "ND near-dense cliques",
+        ),
+        e(
+            "GHS_psdef",
+            "ldoor",
+            952_203,
+            46_522_475,
+            3,
+            6,
+            601,
+            "structural 3-dof blocks",
+        ),
     ]
 }
 
+/// Error returned by [`generate`] for a name not in [`entries`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuiteError {
+    /// The name that was requested.
+    pub requested: String,
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let valid: Vec<&str> = entries().iter().map(|e| e.name).collect();
+        write!(
+            f,
+            "unknown suite matrix '{}'; valid names: {}",
+            self.requested,
+            valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
 /// Generate the synthetic stand-in for a suite matrix at the given scale.
 ///
-/// # Panics
-/// Panics for names not in [`entries`].
-pub fn generate(name: &str, scale: Scale) -> Csr {
+/// # Errors
+/// Returns [`SuiteError`] (whose message lists every valid name) when
+/// `name` is not in [`entries`].
+pub fn generate(name: &str, scale: Scale) -> Result<Csr, SuiteError> {
     use NeighborSet::{Edge, Face};
     use Scale::{Medium, Paper, Small};
-    match (name, scale) {
+    Ok(match (name, scale) {
         ("spmsrtls", _) => banded_groups(29_995, &[(-6, 1), (-2, 2), (1, 2), (6, 1)], 101),
         ("thermal1", Small) => anisotropic_2d(120, 120, Stencil2d::Five, 0.3),
         ("thermal1", Medium | Paper) => anisotropic_2d(287, 288, Stencil2d::Five, 0.3),
@@ -132,16 +301,23 @@ pub fn generate(name: &str, scale: Scale) -> Csr {
         ("ldoor", Small) => elasticity_3d(12, 12, 11, 3, Edge, 112),
         ("ldoor", Medium) => elasticity_3d(31, 31, 30, 3, Edge, 112),
         ("ldoor", Paper) => elasticity_3d(68, 68, 68, 3, Edge, 112),
-        _ => panic!("unknown suite matrix '{name}'"),
-    }
+        _ => {
+            return Err(SuiteError {
+                requested: name.to_string(),
+            })
+        }
+    })
 }
 
 /// Convenience: generate every suite matrix with its entry metadata.
 pub fn generate_all(scale: Scale) -> Vec<(SuiteEntry, Csr)> {
-    entries().into_iter().map(|e| {
-        let a = generate(e.name, scale);
-        (e, a)
-    }).collect()
+    entries()
+        .into_iter()
+        .map(|e| {
+            let a = generate(e.name, scale).expect("entries() names are valid");
+            (e, a)
+        })
+        .collect()
 }
 
 /// An extra irregular network matrix used by tests and ablations (not part
@@ -174,10 +350,15 @@ mod tests {
     #[test]
     fn all_small_matrices_generate_and_are_square() {
         for e in entries() {
-            let a = generate(e.name, Scale::Small);
+            let a = generate(e.name, Scale::Small).unwrap();
             assert_eq!(a.nrows(), a.ncols(), "{}", e.name);
             assert!(a.nrows() > 500, "{} too small: {}", e.name, a.nrows());
-            assert!(a.nnz() < 1_000_000, "{} too large for Small: {}", e.name, a.nnz());
+            assert!(
+                a.nnz() < 1_000_000,
+                "{} too large for Small: {}",
+                e.name,
+                a.nnz()
+            );
             // Every diagonal entry present and positive (solver requirement).
             let d = a.diagonal();
             assert!(d.iter().all(|&v| v > 0.0), "{} diagonal", e.name);
@@ -187,16 +368,23 @@ mod tests {
     #[test]
     fn generators_deterministic() {
         for name in ["venkat25", "TSOPF_RS_b300_c3", "spmsrtls"] {
-            let a = generate(name, Scale::Small);
-            let b = generate(name, Scale::Small);
+            let a = generate(name, Scale::Small).unwrap();
+            let b = generate(name, Scale::Small).unwrap();
             assert_eq!(a, b, "{name}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown suite matrix")]
-    fn unknown_name_panics() {
-        generate("not_a_matrix", Scale::Small);
+    fn unknown_name_error_lists_valid_names() {
+        let err = generate("not_a_matrix", Scale::Small).unwrap_err();
+        assert_eq!(err.requested, "not_a_matrix");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown suite matrix 'not_a_matrix'"), "{msg}");
+        // The message must enumerate every valid name so the caller can
+        // recover without consulting the source.
+        for e in entries() {
+            assert!(msg.contains(e.name), "missing {} in: {msg}", e.name);
+        }
     }
 
     #[test]
@@ -204,7 +392,7 @@ mod tests {
         // Check a representative subset to keep the test fast.
         for name in ["spmsrtls", "Pres_Poisson", "venkat25", "cant"] {
             let e = entries().into_iter().find(|e| e.name == name).unwrap();
-            let a = generate(name, Scale::Paper);
+            let a = generate(name, Scale::Paper).unwrap();
             let ratio = a.nrows() as f64 / e.paper_order as f64;
             assert!(
                 (0.75..=1.25).contains(&ratio),
@@ -218,7 +406,7 @@ mod tests {
     #[test]
     fn dense_block_matrices_have_dense_tiles() {
         for name in ["venkat25", "bcsstk39", "af_shell4", "nd24k"] {
-            let a = generate(name, Scale::Small);
+            let a = generate(name, Scale::Small).unwrap();
             let m = crate::mbsr::Mbsr::from_csr(&a);
             assert!(
                 m.avg_nnz_per_block() >= 8.0,
@@ -231,7 +419,7 @@ mod tests {
     #[test]
     fn stencil_matrices_have_sparse_tiles() {
         for name in ["mc2depi", "parabolic_fem", "thermal1"] {
-            let a = generate(name, Scale::Small);
+            let a = generate(name, Scale::Small).unwrap();
             let m = crate::mbsr::Mbsr::from_csr(&a);
             assert!(
                 m.avg_nnz_per_block() < 10.0,

@@ -1,17 +1,14 @@
 //! Property-based tests of the sparse substrate: CSR algebra, mBSR
 //! conversions, bitmap algebra and Matrix Market round-trips.
 
-use amgt_sparse::bitmap::{
-    bitmap_multiply, bitmap_multiply_reference, bitmap_transpose, popcount,
-};
+use amgt_sparse::bitmap::{bitmap_multiply, bitmap_multiply_reference, bitmap_transpose, popcount};
 use amgt_sparse::mm::{read_matrix_market_str, write_matrix_market};
 use amgt_sparse::{Csr, Lu, Mbsr};
 use proptest::prelude::*;
 
 fn arb_csr(max_n: usize, max_per_row: usize) -> impl Strategy<Value = Csr> {
-    (1..max_n, 1..max_per_row, any::<u64>()).prop_map(|(n, k, seed)| {
-        amgt_sparse::gen::random_sparse(n, k, seed)
-    })
+    (1..max_n, 1..max_per_row, any::<u64>())
+        .prop_map(|(n, k, seed)| amgt_sparse::gen::random_sparse(n, k, seed))
 }
 
 proptest! {

@@ -35,7 +35,7 @@ fn main() {
         cfg.max_iterations = 30;
         let (_x, h, report) = run_amg(&device, &cfg, a.clone(), &b);
         let precisions: Vec<&str> = h.levels.iter().map(|l| l.precision.label()).collect();
-        println!("{label}: levels {:?}", precisions);
+        println!("{label}: levels {precisions:?}");
         println!(
             "  relres after {} cycles: {:.2e}",
             report.solve_report.iterations,

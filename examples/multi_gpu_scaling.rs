@@ -14,7 +14,10 @@ fn main() {
     let a = laplacian_2d(256, 256, Stencil2d::Five);
     let b = rhs_of_ones(&a);
     println!("system: n = {}, nnz = {}\n", a.nrows(), a.nnz());
-    println!("{:>5} {:>12} {:>12} {:>10} {:>10}", "GPUs", "setup", "solve", "comm %", "speedup");
+    println!(
+        "{:>5} {:>12} {:>12} {:>10} {:>10}",
+        "GPUs", "setup", "solve", "comm %", "speedup"
+    );
 
     let mut cfg = AmgConfig::amgt_fp64();
     cfg.max_iterations = 10;

@@ -17,9 +17,10 @@ fn main() {
     let b = rhs_of_ones(&a);
     println!("3D Poisson: n = {}, nnz = {}\n", a.nrows(), a.nnz());
 
-    for (label, cfg) in
-        [("HYPRE (vendor CSR)", AmgConfig::hypre_fp64()), ("AmgT (mBSR)", AmgConfig::amgt_fp64())]
-    {
+    for (label, cfg) in [
+        ("HYPRE (vendor CSR)", AmgConfig::hypre_fp64()),
+        ("AmgT (mBSR)", AmgConfig::amgt_fp64()),
+    ] {
         let device = Device::new(GpuSpec::h100());
         let h = setup(&device, &cfg, a.clone());
 

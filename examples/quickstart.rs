@@ -38,7 +38,10 @@ fn main() {
     {
         println!("  level {k}: {size:>7} rows, {nnz:>8} nnz");
     }
-    println!("operator complexity: {:.2}", report.setup_stats.operator_complexity);
+    println!(
+        "operator complexity: {:.2}",
+        report.setup_stats.operator_complexity
+    );
 
     let sr = &report.solve_report;
     println!(

@@ -40,7 +40,9 @@ fn main() {
     let a = laplacian_2d(96, 96, Stencil2d::Five);
     let n = a.nrows();
     // Scramble with a stride permutation (a worst-case node numbering).
-    let shuffle: Vec<u32> = (0..n as u32).map(|i| ((i as usize * 3643) % n) as u32).collect();
+    let shuffle: Vec<u32> = (0..n as u32)
+        .map(|i| ((i as usize * 3643) % n) as u32)
+        .collect();
     let scrambled = permute_symmetric(&a, &shuffle);
     let perm = rcm(&scrambled);
     let restored = permute_symmetric(&scrambled, &perm);

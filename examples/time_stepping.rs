@@ -19,7 +19,10 @@ fn main() {
     let nx = 96;
     let a = laplacian_2d(nx, nx, Stencil2d::Five);
     let n = a.nrows();
-    println!("heat equation, implicit Euler: n = {n}, nnz = {}\n", a.nnz());
+    println!(
+        "heat equation, implicit Euler: n = {n}, nnz = {}\n",
+        a.nnz()
+    );
 
     let device = Device::new(GpuSpec::h100());
     let mut cfg = AmgConfig::amgt_fp64();
@@ -42,7 +45,10 @@ fn main() {
     let mut dt = 20.0;
     let mut setup_done = false;
     let mut h: Option<amgt::Hierarchy> = None;
-    println!("{:>5} {:>8} {:>12} {:>10} {:>12}", "step", "dt", "setup", "cycles", "relres");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10} {:>12}",
+        "step", "dt", "setup", "cycles", "relres"
+    );
     for step in 0..6 {
         let m = system(dt);
         let before = device.elapsed();

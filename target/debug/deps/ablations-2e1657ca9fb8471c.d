@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2e1657ca9fb8471c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-2e1657ca9fb8471c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

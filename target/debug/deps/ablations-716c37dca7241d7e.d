@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-716c37dca7241d7e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-716c37dca7241d7e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amg_cycle-eed887029a8f8c59.d: crates/bench/benches/amg_cycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamg_cycle-eed887029a8f8c59.rmeta: crates/bench/benches/amg_cycle.rs Cargo.toml
+
+crates/bench/benches/amg_cycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_bench-011e5883a78e0666.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/amgt_bench-011e5883a78e0666: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

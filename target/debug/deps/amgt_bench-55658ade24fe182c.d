@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_bench-55658ade24fe182c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/amgt_bench-55658ade24fe182c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_bench-59de44a9bf04d50d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_bench-59de44a9bf04d50d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_bench-59de44a9bf04d50d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_bench-9c63562aa8983914.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_bench-9c63562aa8983914.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_bench-9c63562aa8983914.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_cli-b23d8045e0e4ebb6.d: crates/core/src/bin/amgt-cli.rs
+
+/root/repo/target/debug/deps/amgt_cli-b23d8045e0e4ebb6: crates/core/src/bin/amgt-cli.rs
+
+crates/core/src/bin/amgt-cli.rs:

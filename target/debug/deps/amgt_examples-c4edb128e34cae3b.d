@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_examples-c4edb128e34cae3b.d: examples/lib.rs
+
+/root/repo/target/debug/deps/amgt_examples-c4edb128e34cae3b: examples/lib.rs
+
+examples/lib.rs:

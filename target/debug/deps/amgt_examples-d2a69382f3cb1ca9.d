@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_examples-d2a69382f3cb1ca9.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libamgt_examples-d2a69382f3cb1ca9.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libamgt_examples-d2a69382f3cb1ca9.rmeta: examples/lib.rs
+
+examples/lib.rs:

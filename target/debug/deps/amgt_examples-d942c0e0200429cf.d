@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_examples-d942c0e0200429cf.d: examples/lib.rs
+
+/root/repo/target/debug/deps/amgt_examples-d942c0e0200429cf: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_examples-ed1dceb2fd53b661.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libamgt_examples-ed1dceb2fd53b661.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libamgt_examples-ed1dceb2fd53b661.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_integration_tests-2901ec1e9f679b71.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_integration_tests-2901ec1e9f679b71.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_integration_tests-2901ec1e9f679b71.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_integration_tests-3a1624a6923dc534.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/amgt_integration_tests-3a1624a6923dc534: tests/src/lib.rs
+
+tests/src/lib.rs:

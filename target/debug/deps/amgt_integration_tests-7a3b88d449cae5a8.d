@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amgt_integration_tests-7a3b88d449cae5a8.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_integration_tests-7a3b88d449cae5a8.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

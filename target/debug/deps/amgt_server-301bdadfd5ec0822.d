@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/amgt_server-301bdadfd5ec0822.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/debug/deps/libamgt_server-301bdadfd5ec0822.rlib: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/debug/deps/libamgt_server-301bdadfd5ec0822.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/fingerprint.rs:
+crates/server/src/metrics.rs:
+crates/server/src/service.rs:

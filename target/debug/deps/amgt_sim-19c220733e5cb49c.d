@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amgt_sim-19c220733e5cb49c.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/debug/deps/libamgt_sim-19c220733e5cb49c.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/debug/deps/libamgt_sim-19c220733e5cb49c.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:
+crates/sim/src/mma.rs:
+crates/sim/src/precision.rs:
+crates/sim/src/warp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-686d97cde40be7c2.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-686d97cde40be7c2: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

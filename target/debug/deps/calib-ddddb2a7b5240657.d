@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-ddddb2a7b5240657.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-ddddb2a7b5240657: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/elasticity_mixed_precision-2ca070b51b216006.d: examples/elasticity_mixed_precision.rs
+
+/root/repo/target/debug/deps/elasticity_mixed_precision-2ca070b51b216006: examples/elasticity_mixed_precision.rs
+
+examples/elasticity_mixed_precision.rs:

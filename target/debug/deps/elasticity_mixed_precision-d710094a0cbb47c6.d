@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/elasticity_mixed_precision-d710094a0cbb47c6.d: examples/elasticity_mixed_precision.rs
+
+/root/repo/target/debug/deps/elasticity_mixed_precision-d710094a0cbb47c6: examples/elasticity_mixed_precision.rs
+
+examples/elasticity_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_conversion_cost-13fc378fa0240d6c.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/debug/deps/fig10_conversion_cost-13fc378fa0240d6c: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_conversion_cost-1c814b58c89a302b.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/debug/deps/fig10_conversion_cost-1c814b58c89a302b: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

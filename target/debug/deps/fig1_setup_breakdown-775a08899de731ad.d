@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_setup_breakdown-775a08899de731ad.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/debug/deps/fig1_setup_breakdown-775a08899de731ad: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

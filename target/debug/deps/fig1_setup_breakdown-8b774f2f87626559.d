@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_setup_breakdown-8b774f2f87626559.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/debug/deps/fig1_setup_breakdown-8b774f2f87626559: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_solve_breakdown-46a4675a990b6b21.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/debug/deps/fig2_solve_breakdown-46a4675a990b6b21: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

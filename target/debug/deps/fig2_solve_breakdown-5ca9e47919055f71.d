@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_solve_breakdown-5ca9e47919055f71.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/debug/deps/fig2_solve_breakdown-5ca9e47919055f71: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_end_to_end-059bc61399d8ca13.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/debug/deps/fig7_end_to_end-059bc61399d8ca13: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_end_to_end-d46e12068f4f6c51.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/debug/deps/fig7_end_to_end-d46e12068f4f6c51: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

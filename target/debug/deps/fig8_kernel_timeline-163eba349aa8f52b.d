@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_kernel_timeline-163eba349aa8f52b.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/debug/deps/fig8_kernel_timeline-163eba349aa8f52b: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_kernel_timeline-2575a40dc4b375db.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/debug/deps/fig8_kernel_timeline-2575a40dc4b375db: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_multi_gpu-161e3c2eb806b113.d: crates/bench/src/bin/fig9_multi_gpu.rs
+
+/root/repo/target/debug/deps/fig9_multi_gpu-161e3c2eb806b113: crates/bench/src/bin/fig9_multi_gpu.rs
+
+crates/bench/src/bin/fig9_multi_gpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_multi_gpu-b72729333b87c906.d: crates/bench/src/bin/fig9_multi_gpu.rs
+
+/root/repo/target/debug/deps/fig9_multi_gpu-b72729333b87c906: crates/bench/src/bin/fig9_multi_gpu.rs
+
+crates/bench/src/bin/fig9_multi_gpu.rs:

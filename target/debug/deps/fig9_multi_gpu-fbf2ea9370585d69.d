@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_multi_gpu-fbf2ea9370585d69.d: crates/bench/src/bin/fig9_multi_gpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_multi_gpu-fbf2ea9370585d69.rmeta: crates/bench/src/bin/fig9_multi_gpu.rs Cargo.toml
+
+crates/bench/src/bin/fig9_multi_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-1bc736939ac7c8de.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-1bc736939ac7c8de: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_and_formats-64096146f2efe8b0.d: tests/io_and_formats.rs
+
+/root/repo/target/debug/deps/io_and_formats-64096146f2efe8b0: tests/io_and_formats.rs
+
+tests/io_and_formats.rs:

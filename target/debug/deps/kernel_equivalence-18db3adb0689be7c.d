@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-18db3adb0689be7c.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-18db3adb0689be7c: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_standalone-5686033dcdefe1f5.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/debug/deps/kernels_standalone-5686033dcdefe1f5: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

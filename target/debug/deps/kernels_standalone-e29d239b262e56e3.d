@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_standalone-e29d239b262e56e3.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/debug/deps/kernels_standalone-e29d239b262e56e3: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

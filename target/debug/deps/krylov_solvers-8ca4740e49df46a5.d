@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/krylov_solvers-8ca4740e49df46a5.d: tests/krylov_solvers.rs
+
+/root/repo/target/debug/deps/krylov_solvers-8ca4740e49df46a5: tests/krylov_solvers.rs
+
+tests/krylov_solvers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_gpu_scaling-5d59d38bbb699f51.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/debug/deps/multi_gpu_scaling-5d59d38bbb699f51: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

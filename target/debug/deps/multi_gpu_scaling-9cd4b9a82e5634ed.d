@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_gpu_scaling-9cd4b9a82e5634ed.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/debug/deps/multi_gpu_scaling-9cd4b9a82e5634ed: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

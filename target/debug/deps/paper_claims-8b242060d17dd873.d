@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-8b242060d17dd873.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-8b242060d17dd873: tests/paper_claims.rs
+
+tests/paper_claims.rs:

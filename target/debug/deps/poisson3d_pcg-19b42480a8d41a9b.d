@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson3d_pcg-19b42480a8d41a9b.d: examples/poisson3d_pcg.rs
+
+/root/repo/target/debug/deps/poisson3d_pcg-19b42480a8d41a9b: examples/poisson3d_pcg.rs
+
+examples/poisson3d_pcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson3d_pcg-a05b2c2221905f3f.d: examples/poisson3d_pcg.rs
+
+/root/repo/target/debug/deps/poisson3d_pcg-a05b2c2221905f3f: examples/poisson3d_pcg.rs
+
+examples/poisson3d_pcg.rs:

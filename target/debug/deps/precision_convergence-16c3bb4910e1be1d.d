@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision_convergence-16c3bb4910e1be1d.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/debug/deps/precision_convergence-16c3bb4910e1be1d: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision_convergence-8a330a526e9a7f9a.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/debug/deps/precision_convergence-8a330a526e9a7f9a: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-770250811526375a.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-770250811526375a: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

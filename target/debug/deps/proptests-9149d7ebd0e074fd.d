@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9149d7ebd0e074fd.d: crates/sparse/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9149d7ebd0e074fd: crates/sparse/tests/proptests.rs
+
+crates/sparse/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-290f661fb406d1e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-290f661fb406d1e2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-b9845ec7a521681d.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-b9845ec7a521681d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reordering_study-67cc2af718c4c931.d: examples/reordering_study.rs
+
+/root/repo/target/debug/deps/reordering_study-67cc2af718c4c931: examples/reordering_study.rs
+
+examples/reordering_study.rs:

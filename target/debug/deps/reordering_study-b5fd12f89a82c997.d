@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reordering_study-b5fd12f89a82c997.d: examples/reordering_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreordering_study-b5fd12f89a82c997.rmeta: examples/reordering_study.rs Cargo.toml
+
+examples/reordering_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reordering_study-d80cdbf655507756.d: examples/reordering_study.rs
+
+/root/repo/target/debug/deps/reordering_study-d80cdbf655507756: examples/reordering_study.rs
+
+examples/reordering_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-da2601b2747777f4.d: crates/server/tests/service.rs
+
+/root/repo/target/debug/deps/service-da2601b2747777f4: crates/server/tests/service.rs
+
+crates/server/tests/service.rs:

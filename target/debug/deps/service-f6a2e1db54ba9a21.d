@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service-f6a2e1db54ba9a21.d: crates/server/tests/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-f6a2e1db54ba9a21.rmeta: crates/server/tests/service.rs Cargo.toml
+
+crates/server/tests/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_throughput-009ace69e677efee.d: crates/bench/src/bin/service_throughput.rs
+
+/root/repo/target/debug/deps/service_throughput-009ace69e677efee: crates/bench/src/bin/service_throughput.rs
+
+crates/bench/src/bin/service_throughput.rs:

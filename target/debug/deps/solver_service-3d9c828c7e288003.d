@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_service-3d9c828c7e288003.d: examples/solver_service.rs
+
+/root/repo/target/debug/deps/solver_service-3d9c828c7e288003: examples/solver_service.rs
+
+examples/solver_service.rs:

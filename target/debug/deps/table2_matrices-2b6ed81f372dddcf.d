@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrices-2b6ed81f372dddcf.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/debug/deps/table2_matrices-2b6ed81f372dddcf: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

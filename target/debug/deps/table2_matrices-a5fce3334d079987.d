@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrices-a5fce3334d079987.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/debug/deps/table2_matrices-a5fce3334d079987: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

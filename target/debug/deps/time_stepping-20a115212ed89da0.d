@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/time_stepping-20a115212ed89da0.d: examples/time_stepping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtime_stepping-20a115212ed89da0.rmeta: examples/time_stepping.rs Cargo.toml
+
+examples/time_stepping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

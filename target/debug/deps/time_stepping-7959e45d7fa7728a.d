@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_stepping-7959e45d7fa7728a.d: examples/time_stepping.rs
+
+/root/repo/target/debug/deps/time_stepping-7959e45d7fa7728a: examples/time_stepping.rs
+
+examples/time_stepping.rs:

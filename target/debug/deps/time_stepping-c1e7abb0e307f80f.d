@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_stepping-c1e7abb0e307f80f.d: examples/time_stepping.rs
+
+/root/repo/target/debug/deps/time_stepping-c1e7abb0e307f80f: examples/time_stepping.rs
+
+examples/time_stepping.rs:

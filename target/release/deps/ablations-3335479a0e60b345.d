@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3335479a0e60b345.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-3335479a0e60b345: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

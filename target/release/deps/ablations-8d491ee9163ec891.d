@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-8d491ee9163ec891.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-8d491ee9163ec891: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

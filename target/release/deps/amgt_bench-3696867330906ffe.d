@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_bench-3696867330906ffe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_bench-3696867330906ffe.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_bench-3696867330906ffe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_bench-63ff79ebe67703ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_bench-63ff79ebe67703ef.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_bench-63ff79ebe67703ef.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

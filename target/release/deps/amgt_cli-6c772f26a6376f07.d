@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amgt_cli-6c772f26a6376f07.d: crates/core/src/bin/amgt-cli.rs
+
+/root/repo/target/release/deps/amgt_cli-6c772f26a6376f07: crates/core/src/bin/amgt-cli.rs
+
+crates/core/src/bin/amgt-cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_examples-3acb2829f36a4818.d: examples/lib.rs
+
+/root/repo/target/release/deps/libamgt_examples-3acb2829f36a4818.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libamgt_examples-3acb2829f36a4818.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_examples-f441deb337b40728.d: examples/lib.rs
+
+/root/repo/target/release/deps/libamgt_examples-f441deb337b40728.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libamgt_examples-f441deb337b40728.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_integration_tests-b84b9aca5545f8f8.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_integration_tests-b84b9aca5545f8f8.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_integration_tests-b84b9aca5545f8f8.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/amgt_kernels-205139e23073b0da.d: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/release/deps/libamgt_kernels-205139e23073b0da.rlib: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/release/deps/libamgt_kernels-205139e23073b0da.rmeta: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/convert.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/spgemm_mbsr.rs:
+crates/kernels/src/spmm_mbsr.rs:
+crates/kernels/src/spmv_bsr.rs:
+crates/kernels/src/spmv_mbsr.rs:
+crates/kernels/src/vendor.rs:

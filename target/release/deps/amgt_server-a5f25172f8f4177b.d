@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amgt_server-a5f25172f8f4177b.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/release/deps/libamgt_server-a5f25172f8f4177b.rlib: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/release/deps/libamgt_server-a5f25172f8f4177b.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/fingerprint.rs:
+crates/server/src/metrics.rs:
+crates/server/src/service.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/amgt_sim-9468ccb36be6cae6.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/release/deps/libamgt_sim-9468ccb36be6cae6.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/release/deps/libamgt_sim-9468ccb36be6cae6.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:
+crates/sim/src/mma.rs:
+crates/sim/src/precision.rs:
+crates/sim/src/warp.rs:

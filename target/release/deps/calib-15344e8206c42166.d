@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calib-15344e8206c42166.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/release/deps/calib-15344e8206c42166: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calib-a2f96a3cd4980b72.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/release/deps/calib-a2f96a3cd4980b72: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/elasticity_mixed_precision-c2ea934e9e47f77c.d: examples/elasticity_mixed_precision.rs
+
+/root/repo/target/release/deps/elasticity_mixed_precision-c2ea934e9e47f77c: examples/elasticity_mixed_precision.rs
+
+examples/elasticity_mixed_precision.rs:

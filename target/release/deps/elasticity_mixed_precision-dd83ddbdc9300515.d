@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/elasticity_mixed_precision-dd83ddbdc9300515.d: examples/elasticity_mixed_precision.rs
+
+/root/repo/target/release/deps/elasticity_mixed_precision-dd83ddbdc9300515: examples/elasticity_mixed_precision.rs
+
+examples/elasticity_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_conversion_cost-388278b9f0f0df1b.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/release/deps/fig10_conversion_cost-388278b9f0f0df1b: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

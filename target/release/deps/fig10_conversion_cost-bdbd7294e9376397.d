@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_conversion_cost-bdbd7294e9376397.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/release/deps/fig10_conversion_cost-bdbd7294e9376397: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

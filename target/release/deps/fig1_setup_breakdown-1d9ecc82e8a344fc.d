@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_setup_breakdown-1d9ecc82e8a344fc.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/release/deps/fig1_setup_breakdown-1d9ecc82e8a344fc: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_setup_breakdown-a625db61c37bf062.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/release/deps/fig1_setup_breakdown-a625db61c37bf062: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

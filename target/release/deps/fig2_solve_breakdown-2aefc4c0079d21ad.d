@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_solve_breakdown-2aefc4c0079d21ad.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/release/deps/fig2_solve_breakdown-2aefc4c0079d21ad: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

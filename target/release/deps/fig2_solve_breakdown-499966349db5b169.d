@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_solve_breakdown-499966349db5b169.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/release/deps/fig2_solve_breakdown-499966349db5b169: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

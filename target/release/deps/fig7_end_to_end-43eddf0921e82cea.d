@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_end_to_end-43eddf0921e82cea.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/release/deps/fig7_end_to_end-43eddf0921e82cea: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_end_to_end-82e10692f84844b6.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/release/deps/fig7_end_to_end-82e10692f84844b6: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

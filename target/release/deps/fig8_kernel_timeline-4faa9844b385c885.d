@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_kernel_timeline-4faa9844b385c885.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/release/deps/fig8_kernel_timeline-4faa9844b385c885: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_kernel_timeline-ac40ffe18fb93800.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/release/deps/fig8_kernel_timeline-ac40ffe18fb93800: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_standalone-20fe802eb0f7f9db.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/release/deps/kernels_standalone-20fe802eb0f7f9db: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_standalone-68433b47472c90b6.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/release/deps/kernels_standalone-68433b47472c90b6: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_gpu_scaling-7e5467b5ace9ffaa.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/release/deps/multi_gpu_scaling-7e5467b5ace9ffaa: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_gpu_scaling-9b7047e6104710fd.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/release/deps/multi_gpu_scaling-9b7047e6104710fd: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson3d_pcg-26ccf780ddfb6ee6.d: examples/poisson3d_pcg.rs
+
+/root/repo/target/release/deps/poisson3d_pcg-26ccf780ddfb6ee6: examples/poisson3d_pcg.rs
+
+examples/poisson3d_pcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson3d_pcg-3665f5ea57b99878.d: examples/poisson3d_pcg.rs
+
+/root/repo/target/release/deps/poisson3d_pcg-3665f5ea57b99878: examples/poisson3d_pcg.rs
+
+examples/poisson3d_pcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/precision_convergence-09201587978f89bc.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/release/deps/precision_convergence-09201587978f89bc: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/precision_convergence-c24b3614b2a3c4fb.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/release/deps/precision_convergence-c24b3614b2a3c4fb: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

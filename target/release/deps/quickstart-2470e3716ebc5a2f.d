@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-2470e3716ebc5a2f.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-2470e3716ebc5a2f: examples/quickstart.rs
+
+examples/quickstart.rs:

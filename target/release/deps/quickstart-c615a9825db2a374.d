@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-c615a9825db2a374.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-c615a9825db2a374: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reordering_study-7a657853f45efe28.d: examples/reordering_study.rs
+
+/root/repo/target/release/deps/reordering_study-7a657853f45efe28: examples/reordering_study.rs
+
+examples/reordering_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reordering_study-ee862f0479d2591a.d: examples/reordering_study.rs
+
+/root/repo/target/release/deps/reordering_study-ee862f0479d2591a: examples/reordering_study.rs
+
+examples/reordering_study.rs:

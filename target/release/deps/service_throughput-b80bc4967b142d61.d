@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_throughput-b80bc4967b142d61.d: crates/bench/src/bin/service_throughput.rs
+
+/root/repo/target/release/deps/service_throughput-b80bc4967b142d61: crates/bench/src/bin/service_throughput.rs
+
+crates/bench/src/bin/service_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_service-6962da815b08d42f.d: examples/solver_service.rs
+
+/root/repo/target/release/deps/solver_service-6962da815b08d42f: examples/solver_service.rs
+
+examples/solver_service.rs:

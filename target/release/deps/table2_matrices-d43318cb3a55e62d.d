@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_matrices-d43318cb3a55e62d.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/release/deps/table2_matrices-d43318cb3a55e62d: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

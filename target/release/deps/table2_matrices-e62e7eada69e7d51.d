@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_matrices-e62e7eada69e7d51.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/release/deps/table2_matrices-e62e7eada69e7d51: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

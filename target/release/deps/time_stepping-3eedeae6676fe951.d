@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/time_stepping-3eedeae6676fe951.d: examples/time_stepping.rs
+
+/root/repo/target/release/deps/time_stepping-3eedeae6676fe951: examples/time_stepping.rs
+
+examples/time_stepping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/time_stepping-cb8f04361e09f993.d: examples/time_stepping.rs
+
+/root/repo/target/release/deps/time_stepping-cb8f04361e09f993: examples/time_stepping.rs
+
+examples/time_stepping.rs:

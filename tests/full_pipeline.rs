@@ -7,7 +7,7 @@ use amgt_sparse::gen::rhs_of_ones;
 use amgt_sparse::suite::{self, Scale};
 
 fn run(name: &str, variant_cfg: AmgConfig, spec: GpuSpec) -> (Device, Vec<f64>, amgt::RunReport) {
-    let a = suite::generate(name, Scale::Small);
+    let a = suite::generate(name, Scale::Small).unwrap();
     let b = rhs_of_ones(&a);
     let dev = Device::new(spec);
     let (x, _h, rep) = run_amg(&dev, &variant_cfg, a, &b);
@@ -42,14 +42,20 @@ fn backends_agree_numerically_in_fp64() {
         let (_d2, xt, rt) = run(name, ct, GpuSpec::a100());
         // Same hierarchy, same iteration counts, near-identical iterates
         // (both backends perform the same FP64 math up to summation order).
-        assert_eq!(rv.setup_stats.grid_sizes, rt.setup_stats.grid_sizes, "{name}");
+        assert_eq!(
+            rv.setup_stats.grid_sizes, rt.setup_stats.grid_sizes,
+            "{name}"
+        );
         let scale = xv.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1.0);
         for (u, w) in xv.iter().zip(&xt) {
             assert!((u - w).abs() / scale < 1e-6, "{name}: {u} vs {w}");
         }
         let (h1, h2) = (&rv.solve_report.history, &rt.solve_report.history);
         for (a, b) in h1.iter().zip(h2) {
-            assert!((a - b).abs() / a.max(1e-30) < 1e-4, "{name}: history {a} vs {b}");
+            assert!(
+                (a - b).abs() / a.max(1e-30) < 1e-4,
+                "{name}: history {a} vs {b}"
+            );
         }
     }
 }
@@ -86,13 +92,15 @@ fn ledger_times_are_positive_and_phase_separated() {
         assert!(e.seconds > 0.0, "zero-cost event {e:?}");
     }
     // Setup holds all SpGEMM; solve holds all SpMV (standalone AMG flow).
-    assert!(rep.events.iter().all(|e| e.kind != KernelKind::SpGemmNumeric
-        || e.phase == amgt_sim::Phase::Setup));
+    assert!(rep
+        .events
+        .iter()
+        .all(|e| e.kind != KernelKind::SpGemmNumeric || e.phase == amgt_sim::Phase::Setup));
 }
 
 #[test]
 fn mi210_mixed_never_uses_fp16() {
-    let a = suite::generate("bcsstk39", Scale::Small);
+    let a = suite::generate("bcsstk39", Scale::Small).unwrap();
     let b = rhs_of_ones(&a);
     let dev = Device::new(GpuSpec::mi210());
     let mut cfg = AmgConfig::amgt_mixed();
@@ -122,7 +130,7 @@ fn deterministic_across_runs() {
 
 #[test]
 fn pcg_beats_plain_cycles_on_suite_matrix() {
-    let a = suite::generate("thermal1", Scale::Small);
+    let a = suite::generate("thermal1", Scale::Small).unwrap();
     let b = rhs_of_ones(&a);
     let dev = Device::new(GpuSpec::a100());
     let cfg = AmgConfig::amgt_fp64();

@@ -10,7 +10,7 @@ use amgt_sparse::Mbsr;
 
 #[test]
 fn mtx_roundtrip_then_solve() {
-    let a = suite::generate("thermal1", Scale::Small);
+    let a = suite::generate("thermal1", Scale::Small).unwrap();
     let mut buf = Vec::new();
     write_matrix_market(&mut buf, &a).unwrap();
     let a2 = read_matrix_market_str(std::str::from_utf8(&buf).unwrap()).unwrap();
@@ -26,7 +26,7 @@ fn mtx_roundtrip_then_solve() {
 
 #[test]
 fn mtx_file_roundtrip_via_disk() {
-    let a = suite::generate("spmsrtls", Scale::Small);
+    let a = suite::generate("spmsrtls", Scale::Small).unwrap();
     let dir = std::env::temp_dir().join("amgt_test_mtx");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("spmsrtls.mtx");
@@ -42,7 +42,7 @@ fn mtx_file_roundtrip_via_disk() {
 #[test]
 fn every_suite_matrix_converts_and_validates() {
     for entry in suite::entries() {
-        let a = suite::generate(entry.name, Scale::Small);
+        let a = suite::generate(entry.name, Scale::Small).unwrap();
         let m = Mbsr::from_csr(&a);
         m.validate();
         assert_eq!(m.nnz(), a.nnz(), "{}", entry.name);
@@ -61,7 +61,7 @@ fn suite_covers_both_spmv_paths_and_load_balancing() {
     let mut tensor = 0;
     let mut cuda = 0;
     for entry in suite::entries() {
-        let a = suite::generate(entry.name, Scale::Small);
+        let a = suite::generate(entry.name, Scale::Small).unwrap();
         let m = Mbsr::from_csr(&a);
         match analyze_spmv(&ctx, &m).path {
             SpmvPath::TensorCore => tensor += 1,

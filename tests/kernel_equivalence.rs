@@ -135,6 +135,36 @@ proptest! {
     }
 
     #[test]
+    fn spmm_bitwise_equals_column_spmv_fp64((a, seed) in (arb_matrix(90), 0u64..u64::MAX)) {
+        use amgt_kernels::spmm_mbsr::{spmm_mbsr_with_stats, MultiVector, RHS_TILE};
+        let dev = Device::new(GpuSpec::a100());
+        let ctx = Ctx::standalone(&dev, Precision::Fp64);
+        let m = Mbsr::from_csr(&a);
+        let plan = analyze_spmv(&ctx, &m);
+        // Cover partial slabs, exact slabs and multi-slab batches.
+        let nrhs = 1 + (seed % 13) as usize;
+        let cols: Vec<Vec<f64>> = (0..nrhs)
+            .map(|j| arb_vector(a.ncols(), seed.wrapping_add(j as u64)))
+            .collect();
+        let x = MultiVector::from_columns(&cols);
+        let (y, stats) = spmm_mbsr_with_stats(&ctx, &m, &plan, &x);
+        prop_assert_eq!(stats.ncols, nrhs);
+        prop_assert_eq!(stats.slabs as usize, nrhs.div_ceil(RHS_TILE));
+        // The fused kernel routes each column through the identical warp
+        // schedule spmv_mbsr uses, so FP64 results must match BITWISE.
+        for (j, col) in cols.iter().enumerate() {
+            let serial = spmv_mbsr(&ctx, &m, &plan, col);
+            for (i, e) in serial.iter().enumerate() {
+                prop_assert_eq!(
+                    y.get(i, j).to_bits(),
+                    e.to_bits(),
+                    "column {} row {}: {} vs {}", j, i, y.get(i, j), e
+                );
+            }
+        }
+    }
+
+    #[test]
     fn dense_bsr_spmv_matches_reference((a, seed) in (arb_matrix(90), 0u64..u64::MAX)) {
         use amgt_kernels::spmv_bsr::spmv_bsr_dense;
         let dev = Device::new(GpuSpec::a100());

@@ -9,7 +9,7 @@ use amgt_sparse::gen::rhs_of_ones;
 use amgt_sparse::suite::{self, Scale};
 
 fn hierarchy_for(name: &str, cfg: &AmgConfig) -> (Device, amgt::Hierarchy, Vec<f64>) {
-    let a = suite::generate(name, Scale::Small);
+    let a = suite::generate(name, Scale::Small).unwrap();
     let b = rhs_of_ones(&a);
     let dev = Device::new(GpuSpec::a100());
     let h = setup(&dev, cfg, a);
@@ -58,7 +58,11 @@ fn pcg_with_mixed_precision_preconditioner() {
     let (dev, h, b) = hierarchy_for("bcsstk39", &cfg);
     let mut x = vec![0.0; b.len()];
     let pcg = pcg_solve(&dev, &cfg, &h, &b, &mut x, 1e-8, 80);
-    assert!(pcg.converged, "mixed-precision PCG history {:?}", pcg.history);
+    assert!(
+        pcg.converged,
+        "mixed-precision PCG history {:?}",
+        pcg.history
+    );
 }
 
 #[test]
@@ -89,7 +93,7 @@ fn krylov_iterations_beat_plain_cycles_across_structures() {
 fn resetup_feeds_krylov_chain() {
     // Newton-like chain: the operator drifts, the hierarchy is re-setup,
     // PCG keeps converging.
-    let a0 = suite::generate("parabolic_fem", Scale::Small);
+    let a0 = suite::generate("parabolic_fem", Scale::Small).unwrap();
     let dev = Device::new(GpuSpec::a100());
     let cfg = AmgConfig::amgt_fp64();
     let mut h = setup(&dev, &cfg, a0.clone());

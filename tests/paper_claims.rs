@@ -11,7 +11,7 @@ use amgt_sparse::gen::rhs_of_ones;
 use amgt_sparse::suite::{self, Scale};
 
 fn totals(name: &str, spec: &GpuSpec, cfg: AmgConfig, iters: usize) -> amgt::RunReport {
-    let a = suite::generate(name, Scale::Small);
+    let a = suite::generate(name, Scale::Small).unwrap();
     let b = rhs_of_ones(&a);
     let dev = Device::new(spec.clone());
     let mut cfg = cfg;
@@ -21,8 +21,14 @@ fn totals(name: &str, spec: &GpuSpec, cfg: AmgConfig, iters: usize) -> amgt::Run
 }
 
 /// A handful of matrices spanning the suite's structure classes.
-const SAMPLE: [&str; 6] =
-    ["venkat25", "bcsstk39", "TSOPF_RS_b300_c3", "mc2depi", "spmsrtls", "nd24k"];
+const SAMPLE: [&str; 6] = [
+    "venkat25",
+    "bcsstk39",
+    "TSOPF_RS_b300_c3",
+    "mc2depi",
+    "spmsrtls",
+    "nd24k",
+];
 
 #[test]
 fn amgt_beats_hypre_in_geomean_on_every_gpu() {
@@ -54,7 +60,11 @@ fn mi210_gains_exceed_nvidia_gains() {
             .collect();
         geomean(&s)
     };
-    let (a100, h100, mi210) = (gain(&GpuSpec::a100()), gain(&GpuSpec::h100()), gain(&GpuSpec::mi210()));
+    let (a100, h100, mi210) = (
+        gain(&GpuSpec::a100()),
+        gain(&GpuSpec::h100()),
+        gain(&GpuSpec::mi210()),
+    );
     assert!(mi210 > a100, "MI210 {mi210} vs A100 {a100}");
     assert!(a100 > h100, "A100 {a100} vs H100 {h100}");
 }
@@ -116,14 +126,17 @@ fn spmv_dominates_solve_on_baseline() {
 #[test]
 fn conversion_costs_nearly_identical_fig10() {
     for name in SAMPLE {
-        let a = suite::generate(name, Scale::Small);
+        let a = suite::generate(name, Scale::Small).unwrap();
         let dev = Device::new(GpuSpec::a100());
         let ctx = Ctx::new(&dev, Phase::Preprocess, 0, Precision::Fp64);
         csr_to_mbsr(&ctx, &a);
         csr_to_bsr(&ctx, &a);
         let evs = dev.events();
         let ratio = evs[0].seconds / evs[1].seconds;
-        assert!((1.0..1.05).contains(&ratio), "{name}: conversion ratio {ratio}");
+        assert!(
+            (1.0..1.05).contains(&ratio),
+            "{name}: conversion ratio {ratio}"
+        );
     }
 }
 
@@ -132,7 +145,9 @@ fn dense_tile_matrices_gain_more_than_stencils() {
     // The tensor-core path drives the win: block matrices > stencils.
     let spec = GpuSpec::a100();
     let gain = |name: &str| {
-        totals(name, &spec, AmgConfig::hypre_fp64(), 10).setup.spgemm
+        totals(name, &spec, AmgConfig::hypre_fp64(), 10)
+            .setup
+            .spgemm
             / totals(name, &spec, AmgConfig::amgt_fp64(), 10).setup.spgemm
     };
     let dense = gain("venkat25");

@@ -1,0 +1,172 @@
+//! Offline stub of the tiny `rand` surface this workspace uses:
+//! `StdRng::seed_from_u64` plus `Rng::gen_range` over half-open ranges.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic,
+//! fast, and of ample quality for synthetic test matrices. It does not
+//! reproduce the byte streams of the real `rand` crate (nothing in the
+//! workspace depends on those).
+
+use std::ops::Range;
+
+/// Core RNG interface: a 64-bit output stream.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers (blanket-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Uniform in `[0, 1)` for `f64` (the only `gen::<T>()` shape used).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types with a uniform sampler over `[lo, hi)`. The single generic
+/// `SampleRange` impl below keeps literal inference working
+/// (`gen_range(0.0..1.0)` must resolve through float fallback).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_uniform(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// A range that can produce one uniform sample.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_uniform(self.start, self.end, &mut DynShim(rng))
+    }
+}
+
+/// Adapter exposing any `RngCore` as `&mut dyn RngCore`.
+struct DynShim<'a, G: RngCore + ?Sized>(&'a mut G);
+
+impl<G: RngCore + ?Sized> RngCore for DynShim<'_, G> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as u128).wrapping_add(r) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + (unit as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** state.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let i = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u64..u64::MAX);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stub of the `rayon` surface this workspace uses.
+//!
+//! `into_par_iter()` simply yields the sequential iterator, so downstream
+//! `.map(...).collect()` chains run unchanged on one thread. The kernels
+//! charge *simulated* GPU time, so host-side parallelism affects only wall
+//! clock, not any measured quantity.
+
+pub mod prelude {
+    pub use super::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub mod iter {
+    /// Sequential stand-in: "parallel" iteration is plain iteration.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// Rayon adapters that plain `Iterator` lacks. `map_init` threads one
+    /// mutable state through the whole (sequential) run — equivalent to
+    /// rayon's per-split state when there is only one split.
+    pub trait ParallelIterator: Iterator + Sized {
+        fn map_init<T, R, I, F>(self, mut init: I, mut map_op: F) -> std::vec::IntoIter<R>
+        where
+            I: FnMut() -> T,
+            F: FnMut(&mut T, Self::Item) -> R,
+        {
+            let mut state = init();
+            self.map(|item| map_op(&mut state, item))
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl<T: Iterator> ParallelIterator for T {}
+}
+
+/// Sequential `join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let doubled: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stub of `serde`. The workspace uses serde exclusively through
+//! `#[derive(Serialize, Deserialize)]`, so this stub defines:
+//!
+//! - a [`Serialize`] trait that writes compact JSON into a `String`
+//!   (externally-tagged enums, i.e. serde's default representation);
+//! - a [`Deserialize`] marker trait (derived, never invoked — nothing in
+//!   the workspace parses serialized data back);
+//! - the two derive macros, re-exported from the companion
+//!   `serde_derive` proc-macro crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+
+    /// Convenience: serialize to an owned JSON string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+/// Marker for types whose `Deserialize` derive was requested. The stub
+/// never parses, so the trait carries no methods.
+pub trait Deserialize {}
+
+// ---- helpers used by generated code (stable names, do not remove) ----
+
+/// Write `"key":` including the trailing colon.
+pub fn write_key(out: &mut String, key: &str) {
+    write_str(out, key);
+    out.push(':');
+}
+
+/// Write a JSON string literal with escaping.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- primitive impls ----
+
+macro_rules! serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+serialize_display!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null here too.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_str(out, &self.to_string());
+    }
+}
+
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(1u32.to_json(), "1");
+        assert_eq!((-2i64).to_json(), "-2");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b".to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!([1.0f64, 2.0, 3.0].to_json(), "[1,2,3]");
+        assert_eq!(Some(4u8).to_json(), "4");
+        assert_eq!(None::<u8>.to_json(), "null");
+        assert_eq!((1u8, "x").to_json(), "[1,\"x\"]");
+    }
+}

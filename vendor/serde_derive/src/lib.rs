@@ -1,0 +1,297 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented with a hand-rolled token walker
+//! (no `syn`/`quote` available offline). Supports the shapes this
+//! workspace uses: non-generic structs (named, tuple, unit) and enums
+//! with unit, tuple and struct variants. JSON layout matches serde's
+//! default externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => named_struct_body("self.", fields, 1),
+        Shape::TupleStruct(n) => tuple_struct_body(*n),
+        Shape::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => enum_body(&item.name, variants),
+    };
+    let src = format!(
+        "impl ::serde::Serialize for {} {{\n\
+           fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}",
+        item.name
+    );
+    src.parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+// ---- code generation ----
+
+/// `{"a":…,"b":…}` over named fields reached as `{prefix}{field}`.
+/// `indent` is cosmetic only.
+fn named_struct_body(prefix: &str, fields: &[String], _indent: usize) -> String {
+    let mut out = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!("::serde::write_key(out, \"{f}\");\n"));
+        out.push_str(&format!(
+            "::serde::Serialize::serialize_json(&{prefix}{f}, out);\n"
+        ));
+    }
+    out.push_str("out.push('}');");
+    out
+}
+
+/// Newtype structs serialize transparently; wider tuples as arrays.
+fn tuple_struct_body(n: usize) -> String {
+    if n == 1 {
+        return "::serde::Serialize::serialize_json(&self.0, out);".to_string();
+    }
+    let mut out = String::from("out.push('[');\n");
+    for i in 0..n {
+        if i > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!(
+            "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+        ));
+    }
+    out.push_str("out.push(']');");
+    out
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::write_str(out, \"{v}\"),\n",
+                    v = v.name
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut body = String::from("out.push('{');\n");
+                body.push_str(&format!("::serde::write_key(out, \"{}\");\n", v.name));
+                if *n == 1 {
+                    body.push_str("::serde::Serialize::serialize_json(__f0, out);\n");
+                } else {
+                    body.push_str("out.push('[');\n");
+                    for (i, b) in binds.iter().enumerate() {
+                        if i > 0 {
+                            body.push_str("out.push(',');\n");
+                        }
+                        body.push_str(&format!("::serde::Serialize::serialize_json({b}, out);\n"));
+                    }
+                    body.push_str("out.push(']');\n");
+                }
+                body.push_str("out.push('}');");
+                arms.push_str(&format!(
+                    "{name}::{v}({binds}) => {{\n{body}\n}}\n",
+                    v = v.name,
+                    binds = binds.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut body = String::from("out.push('{');\n");
+                body.push_str(&format!("::serde::write_key(out, \"{}\");\n", v.name));
+                // Bound names are `&T` refs; `&binding` is `&&T`, which the
+                // blanket `impl Serialize for &T` forwards through.
+                body.push_str(&named_struct_body("", fields, 2));
+                body.push_str("\nout.push('}');");
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {fields} }} => {{\n{body}\n}}\n",
+                    v = v.name,
+                    fields = fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---- parsing ----
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kw = expect_ident(&mut iter);
+    let name = expect_ident(&mut iter);
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (deriving {name})");
+    }
+    match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip `#[...]` attributes, doc comments and `pub` / `pub(...)`.
+fn skip_attrs_and_vis(iter: &mut Peekable) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Peekable) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+    }
+}
+
+/// Extract field names from `a: T, b: U, ...`; types are skipped with
+/// angle-bracket depth tracking so `Vec<(A, B)>` commas don't split.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+fn skip_type_until_comma(iter: &mut Peekable) {
+    let mut angle_depth = 0usize;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut pending = false;
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    fields + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume an optional `= discriminant` and the separating comma.
+        skip_type_until_comma(&mut iter);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
