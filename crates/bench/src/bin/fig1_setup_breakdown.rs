@@ -2,9 +2,14 @@
 //! the share of the three SpGEMM calls per level (one interpolation + two
 //! Galerkin) versus everything else. The paper reports SpGEMM averaging
 //! 59.22% of the setup time for the baseline.
+//!
+//! Times are aggregated from the structured trace [`amgt_trace::Breakdown`]
+//! rather than the raw device ledger; pass `--matrix NAME` to also print
+//! the full per-phase/per-level breakdown table for that matrix.
 
-use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
+use amgt_bench::{fmt_time, run_variant_traced, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
+use amgt_trace::Breakdown;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
@@ -17,16 +22,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut shares = Vec::new();
     for entry in args.entries() {
         let a = args.generate(entry.name)?;
-        let (_dev, rep) = run_variant(&spec, Variant::HypreFp64, &a, 1);
-        let share = rep.setup.share(rep.setup.spgemm);
+        let (_dev, _rep, rec) = run_variant_traced(&spec, Variant::HypreFp64, &a, 1);
+        let breakdown = Breakdown::from_recording(&rec);
+        let setup_total = breakdown.phase_total("Setup");
+        let spgemm = breakdown.phase_kind_total("Setup", "SpGEMM-numeric")
+            + breakdown.phase_kind_total("Setup", "SpGEMM-symbolic");
+        let share = if setup_total > 0.0 {
+            spgemm / setup_total
+        } else {
+            0.0
+        };
         shares.push(share);
         table.row(vec![
             entry.name.to_string(),
-            fmt_time(rep.setup.total),
-            fmt_time(rep.setup.spgemm),
+            fmt_time(setup_total),
+            fmt_time(spgemm),
             format!("{:.1}%", share * 100.0),
             format!("{:.1}%", (1.0 - share) * 100.0),
         ]);
+        if args.only.is_some() {
+            println!("{}", breakdown.render());
+        }
     }
     table.print();
     let avg = shares.iter().sum::<f64>() / shares.len().max(1) as f64;

@@ -1,9 +1,14 @@
 //! Figure 2 — execution-time breakdown of the AMG solve phase on an H100:
 //! the SpMV share versus everything else (vector updates, coarse solves).
 //! The paper reports SpMV averaging 80.23% of the solve time.
+//!
+//! Times are aggregated from the structured trace [`amgt_trace::Breakdown`]
+//! rather than the raw device ledger; pass `--matrix NAME` to also print
+//! the full per-phase/per-level breakdown table for that matrix.
 
-use amgt_bench::{fmt_time, run_variant, HarnessArgs, Table, Variant};
+use amgt_bench::{fmt_time, run_variant_traced, HarnessArgs, Table, Variant};
 use amgt_sim::GpuSpec;
+use amgt_trace::Breakdown;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
@@ -23,17 +28,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut shares = Vec::new();
     for entry in args.entries() {
         let a = args.generate(entry.name)?;
-        let (_dev, rep) = run_variant(&spec, Variant::HypreFp64, &a, args.iters);
-        let share = rep.solve.share(rep.solve.spmv);
+        let (_dev, _rep, rec) = run_variant_traced(&spec, Variant::HypreFp64, &a, args.iters);
+        let breakdown = Breakdown::from_recording(&rec);
+        let solve_total = breakdown.phase_total("Solve");
+        let spmv = breakdown.phase_kind_total("Solve", "SpMV");
+        let spmv_calls = rec
+            .kernels
+            .iter()
+            .filter(|k| k.kind == "SpMV" && k.phase == "Solve")
+            .count();
+        let share = if solve_total > 0.0 {
+            spmv / solve_total
+        } else {
+            0.0
+        };
         shares.push(share);
         table.row(vec![
             entry.name.to_string(),
-            fmt_time(rep.solve.total),
-            fmt_time(rep.solve.spmv),
-            rep.spmv_calls.to_string(),
+            fmt_time(solve_total),
+            fmt_time(spmv),
+            spmv_calls.to_string(),
             format!("{:.1}%", share * 100.0),
             format!("{:.1}%", (1.0 - share) * 100.0),
         ]);
+        if args.only.is_some() {
+            println!("{}", breakdown.render());
+        }
     }
     table.print();
     let avg = shares.iter().sum::<f64>() / shares.len().max(1) as f64;

@@ -2,13 +2,15 @@
 //!
 //! For each matrix the paper plots every SpGEMM call (setup) and every SpMV
 //! call (solve) as one dot per call, for the three solver variants. This
-//! binary prints the same series as text: call index, kernel, level,
-//! precision and simulated microseconds, plus a per-matrix summary of the
-//! banding (finest-level SpMVs form the top band; coarse FP16 calls the
-//! bottom one).
+//! binary reads the series from the structured trace recording (every
+//! [`amgt_trace::KernelRecord`] is one dot, `seq` is the x axis) and prints
+//! it as text: call index, kernel, level, precision and simulated
+//! microseconds, plus a per-matrix summary of the banding (finest-level
+//! SpMVs form the top band; coarse FP16 calls the bottom one).
 
-use amgt_bench::{run_variant, HarnessArgs, Table, Variant};
-use amgt_sim::{GpuSpec, KernelKind, Phase};
+use amgt_bench::{run_variant_traced, HarnessArgs, Table, Variant};
+use amgt_sim::GpuSpec;
+use amgt_trace::KernelRecord;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = HarnessArgs::parse();
@@ -37,26 +39,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "spmv coarse mean",
         ]);
         for v in Variant::ALL {
-            let (_dev, rep) = run_variant(&spec, v, &a, args.iters);
-            let spgemm: Vec<_> = rep
-                .events
+            let (_dev, _rep, rec) = run_variant_traced(&spec, v, &a, args.iters);
+            let spgemm: Vec<&KernelRecord> = rec
+                .kernels
                 .iter()
-                .filter(|e| e.kind == KernelKind::SpGemmNumeric && e.phase == Phase::Setup)
+                .filter(|k| k.kind == "SpGEMM-numeric" && k.phase == "Setup")
                 .collect();
-            let spmv: Vec<_> = rep
-                .events
+            let spmv: Vec<&KernelRecord> = rec
+                .kernels
                 .iter()
-                .filter(|e| e.kind == KernelKind::SpMV && e.phase == Phase::Solve)
+                .filter(|k| k.kind == "SpMV" && k.phase == "Solve")
                 .collect();
-            let mean = |evs: &[&amgt_sim::KernelEvent]| {
-                if evs.is_empty() {
+            let mean = |ks: &[&KernelRecord]| {
+                if ks.is_empty() {
                     0.0
                 } else {
-                    evs.iter().map(|e| e.seconds).sum::<f64>() / evs.len() as f64
+                    ks.iter().map(|k| k.sim_seconds).sum::<f64>() / ks.len() as f64
                 }
             };
-            let lvl0: Vec<_> = spmv.iter().filter(|e| e.level == 0).cloned().collect();
-            let coarse: Vec<_> = spmv.iter().filter(|e| e.level >= 2).cloned().collect();
+            let lvl0: Vec<_> = spmv.iter().filter(|k| k.level == 0).copied().collect();
+            let coarse: Vec<_> = spmv.iter().filter(|k| k.level >= 2).copied().collect();
             summary.row(vec![
                 v.label().to_string(),
                 spgemm.len().to_string(),
@@ -72,22 +74,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "\n[{}] full series (seq kernel level precision us):",
                     v.label()
                 );
-                for e in spgemm.iter().take(18) {
+                for k in spgemm.iter().take(18) {
                     println!(
                         "  spgemm {:>5} L{} {:>4} {:>9.2}",
-                        e.seq,
-                        e.level,
-                        e.precision.label(),
-                        e.seconds * 1e6
+                        k.seq,
+                        k.level,
+                        k.precision,
+                        k.sim_seconds * 1e6
                     );
                 }
-                for e in spmv.iter().take(40) {
+                for k in spmv.iter().take(40) {
                     println!(
                         "  spmv   {:>5} L{} {:>4} {:>9.2}",
-                        e.seq,
-                        e.level,
-                        e.precision.label(),
-                        e.seconds * 1e6
+                        k.seq,
+                        k.level,
+                        k.precision,
+                        k.sim_seconds * 1e6
                     );
                 }
                 if spmv.len() > 40 {

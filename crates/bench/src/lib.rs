@@ -17,6 +17,7 @@
 use amgt::prelude::*;
 use amgt_sparse::gen::rhs_of_ones;
 use amgt_sparse::suite::{self, Scale, SuiteEntry, SuiteError};
+use amgt_trace::Recording;
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
@@ -119,6 +120,21 @@ pub fn run_variant(spec: &GpuSpec, variant: Variant, a: &Csr, iters: usize) -> (
     (device, report)
 }
 
+/// Like [`run_variant`], but with a trace recorder installed: also returns
+/// the structured [`Recording`] the figure binaries aggregate from.
+pub fn run_variant_traced(
+    spec: &GpuSpec,
+    variant: Variant,
+    a: &Csr,
+    iters: usize,
+) -> (Device, RunReport, Recording) {
+    let device = Device::new(spec.clone());
+    let b = rhs_of_ones(a);
+    let cfg = variant.config(iters);
+    let (_x, _h, report, recording) = amgt::run_amg_traced(&device, &cfg, a.clone(), &b);
+    (device, report, recording)
+}
+
 /// Pretty time with engineering units.
 pub fn fmt_time(seconds: f64) -> String {
     if seconds >= 1.0 {
@@ -190,6 +206,15 @@ mod tests {
         let (dev, rep) = run_variant(&GpuSpec::a100(), Variant::AmgtFp64, &a, 2);
         assert!(rep.total_seconds() > 0.0);
         assert!(!dev.events().is_empty());
+    }
+
+    #[test]
+    fn run_variant_traced_recording_matches_ledger() {
+        let a = amgt_sparse::gen::laplacian_2d(12, 12, amgt_sparse::gen::Stencil2d::Five);
+        let (dev, rep, rec) = run_variant_traced(&GpuSpec::a100(), Variant::AmgtFp64, &a, 2);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.kernels.len(), rep.events.len());
+        assert!((rec.total_kernel_seconds() - dev.elapsed()).abs() <= 1e-12 * dev.elapsed());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! amgt-cli --suite cant --backend vendor          # HYPRE baseline kernels
 //! amgt-cli --suite cant --mixed --gpu h100        # mixed precision on H100
 //! amgt-cli --suite cant --pcg --tol 1e-8          # AMG-preconditioned CG
+//! amgt-cli --suite cant --trace run.json           # Chrome trace export
 //! ```
 //!
 //! Prints the hierarchy, the convergence history and the simulated-GPU
@@ -29,6 +30,7 @@ struct Options {
     tol: f64,
     iters: usize,
     verbose_history: bool,
+    trace: Option<PathBuf>,
 }
 
 enum MatrixSource {
@@ -41,7 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
          \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
-         \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\n\
+         \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\
+         \x20      [--trace FILE.json]\n\n\
          suite names: {}",
         suite::entries()
             .iter()
@@ -62,6 +65,7 @@ fn parse_args() -> Options {
     let mut tol = 1e-8;
     let mut iters = 50;
     let mut verbose_history = false;
+    let mut trace = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,6 +99,7 @@ fn parse_args() -> Options {
             "--tol" => tol = next().parse().unwrap_or_else(|_| usage()),
             "--iters" => iters = next().parse().unwrap_or_else(|_| usage()),
             "--history" => verbose_history = true,
+            "--trace" => trace = Some(PathBuf::from(next())),
             _ => usage(),
         }
     }
@@ -108,6 +113,7 @@ fn parse_args() -> Options {
         tol,
         iters,
         verbose_history,
+        trace,
     }
 }
 
@@ -146,6 +152,11 @@ fn main() {
     println!("system: n = {}, nnz = {}", a.nrows(), a.nnz());
 
     let device = Device::new(opt.gpu.clone());
+    let recorder = opt.trace.as_ref().map(|_| {
+        let r = std::sync::Arc::new(amgt_sim::Recorder::new());
+        device.install_recorder(r.clone());
+        r
+    });
     let mut cfg = AmgConfig::paper(opt.backend, opt.precision);
     cfg.max_iterations = opt.iters;
     cfg.tolerance = opt.tol;
@@ -203,6 +214,23 @@ fn main() {
             rep.solve.total * 1e6,
             100.0 * rep.solve.share(rep.solve.spmv),
         );
+    }
+    if let (Some(path), Some(recorder)) = (&opt.trace, &recorder) {
+        device.remove_recorder();
+        let recording = recorder.take();
+        let json = amgt_trace::chrome_trace(&recording);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!(
+                "trace: {} spans, {} kernel events -> {} (load into chrome://tracing)",
+                recording.spans.len(),
+                recording.kernels.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     println!("wall time: {:.2?}", t0.elapsed());
 }

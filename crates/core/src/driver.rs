@@ -9,8 +9,9 @@
 use crate::config::AmgConfig;
 use crate::hierarchy::{setup, Hierarchy, SetupStats};
 use crate::solve::{solve, SolveReport};
-use amgt_sim::{Device, KernelEvent, KernelKind};
+use amgt_sim::{Device, KernelEvent, KernelKind, Recorder, Recording};
 use amgt_sparse::Csr;
+use std::sync::Arc;
 
 /// Simulated-seconds breakdown of one phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -110,6 +111,25 @@ pub fn run_amg(
     (x, h, report)
 }
 
+/// Like [`run_amg`], but with a [`Recorder`] installed on the device for
+/// the duration of the run: also returns the structured [`Recording`]
+/// (span tree + kernel events), ready for the `amgt-trace` exporters.
+///
+/// Any previously installed recorder is displaced for the run and not
+/// restored; the device comes back untraced.
+pub fn run_amg_traced(
+    device: &Device,
+    cfg: &AmgConfig,
+    a: Csr,
+    b: &[f64],
+) -> (Vec<f64>, Hierarchy, RunReport, Recording) {
+    let recorder = Arc::new(Recorder::new());
+    device.install_recorder(recorder.clone());
+    let (x, h, report) = run_amg(device, cfg, a, b);
+    device.remove_recorder();
+    (x, h, report, recorder.take())
+}
+
 /// Geometric mean helper used across the evaluation harness.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -169,6 +189,43 @@ mod tests {
             "SpMV solve share {}",
             rep.solve.share(rep.solve.spmv)
         );
+    }
+
+    #[test]
+    fn traced_run_breakdown_matches_device_elapsed() {
+        // The acceptance criterion of the trace layer: a recording of one
+        // run reproduces the device clock and the phase split exactly.
+        let dev = Device::new(GpuSpec::a100());
+        let a = laplacian_2d(20, 20, Stencil2d::Five);
+        let b = rhs_of_ones(&a);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 4;
+        let (_, _, rep, recording) = run_amg_traced(&dev, &cfg, a, &b);
+
+        let breakdown = amgt_trace::Breakdown::from_recording(&recording);
+        let elapsed = dev.elapsed();
+        let tol = 1e-12 * elapsed.max(1.0);
+        assert!((breakdown.total() - elapsed).abs() <= tol);
+        assert!((breakdown.phase_total("Setup") - rep.setup.total).abs() <= tol);
+        assert!((breakdown.phase_total("Solve") - rep.solve.total).abs() <= tol);
+        assert!((breakdown.phase_kind_total("Solve", "SpMV") - rep.solve.spmv).abs() <= tol);
+        assert!(
+            (breakdown.phase_kind_total("Setup", "SpGEMM-numeric")
+                + breakdown.phase_kind_total("Setup", "SpGEMM-symbolic")
+                - rep.setup.spgemm)
+                .abs()
+                <= tol
+        );
+        // The span tree has the setup and solve phases as roots, with
+        // per-level children.
+        let roots = recording.children(None);
+        let root_names: Vec<&str> = roots.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(root_names, ["setup", "solve"]);
+        assert!(!recording.children(Some(roots[0].id)).is_empty());
+        // Chrome export of the same recording is non-trivial.
+        let json = amgt_trace::chrome_trace(&recording);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("SpMV"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use amgt_kernels::convert::mbsr_to_csr;
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
 use amgt_kernels::vendor::spgemm_csr;
 use amgt_kernels::Ctx;
-use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision};
+use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision, SpanKind};
 use amgt_sparse::{Csr, Lu, SparseLdl};
 
 /// One level of the grid hierarchy.
@@ -137,6 +137,7 @@ fn smoother_diagonals(ctx: &Ctx, a: &Csr) -> (Vec<f64>, Vec<f64>) {
 /// Run the full setup phase on a device.
 pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     assert_eq!(a0.nrows(), a0.ncols(), "AMG needs a square system");
+    let _phase_span = device.span(SpanKind::Phase, || "setup".to_string());
     let mut levels: Vec<Level> = Vec::new();
     let mut stats = SetupStats::default();
     let nnz0 = a0.nnz().max(1);
@@ -144,6 +145,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     let mut current = a0;
     let mut k = 0usize;
     loop {
+        let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
         let prec = level_precision(device, cfg.precision, k);
         let ctx = Ctx::new(device, Phase::Setup, k as u32, prec);
         let mut a_op = Operator::prepare(&ctx, cfg.backend, current);
@@ -244,6 +246,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     let mut coarse_ldl = None;
     match cfg.coarse_solver {
         crate::config::CoarseSolver::DirectLu => {
+            let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = levels.last().unwrap();
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64);
             let n = last.n();
@@ -260,6 +263,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
             coarse_lu = Some(Lu::factor_csr(&last.a.csr).expect("coarsest matrix singular"));
         }
         crate::config::CoarseSolver::SparseLdl { reorder } => {
+            let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = levels.last().unwrap();
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64);
             let f = SparseLdl::factor(&last.a.csr, reorder)
@@ -299,9 +303,11 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
 /// SpGEMMs per level remain: the two RAP products).
 pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     assert_eq!(a0.nrows(), h.finest().n(), "pattern/order mismatch");
+    let _phase_span = device.span(SpanKind::Phase, || "resetup".to_string());
     let mut current = Some(a0);
     let n_levels = h.levels.len();
     for k in 0..n_levels {
+        let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
         let prec = level_precision(device, cfg.precision, k);
         let ctx = Ctx::new(device, Phase::Setup, k as u32, prec);
         let mut a_op = Operator::prepare(&ctx, cfg.backend, current.take().expect("chain"));
@@ -327,6 +333,7 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     let last_level = (n_levels - 1) as u32;
     match cfg.coarse_solver {
         crate::config::CoarseSolver::DirectLu => {
+            let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = h.levels.last().unwrap();
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64);
             let n = last.n();

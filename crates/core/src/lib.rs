@@ -52,7 +52,7 @@ pub use config::{
     AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy,
     Smoother,
 };
-pub use driver::{geomean, run_amg, PhaseBreakdown, RunReport};
+pub use driver::{geomean, run_amg, run_amg_traced, PhaseBreakdown, RunReport};
 pub use hierarchy::{resetup, setup, Hierarchy, Level, SetupStats};
 pub use solve::{expected_spmv_calls, solve, solve_batched, BatchedSolveReport, SolveReport};
 

@@ -13,7 +13,7 @@ use crate::hierarchy::{Hierarchy, Level};
 use crate::vec_ops;
 use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
-use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase};
+use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, SpanKind};
 
 /// Result of a solve.
 #[derive(Clone, Debug)]
@@ -140,6 +140,7 @@ fn coarse_solve(ctx: &Ctx, cfg: &AmgConfig, h: &Hierarchy, b: &[f64], x: &mut [f
 /// One multigrid cycle starting at level `k` (Algorithm 2 for V; W and F
 /// visit coarse levels more than once).
 fn vcycle(device: &Device, cfg: &AmgConfig, h: &Hierarchy, k: usize, b: &[f64], x: &mut [f64]) {
+    let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
     if k + 1 == h.n_levels() {
@@ -201,6 +202,7 @@ pub fn solve(
         x.resize(n, 0.0);
     }
     let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+    let _phase_span = device.span(SpanKind::Phase, || "solve".to_string());
 
     let b_norm = {
         let nb = vec_ops::norm2(&ctx0, b);
@@ -211,15 +213,19 @@ pub fn solve(
         }
     };
     // Initial residual (the paper's "+1" SpMV).
-    let ax = h.finest().a.spmv(&ctx0, x);
-    let r0 = vec_ops::sub(&ctx0, b, &ax);
-    let initial = vec_ops::norm2(&ctx0, &r0);
+    let initial = {
+        let _span = device.span(SpanKind::Region, || "initial residual".to_string());
+        let ax = h.finest().a.spmv(&ctx0, x);
+        let r0 = vec_ops::sub(&ctx0, b, &ax);
+        vec_ops::norm2(&ctx0, &r0)
+    };
 
     let mut history = Vec::with_capacity(cfg.max_iterations);
     let mut final_norm = initial;
     let mut converged = false;
     let mut iterations = 0usize;
-    for _ in 0..cfg.max_iterations {
+    for it in 0..cfg.max_iterations {
+        let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
         vcycle(device, cfg, h, 0, b, x);
         iterations += 1;
         // Residual after the cycle (one SpMV per iteration).
@@ -256,6 +262,10 @@ pub struct BatchedSolveReport {
     pub column_iterations: Vec<usize>,
     /// Per-column final relative residual.
     pub final_relative_residuals: Vec<f64>,
+    /// Per-column relative residual after each cycle the column was active
+    /// in — the batched mirror of [`SolveReport::history`]. Column `j`'s
+    /// history has `column_iterations[j]` entries.
+    pub column_histories: Vec<Vec<f64>>,
 }
 
 impl BatchedSolveReport {
@@ -327,6 +337,7 @@ fn vcycle_mv(
     b: &MultiVector,
     x: &mut MultiVector,
 ) {
+    let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
     if k + 1 == h.n_levels() {
@@ -397,14 +408,18 @@ pub fn solve_batched(
         *x = MultiVector::zeros(n, ncols);
     }
     let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+    let _phase_span = device.span(SpanKind::Phase, || "solve batched".to_string());
 
     let b_norms: Vec<f64> = vec_ops::norms2_mv(&ctx0, b)
         .into_iter()
         .map(|nb| if nb == 0.0 { 1.0 } else { nb })
         .collect();
-    let ax = h.finest().a.spmm(&ctx0, x);
-    let r0 = vec_ops::sub_mv(&ctx0, b, &ax);
-    let initial = vec_ops::norms2_mv(&ctx0, &r0);
+    let initial = {
+        let _span = device.span(SpanKind::Region, || "initial residual".to_string());
+        let ax = h.finest().a.spmm(&ctx0, x);
+        let r0 = vec_ops::sub_mv(&ctx0, b, &ax);
+        vec_ops::norms2_mv(&ctx0, &r0)
+    };
 
     let mut converged = vec![false; ncols];
     let mut column_iterations = vec![0usize; ncols];
@@ -421,11 +436,13 @@ pub fn solve_batched(
         });
     }
 
+    let mut column_histories = vec![Vec::new(); ncols];
     let mut iterations = 0usize;
-    for _ in 0..cfg.max_iterations {
+    for it in 0..cfg.max_iterations {
         if active.is_empty() {
             break;
         }
+        let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
         // Compact the still-active columns into a dense batch.
         let bc = gather_columns(b, &active);
         let mut xc = gather_columns(x, &active);
@@ -442,6 +459,7 @@ pub fn solve_batched(
             x.data[j * n..(j + 1) * n].copy_from_slice(xc.col(c));
             final_rel[j] = norms[c] / b_norms[j];
             column_iterations[j] = iterations;
+            column_histories[j].push(final_rel[j]);
             if cfg.tolerance > 0.0 && final_rel[j] < cfg.tolerance {
                 converged[j] = true;
             } else {
@@ -457,6 +475,7 @@ pub fn solve_batched(
         converged,
         column_iterations,
         final_relative_residuals: final_rel,
+        column_histories,
     }
 }
 
@@ -517,8 +536,15 @@ mod tests {
             "relres {}",
             rep.final_relative_residual()
         );
-        // Monotone-ish decrease.
+        // Convergence history: one entry per executed cycle, ending at the
+        // reported final relative residual, and decreasing overall.
+        assert_eq!(rep.history.len(), rep.iterations);
+        assert_eq!(
+            rep.history.last().copied().unwrap(),
+            rep.final_relative_residual()
+        );
         assert!(rep.history.last().unwrap() < &rep.history[0]);
+        assert!(rep.history.iter().all(|r| r.is_finite() && *r >= 0.0));
     }
 
     #[test]
@@ -736,6 +762,128 @@ mod tests {
             rep.column_iterations[1]
         );
         assert_eq!(rep.iterations, *rep.column_iterations.iter().max().unwrap());
+        // Per-column histories mirror the scalar SolveReport history: one
+        // entry per cycle the column was active in, ending under tolerance.
+        for (j, hist) in rep.column_histories.iter().enumerate() {
+            assert_eq!(hist.len(), rep.column_iterations[j], "col {j}");
+            assert_eq!(
+                hist.last().copied().unwrap(),
+                rep.final_relative_residuals[j],
+                "col {j}"
+            );
+            assert!(hist.last().unwrap() < &1e-8, "col {j}");
+        }
+        // The easy column stopped accruing history once it converged.
+        assert!(rep.column_histories[0].len() <= rep.column_histories[1].len());
+    }
+
+    #[test]
+    fn disabled_recorder_path_records_nothing() {
+        let a = laplacian_2d(12, 12, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 2;
+        let dev = Device::new(GpuSpec::a100());
+        let b = rhs_of_ones(&a);
+        let h = setup(&dev, &cfg, a);
+        let mut x = vec![0.0; b.len()];
+        // A recorder exists but is never installed: the whole solve runs on
+        // the untraced path and must not touch it.
+        let recorder = std::sync::Arc::new(amgt_sim::Recorder::new());
+        solve(&dev, &cfg, &h, &b, &mut x);
+        assert!(dev.recorder().is_none());
+        assert!(recorder.take().is_empty());
+        // The simulated-time ledger is independent of tracing.
+        assert!(!dev.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_captures_two_level_vcycle_span_tree() {
+        use amgt_sim::{Recorder, SpanKind};
+        use std::sync::Arc;
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_levels = 2;
+        cfg.max_iterations = 1;
+        cfg.tolerance = 0.0;
+        cfg.coarse_solver = CoarseSolver::DirectLu;
+        let dev = Device::new(GpuSpec::a100());
+        let b = rhs_of_ones(&a);
+        let h = setup(&dev, &cfg, a);
+        assert_eq!(h.n_levels(), 2);
+
+        let recorder = Arc::new(Recorder::new());
+        dev.install_recorder(recorder.clone());
+        let sim_before = dev.elapsed();
+        let mut x = vec![0.0; b.len()];
+        solve(&dev, &cfg, &h, &b, &mut x);
+        dev.remove_recorder();
+        let rec = recorder.take();
+
+        // Exact expected tree for one V-cycle over two levels:
+        //   solve (Phase)
+        //     initial residual (Region)
+        //     iteration 1 (Iteration)
+        //       level 0 (Level)
+        //         level 1 (Level)
+        let names: Vec<&str> = rec.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "solve",
+                "initial residual",
+                "iteration 1",
+                "level 0",
+                "level 1"
+            ]
+        );
+        let kinds: Vec<SpanKind> = rec.spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                SpanKind::Phase,
+                SpanKind::Region,
+                SpanKind::Iteration,
+                SpanKind::Level,
+                SpanKind::Level
+            ]
+        );
+        let id_of = |name: &str| rec.spans.iter().find(|s| s.name == name).unwrap().id;
+        let parent_of = |name: &str| rec.spans.iter().find(|s| s.name == name).unwrap().parent;
+        assert_eq!(parent_of("solve"), None);
+        assert_eq!(parent_of("initial residual"), Some(id_of("solve")));
+        assert_eq!(parent_of("iteration 1"), Some(id_of("solve")));
+        assert_eq!(parent_of("level 0"), Some(id_of("iteration 1")));
+        assert_eq!(parent_of("level 1"), Some(id_of("level 0")));
+        assert!(rec.spans.iter().all(|s| s.closed));
+
+        // Intervals nest: each child lies inside its parent's interval.
+        for s in &rec.spans {
+            if let Some(p) = s.parent.and_then(|p| rec.span(p)) {
+                assert!(
+                    s.sim_start >= p.sim_start && s.sim_end <= p.sim_end,
+                    "{}",
+                    s.name
+                );
+            }
+        }
+        // Every kernel is parented to some span and inside its interval,
+        // and the trace accounts for all simulated time of the solve.
+        assert!(!rec.kernels.is_empty());
+        for k in &rec.kernels {
+            let p = rec
+                .span(k.parent.expect("kernel outside any span"))
+                .unwrap();
+            assert!(k.sim_start >= p.sim_start && k.sim_start + k.sim_seconds <= p.sim_end + 1e-15);
+        }
+        let solve_seconds = dev.elapsed() - sim_before;
+        assert!(
+            (rec.total_kernel_seconds() - solve_seconds).abs() <= 1e-12 * solve_seconds.max(1.0)
+        );
+        // The coarse solve ran under the "level 1" span.
+        assert!(rec
+            .kernels_under(id_of("level 1"))
+            .iter()
+            .any(|k| k.kind == "CoarseSolve"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod service;
 
 pub use cache::{CacheKey, CacheOutcome, CacheStats, HierarchyCache};
 pub use fingerprint::Fingerprint;
-pub use metrics::{ServiceMetrics, MAX_BATCH};
+pub use metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 pub use service::{
     JobError, JobHandle, ServiceConfig, SolveOutcome, SolveRequest, SolverService, SubmitError,
 };

@@ -1,8 +1,21 @@
-//! Service observability: a serializable snapshot of queue, cache, batching
-//! and latency state.
+//! Service observability built on the `amgt-trace` metric primitives.
+//!
+//! [`ServiceTelemetry`] owns lock-free counters/gauges/histograms in an
+//! `amgt_trace::Registry`; workers update them directly (no service-wide
+//! metrics mutex). Two read paths exist over the same state:
+//!
+//! * [`ServiceTelemetry::snapshot`] — the serializable [`ServiceMetrics`]
+//!   struct (JSON via `serde::Serialize::to_json`), with latency
+//!   percentiles estimated **from the histograms** rather than a
+//!   kept-forever sample vector, so memory is bounded no matter how many
+//!   jobs the service completes.
+//! * [`ServiceTelemetry::render_prometheus`] — Prometheus text exposition
+//!   of every registered metric, ready to serve on a scrape endpoint.
 
 use crate::cache::CacheStats;
+use amgt_trace::{Counter, Gauge, Histogram, Registry};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Maximum RHS columns one batched V-cycle coalesces (one tensor slab).
 pub const MAX_BATCH: usize = 8;
@@ -23,7 +36,8 @@ pub struct ServiceMetrics {
     pub cache_hit_rate: f64,
     /// `batch_occupancy[k]` counts batches that solved `k + 1` RHS at once.
     pub batch_occupancy: [u64; MAX_BATCH],
-    /// Wall-clock latency percentiles over completed jobs, in seconds.
+    /// Wall-clock latency percentiles over completed jobs, in seconds,
+    /// estimated from the latency histogram.
     pub p50_wall_seconds: f64,
     pub p99_wall_seconds: f64,
     /// Simulated-GPU latency percentiles over completed jobs, in seconds.
@@ -31,56 +45,131 @@ pub struct ServiceMetrics {
     pub p99_simulated_seconds: f64,
 }
 
-/// Mutable accumulator behind the service's metrics mutex.
-#[derive(Clone, Debug, Default)]
-pub struct MetricsInner {
-    pub jobs_completed: u64,
-    pub jobs_failed: u64,
-    pub batch_occupancy: [u64; MAX_BATCH],
-    pub wall_latencies: Vec<f64>,
-    pub simulated_latencies: Vec<f64>,
+/// The service's live metric state. Updates are lock-free; snapshots and
+/// exposition read the same atomics.
+pub struct ServiceTelemetry {
+    registry: Registry,
+    jobs_completed: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    cache_hits: Arc<Gauge>,
+    cache_refreshes: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_evictions: Arc<Gauge>,
+    batch_occupancy: Vec<Arc<Counter>>,
+    wall_latency: Arc<Histogram>,
+    simulated_latency: Arc<Histogram>,
 }
 
-impl MetricsInner {
-    pub fn record_batch(&mut self, occupancy: usize) {
+impl Default for ServiceTelemetry {
+    fn default() -> Self {
+        ServiceTelemetry::new()
+    }
+}
+
+impl ServiceTelemetry {
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let jobs_completed =
+            registry.counter("amgt_jobs_completed_total", "Jobs completed successfully.");
+        let jobs_failed = registry.counter(
+            "amgt_jobs_failed_total",
+            "Jobs rejected before solving (cancelled, deadline, invalid).",
+        );
+        let queue_depth =
+            registry.gauge("amgt_queue_depth", "Jobs waiting in the submission queue.");
+        let cache_hits = registry.gauge("amgt_cache_hits", "Hierarchy cache hits.");
+        let cache_refreshes = registry.gauge(
+            "amgt_cache_refreshes",
+            "Hierarchy cache value-refreshes (pattern reuse).",
+        );
+        let cache_misses = registry.gauge("amgt_cache_misses", "Hierarchy cache misses.");
+        let cache_evictions = registry.gauge("amgt_cache_evictions", "Hierarchy cache evictions.");
+        let batch_occupancy = (1..=MAX_BATCH)
+            .map(|k| {
+                registry.counter(
+                    &format!("amgt_batches_size_{k}_total"),
+                    &format!("Batches that coalesced exactly {k} RHS."),
+                )
+            })
+            .collect();
+        let wall_latency = registry.histogram(
+            "amgt_job_wall_seconds",
+            "Wall-clock latency from submission to completion.",
+            Histogram::latency_seconds(),
+        );
+        let simulated_latency = registry.histogram(
+            "amgt_job_simulated_seconds",
+            "Simulated device seconds attributed to the job's batch.",
+            Histogram::latency_seconds(),
+        );
+        ServiceTelemetry {
+            registry,
+            jobs_completed,
+            jobs_failed,
+            queue_depth,
+            cache_hits,
+            cache_refreshes,
+            cache_misses,
+            cache_evictions,
+            batch_occupancy,
+            wall_latency,
+            simulated_latency,
+        }
+    }
+
+    /// One batch solved `occupancy` RHS together.
+    pub fn record_batch(&self, occupancy: usize) {
         assert!((1..=MAX_BATCH).contains(&occupancy));
-        self.batch_occupancy[occupancy - 1] += 1;
+        self.batch_occupancy[occupancy - 1].inc();
     }
 
-    pub fn record_job(&mut self, wall_seconds: f64, simulated_seconds: f64) {
-        self.jobs_completed += 1;
-        self.wall_latencies.push(wall_seconds);
-        self.simulated_latencies.push(simulated_seconds);
+    /// One job completed successfully.
+    pub fn record_job(&self, wall_seconds: f64, simulated_seconds: f64) {
+        self.jobs_completed.inc();
+        self.wall_latency.observe(wall_seconds);
+        self.simulated_latency.observe(simulated_seconds);
     }
 
+    /// One job failed before solving.
+    pub fn record_failure(&self) {
+        self.jobs_failed.inc();
+    }
+
+    /// Serializable snapshot; queue depth and cache state are sampled by
+    /// the caller (they live outside the telemetry).
     pub fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServiceMetrics {
+        let mut batch_occupancy = [0u64; MAX_BATCH];
+        for (slot, counter) in batch_occupancy.iter_mut().zip(&self.batch_occupancy) {
+            *slot = counter.get();
+        }
         ServiceMetrics {
             queue_depth,
-            jobs_completed: self.jobs_completed,
-            jobs_failed: self.jobs_failed,
+            jobs_completed: self.jobs_completed.get(),
+            jobs_failed: self.jobs_failed.get(),
             cache_hits: cache.hits,
             cache_refreshes: cache.refreshes,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             cache_hit_rate: cache.hit_rate(),
-            batch_occupancy: self.batch_occupancy,
-            p50_wall_seconds: percentile(&self.wall_latencies, 0.50),
-            p99_wall_seconds: percentile(&self.wall_latencies, 0.99),
-            p50_simulated_seconds: percentile(&self.simulated_latencies, 0.50),
-            p99_simulated_seconds: percentile(&self.simulated_latencies, 0.99),
+            batch_occupancy,
+            p50_wall_seconds: self.wall_latency.quantile(0.50),
+            p99_wall_seconds: self.wall_latency.quantile(0.99),
+            p50_simulated_seconds: self.simulated_latency.quantile(0.50),
+            p99_simulated_seconds: self.simulated_latency.quantile(0.99),
         }
     }
-}
 
-/// Nearest-rank percentile; 0.0 for an empty sample.
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
+    /// Prometheus text exposition of every registered metric. Queue depth
+    /// and cache state are written into their gauges at scrape time.
+    pub fn render_prometheus(&self, queue_depth: usize, cache: CacheStats) -> String {
+        self.queue_depth.set(queue_depth as f64);
+        self.cache_hits.set(cache.hits as f64);
+        self.cache_refreshes.set(cache.refreshes as f64);
+        self.cache_misses.set(cache.misses as f64);
+        self.cache_evictions.set(cache.evictions as f64);
+        self.registry.render_prometheus()
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 #[cfg(test)]
@@ -88,21 +177,70 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_nearest_rank() {
-        let s: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&s, 0.50), 50.0);
-        assert_eq!(percentile(&s, 0.99), 99.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    fn percentiles_computed_from_histogram_pin_known_samples() {
+        // 100 jobs all at 1.5 ms wall / 150 us simulated. With the decade
+        // 1-2-5 bounds, every wall sample lands in the (1e-3, 2e-3]
+        // bucket, so rank interpolation gives exactly:
+        //   p50 -> 1e-3 + 1e-3 * 0.50 = 1.5e-3
+        //   p99 -> 1e-3 + 1e-3 * 0.99 = 1.99e-3
+        let t = ServiceTelemetry::new();
+        for _ in 0..100 {
+            t.record_job(1.5e-3, 1.5e-4);
+        }
+        let m = t.snapshot(0, CacheStats::default());
+        assert_eq!(m.jobs_completed, 100);
+        assert!((m.p50_wall_seconds - 1.5e-3).abs() < 1e-12);
+        assert!((m.p99_wall_seconds - 1.99e-3).abs() < 1e-12);
+        // Simulated samples land in (1e-4, 2e-4].
+        assert!((m.p50_simulated_seconds - 1.5e-4).abs() < 1e-13);
+        assert!((m.p99_simulated_seconds - 1.99e-4).abs() < 1e-13);
+        // Quantiles are monotone in q.
+        assert!(m.p99_wall_seconds >= m.p50_wall_seconds);
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        // 90 fast jobs at 0.8 ms, 10 slow at 80 ms: p50 stays in the fast
+        // bucket (rank 50 of 90 in (5e-4, 1e-3]), p99 lands in the slow
+        // one (rank 99 -> 9th of 10 in (5e-2, 1e-1]).
+        let t = ServiceTelemetry::new();
+        for _ in 0..90 {
+            t.record_job(8e-4, 1e-4);
+        }
+        for _ in 0..10 {
+            t.record_job(8e-2, 1e-4);
+        }
+        let m = t.snapshot(0, CacheStats::default());
+        let p50 = 5e-4 + (1e-3 - 5e-4) * (50.0 / 90.0);
+        let p99 = 5e-2 + (1e-1 - 5e-2) * (9.0 / 10.0);
+        assert!(
+            (m.p50_wall_seconds - p50).abs() < 1e-12,
+            "{}",
+            m.p50_wall_seconds
+        );
+        assert!(
+            (m.p99_wall_seconds - p99).abs() < 1e-12,
+            "{}",
+            m.p99_wall_seconds
+        );
+    }
+
+    #[test]
+    fn empty_telemetry_snapshots_zeroes() {
+        let t = ServiceTelemetry::new();
+        let m = t.snapshot(0, CacheStats::default());
+        assert_eq!(m.jobs_completed, 0);
+        assert_eq!(m.p50_wall_seconds, 0.0);
+        assert_eq!(m.p99_simulated_seconds, 0.0);
     }
 
     #[test]
     fn snapshot_serializes_to_json() {
-        let mut inner = MetricsInner::default();
-        inner.record_batch(8);
-        inner.record_batch(1);
-        inner.record_job(0.25, 1e-4);
-        let m = inner.snapshot(
+        let t = ServiceTelemetry::new();
+        t.record_batch(8);
+        t.record_batch(1);
+        t.record_job(0.25, 1e-4);
+        let m = t.snapshot(
             3,
             CacheStats {
                 hits: 9,
@@ -117,6 +255,32 @@ mod tests {
             json.contains("\"batch_occupancy\":[1,0,0,0,0,0,0,1]"),
             "{json}"
         );
-        assert!(json.contains("\"p50_wall_seconds\":0.25"), "{json}");
+        assert!(json.contains("\"jobs_completed\":1"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_metrics() {
+        let t = ServiceTelemetry::new();
+        t.record_job(1.5e-3, 1.5e-4);
+        t.record_batch(2);
+        t.record_failure();
+        let text = t.render_prometheus(
+            4,
+            CacheStats {
+                hits: 3,
+                refreshes: 1,
+                misses: 2,
+                evictions: 1,
+            },
+        );
+        assert!(text.contains("# TYPE amgt_jobs_completed_total counter"));
+        assert!(text.contains("amgt_jobs_completed_total 1\n"));
+        assert!(text.contains("amgt_jobs_failed_total 1\n"));
+        assert!(text.contains("amgt_queue_depth 4.0\n"));
+        assert!(text.contains("amgt_cache_hits 3.0\n"));
+        assert!(text.contains("amgt_batches_size_2_total 1\n"));
+        assert!(text.contains("# TYPE amgt_job_wall_seconds histogram"));
+        assert!(text.contains("amgt_job_wall_seconds_count 1\n"));
+        assert!(text.contains("le=\"+Inf\"} 1\n"));
     }
 }

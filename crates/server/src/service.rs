@@ -20,9 +20,10 @@
 
 use crate::cache::{CacheKey, CacheOutcome, HierarchyCache};
 use crate::fingerprint::{config_hash, of_csr, value_hash};
-use crate::metrics::{MetricsInner, ServiceMetrics, MAX_BATCH};
+use crate::metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 use amgt::prelude::*;
 use amgt::{resetup, setup, solve_batched, Hierarchy};
+use amgt_trace::{Recorder, Recording, SpanKind};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +72,9 @@ pub struct SolveRequest {
     /// Give up if the job has not *started* within this budget of its
     /// submission (checked when a worker picks the job up).
     pub deadline: Option<Duration>,
+    /// Capture a structured trace of the batch this job solves in; the
+    /// [`Recording`] comes back on [`SolveOutcome::trace`].
+    pub capture_trace: bool,
 }
 
 impl SolveRequest {
@@ -80,11 +84,18 @@ impl SolveRequest {
             rhs,
             config,
             deadline: None,
+            capture_trace: false,
         }
     }
 
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Request per-job trace capture (span tree + kernel events).
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
         self
     }
 }
@@ -104,6 +115,9 @@ pub struct SolveOutcome {
     pub simulated_seconds: f64,
     /// Wall-clock time from submission to completion.
     pub wall_seconds: f64,
+    /// Structured trace of the batch, when the request asked for one.
+    /// Shared (`Arc`) across jobs coalesced into the same batch.
+    pub trace: Option<Arc<Recording>>,
 }
 
 /// Why a job failed.
@@ -208,7 +222,7 @@ impl Job {
 
 struct Shared {
     cache: Mutex<HierarchyCache>,
-    metrics: Mutex<MetricsInner>,
+    telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
 }
 
@@ -233,7 +247,7 @@ impl SolverService {
         let (tx, rx) = bounded::<Job>(config.queue_capacity);
         let shared = Arc::new(Shared {
             cache: Mutex::new(HierarchyCache::new(config.cache_capacity)),
-            metrics: Mutex::new(MetricsInner::default()),
+            telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
@@ -287,11 +301,16 @@ impl SolverService {
     /// Current metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         let cache = self.shared.cache.lock().unwrap().stats();
+        self.shared.telemetry.snapshot(self.rx.len(), cache)
+    }
+
+    /// Prometheus text exposition of the service metrics, ready to serve
+    /// on a scrape endpoint.
+    pub fn metrics_prometheus(&self) -> String {
+        let cache = self.shared.cache.lock().unwrap().stats();
         self.shared
-            .metrics
-            .lock()
-            .unwrap()
-            .snapshot(self.rx.len(), cache)
+            .telemetry
+            .render_prometheus(self.rx.len(), cache)
     }
 
     /// Process everything currently queued on the caller's thread, batching
@@ -401,7 +420,7 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
         };
         match err {
             Some(e) => {
-                shared.metrics.lock().unwrap().jobs_failed += 1;
+                shared.telemetry.record_failure();
                 job.complete(Err(e));
             }
             None => live.push(job),
@@ -413,6 +432,17 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
 
     let amg_cfg = live[0].request.config.clone();
     let sim_start = device.elapsed();
+
+    // Per-batch trace capture: if any coalesced job asked for it, record
+    // the whole batch under one Job span and share the recording.
+    let recorder = live.iter().any(|j| j.request.capture_trace).then(|| {
+        let r = Arc::new(Recorder::new());
+        device.install_recorder(Arc::clone(&r));
+        r
+    });
+    let job_span = recorder
+        .as_ref()
+        .map(|r| r.open_span(SpanKind::Job, format!("batch x{}", live.len()), sim_start));
 
     // Hierarchy: cache hit / value refresh / full setup. Setup and refresh
     // are charged to the same device, so `simulated_seconds` honestly
@@ -451,14 +481,20 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     let report = solve_batched(device, &amg_cfg, &hierarchy, &b, &mut x);
     let simulated = device.elapsed() - sim_start;
 
+    let trace: Option<Arc<Recording>> = recorder.map(|r| {
+        if let Some(id) = job_span {
+            r.close_span(id, device.elapsed());
+        }
+        device.remove_recorder();
+        Arc::new(r.take())
+    });
+
     let batch_size = live.len();
-    {
-        let mut m = shared.metrics.lock().unwrap();
-        m.record_batch(batch_size);
-    }
+    shared.telemetry.record_batch(batch_size);
     for (c, job) in live.into_iter().enumerate() {
         let wall = job.submitted.elapsed().as_secs_f64();
-        shared.metrics.lock().unwrap().record_job(wall, simulated);
+        shared.telemetry.record_job(wall, simulated);
+        let job_trace = job.request.capture_trace.then(|| trace.clone()).flatten();
         job.complete(Ok(SolveOutcome {
             x: x.col(c).to_vec(),
             relative_residual: report.final_relative_residuals[c],
@@ -468,6 +504,7 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
             batch_size,
             simulated_seconds: simulated,
             wall_seconds: wall,
+            trace: job_trace,
         }));
     }
 }

@@ -265,3 +265,93 @@ fn worker_pool_smoke() {
     assert!(json.contains("\"jobs_completed\":12"), "{json}");
     service.shutdown();
 }
+
+#[test]
+fn prometheus_exposition_reflects_service_state() {
+    let service = sync_service(16);
+    let a = test_matrix();
+    let cfg = test_config();
+    let h1 = service
+        .submit(SolveRequest::new(a.clone(), rhs_of_ones(&a), cfg.clone()))
+        .unwrap();
+    let h2 = service
+        .submit(SolveRequest::new(a.clone(), rhs_of_ones(&a), cfg.clone()))
+        .unwrap();
+    service.drain_pending();
+    assert!(h1.wait().unwrap().converged && h2.wait().unwrap().converged);
+
+    let text = service.metrics_prometheus();
+    assert!(
+        text.contains("# TYPE amgt_jobs_completed_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("amgt_jobs_completed_total 2\n"), "{text}");
+    assert!(text.contains("amgt_jobs_failed_total 0\n"), "{text}");
+    assert!(text.contains("amgt_queue_depth 0.0\n"), "{text}");
+    // The two compatible jobs coalesced into one batch of two.
+    assert!(text.contains("amgt_batches_size_2_total 1\n"), "{text}");
+    assert!(text.contains("amgt_cache_misses 1.0\n"), "{text}");
+    assert!(text.contains("amgt_cache_hits 0.0\n"), "{text}");
+    // Latency histograms are exposed with cumulative buckets.
+    assert!(
+        text.contains("# TYPE amgt_job_wall_seconds histogram"),
+        "{text}"
+    );
+    assert!(text.contains("amgt_job_wall_seconds_count 2\n"), "{text}");
+    assert!(
+        text.contains("amgt_job_simulated_seconds_bucket{le=\"+Inf\"} 2\n"),
+        "{text}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn per_job_trace_capture_returns_batch_recording() {
+    let service = sync_service(16);
+    let a = test_matrix();
+    let cfg = test_config();
+    // One traced job and one untraced job against the same system: they
+    // coalesce into one batch, only the traced one gets the recording.
+    let traced = service
+        .submit(SolveRequest::new(a.clone(), rhs_of_ones(&a), cfg.clone()).with_trace())
+        .unwrap();
+    let plain = service
+        .submit(SolveRequest::new(a.clone(), rhs_of_ones(&a), cfg.clone()))
+        .unwrap();
+    service.shutdown();
+
+    let plain_outcome = plain.wait().unwrap();
+    assert!(plain_outcome.trace.is_none());
+
+    let outcome = traced.wait().unwrap();
+    assert_eq!(outcome.batch_size, 2);
+    let rec = outcome
+        .trace
+        .as_deref()
+        .expect("traced job has a recording");
+    assert!(!rec.is_empty());
+
+    // The batch is one Job span rooting the solver's phase spans.
+    let roots = rec.children(None);
+    assert_eq!(roots.len(), 1, "one root span: {roots:?}");
+    let job_span = roots[0];
+    assert_eq!(job_span.kind, amgt_trace::SpanKind::Job);
+    assert_eq!(job_span.name, "batch x2");
+    assert!(job_span.closed);
+    let phases: Vec<&str> = rec
+        .children(Some(job_span.id))
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(phases, ["setup", "solve batched"], "cache miss: full setup");
+
+    // Kernel time inside the recording matches the batch's simulated time.
+    assert!(
+        (rec.total_kernel_seconds() - outcome.simulated_seconds).abs()
+            <= 1e-12 * outcome.simulated_seconds.max(1.0)
+    );
+    // And it exports.
+    let json = amgt_trace::chrome_trace(rec);
+    assert!(json.contains("\"traceEvents\":["));
+    assert!(json.contains("batch x2"));
+}

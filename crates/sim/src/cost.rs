@@ -142,6 +142,23 @@ pub enum KernelKind {
     Comm,
 }
 
+impl KernelKind {
+    /// Stable string label used by the trace layer and exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::SpGemmSymbolic => "SpGEMM-symbolic",
+            KernelKind::SpGemmNumeric => "SpGEMM-numeric",
+            KernelKind::SpMV => "SpMV",
+            KernelKind::Convert => "Convert",
+            KernelKind::Vector => "Vector",
+            KernelKind::Graph => "Graph",
+            KernelKind::CoarseSolve => "CoarseSolve",
+            KernelKind::Transpose => "Transpose",
+            KernelKind::Comm => "Comm",
+        }
+    }
+}
+
 /// Which implementation produced the event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algo {
@@ -151,6 +168,17 @@ pub enum Algo {
     AmgT,
     /// Common infrastructure shared by both (vector ops, coarsening, ...).
     Shared,
+}
+
+impl Algo {
+    /// Stable string label used by the trace layer and exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Vendor => "Vendor",
+            Algo::AmgT => "AmgT",
+            Algo::Shared => "Shared",
+        }
+    }
 }
 
 /// Operations a kernel actually performed; the input to the cost model.

@@ -7,8 +7,11 @@
 
 use crate::cost::{kernel_seconds, Algo, GpuSpec, KernelCost, KernelKind};
 use crate::precision::Precision;
+use amgt_trace::{KernelSample, Recorder, SpanKind};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Phase of the AMG algorithm an event belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -17,6 +20,17 @@ pub enum Phase {
     Preprocess,
     Setup,
     Solve,
+}
+
+impl Phase {
+    /// Stable string label used by the trace layer and exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Preprocess => "Preprocess",
+            Phase::Setup => "Setup",
+            Phase::Solve => "Solve",
+        }
+    }
 }
 
 /// One entry of the simulated-time ledger.
@@ -41,10 +55,42 @@ struct DeviceState {
     events: Vec<KernelEvent>,
 }
 
-/// A simulated GPU: immutable spec + mutable clock/ledger.
+/// A simulated GPU: immutable spec + mutable clock/ledger, plus an
+/// optional [`Recorder`] the trace layer installs.
+///
+/// When no recorder is installed (the default), the only tracing cost on
+/// the charge path is one relaxed atomic load.
 pub struct Device {
     spec: GpuSpec,
     state: Mutex<DeviceState>,
+    traced: AtomicBool,
+    recorder: Mutex<Option<Arc<Recorder>>>,
+}
+
+/// RAII guard for a trace span opened on a [`Device`]. Closes the span at
+/// the device's *current* simulated clock when dropped, so everything
+/// charged while the guard lives falls inside the span's interval.
+///
+/// When the device has no recorder installed the guard is inert.
+#[must_use = "the span closes when this guard drops"]
+pub struct DeviceSpan<'a> {
+    device: &'a Device,
+    open: Option<(Arc<Recorder>, u64)>,
+}
+
+impl DeviceSpan<'_> {
+    /// Span id, if a recorder observed the open.
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|(_, id)| *id)
+    }
+}
+
+impl Drop for DeviceSpan<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, id)) = self.open.take() {
+            recorder.close_span(id, self.device.elapsed());
+        }
+    }
 }
 
 impl Device {
@@ -52,11 +98,45 @@ impl Device {
         Device {
             spec,
             state: Mutex::new(DeviceState::default()),
+            traced: AtomicBool::new(false),
+            recorder: Mutex::new(None),
         }
     }
 
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Install a recorder; every subsequent charge emits a kernel record
+    /// and [`Device::span`] guards become live.
+    pub fn install_recorder(&self, recorder: Arc<Recorder>) {
+        *self.recorder.lock() = Some(recorder);
+        self.traced.store(true, Ordering::Release);
+    }
+
+    /// Remove and return the installed recorder, disabling tracing.
+    pub fn remove_recorder(&self) -> Option<Arc<Recorder>> {
+        self.traced.store(false, Ordering::Release);
+        self.recorder.lock().take()
+    }
+
+    /// The installed recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<Arc<Recorder>> {
+        if !self.traced.load(Ordering::Acquire) {
+            return None;
+        }
+        self.recorder.lock().clone()
+    }
+
+    /// Open a named span at the current simulated clock; the returned
+    /// guard closes it on drop. `name` is only evaluated when a recorder
+    /// is installed, so untraced runs pay no formatting cost.
+    pub fn span(&self, kind: SpanKind, name: impl FnOnce() -> String) -> DeviceSpan<'_> {
+        let open = self.recorder().map(|recorder| {
+            let id = recorder.open_span(kind, name(), self.elapsed());
+            (recorder, id)
+        });
+        DeviceSpan { device: self, open }
     }
 
     /// Price a cost without recording it (pure query).
@@ -81,19 +161,12 @@ impl Device {
         cost: &KernelCost,
     ) -> f64 {
         let seconds = kernel_seconds(&self.spec, kind, algo, precision, cost);
-        let mut st = self.state.lock();
-        let seq = st.seq;
-        st.seq += 1;
-        st.clock += seconds;
-        st.events.push(KernelEvent {
-            seq,
-            kind,
-            algo,
-            phase,
-            level,
-            precision,
-            seconds,
-        });
+        let sim_start = self.ledger_push(kind, algo, phase, level, precision, seconds);
+        if self.traced.load(Ordering::Relaxed) {
+            self.trace_kernel(
+                kind, algo, phase, level, precision, sim_start, seconds, cost,
+            );
+        }
         seconds
     }
 
@@ -108,8 +181,29 @@ impl Device {
         precision: Precision,
         seconds: f64,
     ) {
+        let sim_start = self.ledger_push(kind, algo, phase, level, precision, seconds);
+        if self.traced.load(Ordering::Relaxed) {
+            let cost = KernelCost::default();
+            self.trace_kernel(
+                kind, algo, phase, level, precision, sim_start, seconds, &cost,
+            );
+        }
+    }
+
+    /// Append to the ledger and advance the clock; returns the clock value
+    /// *before* this event (its simulated start time).
+    fn ledger_push(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        phase: Phase,
+        level: u32,
+        precision: Precision,
+        seconds: f64,
+    ) -> f64 {
         let mut st = self.state.lock();
         let seq = st.seq;
+        let sim_start = st.clock;
         st.seq += 1;
         st.clock += seconds;
         st.events.push(KernelEvent {
@@ -121,6 +215,36 @@ impl Device {
             precision,
             seconds,
         });
+        sim_start
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn trace_kernel(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        phase: Phase,
+        level: u32,
+        precision: Precision,
+        sim_start: f64,
+        seconds: f64,
+        cost: &KernelCost,
+    ) {
+        if let Some(recorder) = self.recorder.lock().clone() {
+            recorder.record_kernel(KernelSample {
+                kind: kind.label(),
+                algo: algo.label(),
+                phase: phase.label(),
+                level,
+                precision: precision.label(),
+                sim_start,
+                sim_seconds: seconds,
+                flops: cost.tc_flops + cost.cuda_flops,
+                int_ops: cost.int_ops,
+                bytes: cost.bytes,
+                launches: cost.launches,
+            });
+        }
     }
 
     /// Total simulated seconds elapsed on this device.
@@ -339,6 +463,69 @@ mod tests {
         };
         let t = link.transfer_seconds(200e9, 2);
         assert!((t - (1.0 + 10e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_captures_charges_and_spans() {
+        let dev = Device::new(GpuSpec::a100());
+        // Untraced charge: no recorder, nothing to capture.
+        dev.charge(
+            KernelKind::Vector,
+            Algo::Shared,
+            Phase::Preprocess,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
+        let recorder = Arc::new(Recorder::new());
+        dev.install_recorder(recorder.clone());
+        let t_before = dev.elapsed();
+        {
+            let _span = dev.span(SpanKind::Phase, || "solve".to_string());
+            dev.charge(
+                KernelKind::SpMV,
+                Algo::AmgT,
+                Phase::Solve,
+                1,
+                Precision::Fp32,
+                &cost_bytes(1e6),
+            );
+        }
+        let removed = dev.remove_recorder().expect("recorder was installed");
+        assert!(Arc::ptr_eq(&removed, &recorder));
+        let rec = recorder.take();
+        // Only the traced charge shows up; its labels and clock match.
+        assert_eq!(rec.kernels.len(), 1);
+        let k = &rec.kernels[0];
+        assert_eq!(k.kind, "SpMV");
+        assert_eq!(k.algo, "AmgT");
+        assert_eq!(k.phase, "Solve");
+        assert_eq!(k.level, 1);
+        assert_eq!(k.precision, "FP32");
+        assert!((k.sim_start - t_before).abs() < 1e-18);
+        assert_eq!(rec.spans.len(), 1);
+        let span = &rec.spans[0];
+        assert!(span.closed);
+        assert!((span.sim_start - t_before).abs() < 1e-18);
+        assert!((span.sim_end - dev.elapsed()).abs() < 1e-18);
+        assert_eq!(k.parent, Some(span.id));
+        // After removal the device is untraced again.
+        dev.charge(
+            KernelKind::Vector,
+            Algo::Shared,
+            Phase::Solve,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
+        assert!(recorder.take().is_empty());
+    }
+
+    #[test]
+    fn untraced_span_is_inert() {
+        let dev = Device::new(GpuSpec::a100());
+        let span = dev.span(SpanKind::Phase, || unreachable!("name must stay lazy"));
+        assert_eq!(span.id(), None);
     }
 
     #[test]

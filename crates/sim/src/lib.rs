@@ -34,5 +34,8 @@ pub mod precision;
 pub mod warp;
 
 pub use cost::{Algo, GpuSpec, KernelCost, KernelKind};
-pub use device::{Cluster, Device, Interconnect, KernelEvent, Phase};
+pub use device::{Cluster, Device, DeviceSpan, Interconnect, KernelEvent, Phase};
 pub use precision::{Precision, F16};
+// Re-export the trace layer so downstream crates can speak one vocabulary
+// (`amgt_sim::Recorder` is the same type `Device::install_recorder` takes).
+pub use amgt_trace::{Recorder, Recording, SpanKind};

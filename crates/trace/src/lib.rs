@@ -1,0 +1,32 @@
+//! # amgt-trace — structured tracing, profiling and metrics for AmgT
+//!
+//! The paper's evidence is observability artifacts: Figure 1/2 phase
+//! breakdowns, the Figure 8 kernel timeline, per-level precision
+//! accounting. This crate is the layer those artifacts are produced from:
+//!
+//! * [`recorder`] — a thread-safe [`Recorder`] of [`SpanRecord`]s (phase /
+//!   level / iteration / job regions) and [`KernelRecord`]s (one per
+//!   simulated kernel launch), ring-buffer backed so memory stays bounded.
+//!   When no recorder is installed on a device the cost is one relaxed
+//!   atomic load per kernel — the zero-cost-when-disabled path.
+//! * [`metrics`] — [`Counter`] / [`Gauge`] / [`Histogram`] primitives and a
+//!   [`Registry`] with Prometheus-style text exposition, used by
+//!   `amgt-server` for its scrape endpoint.
+//! * [`export`] — exporters over a finished [`Recording`]: Chrome
+//!   `trace_event` JSON (load a solve into `chrome://tracing` and read the
+//!   Figure 8 timeline directly), a per-phase/per-level [`Breakdown`]
+//!   table reproducing Figures 1/2, and serde JSON dumps.
+//!
+//! The crate is deliberately foundational: it depends on nothing else in
+//! the workspace, speaks string labels rather than solver enums, and is
+//! wired in by `amgt-sim::Device` (kernel events + span guards), by the
+//! `amgt` hierarchy/solve layers (phase/level/iteration spans) and by
+//! `amgt-server` (service telemetry + per-job trace capture).
+
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+
+pub use export::{chrome_trace, Breakdown, BreakdownRow};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use recorder::{KernelRecord, KernelSample, Recorder, Recording, SpanKind, SpanRecord};

@@ -1,0 +1,448 @@
+//! Service-level metrics: counters, gauges and bucketed histograms with a
+//! [`Registry`] that renders Prometheus-style text exposition.
+//!
+//! All primitives are lock-free (`AtomicU64`) and shareable behind `Arc`,
+//! so a worker pool can update them without contending on a mutex. The
+//! histogram keeps per-bucket counts plus sum/count/min/max; quantiles are
+//! estimated by rank with linear interpolation within the bucket, which
+//! makes percentile queries O(buckets) regardless of how many samples were
+//! observed — the fix for the old `ServiceMetrics` Vec-of-samples path.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (f64 stored as bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucketed histogram over non-negative samples (latencies, sizes).
+///
+/// `bounds` are the inclusive upper edges of the first `bounds.len()`
+/// buckets; one overflow bucket catches everything above the last bound
+/// (Prometheus's `+Inf`). Counts, sum and extrema are atomics so `observe`
+/// never blocks.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of samples; f64 bits updated via CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing and finite.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Decade 1-2-5 latency bounds from 1 µs to 100 s — a sensible default
+    /// for both simulated and wall-clock solve latencies.
+    pub fn latency_seconds() -> Self {
+        let mut bounds = Vec::new();
+        let mut decade = 1e-6;
+        while decade < 1e2 {
+            for mult in [1.0, 2.0, 5.0] {
+                bounds.push(decade * mult);
+            }
+            decade *= 10.0;
+        }
+        Histogram::new(&bounds)
+    }
+
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        let m = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Quantile estimate for `q` in [0, 1].
+    ///
+    /// The target rank is `ceil(q * count)` clamped to `[1, count]` (the
+    /// nearest-rank definition); the estimate interpolates linearly within
+    /// the bucket holding that rank, up to that bucket's bound. The
+    /// overflow bucket has no bound, so it interpolates up to the observed
+    /// maximum instead — the estimate never escapes to infinity.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if cum + in_bucket >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: cap at the observed maximum.
+                    self.max().max(lower)
+                };
+                let frac = (rank - cum) as f64 / in_bucket as f64;
+                return lower + (upper - lower) * frac;
+            }
+            cum += in_bucket;
+        }
+        self.max()
+    }
+
+    /// `(upper_bound, cumulative_count)` rows including the `+Inf` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        let mut rows = Vec::with_capacity(self.buckets.len());
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            let bound = if i < self.bounds.len() {
+                self.bounds[i]
+            } else {
+                f64::INFINITY
+            };
+            rows.push((bound, cum));
+        }
+        rows
+    }
+}
+
+fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// Named collection of metrics with Prometheus text exposition.
+///
+/// Registration returns the `Arc`'d primitive; callers keep the handle and
+/// update it directly — the registry is only consulted at scrape time.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register(name, help, Metric::Counter(c.clone()));
+        c
+    }
+
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(name, help, Metric::Gauge(g.clone()));
+        g
+    }
+
+    pub fn histogram(&self, name: &str, help: &str, hist: Histogram) -> Arc<Histogram> {
+        let h = Arc::new(hist);
+        self.register(name, help, Metric::Histogram(h.clone()));
+        h
+    }
+
+    fn register(&self, name: &str, help: &str, metric: Metric) {
+        let mut entries = self.entries.lock();
+        assert!(
+            entries.iter().all(|e| e.name != name),
+            "metric `{name}` registered twice"
+        );
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric,
+        });
+    }
+
+    /// Prometheus text exposition format (version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries.lock().iter() {
+            let name = &entry.name;
+            out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name} {}\n", fmt_f64(g.get())));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = if bound.is_finite() {
+                            fmt_f64(bound)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_sum_count_extrema() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 14.0).abs() < 1e-12);
+        assert!((h.mean() - 3.5).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 9.0);
+    }
+
+    #[test]
+    fn quantile_pins_known_distribution() {
+        // Buckets (0,1], (1,2], (2,4], (4,8], (8,max]:
+        //   50 samples at 0.5, 30 at 1.5, 15 at 3.0, 5 at 6.0 → 100 total.
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..30 {
+            h.observe(1.5);
+        }
+        for _ in 0..15 {
+            h.observe(3.0);
+        }
+        for _ in 0..5 {
+            h.observe(6.0);
+        }
+        // p50: rank 50 is the last of bucket (0,1] → 0 + 1·(50/50) = 1.0.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        // p80: rank 80 is the last of bucket (1,2] → 1 + 1·(30/30) = 2.0.
+        assert!((h.quantile(0.8) - 2.0).abs() < 1e-12);
+        // p99: rank 99 is 4th of 5 in bucket (4,8] → 4 + 4·(4/5) = 7.2.
+        assert!((h.quantile(0.99) - 7.2).abs() < 1e-12);
+        // p100: full interpolation across bucket (4,8] → its bound.
+        assert!((h.quantile(1.0) - 8.0).abs() < 1e-12);
+        // q=0 clamps to rank 1.
+        assert!(h.quantile(0.0) > 0.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_caps_at_max() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(10.0);
+        h.observe(20.0);
+        // rank 1 of 2 in the overflow bucket: 1 + (20-1)·0.5 = 10.5.
+        assert!((h.quantile(0.5) - 10.5).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn latency_bounds_are_increasing() {
+        let h = Histogram::latency_seconds();
+        assert!(h.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(h.bounds.first().copied(), Some(1e-6));
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let reg = Registry::new();
+        let c = reg.counter("amgt_jobs_total", "Jobs completed.");
+        let g = reg.gauge("amgt_queue_depth", "Current queue depth.");
+        let h = reg.histogram(
+            "amgt_latency_seconds",
+            "Solve latency.",
+            Histogram::new(&[0.5, 1.0]),
+        );
+        c.add(3);
+        g.set(2.0);
+        h.observe(0.25);
+        h.observe(0.75);
+        h.observe(4.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP amgt_jobs_total Jobs completed.\n"));
+        assert!(text.contains("# TYPE amgt_jobs_total counter\namgt_jobs_total 3\n"));
+        assert!(text.contains("# TYPE amgt_queue_depth gauge\namgt_queue_depth 2.0\n"));
+        assert!(text.contains("amgt_latency_seconds_bucket{le=\"0.5\"} 1\n"));
+        assert!(text.contains("amgt_latency_seconds_bucket{le=\"1.0\"} 2\n"));
+        assert!(text.contains("amgt_latency_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("amgt_latency_seconds_sum 5.0\n"));
+        assert!(text.contains("amgt_latency_seconds_count 3\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let reg = Registry::new();
+        let _a = reg.counter("dup", "first");
+        let _b = reg.counter("dup", "second");
+    }
+}

@@ -1,0 +1,478 @@
+//! Span/event recording with bounded memory.
+//!
+//! A [`Recorder`] collects two kinds of records:
+//!
+//! * [`SpanRecord`] — a named region with a simulated-time interval and a
+//!   wall-clock interval. Spans nest: the recorder keeps a stack of open
+//!   spans and each new span (or kernel event) attaches to the innermost
+//!   open one, so a whole V-cycle reconstructs as a tree (solve → iteration
+//!   → level 0 → level 1 → …).
+//! * [`KernelRecord`] — one per simulated kernel launch, carrying the
+//!   kernel kind/algo/phase/level/precision labels, the simulated start
+//!   time and duration, and the operation counts the cost model priced.
+//!
+//! Both stores are bounded: spans stop being recorded past `span_capacity`
+//! (newest dropped, counted), kernel events live in a ring buffer that
+//! drops the *oldest* event past `kernel_capacity` (also counted). A
+//! snapshot of the whole state is a [`Recording`], which the exporters in
+//! [`crate::export`] consume.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// What a span represents; used for rendering and filtering, not nesting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum SpanKind {
+    /// One service job / batch.
+    Job,
+    /// A solver phase (setup, solve, resetup, pcg, ...).
+    Phase,
+    /// One outer iteration (V-cycle) of the solve phase.
+    Iteration,
+    /// One AMG level visit inside setup or a cycle.
+    Level,
+    /// Anything else (initial residual, coarse factorization, ...).
+    Region,
+}
+
+/// One recorded region. `sim_*` are simulated-device seconds, `wall_*` are
+/// microseconds since the recorder was created.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpanRecord {
+    /// Unique id (1-based, allocation order).
+    pub id: u64,
+    /// Enclosing span at open time; `None` for roots.
+    pub parent: Option<u64>,
+    pub kind: SpanKind,
+    pub name: String,
+    pub sim_start: f64,
+    /// Equals `sim_start` until the span closes.
+    pub sim_end: f64,
+    pub wall_start_us: f64,
+    pub wall_end_us: f64,
+    pub closed: bool,
+}
+
+impl SpanRecord {
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_end - self.sim_start
+    }
+}
+
+/// One simulated kernel launch, flattened to string labels so the trace
+/// layer stays independent of the solver enums.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelRecord {
+    /// Monotone sequence number (execution order — the Figure 8 x axis).
+    pub seq: u64,
+    /// Innermost open span when the kernel was charged.
+    pub parent: Option<u64>,
+    pub kind: &'static str,
+    pub algo: &'static str,
+    pub phase: &'static str,
+    pub level: u32,
+    pub precision: &'static str,
+    /// Device clock when the kernel started, seconds.
+    pub sim_start: f64,
+    pub sim_seconds: f64,
+    /// Wall-clock microseconds since the recorder was created.
+    pub wall_us: f64,
+    /// Floating-point operations (tensor + CUDA cores).
+    pub flops: f64,
+    pub int_ops: f64,
+    pub bytes: f64,
+    pub launches: u32,
+}
+
+/// The fields a charger supplies for one kernel event; the recorder adds
+/// `seq`, `parent` and the wall timestamp.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelSample {
+    pub kind: &'static str,
+    pub algo: &'static str,
+    pub phase: &'static str,
+    pub level: u32,
+    pub precision: &'static str,
+    pub sim_start: f64,
+    pub sim_seconds: f64,
+    pub flops: f64,
+    pub int_ops: f64,
+    pub bytes: f64,
+    pub launches: u32,
+}
+
+/// A finished (or snapshotted) trace.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Recording {
+    /// Spans in open order (ids ascending).
+    pub spans: Vec<SpanRecord>,
+    /// Kernel events in execution order.
+    pub kernels: Vec<KernelRecord>,
+    /// Spans not recorded because `span_capacity` was reached.
+    pub dropped_spans: u64,
+    /// Oldest kernel events evicted from the ring buffer.
+    pub dropped_kernels: u64,
+}
+
+impl Recording {
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.kernels.is_empty()
+    }
+
+    /// Sum of all kernel durations — must agree with `Device::elapsed()`
+    /// when the recorder observed the device's whole life and nothing was
+    /// dropped.
+    pub fn total_kernel_seconds(&self) -> f64 {
+        self.kernels.iter().map(|k| k.sim_seconds).sum()
+    }
+
+    /// Sum of kernel durations matching a predicate.
+    pub fn kernel_seconds_where(&self, pred: impl Fn(&KernelRecord) -> bool) -> f64 {
+        self.kernels
+            .iter()
+            .filter(|k| pred(k))
+            .map(|k| k.sim_seconds)
+            .sum()
+    }
+
+    /// Look a span up by id.
+    pub fn span(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans
+            .binary_search_by_key(&id, |s| s.id)
+            .ok()
+            .map(|i| &self.spans[i])
+    }
+
+    /// Direct child spans of `parent` (`None` = roots), in open order.
+    pub fn children(&self, parent: Option<u64>) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == parent).collect()
+    }
+
+    /// Kernel events charged directly under span `id`.
+    pub fn kernels_under(&self, id: u64) -> Vec<&KernelRecord> {
+        self.kernels
+            .iter()
+            .filter(|k| k.parent == Some(id))
+            .collect()
+    }
+
+    /// Indented text rendering of the span tree with simulated durations —
+    /// a quick human-readable view of one solve.
+    pub fn render_span_tree(&self) -> String {
+        let mut out = String::new();
+        for root in self.children(None) {
+            self.render_subtree(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_subtree(&self, span: &SpanRecord, depth: usize, out: &mut String) {
+        let kernels = self.kernels_under(span.id).len();
+        out.push_str(&format!(
+            "{:indent$}{} [{:?}] {:.3} us ({} kernel events)\n",
+            "",
+            span.name,
+            span.kind,
+            span.sim_seconds() * 1e6,
+            kernels,
+            indent = 2 * depth
+        ));
+        for child in self.children(Some(span.id)) {
+            self.render_subtree(child, depth + 1, out);
+        }
+    }
+
+    /// Serde JSON dump of the whole recording.
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_json(self)
+    }
+}
+
+struct RecorderState {
+    next_span_id: u64,
+    next_seq: u64,
+    /// Open-span stack; the top is the parent of new spans and kernels.
+    stack: Vec<u64>,
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+    kernels: VecDeque<KernelRecord>,
+    dropped_kernels: u64,
+}
+
+/// Thread-safe trace collector. One recorder is meant to observe one
+/// logical execution (one device / one job); concurrent use is safe but
+/// interleaves the span stack.
+pub struct Recorder {
+    epoch: Instant,
+    span_capacity: usize,
+    kernel_capacity: usize,
+    state: Mutex<RecorderState>,
+}
+
+/// Default span capacity: far above any real hierarchy/solve span count.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+/// Default kernel ring capacity: holds every event of a full 50-iteration
+/// paper-scale run with room to spare.
+pub const DEFAULT_KERNEL_CAPACITY: usize = 1 << 20;
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder::with_capacity(DEFAULT_SPAN_CAPACITY, DEFAULT_KERNEL_CAPACITY)
+    }
+
+    /// Recorder with explicit memory bounds.
+    pub fn with_capacity(span_capacity: usize, kernel_capacity: usize) -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            span_capacity,
+            kernel_capacity,
+            state: Mutex::new(RecorderState {
+                next_span_id: 1,
+                next_seq: 0,
+                stack: Vec::new(),
+                spans: Vec::new(),
+                dropped_spans: 0,
+                kernels: VecDeque::new(),
+                dropped_kernels: 0,
+            }),
+        }
+    }
+
+    fn wall_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Open a span at simulated time `sim_ts`; returns its id. The span
+    /// becomes the parent of subsequent spans/kernels until closed.
+    pub fn open_span(&self, kind: SpanKind, name: impl Into<String>, sim_ts: f64) -> u64 {
+        let wall = self.wall_us();
+        let mut st = self.state.lock();
+        let id = st.next_span_id;
+        st.next_span_id += 1;
+        let parent = st.stack.last().copied();
+        if st.spans.len() < self.span_capacity {
+            st.spans.push(SpanRecord {
+                id,
+                parent,
+                kind,
+                name: name.into(),
+                sim_start: sim_ts,
+                sim_end: sim_ts,
+                wall_start_us: wall,
+                wall_end_us: wall,
+                closed: false,
+            });
+        } else {
+            st.dropped_spans += 1;
+        }
+        st.stack.push(id);
+        id
+    }
+
+    /// Close a span at simulated time `sim_ts`. Also pops any still-open
+    /// descendants off the stack (they stay recorded as unclosed).
+    pub fn close_span(&self, id: u64, sim_ts: f64) {
+        let wall = self.wall_us();
+        let mut st = self.state.lock();
+        if let Some(pos) = st.stack.iter().rposition(|&s| s == id) {
+            st.stack.truncate(pos);
+        }
+        if let Ok(i) = st.spans.binary_search_by_key(&id, |s| s.id) {
+            let span = &mut st.spans[i];
+            span.sim_end = sim_ts;
+            span.wall_end_us = wall;
+            span.closed = true;
+        }
+    }
+
+    /// Record one kernel event under the innermost open span.
+    pub fn record_kernel(&self, sample: KernelSample) {
+        let wall = self.wall_us();
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let parent = st.stack.last().copied();
+        if st.kernels.len() == self.kernel_capacity {
+            st.kernels.pop_front();
+            st.dropped_kernels += 1;
+        }
+        st.kernels.push_back(KernelRecord {
+            seq,
+            parent,
+            kind: sample.kind,
+            algo: sample.algo,
+            phase: sample.phase,
+            level: sample.level,
+            precision: sample.precision,
+            sim_start: sample.sim_start,
+            sim_seconds: sample.sim_seconds,
+            wall_us: wall,
+            flops: sample.flops,
+            int_ops: sample.int_ops,
+            bytes: sample.bytes,
+            launches: sample.launches,
+        });
+    }
+
+    /// Clone the current state without draining it.
+    pub fn snapshot(&self) -> Recording {
+        let st = self.state.lock();
+        Recording {
+            spans: st.spans.clone(),
+            kernels: st.kernels.iter().cloned().collect(),
+            dropped_spans: st.dropped_spans,
+            dropped_kernels: st.dropped_kernels,
+        }
+    }
+
+    /// Drain the recorder, leaving it empty (ids keep counting up).
+    pub fn take(&self) -> Recording {
+        let mut st = self.state.lock();
+        let rec = Recording {
+            spans: std::mem::take(&mut st.spans),
+            kernels: st.kernels.drain(..).collect(),
+            dropped_spans: st.dropped_spans,
+            dropped_kernels: st.dropped_kernels,
+        };
+        st.stack.clear();
+        st.dropped_spans = 0;
+        st.dropped_kernels = 0;
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(level: u32, secs: f64) -> KernelSample {
+        KernelSample {
+            kind: "SpMV",
+            algo: "AmgT",
+            phase: "Solve",
+            level,
+            precision: "FP64",
+            sim_start: 0.0,
+            sim_seconds: secs,
+            flops: 100.0,
+            int_ops: 0.0,
+            bytes: 800.0,
+            launches: 1,
+        }
+    }
+
+    #[test]
+    fn spans_nest_via_stack() {
+        let r = Recorder::new();
+        let a = r.open_span(SpanKind::Phase, "solve", 0.0);
+        let b = r.open_span(SpanKind::Iteration, "iteration 1", 0.0);
+        r.record_kernel(sample(0, 1e-6));
+        let c = r.open_span(SpanKind::Level, "level 0", 1e-6);
+        r.record_kernel(sample(0, 2e-6));
+        r.close_span(c, 3e-6);
+        r.close_span(b, 3e-6);
+        r.close_span(a, 3e-6);
+        let rec = r.take();
+        assert_eq!(rec.spans.len(), 3);
+        assert_eq!(rec.span(a).unwrap().parent, None);
+        assert_eq!(rec.span(b).unwrap().parent, Some(a));
+        assert_eq!(rec.span(c).unwrap().parent, Some(b));
+        assert!(rec.spans.iter().all(|s| s.closed));
+        assert_eq!(rec.kernels[0].parent, Some(b));
+        assert_eq!(rec.kernels[1].parent, Some(c));
+        assert_eq!(rec.kernels[0].seq, 0);
+        assert_eq!(rec.kernels[1].seq, 1);
+        assert!((rec.total_kernel_seconds() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn close_pops_unclosed_descendants() {
+        let r = Recorder::new();
+        let outer = r.open_span(SpanKind::Phase, "outer", 0.0);
+        let _leaked = r.open_span(SpanKind::Region, "leaked", 0.0);
+        r.close_span(outer, 1.0);
+        // The stack is empty again: a new span is a root.
+        let root2 = r.open_span(SpanKind::Phase, "next", 1.0);
+        let rec = r.snapshot();
+        assert_eq!(rec.span(root2).unwrap().parent, None);
+        assert!(!rec.span(_leaked).unwrap().closed);
+        assert!(rec.span(outer).unwrap().closed);
+    }
+
+    #[test]
+    fn kernel_ring_drops_oldest() {
+        let r = Recorder::with_capacity(16, 4);
+        for i in 0..6 {
+            r.record_kernel(sample(i, 1e-6));
+        }
+        let rec = r.take();
+        assert_eq!(rec.kernels.len(), 4);
+        assert_eq!(rec.dropped_kernels, 2);
+        assert_eq!(rec.kernels[0].level, 2, "oldest two evicted");
+        assert_eq!(rec.kernels[0].seq, 2);
+    }
+
+    #[test]
+    fn span_capacity_drops_newest() {
+        let r = Recorder::with_capacity(2, 16);
+        let a = r.open_span(SpanKind::Phase, "a", 0.0);
+        let b = r.open_span(SpanKind::Phase, "b", 0.0);
+        let c = r.open_span(SpanKind::Phase, "c", 0.0);
+        r.close_span(c, 1.0);
+        r.close_span(b, 1.0);
+        r.close_span(a, 1.0);
+        let rec = r.take();
+        assert_eq!(rec.spans.len(), 2);
+        assert_eq!(rec.dropped_spans, 1);
+        assert!(rec.span(c).is_none());
+    }
+
+    #[test]
+    fn take_drains_and_resets() {
+        let r = Recorder::new();
+        let a = r.open_span(SpanKind::Phase, "x", 0.0);
+        r.record_kernel(sample(0, 1e-6));
+        r.close_span(a, 1e-6);
+        let first = r.take();
+        assert_eq!(first.spans.len(), 1);
+        let second = r.take();
+        assert!(second.is_empty());
+        // Ids keep growing, so records from the two epochs never collide.
+        let b = r.open_span(SpanKind::Phase, "y", 0.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn render_span_tree_shows_nesting() {
+        let r = Recorder::new();
+        let a = r.open_span(SpanKind::Phase, "solve", 0.0);
+        let b = r.open_span(SpanKind::Level, "level 0", 0.0);
+        r.record_kernel(sample(0, 5e-6));
+        r.close_span(b, 5e-6);
+        r.close_span(a, 5e-6);
+        let tree = r.take().render_span_tree();
+        assert!(tree.contains("solve"), "{tree}");
+        assert!(tree.contains("  level 0"), "{tree}");
+        assert!(tree.contains("(1 kernel events)"), "{tree}");
+    }
+
+    #[test]
+    fn recording_serializes_to_json() {
+        let r = Recorder::new();
+        let a = r.open_span(SpanKind::Phase, "setup", 0.0);
+        r.record_kernel(sample(1, 1e-6));
+        r.close_span(a, 1e-6);
+        let json = r.take().to_json();
+        assert!(json.contains("\"spans\":["), "{json}");
+        assert!(json.contains("\"name\":\"setup\""), "{json}");
+        assert!(json.contains("\"kind\":\"SpMV\""), "{json}");
+    }
+}

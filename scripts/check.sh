@@ -10,10 +10,21 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (amgt-trace, -D warnings)"
+cargo clippy -p amgt-trace --all-targets -- -D warnings
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> trace exporter smoke: solve -> chrome trace JSON"
+trace_out="$(mktemp -t amgt-trace-XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
+python3 -m json.tool "$trace_out" >/dev/null
+grep -q '"traceEvents"' "$trace_out"
+echo "    wrote and validated $trace_out"
 
 echo "OK: all checks passed"

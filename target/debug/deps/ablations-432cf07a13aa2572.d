@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-432cf07a13aa2572.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-432cf07a13aa2572: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

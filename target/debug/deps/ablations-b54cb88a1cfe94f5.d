@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b54cb88a1cfe94f5.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b54cb88a1cfe94f5: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amg_cycle-c2e3c50570b32fef.d: crates/bench/benches/amg_cycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamg_cycle-c2e3c50570b32fef.rmeta: crates/bench/benches/amg_cycle.rs Cargo.toml
+
+crates/bench/benches/amg_cycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/amgt-d24fd702278332be.d: crates/core/src/lib.rs crates/core/src/aggregation.rs crates/core/src/backend.rs crates/core/src/bicgstab.rs crates/core/src/chebyshev.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/gmres.rs crates/core/src/hierarchy.rs crates/core/src/hypre_compat.rs crates/core/src/interp.rs crates/core/src/multi_gpu.rs crates/core/src/pcg.rs crates/core/src/pmis.rs crates/core/src/solve.rs crates/core/src/strength.rs crates/core/src/vec_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt-d24fd702278332be.rmeta: crates/core/src/lib.rs crates/core/src/aggregation.rs crates/core/src/backend.rs crates/core/src/bicgstab.rs crates/core/src/chebyshev.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/gmres.rs crates/core/src/hierarchy.rs crates/core/src/hypre_compat.rs crates/core/src/interp.rs crates/core/src/multi_gpu.rs crates/core/src/pcg.rs crates/core/src/pmis.rs crates/core/src/solve.rs crates/core/src/strength.rs crates/core/src/vec_ops.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregation.rs:
+crates/core/src/backend.rs:
+crates/core/src/bicgstab.rs:
+crates/core/src/chebyshev.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/gmres.rs:
+crates/core/src/hierarchy.rs:
+crates/core/src/hypre_compat.rs:
+crates/core/src/interp.rs:
+crates/core/src/multi_gpu.rs:
+crates/core/src/pcg.rs:
+crates/core/src/pmis.rs:
+crates/core/src/solve.rs:
+crates/core/src/strength.rs:
+crates/core/src/vec_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

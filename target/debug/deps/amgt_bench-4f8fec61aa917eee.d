@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amgt_bench-4f8fec61aa917eee.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_bench-4f8fec61aa917eee.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amgt_bench-71cfa0bee3e2336a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_bench-71cfa0bee3e2336a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

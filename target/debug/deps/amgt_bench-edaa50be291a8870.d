@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_bench-edaa50be291a8870.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/amgt_bench-edaa50be291a8870: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_bench-f231b44724329d24.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_bench-f231b44724329d24.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_bench-f231b44724329d24.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amgt_cli-75673d6a727140c5.d: crates/core/src/bin/amgt-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_cli-75673d6a727140c5.rmeta: crates/core/src/bin/amgt-cli.rs Cargo.toml
+
+crates/core/src/bin/amgt-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_cli-88465213e9c4b4a0.d: crates/core/src/bin/amgt-cli.rs
+
+/root/repo/target/debug/deps/amgt_cli-88465213e9c4b4a0: crates/core/src/bin/amgt-cli.rs
+
+crates/core/src/bin/amgt-cli.rs:

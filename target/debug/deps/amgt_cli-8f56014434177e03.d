@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_cli-8f56014434177e03.d: crates/core/src/bin/amgt-cli.rs
+
+/root/repo/target/debug/deps/amgt_cli-8f56014434177e03: crates/core/src/bin/amgt-cli.rs
+
+crates/core/src/bin/amgt-cli.rs:

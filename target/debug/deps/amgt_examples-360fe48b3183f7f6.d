@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_examples-360fe48b3183f7f6.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libamgt_examples-360fe48b3183f7f6.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libamgt_examples-360fe48b3183f7f6.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amgt_examples-7acfada251161902.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_examples-7acfada251161902.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

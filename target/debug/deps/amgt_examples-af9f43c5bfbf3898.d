@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_examples-af9f43c5bfbf3898.d: examples/lib.rs
+
+/root/repo/target/debug/deps/amgt_examples-af9f43c5bfbf3898: examples/lib.rs
+
+examples/lib.rs:

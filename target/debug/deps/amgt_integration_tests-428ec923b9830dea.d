@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amgt_integration_tests-428ec923b9830dea.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/amgt_integration_tests-428ec923b9830dea: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amgt_integration_tests-4e108a73dc471501.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_integration_tests-4e108a73dc471501.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libamgt_integration_tests-4e108a73dc471501.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amgt_integration_tests-b9c5fc1a15e006cf.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_integration_tests-b9c5fc1a15e006cf.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

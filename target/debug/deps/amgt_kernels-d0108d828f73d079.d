@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/amgt_kernels-d0108d828f73d079.d: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_kernels-d0108d828f73d079.rmeta: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/convert.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/spgemm_mbsr.rs:
+crates/kernels/src/spmm_mbsr.rs:
+crates/kernels/src/spmv_bsr.rs:
+crates/kernels/src/spmv_mbsr.rs:
+crates/kernels/src/vendor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/amgt_kernels-de532cbcd4b14c99.d: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/debug/deps/libamgt_kernels-de532cbcd4b14c99.rlib: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/debug/deps/libamgt_kernels-de532cbcd4b14c99.rmeta: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/convert.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/spgemm_mbsr.rs:
+crates/kernels/src/spmm_mbsr.rs:
+crates/kernels/src/spmv_bsr.rs:
+crates/kernels/src/spmv_mbsr.rs:
+crates/kernels/src/vendor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amgt_kernels-f9bdfa6b54628da4.d: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/debug/deps/amgt_kernels-f9bdfa6b54628da4: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/convert.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/spgemm_mbsr.rs:
+crates/kernels/src/spmm_mbsr.rs:
+crates/kernels/src/spmv_bsr.rs:
+crates/kernels/src/spmv_mbsr.rs:
+crates/kernels/src/vendor.rs:

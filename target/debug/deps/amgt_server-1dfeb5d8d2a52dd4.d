@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/amgt_server-1dfeb5d8d2a52dd4.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/debug/deps/libamgt_server-1dfeb5d8d2a52dd4.rlib: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/debug/deps/libamgt_server-1dfeb5d8d2a52dd4.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/fingerprint.rs:
+crates/server/src/metrics.rs:
+crates/server/src/service.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/amgt_server-a4236dcbf1ce29ab.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_server-a4236dcbf1ce29ab.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/fingerprint.rs:
+crates/server/src/metrics.rs:
+crates/server/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amgt_sim-cc83ad5375b2f646.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/debug/deps/amgt_sim-cc83ad5375b2f646: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:
+crates/sim/src/mma.rs:
+crates/sim/src/precision.rs:
+crates/sim/src/warp.rs:

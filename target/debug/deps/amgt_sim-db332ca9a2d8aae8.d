@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amgt_sim-db332ca9a2d8aae8.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/debug/deps/libamgt_sim-db332ca9a2d8aae8.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/debug/deps/libamgt_sim-db332ca9a2d8aae8.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:
+crates/sim/src/mma.rs:
+crates/sim/src/precision.rs:
+crates/sim/src/warp.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/amgt_sparse-2badf191a01c1820.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_sparse-2badf191a01c1820.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/ldl.rs:
+crates/sparse/src/mbsr.rs:
+crates/sparse/src/mm.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/amgt_sparse-47edb674ea84d55b.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/debug/deps/libamgt_sparse-47edb674ea84d55b.rlib: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/debug/deps/libamgt_sparse-47edb674ea84d55b.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/ldl.rs:
+crates/sparse/src/mbsr.rs:
+crates/sparse/src/mm.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:

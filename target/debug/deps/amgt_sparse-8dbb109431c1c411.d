@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/amgt_sparse-8dbb109431c1c411.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/debug/deps/amgt_sparse-8dbb109431c1c411: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/ldl.rs:
+crates/sparse/src/mbsr.rs:
+crates/sparse/src/mm.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:

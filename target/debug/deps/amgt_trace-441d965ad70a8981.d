@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amgt_trace-441d965ad70a8981.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamgt_trace-441d965ad70a8981.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

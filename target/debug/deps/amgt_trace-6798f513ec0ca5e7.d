@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/amgt_trace-6798f513ec0ca5e7.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/amgt_trace-6798f513ec0ca5e7: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amgt_trace-8976396073d00b06.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libamgt_trace-8976396073d00b06.rlib: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libamgt_trace-8976396073d00b06.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

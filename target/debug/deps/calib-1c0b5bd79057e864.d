@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calib-1c0b5bd79057e864.d: crates/bench/src/bin/calib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalib-1c0b5bd79057e864.rmeta: crates/bench/src/bin/calib.rs Cargo.toml
+
+crates/bench/src/bin/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-1e262993338db6c7.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-1e262993338db6c7: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

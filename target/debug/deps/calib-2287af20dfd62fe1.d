@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-2287af20dfd62fe1.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-2287af20dfd62fe1: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calib-85843e75d57a10da.d: crates/bench/src/bin/calib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalib-85843e75d57a10da.rmeta: crates/bench/src/bin/calib.rs Cargo.toml
+
+crates/bench/src/bin/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conversion-963ddaa97aac8e55.d: crates/bench/benches/conversion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconversion-963ddaa97aac8e55.rmeta: crates/bench/benches/conversion.rs Cargo.toml
+
+crates/bench/benches/conversion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/elasticity_mixed_precision-9479d43c9d3687f5.d: examples/elasticity_mixed_precision.rs
+
+/root/repo/target/debug/deps/elasticity_mixed_precision-9479d43c9d3687f5: examples/elasticity_mixed_precision.rs
+
+examples/elasticity_mixed_precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/elasticity_mixed_precision-e62bbd8265c219a2.d: examples/elasticity_mixed_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelasticity_mixed_precision-e62bbd8265c219a2.rmeta: examples/elasticity_mixed_precision.rs Cargo.toml
+
+examples/elasticity_mixed_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_conversion_cost-2f045873c777b353.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/debug/deps/fig10_conversion_cost-2f045873c777b353: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_conversion_cost-cb934614c2d70837.d: crates/bench/src/bin/fig10_conversion_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_conversion_cost-cb934614c2d70837.rmeta: crates/bench/src/bin/fig10_conversion_cost.rs Cargo.toml
+
+crates/bench/src/bin/fig10_conversion_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_conversion_cost-d0072c2885bc14be.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/debug/deps/fig10_conversion_cost-d0072c2885bc14be: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

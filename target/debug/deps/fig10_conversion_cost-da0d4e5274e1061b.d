@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_conversion_cost-da0d4e5274e1061b.d: crates/bench/src/bin/fig10_conversion_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_conversion_cost-da0d4e5274e1061b.rmeta: crates/bench/src/bin/fig10_conversion_cost.rs Cargo.toml
+
+crates/bench/src/bin/fig10_conversion_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

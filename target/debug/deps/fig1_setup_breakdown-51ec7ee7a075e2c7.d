@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_setup_breakdown-51ec7ee7a075e2c7.d: crates/bench/src/bin/fig1_setup_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_setup_breakdown-51ec7ee7a075e2c7.rmeta: crates/bench/src/bin/fig1_setup_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

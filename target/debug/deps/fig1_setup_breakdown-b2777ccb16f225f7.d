@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_setup_breakdown-b2777ccb16f225f7.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/debug/deps/fig1_setup_breakdown-b2777ccb16f225f7: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_setup_breakdown-d3b4e525bc5c2306.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/debug/deps/fig1_setup_breakdown-d3b4e525bc5c2306: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_solve_breakdown-0ea2e1f6ecd9bb05.d: crates/bench/src/bin/fig2_solve_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_solve_breakdown-0ea2e1f6ecd9bb05.rmeta: crates/bench/src/bin/fig2_solve_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

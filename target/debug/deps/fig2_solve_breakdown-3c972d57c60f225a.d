@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_solve_breakdown-3c972d57c60f225a.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/debug/deps/fig2_solve_breakdown-3c972d57c60f225a: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_solve_breakdown-5d9e12254c376f49.d: crates/bench/src/bin/fig2_solve_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_solve_breakdown-5d9e12254c376f49.rmeta: crates/bench/src/bin/fig2_solve_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

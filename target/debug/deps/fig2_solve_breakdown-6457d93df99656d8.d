@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_solve_breakdown-6457d93df99656d8.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/debug/deps/fig2_solve_breakdown-6457d93df99656d8: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

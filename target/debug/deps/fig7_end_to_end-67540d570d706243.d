@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_end_to_end-67540d570d706243.d: crates/bench/src/bin/fig7_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_end_to_end-67540d570d706243.rmeta: crates/bench/src/bin/fig7_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/fig7_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

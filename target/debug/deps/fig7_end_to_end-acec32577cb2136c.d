@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_end_to_end-acec32577cb2136c.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/debug/deps/fig7_end_to_end-acec32577cb2136c: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_end_to_end-d91e9199a5c76091.d: crates/bench/src/bin/fig7_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_end_to_end-d91e9199a5c76091.rmeta: crates/bench/src/bin/fig7_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/fig7_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

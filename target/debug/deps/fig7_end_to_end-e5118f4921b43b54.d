@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_end_to_end-e5118f4921b43b54.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/debug/deps/fig7_end_to_end-e5118f4921b43b54: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

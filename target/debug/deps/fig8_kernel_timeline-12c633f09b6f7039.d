@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_kernel_timeline-12c633f09b6f7039.d: crates/bench/src/bin/fig8_kernel_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_kernel_timeline-12c633f09b6f7039.rmeta: crates/bench/src/bin/fig8_kernel_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_kernel_timeline-27f3a689e67b4b6c.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/debug/deps/fig8_kernel_timeline-27f3a689e67b4b6c: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_kernel_timeline-ae6fde7c098c4f9c.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/debug/deps/fig8_kernel_timeline-ae6fde7c098c4f9c: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

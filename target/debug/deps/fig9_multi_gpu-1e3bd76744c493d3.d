@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_multi_gpu-1e3bd76744c493d3.d: crates/bench/src/bin/fig9_multi_gpu.rs
+
+/root/repo/target/debug/deps/fig9_multi_gpu-1e3bd76744c493d3: crates/bench/src/bin/fig9_multi_gpu.rs
+
+crates/bench/src/bin/fig9_multi_gpu.rs:

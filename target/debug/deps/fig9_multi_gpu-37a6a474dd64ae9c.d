@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_multi_gpu-37a6a474dd64ae9c.d: crates/bench/src/bin/fig9_multi_gpu.rs
+
+/root/repo/target/debug/deps/fig9_multi_gpu-37a6a474dd64ae9c: crates/bench/src/bin/fig9_multi_gpu.rs
+
+crates/bench/src/bin/fig9_multi_gpu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_multi_gpu-6cf8f63adc72509b.d: crates/bench/src/bin/fig9_multi_gpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_multi_gpu-6cf8f63adc72509b.rmeta: crates/bench/src/bin/fig9_multi_gpu.rs Cargo.toml
+
+crates/bench/src/bin/fig9_multi_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-556f13cb412634ee.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-556f13cb412634ee: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

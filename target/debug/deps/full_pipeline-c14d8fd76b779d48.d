@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-c14d8fd76b779d48.d: tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-c14d8fd76b779d48.rmeta: tests/full_pipeline.rs Cargo.toml
+
+tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_and_formats-5d42eebd305bf0cd.d: tests/io_and_formats.rs
+
+/root/repo/target/debug/deps/io_and_formats-5d42eebd305bf0cd: tests/io_and_formats.rs
+
+tests/io_and_formats.rs:

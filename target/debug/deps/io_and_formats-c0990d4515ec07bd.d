@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_and_formats-c0990d4515ec07bd.d: tests/io_and_formats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_and_formats-c0990d4515ec07bd.rmeta: tests/io_and_formats.rs Cargo.toml
+
+tests/io_and_formats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

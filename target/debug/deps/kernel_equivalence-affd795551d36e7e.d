@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-affd795551d36e7e.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-affd795551d36e7e: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

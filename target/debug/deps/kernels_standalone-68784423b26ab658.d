@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_standalone-68784423b26ab658.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/debug/deps/kernels_standalone-68784423b26ab658: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_standalone-9ba63959c59ea6ca.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/debug/deps/kernels_standalone-9ba63959c59ea6ca: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_standalone-d37476b85894de09.d: crates/bench/src/bin/kernels_standalone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_standalone-d37476b85894de09.rmeta: crates/bench/src/bin/kernels_standalone.rs Cargo.toml
+
+crates/bench/src/bin/kernels_standalone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/krylov_solvers-6288e49b4b5e4597.d: tests/krylov_solvers.rs
+
+/root/repo/target/debug/deps/krylov_solvers-6288e49b4b5e4597: tests/krylov_solvers.rs
+
+tests/krylov_solvers.rs:

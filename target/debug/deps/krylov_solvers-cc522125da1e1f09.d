@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/krylov_solvers-cc522125da1e1f09.d: tests/krylov_solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkrylov_solvers-cc522125da1e1f09.rmeta: tests/krylov_solvers.rs Cargo.toml
+
+tests/krylov_solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mma-6224b9f2b70f5a4a.d: crates/bench/benches/mma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmma-6224b9f2b70f5a4a.rmeta: crates/bench/benches/mma.rs Cargo.toml
+
+crates/bench/benches/mma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

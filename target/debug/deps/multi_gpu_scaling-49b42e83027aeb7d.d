@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_gpu_scaling-49b42e83027aeb7d.d: examples/multi_gpu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_gpu_scaling-49b42e83027aeb7d.rmeta: examples/multi_gpu_scaling.rs Cargo.toml
+
+examples/multi_gpu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_gpu_scaling-bd83a976b100232a.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/debug/deps/multi_gpu_scaling-bd83a976b100232a: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

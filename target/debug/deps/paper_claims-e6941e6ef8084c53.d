@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e6941e6ef8084c53.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-e6941e6ef8084c53: tests/paper_claims.rs
+
+tests/paper_claims.rs:

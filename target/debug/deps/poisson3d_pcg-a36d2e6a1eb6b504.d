@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson3d_pcg-a36d2e6a1eb6b504.d: examples/poisson3d_pcg.rs
+
+/root/repo/target/debug/deps/poisson3d_pcg-a36d2e6a1eb6b504: examples/poisson3d_pcg.rs
+
+examples/poisson3d_pcg.rs:

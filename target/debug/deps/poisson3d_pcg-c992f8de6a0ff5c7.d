@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson3d_pcg-c992f8de6a0ff5c7.d: examples/poisson3d_pcg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson3d_pcg-c992f8de6a0ff5c7.rmeta: examples/poisson3d_pcg.rs Cargo.toml
+
+examples/poisson3d_pcg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

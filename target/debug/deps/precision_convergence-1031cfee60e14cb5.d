@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision_convergence-1031cfee60e14cb5.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/debug/deps/precision_convergence-1031cfee60e14cb5: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/precision_convergence-629eee308223c0f8.d: crates/bench/src/bin/precision_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprecision_convergence-629eee308223c0f8.rmeta: crates/bench/src/bin/precision_convergence.rs Cargo.toml
+
+crates/bench/src/bin/precision_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

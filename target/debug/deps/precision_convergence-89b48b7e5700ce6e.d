@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precision_convergence-89b48b7e5700ce6e.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/debug/deps/precision_convergence-89b48b7e5700ce6e: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

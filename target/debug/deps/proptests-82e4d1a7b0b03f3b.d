@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-82e4d1a7b0b03f3b.d: crates/sparse/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-82e4d1a7b0b03f3b: crates/sparse/tests/proptests.rs
+
+crates/sparse/tests/proptests.rs:

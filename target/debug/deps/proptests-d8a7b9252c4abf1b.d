@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d8a7b9252c4abf1b.d: crates/sparse/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d8a7b9252c4abf1b.rmeta: crates/sparse/tests/proptests.rs Cargo.toml
+
+crates/sparse/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

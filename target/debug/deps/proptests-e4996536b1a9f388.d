@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e4996536b1a9f388.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e4996536b1a9f388: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-7c2639b57dc65f9d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-7c2639b57dc65f9d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-986f39ff11324663.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-986f39ff11324663: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reordering_study-2fd9047f9b559d9e.d: examples/reordering_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreordering_study-2fd9047f9b559d9e.rmeta: examples/reordering_study.rs Cargo.toml
+
+examples/reordering_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

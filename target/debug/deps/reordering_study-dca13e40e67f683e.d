@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reordering_study-dca13e40e67f683e.d: examples/reordering_study.rs
+
+/root/repo/target/debug/deps/reordering_study-dca13e40e67f683e: examples/reordering_study.rs
+
+examples/reordering_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service-8c906b2db6fe5836.d: crates/server/tests/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-8c906b2db6fe5836.rmeta: crates/server/tests/service.rs Cargo.toml
+
+crates/server/tests/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-aef080ecd08d02e9.d: crates/server/tests/service.rs
+
+/root/repo/target/debug/deps/service-aef080ecd08d02e9: crates/server/tests/service.rs
+
+crates/server/tests/service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_throughput-c232c8ddfc2dd1b6.d: crates/bench/src/bin/service_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_throughput-c232c8ddfc2dd1b6.rmeta: crates/bench/src/bin/service_throughput.rs Cargo.toml
+
+crates/bench/src/bin/service_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_throughput-f0d1abbde6d1313a.d: crates/bench/src/bin/service_throughput.rs
+
+/root/repo/target/debug/deps/service_throughput-f0d1abbde6d1313a: crates/bench/src/bin/service_throughput.rs
+
+crates/bench/src/bin/service_throughput.rs:

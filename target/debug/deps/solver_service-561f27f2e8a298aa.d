@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_service-561f27f2e8a298aa.d: examples/solver_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_service-561f27f2e8a298aa.rmeta: examples/solver_service.rs Cargo.toml
+
+examples/solver_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_service-8a9827819a16428f.d: examples/solver_service.rs
+
+/root/repo/target/debug/deps/solver_service-8a9827819a16428f: examples/solver_service.rs
+
+examples/solver_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_service-8f8e80aa6694991a.d: examples/solver_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_service-8f8e80aa6694991a.rmeta: examples/solver_service.rs Cargo.toml
+
+examples/solver_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm-8ad8ebe606863d71.d: crates/bench/benches/spmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm-8ad8ebe606863d71.rmeta: crates/bench/benches/spmm.rs Cargo.toml
+
+crates/bench/benches/spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrices-70e14bcde8cc4533.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/debug/deps/table2_matrices-70e14bcde8cc4533: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrices-e74f356e0a8ddf96.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/debug/deps/table2_matrices-e74f356e0a8ddf96: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

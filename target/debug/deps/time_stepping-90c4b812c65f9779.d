@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_stepping-90c4b812c65f9779.d: examples/time_stepping.rs
+
+/root/repo/target/debug/deps/time_stepping-90c4b812c65f9779: examples/time_stepping.rs
+
+examples/time_stepping.rs:

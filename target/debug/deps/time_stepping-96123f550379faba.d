@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/time_stepping-96123f550379faba.d: examples/time_stepping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtime_stepping-96123f550379faba.rmeta: examples/time_stepping.rs Cargo.toml
+
+examples/time_stepping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

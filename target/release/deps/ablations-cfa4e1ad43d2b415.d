@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-cfa4e1ad43d2b415.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-cfa4e1ad43d2b415: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

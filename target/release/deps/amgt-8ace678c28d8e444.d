@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/amgt-8ace678c28d8e444.d: crates/core/src/lib.rs crates/core/src/aggregation.rs crates/core/src/backend.rs crates/core/src/bicgstab.rs crates/core/src/chebyshev.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/gmres.rs crates/core/src/hierarchy.rs crates/core/src/hypre_compat.rs crates/core/src/interp.rs crates/core/src/multi_gpu.rs crates/core/src/pcg.rs crates/core/src/pmis.rs crates/core/src/solve.rs crates/core/src/strength.rs crates/core/src/vec_ops.rs
+
+/root/repo/target/release/deps/libamgt-8ace678c28d8e444.rlib: crates/core/src/lib.rs crates/core/src/aggregation.rs crates/core/src/backend.rs crates/core/src/bicgstab.rs crates/core/src/chebyshev.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/gmres.rs crates/core/src/hierarchy.rs crates/core/src/hypre_compat.rs crates/core/src/interp.rs crates/core/src/multi_gpu.rs crates/core/src/pcg.rs crates/core/src/pmis.rs crates/core/src/solve.rs crates/core/src/strength.rs crates/core/src/vec_ops.rs
+
+/root/repo/target/release/deps/libamgt-8ace678c28d8e444.rmeta: crates/core/src/lib.rs crates/core/src/aggregation.rs crates/core/src/backend.rs crates/core/src/bicgstab.rs crates/core/src/chebyshev.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/gmres.rs crates/core/src/hierarchy.rs crates/core/src/hypre_compat.rs crates/core/src/interp.rs crates/core/src/multi_gpu.rs crates/core/src/pcg.rs crates/core/src/pmis.rs crates/core/src/solve.rs crates/core/src/strength.rs crates/core/src/vec_ops.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregation.rs:
+crates/core/src/backend.rs:
+crates/core/src/bicgstab.rs:
+crates/core/src/chebyshev.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/gmres.rs:
+crates/core/src/hierarchy.rs:
+crates/core/src/hypre_compat.rs:
+crates/core/src/interp.rs:
+crates/core/src/multi_gpu.rs:
+crates/core/src/pcg.rs:
+crates/core/src/pmis.rs:
+crates/core/src/solve.rs:
+crates/core/src/strength.rs:
+crates/core/src/vec_ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_bench-11e25ca92028b21f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_bench-11e25ca92028b21f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_bench-11e25ca92028b21f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

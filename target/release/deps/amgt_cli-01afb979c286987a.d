@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amgt_cli-01afb979c286987a.d: crates/core/src/bin/amgt-cli.rs
+
+/root/repo/target/release/deps/amgt_cli-01afb979c286987a: crates/core/src/bin/amgt-cli.rs
+
+crates/core/src/bin/amgt-cli.rs:

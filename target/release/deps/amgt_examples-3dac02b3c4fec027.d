@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_examples-3dac02b3c4fec027.d: examples/lib.rs
+
+/root/repo/target/release/deps/libamgt_examples-3dac02b3c4fec027.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libamgt_examples-3dac02b3c4fec027.rmeta: examples/lib.rs
+
+examples/lib.rs:

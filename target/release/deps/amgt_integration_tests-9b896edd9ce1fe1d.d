@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amgt_integration_tests-9b896edd9ce1fe1d.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_integration_tests-9b896edd9ce1fe1d.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libamgt_integration_tests-9b896edd9ce1fe1d.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/amgt_kernels-184dcb5db069ee31.d: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/release/deps/libamgt_kernels-184dcb5db069ee31.rlib: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+/root/repo/target/release/deps/libamgt_kernels-184dcb5db069ee31.rmeta: crates/kernels/src/lib.rs crates/kernels/src/convert.rs crates/kernels/src/ctx.rs crates/kernels/src/spgemm_mbsr.rs crates/kernels/src/spmm_mbsr.rs crates/kernels/src/spmv_bsr.rs crates/kernels/src/spmv_mbsr.rs crates/kernels/src/vendor.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/convert.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/spgemm_mbsr.rs:
+crates/kernels/src/spmm_mbsr.rs:
+crates/kernels/src/spmv_bsr.rs:
+crates/kernels/src/spmv_mbsr.rs:
+crates/kernels/src/vendor.rs:

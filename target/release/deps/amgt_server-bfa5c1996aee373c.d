@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amgt_server-bfa5c1996aee373c.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/release/deps/libamgt_server-bfa5c1996aee373c.rlib: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+/root/repo/target/release/deps/libamgt_server-bfa5c1996aee373c.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/fingerprint.rs crates/server/src/metrics.rs crates/server/src/service.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/fingerprint.rs:
+crates/server/src/metrics.rs:
+crates/server/src/service.rs:

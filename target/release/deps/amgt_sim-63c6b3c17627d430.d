@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/amgt_sim-63c6b3c17627d430.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/release/deps/libamgt_sim-63c6b3c17627d430.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+/root/repo/target/release/deps/libamgt_sim-63c6b3c17627d430.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/device.rs crates/sim/src/mma.rs crates/sim/src/precision.rs crates/sim/src/warp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:
+crates/sim/src/mma.rs:
+crates/sim/src/precision.rs:
+crates/sim/src/warp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/amgt_sparse-7d2c430378c6c415.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/release/deps/libamgt_sparse-7d2c430378c6c415.rlib: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+/root/repo/target/release/deps/libamgt_sparse-7d2c430378c6c415.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/gen.rs crates/sparse/src/ldl.rs crates/sparse/src/mbsr.rs crates/sparse/src/mm.rs crates/sparse/src/reorder.rs crates/sparse/src/stats.rs crates/sparse/src/suite.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/ldl.rs:
+crates/sparse/src/mbsr.rs:
+crates/sparse/src/mm.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/stats.rs:
+crates/sparse/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/amgt_trace-0c9f3cec25416af9.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libamgt_trace-0c9f3cec25416af9.rlib: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libamgt_trace-0c9f3cec25416af9.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

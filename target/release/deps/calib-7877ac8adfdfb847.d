@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calib-7877ac8adfdfb847.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/release/deps/calib-7877ac8adfdfb847: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/elasticity_mixed_precision-34be9dce0f5473fe.d: examples/elasticity_mixed_precision.rs
+
+/root/repo/target/release/deps/elasticity_mixed_precision-34be9dce0f5473fe: examples/elasticity_mixed_precision.rs
+
+examples/elasticity_mixed_precision.rs:

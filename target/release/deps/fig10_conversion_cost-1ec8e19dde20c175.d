@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_conversion_cost-1ec8e19dde20c175.d: crates/bench/src/bin/fig10_conversion_cost.rs
+
+/root/repo/target/release/deps/fig10_conversion_cost-1ec8e19dde20c175: crates/bench/src/bin/fig10_conversion_cost.rs
+
+crates/bench/src/bin/fig10_conversion_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_setup_breakdown-e7d661d95b6ce2a2.d: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+/root/repo/target/release/deps/fig1_setup_breakdown-e7d661d95b6ce2a2: crates/bench/src/bin/fig1_setup_breakdown.rs
+
+crates/bench/src/bin/fig1_setup_breakdown.rs:

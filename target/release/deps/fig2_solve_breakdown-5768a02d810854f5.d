@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_solve_breakdown-5768a02d810854f5.d: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+/root/repo/target/release/deps/fig2_solve_breakdown-5768a02d810854f5: crates/bench/src/bin/fig2_solve_breakdown.rs
+
+crates/bench/src/bin/fig2_solve_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_end_to_end-b448a98529bde475.d: crates/bench/src/bin/fig7_end_to_end.rs
+
+/root/repo/target/release/deps/fig7_end_to_end-b448a98529bde475: crates/bench/src/bin/fig7_end_to_end.rs
+
+crates/bench/src/bin/fig7_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_kernel_timeline-1c5ceaede299fdea.d: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+/root/repo/target/release/deps/fig8_kernel_timeline-1c5ceaede299fdea: crates/bench/src/bin/fig8_kernel_timeline.rs
+
+crates/bench/src/bin/fig8_kernel_timeline.rs:

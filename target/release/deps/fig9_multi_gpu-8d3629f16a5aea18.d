@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_multi_gpu-8d3629f16a5aea18.d: crates/bench/src/bin/fig9_multi_gpu.rs
+
+/root/repo/target/release/deps/fig9_multi_gpu-8d3629f16a5aea18: crates/bench/src/bin/fig9_multi_gpu.rs
+
+crates/bench/src/bin/fig9_multi_gpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_standalone-3d01fb25f3fddd61.d: crates/bench/src/bin/kernels_standalone.rs
+
+/root/repo/target/release/deps/kernels_standalone-3d01fb25f3fddd61: crates/bench/src/bin/kernels_standalone.rs
+
+crates/bench/src/bin/kernels_standalone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_gpu_scaling-2000fd495223cf52.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/release/deps/multi_gpu_scaling-2000fd495223cf52: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson3d_pcg-31b02f6fd2f5efb2.d: examples/poisson3d_pcg.rs
+
+/root/repo/target/release/deps/poisson3d_pcg-31b02f6fd2f5efb2: examples/poisson3d_pcg.rs
+
+examples/poisson3d_pcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/precision_convergence-85e55bbfecc609d5.d: crates/bench/src/bin/precision_convergence.rs
+
+/root/repo/target/release/deps/precision_convergence-85e55bbfecc609d5: crates/bench/src/bin/precision_convergence.rs
+
+crates/bench/src/bin/precision_convergence.rs:

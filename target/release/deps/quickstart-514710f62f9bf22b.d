@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-514710f62f9bf22b.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-514710f62f9bf22b: examples/quickstart.rs
+
+examples/quickstart.rs:

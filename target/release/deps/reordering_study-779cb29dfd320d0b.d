@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reordering_study-779cb29dfd320d0b.d: examples/reordering_study.rs
+
+/root/repo/target/release/deps/reordering_study-779cb29dfd320d0b: examples/reordering_study.rs
+
+examples/reordering_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_throughput-01dc2b7414c00f96.d: crates/bench/src/bin/service_throughput.rs
+
+/root/repo/target/release/deps/service_throughput-01dc2b7414c00f96: crates/bench/src/bin/service_throughput.rs
+
+crates/bench/src/bin/service_throughput.rs:

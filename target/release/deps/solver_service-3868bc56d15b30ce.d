@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_service-3868bc56d15b30ce.d: examples/solver_service.rs
+
+/root/repo/target/release/deps/solver_service-3868bc56d15b30ce: examples/solver_service.rs
+
+examples/solver_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_matrices-25d3e6a408450bf8.d: crates/bench/src/bin/table2_matrices.rs
+
+/root/repo/target/release/deps/table2_matrices-25d3e6a408450bf8: crates/bench/src/bin/table2_matrices.rs
+
+crates/bench/src/bin/table2_matrices.rs:

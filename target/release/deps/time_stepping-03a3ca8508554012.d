@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/time_stepping-03a3ca8508554012.d: examples/time_stepping.rs
+
+/root/repo/target/release/deps/time_stepping-03a3ca8508554012: examples/time_stepping.rs
+
+examples/time_stepping.rs:
