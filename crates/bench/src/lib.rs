@@ -14,10 +14,14 @@
 // has an inherently wordy type; naming it would not make it clearer.
 #![allow(clippy::type_complexity)]
 
+pub mod report;
+
 use amgt::prelude::*;
 use amgt_sparse::gen::rhs_of_ones;
 use amgt_sparse::suite::{self, Scale, SuiteEntry, SuiteError};
 use amgt_trace::Recording;
+
+pub use report::{compare, BenchCase, BenchReport, CompareThresholds, Regression, SCHEMA_VERSION};
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]

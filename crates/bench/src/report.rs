@@ -1,0 +1,388 @@
+//! Schema-versioned perf-baseline reports (`BENCH_report.json`).
+//!
+//! The bench runner (`src/bin/bench.rs`) executes the figure reproductions
+//! and kernel microbenches on the suite generators and serializes one
+//! [`BenchReport`]: per-case simulated seconds, iteration counts,
+//! convergence factors and hierarchy complexities. Because the GPU clock is
+//! simulated, re-running the same cases on the same code produces *bitwise
+//! identical* numbers — so [`compare`] against a stored baseline is an
+//! exact regression gate, with thresholds only to absorb intentional
+//! small drifts when the cost model is recalibrated.
+
+use amgt_trace::Json;
+use serde::Serialize;
+
+/// Bump when the report layout changes shape (not when numbers move).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark case: a (matrix, solver-variant) end-to-end run or a
+/// kernel microbench (where only the timing fields are meaningful).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchCase {
+    /// Unique case id, e.g. `e2e:cant:amgt-mixed` or `kernel:spmv:amgt`.
+    pub name: String,
+    pub variant: String,
+    /// System order (rows).
+    pub n: usize,
+    pub nnz: usize,
+    pub levels: usize,
+    pub iterations: usize,
+    pub setup_seconds: f64,
+    pub solve_seconds: f64,
+    pub total_seconds: f64,
+    pub final_relative_residual: f64,
+    pub convergence_factor: f64,
+    pub operator_complexity: f64,
+    pub grid_complexity: f64,
+    /// `SolveOutcome` label: Converged / MaxIterations / Stagnated /
+    /// Diverged / NonFinite.
+    pub outcome: String,
+}
+
+/// The full report: schema header plus all cases from one runner pass.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    pub gpu: String,
+    pub scale: String,
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> String {
+        Serialize::to_json(self)
+    }
+
+    /// Parse a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    /// Malformed JSON, missing fields or a wrong `schema_version` all
+    /// return a message naming the first problem found.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let root = Json::parse(text)?;
+        let schema_version = field_u64(&root, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {schema_version} != supported {SCHEMA_VERSION}"
+            ));
+        }
+        let gpu = field_str(&root, "gpu")?;
+        let scale = field_str(&root, "scale")?;
+        let cases_json = root
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or("missing `cases` array")?;
+        let mut cases = Vec::with_capacity(cases_json.len());
+        for (i, c) in cases_json.iter().enumerate() {
+            cases.push(parse_case(c).map_err(|e| format!("case {i}: {e}"))?);
+        }
+        Ok(BenchReport {
+            schema_version,
+            gpu,
+            scale,
+            cases,
+        })
+    }
+
+    /// Structural sanity: unique case names, finite non-negative timings,
+    /// at least one case.
+    ///
+    /// # Errors
+    /// Returns a message naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!("schema_version {}", self.schema_version));
+        }
+        if self.cases.is_empty() {
+            return Err("report has no cases".into());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.cases {
+            if !seen.insert(c.name.as_str()) {
+                return Err(format!("duplicate case name `{}`", c.name));
+            }
+            for (what, v) in [
+                ("setup_seconds", c.setup_seconds),
+                ("solve_seconds", c.solve_seconds),
+                ("total_seconds", c.total_seconds),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("case `{}`: {what} = {v}", c.name));
+                }
+            }
+            if c.total_seconds + 1e-15 < c.setup_seconds + c.solve_seconds - 1e-12 {
+                return Err(format!(
+                    "case `{}`: total {} < setup + solve",
+                    c.name, c.total_seconds
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn case(&self, name: &str) -> Option<&BenchCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing numeric `{key}`"))
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    // The serializer writes non-finite floats as `null`; read them back as
+    // NaN so validation (not parsing) is what rejects them.
+    match v.get(key) {
+        Some(j) if j.is_null() => Ok(f64::NAN),
+        Some(j) => j
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` is not a number")),
+        None => Err(format!("missing numeric `{key}`")),
+    }
+}
+
+fn field_usize(v: &Json, key: &str) -> Result<usize, String> {
+    field_u64(v, key).map(|u| u as usize)
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string `{key}`"))
+}
+
+fn parse_case(v: &Json) -> Result<BenchCase, String> {
+    Ok(BenchCase {
+        name: field_str(v, "name")?,
+        variant: field_str(v, "variant")?,
+        n: field_usize(v, "n")?,
+        nnz: field_usize(v, "nnz")?,
+        levels: field_usize(v, "levels")?,
+        iterations: field_usize(v, "iterations")?,
+        setup_seconds: field_f64(v, "setup_seconds")?,
+        solve_seconds: field_f64(v, "solve_seconds")?,
+        total_seconds: field_f64(v, "total_seconds")?,
+        final_relative_residual: field_f64(v, "final_relative_residual")?,
+        convergence_factor: field_f64(v, "convergence_factor")?,
+        operator_complexity: field_f64(v, "operator_complexity")?,
+        grid_complexity: field_f64(v, "grid_complexity")?,
+        outcome: field_str(v, "outcome")?,
+    })
+}
+
+/// Regression tolerances for [`compare`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareThresholds {
+    /// A case regresses when `current.total_seconds` exceeds
+    /// `baseline.total_seconds * time_ratio` (and the absolute slack).
+    pub time_ratio: f64,
+    /// Absolute simulated-seconds slack under which time drift is ignored
+    /// (guards against ratio noise on near-zero microbench timings).
+    pub time_slack_seconds: f64,
+    /// Extra iterations tolerated over the baseline.
+    pub iteration_slack: usize,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        CompareThresholds {
+            time_ratio: 1.10,
+            time_slack_seconds: 1e-9,
+            iteration_slack: 2,
+        }
+    }
+}
+
+/// One detected regression against the baseline.
+#[derive(Clone, Debug, Serialize)]
+pub struct Regression {
+    pub case: String,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.case, self.detail)
+    }
+}
+
+/// Compare a fresh report against a stored baseline. Returns every
+/// regression found (empty = gate passes). Cases present only in the
+/// current report are new coverage, not regressions; cases that *vanished*
+/// relative to the baseline are flagged.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    t: &CompareThresholds,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in &baseline.cases {
+        let Some(cur) = current.case(&base.name) else {
+            out.push(Regression {
+                case: base.name.clone(),
+                detail: "case present in baseline but missing from current report".into(),
+            });
+            continue;
+        };
+        let budget = base.total_seconds * t.time_ratio + t.time_slack_seconds;
+        if cur.total_seconds > budget {
+            out.push(Regression {
+                case: base.name.clone(),
+                detail: format!(
+                    "total {:.3e}s exceeds baseline {:.3e}s x{:.2}",
+                    cur.total_seconds, base.total_seconds, t.time_ratio
+                ),
+            });
+        }
+        if cur.iterations > base.iterations + t.iteration_slack {
+            out.push(Regression {
+                case: base.name.clone(),
+                detail: format!(
+                    "iterations {} exceed baseline {} + {}",
+                    cur.iterations, base.iterations, t.iteration_slack
+                ),
+            });
+        }
+        let was_healthy = matches!(base.outcome.as_str(), "Converged" | "MaxIterations");
+        let now_unhealthy = matches!(cur.outcome.as_str(), "Diverged" | "NonFinite");
+        if was_healthy && now_unhealthy {
+            out.push(Regression {
+                case: base.name.clone(),
+                detail: format!("outcome degraded: {} -> {}", base.outcome, cur.outcome),
+            });
+        }
+        if base.outcome == "Converged" && cur.outcome != "Converged" {
+            out.push(Regression {
+                case: base.name.clone(),
+                detail: format!("no longer converges (was Converged, now {})", cur.outcome),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, total: f64, iters: usize, outcome: &str) -> BenchCase {
+        BenchCase {
+            name: name.into(),
+            variant: "AmgT (FP64)".into(),
+            n: 100,
+            nnz: 460,
+            levels: 3,
+            iterations: iters,
+            setup_seconds: total * 0.4,
+            solve_seconds: total * 0.6,
+            total_seconds: total,
+            final_relative_residual: 1e-9,
+            convergence_factor: 0.2,
+            operator_complexity: 1.5,
+            grid_complexity: 1.3,
+            outcome: outcome.into(),
+        }
+    }
+
+    fn report(cases: Vec<BenchCase>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            gpu: "A100".into(),
+            scale: "small".into(),
+            cases,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_cases() {
+        let r = report(vec![
+            case("e2e:a:amgt-fp64", 1.25e-4, 11, "Converged"),
+            case("kernel:spmv", 3.0e-6, 0, "Converged"),
+        ]);
+        let json = r.to_json();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.gpu, "A100");
+        assert_eq!(back.cases.len(), 2);
+        assert_eq!(back.cases[0].name, "e2e:a:amgt-fp64");
+        assert_eq!(back.cases[0].iterations, 11);
+        assert!((back.cases[0].total_seconds - 1.25e-4).abs() < 1e-19);
+        assert_eq!(back.cases[1].outcome, "Converged");
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn wrong_schema_version_rejected() {
+        let mut r = report(vec![case("x", 1.0, 1, "Converged")]);
+        r.schema_version = 99;
+        let json = r.to_json();
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_duplicates_and_nonfinite() {
+        let r = report(vec![
+            case("same", 1.0, 1, "Converged"),
+            case("same", 2.0, 1, "Converged"),
+        ]);
+        assert!(r.validate().unwrap_err().contains("duplicate"));
+
+        let mut bad = case("t", 1.0, 1, "Converged");
+        bad.total_seconds = f64::NAN;
+        let r = report(vec![bad]);
+        assert!(r.validate().unwrap_err().contains("total_seconds"));
+
+        assert!(report(vec![]).validate().unwrap_err().contains("no cases"));
+    }
+
+    #[test]
+    fn self_compare_has_zero_regressions() {
+        let r = report(vec![
+            case("a", 1.0e-4, 10, "Converged"),
+            case("b", 2.0e-4, 12, "MaxIterations"),
+        ]);
+        assert!(compare(&r, &r, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn inflated_baseline_triggers_time_regression() {
+        // Baseline claims the run used to be much faster -> current run
+        // must be flagged as a time regression.
+        let current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let baseline = report(vec![case("a", 0.5e-4, 10, "Converged")]);
+        let regs = compare(&current, &baseline, &CompareThresholds::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].detail.contains("exceeds baseline"), "{regs:?}");
+    }
+
+    #[test]
+    fn iteration_and_outcome_regressions_detected() {
+        let t = CompareThresholds::default();
+        let baseline = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let more_iters = report(vec![case("a", 1.0e-4, 13, "Converged")]);
+        let regs = compare(&more_iters, &baseline, &t);
+        assert!(regs.iter().any(|r| r.detail.contains("iterations")));
+
+        let diverged = report(vec![case("a", 1.0e-4, 10, "Diverged")]);
+        let regs = compare(&diverged, &baseline, &t);
+        assert!(regs.iter().any(|r| r.detail.contains("outcome degraded")));
+
+        let missing = report(vec![]);
+        // An empty current report fails validation, but compare still flags
+        // the vanished case independently.
+        let regs = compare(&missing, &baseline, &t);
+        assert!(regs.iter().any(|r| r.detail.contains("missing")));
+    }
+
+    #[test]
+    fn small_time_drift_within_ratio_passes() {
+        let baseline = report(vec![case("a", 1.00e-4, 10, "Converged")]);
+        let current = report(vec![case("a", 1.05e-4, 10, "Converged")]);
+        assert!(compare(&current, &baseline, &CompareThresholds::default()).is_empty());
+    }
+}

@@ -6,10 +6,11 @@
 //! the backend kernels.
 
 use crate::config::AmgConfig;
+use crate::diagnostics::{ConvergenceMonitor, HealthThresholds, SolveOutcome};
 use crate::hierarchy::Hierarchy;
 use crate::vec_ops;
 use amgt_kernels::Ctx;
-use amgt_sim::{Device, Phase};
+use amgt_sim::{Device, HealthEvent, Phase};
 
 /// BiCGStab result.
 #[derive(Clone, Debug)]
@@ -20,6 +21,13 @@ pub struct BicgstabReport {
     /// preconditioner or initial guess).
     pub breakdown: bool,
     pub history: Vec<f64>,
+    /// Health classification of the run. BiCGStab residuals legitimately
+    /// spike, so divergence/stagnation events are advisory; only non-finite
+    /// values abort.
+    pub outcome: SolveOutcome,
+    /// Geometric-mean residual reduction per iteration.
+    pub convergence_factor: f64,
+    pub health_events: Vec<HealthEvent>,
 }
 
 /// Solve `A x = b` with AMG-preconditioned BiCGStab.
@@ -67,9 +75,21 @@ pub fn bicgstab_solve(
     let mut p = vec![0.0f64; n];
 
     let mut history = Vec::new();
-    let mut converged = vec_ops::norm2(&ctx, &r) / b_norm < tol;
+    let initial_rel = vec_ops::norm2(&ctx, &r) / b_norm;
+    let mut converged = initial_rel < tol;
     let mut breakdown = false;
     let mut iterations = 0usize;
+    let mut monitor = ConvergenceMonitor::new(HealthThresholds::default(), initial_rel);
+    let mut health_events: Vec<HealthEvent> = Vec::new();
+    let observe =
+        |monitor: &mut ConvergenceMonitor, health_events: &mut Vec<HealthEvent>, rel: f64| {
+            if let Some(ev) = monitor.observe(rel) {
+                if let Some(rec) = device.recorder() {
+                    rec.record_health(ev.clone());
+                }
+                health_events.push(ev);
+            }
+        };
 
     while !converged && !breakdown && iterations < max_iters {
         iterations += 1;
@@ -99,6 +119,7 @@ pub fn bicgstab_solve(
         if s_norm / b_norm < tol {
             vec_ops::axpy(&ctx, alpha, &p_hat, x);
             history.push(s_norm / b_norm);
+            observe(&mut monitor, &mut health_events, s_norm / b_norm);
             converged = true;
             break;
         }
@@ -123,6 +144,10 @@ pub fn bicgstab_solve(
 
         let rel = vec_ops::norm2(&ctx, &r) / b_norm;
         history.push(rel);
+        observe(&mut monitor, &mut health_events, rel);
+        if monitor.nonfinite() {
+            break; // Only non-finite aborts a Krylov wrapper.
+        }
         converged = rel < tol;
     }
 
@@ -131,6 +156,9 @@ pub fn bicgstab_solve(
         converged,
         breakdown,
         history,
+        outcome: monitor.outcome(converged),
+        convergence_factor: monitor.geometric_factor(),
+        health_events,
     }
 }
 
@@ -171,6 +199,8 @@ mod tests {
         let rep = bicgstab_solve(&dev, &cfg, &h, &b, &mut x, 1e-10, 50);
         assert!(rep.converged, "history {:?}", rep.history);
         assert!(!rep.breakdown);
+        assert_eq!(rep.outcome, crate::diagnostics::SolveOutcome::Converged);
+        assert!(rep.convergence_factor < 1.0);
         for &xi in &x {
             assert!((xi - 1.0).abs() < 1e-6);
         }

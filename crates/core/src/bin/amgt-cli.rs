@@ -8,6 +8,7 @@
 //! amgt-cli --suite cant --mixed --gpu h100        # mixed precision on H100
 //! amgt-cli --suite cant --pcg --tol 1e-8          # AMG-preconditioned CG
 //! amgt-cli --suite cant --trace run.json           # Chrome trace export
+//! amgt-cli --suite cant --diagnose                 # hierarchy quality + health
 //! ```
 //!
 //! Prints the hierarchy, the convergence history and the simulated-GPU
@@ -31,6 +32,7 @@ struct Options {
     iters: usize,
     verbose_history: bool,
     trace: Option<PathBuf>,
+    diagnose: bool,
 }
 
 enum MatrixSource {
@@ -44,7 +46,7 @@ fn usage() -> ! {
         "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
          \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
          \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\
-         \x20      [--trace FILE.json]\n\n\
+         \x20      [--trace FILE.json] [--diagnose]\n\n\
          suite names: {}",
         suite::entries()
             .iter()
@@ -66,6 +68,7 @@ fn parse_args() -> Options {
     let mut iters = 50;
     let mut verbose_history = false;
     let mut trace = None;
+    let mut diagnose = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,6 +103,7 @@ fn parse_args() -> Options {
             "--iters" => iters = next().parse().unwrap_or_else(|_| usage()),
             "--history" => verbose_history = true,
             "--trace" => trace = Some(PathBuf::from(next())),
+            "--diagnose" => diagnose = true,
             _ => usage(),
         }
     }
@@ -114,6 +118,18 @@ fn parse_args() -> Options {
         iters,
         verbose_history,
         trace,
+        diagnose,
+    }
+}
+
+fn print_health(events: &[amgt_sim::HealthEvent]) {
+    if events.is_empty() {
+        println!("health: no events");
+    } else {
+        println!("health: {} event(s)", events.len());
+        for ev in events {
+            println!("  {}", ev.summary());
+        }
     }
 }
 
@@ -177,12 +193,23 @@ fn main() {
             h.n_levels(),
             h.stats.grid_sizes
         );
+        if opt.diagnose {
+            print!("{}", h.diagnostics().render());
+        }
         let mut x = vec![0.0; b.len()];
         let rep = pcg_solve(&device, &cfg, &h, &b, &mut x, opt.tol, opt.iters);
         println!(
             "PCG: {} iterations, converged = {}",
             rep.iterations, rep.converged
         );
+        if opt.diagnose {
+            println!(
+                "outcome: {} (convergence factor {:.4})",
+                rep.outcome.label(),
+                rep.convergence_factor
+            );
+            print_health(&rep.health_events);
+        }
         if opt.verbose_history {
             for (i, r) in rep.history.iter().enumerate() {
                 println!("  iter {:>3}: relres {r:.3e}", i + 1);
@@ -195,12 +222,23 @@ fn main() {
             h.n_levels(),
             rep.setup_stats.grid_sizes
         );
+        if opt.diagnose {
+            print!("{}", h.diagnostics().render());
+        }
         println!(
             "solve: {} cycles, relres {:.3e}, converged = {}",
             rep.solve_report.iterations,
             rep.solve_report.final_relative_residual(),
             rep.solve_report.converged
         );
+        if opt.diagnose {
+            println!(
+                "outcome: {} (convergence factor {:.4})",
+                rep.solve_report.outcome.label(),
+                rep.solve_report.convergence_factor
+            );
+            print_health(&rep.solve_report.health_events);
+        }
         if opt.verbose_history {
             for (i, r) in rep.solve_report.history.iter().enumerate() {
                 println!("  cycle {:>3}: relres {r:.3e}", i + 1);

@@ -6,10 +6,11 @@
 //! right preconditioner. Works for nonsymmetric systems where CG does not.
 
 use crate::config::AmgConfig;
+use crate::diagnostics::{ConvergenceMonitor, HealthThresholds, SolveOutcome};
 use crate::hierarchy::Hierarchy;
 use crate::vec_ops;
 use amgt_kernels::Ctx;
-use amgt_sim::{Device, Phase};
+use amgt_sim::{Device, HealthEvent, Phase};
 
 /// GMRES result.
 #[derive(Clone, Debug)]
@@ -20,6 +21,12 @@ pub struct GmresReport {
     pub converged: bool,
     /// Relative residual at each inner iteration.
     pub history: Vec<f64>,
+    /// Health classification of the run (advisory except for non-finite,
+    /// which aborts).
+    pub outcome: SolveOutcome,
+    /// Geometric-mean residual reduction per inner iteration.
+    pub convergence_factor: f64,
+    pub health_events: Vec<HealthEvent>,
 }
 
 /// Solve `A x = b` with restarted FGMRES(m), right-preconditioned by one
@@ -65,6 +72,8 @@ pub fn fgmres_solve(
     let mut total_iters = 0usize;
     let mut restarts = 0usize;
     let mut converged = false;
+    let mut monitor: Option<ConvergenceMonitor> = None;
+    let mut health_events: Vec<HealthEvent> = Vec::new();
 
     'outer: for _ in 0..max_outer {
         restarts += 1;
@@ -75,6 +84,9 @@ pub fn fgmres_solve(
             converged = true;
             break;
         }
+        monitor.get_or_insert_with(|| {
+            ConvergenceMonitor::new(HealthThresholds::default(), beta / b_norm)
+        });
 
         // Arnoldi with modified Gram-Schmidt; Z holds the preconditioned
         // vectors (flexible variant).
@@ -130,10 +142,19 @@ pub fn fgmres_solve(
 
             let rel = g[j + 1].abs() / b_norm;
             history.push(rel);
+            if let Some(m) = monitor.as_mut() {
+                if let Some(ev) = m.observe(rel) {
+                    if let Some(rec) = device.recorder() {
+                        rec.record_health(ev.clone());
+                    }
+                    health_events.push(ev);
+                }
+            }
             if rel < tol {
                 converged = true;
             }
-            if converged || wnorm == 0.0 {
+            let abort = monitor.as_ref().is_some_and(|m| m.nonfinite());
+            if converged || wnorm == 0.0 || abort {
                 break;
             }
             v.push(w.iter().map(|&e| e / wnorm).collect());
@@ -151,16 +172,23 @@ pub fn fgmres_solve(
         for (yi, zi) in y.iter().zip(&z) {
             vec_ops::axpy(&ctx, *yi, zi, x);
         }
-        if converged {
+        if converged || monitor.as_ref().is_some_and(|m| m.nonfinite()) {
             break 'outer;
         }
     }
 
+    let (outcome, convergence_factor) = match &monitor {
+        Some(m) => (m.outcome(converged), m.geometric_factor()),
+        None => (SolveOutcome::Converged, 0.0),
+    };
     GmresReport {
         iterations: total_iters,
         restarts,
         converged,
         history,
+        outcome,
+        convergence_factor,
+        health_events,
     }
 }
 
@@ -237,6 +265,7 @@ mod tests {
         assert!(!rep.converged);
         assert!(rep.iterations <= 6);
         assert_eq!(rep.restarts, 2);
+        assert!(!rep.outcome.is_numerical_failure(), "{:?}", rep.outcome);
     }
 
     #[test]

@@ -78,6 +78,12 @@ impl Hierarchy {
     pub fn finest(&self) -> &Level {
         &self.levels[0]
     }
+
+    /// Per-level quality statistics plus operator/grid complexity; the same
+    /// structure `setup` attaches to an installed trace recorder.
+    pub fn diagnostics(&self) -> amgt_sim::HierarchyDiagnostics {
+        crate::diagnostics::hierarchy_diagnostics(self)
+    }
 }
 
 /// Precision for level `k` under the policy on this device.
@@ -286,12 +292,16 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         crate::config::CoarseSolver::Jacobi(_) => {}
     }
 
-    Hierarchy {
+    let h = Hierarchy {
         levels,
         coarse_lu,
         coarse_ldl,
         stats,
+    };
+    if let Some(rec) = device.recorder() {
+        rec.set_hierarchy(h.diagnostics());
     }
+    h
 }
 
 /// Value-only re-setup for a *sequence* of systems with a fixed sparsity
@@ -357,6 +367,10 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
             );
         }
         crate::config::CoarseSolver::Jacobi(_) => {}
+    }
+
+    if let Some(rec) = device.recorder() {
+        rec.set_hierarchy(h.diagnostics());
     }
 }
 

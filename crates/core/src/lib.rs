@@ -35,6 +35,7 @@ pub mod backend;
 pub mod bicgstab;
 pub mod chebyshev;
 pub mod config;
+pub mod diagnostics;
 pub mod driver;
 pub mod gmres;
 pub mod hierarchy;
@@ -52,6 +53,7 @@ pub use config::{
     AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy,
     Smoother,
 };
+pub use diagnostics::{hierarchy_diagnostics, ConvergenceMonitor, HealthThresholds, SolveOutcome};
 pub use driver::{geomean, run_amg, run_amg_traced, PhaseBreakdown, RunReport};
 pub use hierarchy::{resetup, setup, Hierarchy, Level, SetupStats};
 pub use solve::{expected_spmv_calls, solve, solve_batched, BatchedSolveReport, SolveReport};
@@ -60,6 +62,7 @@ pub use solve::{expected_spmv_calls, solve, solve_batched, BatchedSolveReport, S
 pub mod prelude {
     pub use crate::bicgstab::bicgstab_solve;
     pub use crate::config::{AmgConfig, BackendKind, CoarseSolver, Interpolation, PrecisionPolicy};
+    pub use crate::diagnostics::SolveOutcome;
     pub use crate::driver::{geomean, run_amg, RunReport};
     pub use crate::gmres::fgmres_solve;
     pub use crate::hierarchy::{setup, Hierarchy};

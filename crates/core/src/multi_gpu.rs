@@ -390,6 +390,11 @@ pub fn run_amg_multi_gpu(
 
     let mut history = Vec::new();
     let mut final_norm = initial;
+    let mut monitor = crate::diagnostics::ConvergenceMonitor::new(
+        crate::diagnostics::HealthThresholds::default(),
+        initial / b_norm,
+    );
+    let mut health_events = Vec::new();
     for _ in 0..cfg.max_iterations {
         vcycle_dist(
             cluster,
@@ -417,6 +422,12 @@ pub fn run_amg_multi_gpu(
             .sum::<f64>()
             .sqrt();
         history.push(final_norm / b_norm);
+        if let Some(ev) = monitor.observe(final_norm / b_norm) {
+            health_events.push(ev);
+        }
+        if monitor.should_abort() {
+            break;
+        }
         if cfg.tolerance > 0.0 && final_norm / b_norm < cfg.tolerance {
             break;
         }
@@ -436,6 +447,9 @@ pub fn run_amg_multi_gpu(
             final_residual_norm: final_norm,
             history,
             converged,
+            outcome: monitor.outcome(converged),
+            convergence_factor: monitor.geometric_factor(),
+            health_events,
         },
         levels: h.n_levels(),
     };

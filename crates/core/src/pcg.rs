@@ -6,10 +6,11 @@
 //! hierarchy as the preconditioner `M^{-1}`.
 
 use crate::config::AmgConfig;
+use crate::diagnostics::{ConvergenceMonitor, HealthThresholds, SolveOutcome};
 use crate::hierarchy::Hierarchy;
 use crate::vec_ops;
 use amgt_kernels::Ctx;
-use amgt_sim::{Device, Phase};
+use amgt_sim::{Device, HealthEvent, Phase};
 
 /// PCG result.
 #[derive(Clone, Debug)]
@@ -18,6 +19,12 @@ pub struct PcgReport {
     pub converged: bool,
     /// Relative residual (Euclidean) per iteration.
     pub history: Vec<f64>,
+    /// Health classification of the run (Krylov wrappers abort only on
+    /// non-finite values; stagnation/divergence events are advisory).
+    pub outcome: SolveOutcome,
+    /// Geometric-mean residual reduction per iteration.
+    pub convergence_factor: f64,
+    pub health_events: Vec<HealthEvent>,
 }
 
 /// Solve `A x = b` by AMG-preconditioned CG.
@@ -61,13 +68,19 @@ pub fn pcg_solve(
 
     let ax = h.finest().a.spmv(&ctx, x);
     let mut r = vec_ops::sub(&ctx, b, &ax);
-    if vec_ops::norm2(&ctx, &r) / b_norm < tol {
+    let initial_rel = vec_ops::norm2(&ctx, &r) / b_norm;
+    if initial_rel < tol {
         return PcgReport {
             iterations: 0,
             converged: true,
             history: vec![],
+            outcome: SolveOutcome::Converged,
+            convergence_factor: 0.0,
+            health_events: vec![],
         };
     }
+    let mut monitor = ConvergenceMonitor::new(HealthThresholds::default(), initial_rel);
+    let mut health_events: Vec<HealthEvent> = Vec::new();
     let mut z = precond(&r);
     let mut p = z.clone();
     let mut rz = vec_ops::dot(&ctx, &r, &z);
@@ -87,6 +100,15 @@ pub fn pcg_solve(
         vec_ops::axpy(&ctx, -alpha, &ap, &mut r);
         let rel = vec_ops::norm2(&ctx, &r) / b_norm;
         history.push(rel);
+        if let Some(ev) = monitor.observe(rel) {
+            if let Some(rec) = device.recorder() {
+                rec.record_health(ev.clone());
+            }
+            health_events.push(ev);
+        }
+        if monitor.nonfinite() {
+            break; // Only non-finite aborts a Krylov wrapper.
+        }
         if rel < tol {
             converged = true;
             break;
@@ -102,6 +124,9 @@ pub fn pcg_solve(
         iterations,
         converged,
         history,
+        outcome: monitor.outcome(converged),
+        convergence_factor: monitor.geometric_factor(),
+        health_events,
     }
 }
 
@@ -124,6 +149,9 @@ mod tests {
         let rep = pcg_solve(&dev, &cfg, &h, &b, &mut x, 1e-10, 40);
         assert!(rep.converged, "history {:?}", rep.history);
         assert!(rep.iterations <= 25, "iterations {}", rep.iterations);
+        assert_eq!(rep.outcome, crate::diagnostics::SolveOutcome::Converged);
+        assert!(rep.convergence_factor > 0.0 && rep.convergence_factor < 1.0);
+        assert!(rep.health_events.is_empty());
         for &xi in &x {
             assert!((xi - 1.0).abs() < 1e-6);
         }

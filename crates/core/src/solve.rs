@@ -9,11 +9,12 @@
 //! with iterative ones (Section V.A).
 
 use crate::config::{AmgConfig, CoarseSolver, CycleType, Smoother};
+use crate::diagnostics::{ConvergenceMonitor, HealthThresholds, SolveOutcome};
 use crate::hierarchy::{Hierarchy, Level};
 use crate::vec_ops;
 use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
-use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, SpanKind};
+use amgt_sim::{Algo, Device, HealthEvent, KernelCost, KernelKind, Phase, SpanKind};
 
 /// Result of a solve.
 #[derive(Clone, Debug)]
@@ -24,11 +25,46 @@ pub struct SolveReport {
     /// Relative residual after each V-cycle.
     pub history: Vec<f64>,
     pub converged: bool,
+    /// Terminal classification, finer-grained than `converged`.
+    pub outcome: SolveOutcome,
+    /// Geometric-mean convergence factor over the executed cycles.
+    pub convergence_factor: f64,
+    /// Health incidents detected during the solve, in emission order.
+    pub health_events: Vec<HealthEvent>,
 }
 
 impl SolveReport {
     pub fn final_relative_residual(&self) -> f64 {
         self.history.last().copied().unwrap_or(1.0)
+    }
+}
+
+/// Where in a cycle a non-finite value was first seen (top-down, so the
+/// finest poisoned level wins — the level that *produced* the NaN, not the
+/// levels it propagated to).
+#[derive(Clone, Copy, Debug)]
+struct NonFiniteSite {
+    level: u32,
+    precision: &'static str,
+    stage: &'static str,
+}
+
+/// Record the first non-finite sighting. Pure CPU-side inspection of data
+/// the cycle already touched — deliberately charges no simulated kernels,
+/// so kernel counts still match the paper's Section V.A formulas.
+fn check_finite(
+    poison: &mut Option<NonFiniteSite>,
+    values: &[f64],
+    lvl: &Level,
+    k: usize,
+    stage: &'static str,
+) {
+    if poison.is_none() && values.iter().any(|v| !v.is_finite()) {
+        *poison = Some(NonFiniteSite {
+            level: k as u32,
+            precision: lvl.precision.label(),
+            stage,
+        });
     }
 }
 
@@ -139,12 +175,21 @@ fn coarse_solve(ctx: &Ctx, cfg: &AmgConfig, h: &Hierarchy, b: &[f64], x: &mut [f
 
 /// One multigrid cycle starting at level `k` (Algorithm 2 for V; W and F
 /// visit coarse levels more than once).
-fn vcycle(device: &Device, cfg: &AmgConfig, h: &Hierarchy, k: usize, b: &[f64], x: &mut [f64]) {
+fn vcycle(
+    device: &Device,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    k: usize,
+    b: &[f64],
+    x: &mut [f64],
+    poison: &mut Option<NonFiniteSite>,
+) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
     if k + 1 == h.n_levels() {
         coarse_solve(&ctx, cfg, h, b, x);
+        check_finite(poison, x, lvl, k, "coarse solve");
         return;
     }
 
@@ -152,6 +197,10 @@ fn vcycle(device: &Device, cfg: &AmgConfig, h: &Hierarchy, k: usize, b: &[f64], 
     for _ in 0..cfg.num_sweeps {
         smooth(&ctx, cfg, lvl, b, x);
     }
+    // Non-finite check *before* recursing: a NaN born here would otherwise
+    // propagate down the restricted residual and be misattributed to the
+    // coarsest level on unwind.
+    check_finite(poison, x, lvl, k, "pre-smoothing");
 
     // Residual and restriction.
     let ax = lvl.a.spmv(&ctx, x);
@@ -170,9 +219,9 @@ fn vcycle(device: &Device, cfg: &AmgConfig, h: &Hierarchy, k: usize, b: &[f64], 
             // F-cycle tail: finish with a plain V sweep below this level.
             let mut vcfg = cfg.clone();
             vcfg.cycle = CycleType::V;
-            vcycle(device, &vcfg, h, k + 1, &b_next, &mut x_next);
+            vcycle(device, &vcfg, h, k + 1, &b_next, &mut x_next, poison);
         } else {
-            vcycle(device, cfg, h, k + 1, &b_next, &mut x_next);
+            vcycle(device, cfg, h, k + 1, &b_next, &mut x_next, poison);
         }
     }
 
@@ -185,6 +234,7 @@ fn vcycle(device: &Device, cfg: &AmgConfig, h: &Hierarchy, k: usize, b: &[f64], 
     for _ in 0..cfg.num_sweeps {
         smooth(&ctx, cfg, lvl, b, x);
     }
+    check_finite(poison, x, lvl, k, "post-smoothing");
 }
 
 /// Run the solve phase: `max_iterations` V-cycles (with optional early exit
@@ -220,19 +270,40 @@ pub fn solve(
         vec_ops::norm2(&ctx0, &r0)
     };
 
+    let mut monitor = ConvergenceMonitor::new(HealthThresholds::default(), initial / b_norm);
+    let mut health_events: Vec<HealthEvent> = Vec::new();
     let mut history = Vec::with_capacity(cfg.max_iterations);
     let mut final_norm = initial;
     let mut converged = false;
     let mut iterations = 0usize;
     for it in 0..cfg.max_iterations {
         let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
-        vcycle(device, cfg, h, 0, b, x);
+        let mut poison = None;
+        vcycle(device, cfg, h, 0, b, x, &mut poison);
         iterations += 1;
         // Residual after the cycle (one SpMV per iteration).
         let ax = h.finest().a.spmv(&ctx0, x);
         let r = vec_ops::sub(&ctx0, b, &ax);
         final_norm = vec_ops::norm2(&ctx0, &r);
         history.push(final_norm / b_norm);
+        let event = if let Some(site) = poison {
+            monitor.attribute_non_finite(
+                Some(site.level),
+                Some(site.precision),
+                format!("non-finite values after {}", site.stage),
+            )
+        } else {
+            monitor.observe(final_norm / b_norm)
+        };
+        if let Some(ev) = event {
+            if let Some(rec) = device.recorder() {
+                rec.record_health(ev.clone());
+            }
+            health_events.push(ev);
+        }
+        if monitor.should_abort() {
+            break;
+        }
         if cfg.tolerance > 0.0 && final_norm / b_norm < cfg.tolerance {
             converged = true;
             break;
@@ -245,6 +316,9 @@ pub fn solve(
         final_residual_norm: final_norm,
         history,
         converged,
+        outcome: monitor.outcome(converged),
+        convergence_factor: monitor.geometric_factor(),
+        health_events,
     }
 }
 
@@ -266,11 +340,26 @@ pub struct BatchedSolveReport {
     /// in — the batched mirror of [`SolveReport::history`]. Column `j`'s
     /// history has `column_iterations[j]` entries.
     pub column_histories: Vec<Vec<f64>>,
+    /// Per-column terminal classification — distinguishes "hit the
+    /// iteration budget" from "diverged / went non-finite".
+    pub column_outcomes: Vec<SolveOutcome>,
+    /// Per-column geometric-mean convergence factor.
+    pub column_convergence_factors: Vec<f64>,
+    /// Health incidents across all columns, each stamped with its column.
+    pub health_events: Vec<HealthEvent>,
 }
 
 impl BatchedSolveReport {
     pub fn all_converged(&self) -> bool {
         self.converged.iter().all(|&c| c)
+    }
+
+    /// True when no column diverged or went non-finite (columns may still
+    /// have merely run out of iterations).
+    pub fn all_numerically_healthy(&self) -> bool {
+        self.column_outcomes
+            .iter()
+            .all(|o| !o.is_numerical_failure())
     }
 }
 
@@ -336,18 +425,21 @@ fn vcycle_mv(
     k: usize,
     b: &MultiVector,
     x: &mut MultiVector,
+    poison: &mut Option<NonFiniteSite>,
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
     if k + 1 == h.n_levels() {
         coarse_solve_mv(&ctx, cfg, h, b, x);
+        check_finite(poison, &x.data, lvl, k, "coarse solve");
         return;
     }
 
     for _ in 0..cfg.num_sweeps {
         smooth_mv(&ctx, cfg, lvl, b, x);
     }
+    check_finite(poison, &x.data, lvl, k, "pre-smoothing");
 
     let ax = lvl.a.spmm(&ctx, x);
     let r = vec_ops::sub_mv(&ctx, b, &ax);
@@ -363,9 +455,9 @@ fn vcycle_mv(
         if cfg.cycle == CycleType::F && visit == 1 {
             let mut vcfg = cfg.clone();
             vcfg.cycle = CycleType::V;
-            vcycle_mv(device, &vcfg, h, k + 1, &b_next, &mut x_next);
+            vcycle_mv(device, &vcfg, h, k + 1, &b_next, &mut x_next, poison);
         } else {
-            vcycle_mv(device, cfg, h, k + 1, &b_next, &mut x_next);
+            vcycle_mv(device, cfg, h, k + 1, &b_next, &mut x_next, poison);
         }
     }
 
@@ -376,6 +468,7 @@ fn vcycle_mv(
     for _ in 0..cfg.num_sweeps {
         smooth_mv(&ctx, cfg, lvl, b, x);
     }
+    check_finite(poison, &x.data, lvl, k, "post-smoothing");
 }
 
 /// Copy the selected columns of `src` into a compact batch.
@@ -436,6 +529,10 @@ pub fn solve_batched(
         });
     }
 
+    let mut monitors: Vec<ConvergenceMonitor> = (0..ncols)
+        .map(|j| ConvergenceMonitor::for_column(HealthThresholds::default(), final_rel[j], j))
+        .collect();
+    let mut health_events: Vec<HealthEvent> = Vec::new();
     let mut column_histories = vec![Vec::new(); ncols];
     let mut iterations = 0usize;
     for it in 0..cfg.max_iterations {
@@ -446,7 +543,8 @@ pub fn solve_batched(
         // Compact the still-active columns into a dense batch.
         let bc = gather_columns(b, &active);
         let mut xc = gather_columns(x, &active);
-        vcycle_mv(device, cfg, h, 0, &bc, &mut xc);
+        let mut poison = None;
+        vcycle_mv(device, cfg, h, 0, &bc, &mut xc, &mut poison);
         iterations += 1;
 
         // Batched residual for the active columns only.
@@ -460,6 +558,27 @@ pub fn solve_batched(
             final_rel[j] = norms[c] / b_norms[j];
             column_iterations[j] = iterations;
             column_histories[j].push(final_rel[j]);
+            // Per-column health: a poisoned cycle fails the columns whose
+            // data actually went non-finite, with the level attribution
+            // from the cycle's own checks.
+            let column_bad = !final_rel[j].is_finite() || xc.col(c).iter().any(|v| !v.is_finite());
+            let event = match (column_bad, poison) {
+                (true, Some(site)) => monitors[j].attribute_non_finite(
+                    Some(site.level),
+                    Some(site.precision),
+                    format!("non-finite values after {}", site.stage),
+                ),
+                _ => monitors[j].observe(final_rel[j]),
+            };
+            if let Some(ev) = event {
+                if let Some(rec) = device.recorder() {
+                    rec.record_health(ev.clone());
+                }
+                health_events.push(ev);
+            }
+            if monitors[j].should_abort() {
+                continue; // Drop the failed column from the active set.
+            }
             if cfg.tolerance > 0.0 && final_rel[j] < cfg.tolerance {
                 converged[j] = true;
             } else {
@@ -469,6 +588,13 @@ pub fn solve_batched(
         active = still_active;
     }
 
+    let column_outcomes: Vec<SolveOutcome> = monitors
+        .iter()
+        .zip(&converged)
+        .map(|(m, &c)| m.outcome(c))
+        .collect();
+    let column_convergence_factors: Vec<f64> =
+        monitors.iter().map(|m| m.geometric_factor()).collect();
     BatchedSolveReport {
         ncols,
         iterations,
@@ -476,6 +602,9 @@ pub fn solve_batched(
         column_iterations,
         final_relative_residuals: final_rel,
         column_histories,
+        column_outcomes,
+        column_convergence_factors,
+        health_events,
     }
 }
 
@@ -775,6 +904,199 @@ mod tests {
         }
         // The easy column stopped accruing history once it converged.
         assert!(rep.column_histories[0].len() <= rep.column_histories[1].len());
+    }
+
+    #[test]
+    fn healthy_solve_reports_converged_outcome_and_factor() {
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.tolerance = 1e-8;
+        cfg.max_iterations = 50;
+        let a = laplacian_2d(20, 20, Stencil2d::Five);
+        let (_, rep, _) = run(&cfg, a);
+        assert!(rep.converged);
+        assert_eq!(rep.outcome, crate::diagnostics::SolveOutcome::Converged);
+        assert!(rep.health_events.is_empty(), "{:?}", rep.health_events);
+        assert!(
+            rep.convergence_factor > 0.0 && rep.convergence_factor < 1.0,
+            "factor {}",
+            rep.convergence_factor
+        );
+    }
+
+    #[test]
+    fn nan_in_level3_fp16_operator_reports_nonfinite_with_level() {
+        use amgt_sim::{HealthEventKind, Precision};
+        // Mixed precision on A100: level 0 FP64, 1 FP32, >= 2 FP16. Build a
+        // deep enough hierarchy, then poison the level-3 operator the way a
+        // bad FP16 quantization would: in the mBSR tiles the AmgT SpMV
+        // actually reads (and the CSR image, to keep both in sync).
+        let a = laplacian_2d(96, 96, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_mixed();
+        // Coarse Galerkin operators are strongly diagonally dominant; the
+        // paper's max_row_sum = 0.8 filter stops coarsening at 3 levels.
+        // Disable it so the hierarchy is deep enough to have a level 3.
+        cfg.max_row_sum = 1.0;
+        cfg.max_iterations = 30;
+        cfg.tolerance = 1e-10;
+        let dev = Device::new(GpuSpec::a100());
+        let b = rhs_of_ones(&a);
+        let mut h = setup(&dev, &cfg, a);
+        assert!(h.n_levels() >= 4, "need a level 3, got {}", h.n_levels());
+        let lvl = &mut h.levels[3];
+        assert_eq!(lvl.precision, Precision::Fp16);
+        lvl.a.csr.vals[0] = f64::NAN;
+        if let Some(m) = lvl.a.mbsr.as_mut() {
+            m.blc_val[0] = f64::NAN;
+        }
+
+        let mut x = vec![0.0; b.len()];
+        let rep = solve(&dev, &cfg, &h, &b, &mut x);
+        // Aborts on the first poisoned cycle instead of looping to 30.
+        assert_eq!(rep.iterations, 1, "history {:?}", rep.history);
+        assert_eq!(rep.outcome, crate::diagnostics::SolveOutcome::NonFinite);
+        assert!(!rep.converged);
+        let ev = rep
+            .health_events
+            .iter()
+            .find(|e| e.kind == HealthEventKind::NonFinite)
+            .expect("NonFinite event emitted");
+        assert_eq!(ev.level, Some(3), "first poisoned level wins: {ev:?}");
+        assert_eq!(ev.precision, Some("FP16"));
+        assert_eq!(ev.iteration, 1);
+    }
+
+    /// 2D Laplacian shifted to negative definiteness: eigenvalues of the
+    /// stencil lie in (0, 8), so `A = L - 9 I` has all-negative spectrum
+    /// while the L1 diagonal stays positive (|-5| + 4 = 9 interior). The
+    /// L1-Jacobi iteration matrix `I - D^{-1} A` then has eigenvalues
+    /// `1 - lambda/9 > 1`: guaranteed divergence.
+    fn negative_definite_matrix(nx: usize) -> amgt_sparse::Csr {
+        let base = laplacian_2d(nx, nx, Stencil2d::Five);
+        let mut shift = amgt_sparse::Csr::identity(base.nrows());
+        for v in shift.vals.iter_mut() {
+            *v = -9.0;
+        }
+        base.add(&shift)
+    }
+
+    #[test]
+    fn negative_definite_matrix_diverges_under_l1_jacobi() {
+        use amgt_sim::HealthEventKind;
+        let a = negative_definite_matrix(12);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_levels = 1; // Pure smoother iteration, no coarse correction.
+        cfg.coarse_solver = CoarseSolver::Jacobi(1);
+        cfg.max_iterations = 50;
+        cfg.tolerance = 1e-10;
+        let dev = Device::new(GpuSpec::a100());
+        let b = rhs_of_ones(&a);
+        let h = setup(&dev, &cfg, a);
+        let mut x = vec![0.0; b.len()];
+        let rep = solve(&dev, &cfg, &h, &b, &mut x);
+        assert!(!rep.converged);
+        assert_eq!(rep.outcome, crate::diagnostics::SolveOutcome::Diverged);
+        assert!(
+            rep.iterations < 50,
+            "divergence aborts early, ran {}",
+            rep.iterations
+        );
+        let ev = rep
+            .health_events
+            .iter()
+            .find(|e| e.kind == HealthEventKind::Divergence)
+            .expect("Divergence event emitted");
+        assert!(ev.factor > 1.0, "growing residual factor: {}", ev.factor);
+        assert!(rep.convergence_factor > 1.0);
+        // The residual really did blow up.
+        assert!(rep.final_relative_residual() > 1e3);
+    }
+
+    #[test]
+    fn solve_emits_health_events_to_installed_recorder() {
+        use amgt_sim::{HealthEventKind, Recorder};
+        use std::sync::Arc;
+        let a = negative_definite_matrix(10);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_levels = 1;
+        cfg.coarse_solver = CoarseSolver::Jacobi(1);
+        cfg.max_iterations = 50;
+        cfg.tolerance = 1e-10;
+        let dev = Device::new(GpuSpec::a100());
+        let b = rhs_of_ones(&a);
+        let h = setup(&dev, &cfg, a);
+        let recorder = Arc::new(Recorder::new());
+        dev.install_recorder(recorder.clone());
+        let mut x = vec![0.0; b.len()];
+        let rep = solve(&dev, &cfg, &h, &b, &mut x);
+        dev.remove_recorder();
+        let rec = recorder.take();
+        // The same events land in the report and the trace recording.
+        assert_eq!(rec.health.len(), rep.health_events.len());
+        assert!(rec
+            .health
+            .iter()
+            .any(|e| e.kind == HealthEventKind::Divergence));
+    }
+
+    #[test]
+    fn batched_solve_classifies_columns_with_outcomes() {
+        // Healthy batch: every column converges and says so.
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 40;
+        cfg.tolerance = 1e-8;
+        let dev = Device::new(GpuSpec::a100());
+        let h = setup(&dev, &cfg, a.clone());
+        let n = a.nrows();
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| (0..n).map(|i| ((i + j) as f64).cos()).collect())
+            .collect();
+        let b = amgt_kernels::spmm_mbsr::MultiVector::from_columns(&cols);
+        let mut x = amgt_kernels::spmm_mbsr::MultiVector::zeros(n, 3);
+        let rep = solve_batched(&dev, &cfg, &h, &b, &mut x);
+        assert!(rep.all_converged());
+        assert!(rep.all_numerically_healthy());
+        assert_eq!(rep.column_outcomes.len(), 3);
+        for (j, o) in rep.column_outcomes.iter().enumerate() {
+            assert_eq!(*o, crate::diagnostics::SolveOutcome::Converged, "col {j}");
+            assert!(rep.column_convergence_factors[j] < 1.0);
+        }
+        assert!(rep.health_events.is_empty());
+    }
+
+    #[test]
+    fn batched_solve_flags_diverging_columns() {
+        use amgt_sim::HealthEventKind;
+        let a = negative_definite_matrix(10);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_levels = 1;
+        cfg.coarse_solver = CoarseSolver::Jacobi(1);
+        cfg.max_iterations = 50;
+        cfg.tolerance = 1e-10;
+        let dev = Device::new(GpuSpec::a100());
+        let h = setup(&dev, &cfg, a.clone());
+        let n = a.nrows();
+        let cols: Vec<Vec<f64>> = (0..2)
+            .map(|j| (0..n).map(|i| ((i * (j + 1)) as f64).sin() + 1.0).collect())
+            .collect();
+        let b = amgt_kernels::spmm_mbsr::MultiVector::from_columns(&cols);
+        let mut x = amgt_kernels::spmm_mbsr::MultiVector::zeros(n, 2);
+        let rep = solve_batched(&dev, &cfg, &h, &b, &mut x);
+        assert!(!rep.all_numerically_healthy());
+        for (j, o) in rep.column_outcomes.iter().enumerate() {
+            assert_eq!(*o, crate::diagnostics::SolveOutcome::Diverged, "col {j}");
+        }
+        // Events are stamped with their column; diverged columns left the
+        // active set early.
+        let div_cols: Vec<usize> = rep
+            .health_events
+            .iter()
+            .filter(|e| e.kind == HealthEventKind::Divergence)
+            .filter_map(|e| e.column)
+            .collect();
+        assert_eq!(div_cols.len(), 2);
+        assert!(div_cols.contains(&0) && div_cols.contains(&1));
+        assert!(rep.iterations < 50);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use cache::{CacheKey, CacheOutcome, CacheStats, HierarchyCache};
 pub use fingerprint::Fingerprint;
 pub use metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 pub use service::{
-    JobError, JobHandle, ServiceConfig, SolveOutcome, SolveRequest, SolverService, SubmitError,
+    JobError, JobHandle, JobOutcome, ServiceConfig, SolveRequest, SolverService, SubmitError,
 };

@@ -20,6 +20,11 @@ use std::sync::Arc;
 /// Maximum RHS columns one batched V-cycle coalesces (one tensor slab).
 pub const MAX_BATCH: usize = 8;
 
+/// Per-level hierarchy gauges are pre-registered up to this depth (the
+/// paper's configuration caps hierarchies at 7 levels); deeper levels are
+/// folded into the aggregate gauges only.
+pub const MAX_TRACKED_LEVELS: usize = 8;
+
 /// Point-in-time service metrics. Serializable so operators can scrape it
 /// as JSON (`serde::Serialize::to_json`).
 #[derive(Clone, Debug, Serialize)]
@@ -43,6 +48,15 @@ pub struct ServiceMetrics {
     /// Simulated-GPU latency percentiles over completed jobs, in seconds.
     pub p50_simulated_seconds: f64,
     pub p99_simulated_seconds: f64,
+    /// Numerical-health events observed across all solves.
+    pub solver_stagnations: u64,
+    pub solver_divergences: u64,
+    pub solver_nonfinite: u64,
+    /// Shape of the most recently solved hierarchy (0 until the first
+    /// batch completes).
+    pub hierarchy_levels: u64,
+    pub hierarchy_operator_complexity: f64,
+    pub hierarchy_grid_complexity: f64,
 }
 
 /// The service's live metric state. Updates are lock-free; snapshots and
@@ -59,6 +73,13 @@ pub struct ServiceTelemetry {
     batch_occupancy: Vec<Arc<Counter>>,
     wall_latency: Arc<Histogram>,
     simulated_latency: Arc<Histogram>,
+    solver_stagnations: Arc<Counter>,
+    solver_divergences: Arc<Counter>,
+    solver_nonfinite: Arc<Counter>,
+    hierarchy_levels: Arc<Gauge>,
+    hierarchy_operator_complexity: Arc<Gauge>,
+    hierarchy_grid_complexity: Arc<Gauge>,
+    hierarchy_level_rows: Vec<Arc<Gauge>>,
 }
 
 impl Default for ServiceTelemetry {
@@ -103,6 +124,38 @@ impl ServiceTelemetry {
             "Simulated device seconds attributed to the job's batch.",
             Histogram::latency_seconds(),
         );
+        let solver_stagnations = registry.counter(
+            "amgt_solver_stagnations_total",
+            "Solves whose convergence factor pinned near 1 (stagnation events).",
+        );
+        let solver_divergences = registry.counter(
+            "amgt_solver_divergences_total",
+            "Solves whose residual grew past the divergence threshold.",
+        );
+        let solver_nonfinite = registry.counter(
+            "amgt_solver_nonfinite_total",
+            "Solves that produced NaN/Inf values (non-finite events).",
+        );
+        let hierarchy_levels = registry.gauge(
+            "amgt_hierarchy_levels",
+            "Levels in the most recently solved hierarchy.",
+        );
+        let hierarchy_operator_complexity = registry.gauge(
+            "amgt_hierarchy_operator_complexity",
+            "Operator complexity (sum of level nnz / finest nnz) of the most recent hierarchy.",
+        );
+        let hierarchy_grid_complexity = registry.gauge(
+            "amgt_hierarchy_grid_complexity",
+            "Grid complexity (sum of level rows / finest rows) of the most recent hierarchy.",
+        );
+        let hierarchy_level_rows = (0..MAX_TRACKED_LEVELS)
+            .map(|k| {
+                registry.gauge(
+                    &format!("amgt_hierarchy_level_rows_{k}"),
+                    &format!("Rows on level {k} of the most recent hierarchy (0 = absent)."),
+                )
+            })
+            .collect();
         ServiceTelemetry {
             registry,
             jobs_completed,
@@ -115,6 +168,34 @@ impl ServiceTelemetry {
             batch_occupancy,
             wall_latency,
             simulated_latency,
+            solver_stagnations,
+            solver_divergences,
+            solver_nonfinite,
+            hierarchy_levels,
+            hierarchy_operator_complexity,
+            hierarchy_grid_complexity,
+            hierarchy_level_rows,
+        }
+    }
+
+    /// Count one solver health event by kind.
+    pub fn record_health_event(&self, kind: amgt_trace::HealthEventKind) {
+        match kind {
+            amgt_trace::HealthEventKind::Stagnation => self.solver_stagnations.inc(),
+            amgt_trace::HealthEventKind::Divergence => self.solver_divergences.inc(),
+            amgt_trace::HealthEventKind::NonFinite => self.solver_nonfinite.inc(),
+        }
+    }
+
+    /// Publish the shape of the hierarchy a batch just solved with.
+    pub fn record_hierarchy(&self, diag: &amgt_trace::HierarchyDiagnostics) {
+        self.hierarchy_levels.set(diag.levels.len() as f64);
+        self.hierarchy_operator_complexity
+            .set(diag.operator_complexity);
+        self.hierarchy_grid_complexity.set(diag.grid_complexity);
+        for (k, gauge) in self.hierarchy_level_rows.iter().enumerate() {
+            let rows = diag.levels.get(k).map_or(0, |l| l.rows);
+            gauge.set(rows as f64);
         }
     }
 
@@ -157,6 +238,12 @@ impl ServiceTelemetry {
             p99_wall_seconds: self.wall_latency.quantile(0.99),
             p50_simulated_seconds: self.simulated_latency.quantile(0.50),
             p99_simulated_seconds: self.simulated_latency.quantile(0.99),
+            solver_stagnations: self.solver_stagnations.get(),
+            solver_divergences: self.solver_divergences.get(),
+            solver_nonfinite: self.solver_nonfinite.get(),
+            hierarchy_levels: self.hierarchy_levels.get() as u64,
+            hierarchy_operator_complexity: self.hierarchy_operator_complexity.get(),
+            hierarchy_grid_complexity: self.hierarchy_grid_complexity.get(),
         }
     }
 

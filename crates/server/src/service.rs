@@ -73,7 +73,7 @@ pub struct SolveRequest {
     /// submission (checked when a worker picks the job up).
     pub deadline: Option<Duration>,
     /// Capture a structured trace of the batch this job solves in; the
-    /// [`Recording`] comes back on [`SolveOutcome::trace`].
+    /// [`Recording`] comes back on [`JobOutcome::trace`].
     pub capture_trace: bool,
 }
 
@@ -102,11 +102,19 @@ impl SolveRequest {
 
 /// A completed solve.
 #[derive(Clone, Debug)]
-pub struct SolveOutcome {
+pub struct JobOutcome {
     pub x: Vec<f64>,
     pub relative_residual: f64,
     pub iterations: usize,
     pub converged: bool,
+    /// Numerical-health verdict for this job's column: distinguishes
+    /// "ran out of iterations" from "diverged" or "went non-finite".
+    pub verdict: amgt::SolveOutcome,
+    /// Geometric-mean residual reduction per iteration for this column.
+    pub convergence_factor: f64,
+    /// Health events attributed to this job's column (plus batch-wide
+    /// events carrying no column).
+    pub health_events: Vec<amgt_trace::HealthEvent>,
     /// How the hierarchy was obtained.
     pub cache: CacheOutcome,
     /// RHS columns that shared this job's batched V-cycle (>= 1).
@@ -165,7 +173,7 @@ impl std::error::Error for JobError {}
 
 /// One-shot completion slot shared between a worker and a [`JobHandle`].
 struct JobState {
-    result: Mutex<Option<Result<SolveOutcome, JobError>>>,
+    result: Mutex<Option<Result<JobOutcome, JobError>>>,
     done: Condvar,
     cancelled: AtomicBool,
 }
@@ -177,7 +185,7 @@ pub struct JobHandle {
 
 impl JobHandle {
     /// Block until the job completes (or fails).
-    pub fn wait(&self) -> Result<SolveOutcome, JobError> {
+    pub fn wait(&self) -> Result<JobOutcome, JobError> {
         let mut slot = self.state.result.lock().unwrap();
         while slot.is_none() {
             slot = self.state.done.wait(slot).unwrap();
@@ -186,7 +194,7 @@ impl JobHandle {
     }
 
     /// Non-blocking probe; `None` while the job is still queued or running.
-    pub fn try_wait(&self) -> Option<Result<SolveOutcome, JobError>> {
+    pub fn try_wait(&self) -> Option<Result<JobOutcome, JobError>> {
         self.state.result.lock().unwrap().clone()
     }
 
@@ -213,7 +221,7 @@ struct Job {
 }
 
 impl Job {
-    fn complete(&self, result: Result<SolveOutcome, JobError>) {
+    fn complete(&self, result: Result<JobOutcome, JobError>) {
         let mut slot = self.state.result.lock().unwrap();
         *slot = Some(result);
         self.state.done.notify_all();
@@ -491,15 +499,28 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
 
     let batch_size = live.len();
     shared.telemetry.record_batch(batch_size);
+    shared.telemetry.record_hierarchy(&hierarchy.diagnostics());
+    for ev in &report.health_events {
+        shared.telemetry.record_health_event(ev.kind);
+    }
     for (c, job) in live.into_iter().enumerate() {
         let wall = job.submitted.elapsed().as_secs_f64();
         shared.telemetry.record_job(wall, simulated);
         let job_trace = job.request.capture_trace.then(|| trace.clone()).flatten();
-        job.complete(Ok(SolveOutcome {
+        let health_events: Vec<_> = report
+            .health_events
+            .iter()
+            .filter(|ev| ev.column.is_none() || ev.column == Some(c))
+            .cloned()
+            .collect();
+        job.complete(Ok(JobOutcome {
             x: x.col(c).to_vec(),
             relative_residual: report.final_relative_residuals[c],
             iterations: report.column_iterations[c],
             converged: report.converged[c],
+            verdict: report.column_outcomes[c],
+            convergence_factor: report.column_convergence_factors[c],
+            health_events,
             cache: outcome,
             batch_size,
             simulated_seconds: simulated,

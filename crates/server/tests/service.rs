@@ -355,3 +355,80 @@ fn per_job_trace_capture_returns_batch_recording() {
     assert!(json.contains("\"traceEvents\":["));
     assert!(json.contains("batch x2"));
 }
+
+/// 2D Laplacian shifted to negative definiteness (`L - 9 I`): the L1-Jacobi
+/// iteration matrix has spectral radius ~2, so plain V-cycles diverge.
+fn divergent_matrix() -> Csr {
+    let base = laplacian_2d(10, 10, Stencil2d::Five);
+    let mut shift = Csr::identity(base.nrows());
+    for v in shift.vals.iter_mut() {
+        *v = -9.0;
+    }
+    base.add(&shift)
+}
+
+#[test]
+fn divergent_solve_yields_diverged_verdict_and_health_metrics() {
+    let service = sync_service(8);
+    let a = divergent_matrix();
+    let b = rhs_of_ones(&a);
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.max_levels = 1; // Pure smoother iteration: guaranteed divergence.
+    cfg.coarse_solver = CoarseSolver::Jacobi(1);
+    cfg.tolerance = 1e-10;
+    cfg.max_iterations = 50;
+
+    let handle = service.submit(SolveRequest::new(a, b, cfg)).unwrap();
+    service.drain_pending();
+    let outcome = handle.wait().unwrap();
+
+    assert!(!outcome.converged);
+    assert_eq!(outcome.verdict, amgt::SolveOutcome::Diverged);
+    assert!(outcome.verdict.is_numerical_failure());
+    assert!(outcome.convergence_factor > 1.0);
+    assert!(
+        outcome.iterations < 50,
+        "divergence aborts early, ran {}",
+        outcome.iterations
+    );
+    assert!(outcome
+        .health_events
+        .iter()
+        .any(|e| e.kind == amgt_trace::HealthEventKind::Divergence));
+
+    let m = service.metrics();
+    assert_eq!(m.solver_divergences, 1);
+    assert_eq!(m.solver_nonfinite, 0);
+    assert_eq!(m.hierarchy_levels, 1);
+    assert!(m.hierarchy_operator_complexity >= 1.0);
+
+    let text = service.metrics_prometheus();
+    assert!(text.contains("amgt_solver_divergences_total 1\n"), "{text}");
+    assert!(text.contains("amgt_solver_stagnations_total 0\n"));
+    assert!(text.contains("amgt_hierarchy_levels 1.0\n"));
+    assert!(text.contains("amgt_hierarchy_level_rows_0 100.0\n"));
+    service.shutdown();
+}
+
+#[test]
+fn healthy_service_solve_reports_converged_verdict() {
+    let service = sync_service(8);
+    let a = test_matrix();
+    let b = rhs_of_ones(&a);
+    let handle = service
+        .submit(SolveRequest::new(a, b, test_config()))
+        .unwrap();
+    service.drain_pending();
+    let outcome = handle.wait().unwrap();
+    assert!(outcome.converged);
+    assert_eq!(outcome.verdict, amgt::SolveOutcome::Converged);
+    assert!(outcome.verdict.is_converged());
+    assert!(outcome.convergence_factor > 0.0 && outcome.convergence_factor < 1.0);
+    assert!(outcome.health_events.is_empty());
+    let m = service.metrics();
+    assert_eq!(m.solver_divergences, 0);
+    assert_eq!(m.solver_stagnations, 0);
+    assert!(m.hierarchy_levels >= 2);
+    assert!(m.hierarchy_operator_complexity >= 1.0);
+    service.shutdown();
+}

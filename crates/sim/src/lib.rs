@@ -38,4 +38,6 @@ pub use device::{Cluster, Device, DeviceSpan, Interconnect, KernelEvent, Phase};
 pub use precision::{Precision, F16};
 // Re-export the trace layer so downstream crates can speak one vocabulary
 // (`amgt_sim::Recorder` is the same type `Device::install_recorder` takes).
-pub use amgt_trace::{Recorder, Recording, SpanKind};
+pub use amgt_trace::{
+    HealthEvent, HealthEventKind, HierarchyDiagnostics, LevelStats, Recorder, Recording, SpanKind,
+};

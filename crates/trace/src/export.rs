@@ -380,4 +380,48 @@ mod tests {
         let json = chrome_trace(&Recording::default());
         assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
     }
+
+    #[test]
+    fn chrome_trace_empty_recording_is_parseable_json() {
+        let json = chrome_trace(&Recording::default());
+        let doc = crate::json::Json::parse(&json).expect("empty trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.is_empty());
+        assert_eq!(doc.str("displayTimeUnit"), Some("ms"));
+    }
+
+    #[test]
+    fn chrome_trace_with_unclosed_spans_is_parseable_json() {
+        // Snapshot mid-solve: two spans still open, one kernel charged.
+        let r = Recorder::new();
+        r.open_span(SpanKind::Phase, "solve", 0.0);
+        r.open_span(SpanKind::Iteration, "iteration 1", 1e-6);
+        r.record_kernel(sample("SpMV", "Solve", 0, 1e-6, 2e-6));
+        let rec = r.snapshot();
+        assert!(
+            rec.spans.iter().all(|s| !s.closed),
+            "both spans must still be open"
+        );
+        let json = chrome_trace(&rec);
+        let doc = crate::json::Json::parse(&json).expect("mid-solve trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3, "2 spans + 1 kernel");
+        // Unclosed spans export with zero duration, never negative.
+        for ev in events {
+            assert_eq!(ev.str("ph"), Some("X"));
+            assert!(ev.num("dur").unwrap() >= 0.0);
+        }
+        let names: Vec<_> = events.iter().filter_map(|e| e.str("name")).collect();
+        assert!(names.contains(&"solve"), "{names:?}");
+        assert!(names.contains(&"iteration 1"), "{names:?}");
+        assert!(names.contains(&"SpMV/AmgT"), "{names:?}");
+    }
+
+    #[test]
+    fn chrome_trace_full_recording_is_parseable_json() {
+        let json = chrome_trace(&two_phase_recording());
+        let doc = crate::json::Json::parse(&json).expect("trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 7, "2 spans + 5 kernels");
+    }
 }

@@ -24,9 +24,13 @@
 //! `amgt-server` (service telemetry + per-job trace capture).
 
 pub mod export;
+pub mod health;
+pub mod json;
 pub mod metrics;
 pub mod recorder;
 
 pub use export::{chrome_trace, Breakdown, BreakdownRow};
+pub use health::{HealthEvent, HealthEventKind, HierarchyDiagnostics, LevelStats};
+pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use recorder::{KernelRecord, KernelSample, Recorder, Recording, SpanKind, SpanRecord};

@@ -17,6 +17,7 @@
 //! snapshot of the whole state is a [`Recording`], which the exporters in
 //! [`crate::export`] consume.
 
+use crate::health::{HealthEvent, HierarchyDiagnostics};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -114,11 +115,19 @@ pub struct Recording {
     pub dropped_spans: u64,
     /// Oldest kernel events evicted from the ring buffer.
     pub dropped_kernels: u64,
+    /// Numerical-health incidents (stagnation/divergence/non-finite) in
+    /// emission order.
+    pub health: Vec<HealthEvent>,
+    /// Hierarchy-quality stats attached after the most recent AMG setup.
+    pub hierarchy: Option<HierarchyDiagnostics>,
 }
 
 impl Recording {
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.kernels.is_empty()
+        self.spans.is_empty()
+            && self.kernels.is_empty()
+            && self.health.is_empty()
+            && self.hierarchy.is_none()
     }
 
     /// Sum of all kernel durations — must agree with `Device::elapsed()`
@@ -199,6 +208,8 @@ struct RecorderState {
     dropped_spans: u64,
     kernels: VecDeque<KernelRecord>,
     dropped_kernels: u64,
+    health: Vec<HealthEvent>,
+    hierarchy: Option<HierarchyDiagnostics>,
 }
 
 /// Thread-safe trace collector. One recorder is meant to observe one
@@ -242,6 +253,8 @@ impl Recorder {
                 dropped_spans: 0,
                 kernels: VecDeque::new(),
                 dropped_kernels: 0,
+                health: Vec::new(),
+                hierarchy: None,
             }),
         }
     }
@@ -322,6 +335,23 @@ impl Recorder {
         });
     }
 
+    /// Record one numerical-health incident. Bounded by the span
+    /// capacity; incidents are rare (at most a few per solve), so hitting
+    /// the bound means something is emitting in a loop — stop recording
+    /// rather than growing without limit.
+    pub fn record_health(&self, event: HealthEvent) {
+        let mut st = self.state.lock();
+        if st.health.len() < self.span_capacity {
+            st.health.push(event);
+        }
+    }
+
+    /// Attach hierarchy-quality diagnostics (computed after AMG setup).
+    /// A re-setup replaces the previous diagnostics.
+    pub fn set_hierarchy(&self, diag: HierarchyDiagnostics) {
+        self.state.lock().hierarchy = Some(diag);
+    }
+
     /// Clone the current state without draining it.
     pub fn snapshot(&self) -> Recording {
         let st = self.state.lock();
@@ -330,6 +360,8 @@ impl Recorder {
             kernels: st.kernels.iter().cloned().collect(),
             dropped_spans: st.dropped_spans,
             dropped_kernels: st.dropped_kernels,
+            health: st.health.clone(),
+            hierarchy: st.hierarchy.clone(),
         }
     }
 
@@ -341,6 +373,8 @@ impl Recorder {
             kernels: st.kernels.drain(..).collect(),
             dropped_spans: st.dropped_spans,
             dropped_kernels: st.dropped_kernels,
+            health: std::mem::take(&mut st.health),
+            hierarchy: st.hierarchy.take(),
         };
         st.stack.clear();
         st.dropped_spans = 0;
@@ -462,6 +496,67 @@ mod tests {
         assert!(tree.contains("solve"), "{tree}");
         assert!(tree.contains("  level 0"), "{tree}");
         assert!(tree.contains("(1 kernel events)"), "{tree}");
+    }
+
+    #[test]
+    fn health_and_hierarchy_roundtrip_through_take() {
+        use crate::health::{HealthEventKind, LevelStats};
+        let r = Recorder::new();
+        r.record_health(HealthEvent {
+            kind: HealthEventKind::Divergence,
+            iteration: 5,
+            factor: 3.0,
+            level: None,
+            precision: None,
+            column: None,
+            detail: "residual grew 1.0e5x".to_string(),
+        });
+        r.set_hierarchy(HierarchyDiagnostics {
+            levels: vec![LevelStats {
+                level: 0,
+                rows: 64,
+                nnz: 288,
+                avg_popcount: 4.5,
+                coarsening_ratio: None,
+                precision: "FP64",
+            }],
+            operator_complexity: 1.0,
+            grid_complexity: 1.0,
+        });
+        let rec = r.take();
+        assert!(
+            !rec.is_empty(),
+            "health/hierarchy make a recording non-empty"
+        );
+        assert_eq!(rec.health.len(), 1);
+        assert_eq!(rec.health[0].kind, HealthEventKind::Divergence);
+        assert_eq!(rec.hierarchy.as_ref().unwrap().levels.len(), 1);
+        // take() drained both channels.
+        let second = r.take();
+        assert!(second.health.is_empty());
+        assert!(second.hierarchy.is_none());
+        assert!(second.is_empty());
+        // Serde carries the new fields.
+        let json = rec.to_json();
+        assert!(json.contains("\"kind\":\"Divergence\""), "{json}");
+        assert!(json.contains("\"operator_complexity\":1"), "{json}");
+    }
+
+    #[test]
+    fn health_channel_is_bounded_by_span_capacity() {
+        let r = Recorder::with_capacity(2, 16);
+        for i in 0..5 {
+            r.record_health(HealthEvent {
+                kind: crate::health::HealthEventKind::Stagnation,
+                iteration: i,
+                factor: 0.999,
+                level: None,
+                precision: None,
+                column: None,
+                detail: String::new(),
+            });
+        }
+        assert_eq!(r.take().health.len(), 2);
     }
 
     #[test]

@@ -21,10 +21,21 @@ cargo test -q
 
 echo "==> trace exporter smoke: solve -> chrome trace JSON"
 trace_out="$(mktemp -t amgt-trace-XXXXXX.json)"
-trap 'rm -f "$trace_out"' EXIT
+bench_out="$(mktemp -t amgt-bench-XXXXXX.json)"
+trap 'rm -f "$trace_out" "$bench_out"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
 grep -q '"traceEvents"' "$trace_out"
 echo "    wrote and validated $trace_out"
+
+echo "==> bench baseline smoke: report schema + self-compare"
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --out "$bench_out" >/dev/null
+python3 -m json.tool "$bench_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --validate "$bench_out" >/dev/null
+# The simulated clock makes the report deterministic: comparing a fresh
+# run against the report just written must find zero regressions.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --out /dev/null \
+    --compare "$bench_out" >/dev/null
+echo "    wrote, validated, and round-tripped $bench_out"
 
 echo "OK: all checks passed"
