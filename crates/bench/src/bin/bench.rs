@@ -13,11 +13,14 @@
 //! bench --suite --small                          # Table II suite matrices
 //! bench --smoke --compare BENCH_baseline.json    # exit 1 on regression
 //! bench --validate BENCH_report.json             # schema check only
+//! bench --smoke --tuned-vs-default               # autotuner gain per matrix
 //! ```
 
 use amgt::prelude::*;
 use amgt::Operator;
-use amgt_bench::report::{compare, BenchCase, BenchReport, CompareThresholds, SCHEMA_VERSION};
+use amgt_bench::report::{
+    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, SCHEMA_VERSION,
+};
 use amgt_bench::Variant;
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
 use amgt_kernels::vendor::spgemm_csr;
@@ -39,6 +42,11 @@ struct Options {
     baseline: Option<PathBuf>,
     validate: Option<PathBuf>,
     thresholds: CompareThresholds,
+    /// Tuner-gain mode: per matrix, score the paper-default policy against
+    /// the autotuned one (shared `amgt-tune` scorer) instead of the
+    /// standard e2e/kernel sweep.
+    tuned_vs_default: bool,
+    tune_budget: usize,
 }
 
 fn usage() -> ! {
@@ -46,7 +54,7 @@ fn usage() -> ! {
         "usage: bench [--smoke | --suite] [--small|--medium|--full] [--iters N]\n\
          \x20      [--matrix NAME] [--gpu a100|h100|mi210] [--out FILE]\n\
          \x20      [--compare BASELINE.json] [--time-ratio X] [--iter-slack N]\n\
-         \x20      [--validate FILE]"
+         \x20      [--validate FILE] [--tuned-vs-default] [--tune-budget N]"
     );
     std::process::exit(2);
 }
@@ -62,6 +70,8 @@ fn parse_args() -> Options {
         baseline: None,
         validate: None,
         thresholds: CompareThresholds::default(),
+        tuned_vs_default: false,
+        tune_budget: amgt_tune::TuneBudget::default().max_evaluations,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,6 +101,8 @@ fn parse_args() -> Options {
                 opt.thresholds.iteration_slack = next().parse().unwrap_or_else(|_| usage());
             }
             "--validate" => opt.validate = Some(PathBuf::from(next())),
+            "--tuned-vs-default" => opt.tuned_vs_default = true,
+            "--tune-budget" => opt.tune_budget = next().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -263,21 +275,87 @@ fn main() -> ExitCode {
     }
 
     let mut cases = Vec::new();
-    for (stem, a) in &systems {
-        println!("bench {stem}: n = {}, nnz = {}", a.nrows(), a.nnz());
-        for variant in Variant::ALL {
-            let case = e2e_case(&opt, stem, a, variant);
+    let mut policy_info = PolicyInfo::paper_default();
+    if opt.tuned_vs_default {
+        // Tuner-gain mode: per matrix, two cases scored by the *same*
+        // `amgt-tune` objective the search minimized — so "tuned never
+        // loses" is checked against the exact quantity the tuner optimized.
+        let mut store = amgt_tune::PolicyStore::in_memory();
+        let budget = amgt_tune::TuneBudget {
+            max_evaluations: opt.tune_budget,
+            ..amgt_tune::TuneBudget::default()
+        };
+        let mut regressed = 0usize;
+        let mut improved = 0usize;
+        for (stem, a) in &systems {
+            let mut cfg = Variant::AmgtFp64.config(opt.iters);
+            cfg.tolerance = 1e-8;
+            let r = amgt_tune::tune(&opt.gpu, &cfg, a, &budget, &mut store);
+            let speedup = r.predicted_speedup();
             println!(
-                "  {:<28} {:>3} iters  {:>10.3e} s  factor {:.4}  {}",
-                case.name,
-                case.iterations,
-                case.total_seconds,
-                case.convergence_factor,
-                case.outcome
+                "tune {stem}: default {:.3e} s -> tuned {:.3e} s ({:.3}x, {} evaluations)",
+                r.default_score, r.score, speedup, r.evaluations
             );
-            cases.push(case);
+            let tune_case = |tag: &str, secs: f64| BenchCase {
+                name: format!("tune:{stem}:{tag}"),
+                variant: tag.to_string(),
+                n: a.nrows(),
+                nnz: a.nnz(),
+                levels: 0,
+                iterations: 0,
+                setup_seconds: 0.0,
+                solve_seconds: secs,
+                total_seconds: secs,
+                final_relative_residual: 0.0,
+                convergence_factor: 0.0,
+                operator_complexity: 0.0,
+                grid_complexity: 0.0,
+                outcome: "Converged".to_string(),
+            };
+            cases.push(tune_case("default", r.default_score));
+            cases.push(tune_case("tuned", r.score));
+            if r.score > r.default_score {
+                eprintln!("tune {stem}: TUNED POLICY REGRESSED over the paper default");
+                regressed += 1;
+            }
+            if speedup > 1.0005 {
+                improved += 1;
+            }
+            if speedup > policy_info.predicted_speedup {
+                policy_info = PolicyInfo {
+                    source: "tuned".to_string(),
+                    policy: r.policy,
+                    predicted_speedup: speedup,
+                };
+            }
         }
-        cases.extend(kernel_cases(&opt, stem, a));
+        println!(
+            "tune summary: {}/{} matrices improved, best predicted speedup {:.3}x",
+            improved,
+            systems.len(),
+            policy_info.predicted_speedup
+        );
+        if regressed > 0 {
+            eprintln!("{regressed} matrices regressed under tuning");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for (stem, a) in &systems {
+            println!("bench {stem}: n = {}, nnz = {}", a.nrows(), a.nnz());
+            for variant in Variant::ALL {
+                let case = e2e_case(&opt, stem, a, variant);
+                println!(
+                    "  {:<28} {:>3} iters  {:>10.3e} s  factor {:.4}  {}",
+                    case.name,
+                    case.iterations,
+                    case.total_seconds,
+                    case.convergence_factor,
+                    case.outcome
+                );
+                cases.push(case);
+            }
+            cases.extend(kernel_cases(&opt, stem, a));
+        }
     }
 
     let report = BenchReport {
@@ -288,6 +366,7 @@ fn main() -> ExitCode {
         } else {
             format!("{:?}", opt.scale).to_lowercase()
         },
+        policy: Some(policy_info),
         cases,
     };
     if let Err(e) = report.validate() {

@@ -21,7 +21,10 @@ use amgt_sparse::gen::rhs_of_ones;
 use amgt_sparse::suite::{self, Scale, SuiteEntry, SuiteError};
 use amgt_trace::Recording;
 
-pub use report::{compare, BenchCase, BenchReport, CompareThresholds, Regression, SCHEMA_VERSION};
+pub use report::{
+    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, Regression, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+};
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]

@@ -9,11 +9,43 @@
 //! exact regression gate, with thresholds only to absorb intentional
 //! small drifts when the cost model is recalibrated.
 
+use amgt_kernels::KernelPolicy;
 use amgt_trace::Json;
 use serde::Serialize;
 
 /// Bump when the report layout changes shape (not when numbers move).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — original layout.
+/// * v2 — adds the optional top-level `policy` object (the active
+///   [`KernelPolicy`] plus tuner provenance).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
+/// with `policy: None`, so `--validate` and `--compare` keep working
+/// against baselines written before the policy field existed.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// The kernel policy a report's cases ran under, plus where it came from.
+#[derive(Clone, Debug, Serialize)]
+pub struct PolicyInfo {
+    /// `"paper-default"`, `"tuned"`, or a future source tag.
+    pub source: String,
+    pub policy: KernelPolicy,
+    /// Tuner-predicted simulated-seconds speedup over the paper default
+    /// (1.0 when the default itself ran).
+    pub predicted_speedup: f64,
+}
+
+impl PolicyInfo {
+    /// The v1-equivalent report header: paper default, no predicted gain.
+    pub fn paper_default() -> PolicyInfo {
+        PolicyInfo {
+            source: "paper-default".to_string(),
+            policy: KernelPolicy::paper_default(),
+            predicted_speedup: 1.0,
+        }
+    }
+}
 
 /// One benchmark case: a (matrix, solver-variant) end-to-end run or a
 /// kernel microbench (where only the timing fields are meaningful).
@@ -45,6 +77,8 @@ pub struct BenchReport {
     pub schema_version: u64,
     pub gpu: String,
     pub scale: String,
+    /// Active kernel policy (v2+; `None` when parsed from a v1 report).
+    pub policy: Option<PolicyInfo>,
     pub cases: Vec<BenchCase>,
 }
 
@@ -61,13 +95,19 @@ impl BenchReport {
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let root = Json::parse(text)?;
         let schema_version = field_u64(&root, "schema_version")?;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "schema_version {schema_version} != supported {SCHEMA_VERSION}"
+                "schema_version {schema_version} outside supported \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
             ));
         }
         let gpu = field_str(&root, "gpu")?;
         let scale = field_str(&root, "scale")?;
+        // `policy` arrived in v2; absent or null in a v1 report.
+        let policy = match root.get("policy") {
+            Some(p) if !p.is_null() => Some(parse_policy_info(p)?),
+            _ => None,
+        };
         let cases_json = root
             .get("cases")
             .and_then(Json::as_array)
@@ -80,6 +120,7 @@ impl BenchReport {
             schema_version,
             gpu,
             scale,
+            policy,
             cases,
         })
     }
@@ -90,8 +131,16 @@ impl BenchReport {
     /// # Errors
     /// Returns a message naming the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             return Err(format!("schema_version {}", self.schema_version));
+        }
+        if let Some(p) = &self.policy {
+            p.policy
+                .validate()
+                .map_err(|e| format!("report policy: {e}"))?;
+            if !p.predicted_speedup.is_finite() || p.predicted_speedup <= 0.0 {
+                return Err(format!("predicted_speedup {}", p.predicted_speedup));
+            }
         }
         if self.cases.is_empty() {
             return Err("report has no cases".into());
@@ -153,6 +202,23 @@ fn field_str(v: &Json, key: &str) -> Result<String, String> {
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| format!("missing string `{key}`"))
+}
+
+fn parse_policy_info(v: &Json) -> Result<PolicyInfo, String> {
+    let p = v.get("policy").ok_or("policy: missing `policy` object")?;
+    Ok(PolicyInfo {
+        source: field_str(v, "source")?,
+        policy: KernelPolicy {
+            tc_popcount_threshold: field_u64(p, "tc_popcount_threshold")? as u32,
+            spmv_variation_threshold: field_f64(p, "spmv_variation_threshold")?,
+            spmv_warp_capacity: field_usize(p, "spmv_warp_capacity")?,
+            spgemm_bin_base: field_usize(p, "spgemm_bin_base")?,
+            spgemm_bin_count: field_usize(p, "spgemm_bin_count")?,
+            mixed_fp32_level: field_usize(p, "mixed_fp32_level")?,
+            mixed_fp16_level: field_usize(p, "mixed_fp16_level")?,
+        },
+        predicted_speedup: field_f64(v, "predicted_speedup")?,
+    })
 }
 
 fn parse_case(v: &Json) -> Result<BenchCase, String> {
@@ -293,6 +359,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             gpu: "A100".into(),
             scale: "small".into(),
+            policy: Some(PolicyInfo::paper_default()),
             cases,
         }
     }
@@ -322,6 +389,45 @@ mod tests {
         let json = r.to_json();
         let err = BenchReport::from_json(&json).unwrap_err();
         assert!(err.contains("schema_version 99"), "{err}");
+    }
+
+    #[test]
+    fn v1_report_without_policy_still_parses() {
+        // A pre-policy baseline: version 1, no `policy` key at all.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 1;
+        r.policy = None;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(back.policy.is_none());
+        back.validate().unwrap();
+        // And an old baseline still gates a new (v2) report.
+        let current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn v2_policy_round_trips() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let mut p = PolicyInfo::paper_default();
+        p.source = "tuned".into();
+        p.policy.tc_popcount_threshold = 6;
+        p.predicted_speedup = 1.07;
+        r.policy = Some(p);
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        let bp = back.policy.unwrap();
+        assert_eq!(bp.source, "tuned");
+        assert_eq!(bp.policy.tc_popcount_threshold, 6);
+        assert!((bp.predicted_speedup - 1.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_policy_fails_validation() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let mut p = PolicyInfo::paper_default();
+        p.policy.spgemm_bin_count = 99;
+        r.policy = Some(p);
+        assert!(r.validate().unwrap_err().contains("report policy"));
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! amgt-cli --suite cant --pcg --tol 1e-8          # AMG-preconditioned CG
 //! amgt-cli --suite cant --trace run.json           # Chrome trace export
 //! amgt-cli --suite cant --diagnose                 # hierarchy quality + health
+//! amgt-cli --suite cant --tune                     # autotune the kernel policy
+//! amgt-cli --suite cant --tune \
+//!          --policy-cache policies.json            # ... with a persistent cache
+//! amgt-cli --suite cant --policy tuned.json        # run an explicit policy file
 //! ```
 //!
 //! Prints the hierarchy, the convergence history and the simulated-GPU
@@ -19,6 +23,7 @@ use amgt::prelude::*;
 use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
 use amgt_sparse::mm::read_matrix_market_path;
 use amgt_sparse::suite::{self, Scale};
+use amgt_tune::{PolicyStore, TuneBudget};
 use std::path::PathBuf;
 
 struct Options {
@@ -33,6 +38,10 @@ struct Options {
     verbose_history: bool,
     trace: Option<PathBuf>,
     diagnose: bool,
+    tune: bool,
+    tune_budget: usize,
+    policy_cache: Option<PathBuf>,
+    policy: Option<PathBuf>,
 }
 
 enum MatrixSource {
@@ -46,7 +55,9 @@ fn usage() -> ! {
         "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
          \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
          \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\
-         \x20      [--trace FILE.json] [--diagnose]\n\n\
+         \x20      [--trace FILE.json] [--diagnose]\n\
+         \x20      [--tune] [--tune-budget N] [--policy-cache FILE.json]\n\
+         \x20      [--policy FILE.json]\n\n\
          suite names: {}",
         suite::entries()
             .iter()
@@ -69,6 +80,10 @@ fn parse_args() -> Options {
     let mut verbose_history = false;
     let mut trace = None;
     let mut diagnose = false;
+    let mut tune = false;
+    let mut tune_budget = TuneBudget::default().max_evaluations;
+    let mut policy_cache = None;
+    let mut policy = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -104,8 +119,16 @@ fn parse_args() -> Options {
             "--history" => verbose_history = true,
             "--trace" => trace = Some(PathBuf::from(next())),
             "--diagnose" => diagnose = true,
+            "--tune" => tune = true,
+            "--tune-budget" => tune_budget = next().parse().unwrap_or_else(|_| usage()),
+            "--policy-cache" => policy_cache = Some(PathBuf::from(next())),
+            "--policy" => policy = Some(PathBuf::from(next())),
             _ => usage(),
         }
+    }
+    if tune && policy.is_some() {
+        eprintln!("--tune and --policy are mutually exclusive");
+        usage();
     }
     Options {
         matrix: matrix.unwrap_or_else(|| usage()),
@@ -119,7 +142,68 @@ fn parse_args() -> Options {
         verbose_history,
         trace,
         diagnose,
+        tune,
+        tune_budget,
+        policy_cache,
+        policy,
     }
+}
+
+/// Resolve the kernel policy the run executes under: explicit `--policy`
+/// file beats `--tune`, which beats the paper default baked into the
+/// configuration. Returns the trace-ready provenance note.
+fn apply_policy(opt: &Options, cfg: &mut AmgConfig, a: &Csr) -> amgt_trace::PolicyNote {
+    if let Some(path) = &opt.policy {
+        let policy = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| amgt_tune::parse_policy(&text))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to load policy {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        cfg.policy = policy;
+        println!("policy: loaded from {}", path.display());
+        return amgt_tune::policy_note("file", 1.0, policy);
+    }
+    if !opt.tune {
+        return amgt_tune::policy_note("paper-default", 1.0, cfg.policy);
+    }
+
+    let mut store = match &opt.policy_cache {
+        Some(path) => PolicyStore::open(path),
+        None => PolicyStore::in_memory(),
+    };
+    if let Some(err) = &store.load_error {
+        eprintln!("warning: ignoring unusable policy cache: {err}");
+    }
+    let budget = TuneBudget {
+        max_evaluations: opt.tune_budget,
+        ..TuneBudget::default()
+    };
+    let result = amgt_tune::tune(&opt.gpu, cfg, a, &budget, &mut store);
+    cfg.policy = result.policy;
+    let source = if result.from_cache {
+        "tuned-cache"
+    } else {
+        "tuned-search"
+    };
+    println!(
+        "tune: {} ({} evaluations), predicted speedup {:.3}x over paper default",
+        if result.from_cache {
+            "policy-cache hit".to_string()
+        } else {
+            format!("searched (budget {})", opt.tune_budget)
+        },
+        result.evaluations,
+        result.predicted_speedup(),
+    );
+    println!("tune: policy {:?}", result.policy);
+    if opt.policy_cache.is_some() {
+        if let Err(e) = store.save() {
+            eprintln!("warning: failed to write policy cache: {e}");
+        }
+    }
+    amgt_tune::policy_note(source, result.predicted_speedup(), result.policy)
 }
 
 fn print_health(events: &[amgt_sim::HealthEvent]) {
@@ -176,6 +260,11 @@ fn main() {
     let mut cfg = AmgConfig::paper(opt.backend, opt.precision);
     cfg.max_iterations = opt.iters;
     cfg.tolerance = opt.tol;
+
+    let note = apply_policy(&opt, &mut cfg, &a);
+    if let Some(r) = &recorder {
+        r.set_policy(note);
+    }
 
     println!(
         "solver: backend {:?}, precision {:?}, GPU {}, {}",

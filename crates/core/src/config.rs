@@ -5,6 +5,7 @@
 //! (`trunc_fact = 0.1`, `max_elmts = 4`), L1-Jacobi smoothing (1 sweep),
 //! at most 7 levels, and 50 solve iterations regardless of convergence.
 
+use amgt_kernels::KernelPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Which kernel implementation the solver calls (the two bars of Fig. 7).
@@ -113,6 +114,11 @@ pub struct AmgConfig {
     /// Early-exit relative-residual tolerance (0 disables, as the paper's
     /// fixed-iteration runs effectively do).
     pub tolerance: f64,
+    /// Kernel dispatch constants (tensor-core cutoff, SpMV schedule, SpGEMM
+    /// binning, mixed-precision level boundaries). The paper's hardcoded
+    /// values are [`KernelPolicy::paper_default`]; `amgt-tune` searches the
+    /// space per matrix.
+    pub policy: KernelPolicy,
 }
 
 impl AmgConfig {
@@ -136,6 +142,7 @@ impl AmgConfig {
             cycle: CycleType::V,
             max_iterations: 50,
             tolerance: 0.0,
+            policy: KernelPolicy::paper_default(),
         }
     }
 

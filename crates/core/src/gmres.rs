@@ -48,7 +48,7 @@ pub fn fgmres_solve(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
 
     let precond = |r: &[f64]| -> Vec<f64> {
         let mut z = vec![0.0; n];

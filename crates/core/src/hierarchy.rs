@@ -86,11 +86,15 @@ impl Hierarchy {
     }
 }
 
-/// Precision for level `k` under the policy on this device.
-pub fn level_precision(device: &Device, policy: PrecisionPolicy, k: usize) -> Precision {
-    match policy {
+/// Precision for level `k` under the configuration on this device. The
+/// mixed-policy level boundaries come from `cfg.policy` (paper default:
+/// FP64 / FP32 / FP16 from level 2 on, FP32 without FP16 MMA support).
+pub fn level_precision(device: &Device, cfg: &AmgConfig, k: usize) -> Precision {
+    match cfg.precision {
         PrecisionPolicy::Uniform64 => Precision::Fp64,
-        PrecisionPolicy::Mixed => device.spec().mixed_precision_for_level(k),
+        PrecisionPolicy::Mixed => cfg
+            .policy
+            .mixed_precision_for_level(device.spec().fp16_supported, k),
     }
 }
 
@@ -152,8 +156,8 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     let mut k = 0usize;
     loop {
         let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
-        let prec = level_precision(device, cfg.precision, k);
-        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec);
+        let prec = level_precision(device, cfg, k);
+        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec).with_policy(cfg.policy);
         let mut a_op = Operator::prepare(&ctx, cfg.backend, current);
         if prec != Precision::Fp64 {
             a_op.quantize(&ctx);
@@ -254,7 +258,8 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         crate::config::CoarseSolver::DirectLu => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = levels.last().unwrap();
-            let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64);
+            let ctx =
+                Ctx::new(device, Phase::Setup, last_level, Precision::Fp64).with_policy(cfg.policy);
             let n = last.n();
             ctx.charge(
                 KernelKind::CoarseSolve,
@@ -271,7 +276,8 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         crate::config::CoarseSolver::SparseLdl { reorder } => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = levels.last().unwrap();
-            let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64);
+            let ctx =
+                Ctx::new(device, Phase::Setup, last_level, Precision::Fp64).with_policy(cfg.policy);
             let f = SparseLdl::factor(&last.a.csr, reorder)
                 .expect("coarsest matrix not LDL^T-factorizable");
             // Charge by actual factor fill: ~2 flops per L entry per
@@ -318,8 +324,8 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     let n_levels = h.levels.len();
     for k in 0..n_levels {
         let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
-        let prec = level_precision(device, cfg.precision, k);
-        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec);
+        let prec = level_precision(device, cfg, k);
+        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec).with_policy(cfg.policy);
         let mut a_op = Operator::prepare(&ctx, cfg.backend, current.take().expect("chain"));
         if prec != Precision::Fp64 {
             a_op.quantize(&ctx);
@@ -345,7 +351,8 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
         crate::config::CoarseSolver::DirectLu => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = h.levels.last().unwrap();
-            let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64);
+            let ctx =
+                Ctx::new(device, Phase::Setup, last_level, Precision::Fp64).with_policy(cfg.policy);
             let n = last.n();
             ctx.charge(
                 KernelKind::CoarseSolve,

@@ -48,6 +48,7 @@ pub mod solve;
 pub mod strength;
 pub mod vec_ops;
 
+pub use amgt_kernels::KernelPolicy;
 pub use backend::Operator;
 pub use config::{
     AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy,
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::pcg::pcg_solve;
     pub use crate::solve::{solve, solve_batched, BatchedSolveReport, SolveReport};
     pub use amgt_kernels::spmm_mbsr::MultiVector;
+    pub use amgt_kernels::KernelPolicy;
     pub use amgt_sim::{Device, GpuSpec, Precision};
     pub use amgt_sparse::Csr;
 }

@@ -45,7 +45,7 @@ pub fn pcg_solve(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
 
     // One V-cycle as the preconditioner application.
     let precond = |r: &[f64]| -> Vec<f64> {

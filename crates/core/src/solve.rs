@@ -186,7 +186,7 @@ fn vcycle(
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
-    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
+    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision).with_policy(cfg.policy);
     if k + 1 == h.n_levels() {
         coarse_solve(&ctx, cfg, h, b, x);
         check_finite(poison, x, lvl, k, "coarse solve");
@@ -251,7 +251,7 @@ pub fn solve(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
     let _phase_span = device.span(SpanKind::Phase, || "solve".to_string());
 
     let b_norm = {
@@ -429,7 +429,7 @@ fn vcycle_mv(
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
-    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision);
+    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision).with_policy(cfg.policy);
     if k + 1 == h.n_levels() {
         coarse_solve_mv(&ctx, cfg, h, b, x);
         check_finite(poison, &x.data, lvl, k, "coarse solve");
@@ -500,7 +500,7 @@ pub fn solve_batched(
     if x.nrows != n || x.ncols != ncols {
         *x = MultiVector::zeros(n, ncols);
     }
-    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision);
+    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
     let _phase_span = device.span(SpanKind::Phase, || "solve batched".to_string());
 
     let b_norms: Vec<f64> = vec_ops::norms2_mv(&ctx0, b)

@@ -5,6 +5,7 @@
 //! ledger entry. Kernels compute exact results on the CPU and charge one
 //! ledger event per logical GPU kernel sequence.
 
+use crate::policy::KernelPolicy;
 use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision};
 
 /// Kernel execution context.
@@ -16,6 +17,9 @@ pub struct Ctx<'a> {
     pub level: u32,
     /// Arithmetic/storage precision of the kernel call.
     pub precision: Precision,
+    /// Dispatch constants every kernel consults (paper defaults unless a
+    /// tuned policy was threaded in via [`Ctx::with_policy`]).
+    pub policy: KernelPolicy,
 }
 
 impl<'a> Ctx<'a> {
@@ -25,6 +29,7 @@ impl<'a> Ctx<'a> {
             phase,
             level,
             precision,
+            policy: KernelPolicy::paper_default(),
         }
     }
 
@@ -35,7 +40,13 @@ impl<'a> Ctx<'a> {
             phase: Phase::Solve,
             level: 0,
             precision,
+            policy: KernelPolicy::paper_default(),
         }
+    }
+
+    /// Same context under a different kernel policy.
+    pub fn with_policy(self, policy: KernelPolicy) -> Self {
+        Ctx { policy, ..self }
     }
 
     /// Charge one kernel event; returns simulated seconds.
@@ -89,5 +100,15 @@ mod tests {
         assert_eq!(ctx.level, 2);
         assert_eq!(ctx.precision, Precision::Fp16);
         assert!(matches!(ctx.phase, Phase::Preprocess));
+    }
+
+    #[test]
+    fn with_policy_overrides_dispatch_constants() {
+        let dev = Device::new(GpuSpec::a100());
+        let mut pol = KernelPolicy::paper_default();
+        pol.spmv_warp_capacity = 32;
+        let ctx = Ctx::standalone(&dev, Precision::Fp64).with_policy(pol);
+        assert_eq!(ctx.policy.spmv_warp_capacity, 32);
+        assert_eq!(ctx.policy, pol);
     }
 }

@@ -17,6 +17,10 @@
 //! * [`convert`] — instrumented CSR/mBSR/BSR conversions (Figure 10).
 //! * [`ctx`] — the execution context binding kernels to the simulated
 //!   device ledger.
+//! * [`policy`] — the [`KernelPolicy`] dispatch constants (tensor-core
+//!   cutoff, SpMV scheduling, SpGEMM binning, mixed-precision boundaries)
+//!   shared by every kernel, with the paper's values as
+//!   [`KernelPolicy::paper_default`].
 //!
 //! Every kernel computes exact results on the CPU (with real reduced-
 //! precision rounding where requested) and charges its measured operation
@@ -32,6 +36,7 @@
 
 pub mod convert;
 pub mod ctx;
+pub mod policy;
 pub mod spgemm_mbsr;
 pub mod spmm_mbsr;
 pub mod spmv_bsr;
@@ -39,5 +44,6 @@ pub mod spmv_mbsr;
 pub mod vendor;
 
 pub use ctx::Ctx;
+pub use policy::KernelPolicy;
 pub use spgemm_mbsr::{spgemm_mbsr, SpgemmMbsrStats};
 pub use spmv_mbsr::{analyze_spmv, spmv_mbsr, SpmvPath, SpmvPlan};

@@ -1,0 +1,287 @@
+//! The kernel dispatch policy: every tunable constant of the AmgT kernels
+//! in one place.
+//!
+//! The paper hand-picks its dispatch heuristics for A100/H100 — the
+//! `popcount(map) >= 10` tensor-core cutoff shared by SpMV and SpGEMM, the
+//! SpMV variation threshold and 64-blocks-per-warp balanced schedule, the
+//! 8-way SpGEMM binning at `128 * 2^k`, and the FP64/FP32/FP16 per-level
+//! mixed-precision boundaries. This module hoists all of them out of the
+//! kernels into a [`KernelPolicy`] value carried by [`crate::Ctx`], with
+//! the paper's constants as [`KernelPolicy::paper_default`]. The
+//! `amgt-tune` crate searches this space per matrix; everything else keeps
+//! the paper defaults and behaves exactly as before.
+
+use serde::{Deserialize, Serialize};
+
+/// Paper default for the tensor-core density cutoff: tiles (SpGEMM) or
+/// average tile populations (SpMV) at or above this popcount run on tensor
+/// cores. Re-exported from the format layer, where Section IV.B defines it.
+pub const PAPER_TC_POPCOUNT_THRESHOLD: u32 = amgt_sparse::bitmap::TENSOR_DENSITY_THRESHOLD;
+
+/// Paper default for the SpMV balanced-schedule variation cutoff
+/// (Section IV.D.1; the constant itself is unpublished, see `spmv_mbsr`).
+pub const PAPER_SPMV_VARIATION_THRESHOLD: f64 = 0.5;
+
+/// Paper default for the fixed per-warp workload of the balanced schedule.
+pub const PAPER_SPMV_WARP_CAPACITY: usize = 64;
+
+/// Paper default for the smallest SpGEMM bin bound (Section IV.C.1).
+pub const PAPER_SPGEMM_BIN_BASE: usize = 128;
+
+/// Paper default (and hard maximum) for the SpGEMM bin count: bounds
+/// `128 * 2^k` for `k = 0..6` plus the `>= 8192` overflow bin.
+pub const PAPER_SPGEMM_BIN_COUNT: usize = 8;
+
+/// Paper default: first level stored/computed in FP32 under the mixed
+/// policy (level 0 stays FP64).
+pub const PAPER_MIXED_FP32_LEVEL: usize = 1;
+
+/// Paper default: first level stored/computed in FP16 under the mixed
+/// policy (degraded to FP32 on GPUs without FP16 MMA support).
+pub const PAPER_MIXED_FP16_LEVEL: usize = 2;
+
+/// Every tunable dispatch constant of the kernel layer.
+///
+/// Carried by value inside [`crate::Ctx`] so the whole kernel stack reads
+/// one coherent policy per context; solver code threads it in from
+/// `AmgConfig`. [`KernelPolicy::paper_default`] reproduces the hardcoded
+/// behaviour of the paper bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelPolicy {
+    /// Tensor-core cutoff: SpGEMM routes a `blockA` with
+    /// `popcount(map) >= threshold` to the MMA path; SpMV compares the
+    /// matrix-wide `avg_nnz_blc` against it.
+    pub tc_popcount_threshold: u32,
+    /// SpMV selects the load-balanced schedule when the block-row
+    /// variation exceeds this.
+    pub spmv_variation_threshold: f64,
+    /// Blocks per warp in the SpMV balanced schedule.
+    pub spmv_warp_capacity: usize,
+    /// Smallest SpGEMM bin bound; bin `k` holds rows with
+    /// `Cub < bin_base * 2^k`.
+    pub spgemm_bin_base: usize,
+    /// Number of SpGEMM bins (2..=8); the last bin is unbounded.
+    pub spgemm_bin_count: usize,
+    /// First level the mixed-precision policy stores in FP32.
+    pub mixed_fp32_level: usize,
+    /// First level the mixed-precision policy stores in FP16
+    /// (`>= mixed_fp32_level`; FP32 on GPUs without FP16 MMAs).
+    pub mixed_fp16_level: usize,
+}
+
+impl KernelPolicy {
+    /// The dispatch constants of the paper, exactly as previously hardcoded
+    /// across `spmv_mbsr` / `spgemm_mbsr` / the mixed-precision data flow.
+    pub fn paper_default() -> Self {
+        KernelPolicy {
+            tc_popcount_threshold: PAPER_TC_POPCOUNT_THRESHOLD,
+            spmv_variation_threshold: PAPER_SPMV_VARIATION_THRESHOLD,
+            spmv_warp_capacity: PAPER_SPMV_WARP_CAPACITY,
+            spgemm_bin_base: PAPER_SPGEMM_BIN_BASE,
+            spgemm_bin_count: PAPER_SPGEMM_BIN_COUNT,
+            mixed_fp32_level: PAPER_MIXED_FP32_LEVEL,
+            mixed_fp16_level: PAPER_MIXED_FP16_LEVEL,
+        }
+    }
+
+    /// Structural sanity of a policy (tuner candidates and policies read
+    /// back from disk go through this).
+    ///
+    /// # Errors
+    /// Returns a message naming the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=17).contains(&self.tc_popcount_threshold) {
+            return Err(format!(
+                "tc_popcount_threshold {} outside 1..=17",
+                self.tc_popcount_threshold
+            ));
+        }
+        if !self.spmv_variation_threshold.is_finite() || self.spmv_variation_threshold < 0.0 {
+            return Err(format!(
+                "spmv_variation_threshold {} not a finite non-negative number",
+                self.spmv_variation_threshold
+            ));
+        }
+        if !(1..=4096).contains(&self.spmv_warp_capacity) {
+            return Err(format!(
+                "spmv_warp_capacity {} outside 1..=4096",
+                self.spmv_warp_capacity
+            ));
+        }
+        if !(8..=65_536).contains(&self.spgemm_bin_base) {
+            return Err(format!(
+                "spgemm_bin_base {} outside 8..=65536",
+                self.spgemm_bin_base
+            ));
+        }
+        if !(2..=PAPER_SPGEMM_BIN_COUNT).contains(&self.spgemm_bin_count) {
+            return Err(format!(
+                "spgemm_bin_count {} outside 2..={PAPER_SPGEMM_BIN_COUNT}",
+                self.spgemm_bin_count
+            ));
+        }
+        if self.mixed_fp32_level == 0 {
+            return Err("mixed_fp32_level must be >= 1 (level 0 stays FP64)".into());
+        }
+        if self.mixed_fp16_level < self.mixed_fp32_level {
+            return Err(format!(
+                "mixed_fp16_level {} < mixed_fp32_level {}",
+                self.mixed_fp16_level, self.mixed_fp32_level
+            ));
+        }
+        Ok(())
+    }
+
+    /// SpGEMM bin index for an intermediate-product upper bound: doubling
+    /// bounds from `spgemm_bin_base`, last bin unbounded.
+    pub fn spgemm_bin_index(&self, cub_per_row: usize) -> usize {
+        let mut bound = self.spgemm_bin_base;
+        for bin in 0..self.spgemm_bin_count - 1 {
+            if cub_per_row < bound {
+                return bin;
+            }
+            bound *= 2;
+        }
+        self.spgemm_bin_count - 1
+    }
+
+    /// Upper bound of a (non-overflow) bin: `bin_base * 2^bin`.
+    pub fn spgemm_bin_bound(&self, bin: usize) -> usize {
+        self.spgemm_bin_base << bin
+    }
+
+    /// Hash-table sizing bound for a block-row: its bin's upper bound (the
+    /// per-bin shared-memory tables of the paper), except in the unbounded
+    /// overflow bin where the row's own `Cub` is the only bound available.
+    pub fn spgemm_table_bound(&self, cub_per_row: usize) -> usize {
+        let bin = self.spgemm_bin_index(cub_per_row);
+        if bin + 1 == self.spgemm_bin_count {
+            cub_per_row
+        } else {
+            self.spgemm_bin_bound(bin)
+        }
+    }
+
+    /// Per-level precision under the mixed policy: FP64 below
+    /// `mixed_fp32_level`, then FP32, then FP16 from `mixed_fp16_level` on
+    /// (FP32 when the GPU lacks FP16 MMA support — MI210, Section V.F).
+    pub fn mixed_precision_for_level(
+        &self,
+        fp16_supported: bool,
+        level: usize,
+    ) -> amgt_sim::Precision {
+        use amgt_sim::Precision;
+        if level < self.mixed_fp32_level {
+            Precision::Fp64
+        } else if level < self.mixed_fp16_level || !fp16_supported {
+            Precision::Fp32
+        } else {
+            Precision::Fp16
+        }
+    }
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::Precision;
+
+    #[test]
+    fn paper_default_matches_hardcoded_constants() {
+        let p = KernelPolicy::paper_default();
+        assert_eq!(p.tc_popcount_threshold, 10);
+        assert_eq!(p.spmv_variation_threshold, 0.5);
+        assert_eq!(p.spmv_warp_capacity, 64);
+        assert_eq!(p.spgemm_bin_base, 128);
+        assert_eq!(p.spgemm_bin_count, 8);
+        assert_eq!(p.mixed_fp32_level, 1);
+        assert_eq!(p.mixed_fp16_level, 2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn default_bin_index_matches_paper_thresholds() {
+        let p = KernelPolicy::paper_default();
+        for (cub, bin) in [
+            (0usize, 0usize),
+            (127, 0),
+            (128, 1),
+            (255, 1),
+            (256, 2),
+            (4095, 5),
+            (4096, 6),
+            (8191, 6),
+            (8192, 7),
+            (1_000_000, 7),
+        ] {
+            assert_eq!(p.spgemm_bin_index(cub), bin, "cub {cub}");
+        }
+    }
+
+    #[test]
+    fn table_bound_uses_bin_bound_except_overflow() {
+        let p = KernelPolicy::paper_default();
+        assert_eq!(p.spgemm_table_bound(5), 128);
+        assert_eq!(p.spgemm_table_bound(130), 256);
+        assert_eq!(p.spgemm_table_bound(100_000), 100_000);
+    }
+
+    #[test]
+    fn custom_bin_base_shifts_thresholds() {
+        let mut p = KernelPolicy::paper_default();
+        p.spgemm_bin_base = 32;
+        p.spgemm_bin_count = 4;
+        assert_eq!(p.spgemm_bin_index(31), 0);
+        assert_eq!(p.spgemm_bin_index(32), 1);
+        assert_eq!(p.spgemm_bin_index(64), 2);
+        assert_eq!(p.spgemm_bin_index(128), 3);
+        assert_eq!(p.spgemm_bin_index(1 << 20), 3);
+    }
+
+    #[test]
+    fn mixed_precision_matches_device_policy() {
+        let p = KernelPolicy::paper_default();
+        assert_eq!(p.mixed_precision_for_level(true, 0), Precision::Fp64);
+        assert_eq!(p.mixed_precision_for_level(true, 1), Precision::Fp32);
+        assert_eq!(p.mixed_precision_for_level(true, 2), Precision::Fp16);
+        assert_eq!(p.mixed_precision_for_level(true, 6), Precision::Fp16);
+        assert_eq!(p.mixed_precision_for_level(false, 2), Precision::Fp32);
+        assert_eq!(p.mixed_precision_for_level(false, 0), Precision::Fp64);
+    }
+
+    #[test]
+    fn custom_precision_boundaries() {
+        let mut p = KernelPolicy::paper_default();
+        p.mixed_fp32_level = 2;
+        p.mixed_fp16_level = 4;
+        assert_eq!(p.mixed_precision_for_level(true, 1), Precision::Fp64);
+        assert_eq!(p.mixed_precision_for_level(true, 2), Precision::Fp32);
+        assert_eq!(p.mixed_precision_for_level(true, 3), Precision::Fp32);
+        assert_eq!(p.mixed_precision_for_level(true, 4), Precision::Fp16);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut p = KernelPolicy::paper_default();
+        p.tc_popcount_threshold = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = KernelPolicy::paper_default();
+        p.spgemm_bin_count = 9;
+        assert!(p.validate().is_err());
+
+        let mut p = KernelPolicy::paper_default();
+        p.mixed_fp16_level = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = KernelPolicy::paper_default();
+        p.spmv_variation_threshold = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+}

@@ -16,33 +16,36 @@
 //!    replicated, two valid blockBs per `mma.m8n8k4`, shuffle extraction,
 //!    half the 8x8 product discarded); sparser blocks take the thread-level
 //!    CUDA-core path over bitmap positions.
+//!
+//! The dispatch constants above — the tensor-core popcount cutoff and the
+//! bin base/count — are the paper's defaults; the kernel reads them from
+//! [`Ctx::policy`](crate::Ctx) (see [`crate::policy`]) so the `amgt-tune`
+//! search can vary them per matrix.
 
 use crate::ctx::Ctx;
+use crate::policy::KernelPolicy;
 use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC, MMA_FLOPS};
 use amgt_sim::precision::Precision;
 use amgt_sim::{Algo, KernelCost, KernelKind};
-use amgt_sparse::bitmap::{self, TENSOR_DENSITY_THRESHOLD, TILE_AREA};
+use amgt_sparse::bitmap::{self, TILE_AREA};
 use amgt_sparse::Mbsr;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of bins; thresholds 128 * 2^k, k = 0..6, plus the >= 8192 bin.
-pub const N_BINS: usize = 8;
-/// Smallest bin bound.
-pub const BIN_BASE: usize = 128;
-/// Largest bin bound; rows at or above it go to the last bin.
-pub const BIN_MAX: usize = 8192;
+/// Paper-default number of bins; thresholds 128 * 2^k, k = 0..6, plus the
+/// final `>= 8192` bin. Kept as the capacity of [`SpgemmMbsrStats::bins`];
+/// the live bin count comes from [`KernelPolicy::spgemm_bin_count`].
+pub const N_BINS: usize = crate::policy::PAPER_SPGEMM_BIN_COUNT;
+/// Paper-default smallest bin bound (see [`crate::policy`]).
+pub const BIN_BASE: usize = crate::policy::PAPER_SPGEMM_BIN_BASE;
+/// Paper-default largest bin bound; rows at or above it go to the last bin.
+pub const BIN_MAX: usize = BIN_BASE << (N_BINS - 2);
 
-/// Bin index for an intermediate-product upper bound (paper Section IV.C.1).
+/// Bin index for an intermediate-product upper bound under the paper
+/// defaults (Section IV.C.1). The kernel itself uses
+/// [`KernelPolicy::spgemm_bin_index`] from the context's policy.
 pub fn bin_index(cub_per_row: usize) -> usize {
-    let mut bound = BIN_BASE;
-    for bin in 0..N_BINS - 1 {
-        if cub_per_row < bound {
-            return bin;
-        }
-        bound *= 2;
-    }
-    N_BINS - 1
+    KernelPolicy::paper_default().spgemm_bin_index(cub_per_row)
 }
 
 /// Statistics reported by one SpGEMM execution.
@@ -120,6 +123,7 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     assert_eq!(a.blk_cols(), b.blk_rows(), "inner tile-grid mismatch");
     let prec = ctx.precision;
+    let policy = ctx.policy;
     let blk_rows = a.blk_rows();
 
     // ---- Step 1+2: data analysis and binning. ----
@@ -135,12 +139,13 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
         .collect();
     let mut bins = [0usize; N_BINS];
     for &cub in &cub_per_row {
-        bins[bin_index(cub)] += 1;
+        bins[policy.spgemm_bin_index(cub)] += 1;
     }
     let total_cub: u64 = cub_per_row.iter().map(|&c| c as u64).sum();
 
     // ---- Two-step symbolic computation. ----
     let probes = AtomicU64::new(0);
+    let table_slots = AtomicU64::new(0);
     let valid_counter = AtomicU64::new(0);
     let row_cols: Vec<Vec<u32>> = (0..blk_rows)
         .into_par_iter()
@@ -148,7 +153,10 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
             if cub_per_row[br] == 0 {
                 return Vec::new();
             }
-            let mut table = HashTable::with_bound(cub_per_row[br]);
+            // Tables are sized by the row's bin bound — the per-bin
+            // shared-memory tables of the paper — so the bin geometry is a
+            // real capacity/collision tradeoff, not just a statistic.
+            let mut table = HashTable::with_bound(policy.spgemm_table_bound(cub_per_row[br]));
             let (acols, amaps) = a.block_row(br);
             let mut valid = 0u64;
             for (&k, &map_a) in acols.iter().zip(amaps) {
@@ -164,6 +172,7 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
                 }
             }
             probes.fetch_add(2 * table.probes, Ordering::Relaxed); // Steps 1 and 2.
+            table_slots.fetch_add(2 * table.slots.len() as u64, Ordering::Relaxed);
             valid_counter.fetch_add(valid, Ordering::Relaxed);
             table.compress_sorted()
         })
@@ -177,9 +186,11 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
 
     let sym_cost = KernelCost {
         // Bitmap multiply ~8 ops + hash probes, executed twice (both steps);
+        // table initialisation (zeroing every slot) once per step; the
         // binning/analysis adds one op per A block.
         int_ops: 2.0 * 8.0 * total_cub as f64
             + probes.load(Ordering::Relaxed) as f64 * 2.0
+            + table_slots.load(Ordering::Relaxed) as f64
             + a.n_blocks() as f64
             + n_blocks as f64 * (n_blocks.max(2) as f64).log2() / blk_rows.max(1) as f64,
         // Index/bitmap traffic: A and B (idx+map = 6 B per block) touched in
@@ -233,7 +244,7 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
                 let a_tile = a.tile_array(a.blc_ptr[br] + apos_rel);
                 let k = cid_a as usize;
                 let (b_lo, b_hi) = (b.blc_ptr[k], b.blc_ptr[k + 1]);
-                if bitmap::popcount(map_a) >= TENSOR_DENSITY_THRESHOLD {
+                if bitmap::popcount(map_a) >= policy.tc_popcount_threshold {
                     // --- Tensor-core path: pairs of valid blockBs. ---
                     tc += 1;
                     slots += TILE_AREA as u64; // fragA tile load.
@@ -621,6 +632,47 @@ mod tests {
         assert!(stats.result_blocks as usize <= stats.valid_blocks as usize);
         assert_eq!(stats.result_nnz as usize, mc.nnz());
         assert_eq!(stats.tc_block_a + stats.cuda_block_a, ma.n_blocks() as u64);
+    }
+
+    #[test]
+    fn policy_tc_threshold_flips_spgemm_path() {
+        let a = laplacian_2d(12, 12, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(&a);
+        // Default: the 5-point stencil's sparse tiles stay on CUDA cores.
+        let (_, base) = spgemm_mbsr(&ctx(&dev), &ma, &ma);
+        assert!(base.cuda_block_a > 0);
+        // Threshold 1: every nonempty tile routes to the tensor path.
+        let mut p = KernelPolicy::paper_default();
+        p.tc_popcount_threshold = 1;
+        let (mc, all_tc) = spgemm_mbsr(&ctx(&dev).with_policy(p), &ma, &ma);
+        assert_eq!(all_tc.cuda_block_a, 0);
+        assert_eq!(all_tc.tc_block_a, ma.n_blocks() as u64);
+        // Threshold 17: nothing can reach it, every tile is CUDA-core.
+        p.tc_popcount_threshold = 17;
+        let (mc2, no_tc) = spgemm_mbsr(&ctx(&dev).with_policy(p), &ma, &ma);
+        assert_eq!(no_tc.tc_block_a, 0);
+        assert_eq!(no_tc.mma_issued, 0);
+        // Routing must not change values.
+        let expect = a.matmul(&a);
+        assert!(mc.to_csr().max_abs_diff(&expect) < 1e-10);
+        assert!(mc2.to_csr().max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn policy_bin_base_rebins_rows() {
+        let a = random_sparse(96, 9, 7);
+        let dev = Device::new(GpuSpec::a100());
+        let ma = Mbsr::from_csr(&a);
+        let (_, base) = spgemm_mbsr(&ctx(&dev), &ma, &ma);
+        let mut p = KernelPolicy::paper_default();
+        p.spgemm_bin_base = 8;
+        p.spgemm_bin_count = 4;
+        let (mc, rebinned) = spgemm_mbsr(&ctx(&dev).with_policy(p), &ma, &ma);
+        assert_eq!(rebinned.bins.iter().sum::<usize>(), ma.blk_rows());
+        assert!(rebinned.bins[4..].iter().all(|&b| b == 0), "only 4 bins");
+        assert_ne!(base.bins, rebinned.bins, "bin geometry must respond");
+        assert!(mc.to_csr().max_abs_diff(&a.matmul(&a)) < 1e-10);
     }
 
     #[test]

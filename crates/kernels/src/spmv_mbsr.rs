@@ -20,13 +20,15 @@ use amgt_sparse::Mbsr;
 use rayon::prelude::*;
 
 /// Fixed workload per warp in the load-balanced schedule (Section IV.D.1).
-pub const WARP_CAPACITY: usize = 64;
+/// Paper default; the live value comes from [`Ctx::policy`]
+/// (see [`crate::policy`]).
+pub const WARP_CAPACITY: usize = crate::policy::PAPER_SPMV_WARP_CAPACITY;
 
 /// Variation threshold above which the load-balanced schedule is selected.
 /// The paper does not publish the constant; 0.5 (a moderately skewed row
 /// distribution) reproduces its qualitative behaviour and is swept in the
-/// ablation bench.
-pub const VARIATION_THRESHOLD: f64 = 0.5;
+/// ablation bench. Paper default; the live value comes from [`Ctx::policy`].
+pub const VARIATION_THRESHOLD: f64 = crate::policy::PAPER_SPMV_VARIATION_THRESHOLD;
 
 /// Which compute path the adaptive selection chose.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,13 +65,14 @@ impl SpmvPlan {
 }
 
 /// Preprocess the matrix: compute the selection parameters and build the
-/// warp schedule (charged as a preprocessing kernel).
+/// warp schedule (charged as a preprocessing kernel). Thresholds come from
+/// the context's [`crate::KernelPolicy`].
 pub fn analyze_spmv(ctx: &Ctx, a: &Mbsr) -> SpmvPlan {
     analyze_spmv_with(
         ctx,
         a,
-        VARIATION_THRESHOLD,
-        bitmap::TENSOR_DENSITY_THRESHOLD as f64,
+        ctx.policy.spmv_variation_threshold,
+        f64::from(ctx.policy.tc_popcount_threshold),
     )
 }
 
@@ -100,7 +103,7 @@ pub fn analyze_spmv_with(
             if load_balanced {
                 let mut s = lo;
                 while s < hi {
-                    let len = (hi - s).min(WARP_CAPACITY);
+                    let len = (hi - s).min(ctx.policy.spmv_warp_capacity);
                     jobs.push(WarpJob {
                         block_row: br as u32,
                         start: s,
@@ -545,5 +548,54 @@ mod tests {
     fn empty_rows_produce_zero() {
         let a = Csr::from_triplets(10, 10, &[(0, 0, 2.0), (9, 9, 3.0)]);
         check_spmv(&a, 1e-15);
+    }
+
+    #[test]
+    fn policy_warp_capacity_drives_job_split() {
+        // One 512-wide clique plus a short tail: long dense block-rows next
+        // to near-empty ones, so the block-row variation is nonzero.
+        let a = block_cliques(520, 512, 1);
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(&a);
+        let mut pol = crate::policy::KernelPolicy::paper_default();
+        pol.spmv_warp_capacity = 16;
+        pol.spmv_variation_threshold = 0.0;
+        let c = ctx(&dev).with_policy(pol);
+        let plan = analyze_spmv(&c, &m);
+        assert!(plan.load_balanced);
+        let jobs = plan.jobs_for_row(0);
+        assert!(jobs.len() > 1);
+        assert!(jobs.iter().all(|j| j.len <= 16));
+        // The schedule change must not change the result.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = spmv_mbsr(&c, &m, &plan, &x);
+        let expect = a.matvec(&x);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn policy_tc_threshold_flips_compute_path() {
+        // The 5-point stencil averages well below 10 nnz/tile: CUDA path
+        // under the paper policy, tensor path once the cutoff drops to 1.
+        let a = laplacian_2d(13, 17, Stencil2d::Five);
+        let dev = Device::new(GpuSpec::a100());
+        let m = Mbsr::from_csr(&a);
+        assert_eq!(analyze_spmv(&ctx(&dev), &m).path, SpmvPath::CudaCore);
+        let mut pol = crate::policy::KernelPolicy::paper_default();
+        pol.tc_popcount_threshold = 1;
+        let c = ctx(&dev).with_policy(pol);
+        let plan = analyze_spmv(&c, &m);
+        assert_eq!(plan.path, SpmvPath::TensorCore);
+        // Both paths compute the same product.
+        let mut rng = StdRng::seed_from_u64(23);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = spmv_mbsr(&c, &m, &plan, &x);
+        let expect = a.matvec(&x);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-10);
+        }
     }
 }

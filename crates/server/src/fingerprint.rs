@@ -1,179 +1,29 @@
 //! Structural fingerprints for hierarchy caching.
 //!
-//! AMG setup (strength graph, PMIS, extended+i, RAP) depends on the
-//! *sparsity structure* of `A`; the numeric values only enter the Galerkin
-//! products and smoother diagonals. The cache therefore keys hierarchies by
-//! a structural fingerprint — dimensions, nnz and a hash over the mBSR
-//! block structure (`blc_ptr` / `blc_idx` / `blc_map`) — and stores a
-//! separate hash of the value bits so a repeat solve can distinguish
-//! "same system" (full hit, skip setup) from "same pattern, new values"
-//! (refresh: keep coarsening + interpolation, redo RAP via `resetup`).
+//! The structural [`Fingerprint`] itself (dims, nnz, mBSR structure hash)
+//! lives in [`amgt_sparse::fingerprint`] so other consumers — notably the
+//! `amgt-tune` policy cache — can share the exact same key. This module
+//! re-exports it and adds the server-side [`config_hash`]: hierarchies may
+//! be shared between requests only when both the structure and the solver
+//! configuration agree.
 
-use amgt_sparse::bitmap::TILE;
-use amgt_sparse::{Csr, Mbsr};
+pub use amgt_sparse::fingerprint::{of_csr, of_mbsr, value_hash, Fingerprint};
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
-
-/// Incremental FNV-1a over little-endian words.
-#[derive(Clone, Copy, Debug)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(FNV_OFFSET)
-    }
-
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-}
-
-/// Structural identity of a system matrix: what the setup phase depends on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct Fingerprint {
-    pub nrows: usize,
-    pub ncols: usize,
-    pub nnz: usize,
-    /// FNV-1a over the mBSR block structure (tile counts per block-row,
-    /// block-column indices, nonzero bitmaps).
-    pub structure_hash: u64,
-}
-
-/// Fingerprint of an already-converted mBSR matrix.
-pub fn of_mbsr(m: &Mbsr) -> Fingerprint {
-    let mut h = Fnv::new();
-    for br in 0..m.blk_rows() {
-        let (start, end) = (m.blc_ptr[br], m.blc_ptr[br + 1]);
-        h.write_u64((end - start) as u64);
-        for pos in start..end {
-            h.write_u64(u64::from(m.blc_idx[pos]));
-            h.write_u64(u64::from(m.blc_map[pos]));
-        }
-    }
-    Fingerprint {
-        nrows: m.nrows(),
-        ncols: m.ncols(),
-        nnz: m.blc_map.iter().map(|&b| b.count_ones() as usize).sum(),
-        structure_hash: h.0,
-    }
-}
-
-/// Fingerprint of a CSR matrix, computed *without* materializing the mBSR
-/// image: the block structure is derived on the fly by merging each group
-/// of four CSR rows, reproducing `Mbsr::from_csr`'s pass-1 ordering exactly
-/// — `of_csr(a) == of_mbsr(&Mbsr::from_csr(a))` for every matrix.
-pub fn of_csr(a: &Csr) -> Fingerprint {
-    let blk_rows = a.nrows().div_ceil(TILE);
-    let mut h = Fnv::new();
-    let mut tiles: Vec<u32> = Vec::new();
-    let mut maps: Vec<u16> = Vec::new();
-    for br in 0..blk_rows {
-        tiles.clear();
-        for r in br * TILE..((br + 1) * TILE).min(a.nrows()) {
-            tiles.extend(a.row(r).0.iter().map(|&c| c / TILE as u32));
-        }
-        tiles.sort_unstable();
-        tiles.dedup();
-        maps.clear();
-        maps.resize(tiles.len(), 0);
-        for r in br * TILE..((br + 1) * TILE).min(a.nrows()) {
-            let lr = r - br * TILE;
-            for &c in a.row(r).0 {
-                let bc = c / TILE as u32;
-                let t = tiles.binary_search(&bc).expect("tile listed in pass 1");
-                maps[t] |= 1 << (lr * TILE + (c as usize % TILE));
-            }
-        }
-        h.write_u64(tiles.len() as u64);
-        for (bc, map) in tiles.iter().zip(&maps) {
-            h.write_u64(u64::from(*bc));
-            h.write_u64(u64::from(*map));
-        }
-    }
-    Fingerprint {
-        nrows: a.nrows(),
-        ncols: a.ncols(),
-        nnz: a.nnz(),
-        structure_hash: h.0,
-    }
-}
-
-/// Hash of the numeric content (bit-exact over the stored values).
-pub fn value_hash(a: &Csr) -> u64 {
-    let mut h = Fnv::new();
-    for &v in &a.vals {
-        h.write_u64(v.to_bits());
-    }
-    h.0
-}
+use amgt_sparse::fingerprint::Fnv;
 
 /// Hash of a solver configuration. Two requests may share a cached
 /// hierarchy (or a batch) only if their configurations agree; the derive'd
-/// `Debug` rendering covers every field, so any config change alters the
-/// hash.
+/// `Debug` rendering covers every field (including the kernel policy), so
+/// any config change alters the hash.
 pub fn config_hash(cfg: &amgt::AmgConfig) -> u64 {
     let mut h = Fnv::new();
     h.write_bytes(format!("{cfg:?}").as_bytes());
-    h.0
+    h.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amgt_sparse::gen::{elasticity_3d, laplacian_2d, random_sparse, NeighborSet, Stencil2d};
-
-    #[test]
-    fn csr_and_mbsr_fingerprints_agree() {
-        for a in [
-            laplacian_2d(13, 17, Stencil2d::Five),
-            laplacian_2d(10, 10, Stencil2d::Nine),
-            elasticity_3d(3, 3, 3, 4, NeighborSet::Face, 5),
-            random_sparse(93, 6, 42),
-        ] {
-            let fp_csr = of_csr(&a);
-            let fp_mbsr = of_mbsr(&Mbsr::from_csr(&a));
-            assert_eq!(fp_csr, fp_mbsr);
-        }
-    }
-
-    #[test]
-    fn same_structure_different_values_share_fingerprint() {
-        let a = laplacian_2d(12, 12, Stencil2d::Five);
-        let mut b = a.clone();
-        for v in b.vals.iter_mut() {
-            *v *= 1.5;
-        }
-        assert_eq!(of_csr(&a), of_csr(&b));
-        assert_ne!(value_hash(&a), value_hash(&b));
-    }
-
-    #[test]
-    fn perturbed_sparsity_changes_fingerprint() {
-        let a = laplacian_2d(12, 12, Stencil2d::Five);
-        // Same dims, same nnz COUNT, one entry moved to a new position.
-        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
-        for r in 0..a.nrows() {
-            let (cols, vals) = a.row(r);
-            for (&c, &v) in cols.iter().zip(vals) {
-                triplets.push((r, c as usize, v));
-            }
-        }
-        let (r0, c0, v0) = triplets[0];
-        let moved = (r0, (c0 + 2) % a.ncols(), v0);
-        assert!(a.get(moved.0, moved.1).is_none(), "pick an empty slot");
-        triplets[0] = moved;
-        let b = Csr::from_triplets(a.nrows(), a.ncols(), &triplets);
-        assert_eq!(a.nnz(), b.nnz());
-        assert_ne!(of_csr(&a), of_csr(&b));
-    }
 
     #[test]
     fn config_hash_tracks_every_field() {
@@ -185,5 +35,13 @@ mod tests {
         assert_eq!(config_hash(&base), config_hash(&base.clone()));
         assert_ne!(config_hash(&base), config_hash(&tol));
         assert_ne!(config_hash(&base), config_hash(&iters));
+    }
+
+    #[test]
+    fn config_hash_tracks_kernel_policy() {
+        let base = amgt::AmgConfig::amgt_fp64();
+        let mut tuned = base.clone();
+        tuned.policy.tc_popcount_threshold = 7;
+        assert_ne!(config_hash(&base), config_hash(&tuned));
     }
 }

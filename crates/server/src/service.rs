@@ -22,10 +22,12 @@ use crate::cache::{CacheKey, CacheOutcome, HierarchyCache};
 use crate::fingerprint::{config_hash, of_csr, value_hash};
 use crate::metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 use amgt::prelude::*;
-use amgt::{resetup, setup, solve_batched, Hierarchy};
+use amgt::{resetup, setup, solve_batched, Hierarchy, KernelPolicy};
 use amgt_trace::{Recorder, Recording, SpanKind};
+use amgt_tune::PolicyStore;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -48,6 +50,14 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Simulated GPU each worker models.
     pub spec: GpuSpec,
+    /// Optional `amgt-tune` policy cache (JSON file). When set, each batch
+    /// whose request leaves the kernel policy at the paper default consults
+    /// the cache by structural fingerprint and adopts the tuned
+    /// [`KernelPolicy`] on a hit. Requests that carry an explicit
+    /// non-default policy are never overridden. The file is read once at
+    /// service construction; a missing or corrupt file degrades to "no
+    /// tuned policies" without failing.
+    pub policy_store: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +69,7 @@ impl Default for ServiceConfig {
             batch_window: Duration::from_millis(2),
             cache_capacity: 8,
             spec: GpuSpec::a100(),
+            policy_store: None,
         }
     }
 }
@@ -126,6 +137,11 @@ pub struct JobOutcome {
     /// Structured trace of the batch, when the request asked for one.
     /// Shared (`Arc`) across jobs coalesced into the same batch.
     pub trace: Option<Arc<Recording>>,
+    /// The kernel policy the solve actually ran under.
+    pub policy: KernelPolicy,
+    /// Whether `policy` was adopted from the tuned-policy cache (as opposed
+    /// to coming from the request's configuration).
+    pub policy_tuned: bool,
 }
 
 /// Why a job failed.
@@ -232,6 +248,8 @@ struct Shared {
     cache: Mutex<HierarchyCache>,
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
+    /// Tuned-policy cache, loaded once at construction (read-only after).
+    policies: PolicyStore,
 }
 
 /// The in-process multi-tenant solve service.
@@ -253,10 +271,15 @@ impl SolverService {
             "batch_max must be 1..=8"
         );
         let (tx, rx) = bounded::<Job>(config.queue_capacity);
+        let policies = match &config.policy_store {
+            Some(path) => PolicyStore::open(path),
+            None => PolicyStore::in_memory(),
+        };
         let shared = Arc::new(Shared {
             cache: Mutex::new(HierarchyCache::new(config.cache_capacity)),
             telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
+            policies,
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -438,7 +461,18 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
         return;
     }
 
-    let amg_cfg = live[0].request.config.clone();
+    let mut amg_cfg = live[0].request.config.clone();
+    // Tuned-policy adoption: a request that leaves the policy at the paper
+    // default opts into whatever the tuning cache knows about this system on
+    // this GPU; an explicit policy in the request always wins.
+    let mut policy_tuned = false;
+    if amg_cfg.policy == KernelPolicy::paper_default() && !shared.policies.is_empty() {
+        let key = amgt_tune::policy_key(&live[0].request.matrix, device.spec(), &amg_cfg);
+        if let Some(hit) = shared.policies.lookup(&key) {
+            amg_cfg.policy = hit.policy;
+            policy_tuned = true;
+        }
+    }
     let sim_start = device.elapsed();
 
     // Per-batch trace capture: if any coalesced job asked for it, record
@@ -526,6 +560,8 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
             simulated_seconds: simulated,
             wall_seconds: wall,
             trace: job_trace,
+            policy: amg_cfg.policy,
+            policy_tuned,
         }));
     }
 }

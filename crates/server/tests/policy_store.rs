@@ -1,0 +1,156 @@
+//! Tuned-policy adoption: the service consults the `amgt-tune` policy
+//! cache by structural fingerprint and runs batches under the tuned
+//! [`KernelPolicy`] — unless the request carries an explicit policy.
+
+use amgt::prelude::*;
+use amgt::KernelPolicy;
+use amgt_server::{ServiceConfig, SolveRequest, SolverService};
+use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+use amgt_tune::{policy_key, PolicyStore, StoredPolicy};
+use std::path::PathBuf;
+
+fn test_system() -> (Csr, Vec<f64>, AmgConfig) {
+    let a = laplacian_2d(16, 16, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.tolerance = 1e-8;
+    (a, b, cfg)
+}
+
+fn tuned_policy() -> KernelPolicy {
+    let mut p = KernelPolicy::paper_default();
+    p.tc_popcount_threshold = 6;
+    p.spgemm_bin_base = 64;
+    p
+}
+
+/// Write a one-entry policy store for `(a, cfg)` on `spec` and return its path.
+fn write_store(dir: &str, a: &Csr, spec: &GpuSpec, cfg: &AmgConfig) -> PathBuf {
+    let dir = std::env::temp_dir().join(dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("policies.json");
+    std::fs::remove_file(&path).ok();
+    let mut store = PolicyStore::open(&path);
+    store.insert(StoredPolicy {
+        key: policy_key(a, spec, cfg),
+        policy: tuned_policy(),
+        score: 1.0e-3,
+        default_score: 1.2e-3,
+        evaluations: 12,
+    });
+    store.save().unwrap();
+    path
+}
+
+#[test]
+fn service_adopts_tuned_policy_on_fingerprint_hit() {
+    let (a, b, cfg) = test_system();
+    let spec = GpuSpec::a100();
+    let path = write_store("amgt-server-policy-hit", &a, &spec, &cfg);
+
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        spec,
+        policy_store: Some(path.clone()),
+        ..Default::default()
+    });
+    let job = service.submit(SolveRequest::new(a, b, cfg)).unwrap();
+    service.drain_pending();
+    let outcome = job.wait().unwrap();
+    assert!(outcome.converged);
+    assert!(
+        outcome.policy_tuned,
+        "store hit must adopt the tuned policy"
+    );
+    assert_eq!(outcome.policy, tuned_policy());
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn service_without_store_runs_paper_default() {
+    let (a, b, cfg) = test_system();
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        ..Default::default()
+    });
+    let job = service.submit(SolveRequest::new(a, b, cfg)).unwrap();
+    service.drain_pending();
+    let outcome = job.wait().unwrap();
+    assert!(!outcome.policy_tuned);
+    assert_eq!(outcome.policy, KernelPolicy::paper_default());
+    service.shutdown();
+}
+
+#[test]
+fn fingerprint_miss_keeps_paper_default() {
+    let (a, _b, cfg) = test_system();
+    let spec = GpuSpec::a100();
+    let path = write_store("amgt-server-policy-miss", &a, &spec, &cfg);
+
+    // Different system: same store, no matching fingerprint.
+    let other = laplacian_2d(17, 17, Stencil2d::Five);
+    let rhs = rhs_of_ones(&other);
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        spec,
+        policy_store: Some(path.clone()),
+        ..Default::default()
+    });
+    let job = service.submit(SolveRequest::new(other, rhs, cfg)).unwrap();
+    service.drain_pending();
+    let outcome = job.wait().unwrap();
+    assert!(!outcome.policy_tuned);
+    assert_eq!(outcome.policy, KernelPolicy::paper_default());
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explicit_request_policy_is_never_overridden() {
+    let (a, b, mut cfg) = test_system();
+    let spec = GpuSpec::a100();
+    // Store keyed on the *default*-policy config (policy_key normalizes the
+    // policy away), so the fingerprint would match; the explicit policy in
+    // the request must still win.
+    let path = write_store("amgt-server-policy-explicit", &a, &spec, &cfg);
+    cfg.policy.spmv_warp_capacity = 128;
+
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        spec,
+        policy_store: Some(path.clone()),
+        ..Default::default()
+    });
+    let job = service
+        .submit(SolveRequest::new(a, b, cfg.clone()))
+        .unwrap();
+    service.drain_pending();
+    let outcome = job.wait().unwrap();
+    assert!(!outcome.policy_tuned);
+    assert_eq!(outcome.policy, cfg.policy);
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_store_degrades_to_default_policy() {
+    let dir = std::env::temp_dir().join("amgt-server-policy-corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("policies.json");
+    std::fs::write(&path, "definitely not json").unwrap();
+
+    let (a, b, cfg) = test_system();
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        policy_store: Some(path.clone()),
+        ..Default::default()
+    });
+    let job = service.submit(SolveRequest::new(a, b, cfg)).unwrap();
+    service.drain_pending();
+    let outcome = job.wait().unwrap();
+    assert!(outcome.converged);
+    assert!(!outcome.policy_tuned);
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

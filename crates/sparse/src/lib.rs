@@ -35,6 +35,7 @@ pub mod bitmap;
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod fingerprint;
 pub mod gen;
 pub mod ldl;
 pub mod mbsr;
@@ -47,5 +48,6 @@ pub use bitmap::{bitmap_multiply, TENSOR_DENSITY_THRESHOLD, TILE, TILE_AREA};
 pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::{Dense, Lu};
+pub use fingerprint::Fingerprint;
 pub use ldl::SparseLdl;
 pub use mbsr::{Bsr, Mbsr};

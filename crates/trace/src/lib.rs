@@ -33,4 +33,6 @@ pub use export::{chrome_trace, Breakdown, BreakdownRow};
 pub use health::{HealthEvent, HealthEventKind, HierarchyDiagnostics, LevelStats};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use recorder::{KernelRecord, KernelSample, Recorder, Recording, SpanKind, SpanRecord};
+pub use recorder::{
+    KernelRecord, KernelSample, PolicyNote, PolicyParam, Recorder, Recording, SpanKind, SpanRecord,
+};

@@ -104,6 +104,28 @@ pub struct KernelSample {
     pub launches: u32,
 }
 
+/// One named scalar of the kernel policy a run executed under.
+#[derive(Clone, Debug, Serialize)]
+pub struct PolicyParam {
+    pub name: String,
+    pub value: f64,
+}
+
+/// Provenance of the kernel-dispatch policy attached to a recording. Kept
+/// as flat strings/scalars so the trace layer stays independent of the
+/// solver's policy types.
+#[derive(Clone, Debug, Serialize)]
+pub struct PolicyNote {
+    /// Where the policy came from: `"paper-default"`, `"tuned-search"`,
+    /// `"tuned-cache"`, `"file"`, ...
+    pub source: String,
+    /// Simulated-seconds speedup the tuner predicted over the paper
+    /// default (1.0 when the default itself ran).
+    pub predicted_speedup: f64,
+    /// The policy's parameters, flattened to name/value pairs.
+    pub params: Vec<PolicyParam>,
+}
+
 /// A finished (or snapshotted) trace.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct Recording {
@@ -120,6 +142,8 @@ pub struct Recording {
     pub health: Vec<HealthEvent>,
     /// Hierarchy-quality stats attached after the most recent AMG setup.
     pub hierarchy: Option<HierarchyDiagnostics>,
+    /// Kernel-policy provenance for the run, when the driver attached one.
+    pub policy: Option<PolicyNote>,
 }
 
 impl Recording {
@@ -210,6 +234,7 @@ struct RecorderState {
     dropped_kernels: u64,
     health: Vec<HealthEvent>,
     hierarchy: Option<HierarchyDiagnostics>,
+    policy: Option<PolicyNote>,
 }
 
 /// Thread-safe trace collector. One recorder is meant to observe one
@@ -255,6 +280,7 @@ impl Recorder {
                 dropped_kernels: 0,
                 health: Vec::new(),
                 hierarchy: None,
+                policy: None,
             }),
         }
     }
@@ -352,6 +378,12 @@ impl Recorder {
         self.state.lock().hierarchy = Some(diag);
     }
 
+    /// Attach kernel-policy provenance (which policy ran, where it came
+    /// from, what speedup the tuner predicted). Replaces any previous note.
+    pub fn set_policy(&self, note: PolicyNote) {
+        self.state.lock().policy = Some(note);
+    }
+
     /// Clone the current state without draining it.
     pub fn snapshot(&self) -> Recording {
         let st = self.state.lock();
@@ -362,6 +394,7 @@ impl Recorder {
             dropped_kernels: st.dropped_kernels,
             health: st.health.clone(),
             hierarchy: st.hierarchy.clone(),
+            policy: st.policy.clone(),
         }
     }
 
@@ -375,6 +408,7 @@ impl Recorder {
             dropped_kernels: st.dropped_kernels,
             health: std::mem::take(&mut st.health),
             hierarchy: st.hierarchy.take(),
+            policy: st.policy.take(),
         };
         st.stack.clear();
         st.dropped_spans = 0;

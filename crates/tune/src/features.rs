@@ -1,0 +1,110 @@
+//! Compact structural features of a matrix, extracted from its mBSR image.
+//!
+//! The tuner does not need the full [`amgt_sparse::stats::MatrixStats`]
+//! report — it needs the handful of quantities the dispatch heuristics key
+//! off: how full the tiles are (tensor-core cutoff), how skewed the
+//! block-row lengths are (balanced schedule), and how much intermediate
+//! work SpGEMM will see (bin geometry). [`MatrixFeatures`] collects exactly
+//! those, and [`MatrixFeatures::to_vec`] flattens them into the compact
+//! vector recorded alongside tuned policies.
+
+use amgt_sparse::stats::{matrix_stats, MatrixStats};
+use amgt_sparse::Csr;
+use serde::Serialize;
+
+/// Structural feature vector driving the policy search.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct MatrixFeatures {
+    pub nrows: usize,
+    pub nnz: usize,
+    /// Nonzero 4x4 tiles of the mBSR image.
+    pub tiles: usize,
+    /// Average tile population (the SpMV path-selection statistic).
+    pub avg_nnz_per_tile: f64,
+    /// Fraction of tiles with popcount `k+1`, `k = 0..16`.
+    pub tile_occupancy: [f64; 16],
+    /// Coefficient of variation of tiles per block-row (the SpMV
+    /// balanced-schedule statistic).
+    pub block_row_variation: f64,
+    /// Coefficient of variation of scalar row lengths (row imbalance).
+    pub row_variation: f64,
+    /// Fraction of tiles at or above the paper's tensor-core cutoff.
+    pub tensor_tile_fraction: f64,
+    /// Average tiles per block-row (first-order SpGEMM `Cub` scale:
+    /// `Cub ~ avg_tiles_per_block_row^2`).
+    pub avg_tiles_per_block_row: f64,
+}
+
+impl MatrixFeatures {
+    /// Extract the features from a CSR matrix (converts to mBSR internally).
+    pub fn extract(a: &Csr) -> MatrixFeatures {
+        MatrixFeatures::from_stats(&matrix_stats(a))
+    }
+
+    /// Build the feature vector from an already-computed stats report.
+    pub fn from_stats(s: &MatrixStats) -> MatrixFeatures {
+        let tiles = s.tiles.max(1) as f64;
+        let mut occupancy = [0.0f64; 16];
+        for (slot, &count) in occupancy.iter_mut().zip(&s.tile_fill_histogram) {
+            *slot = count as f64 / tiles;
+        }
+        let blk_rows = s.nrows.div_ceil(amgt_sparse::TILE).max(1);
+        MatrixFeatures {
+            nrows: s.nrows,
+            nnz: s.nnz,
+            tiles: s.tiles,
+            avg_nnz_per_tile: s.avg_nnz_per_tile,
+            tile_occupancy: occupancy,
+            block_row_variation: s.block_row_variation,
+            row_variation: s.row_variation,
+            tensor_tile_fraction: s.tensor_tile_fraction,
+            avg_tiles_per_block_row: s.tiles as f64 / blk_rows as f64,
+        }
+    }
+
+    /// Flatten into one numeric vector (fixed layout, 23 entries).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = vec![
+            self.nrows as f64,
+            self.nnz as f64,
+            self.tiles as f64,
+            self.avg_nnz_per_tile,
+            self.block_row_variation,
+            self.row_variation,
+            self.tensor_tile_fraction,
+        ];
+        v.extend_from_slice(&self.tile_occupancy);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sparse::gen::{elasticity_3d, laplacian_2d, NeighborSet, Stencil2d};
+
+    #[test]
+    fn stencil_features_are_sparse_tiles() {
+        let f = MatrixFeatures::extract(&laplacian_2d(20, 20, Stencil2d::Five));
+        assert!(f.avg_nnz_per_tile < 10.0);
+        assert!(f.tensor_tile_fraction < 0.5);
+        let total: f64 = f.tile_occupancy.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "occupancy sums to 1, {total}");
+    }
+
+    #[test]
+    fn block_matrix_features_are_dense_tiles() {
+        let f = MatrixFeatures::extract(&elasticity_3d(3, 3, 3, 4, NeighborSet::Face, 1));
+        assert!(f.avg_nnz_per_tile > 10.0);
+        assert!(f.tensor_tile_fraction > 0.5);
+    }
+
+    #[test]
+    fn vector_layout_is_stable() {
+        let f = MatrixFeatures::extract(&laplacian_2d(8, 8, Stencil2d::Five));
+        let v = f.to_vec();
+        assert_eq!(v.len(), 23);
+        assert_eq!(v[0], f.nrows as f64);
+        assert_eq!(v[3], f.avg_nnz_per_tile);
+    }
+}

@@ -1,0 +1,50 @@
+//! The tuner's objective: simulated end-to-end seconds under a policy.
+//!
+//! One scorer is shared by the search loop and by the `tuned_vs_default`
+//! bench mode, so "the tuner never regresses" is a structural property:
+//! the search returns the argmin over a candidate set that always contains
+//! [`KernelPolicy::paper_default`], measured by the very function the bench
+//! later replays. The simulated clock is deterministic, so scores are
+//! exactly reproducible.
+
+use amgt::prelude::*;
+use amgt_kernels::KernelPolicy;
+use amgt_sparse::gen::rhs_of_ones;
+
+/// Simulated setup + solve seconds of `run_amg` on a fresh device with the
+/// given policy installed in the configuration.
+pub fn simulated_total_seconds(
+    spec: &GpuSpec,
+    cfg: &AmgConfig,
+    a: &Csr,
+    policy: KernelPolicy,
+) -> f64 {
+    let mut cfg = cfg.clone();
+    cfg.policy = policy;
+    let device = Device::new(spec.clone());
+    let b = rhs_of_ones(a);
+    let (_x, _h, report) = run_amg(&device, &cfg, a.clone(), &b);
+    report.total_seconds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+
+    #[test]
+    fn scores_are_deterministic_and_policy_sensitive() {
+        let a = laplacian_2d(24, 24, Stencil2d::Five);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.max_iterations = 5;
+        let spec = GpuSpec::a100();
+        let d0 = KernelPolicy::paper_default();
+        let s1 = simulated_total_seconds(&spec, &cfg, &a, d0);
+        let s2 = simulated_total_seconds(&spec, &cfg, &a, d0);
+        assert_eq!(s1, s2, "simulated clock must be deterministic");
+        let mut p = d0;
+        p.tc_popcount_threshold = 1; // Force everything onto tensor cores.
+        let s3 = simulated_total_seconds(&spec, &cfg, &a, p);
+        assert_ne!(s1, s3, "policy must move the simulated clock");
+    }
+}

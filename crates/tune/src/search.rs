@@ -1,0 +1,406 @@
+//! The policy search: coordinate descent with random restarts over a
+//! feature-scoped discrete policy space.
+//!
+//! The space is small (a handful of values per axis) but its product is a
+//! few thousand policies — far more than a budgeted tuner may score when
+//! every evaluation is a full simulated setup + solve. Coordinate descent
+//! walks one axis at a time from the paper default; random restarts escape
+//! the local minima of a non-separable space. Every score is memoized by
+//! axis-index vector, the paper default is always evaluated first (so the
+//! result can never regress against it), and the search stops at the
+//! evaluation budget.
+
+use crate::features::MatrixFeatures;
+use amgt_kernels::KernelPolicy;
+use std::collections::HashMap;
+
+/// Number of search axes (see [`PolicySpace`]).
+pub const N_AXES: usize = 6;
+
+/// The discrete candidate values per policy axis.
+#[derive(Clone, Debug)]
+pub struct PolicySpace {
+    pub tc_thresholds: Vec<u32>,
+    pub variation_thresholds: Vec<f64>,
+    pub warp_capacities: Vec<usize>,
+    pub bin_bases: Vec<usize>,
+    pub bin_counts: Vec<usize>,
+    /// `(mixed_fp32_level, mixed_fp16_level)` pairs.
+    pub mixed_levels: Vec<(usize, usize)>,
+}
+
+impl PolicySpace {
+    /// The space scoped to a matrix: axes always contain the paper default
+    /// (index 0) plus the alternatives the features make plausible.
+    pub fn for_features(features: &MatrixFeatures, mixed_precision: bool) -> PolicySpace {
+        // Tensor cutoffs bracketing the observed tile fill: a matrix whose
+        // tiles average 6 nnz never profits from cutoffs above ~14, and a
+        // dense-tile matrix never profits from cutoffs below ~4.
+        let mut tc: Vec<u32> = vec![amgt_kernels::policy::PAPER_TC_POPCOUNT_THRESHOLD];
+        for c in [4u32, 6, 8, 12, 14] {
+            let dist = f64::from(c) - features.avg_nnz_per_tile;
+            if dist.abs() <= 8.0 {
+                tc.push(c);
+            }
+        }
+        // Variation cutoffs straddling the observed block-row variation, so
+        // both schedules are reachable for this matrix.
+        let mut variation = vec![amgt_kernels::policy::PAPER_SPMV_VARIATION_THRESHOLD];
+        for v in [0.125, 0.25, 1.0, 2.0] {
+            variation.push(v);
+        }
+        let warp = vec![
+            amgt_kernels::policy::PAPER_SPMV_WARP_CAPACITY,
+            16,
+            32,
+            128,
+            256,
+        ];
+        let bases = vec![
+            amgt_kernels::policy::PAPER_SPGEMM_BIN_BASE,
+            32,
+            64,
+            256,
+            512,
+        ];
+        let counts = vec![amgt_kernels::policy::PAPER_SPGEMM_BIN_COUNT, 4, 6];
+        let mixed = if mixed_precision {
+            vec![
+                (
+                    amgt_kernels::policy::PAPER_MIXED_FP32_LEVEL,
+                    amgt_kernels::policy::PAPER_MIXED_FP16_LEVEL,
+                ),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+            ]
+        } else {
+            // Uniform-precision configs never read the boundaries: keep the
+            // axis degenerate so the budget is spent on live axes.
+            vec![(
+                amgt_kernels::policy::PAPER_MIXED_FP32_LEVEL,
+                amgt_kernels::policy::PAPER_MIXED_FP16_LEVEL,
+            )]
+        };
+        PolicySpace {
+            tc_thresholds: tc,
+            variation_thresholds: variation,
+            warp_capacities: warp,
+            bin_bases: bases,
+            bin_counts: counts,
+            mixed_levels: mixed,
+        }
+    }
+
+    pub fn axis_len(&self, axis: usize) -> usize {
+        match axis {
+            0 => self.tc_thresholds.len(),
+            1 => self.variation_thresholds.len(),
+            2 => self.warp_capacities.len(),
+            3 => self.bin_bases.len(),
+            4 => self.bin_counts.len(),
+            5 => self.mixed_levels.len(),
+            _ => unreachable!("axis {axis}"),
+        }
+    }
+
+    /// Materialize the policy at an axis-index vector.
+    pub fn policy_at(&self, idx: &[usize; N_AXES]) -> KernelPolicy {
+        let (fp32, fp16) = self.mixed_levels[idx[5]];
+        KernelPolicy {
+            tc_popcount_threshold: self.tc_thresholds[idx[0]],
+            spmv_variation_threshold: self.variation_thresholds[idx[1]],
+            spmv_warp_capacity: self.warp_capacities[idx[2]],
+            spgemm_bin_base: self.bin_bases[idx[3]],
+            spgemm_bin_count: self.bin_counts[idx[4]],
+            mixed_fp32_level: fp32,
+            mixed_fp16_level: fp16,
+        }
+    }
+
+    /// Total number of distinct candidates.
+    pub fn cardinality(&self) -> usize {
+        (0..N_AXES).map(|ax| self.axis_len(ax)).product()
+    }
+}
+
+/// Search budget. The paper default always consumes the first evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneBudget {
+    /// Hard cap on scored candidates (including the paper default).
+    pub max_evaluations: usize,
+    /// Random restarts after the initial descent from the default.
+    pub restarts: usize,
+    /// Seed for the restart generator (deterministic tuning).
+    pub seed: u64,
+}
+
+impl Default for TuneBudget {
+    fn default() -> Self {
+        TuneBudget {
+            max_evaluations: 32,
+            restarts: 2,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// Result of one search run.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    pub policy: KernelPolicy,
+    /// Score of the winning policy.
+    pub score: f64,
+    /// Score of `KernelPolicy::paper_default()` (always evaluated).
+    pub default_score: f64,
+    /// Distinct candidates actually scored.
+    pub evaluations: usize,
+}
+
+/// Deterministic xorshift64* for restart sampling (no `rand` dependency).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Coordinate descent + random restarts, memoized, budgeted.
+///
+/// `eval` scores one candidate (lower is better); it is called at most
+/// `budget.max_evaluations` times, each with a policy that passed
+/// [`KernelPolicy::validate`]. The returned policy is the argmin over every
+/// candidate scored, which always includes the paper default — the outcome
+/// can therefore never be worse than the default under the same scorer.
+pub fn search<F>(space: &PolicySpace, budget: &TuneBudget, mut eval: F) -> SearchOutcome
+where
+    F: FnMut(KernelPolicy) -> f64,
+{
+    let default_idx = [0usize; N_AXES];
+    let mut scores: HashMap<[usize; N_AXES], f64> = HashMap::new();
+    let mut evaluations = 0usize;
+    let cap = budget.max_evaluations.max(1);
+
+    let mut score_of = |idx: &[usize; N_AXES],
+                        scores: &mut HashMap<[usize; N_AXES], f64>,
+                        evaluations: &mut usize|
+     -> Option<f64> {
+        if let Some(&s) = scores.get(idx) {
+            return Some(s);
+        }
+        if *evaluations >= cap {
+            return None;
+        }
+        let policy = space.policy_at(idx);
+        debug_assert!(policy.validate().is_ok(), "space yields valid policies");
+        let s = eval(policy);
+        scores.insert(*idx, s);
+        *evaluations += 1;
+        Some(s)
+    };
+
+    // The default is always candidate #1.
+    let default_score = score_of(&default_idx, &mut scores, &mut evaluations).expect("budget >= 1");
+    let mut best_idx = default_idx;
+    let mut best_score = default_score;
+
+    // One descent pass from each start point: sweep the axes in order,
+    // moving to the best value on each axis before descending the next.
+    let mut descend = |start: [usize; N_AXES],
+                       scores: &mut HashMap<[usize; N_AXES], f64>,
+                       evaluations: &mut usize,
+                       best_idx: &mut [usize; N_AXES],
+                       best_score: &mut f64| {
+        let mut here = start;
+        if let Some(s) = score_of(&here, scores, evaluations) {
+            if s < *best_score {
+                *best_score = s;
+                *best_idx = here;
+            }
+        } else {
+            return;
+        }
+        loop {
+            let mut improved = false;
+            for axis in 0..N_AXES {
+                let mut axis_best = here;
+                let mut axis_best_score = scores[&here];
+                for v in 0..space.axis_len(axis) {
+                    if v == here[axis] {
+                        continue;
+                    }
+                    let mut cand = here;
+                    cand[axis] = v;
+                    match score_of(&cand, scores, evaluations) {
+                        Some(s) if s < axis_best_score => {
+                            axis_best_score = s;
+                            axis_best = cand;
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                if axis_best != here {
+                    here = axis_best;
+                    improved = true;
+                }
+                if axis_best_score < *best_score {
+                    *best_score = axis_best_score;
+                    *best_idx = axis_best;
+                }
+            }
+            if !improved || *evaluations >= cap {
+                break;
+            }
+        }
+    };
+
+    descend(
+        default_idx,
+        &mut scores,
+        &mut evaluations,
+        &mut best_idx,
+        &mut best_score,
+    );
+
+    let mut rng = XorShift(budget.seed | 1);
+    for _ in 0..budget.restarts {
+        if evaluations >= cap {
+            break;
+        }
+        let mut start = [0usize; N_AXES];
+        for (axis, slot) in start.iter_mut().enumerate() {
+            *slot = rng.below(space.axis_len(axis));
+        }
+        descend(
+            start,
+            &mut scores,
+            &mut evaluations,
+            &mut best_idx,
+            &mut best_score,
+        );
+    }
+
+    SearchOutcome {
+        policy: space.policy_at(&best_idx),
+        score: best_score,
+        default_score,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_space() -> PolicySpace {
+        PolicySpace {
+            tc_thresholds: vec![10, 4, 14],
+            variation_thresholds: vec![0.5, 0.25],
+            warp_capacities: vec![64, 32],
+            bin_bases: vec![128, 64],
+            bin_counts: vec![8, 4],
+            mixed_levels: vec![(1, 2)],
+        }
+    }
+
+    #[test]
+    fn space_index_zero_is_paper_default() {
+        let s = toy_space();
+        assert_eq!(s.policy_at(&[0; N_AXES]), KernelPolicy::paper_default());
+        assert_eq!(s.cardinality(), 3 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn search_finds_planted_minimum_and_never_regresses() {
+        let s = toy_space();
+        // Plant the optimum away from the default on two axes.
+        let target = KernelPolicy {
+            tc_popcount_threshold: 4,
+            spmv_warp_capacity: 32,
+            ..KernelPolicy::paper_default()
+        };
+        let eval = |p: KernelPolicy| {
+            let mut cost = 10.0;
+            if p.tc_popcount_threshold == target.tc_popcount_threshold {
+                cost -= 3.0;
+            }
+            if p.spmv_warp_capacity == target.spmv_warp_capacity {
+                cost -= 2.0;
+            }
+            cost
+        };
+        let out = search(&s, &TuneBudget::default(), eval);
+        assert_eq!(out.policy.tc_popcount_threshold, 4);
+        assert_eq!(out.policy.spmv_warp_capacity, 32);
+        assert!(out.score <= out.default_score);
+        assert!(out.evaluations <= TuneBudget::default().max_evaluations);
+    }
+
+    #[test]
+    fn budget_one_returns_the_default() {
+        let s = toy_space();
+        let budget = TuneBudget {
+            max_evaluations: 1,
+            restarts: 3,
+            seed: 9,
+        };
+        let mut calls = 0;
+        let out = search(&s, &budget, |_| {
+            calls += 1;
+            1.0
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.evaluations, 1);
+        assert_eq!(out.policy, KernelPolicy::paper_default());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let s = toy_space();
+        let eval = |p: KernelPolicy| {
+            (f64::from(p.tc_popcount_threshold) - 7.3).abs() + p.spmv_variation_threshold
+        };
+        let b = TuneBudget::default();
+        let a1 = search(&s, &b, eval);
+        let a2 = search(&s, &b, eval);
+        assert_eq!(a1.policy, a2.policy);
+        assert_eq!(a1.score, a2.score);
+        assert_eq!(a1.evaluations, a2.evaluations);
+    }
+
+    #[test]
+    fn feature_scoped_space_contains_default_at_zero() {
+        let f = MatrixFeatures {
+            nrows: 100,
+            nnz: 500,
+            tiles: 120,
+            avg_nnz_per_tile: 4.2,
+            tile_occupancy: [0.0; 16],
+            block_row_variation: 0.7,
+            row_variation: 0.3,
+            tensor_tile_fraction: 0.1,
+            avg_tiles_per_block_row: 4.8,
+        };
+        for mixed in [false, true] {
+            let s = PolicySpace::for_features(&f, mixed);
+            assert_eq!(s.policy_at(&[0; N_AXES]), KernelPolicy::paper_default());
+            for ax in 0..N_AXES {
+                assert!(s.axis_len(ax) >= 1);
+            }
+            if !mixed {
+                assert_eq!(s.axis_len(5), 1, "mixed axis degenerate for uniform");
+            }
+        }
+    }
+}

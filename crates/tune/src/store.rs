@@ -1,0 +1,366 @@
+//! The persistent policy cache: tuned policies keyed by structural
+//! fingerprint, JSON on disk with a versioned schema.
+//!
+//! The key reuses the server's structural [`amgt_sparse::Fingerprint`]
+//! (dims + nnz + mBSR structure hash) plus the GPU name and a
+//! policy-normalized configuration hash, so a tuned policy is reused
+//! exactly when the same system meets the same solver on the same
+//! hardware. Hashes are stored as hex *strings*: the JSON reader parses
+//! numbers as `f64`, which would silently corrupt 64-bit hashes beyond
+//! 2^53.
+//!
+//! Loading is fail-safe by construction: a missing file is an empty store,
+//! a schema-version mismatch or unparsable file is an empty store with the
+//! reason recorded in [`PolicyStore::load_error`], and individually
+//! malformed or invalid entries are skipped. No path panics — a corrupt
+//! cache degrades to tuning from scratch (paper defaults).
+
+use amgt_kernels::KernelPolicy;
+use amgt_trace::Json;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk schema; files with any other version are
+/// rejected wholesale (re-tuning is cheap, misreading a cache is not).
+pub const STORE_SCHEMA_VERSION: u64 = 1;
+
+/// What a stored policy is keyed by.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct PolicyKey {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    /// Hex rendering of [`amgt_sparse::Fingerprint::structure_hash`].
+    pub structure_hash: String,
+    /// GPU name (`GpuSpec::name`).
+    pub gpu: String,
+    /// Hex FNV-1a over the solver configuration with the policy field
+    /// normalized to the paper default (the policy is the *output* of
+    /// tuning, not part of its identity).
+    pub config_hash: String,
+}
+
+/// One cached tuning result.
+#[derive(Clone, Debug, Serialize)]
+pub struct StoredPolicy {
+    pub key: PolicyKey,
+    pub policy: KernelPolicy,
+    /// Simulated seconds under `policy`.
+    pub score: f64,
+    /// Simulated seconds under the paper default.
+    pub default_score: f64,
+    /// Search evaluations spent finding it.
+    pub evaluations: usize,
+}
+
+impl StoredPolicy {
+    /// `default_score / score`: how much faster the tuned policy predicts.
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.score > 0.0 {
+            self.default_score / self.score
+        } else {
+            1.0
+        }
+    }
+}
+
+/// In-memory view of the cache, with optional disk backing.
+#[derive(Debug, Default)]
+pub struct PolicyStore {
+    path: Option<PathBuf>,
+    entries: Vec<StoredPolicy>,
+    /// Why the backing file could not be used, if it couldn't (the store
+    /// itself stays usable — empty — in that case).
+    pub load_error: Option<String>,
+}
+
+impl PolicyStore {
+    /// A store with no disk backing (tests, one-shot tuning).
+    pub fn in_memory() -> PolicyStore {
+        PolicyStore::default()
+    }
+
+    /// Open (or initialize) a store backed by `path`. Never fails: every
+    /// problem with the existing file degrades to an empty store with
+    /// `load_error` set.
+    pub fn open(path: impl AsRef<Path>) -> PolicyStore {
+        let path = path.as_ref().to_path_buf();
+        let mut store = PolicyStore {
+            path: Some(path.clone()),
+            entries: Vec::new(),
+            load_error: None,
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return store,
+            Err(e) => {
+                store.load_error = Some(format!("cannot read {}: {e}", path.display()));
+                return store;
+            }
+        };
+        match parse_store(&text) {
+            Ok(entries) => store.entries = entries,
+            Err(e) => store.load_error = Some(format!("{}: {e}", path.display())),
+        }
+        store
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[StoredPolicy] {
+        &self.entries
+    }
+
+    /// Find the cached policy for a key, if any.
+    pub fn lookup(&self, key: &PolicyKey) -> Option<&StoredPolicy> {
+        self.entries.iter().find(|e| &e.key == key)
+    }
+
+    /// Insert or replace the entry with the same key.
+    pub fn insert(&mut self, entry: StoredPolicy) {
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.key == entry.key) {
+            *slot = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Serialize the store (schema-versioned JSON).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema_version\":");
+        out.push_str(&STORE_SCHEMA_VERSION.to_string());
+        out.push_str(",\"entries\":");
+        self.entries.serialize_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Write back to the backing file (no-op for in-memory stores).
+    ///
+    /// # Errors
+    /// Propagates the filesystem error if the write fails.
+    pub fn save(&self) -> std::io::Result<()> {
+        match &self.path {
+            Some(p) => std::fs::write(p, self.to_json()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Render a u64 as the fixed-width hex the store uses.
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn parse_store(text: &str) -> Result<Vec<StoredPolicy>, String> {
+    let root = Json::parse(text)?;
+    let version = root.num("schema_version").ok_or("missing schema_version")? as u64;
+    if version != STORE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {version} != supported {STORE_SCHEMA_VERSION}"
+        ));
+    }
+    let entries = root
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("missing entries array")?;
+    // Individually malformed entries are skipped, not fatal: one bad record
+    // must not discard the rest of the cache.
+    Ok(entries.iter().filter_map(parse_entry).collect())
+}
+
+/// Read a [`KernelPolicy`] out of a JSON object with the serialized field
+/// names. `None` when any field is missing or non-numeric.
+fn policy_from_json(policy: &Json) -> Option<KernelPolicy> {
+    Some(KernelPolicy {
+        tc_popcount_threshold: policy.num("tc_popcount_threshold")? as u32,
+        spmv_variation_threshold: policy.num("spmv_variation_threshold")?,
+        spmv_warp_capacity: policy.num("spmv_warp_capacity")? as usize,
+        spgemm_bin_base: policy.num("spgemm_bin_base")? as usize,
+        spgemm_bin_count: policy.num("spgemm_bin_count")? as usize,
+        mixed_fp32_level: policy.num("mixed_fp32_level")? as usize,
+        mixed_fp16_level: policy.num("mixed_fp16_level")? as usize,
+    })
+}
+
+/// Parse a bare [`KernelPolicy`] from JSON — the `amgt-cli --policy FILE`
+/// format, which is exactly the policy object's serde serialization.
+///
+/// # Errors
+/// Malformed JSON, a missing/non-numeric field, or a policy that fails
+/// [`KernelPolicy::validate`].
+pub fn parse_policy(text: &str) -> Result<KernelPolicy, String> {
+    let root = Json::parse(text)?;
+    let policy =
+        policy_from_json(&root).ok_or_else(|| "missing or non-numeric policy field".to_string())?;
+    policy.validate()?;
+    Ok(policy)
+}
+
+fn parse_entry(e: &Json) -> Option<StoredPolicy> {
+    let key = e.get("key")?;
+    let parsed = StoredPolicy {
+        key: PolicyKey {
+            nrows: key.num("nrows")? as usize,
+            ncols: key.num("ncols")? as usize,
+            nnz: key.num("nnz")? as usize,
+            structure_hash: valid_hex(key.str("structure_hash")?)?,
+            gpu: key.str("gpu")?.to_string(),
+            config_hash: valid_hex(key.str("config_hash")?)?,
+        },
+        policy: policy_from_json(e.get("policy")?)?,
+        score: e.num("score")?,
+        default_score: e.num("default_score")?,
+        evaluations: e.num("evaluations")? as usize,
+    };
+    // A structurally invalid policy (hand-edited file, bit rot) is as bad
+    // as a missing one.
+    parsed.policy.validate().ok()?;
+    (parsed.score.is_finite() && parsed.default_score.is_finite()).then_some(parsed)
+}
+
+fn valid_hex(s: &str) -> Option<String> {
+    u64::from_str_radix(s, 16).ok()?;
+    Some(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u64) -> PolicyKey {
+        PolicyKey {
+            nrows: 100,
+            ncols: 100,
+            nnz: 460,
+            structure_hash: hex64(0xDEAD_BEEF_0000_0000 | tag),
+            gpu: "A100".to_string(),
+            config_hash: hex64(0xABCD_0123_4567_89EF),
+        }
+    }
+
+    fn entry(tag: u64) -> StoredPolicy {
+        let mut policy = KernelPolicy::paper_default();
+        policy.tc_popcount_threshold = 6;
+        StoredPolicy {
+            key: key(tag),
+            policy,
+            score: 1.25e-3,
+            default_score: 1.5e-3,
+            evaluations: 17,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut store = PolicyStore::in_memory();
+        store.insert(entry(1));
+        store.insert(entry(2));
+        let parsed = parse_store(&store.to_json()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].key, key(1));
+        assert_eq!(parsed[0].policy.tc_popcount_threshold, 6);
+        assert_eq!(parsed[0].score, 1.25e-3);
+        assert_eq!(parsed[0].evaluations, 17);
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut store = PolicyStore::in_memory();
+        store.insert(entry(1));
+        let mut e2 = entry(1);
+        e2.policy.spmv_warp_capacity = 128;
+        store.insert(e2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.lookup(&key(1)).unwrap().policy.spmv_warp_capacity,
+            128
+        );
+        assert!(store.lookup(&key(9)).is_none());
+    }
+
+    #[test]
+    fn missing_file_is_empty_store() {
+        let store = PolicyStore::open("/nonexistent/dir/policies.json");
+        assert!(store.is_empty());
+        assert!(store.load_error.is_none());
+    }
+
+    #[test]
+    fn schema_version_mismatch_rejected() {
+        let text = r#"{"schema_version":999,"entries":[]}"#;
+        let err = parse_store(text).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_file_degrades_to_empty_with_error() {
+        let dir = std::env::temp_dir().join("amgt-tune-store-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policies.json");
+        std::fs::write(&path, "{not json at all").unwrap();
+        let store = PolicyStore::open(&path);
+        assert!(store.is_empty());
+        assert!(store.load_error.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_entries_skipped_not_fatal() {
+        let mut store = PolicyStore::in_memory();
+        store.insert(entry(1));
+        let good = store.to_json();
+        // Graft in a second entry with an out-of-range policy.
+        let bad_policy = good.replace(
+            "\"tc_popcount_threshold\":6",
+            "\"tc_popcount_threshold\":99",
+        );
+        assert_ne!(good, bad_policy);
+        assert!(parse_store(&bad_policy).unwrap().is_empty());
+        // Non-hex hash is likewise an invalid entry.
+        let bad_hash = good.replace(&hex64(0xABCD_0123_4567_89EF), "zzzz");
+        assert!(parse_store(&bad_hash).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bare_policy_parses_and_validates() {
+        let mut p = KernelPolicy::paper_default();
+        p.spgemm_bin_base = 64;
+        let text = serde::Serialize::to_json(&p);
+        assert_eq!(parse_policy(&text).unwrap(), p);
+        // Out-of-range values are rejected by validate().
+        let bad = text.replace("\"spgemm_bin_base\":64", "\"spgemm_bin_base\":3");
+        assert!(parse_policy(&bad).is_err());
+        assert!(parse_policy("not json").is_err());
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join("amgt-tune-store-test-rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policies.json");
+        std::fs::remove_file(&path).ok();
+        let mut store = PolicyStore::open(&path);
+        assert!(store.is_empty());
+        store.insert(entry(7));
+        store.save().unwrap();
+        let reloaded = PolicyStore::open(&path);
+        assert!(reloaded.load_error.is_none());
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(
+            reloaded
+                .lookup(&key(7))
+                .unwrap()
+                .policy
+                .tc_popcount_threshold,
+            6
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! CSR -> mBSR -> CSR round-trip properties on adversarial structures:
+//! randomized COO assembly (duplicates summed), ragged edge tiles (dims not
+//! a multiple of 4), and guaranteed-empty rows. The round-trip must be
+//! *exact* — same structure, bitwise-equal values — and every tile bitmap
+//! must agree with both the stored values and the CSR pattern.
+
+use amgt_sparse::bitmap::{self, TILE, TILE_AREA};
+use amgt_sparse::{Coo, Csr, Mbsr};
+use proptest::prelude::*;
+
+/// Strategy: a random COO matrix with ragged dimensions, duplicate
+/// entries, and rows `r` with `r % 3 == 1` left structurally empty.
+fn arb_coo() -> impl Strategy<Value = Csr> {
+    let dims = (1usize..90, 1usize..90);
+    let entries = proptest::collection::vec((any::<u32>(), any::<u32>(), 0.5f64..2.0), 0..400);
+    (dims, entries).prop_map(|((nrows, ncols), entries)| {
+        let mut coo = Coo::new(nrows, ncols);
+        for (i, (r, c, v)) in entries.iter().enumerate() {
+            let row = *r as usize % nrows;
+            let col = *c as usize % ncols;
+            // Keep a band of rows structurally empty: the conversion must
+            // produce (and round-trip) empty block-rows and empty scalar
+            // rows inside otherwise-populated tiles.
+            if row % 3 == 1 {
+                continue;
+            }
+            coo.push(row, col, *v);
+            // Every fourth entry is duplicated; values are positive, so
+            // summation never cancels to an accidental explicit zero.
+            if i % 4 == 0 {
+                coo.push(row, col, *v);
+            }
+        }
+        coo.to_csr()
+    })
+}
+
+/// Full bitmap/popcount/value agreement between an mBSR image and the CSR
+/// matrix it was built from.
+fn assert_mbsr_consistent(a: &Csr, m: &Mbsr) {
+    assert_eq!(m.nrows(), a.nrows());
+    assert_eq!(m.ncols(), a.ncols());
+    // Popcount over all bitmaps is exactly the stored-entry count.
+    let popcount_total: usize = m
+        .blc_map
+        .iter()
+        .map(|&map| bitmap::popcount(map) as usize)
+        .sum();
+    assert_eq!(popcount_total, a.nnz(), "bitmap population != CSR nnz");
+
+    for br in 0..m.blk_rows() {
+        let (cols, maps) = m.block_row(br);
+        let base = m.blc_ptr[br];
+        let mut prev_col: Option<u32> = None;
+        for (k, (&bc, &map)) in cols.iter().zip(maps).enumerate() {
+            // Stored tiles are non-empty and strictly ascending by column.
+            assert_ne!(map, 0, "stored tile with empty bitmap");
+            if let Some(p) = prev_col {
+                assert!(bc > p, "block columns not strictly ascending");
+            }
+            prev_col = Some(bc);
+
+            let tile = m.tile(base + k);
+            for r in 0..TILE {
+                for c in 0..TILE {
+                    let gr = br * TILE + r;
+                    let gc = bc as usize * TILE + c;
+                    let slot = tile[r * TILE + c];
+                    if bitmap::get_bit(map, r, c) {
+                        // A set bit is a stored CSR entry with the exact
+                        // same value (bitwise: conversion only copies).
+                        assert!(gr < a.nrows() && gc < a.ncols(), "bit in overhang");
+                        let stored = a.get(gr, gc).expect("bit set but CSR entry missing");
+                        assert!(
+                            stored.to_bits() == slot.to_bits(),
+                            "value mismatch at ({gr},{gc}): {stored} vs {slot}"
+                        );
+                    } else {
+                        // A clear bit is a zero slot and no CSR entry —
+                        // including every ragged-overhang slot.
+                        assert_eq!(slot, 0.0, "clear bit with nonzero value");
+                        if gr < a.nrows() && gc < a.ncols() {
+                            assert_eq!(a.get(gr, gc), None, "CSR entry with clear bit");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = TILE_AREA; // tile() already slices by TILE_AREA
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_csr_mbsr_roundtrip_is_exact(a in arb_coo()) {
+        let m = Mbsr::from_csr(&a);
+        m.validate();
+        assert_mbsr_consistent(&a, &m);
+        let back = m.to_csr();
+        prop_assert_eq!(back, a); // structure + bitwise value equality
+    }
+}
+
+#[test]
+fn empty_matrix_round_trips() {
+    let a = Coo::new(7, 5).to_csr();
+    assert_eq!(a.nnz(), 0);
+    let m = Mbsr::from_csr(&a);
+    m.validate();
+    assert_eq!(m.n_blocks(), 0);
+    assert_mbsr_consistent(&a, &m);
+    assert_eq!(m.to_csr(), a);
+}
+
+#[test]
+fn ragged_corner_entry_round_trips() {
+    // A single entry in the bottom-right corner of a 9x13 matrix lands in
+    // a tile that overhangs both dimensions.
+    let mut coo = Coo::new(9, 13);
+    coo.push(8, 12, 3.5);
+    let a = coo.to_csr();
+    let m = Mbsr::from_csr(&a);
+    m.validate();
+    assert_eq!(m.n_blocks(), 1);
+    assert_eq!(bitmap::popcount(m.blc_map[0]), 1);
+    assert_mbsr_consistent(&a, &m);
+    assert_eq!(m.to_csr(), a);
+}
+
+#[test]
+fn trailing_empty_rows_round_trip() {
+    // Entries only in row 0 of a tall matrix: every other block-row is
+    // empty and the round-trip must preserve the empty tail exactly.
+    let mut coo = Coo::new(22, 6);
+    for c in 0..6 {
+        coo.push(0, c, 1.0 + c as f64);
+    }
+    let a = coo.to_csr();
+    let m = Mbsr::from_csr(&a);
+    m.validate();
+    for br in 1..m.blk_rows() {
+        assert_eq!(m.block_row(br).0.len(), 0, "block-row {br} not empty");
+    }
+    assert_mbsr_consistent(&a, &m);
+    assert_eq!(m.to_csr(), a);
+}
+
+#[test]
+fn duplicates_sum_before_tiling() {
+    let mut coo = Coo::new(5, 5);
+    coo.push(2, 3, 1.25);
+    coo.push(2, 3, 0.75);
+    let a = coo.to_csr();
+    assert_eq!(a.nnz(), 1);
+    assert_eq!(a.get(2, 3), Some(2.0));
+    let m = Mbsr::from_csr(&a);
+    assert_mbsr_consistent(&a, &m);
+    assert_eq!(m.to_csr(), a);
+}

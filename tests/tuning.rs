@@ -1,0 +1,76 @@
+//! Cross-crate acceptance tests for the `amgt-tune` autotuner: on real
+//! suite matrices the tuned policy never scores worse than the paper
+//! default, and tuned policies survive the on-disk cache bit-exactly.
+
+use amgt::prelude::*;
+use amgt_sparse::suite::{self, Scale};
+use amgt_tune::{simulated_total_seconds, tune, PolicyStore, TuneBudget};
+
+fn tune_cfg() -> AmgConfig {
+    let mut cfg = AmgConfig::amgt_fp64();
+    // Enough cycles for solve cost to dominate without making the
+    // 16-evaluation search slow in CI.
+    cfg.max_iterations = 10;
+    cfg.tolerance = 1e-8;
+    cfg
+}
+
+fn budget() -> TuneBudget {
+    TuneBudget {
+        max_evaluations: 16,
+        restarts: 1,
+        seed: 7,
+    }
+}
+
+#[test]
+fn suite_matrices_never_regress_under_tuning() {
+    let spec = GpuSpec::a100();
+    let cfg = tune_cfg();
+    let mut store = PolicyStore::in_memory();
+    for name in ["Pres_Poisson", "thermal1", "Chevron2"] {
+        let a = suite::generate(name, Scale::Small).unwrap();
+        let result = tune(&spec, &cfg, &a, &budget(), &mut store);
+        assert!(
+            result.score <= result.default_score,
+            "{name}: tuned {:.6e} s worse than default {:.6e} s",
+            result.score,
+            result.default_score
+        );
+        // The reported scores are real scorer outputs, not estimates: the
+        // shared objective reproduces them exactly.
+        let replay = simulated_total_seconds(&spec, &cfg, &a, result.policy);
+        assert_eq!(replay, result.score, "{name}: score must replay exactly");
+    }
+}
+
+#[test]
+fn tuned_policy_round_trips_through_disk_cache() {
+    let dir = std::env::temp_dir().join("amgt-tuning-acceptance");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("policies.json");
+    std::fs::remove_file(&path).ok();
+
+    let spec = GpuSpec::a100();
+    let cfg = tune_cfg();
+    let a = suite::generate("Pres_Poisson", Scale::Small).unwrap();
+
+    let mut store = PolicyStore::open(&path);
+    let first = tune(&spec, &cfg, &a, &budget(), &mut store);
+    assert!(!first.from_cache);
+    assert!(first.evaluations >= 1);
+    store.save().unwrap();
+
+    // A fresh store over the same file: zero search iterations, identical
+    // policy and scores (the acceptance round-trip).
+    let mut reloaded = PolicyStore::open(&path);
+    assert!(reloaded.load_error.is_none());
+    let second = tune(&spec, &cfg, &a, &budget(), &mut reloaded);
+    assert!(second.from_cache);
+    assert_eq!(second.evaluations, 0);
+    assert_eq!(second.policy, first.policy);
+    assert_eq!(second.score, first.score);
+    assert_eq!(second.default_score, first.default_score);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
