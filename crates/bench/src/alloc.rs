@@ -1,0 +1,79 @@
+//! A counting global allocator for wall-clock benchmarking.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (and the bytes requested) with relaxed atomics, so the
+//! `--wallclock` bench mode and the allocation-regression tests can
+//! observe exactly how much heap traffic a phase performs. Register it in
+//! a binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: amgt_bench::alloc::CountingAlloc = amgt_bench::alloc::CountingAlloc;
+//! ```
+//!
+//! The counters are process-global: measurements are only meaningful when
+//! nothing else allocates concurrently (single-threaded measurement
+//! sections, or tests serialized by a lock).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation counters at one instant: `(allocations, bytes_requested)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Cumulative successful-or-not allocation calls since process start.
+    pub allocs: u64,
+    /// Cumulative bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Read the current counters. Monotone; deltas between two reads bound the
+/// allocation traffic of the code in between.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOC_COUNT.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// System-allocator wrapper that counts `alloc`/`realloc` calls and bytes.
+/// `dealloc` is uncounted: the gate cares about allocation pressure, not
+/// balance.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}

@@ -18,8 +18,9 @@
 
 use amgt::prelude::*;
 use amgt::Operator;
+use amgt_bench::alloc::{snapshot, CountingAlloc};
 use amgt_bench::report::{
-    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, SCHEMA_VERSION,
+    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, WallStats, SCHEMA_VERSION,
 };
 use amgt_bench::Variant;
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
@@ -30,6 +31,12 @@ use amgt_sparse::gen::{laplacian_2d, laplacian_3d, rhs_of_ones, Stencil2d, Stenc
 use amgt_sparse::suite::{self, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Count every heap allocation so `--wallclock` can report per-phase
+/// allocation traffic alongside host timings.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Options {
     /// Generated smoke systems instead of the Table II suite.
@@ -47,6 +54,12 @@ struct Options {
     /// standard e2e/kernel sweep.
     tuned_vs_default: bool,
     tune_budget: usize,
+    /// Also measure host wall-clock time and allocation counts per phase
+    /// (written as the v3 `wall` object on each e2e case).
+    wallclock: bool,
+    /// Rayon pool width to pin before any parallel work (`None` = leave
+    /// the pool at its default).
+    threads: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -54,6 +67,7 @@ fn usage() -> ! {
         "usage: bench [--smoke | --suite] [--small|--medium|--full] [--iters N]\n\
          \x20      [--matrix NAME] [--gpu a100|h100|mi210] [--out FILE]\n\
          \x20      [--compare BASELINE.json] [--time-ratio X] [--iter-slack N]\n\
+         \x20      [--alloc-ratio X] [--alloc-slack N] [--wallclock] [--threads N]\n\
          \x20      [--validate FILE] [--tuned-vs-default] [--tune-budget N]"
     );
     std::process::exit(2);
@@ -72,6 +86,8 @@ fn parse_args() -> Options {
         thresholds: CompareThresholds::default(),
         tuned_vs_default: false,
         tune_budget: amgt_tune::TuneBudget::default().max_evaluations,
+        wallclock: false,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,6 +116,14 @@ fn parse_args() -> Options {
             "--iter-slack" => {
                 opt.thresholds.iteration_slack = next().parse().unwrap_or_else(|_| usage());
             }
+            "--alloc-ratio" => {
+                opt.thresholds.alloc_ratio = next().parse().unwrap_or_else(|_| usage());
+            }
+            "--alloc-slack" => {
+                opt.thresholds.alloc_slack = next().parse().unwrap_or_else(|_| usage());
+            }
+            "--wallclock" => opt.wallclock = true,
+            "--threads" => opt.threads = Some(next().parse().unwrap_or_else(|_| usage())),
             "--validate" => opt.validate = Some(PathBuf::from(next())),
             "--tuned-vs-default" => opt.tuned_vs_default = true,
             "--tune-budget" => opt.tune_budget = next().parse().unwrap_or_else(|_| usage()),
@@ -162,6 +186,34 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
     cfg.tolerance = 1e-8;
     let (_x, h, rep) = amgt::run_amg(&device, &cfg, a.clone(), &b);
     let diag = h.diagnostics();
+    // Wall-clock mode re-runs the phases separately on a fresh device with
+    // the host clock and the counting allocator around each: `run_amg`
+    // above already warmed every lazy cost (page faults, suite data), so
+    // this second pass measures steady-state host behaviour.
+    let wall = opt.wallclock.then(|| {
+        let device = Device::new(opt.gpu.clone());
+        let a2 = a.clone();
+        let mut x = vec![0.0; b.len()];
+        let setup_t0 = Instant::now();
+        let setup_a0 = snapshot();
+        let h = amgt::setup(&device, &cfg, a2);
+        let setup_wall_ns = setup_t0.elapsed().as_nanos() as u64;
+        let setup_allocs = snapshot().since(&setup_a0);
+        let solve_t0 = Instant::now();
+        let solve_a0 = snapshot();
+        let srep = amgt::solve(&device, &cfg, &h, &b, &mut x);
+        let solve_wall_ns = solve_t0.elapsed().as_nanos() as u64;
+        let solve_allocs = snapshot().since(&solve_a0);
+        WallStats {
+            setup_wall_ns,
+            solve_wall_ns,
+            setup_allocs: setup_allocs.allocs,
+            setup_bytes: setup_allocs.bytes,
+            solve_allocs: solve_allocs.allocs,
+            solve_bytes: solve_allocs.bytes,
+            solve_allocs_per_iteration: solve_allocs.allocs as f64 / srep.iterations.max(1) as f64,
+        }
+    });
     BenchCase {
         name: format!("e2e:{stem}:{}", variant_slug(variant)),
         variant: variant.label().to_string(),
@@ -177,6 +229,7 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
         operator_complexity: diag.operator_complexity,
         grid_complexity: diag.grid_complexity,
         outcome: rep.solve_report.outcome.label().to_string(),
+        wall,
     }
 }
 
@@ -225,6 +278,7 @@ fn kernel_cases(opt: &Options, stem: &str, a: &Csr) -> Vec<BenchCase> {
             operator_complexity: 0.0,
             grid_complexity: 0.0,
             outcome: "Converged".to_string(),
+            wall: None,
         };
         out.push(blank(
             format!("kernel:spmv-x{SPMV_REPS}:{stem}:{slug}"),
@@ -240,6 +294,18 @@ fn kernel_cases(opt: &Options, stem: &str, a: &Csr) -> Vec<BenchCase> {
 
 fn main() -> ExitCode {
     let opt = parse_args();
+
+    // Pin the rayon pool before any parallel work so wall-clock numbers
+    // are reproducible run-to-run.
+    if let Some(n) = opt.threads {
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+        {
+            eprintln!("cannot pin thread pool to {n}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = &opt.validate {
         let text = match std::fs::read_to_string(path) {
@@ -311,6 +377,7 @@ fn main() -> ExitCode {
                 operator_complexity: 0.0,
                 grid_complexity: 0.0,
                 outcome: "Converged".to_string(),
+                wall: None,
             };
             cases.push(tune_case("default", r.default_score));
             cases.push(tune_case("tuned", r.score));
@@ -367,11 +434,38 @@ fn main() -> ExitCode {
             format!("{:?}", opt.scale).to_lowercase()
         },
         policy: Some(policy_info),
+        threads: opt
+            .wallclock
+            .then(|| opt.threads.unwrap_or_else(rayon::current_num_threads)),
         cases,
     };
     if let Err(e) = report.validate() {
         eprintln!("generated report failed validation: {e}");
         return ExitCode::FAILURE;
+    }
+    if opt.wallclock {
+        let walls: Vec<&WallStats> = report
+            .cases
+            .iter()
+            .filter_map(|c| c.wall.as_ref())
+            .collect();
+        if !walls.is_empty() {
+            let g = |f: fn(&WallStats) -> f64| {
+                geomean(&walls.iter().map(|w| f(w).max(1.0)).collect::<Vec<_>>())
+            };
+            println!(
+                "wallclock geomean over {} cases: setup {:.3} ms, solve {:.3} ms, \
+                 {:.1} solve allocs/iter",
+                walls.len(),
+                g(|w| w.setup_wall_ns as f64) / 1e6,
+                g(|w| w.solve_wall_ns as f64) / 1e6,
+                walls
+                    .iter()
+                    .map(|w| w.solve_allocs_per_iteration)
+                    .sum::<f64>()
+                    / walls.len() as f64
+            );
+        }
     }
     if let Err(e) = std::fs::write(&opt.out, report.to_json()) {
         eprintln!("cannot write {}: {e}", opt.out.display());

@@ -14,6 +14,7 @@
 // has an inherently wordy type; naming it would not make it clearer.
 #![allow(clippy::type_complexity)]
 
+pub mod alloc;
 pub mod report;
 
 use amgt::prelude::*;
@@ -22,8 +23,8 @@ use amgt_sparse::suite::{self, Scale, SuiteEntry, SuiteError};
 use amgt_trace::Recording;
 
 pub use report::{
-    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, Regression, MIN_SCHEMA_VERSION,
-    SCHEMA_VERSION,
+    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, Regression, WallStats,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 
 /// Parsed common CLI options.

@@ -18,11 +18,14 @@ use serde::Serialize;
 /// * v1 — original layout.
 /// * v2 — adds the optional top-level `policy` object (the active
 ///   [`KernelPolicy`] plus tuner provenance).
-pub const SCHEMA_VERSION: u64 = 2;
+/// * v3 — adds the optional top-level `threads` count and per-case `wall`
+///   object (`--wallclock` host timings + allocation counters).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
-/// with `policy: None`, so `--validate` and `--compare` keep working
-/// against baselines written before the policy field existed.
+/// with `policy: None` and v2 reports with `wall: None`/`threads: None`,
+/// so `--validate` and `--compare` keep working against baselines written
+/// before those fields existed.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The kernel policy a report's cases ran under, plus where it came from.
@@ -47,6 +50,23 @@ impl PolicyInfo {
     }
 }
 
+/// Host-side wall-clock timings and allocation counters for one case
+/// (v3+, written only by the `--wallclock` bench mode). All counters come
+/// from the bench binary's counting global allocator, so they include
+/// every heap call the phase performed on the measuring thread.
+#[derive(Clone, Debug, Serialize)]
+pub struct WallStats {
+    pub setup_wall_ns: u64,
+    pub solve_wall_ns: u64,
+    pub setup_allocs: u64,
+    pub setup_bytes: u64,
+    pub solve_allocs: u64,
+    pub solve_bytes: u64,
+    /// `solve_allocs / iterations` — the number the alloc-regression gate
+    /// compares. Steady-state allocation-free solves keep this near zero.
+    pub solve_allocs_per_iteration: f64,
+}
+
 /// One benchmark case: a (matrix, solver-variant) end-to-end run or a
 /// kernel microbench (where only the timing fields are meaningful).
 #[derive(Clone, Debug, Serialize)]
@@ -69,6 +89,8 @@ pub struct BenchCase {
     /// `SolveOutcome` label: Converged / MaxIterations / Stagnated /
     /// Diverged / NonFinite.
     pub outcome: String,
+    /// Wall-clock + allocation measurements (v3+, `--wallclock` runs only).
+    pub wall: Option<WallStats>,
 }
 
 /// The full report: schema header plus all cases from one runner pass.
@@ -79,6 +101,9 @@ pub struct BenchReport {
     pub scale: String,
     /// Active kernel policy (v2+; `None` when parsed from a v1 report).
     pub policy: Option<PolicyInfo>,
+    /// Rayon worker-thread count the run used (v3+, wall-clock runs; wall
+    /// timings are only comparable between runs with equal thread counts).
+    pub threads: Option<usize>,
     pub cases: Vec<BenchCase>,
 }
 
@@ -108,6 +133,15 @@ impl BenchReport {
             Some(p) if !p.is_null() => Some(parse_policy_info(p)?),
             _ => None,
         };
+        // `threads` arrived in v3; absent or null before that.
+        let threads = match root.get("threads") {
+            Some(t) if !t.is_null() => Some(
+                t.as_f64()
+                    .map(|f| f as usize)
+                    .ok_or("field `threads` is not a number")?,
+            ),
+            _ => None,
+        };
         let cases_json = root
             .get("cases")
             .and_then(Json::as_array)
@@ -121,6 +155,7 @@ impl BenchReport {
             gpu,
             scale,
             policy,
+            threads,
             cases,
         })
     }
@@ -164,6 +199,14 @@ impl BenchReport {
                     "case `{}`: total {} < setup + solve",
                     c.name, c.total_seconds
                 ));
+            }
+            if let Some(w) = &c.wall {
+                if !w.solve_allocs_per_iteration.is_finite() || w.solve_allocs_per_iteration < 0.0 {
+                    return Err(format!(
+                        "case `{}`: solve_allocs_per_iteration = {}",
+                        c.name, w.solve_allocs_per_iteration
+                    ));
+                }
             }
         }
         Ok(())
@@ -221,7 +264,24 @@ fn parse_policy_info(v: &Json) -> Result<PolicyInfo, String> {
     })
 }
 
+fn parse_wall(v: &Json) -> Result<WallStats, String> {
+    Ok(WallStats {
+        setup_wall_ns: field_u64(v, "setup_wall_ns")?,
+        solve_wall_ns: field_u64(v, "solve_wall_ns")?,
+        setup_allocs: field_u64(v, "setup_allocs")?,
+        setup_bytes: field_u64(v, "setup_bytes")?,
+        solve_allocs: field_u64(v, "solve_allocs")?,
+        solve_bytes: field_u64(v, "solve_bytes")?,
+        solve_allocs_per_iteration: field_f64(v, "solve_allocs_per_iteration")?,
+    })
+}
+
 fn parse_case(v: &Json) -> Result<BenchCase, String> {
+    // `wall` arrived in v3; absent or null before that.
+    let wall = match v.get("wall") {
+        Some(w) if !w.is_null() => Some(parse_wall(w)?),
+        _ => None,
+    };
     Ok(BenchCase {
         name: field_str(v, "name")?,
         variant: field_str(v, "variant")?,
@@ -237,6 +297,7 @@ fn parse_case(v: &Json) -> Result<BenchCase, String> {
         operator_complexity: field_f64(v, "operator_complexity")?,
         grid_complexity: field_f64(v, "grid_complexity")?,
         outcome: field_str(v, "outcome")?,
+        wall,
     })
 }
 
@@ -251,6 +312,15 @@ pub struct CompareThresholds {
     pub time_slack_seconds: f64,
     /// Extra iterations tolerated over the baseline.
     pub iteration_slack: usize,
+    /// A case's solve phase regresses when its allocations-per-iteration
+    /// exceed `baseline * alloc_ratio + alloc_slack` (only checked when
+    /// both reports carry wall stats for the case). Wall-clock *time* is
+    /// deliberately not gated: it is too noisy on shared CI runners, while
+    /// allocation counts are deterministic.
+    pub alloc_ratio: f64,
+    /// Absolute allocations-per-iteration slack (absorbs one-off warmup
+    /// growth attributed to the first measured iteration).
+    pub alloc_slack: f64,
 }
 
 impl Default for CompareThresholds {
@@ -259,6 +329,8 @@ impl Default for CompareThresholds {
             time_ratio: 1.10,
             time_slack_seconds: 1e-9,
             iteration_slack: 2,
+            alloc_ratio: 1.10,
+            alloc_slack: 4.0,
         }
     }
 }
@@ -327,6 +399,22 @@ pub fn compare(
                 detail: format!("no longer converges (was Converged, now {})", cur.outcome),
             });
         }
+        if let (Some(bw), Some(cw)) = (&base.wall, &cur.wall) {
+            let alloc_budget = bw.solve_allocs_per_iteration * t.alloc_ratio + t.alloc_slack;
+            if cw.solve_allocs_per_iteration > alloc_budget {
+                out.push(Regression {
+                    case: base.name.clone(),
+                    detail: format!(
+                        "solve allocations per iteration {:.1} exceed baseline {:.1} \
+                         x{:.2} + {:.0}",
+                        cw.solve_allocs_per_iteration,
+                        bw.solve_allocs_per_iteration,
+                        t.alloc_ratio,
+                        t.alloc_slack
+                    ),
+                });
+            }
+        }
     }
     out
 }
@@ -351,6 +439,19 @@ mod tests {
             operator_complexity: 1.5,
             grid_complexity: 1.3,
             outcome: outcome.into(),
+            wall: None,
+        }
+    }
+
+    fn wall(solve_allocs_per_iteration: f64) -> WallStats {
+        WallStats {
+            setup_wall_ns: 1_000_000,
+            solve_wall_ns: 2_000_000,
+            setup_allocs: 500,
+            setup_bytes: 80_000,
+            solve_allocs: (solve_allocs_per_iteration * 10.0) as u64,
+            solve_bytes: 10_000,
+            solve_allocs_per_iteration,
         }
     }
 
@@ -360,6 +461,7 @@ mod tests {
             gpu: "A100".into(),
             scale: "small".into(),
             policy: Some(PolicyInfo::paper_default()),
+            threads: None,
             cases,
         }
     }
@@ -419,6 +521,61 @@ mod tests {
         assert_eq!(bp.source, "tuned");
         assert_eq!(bp.policy.tc_popcount_threshold, 6);
         assert!((bp.predicted_speedup - 1.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v3_wall_stats_and_threads_round_trip() {
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        c.wall = Some(wall(3.0));
+        let mut r = report(vec![c]);
+        r.threads = Some(8);
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.threads, Some(8));
+        let w = back.cases[0].wall.as_ref().unwrap();
+        assert_eq!(w.setup_wall_ns, 1_000_000);
+        assert_eq!(w.solve_allocs, 30);
+        assert!((w.solve_allocs_per_iteration - 3.0).abs() < 1e-12);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn v2_report_without_wall_still_parses() {
+        // A pre-wallclock baseline: version 2, no `threads`/`wall` keys.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 2;
+        r.threads = None;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert!(back.threads.is_none());
+        assert!(back.cases[0].wall.is_none());
+        back.validate().unwrap();
+        // An old baseline still gates a new (v3) report; the alloc gate is
+        // simply skipped for cases without baseline wall stats.
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        c.wall = Some(wall(500.0));
+        let current = report(vec![c]);
+        assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn alloc_regression_detected_and_improvement_passes() {
+        let t = CompareThresholds::default();
+        let mut b = case("a", 1.0e-4, 10, "Converged");
+        b.wall = Some(wall(10.0));
+        let baseline = report(vec![b]);
+
+        let mut worse = case("a", 1.0e-4, 10, "Converged");
+        worse.wall = Some(wall(40.0));
+        let regs = compare(&report(vec![worse]), &baseline, &t);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(
+            regs[0].detail.contains("allocations per iteration"),
+            "{regs:?}"
+        );
+
+        let mut better = case("a", 1.0e-4, 10, "Converged");
+        better.wall = Some(wall(0.0));
+        assert!(compare(&report(vec![better]), &baseline, &t).is_empty());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Allocation-freedom gates for the hot paths, measured with the counting
+//! global allocator from `amgt_bench::alloc`.
+//!
+//! Both checks run inside ONE `#[test]` so no sibling test thread can
+//! allocate while exact counter deltas are being read (the counters are
+//! process-global, and this file is its own test binary).
+
+use amgt::prelude::*;
+use amgt::{solve_with_workspace, CycleType, SolveWorkspace};
+use amgt_bench::alloc::{snapshot, CountingAlloc};
+use amgt_server::{CacheOutcome, ServiceConfig, SolveRequest, SolverService};
+use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hot_paths_are_allocation_free() {
+    steady_state_solve_has_zero_allocs_per_iteration();
+    server_cache_hit_reuses_cached_workspace();
+}
+
+/// Acceptance gate: after one warm solve has grown every buffer, the solve
+/// phase performs ZERO heap allocations per V-cycle iteration on the AmgT
+/// backend. Measured by solving 4 then 8 iterations through one reused
+/// workspace: each call pays the same fixed cost (the report's history
+/// vector), so any per-iteration allocation would make the deltas differ.
+fn steady_state_solve_has_zero_allocs_per_iteration() {
+    let a = laplacian_2d(24, 24, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    let n = b.len();
+    let dev = Device::new(GpuSpec::a100());
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.tolerance = 0.0; // fixed iteration counts
+    let h = setup(&dev, &cfg, a);
+    let mut ws = SolveWorkspace::for_hierarchy(&h);
+
+    for cycle in [CycleType::V, CycleType::W, CycleType::F] {
+        cfg.cycle = cycle;
+        // Warm: grow every workspace buffer for this cycle shape.
+        cfg.max_iterations = 8;
+        let mut x = vec![0.0; n];
+        solve_with_workspace(&dev, &cfg, &h, &b, &mut x, &mut ws);
+
+        // Everything the measured region needs, allocated up front: configs,
+        // solution vectors, and headroom in the device's event ledger.
+        let mut cfg4 = cfg.clone();
+        cfg4.max_iterations = 4;
+        let cfg8 = cfg.clone();
+        let mut x4 = vec![0.0; n];
+        let mut x8 = vec![0.0; n];
+        dev.reserve_events(4_000_000);
+
+        let s0 = snapshot();
+        solve_with_workspace(&dev, &cfg4, &h, &b, &mut x4, &mut ws);
+        let s1 = snapshot();
+        solve_with_workspace(&dev, &cfg8, &h, &b, &mut x8, &mut ws);
+        let s2 = snapshot();
+
+        let d4 = s1.since(&s0).allocs;
+        let d8 = s2.since(&s1).allocs;
+        assert_eq!(
+            d8,
+            d4,
+            "{cycle:?}-cycle solve allocates per iteration: 4 iters cost {d4} allocs, \
+             8 iters cost {d8} (per-iteration leak = {} allocs)",
+            (d8 as f64 - d4 as f64) / 4.0
+        );
+    }
+}
+
+/// A second job on the same fingerprint must HIT the hierarchy cache and
+/// reuse the entry's grown `SolveWorkspace`: its allocation bill collapses
+/// to per-job plumbing (request clone, result column), a small fraction of
+/// the miss that built the hierarchy — and stays flat from hit to hit.
+fn server_cache_hit_reuses_cached_workspace() {
+    let a = laplacian_2d(20, 20, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.max_iterations = 6;
+    cfg.tolerance = 0.0;
+
+    // Synchronous mode: the caller drains the queue, so job ordering and
+    // the measured allocation windows are deterministic.
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        ..ServiceConfig::default()
+    });
+
+    let run_job = || {
+        let handle = service
+            .submit(SolveRequest::new(a.clone(), b.clone(), cfg.clone()))
+            .expect("queue has room");
+        let s0 = snapshot();
+        service.drain_pending();
+        let d = snapshot().since(&s0);
+        (handle.wait().expect("job succeeds"), d)
+    };
+
+    let (miss, d_miss) = run_job();
+    let (hit1, d_hit1) = run_job();
+    let (hit2, d_hit2) = run_job();
+    service.shutdown();
+
+    assert_eq!(miss.cache, CacheOutcome::Miss);
+    assert_eq!(hit1.cache, CacheOutcome::Hit);
+    assert_eq!(hit2.cache, CacheOutcome::Hit);
+    assert_eq!(miss.iterations, hit1.iterations);
+
+    // The hit skipped setup AND workspace construction: well under a fifth
+    // of the miss's allocation traffic.
+    assert!(
+        d_hit1.allocs * 5 < d_miss.allocs,
+        "cache hit allocated {} vs miss {}",
+        d_hit1.allocs,
+        d_miss.allocs
+    );
+    // Steady state: the second hit allocates no more than the first (the
+    // cached workspace is already grown; nothing accumulates).
+    assert!(
+        d_hit2.allocs <= d_hit1.allocs,
+        "workspace not reused across hits: {} then {}",
+        d_hit1.allocs,
+        d_hit2.allocs
+    );
+}

@@ -42,6 +42,7 @@ struct Options {
     tune_budget: usize,
     policy_cache: Option<PathBuf>,
     policy: Option<PathBuf>,
+    threads: Option<usize>,
 }
 
 enum MatrixSource {
@@ -54,7 +55,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
          \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
-         \x20      [--pcg] [--info] [--tol T] [--iters N] [--history]\n\
+         \x20      [--pcg] [--info] [--tol T] [--iters N] [--threads N] [--history]\n\
          \x20      [--trace FILE.json] [--diagnose]\n\
          \x20      [--tune] [--tune-budget N] [--policy-cache FILE.json]\n\
          \x20      [--policy FILE.json]\n\n\
@@ -84,6 +85,7 @@ fn parse_args() -> Options {
     let mut tune_budget = TuneBudget::default().max_evaluations;
     let mut policy_cache = None;
     let mut policy = None;
+    let mut threads = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -116,6 +118,7 @@ fn parse_args() -> Options {
             "--info" => info = true,
             "--tol" => tol = next().parse().unwrap_or_else(|_| usage()),
             "--iters" => iters = next().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = Some(next().parse().unwrap_or_else(|_| usage())),
             "--history" => verbose_history = true,
             "--trace" => trace = Some(PathBuf::from(next())),
             "--diagnose" => diagnose = true,
@@ -146,6 +149,7 @@ fn parse_args() -> Options {
         tune_budget,
         policy_cache,
         policy,
+        threads,
     }
 }
 
@@ -219,6 +223,17 @@ fn print_health(events: &[amgt_sim::HealthEvent]) {
 
 fn main() {
     let opt = parse_args();
+    // Pin the rayon pool before any parallel work so wall times are
+    // reproducible run-to-run.
+    if let Some(n) = opt.threads {
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+        {
+            eprintln!("cannot pin thread pool to {n}: {e}");
+            std::process::exit(1);
+        }
+    }
     let a: Csr = match &opt.matrix {
         MatrixSource::Mtx(path) => match read_matrix_market_path(path) {
             Ok(m) => m,
@@ -264,6 +279,7 @@ fn main() {
     let note = apply_policy(&opt, &mut cfg, &a);
     if let Some(r) = &recorder {
         r.set_policy(note);
+        r.set_threads(opt.threads.unwrap_or_else(rayon::current_num_threads));
     }
 
     println!(

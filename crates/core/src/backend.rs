@@ -10,14 +10,28 @@
 
 use crate::config::BackendKind;
 use amgt_kernels::convert::{csr_to_mbsr, mbsr_to_csr};
-use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
-use amgt_kernels::spmm_mbsr::{spmm_by_columns, spmm_mbsr, MultiVector};
-use amgt_kernels::spmv_mbsr::{analyze_spmv, spmv_mbsr, SpmvPlan};
-use amgt_kernels::vendor::{spgemm_csr, spmv_csr};
+use amgt_kernels::spgemm_mbsr::{spgemm_mbsr_with_workspace, SpgemmWorkspace};
+use amgt_kernels::spmm_mbsr::{
+    spmm_by_columns, spmm_mbsr, spmm_mbsr_into, MultiVector, SpmmScratch,
+};
+use amgt_kernels::spmv_mbsr::{analyze_spmv, spmv_mbsr, spmv_mbsr_into, SpmvPlan, SpmvScratch};
+use amgt_kernels::vendor::{spgemm_csr, spmv_csr, spmv_csr_into};
 use amgt_kernels::Ctx;
 use amgt_sim::precision::quantize_slice;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::{Csr, Mbsr};
+
+/// Reusable scratch for [`Operator::spmv_into`] / [`Operator::spmm_into`]:
+/// holds whichever kernel scratch the backend needs plus a column staging
+/// buffer for the vendor SpMM loop. Capacity grows monotonically; one
+/// instance serves operators of any shape (stale pad regions are re-zeroed
+/// by the kernels themselves).
+#[derive(Clone, Debug, Default)]
+pub struct OpScratch {
+    spmv: SpmvScratch,
+    spmm: SpmmScratch,
+    col: Vec<f64>,
+}
 
 /// A matrix prepared for a backend.
 #[derive(Clone, Debug)]
@@ -116,6 +130,23 @@ impl Operator {
         }
     }
 
+    /// [`Operator::spmv`] into a caller-owned output, reusing `scratch`.
+    /// Bitwise-identical result and identical kernel charge; allocation-free
+    /// once the buffers have grown to the operand size.
+    pub fn spmv_into(&self, ctx: &Ctx, x: &[f64], scratch: &mut OpScratch, y: &mut Vec<f64>) {
+        match self.backend {
+            BackendKind::Vendor => spmv_csr_into(ctx, &self.csr, x, y),
+            BackendKind::AmgT => spmv_mbsr_into(
+                ctx,
+                self.mbsr.as_ref().expect("AmgT operator carries mBSR"),
+                self.plan.as_ref().expect("AmgT operator carries a plan"),
+                x,
+                &mut scratch.spmv,
+                y,
+            ),
+        }
+    }
+
     /// `Y = A X` on a dense multi-vector. The AmgT backend coalesces the
     /// columns into [`amgt_kernels::spmm_mbsr::RHS_TILE`]-wide tensor slabs
     /// (each output column stays bitwise equal to [`Operator::spmv`] of that
@@ -129,6 +160,36 @@ impl Operator {
                 self.plan.as_ref().expect("AmgT operator carries a plan"),
                 x,
             ),
+        }
+    }
+
+    /// [`Operator::spmm`] into a caller-owned multi-vector, reusing
+    /// `scratch`. Bitwise-identical result and identical kernel charges.
+    pub fn spmm_into(
+        &self,
+        ctx: &Ctx,
+        x: &MultiVector,
+        scratch: &mut OpScratch,
+        y: &mut MultiVector,
+    ) {
+        match self.backend {
+            BackendKind::Vendor => {
+                y.reshape(self.csr.nrows(), x.ncols);
+                for j in 0..x.ncols {
+                    spmv_csr_into(ctx, &self.csr, x.col(j), &mut scratch.col);
+                    y.col_mut(j).copy_from_slice(&scratch.col);
+                }
+            }
+            BackendKind::AmgT => {
+                spmm_mbsr_into(
+                    ctx,
+                    self.mbsr.as_ref().expect("AmgT operator carries mBSR"),
+                    self.plan.as_ref().expect("AmgT operator carries a plan"),
+                    x,
+                    &mut scratch.spmm,
+                    y,
+                );
+            }
         }
     }
 
@@ -150,6 +211,15 @@ impl Operator {
 
 /// `C = A * B` through the backend SpGEMM. Inputs must share the backend.
 pub fn op_matmul(ctx: &Ctx, a: &Operator, b: &Operator) -> Operator {
+    let mut ws = SpgemmWorkspace::default();
+    op_matmul_ws(ctx, a, b, &mut ws)
+}
+
+/// [`op_matmul`] reusing a caller-owned SpGEMM workspace (hash-table slab,
+/// prefix-sum scratch). The workspace grows monotonically, so one instance
+/// serves every RAP product of a hierarchy setup and is reused across
+/// `resetup`. Vendor products take no workspace and ignore it.
+pub fn op_matmul_ws(ctx: &Ctx, a: &Operator, b: &Operator, ws: &mut SpgemmWorkspace) -> Operator {
     assert_eq!(a.backend, b.backend, "mixed-backend product");
     match a.backend {
         BackendKind::Vendor => {
@@ -162,10 +232,11 @@ pub fn op_matmul(ctx: &Ctx, a: &Operator, b: &Operator) -> Operator {
             }
         }
         BackendKind::AmgT => {
-            let (c, _stats) = spgemm_mbsr(
+            let (c, _stats) = spgemm_mbsr_with_workspace(
                 ctx,
                 a.mbsr.as_ref().expect("AmgT operator carries mBSR"),
                 b.mbsr.as_ref().expect("AmgT operator carries mBSR"),
+                ws,
             );
             Operator::from_mbsr(ctx, c)
         }

@@ -47,14 +47,19 @@ pub fn bicgstab_solve(
     }
     let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
 
-    let precond = |r: &[f64]| -> Vec<f64> {
-        let mut z = vec![0.0; n];
-        let mut inner = cfg.clone();
-        inner.max_iterations = 1;
-        inner.tolerance = 0.0;
-        crate::solve::solve(device, &inner, h, r, &mut z);
-        z
+    // Preconditioner state hoisted out of the iteration loop: one inner
+    // config, reusable output buffers and one V-cycle workspace.
+    let mut inner = cfg.clone();
+    inner.max_iterations = 1;
+    inner.tolerance = 0.0;
+    let mut pre_ws = crate::solve::SolveWorkspace::for_hierarchy(h);
+    let precond = |r: &[f64], z: &mut Vec<f64>, ws: &mut crate::solve::SolveWorkspace| {
+        z.clear();
+        z.resize(n, 0.0);
+        crate::solve::solve_with_workspace(device, &inner, h, r, z, ws);
     };
+    let mut p_hat = Vec::new();
+    let mut s_hat = Vec::new();
 
     let b_norm = {
         let nb = vec_ops::norm2(&ctx, b);
@@ -104,7 +109,7 @@ pub fn bicgstab_solve(
         vec_ops::axpy(&ctx, -omega, &v, &mut p);
         vec_ops::xpby(&ctx, &r, beta, &mut p);
 
-        let p_hat = precond(&p);
+        precond(&p, &mut p_hat, &mut pre_ws);
         v = h.finest().a.spmv(&ctx, &p_hat);
         let rhv = vec_ops::dot(&ctx, &r_hat, &v);
         if rhv.abs() < 1e-300 {
@@ -124,7 +129,7 @@ pub fn bicgstab_solve(
             break;
         }
 
-        let s_hat = precond(&s);
+        precond(&s, &mut s_hat, &mut pre_ws);
         let t = h.finest().a.spmv(&ctx, &s_hat);
         let tt = vec_ops::dot(&ctx, &t, &t);
         if tt.abs() < 1e-300 {

@@ -50,12 +50,16 @@ pub fn fgmres_solve(
     }
     let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
 
-    let precond = |r: &[f64]| -> Vec<f64> {
+    // Inner config and V-cycle workspace hoisted out of the Arnoldi loop;
+    // each application still returns an owned vector because the flexible
+    // variant stores the whole preconditioned basis.
+    let mut inner = cfg.clone();
+    inner.max_iterations = 1;
+    inner.tolerance = 0.0;
+    let mut pre_ws = crate::solve::SolveWorkspace::for_hierarchy(h);
+    let precond = |r: &[f64], ws: &mut crate::solve::SolveWorkspace| -> Vec<f64> {
         let mut z = vec![0.0; n];
-        let mut inner = cfg.clone();
-        inner.max_iterations = 1;
-        inner.tolerance = 0.0;
-        crate::solve::solve(device, &inner, h, r, &mut z);
+        crate::solve::solve_with_workspace(device, &inner, h, r, &mut z, ws);
         z
     };
 
@@ -105,7 +109,7 @@ pub fn fgmres_solve(
         let mut k_used = 0usize;
         for j in 0..m {
             total_iters += 1;
-            let zj = precond(&v[j]);
+            let zj = precond(&v[j], &mut pre_ws);
             let mut w = h.finest().a.spmv(&ctx, &zj);
             z.push(zj);
 

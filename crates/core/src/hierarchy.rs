@@ -15,11 +15,12 @@ use crate::interp::build_interpolation;
 use crate::pmis::pmis;
 use crate::strength::strength_graph;
 use amgt_kernels::convert::mbsr_to_csr;
-use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
+use amgt_kernels::spgemm_mbsr::{spgemm_mbsr_with_workspace, SpgemmWorkspace};
 use amgt_kernels::vendor::spgemm_csr;
 use amgt_kernels::Ctx;
 use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision, SpanKind};
 use amgt_sparse::{Csr, Lu, SparseLdl};
+use std::sync::{Arc, Mutex};
 
 /// One level of the grid hierarchy.
 #[derive(Clone)]
@@ -68,6 +69,11 @@ pub struct Hierarchy {
     /// Sparse LDL^T factorization for the sparse-direct coarse option.
     pub coarse_ldl: Option<SparseLdl>,
     pub stats: SetupStats,
+    /// SpGEMM workspace (hash-table slab + prefix-sum scratch) grown by the
+    /// setup's RAP products and reused by every [`resetup`] of this
+    /// hierarchy. Shared across clones so cached hierarchies keep their
+    /// capacity.
+    spgemm_ws: Arc<Mutex<SpgemmWorkspace>>,
 }
 
 impl Hierarchy {
@@ -101,7 +107,14 @@ pub fn level_precision(device: &Device, cfg: &AmgConfig, k: usize) -> Precision 
 /// Galerkin product `A_next = R * (A * P)` through the backend: two SpGEMM
 /// calls; for AmgT the intermediate stays in mBSR and only the final coarse
 /// matrix converts back to CSR.
-fn rap(ctx: &Ctx, backend: BackendKind, a: &Operator, p: &Operator, r: &Operator) -> Csr {
+fn rap(
+    ctx: &Ctx,
+    backend: BackendKind,
+    a: &Operator,
+    p: &Operator,
+    r: &Operator,
+    ws: &mut SpgemmWorkspace,
+) -> Csr {
     match backend {
         BackendKind::Vendor => {
             let (ap, _) = spgemm_csr(ctx, &a.csr, &p.csr);
@@ -112,8 +125,8 @@ fn rap(ctx: &Ctx, backend: BackendKind, a: &Operator, p: &Operator, r: &Operator
             let ma = a.mbsr.as_ref().expect("AmgT operator");
             let mp = p.mbsr.as_ref().expect("AmgT operator");
             let mr = r.mbsr.as_ref().expect("AmgT operator");
-            let (ap, _) = spgemm_mbsr(ctx, ma, mp);
-            let (c, _) = spgemm_mbsr(ctx, mr, &ap);
+            let (ap, _) = spgemm_mbsr_with_workspace(ctx, ma, mp, ws);
+            let (c, _) = spgemm_mbsr_with_workspace(ctx, mr, &ap, ws);
             mbsr_to_csr(ctx, &c)
         }
     }
@@ -152,6 +165,9 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     let mut stats = SetupStats::default();
     let nnz0 = a0.nnz().max(1);
 
+    // One SpGEMM workspace serves every RAP product of this setup and is
+    // then carried by the hierarchy for later `resetup` calls.
+    let mut spgemm_ws = SpgemmWorkspace::default();
     let mut current = a0;
     let mut k = 0usize;
     loop {
@@ -232,7 +248,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         let r_op = op_transpose(&ctx, cfg.backend, &p_op.csr);
 
         // Galerkin product (line 5): two SpGEMMs.
-        let a_next = rap(&ctx, cfg.backend, &a_op, &p_op, &r_op);
+        let a_next = rap(&ctx, cfg.backend, &a_op, &p_op, &r_op, &mut spgemm_ws);
         stats.spgemm_calls += 3;
 
         levels.push(Level {
@@ -303,6 +319,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         coarse_lu,
         coarse_ldl,
         stats,
+        spgemm_ws: Arc::new(Mutex::new(spgemm_ws)),
     };
     if let Some(rec) = device.recorder() {
         rec.set_hierarchy(h.diagnostics());
@@ -320,6 +337,10 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
 pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     assert_eq!(a0.nrows(), h.finest().n(), "pattern/order mismatch");
     let _phase_span = device.span(SpanKind::Phase, || "resetup".to_string());
+    // Reuse the workspace the original setup grew (clone the Arc so the
+    // guard does not pin `h` while the loop borrows its levels).
+    let spgemm_ws = h.spgemm_ws.clone();
+    let mut spgemm_ws = spgemm_ws.lock().unwrap_or_else(|e| e.into_inner());
     let mut current = Some(a0);
     let n_levels = h.levels.len();
     for k in 0..n_levels {
@@ -335,7 +356,7 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
         if k + 1 < n_levels {
             let p_op = h.levels[k].p.as_ref().expect("existing hierarchy has P");
             let r_op = h.levels[k].r.as_ref().expect("existing hierarchy has R");
-            current = Some(rap(&ctx, cfg.backend, &a_op, p_op, r_op));
+            current = Some(rap(&ctx, cfg.backend, &a_op, p_op, r_op, &mut spgemm_ws));
         }
         let lvl = &mut h.levels[k];
         lvl.a = a_op;

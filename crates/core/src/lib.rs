@@ -49,7 +49,7 @@ pub mod strength;
 pub mod vec_ops;
 
 pub use amgt_kernels::KernelPolicy;
-pub use backend::Operator;
+pub use backend::{op_matmul, op_matmul_ws, OpScratch, Operator};
 pub use config::{
     AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy,
     Smoother,
@@ -57,7 +57,10 @@ pub use config::{
 pub use diagnostics::{hierarchy_diagnostics, ConvergenceMonitor, HealthThresholds, SolveOutcome};
 pub use driver::{geomean, run_amg, run_amg_traced, PhaseBreakdown, RunReport};
 pub use hierarchy::{resetup, setup, Hierarchy, Level, SetupStats};
-pub use solve::{expected_spmv_calls, solve, solve_batched, BatchedSolveReport, SolveReport};
+pub use solve::{
+    expected_spmv_calls, solve, solve_batched, solve_batched_with_workspace, solve_with_workspace,
+    BatchedSolveReport, SolveReport, SolveWorkspace,
+};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -68,7 +71,10 @@ pub mod prelude {
     pub use crate::gmres::fgmres_solve;
     pub use crate::hierarchy::{setup, Hierarchy};
     pub use crate::pcg::pcg_solve;
-    pub use crate::solve::{solve, solve_batched, BatchedSolveReport, SolveReport};
+    pub use crate::solve::{
+        solve, solve_batched, solve_batched_with_workspace, solve_with_workspace,
+        BatchedSolveReport, SolveReport, SolveWorkspace,
+    };
     pub use amgt_kernels::spmm_mbsr::MultiVector;
     pub use amgt_kernels::KernelPolicy;
     pub use amgt_sim::{Device, GpuSpec, Precision};

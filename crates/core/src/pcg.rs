@@ -47,14 +47,17 @@ pub fn pcg_solve(
     }
     let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
 
-    // One V-cycle as the preconditioner application.
-    let precond = |r: &[f64]| -> Vec<f64> {
-        let mut z = vec![0.0; n];
-        let mut inner = cfg.clone();
-        inner.max_iterations = 1;
-        inner.tolerance = 0.0;
-        crate::solve::solve(device, &inner, h, r, &mut z);
-        z
+    // One V-cycle as the preconditioner application. The inner config, the
+    // output buffer and the V-cycle workspace are hoisted out of the
+    // iteration loop and reused by every application.
+    let mut inner = cfg.clone();
+    inner.max_iterations = 1;
+    inner.tolerance = 0.0;
+    let mut pre_ws = crate::solve::SolveWorkspace::for_hierarchy(h);
+    let precond = |r: &[f64], z: &mut Vec<f64>, ws: &mut crate::solve::SolveWorkspace| {
+        z.clear();
+        z.resize(n, 0.0);
+        crate::solve::solve_with_workspace(device, &inner, h, r, z, ws);
     };
 
     let b_norm = {
@@ -81,7 +84,8 @@ pub fn pcg_solve(
     }
     let mut monitor = ConvergenceMonitor::new(HealthThresholds::default(), initial_rel);
     let mut health_events: Vec<HealthEvent> = Vec::new();
-    let mut z = precond(&r);
+    let mut z = Vec::new();
+    precond(&r, &mut z, &mut pre_ws);
     let mut p = z.clone();
     let mut rz = vec_ops::dot(&ctx, &r, &z);
 
@@ -113,7 +117,7 @@ pub fn pcg_solve(
             converged = true;
             break;
         }
-        z = precond(&r);
+        precond(&r, &mut z, &mut pre_ws);
         let rz_new = vec_ops::dot(&ctx, &r, &z);
         let beta = rz_new / rz;
         rz = rz_new;

@@ -8,6 +8,7 @@
 //! 7-level grid over 50 iterations with a direct coarse solver, 1601/1701
 //! with iterative ones (Section V.A).
 
+use crate::backend::OpScratch;
 use crate::config::{AmgConfig, CoarseSolver, CycleType, Smoother};
 use crate::diagnostics::{ConvergenceMonitor, HealthThresholds, SolveOutcome};
 use crate::hierarchy::{Hierarchy, Level};
@@ -15,6 +16,67 @@ use crate::vec_ops;
 use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
 use amgt_sim::{Algo, Device, HealthEvent, KernelCost, KernelKind, Phase, SpanKind};
+
+/// Reusable buffers for one level position of the V-cycle: every vector the
+/// cycle materializes at that level (residual chain, coarse correction,
+/// smoother temporaries, coarse-solve staging) plus the kernel scratch.
+/// Buffers grow monotonically and are reused across iterations and solves.
+#[derive(Clone, Debug, Default)]
+pub struct LevelWorkspace {
+    ax: Vec<f64>,
+    r: Vec<f64>,
+    b_next: Vec<f64>,
+    x_next: Vec<f64>,
+    e: Vec<f64>,
+    /// Weighted-Jacobi scaled diagonal (`diag_inv * w`).
+    scaled: Vec<f64>,
+    /// Pre-sweep solution copy for hybrid Gauss-Seidel.
+    gs_old: Vec<f64>,
+    /// Coarse direct-solve output staging.
+    sol: Vec<f64>,
+    /// Coarse LDL^T permuted working vector.
+    sol2: Vec<f64>,
+    op: OpScratch,
+    // Multi-vector mirrors for the batched solve path.
+    ax_mv: MultiVector,
+    r_mv: MultiVector,
+    b_next_mv: MultiVector,
+    x_next_mv: MultiVector,
+    e_mv: MultiVector,
+}
+
+/// Preallocated solve-phase buffers for a hierarchy: one [`LevelWorkspace`]
+/// per level plus the outer-residual buffers and batched gather staging.
+///
+/// Create once (or keep alongside a cached hierarchy) and pass to
+/// [`solve_with_workspace`] / [`solve_batched_with_workspace`]: after the
+/// first iteration has grown every buffer, steady-state V-cycles perform no
+/// heap allocation. All `_into` paths produce bitwise-identical iterates to
+/// the allocating entry points.
+#[derive(Clone, Debug, Default)]
+pub struct SolveWorkspace {
+    levels: Vec<LevelWorkspace>,
+    outer: LevelWorkspace,
+    bc_mv: MultiVector,
+    xc_mv: MultiVector,
+}
+
+impl SolveWorkspace {
+    /// Workspace pre-sized for `h` (buffers still grow lazily on first use).
+    pub fn for_hierarchy(h: &Hierarchy) -> SolveWorkspace {
+        let mut ws = SolveWorkspace::default();
+        ws.ensure(h);
+        ws
+    }
+
+    /// Grow the per-level pool to cover `h`. Idempotent; never shrinks, so
+    /// one workspace can serve hierarchies of different depths.
+    pub fn ensure(&mut self, h: &Hierarchy) {
+        if self.levels.len() < h.n_levels() {
+            self.levels.resize_with(h.n_levels(), Default::default);
+        }
+    }
+}
 
 /// Result of a solve.
 #[derive(Clone, Debug)]
@@ -75,18 +137,26 @@ const GS_BLOCK: usize = 256;
 /// One smoothing sweep. Jacobi-type smoothers cost one SpMV plus a fused
 /// vector update (the paper's accounting); hybrid Gauss-Seidel traverses
 /// the matrix once and is charged like an SpMV.
-fn smooth(ctx: &Ctx, cfg: &AmgConfig, lvl: &Level, b: &[f64], x: &mut [f64]) {
+fn smooth(
+    ctx: &Ctx,
+    cfg: &AmgConfig,
+    lvl: &Level,
+    b: &[f64],
+    x: &mut [f64],
+    lw: &mut LevelWorkspace,
+) {
     match cfg.smoother {
         Smoother::L1Jacobi => {
-            let ax = lvl.a.spmv(ctx, x);
-            vec_ops::jacobi_fused(ctx, &lvl.l1_diag_inv, b, &ax, x);
+            lvl.a.spmv_into(ctx, x, &mut lw.op, &mut lw.ax);
+            vec_ops::jacobi_fused(ctx, &lvl.l1_diag_inv, b, &lw.ax, x);
         }
         Smoother::WeightedJacobi(w) => {
-            let ax = lvl.a.spmv(ctx, x);
-            let scaled: Vec<f64> = lvl.diag_inv.iter().map(|&d| d * w).collect();
-            vec_ops::jacobi_fused(ctx, &scaled, b, &ax, x);
+            lvl.a.spmv_into(ctx, x, &mut lw.op, &mut lw.ax);
+            lw.scaled.clear();
+            lw.scaled.extend(lvl.diag_inv.iter().map(|&d| d * w));
+            vec_ops::jacobi_fused(ctx, &lw.scaled, b, &lw.ax, x);
         }
-        Smoother::HybridGaussSeidel => hybrid_gauss_seidel(ctx, lvl, b, x),
+        Smoother::HybridGaussSeidel => hybrid_gauss_seidel(ctx, lvl, b, x, &mut lw.gs_old),
     }
 }
 
@@ -94,10 +164,12 @@ fn smooth(ctx: &Ctx, cfg: &AmgConfig, lvl: &Level, b: &[f64], x: &mut [f64]) {
 /// freshest values (sequential GS); values from other blocks are read at
 /// their pre-sweep state (Jacobi coupling), which is what makes the sweep
 /// block-parallel on a GPU.
-fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64]) {
+fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64], gs_old: &mut Vec<f64>) {
     let a = &lvl.a.csr;
     let n = a.nrows();
-    let x_old = x.to_vec();
+    gs_old.clear();
+    gs_old.extend_from_slice(x);
+    let x_old = &gs_old[..];
     for block_start in (0..n).step_by(GS_BLOCK) {
         let block_end = (block_start + GS_BLOCK).min(n);
         for r in block_start..block_end {
@@ -131,13 +203,20 @@ fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64]) {
 }
 
 /// Solve the coarsest level (Algorithm 2, line 6).
-fn coarse_solve(ctx: &Ctx, cfg: &AmgConfig, h: &Hierarchy, b: &[f64], x: &mut [f64]) {
+fn coarse_solve(
+    ctx: &Ctx,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    b: &[f64],
+    x: &mut [f64],
+    lw: &mut LevelWorkspace,
+) {
     let lvl = h.levels.last().unwrap();
     match cfg.coarse_solver {
         CoarseSolver::DirectLu => {
             let lu = h.coarse_lu.as_ref().expect("LU prepared in setup");
-            let sol = lu.solve(b);
-            x.copy_from_slice(&sol);
+            lu.solve_into(b, &mut lw.sol);
+            x.copy_from_slice(&lw.sol);
             let n = lvl.n() as f64;
             ctx.charge(
                 KernelKind::CoarseSolve,
@@ -152,8 +231,8 @@ fn coarse_solve(ctx: &Ctx, cfg: &AmgConfig, h: &Hierarchy, b: &[f64], x: &mut [f
         }
         CoarseSolver::SparseLdl { .. } => {
             let f = h.coarse_ldl.as_ref().expect("LDL^T prepared in setup");
-            let sol = f.solve(b);
-            x.copy_from_slice(&sol);
+            f.solve_into(b, &mut lw.sol2, &mut lw.sol);
+            x.copy_from_slice(&lw.sol);
             ctx.charge(
                 KernelKind::CoarseSolve,
                 Algo::Shared,
@@ -167,7 +246,7 @@ fn coarse_solve(ctx: &Ctx, cfg: &AmgConfig, h: &Hierarchy, b: &[f64], x: &mut [f
         }
         CoarseSolver::Jacobi(sweeps) => {
             for _ in 0..sweeps {
-                smooth(ctx, cfg, lvl, b, x);
+                smooth(ctx, cfg, lvl, b, x, lw);
             }
         }
     }
@@ -175,6 +254,7 @@ fn coarse_solve(ctx: &Ctx, cfg: &AmgConfig, h: &Hierarchy, b: &[f64], x: &mut [f
 
 /// One multigrid cycle starting at level `k` (Algorithm 2 for V; W and F
 /// visit coarse levels more than once).
+#[allow(clippy::too_many_arguments)]
 fn vcycle(
     device: &Device,
     cfg: &AmgConfig,
@@ -183,19 +263,24 @@ fn vcycle(
     b: &[f64],
     x: &mut [f64],
     poison: &mut Option<NonFiniteSite>,
+    ws: &mut SolveWorkspace,
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision).with_policy(cfg.policy);
+    // Detach this level's buffers so the recursion below can borrow the
+    // pool for the coarser levels; reattached on every exit path.
+    let mut lw = std::mem::take(&mut ws.levels[k]);
     if k + 1 == h.n_levels() {
-        coarse_solve(&ctx, cfg, h, b, x);
+        coarse_solve(&ctx, cfg, h, b, x, &mut lw);
         check_finite(poison, x, lvl, k, "coarse solve");
+        ws.levels[k] = lw;
         return;
     }
 
     // Pre-smoothing (mu_1 sweeps).
     for _ in 0..cfg.num_sweeps {
-        smooth(&ctx, cfg, lvl, b, x);
+        smooth(&ctx, cfg, lvl, b, x, &mut lw);
     }
     // Non-finite check *before* recursing: a NaN born here would otherwise
     // propagate down the restricted residual and be misattributed to the
@@ -203,13 +288,16 @@ fn vcycle(
     check_finite(poison, x, lvl, k, "pre-smoothing");
 
     // Residual and restriction.
-    let ax = lvl.a.spmv(&ctx, x);
-    let r = vec_ops::sub(&ctx, b, &ax);
+    lvl.a.spmv_into(&ctx, x, &mut lw.op, &mut lw.ax);
+    vec_ops::sub_into(&ctx, b, &lw.ax, &mut lw.r);
     let restriction = lvl.r.as_ref().expect("non-coarsest level has R");
-    let b_next = restriction.spmv(&ctx, &r);
+    restriction.spmv_into(&ctx, &lw.r, &mut lw.op, &mut lw.b_next);
 
-    // Recurse with a zero initial guess; W/F recurse twice per level.
-    let mut x_next = vec![0.0f64; b_next.len()];
+    // Recurse with a zero initial guess (the reused buffer must be
+    // re-zeroed: it carries the previous cycle's correction); W/F recurse
+    // twice per level, the second visit continuing from the first.
+    lw.x_next.clear();
+    lw.x_next.resize(lw.b_next.len(), 0.0);
     let visits = match cfg.cycle {
         CycleType::V => 1,
         CycleType::W | CycleType::F => 2,
@@ -219,22 +307,41 @@ fn vcycle(
             // F-cycle tail: finish with a plain V sweep below this level.
             let mut vcfg = cfg.clone();
             vcfg.cycle = CycleType::V;
-            vcycle(device, &vcfg, h, k + 1, &b_next, &mut x_next, poison);
+            vcycle(
+                device,
+                &vcfg,
+                h,
+                k + 1,
+                &lw.b_next,
+                &mut lw.x_next,
+                poison,
+                ws,
+            );
         } else {
-            vcycle(device, cfg, h, k + 1, &b_next, &mut x_next, poison);
+            vcycle(
+                device,
+                cfg,
+                h,
+                k + 1,
+                &lw.b_next,
+                &mut lw.x_next,
+                poison,
+                ws,
+            );
         }
     }
 
     // Interpolation and correction.
     let p = lvl.p.as_ref().expect("non-coarsest level has P");
-    let e = p.spmv(&ctx, &x_next);
-    vec_ops::axpy(&ctx, 1.0, &e, x);
+    p.spmv_into(&ctx, &lw.x_next, &mut lw.op, &mut lw.e);
+    vec_ops::axpy(&ctx, 1.0, &lw.e, x);
 
     // Post-smoothing (mu_2 sweeps).
     for _ in 0..cfg.num_sweeps {
-        smooth(&ctx, cfg, lvl, b, x);
+        smooth(&ctx, cfg, lvl, b, x, &mut lw);
     }
     check_finite(poison, x, lvl, k, "post-smoothing");
+    ws.levels[k] = lw;
 }
 
 /// Run the solve phase: `max_iterations` V-cycles (with optional early exit
@@ -246,6 +353,23 @@ pub fn solve(
     b: &[f64],
     x: &mut Vec<f64>,
 ) -> SolveReport {
+    let mut ws = SolveWorkspace::for_hierarchy(h);
+    solve_with_workspace(device, cfg, h, b, x, &mut ws)
+}
+
+/// [`solve`] with caller-owned buffers: bitwise-identical iterates and
+/// identical kernel charges, but all per-cycle vectors come from `ws`.
+/// Reusing one workspace across repeated solves of one hierarchy makes the
+/// steady-state solve phase allocation-free.
+pub fn solve_with_workspace(
+    device: &Device,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    b: &[f64],
+    x: &mut Vec<f64>,
+    ws: &mut SolveWorkspace,
+) -> SolveReport {
+    ws.ensure(h);
     let n = h.finest().n();
     assert_eq!(b.len(), n);
     if x.len() != n {
@@ -265,9 +389,11 @@ pub fn solve(
     // Initial residual (the paper's "+1" SpMV).
     let initial = {
         let _span = device.span(SpanKind::Region, || "initial residual".to_string());
-        let ax = h.finest().a.spmv(&ctx0, x);
-        let r0 = vec_ops::sub(&ctx0, b, &ax);
-        vec_ops::norm2(&ctx0, &r0)
+        h.finest()
+            .a
+            .spmv_into(&ctx0, x, &mut ws.outer.op, &mut ws.outer.ax);
+        vec_ops::sub_into(&ctx0, b, &ws.outer.ax, &mut ws.outer.r);
+        vec_ops::norm2(&ctx0, &ws.outer.r)
     };
 
     let mut monitor = ConvergenceMonitor::new(HealthThresholds::default(), initial / b_norm);
@@ -279,12 +405,14 @@ pub fn solve(
     for it in 0..cfg.max_iterations {
         let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
         let mut poison = None;
-        vcycle(device, cfg, h, 0, b, x, &mut poison);
+        vcycle(device, cfg, h, 0, b, x, &mut poison, ws);
         iterations += 1;
         // Residual after the cycle (one SpMV per iteration).
-        let ax = h.finest().a.spmv(&ctx0, x);
-        let r = vec_ops::sub(&ctx0, b, &ax);
-        final_norm = vec_ops::norm2(&ctx0, &r);
+        h.finest()
+            .a
+            .spmv_into(&ctx0, x, &mut ws.outer.op, &mut ws.outer.ax);
+        vec_ops::sub_into(&ctx0, b, &ws.outer.ax, &mut ws.outer.r);
+        final_norm = vec_ops::norm2(&ctx0, &ws.outer.r);
         history.push(final_norm / b_norm);
         let event = if let Some(site) = poison {
             monitor.attribute_non_finite(
@@ -366,23 +494,35 @@ impl BatchedSolveReport {
 /// Batched smoothing sweep: one fused SpMM over all columns for the
 /// Jacobi-type smoothers; hybrid Gauss-Seidel is inherently sequential per
 /// column and falls back to a column loop.
-fn smooth_mv(ctx: &Ctx, cfg: &AmgConfig, lvl: &Level, b: &MultiVector, x: &mut MultiVector) {
+fn smooth_mv(
+    ctx: &Ctx,
+    cfg: &AmgConfig,
+    lvl: &Level,
+    b: &MultiVector,
+    x: &mut MultiVector,
+    lw: &mut LevelWorkspace,
+) {
     match cfg.smoother {
         Smoother::L1Jacobi => {
-            let ax = lvl.a.spmm(ctx, x);
-            vec_ops::jacobi_fused_mv(ctx, &lvl.l1_diag_inv, b, &ax, x);
+            lvl.a.spmm_into(ctx, x, &mut lw.op, &mut lw.ax_mv);
+            vec_ops::jacobi_fused_mv(ctx, &lvl.l1_diag_inv, b, &lw.ax_mv, x);
         }
         Smoother::WeightedJacobi(w) => {
-            let ax = lvl.a.spmm(ctx, x);
-            let scaled: Vec<f64> = lvl.diag_inv.iter().map(|&d| d * w).collect();
-            vec_ops::jacobi_fused_mv(ctx, &scaled, b, &ax, x);
+            lvl.a.spmm_into(ctx, x, &mut lw.op, &mut lw.ax_mv);
+            lw.scaled.clear();
+            lw.scaled.extend(lvl.diag_inv.iter().map(|&d| d * w));
+            vec_ops::jacobi_fused_mv(ctx, &lw.scaled, b, &lw.ax_mv, x);
         }
         Smoother::HybridGaussSeidel => {
             let n = x.nrows;
             for j in 0..x.ncols {
-                let mut xc = x.col(j).to_vec();
-                hybrid_gauss_seidel(ctx, lvl, &b.data[j * n..(j + 1) * n], &mut xc);
-                x.data[j * n..(j + 1) * n].copy_from_slice(&xc);
+                hybrid_gauss_seidel(
+                    ctx,
+                    lvl,
+                    &b.data[j * n..(j + 1) * n],
+                    x.col_mut(j),
+                    &mut lw.gs_old,
+                );
             }
         }
     }
@@ -397,20 +537,21 @@ fn coarse_solve_mv(
     h: &Hierarchy,
     b: &MultiVector,
     x: &mut MultiVector,
+    lw: &mut LevelWorkspace,
 ) {
     match cfg.coarse_solver {
         CoarseSolver::DirectLu | CoarseSolver::SparseLdl { .. } => {
             let n = x.nrows;
+            // The direct paths fully overwrite the column, so solving in
+            // place is exact.
             for j in 0..x.ncols {
-                let mut xc = x.col(j).to_vec();
-                coarse_solve(ctx, cfg, h, &b.data[j * n..(j + 1) * n], &mut xc);
-                x.data[j * n..(j + 1) * n].copy_from_slice(&xc);
+                coarse_solve(ctx, cfg, h, &b.data[j * n..(j + 1) * n], x.col_mut(j), lw);
             }
         }
         CoarseSolver::Jacobi(sweeps) => {
             let lvl = h.levels.last().unwrap();
             for _ in 0..sweeps {
-                smooth_mv(ctx, cfg, lvl, b, x);
+                smooth_mv(ctx, cfg, lvl, b, x, lw);
             }
         }
     }
@@ -418,6 +559,7 @@ fn coarse_solve_mv(
 
 /// One batched multigrid cycle starting at level `k`: the multi-vector
 /// mirror of [`vcycle`], with every SpMV widened to an SpMM over the batch.
+#[allow(clippy::too_many_arguments)]
 fn vcycle_mv(
     device: &Device,
     cfg: &AmgConfig,
@@ -426,27 +568,32 @@ fn vcycle_mv(
     b: &MultiVector,
     x: &mut MultiVector,
     poison: &mut Option<NonFiniteSite>,
+    ws: &mut SolveWorkspace,
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision).with_policy(cfg.policy);
+    let mut lw = std::mem::take(&mut ws.levels[k]);
     if k + 1 == h.n_levels() {
-        coarse_solve_mv(&ctx, cfg, h, b, x);
+        coarse_solve_mv(&ctx, cfg, h, b, x, &mut lw);
         check_finite(poison, &x.data, lvl, k, "coarse solve");
+        ws.levels[k] = lw;
         return;
     }
 
     for _ in 0..cfg.num_sweeps {
-        smooth_mv(&ctx, cfg, lvl, b, x);
+        smooth_mv(&ctx, cfg, lvl, b, x, &mut lw);
     }
     check_finite(poison, &x.data, lvl, k, "pre-smoothing");
 
-    let ax = lvl.a.spmm(&ctx, x);
-    let r = vec_ops::sub_mv(&ctx, b, &ax);
+    lvl.a.spmm_into(&ctx, x, &mut lw.op, &mut lw.ax_mv);
+    vec_ops::sub_mv_into(&ctx, b, &lw.ax_mv, &mut lw.r_mv);
     let restriction = lvl.r.as_ref().expect("non-coarsest level has R");
-    let b_next = restriction.spmm(&ctx, &r);
+    restriction.spmm_into(&ctx, &lw.r_mv, &mut lw.op, &mut lw.b_next_mv);
 
-    let mut x_next = MultiVector::zeros(b_next.nrows, b_next.ncols);
+    // Zero initial guess in the reused buffer (reshape keeps stale data).
+    lw.x_next_mv.reshape(lw.b_next_mv.nrows, lw.b_next_mv.ncols);
+    lw.x_next_mv.data.fill(0.0);
     let visits = match cfg.cycle {
         CycleType::V => 1,
         CycleType::W | CycleType::F => 2,
@@ -455,30 +602,48 @@ fn vcycle_mv(
         if cfg.cycle == CycleType::F && visit == 1 {
             let mut vcfg = cfg.clone();
             vcfg.cycle = CycleType::V;
-            vcycle_mv(device, &vcfg, h, k + 1, &b_next, &mut x_next, poison);
+            vcycle_mv(
+                device,
+                &vcfg,
+                h,
+                k + 1,
+                &lw.b_next_mv,
+                &mut lw.x_next_mv,
+                poison,
+                ws,
+            );
         } else {
-            vcycle_mv(device, cfg, h, k + 1, &b_next, &mut x_next, poison);
+            vcycle_mv(
+                device,
+                cfg,
+                h,
+                k + 1,
+                &lw.b_next_mv,
+                &mut lw.x_next_mv,
+                poison,
+                ws,
+            );
         }
     }
 
     let p = lvl.p.as_ref().expect("non-coarsest level has P");
-    let e = p.spmm(&ctx, &x_next);
-    vec_ops::axpy_mv(&ctx, 1.0, &e, x);
+    p.spmm_into(&ctx, &lw.x_next_mv, &mut lw.op, &mut lw.e_mv);
+    vec_ops::axpy_mv(&ctx, 1.0, &lw.e_mv, x);
 
     for _ in 0..cfg.num_sweeps {
-        smooth_mv(&ctx, cfg, lvl, b, x);
+        smooth_mv(&ctx, cfg, lvl, b, x, &mut lw);
     }
     check_finite(poison, &x.data, lvl, k, "post-smoothing");
+    ws.levels[k] = lw;
 }
 
-/// Copy the selected columns of `src` into a compact batch.
-fn gather_columns(src: &MultiVector, idx: &[usize]) -> MultiVector {
+/// Copy the selected columns of `src` into a compact batch, reusing `out`.
+fn gather_columns_into(src: &MultiVector, idx: &[usize], out: &mut MultiVector) {
     let n = src.nrows;
-    let mut out = MultiVector::zeros(n, idx.len());
+    out.reshape(n, idx.len());
     for (c, &j) in idx.iter().enumerate() {
         out.data[c * n..(c + 1) * n].copy_from_slice(src.col(j));
     }
-    out
 }
 
 /// Solve `A X = B` for a batch of right-hand sides over one hierarchy.
@@ -494,6 +659,22 @@ pub fn solve_batched(
     b: &MultiVector,
     x: &mut MultiVector,
 ) -> BatchedSolveReport {
+    let mut ws = SolveWorkspace::for_hierarchy(h);
+    solve_batched_with_workspace(device, cfg, h, b, x, &mut ws)
+}
+
+/// [`solve_batched`] with caller-owned buffers (see
+/// [`solve_with_workspace`]): bitwise-identical per-column iterates,
+/// identical charges, reusable batch staging and per-level multi-vectors.
+pub fn solve_batched_with_workspace(
+    device: &Device,
+    cfg: &AmgConfig,
+    h: &Hierarchy,
+    b: &MultiVector,
+    x: &mut MultiVector,
+    ws: &mut SolveWorkspace,
+) -> BatchedSolveReport {
+    ws.ensure(h);
     let n = h.finest().n();
     assert_eq!(b.nrows, n, "RHS size mismatch");
     let ncols = b.ncols;
@@ -509,9 +690,11 @@ pub fn solve_batched(
         .collect();
     let initial = {
         let _span = device.span(SpanKind::Region, || "initial residual".to_string());
-        let ax = h.finest().a.spmm(&ctx0, x);
-        let r0 = vec_ops::sub_mv(&ctx0, b, &ax);
-        vec_ops::norms2_mv(&ctx0, &r0)
+        h.finest()
+            .a
+            .spmm_into(&ctx0, x, &mut ws.outer.op, &mut ws.outer.ax_mv);
+        vec_ops::sub_mv_into(&ctx0, b, &ws.outer.ax_mv, &mut ws.outer.r_mv);
+        vec_ops::norms2_mv(&ctx0, &ws.outer.r_mv)
     };
 
     let mut converged = vec![false; ncols];
@@ -540,17 +723,22 @@ pub fn solve_batched(
             break;
         }
         let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
-        // Compact the still-active columns into a dense batch.
-        let bc = gather_columns(b, &active);
-        let mut xc = gather_columns(x, &active);
+        // Compact the still-active columns into a dense batch (detached
+        // from the pool so the cycle below can borrow `ws`).
+        let mut bc = std::mem::take(&mut ws.bc_mv);
+        let mut xc = std::mem::take(&mut ws.xc_mv);
+        gather_columns_into(b, &active, &mut bc);
+        gather_columns_into(x, &active, &mut xc);
         let mut poison = None;
-        vcycle_mv(device, cfg, h, 0, &bc, &mut xc, &mut poison);
+        vcycle_mv(device, cfg, h, 0, &bc, &mut xc, &mut poison, ws);
         iterations += 1;
 
         // Batched residual for the active columns only.
-        let ax = h.finest().a.spmm(&ctx0, &xc);
-        let r = vec_ops::sub_mv(&ctx0, &bc, &ax);
-        let norms = vec_ops::norms2_mv(&ctx0, &r);
+        h.finest()
+            .a
+            .spmm_into(&ctx0, &xc, &mut ws.outer.op, &mut ws.outer.ax_mv);
+        vec_ops::sub_mv_into(&ctx0, &bc, &ws.outer.ax_mv, &mut ws.outer.r_mv);
+        let norms = vec_ops::norms2_mv(&ctx0, &ws.outer.r_mv);
 
         let mut still_active = Vec::with_capacity(active.len());
         for (c, &j) in active.iter().enumerate() {
@@ -585,6 +773,8 @@ pub fn solve_batched(
                 still_active.push(j);
             }
         }
+        ws.bc_mv = bc;
+        ws.xc_mv = xc;
         active = still_active;
     }
 

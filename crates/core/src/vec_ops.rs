@@ -61,10 +61,17 @@ pub fn jacobi_fused(ctx: &Ctx, dinv: &[f64], b: &[f64], ax: &[f64], x: &mut [f64
 
 /// `z = x - y` into a fresh vector.
 pub fn sub(ctx: &Ctx, x: &[f64], y: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), y.len());
-    let z = x.iter().zip(y).map(|(a, b)| a - b).collect();
-    charge_stream(ctx, x.len(), 3.0, 1.0);
+    let mut z = Vec::new();
+    sub_into(ctx, x, y, &mut z);
     z
+}
+
+/// `z = x - y` into a caller-owned buffer (same charge as [`sub`]).
+pub fn sub_into(ctx: &Ctx, x: &[f64], y: &[f64], z: &mut Vec<f64>) {
+    assert_eq!(x.len(), y.len());
+    z.clear();
+    z.extend(x.iter().zip(y).map(|(a, b)| a - b));
+    charge_stream(ctx, x.len(), 3.0, 1.0);
 }
 
 /// Dot product.
@@ -95,15 +102,21 @@ pub fn zero_fill(ctx: &Ctx, x: &mut [f64]) {
 
 /// Batched [`sub`]: `Z = X - Y` columnwise.
 pub fn sub_mv(ctx: &Ctx, x: &MultiVector, y: &MultiVector) -> MultiVector {
+    let mut z = MultiVector::default();
+    sub_mv_into(ctx, x, y, &mut z);
+    z
+}
+
+/// Batched [`sub`] into a caller-owned multi-vector (same charge as
+/// [`sub_mv`]).
+pub fn sub_mv_into(ctx: &Ctx, x: &MultiVector, y: &MultiVector, z: &mut MultiVector) {
     assert_eq!(x.nrows, y.nrows);
     assert_eq!(x.ncols, y.ncols);
-    let data = x.data.iter().zip(&y.data).map(|(a, b)| a - b).collect();
-    charge_stream(ctx, x.data.len(), 3.0, 1.0);
-    MultiVector {
-        nrows: x.nrows,
-        ncols: x.ncols,
-        data,
+    z.reshape(x.nrows, x.ncols);
+    for ((zi, &xi), &yi) in z.data.iter_mut().zip(&x.data).zip(&y.data) {
+        *zi = xi - yi;
     }
+    charge_stream(ctx, x.data.len(), 3.0, 1.0);
 }
 
 /// Batched [`axpy`]: `Y += alpha * X` columnwise.

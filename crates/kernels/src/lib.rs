@@ -45,5 +45,5 @@ pub mod vendor;
 
 pub use ctx::Ctx;
 pub use policy::KernelPolicy;
-pub use spgemm_mbsr::{spgemm_mbsr, SpgemmMbsrStats};
-pub use spmv_mbsr::{analyze_spmv, spmv_mbsr, SpmvPath, SpmvPlan};
+pub use spgemm_mbsr::{spgemm_mbsr, spgemm_mbsr_with_workspace, SpgemmMbsrStats, SpgemmWorkspace};
+pub use spmv_mbsr::{analyze_spmv, spmv_mbsr, spmv_mbsr_into, SpmvPath, SpmvPlan, SpmvScratch};

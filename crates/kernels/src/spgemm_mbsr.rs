@@ -29,8 +29,6 @@ use amgt_sim::precision::Precision;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::bitmap::{self, TILE_AREA};
 use amgt_sparse::Mbsr;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Paper-default number of bins; thresholds 128 * 2^k, k = 0..6, plus the
 /// final `>= 8192` bin. Kept as the capacity of [`SpgemmMbsrStats::bins`];
@@ -71,6 +69,7 @@ pub struct SpgemmMbsrStats {
 
 /// Open-addressing hash table with linear probing, sized per bin like the
 /// shared-memory tables of the paper; counts probes for the cost model.
+#[derive(Debug, Default)]
 struct HashTable {
     slots: Vec<u32>,
     mask: usize,
@@ -81,14 +80,23 @@ struct HashTable {
 const EMPTY: u32 = u32::MAX;
 
 impl HashTable {
+    #[cfg(test)]
     fn with_bound(distinct_bound: usize) -> Self {
+        let mut t = HashTable::default();
+        t.reset(distinct_bound);
+        t
+    }
+
+    /// Re-size for a new row bound and clear every slot, keeping the slab's
+    /// capacity so repeated rows (and repeated SpGEMMs through a
+    /// [`SpgemmWorkspace`]) do not reallocate.
+    fn reset(&mut self, distinct_bound: usize) {
         let cap = (2 * distinct_bound.max(4)).next_power_of_two();
-        HashTable {
-            slots: vec![EMPTY; cap],
-            mask: cap - 1,
-            len: 0,
-            probes: 0,
-        }
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        self.mask = cap - 1;
+        self.len = 0;
+        self.probes = 0;
     }
 
     #[inline]
@@ -110,16 +118,53 @@ impl HashTable {
     }
 
     /// Compress non-empty slots and sort them (symbolic step 2 tail).
+    #[cfg(test)]
     fn compress_sorted(&self) -> Vec<u32> {
         let mut keys: Vec<u32> = self.slots.iter().copied().filter(|&k| k != EMPTY).collect();
         keys.sort_unstable();
         keys
     }
+
+    /// [`Self::compress_sorted`] appending into flat storage; returns the
+    /// number of keys written.
+    fn compress_sorted_into(&self, out: &mut Vec<u32>) -> usize {
+        let start = out.len();
+        out.extend(self.slots.iter().copied().filter(|&k| k != EMPTY));
+        out[start..].sort_unstable();
+        out.len() - start
+    }
+}
+
+/// Reusable scratch for [`spgemm_mbsr_with_workspace`]: the hash-table slab
+/// and the flat symbolic column storage. Capacities grow monotonically, so
+/// one workspace serves every RAP product of a hierarchy setup and is still
+/// warm across `resetup` calls.
+#[derive(Debug, Default)]
+pub struct SpgemmWorkspace {
+    cub_per_row: Vec<usize>,
+    table: HashTable,
+    /// Compressed symbolic block columns of all rows, concatenated; row
+    /// `br`'s slice is addressed by the result's `blc_ptr`.
+    row_cols: Vec<u32>,
 }
 
 /// `C = A * B` on mBSR with the AmgT algorithm. Returns the product and the
 /// execution statistics. Charges one symbolic and one numeric ledger event.
 pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
+    let mut ws = SpgemmWorkspace::default();
+    spgemm_mbsr_with_workspace(ctx, a, b, &mut ws)
+}
+
+/// [`spgemm_mbsr`] reusing a caller-owned [`SpgemmWorkspace`] for the
+/// symbolic hash tables and column storage. Bitwise-identical result and
+/// identical stats/charges; the only intermediate heap traffic left is the
+/// result arrays themselves.
+pub fn spgemm_mbsr_with_workspace(
+    ctx: &Ctx,
+    a: &Mbsr,
+    b: &Mbsr,
+    ws: &mut SpgemmWorkspace,
+) -> (Mbsr, SpgemmMbsrStats) {
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     assert_eq!(a.blk_cols(), b.blk_rows(), "inner tile-grid mismatch");
     let prec = ctx.precision;
@@ -127,60 +172,59 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
     let blk_rows = a.blk_rows();
 
     // ---- Step 1+2: data analysis and binning. ----
-    let cub_per_row: Vec<usize> = (0..blk_rows)
-        .into_par_iter()
-        .map(|br| {
-            a.block_row(br)
-                .0
-                .iter()
-                .map(|&k| b.blc_ptr[k as usize + 1] - b.blc_ptr[k as usize])
-                .sum()
-        })
-        .collect();
+    ws.cub_per_row.clear();
+    ws.cub_per_row.extend((0..blk_rows).map(|br| {
+        a.block_row(br)
+            .0
+            .iter()
+            .map(|&k| b.blc_ptr[k as usize + 1] - b.blc_ptr[k as usize])
+            .sum::<usize>()
+    }));
+    let cub_per_row = &ws.cub_per_row;
     let mut bins = [0usize; N_BINS];
-    for &cub in &cub_per_row {
+    for &cub in cub_per_row {
         bins[policy.spgemm_bin_index(cub)] += 1;
     }
     let total_cub: u64 = cub_per_row.iter().map(|&c| c as u64).sum();
 
     // ---- Two-step symbolic computation. ----
-    let probes = AtomicU64::new(0);
-    let table_slots = AtomicU64::new(0);
-    let valid_counter = AtomicU64::new(0);
-    let row_cols: Vec<Vec<u32>> = (0..blk_rows)
-        .into_par_iter()
-        .map(|br| {
-            if cub_per_row[br] == 0 {
-                return Vec::new();
-            }
-            // Tables are sized by the row's bin bound — the per-bin
-            // shared-memory tables of the paper — so the bin geometry is a
-            // real capacity/collision tradeoff, not just a statistic.
-            let mut table = HashTable::with_bound(policy.spgemm_table_bound(cub_per_row[br]));
-            let (acols, amaps) = a.block_row(br);
-            let mut valid = 0u64;
-            for (&k, &map_a) in acols.iter().zip(amaps) {
-                let k = k as usize;
-                let lo = b.blc_ptr[k];
-                let hi = b.blc_ptr[k + 1];
-                for (bj, &map_b) in b.blc_idx[lo..hi].iter().zip(&b.blc_map[lo..hi]) {
-                    let map_c = bitmap::bitmap_multiply(map_a, map_b);
-                    if map_c != 0 {
-                        table.insert(*bj);
-                        valid += 1;
-                    }
+    // One hash-table slab serves every block-row in turn (one warp's
+    // shared-memory table, re-initialised per row); compressed columns land
+    // in the workspace's flat storage, addressed by `blc_ptr` afterwards.
+    let mut probes = 0u64;
+    let mut table_slots = 0u64;
+    let mut valid_total = 0u64;
+    let mut blc_ptr = vec![0usize; blk_rows + 1];
+    ws.row_cols.clear();
+    for br in 0..blk_rows {
+        if cub_per_row[br] == 0 {
+            blc_ptr[br + 1] = blc_ptr[br];
+            continue;
+        }
+        // Tables are sized by the row's bin bound — the per-bin
+        // shared-memory tables of the paper — so the bin geometry is a
+        // real capacity/collision tradeoff, not just a statistic.
+        let table = &mut ws.table;
+        table.reset(policy.spgemm_table_bound(cub_per_row[br]));
+        let (acols, amaps) = a.block_row(br);
+        let mut valid = 0u64;
+        for (&k, &map_a) in acols.iter().zip(amaps) {
+            let k = k as usize;
+            let lo = b.blc_ptr[k];
+            let hi = b.blc_ptr[k + 1];
+            for (bj, &map_b) in b.blc_idx[lo..hi].iter().zip(&b.blc_map[lo..hi]) {
+                let map_c = bitmap::bitmap_multiply(map_a, map_b);
+                if map_c != 0 {
+                    table.insert(*bj);
+                    valid += 1;
                 }
             }
-            probes.fetch_add(2 * table.probes, Ordering::Relaxed); // Steps 1 and 2.
-            table_slots.fetch_add(2 * table.slots.len() as u64, Ordering::Relaxed);
-            valid_counter.fetch_add(valid, Ordering::Relaxed);
-            table.compress_sorted()
-        })
-        .collect();
-
-    let mut blc_ptr = vec![0usize; blk_rows + 1];
-    for br in 0..blk_rows {
-        blc_ptr[br + 1] = blc_ptr[br] + row_cols[br].len();
+        }
+        probes += 2 * table.probes; // Steps 1 and 2.
+        table_slots += 2 * table.slots.len() as u64;
+        valid_total += valid;
+        let len = table.compress_sorted_into(&mut ws.row_cols);
+        blc_ptr[br + 1] = blc_ptr[br] + len;
     }
     let n_blocks = blc_ptr[blk_rows];
 
@@ -189,8 +233,8 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
         // table initialisation (zeroing every slot) once per step; the
         // binning/analysis adds one op per A block.
         int_ops: 2.0 * 8.0 * total_cub as f64
-            + probes.load(Ordering::Relaxed) as f64 * 2.0
-            + table_slots.load(Ordering::Relaxed) as f64
+            + probes as f64 * 2.0
+            + table_slots as f64
             + a.n_blocks() as f64
             + n_blocks as f64 * (n_blocks.max(2) as f64).log2() / blk_rows.max(1) as f64,
         // Index/bitmap traffic: A and B (idx+map = 6 B per block) touched in
@@ -208,35 +252,31 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
     let mut blc_map = vec![0u16; n_blocks];
     let mut blc_val = vec![0.0f64; n_blocks * TILE_AREA];
 
-    let tc_blocks = AtomicU64::new(0);
-    let cuda_blocks = AtomicU64::new(0);
-    let mma_count = AtomicU64::new(0);
-    let cuda_flops = AtomicU64::new(0);
-    let searches = AtomicU64::new(0);
+    let mut tc_blocks = 0u64;
+    let mut cuda_blocks = 0u64;
+    let mut mma_count = 0u64;
+    let mut cuda_flops = 0u64;
+    let mut searches = 0u64;
     // Value slots actually read: the tensor path streams whole 16-slot
     // tiles, the CUDA path reads nonempty 4-slot tile rows only.
-    let val_slots_read = AtomicU64::new(0);
+    let mut val_slots_read = 0u64;
 
     {
-        // Split outputs into disjoint per-block-row slices for rayon.
+        // Walk the outputs as disjoint per-block-row slices (one warp per
+        // block-row), in row order.
         let mut idx_rest: &mut [u32] = &mut blc_idx;
         let mut map_rest: &mut [u16] = &mut blc_map;
         let mut val_rest: &mut [f64] = &mut blc_val;
-        let mut rows: Vec<(usize, &mut [u32], &mut [u16], &mut [f64])> =
-            Vec::with_capacity(blk_rows);
         for br in 0..blk_rows {
             let len = blc_ptr[br + 1] - blc_ptr[br];
-            let (i0, i1) = idx_rest.split_at_mut(len);
-            let (m0, m1) = map_rest.split_at_mut(len);
-            let (v0, v1) = val_rest.split_at_mut(len * TILE_AREA);
+            let (c_idx, i1) = idx_rest.split_at_mut(len);
+            let (c_map, m1) = map_rest.split_at_mut(len);
+            let (c_val, v1) = val_rest.split_at_mut(len * TILE_AREA);
             idx_rest = i1;
             map_rest = m1;
             val_rest = v1;
-            rows.push((br, i0, m0, v0));
-        }
 
-        rows.into_par_iter().for_each(|(br, c_idx, c_map, c_val)| {
-            c_idx.copy_from_slice(&row_cols[br]);
+            c_idx.copy_from_slice(&ws.row_cols[blc_ptr[br]..blc_ptr[br + 1]]);
             let (acols, amaps) = a.block_row(br);
             let (mut tc, mut cu, mut mma_n, mut flops, mut srch) = (0u64, 0u64, 0u64, 0u64, 0u64);
             let mut slots = 0u64;
@@ -301,22 +341,22 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
                     }
                 }
             }
-            tc_blocks.fetch_add(tc, Ordering::Relaxed);
-            val_slots_read.fetch_add(slots, Ordering::Relaxed);
-            cuda_blocks.fetch_add(cu, Ordering::Relaxed);
-            mma_count.fetch_add(mma_n, Ordering::Relaxed);
-            cuda_flops.fetch_add(flops, Ordering::Relaxed);
-            searches.fetch_add(srch, Ordering::Relaxed);
-        });
+            tc_blocks += tc;
+            val_slots_read += slots;
+            cuda_blocks += cu;
+            mma_count += mma_n;
+            cuda_flops += flops;
+            searches += srch;
+        }
     }
 
     // Storage quantization of the result at the level's precision.
     amgt_sim::precision::quantize_slice(prec, &mut blc_val);
 
-    let mma_n = mma_count.load(Ordering::Relaxed);
+    let mma_n = mma_count;
     let vb = prec.bytes() as f64;
     let result_nnz: u64 = blc_map.iter().map(|&m| m.count_ones() as u64).sum();
-    let valid = valid_counter.load(Ordering::Relaxed);
+    let valid = valid_total;
     // C accumulation is row-granular too.
     let c_rows: u64 = blc_map
         .iter()
@@ -326,9 +366,9 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
         tc_flops: mma_n as f64 * MMA_FLOPS,
         // Shuffle extraction (32 per MMA) + accumulate adds (32 per MMA),
         // plus the CUDA-path scalar products.
-        cuda_flops: mma_n as f64 * 64.0 + cuda_flops.load(Ordering::Relaxed) as f64,
+        cuda_flops: mma_n as f64 * 64.0 + cuda_flops as f64,
         int_ops: 8.0 * total_cub as f64 // Bitmap multiplies revisited.
-            + searches.load(Ordering::Relaxed) as f64 * 8.0 // Binary searches.
+            + searches as f64 * 8.0 // Binary searches.
             + a.n_blocks() as f64, // popcount dispatch.
         // Value traffic measured per path (whole tiles on the tensor path,
         // nonempty tile rows on the CUDA path); operand re-reads hit L2 for
@@ -337,7 +377,7 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
         // and bitmap arrays stream once per operand; C accumulates in and
         // out at row granularity.
         bytes: (a.n_blocks() as f64 + 0.35 * valid as f64) * 6.0
-            + 0.45 * val_slots_read.load(Ordering::Relaxed) as f64 * vb
+            + 0.45 * val_slots_read as f64 * vb
             + n_blocks as f64 * 6.0
             + c_rows as f64 * 4.0 * vb * 2.0,
         launches: 1,
@@ -359,8 +399,8 @@ pub fn spgemm_mbsr(ctx: &Ctx, a: &Mbsr, b: &Mbsr) -> (Mbsr, SpgemmMbsrStats) {
         bins,
         intermediate_blocks: total_cub,
         valid_blocks: valid,
-        tc_block_a: tc_blocks.load(Ordering::Relaxed),
-        cuda_block_a: cuda_blocks.load(Ordering::Relaxed),
+        tc_block_a: tc_blocks,
+        cuda_block_a: cuda_blocks,
         mma_issued: mma_n,
         result_blocks: n_blocks as u64,
         result_nnz,

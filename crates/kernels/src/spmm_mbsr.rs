@@ -13,13 +13,12 @@ use amgt_sim::mma::MMA_FLOPS;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::bitmap::{TILE, TILE_AREA};
 use amgt_sparse::Mbsr;
-use rayon::prelude::*;
 
 /// Number of right-hand sides one tensor fragment carries.
 pub const RHS_TILE: usize = 8;
 
 /// A dense column-major multi-vector.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MultiVector {
     pub nrows: usize,
     pub ncols: usize,
@@ -57,6 +56,20 @@ impl MultiVector {
     }
 
     #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Reshape in place to `nrows x ncols`, reusing the existing data
+    /// buffer's capacity. Contents after the call are unspecified (every
+    /// element is expected to be overwritten by the caller).
+    pub fn reshape(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.resize(nrows * ncols, 0.0);
+    }
+
+    #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         self.data[j * self.nrows + i]
     }
@@ -87,6 +100,13 @@ pub fn spmm_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &MultiVector) -> Multi
     spmm_mbsr_with_stats(ctx, a, plan, x).0
 }
 
+/// Reusable scratch for [`spmm_mbsr_into`]: the quantized, padded,
+/// column-major operand slab. Capacity grows monotonically across calls.
+#[derive(Clone, Debug, Default)]
+pub struct SpmmScratch {
+    xq: Vec<f64>,
+}
+
 /// `Y = A X` on mBSR, returning per-call [`SpmmStats`].
 ///
 /// Right-hand sides are processed in slabs of [`RHS_TILE`]: `fragB` carries
@@ -106,76 +126,90 @@ pub fn spmm_mbsr_with_stats(
     plan: &SpmvPlan,
     x: &MultiVector,
 ) -> (MultiVector, SpmmStats) {
+    let mut scratch = SpmmScratch::default();
+    let mut y = MultiVector::zeros(a.nrows(), x.ncols);
+    let stats = spmm_mbsr_into(ctx, a, plan, x, &mut scratch, &mut y);
+    (y, stats)
+}
+
+/// [`spmm_mbsr_with_stats`] writing into a caller-owned output, reusing
+/// `scratch` for the quantized operand slab. Bitwise-identical output and
+/// identical kernel charge; allocation-free once `scratch` and `y` have
+/// grown to the operand size.
+pub fn spmm_mbsr_into(
+    ctx: &Ctx,
+    a: &Mbsr,
+    plan: &SpmvPlan,
+    x: &MultiVector,
+    scratch: &mut SpmmScratch,
+    y: &mut MultiVector,
+) -> SpmmStats {
     assert_eq!(x.nrows, a.ncols());
     let prec = ctx.precision;
     let nrhs = x.ncols;
     let padded = a.blk_cols() * TILE;
 
     // Quantized, padded, column-major operand (per column, exactly the
-    // padded vector spmv_mbsr builds).
-    let mut xq = vec![0.0f64; padded * nrhs];
+    // padded vector spmv_mbsr builds). Pad tails are re-zeroed each call:
+    // the scratch may carry stale values from a previous operand.
+    scratch.xq.resize(padded * nrhs, 0.0);
+    let xq = &mut scratch.xq[..padded * nrhs];
     for j in 0..nrhs {
         for (i, &v) in x.col(j).iter().enumerate() {
             xq[j * padded + i] = prec.quantize(v);
         }
+        xq[j * padded + x.nrows..(j + 1) * padded].fill(0.0);
     }
+    let xq = &scratch.xq[..padded * nrhs];
 
-    let mut y = MultiVector::zeros(a.nrows(), nrhs);
+    y.reshape(a.nrows(), nrhs);
+    let nrows = a.nrows();
     let mut mma_total = 0u64;
     let mut flops_total = 0u64;
     let mut nonempty_tile_rows = 0u64;
 
-    // One slab of up to 8 RHS at a time.
+    // One slab of up to 8 RHS at a time; a single pass over block-rows per
+    // slab writes straight into `y` (fixed-size accumulator, no per-row
+    // heap traffic). Accumulation order matches the per-column SpMV.
     let mut slab_start = 0usize;
     while slab_start < nrhs {
         let slab = (nrhs - slab_start).min(RHS_TILE);
-        let results: Vec<(Vec<[f64; TILE]>, u64, u64, u64)> = (0..a.blk_rows())
-            .into_par_iter()
-            .map(|br| {
-                let mut acc = vec![[0.0f64; TILE]; slab];
-                let (mut mma_n, mut flops, mut ntr) = (0u64, 0u64, 0u64);
-                for (c, item) in acc.iter_mut().enumerate() {
-                    let xcol = &xq[(slab_start + c) * padded..(slab_start + c + 1) * padded];
-                    for job in plan.jobs_for_row(br) {
-                        match plan.path {
-                            SpmvPath::TensorCore => {
-                                let (part, _pair_mmas) = tc_warp(prec, a, job, xcol);
-                                // One mma per tile per slab: fragB is the
-                                // X sub-slab, so tiles cannot pair the way
-                                // SpMV's half-empty fragments do. Count once
-                                // per slab, not per column.
-                                if c == 0 {
-                                    mma_n += job.len as u64;
-                                }
-                                for (o, p) in item.iter_mut().zip(part.iter()) {
-                                    *o = prec.round_accum(*o + p);
-                                }
+        for br in 0..a.blk_rows() {
+            let mut acc = [[0.0f64; TILE]; RHS_TILE];
+            for (c, item) in acc[..slab].iter_mut().enumerate() {
+                let xcol = &xq[(slab_start + c) * padded..(slab_start + c + 1) * padded];
+                for job in plan.jobs_for_row(br) {
+                    match plan.path {
+                        SpmvPath::TensorCore => {
+                            let (part, _pair_mmas) = tc_warp(prec, a, job, xcol);
+                            // One mma per tile per slab: fragB is the
+                            // X sub-slab, so tiles cannot pair the way
+                            // SpMV's half-empty fragments do. Count once
+                            // per slab, not per column.
+                            if c == 0 {
+                                mma_total += job.len as u64;
                             }
-                            SpmvPath::CudaCore => {
-                                let (part, f, tr) = cuda_warp(prec, a, job, xcol);
-                                flops += f; // Scalar flops happen per column.
-                                if c == 0 {
-                                    ntr += tr; // A-value traffic: once per slab.
-                                }
-                                for (o, p) in item.iter_mut().zip(part.iter()) {
-                                    *o = prec.round_accum(*o + p);
-                                }
+                            for (o, p) in item.iter_mut().zip(part.iter()) {
+                                *o = prec.round_accum(*o + p);
+                            }
+                        }
+                        SpmvPath::CudaCore => {
+                            let (part, f, tr) = cuda_warp(prec, a, job, xcol);
+                            flops_total += f; // Scalar flops happen per column.
+                            if c == 0 {
+                                nonempty_tile_rows += tr; // A-value traffic: once per slab.
+                            }
+                            for (o, p) in item.iter_mut().zip(part.iter()) {
+                                *o = prec.round_accum(*o + p);
                             }
                         }
                     }
                 }
-                (acc, mma_n, flops, ntr)
-            })
-            .collect();
-
-        for (br, (acc, m, f, tr)) in results.into_iter().enumerate() {
-            mma_total += m;
-            flops_total += f;
-            nonempty_tile_rows += tr;
-            for (c, col_acc) in acc.iter().enumerate() {
+            }
+            for (c, col_acc) in acc[..slab].iter().enumerate() {
                 for lr in 0..TILE {
                     let r = br * TILE + lr;
-                    if r < a.nrows() {
+                    if r < nrows {
                         y.set(r, slab_start + c, col_acc[lr]);
                     }
                 }
@@ -214,24 +248,24 @@ pub fn spmm_mbsr_with_stats(
         },
     };
     ctx.charge(KernelKind::SpMV, Algo::AmgT, &cost);
-    let stats = SpmmStats {
+    SpmmStats {
         ncols: nrhs,
         slabs: slabs as u32,
         mma_count: mma_total,
         cuda_flops: flops_total,
-    };
-    (y, stats)
+    }
 }
 
 /// Reference SpMM: column-by-column vendor SpMV (what HYPRE does absent a
-/// fused kernel) — used for comparison and testing.
+/// fused kernel) — used for comparison and testing. One output slab is
+/// shared across columns (each SpMV lands in the reused scratch, then is
+/// copied into its column) instead of allocating a fresh vector per RHS.
 pub fn spmm_by_columns(ctx: &Ctx, a: &amgt_sparse::Csr, x: &MultiVector) -> MultiVector {
     let mut y = MultiVector::zeros(a.nrows(), x.ncols);
+    let mut col = Vec::with_capacity(a.nrows());
     for j in 0..x.ncols {
-        let col = crate::vendor::spmv_csr(ctx, a, x.col(j));
-        for (i, v) in col.into_iter().enumerate() {
-            y.set(i, j, v);
-        }
+        crate::vendor::spmv_csr_into(ctx, a, x.col(j), &mut col);
+        y.col_mut(j).copy_from_slice(&col);
     }
     y
 }

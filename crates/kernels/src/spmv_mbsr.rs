@@ -17,7 +17,6 @@ use amgt_sim::warp::{warp_reduce_sum_grouped, LaneRegs, WARP_SIZE};
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::bitmap;
 use amgt_sparse::Mbsr;
-use rayon::prelude::*;
 
 /// Fixed workload per warp in the load-balanced schedule (Section IV.D.1).
 /// Paper default; the live value comes from [`Ctx::policy`]
@@ -141,61 +140,84 @@ pub fn analyze_spmv_with(
     }
 }
 
+/// Reusable scratch for [`spmv_mbsr_into`]: holds the padded, quantized
+/// copy of `x` so repeated products against same-shaped operands perform no
+/// heap allocation. Capacity grows monotonically and is retained across
+/// calls (and across operands of different sizes).
+#[derive(Clone, Debug, Default)]
+pub struct SpmvScratch {
+    xp: Vec<f64>,
+}
+
 /// `y = A x` with the AmgT algorithm under a precomputed plan.
 pub fn spmv_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+    let mut scratch = SpmvScratch::default();
+    let mut y = Vec::new();
+    spmv_mbsr_into(ctx, a, plan, x, &mut scratch, &mut y);
+    y
+}
+
+/// [`spmv_mbsr`] writing into a caller-owned output vector, reusing
+/// `scratch` for the padded operand. Bitwise-identical to [`spmv_mbsr`]
+/// (same accumulation order, same kernel charge); allocation-free once
+/// `scratch` and `y` have grown to the operand size.
+pub fn spmv_mbsr_into(
+    ctx: &Ctx,
+    a: &Mbsr,
+    plan: &SpmvPlan,
+    x: &[f64],
+    scratch: &mut SpmvScratch,
+    y: &mut Vec<f64>,
+) {
     assert_eq!(x.len(), a.ncols());
     let prec = ctx.precision;
 
     // Pad x to a multiple of the tile size so tile-column slices are easy.
+    // The pad region is re-zeroed each call: the scratch may carry stale
+    // values from a differently-shaped previous operand.
     let padded_cols = a.blk_cols() * TILE;
-    let mut xp = vec![0.0f64; padded_cols];
+    scratch.xp.resize(padded_cols, 0.0);
+    let xp = &mut scratch.xp[..padded_cols];
     for (dst, &src) in xp.iter_mut().zip(x.iter()) {
         *dst = prec.quantize(src);
     }
+    xp[x.len()..].fill(0.0);
+    let xp = &scratch.xp[..padded_cols];
 
-    let mut y = vec![0.0f64; a.nrows()];
+    let nrows = a.nrows();
+    y.resize(nrows, 0.0);
     let mut mma_total = 0u64;
     let mut flops_total = 0u64;
     let mut nonempty_tile_rows = 0u64;
 
-    // Parallel over block-rows; each row's warp jobs run in order so the
-    // accumulation order (and hence the rounding) is deterministic.
-    let partials: Vec<([f64; TILE], u64, u64, u64)> = (0..a.blk_rows())
-        .into_par_iter()
-        .map(|br| {
-            let mut acc = [0.0f64; TILE];
-            let (mut mma_n, mut flops, mut ntr) = (0u64, 0u64, 0u64);
-            for job in plan.jobs_for_row(br) {
-                match plan.path {
-                    SpmvPath::TensorCore => {
-                        let (part, m) = tc_warp(prec, a, job, &xp);
-                        mma_n += m;
-                        for (o, p) in acc.iter_mut().zip(part.iter()) {
-                            *o = prec.round_accum(*o + p);
-                        }
+    // Single pass over block-rows, writing straight into `y`; each row's
+    // warp jobs run in order so the accumulation order (and hence the
+    // rounding) is deterministic.
+    for br in 0..a.blk_rows() {
+        let mut acc = [0.0f64; TILE];
+        for job in plan.jobs_for_row(br) {
+            match plan.path {
+                SpmvPath::TensorCore => {
+                    let (part, m) = tc_warp(prec, a, job, xp);
+                    mma_total += m;
+                    for (o, p) in acc.iter_mut().zip(part.iter()) {
+                        *o = prec.round_accum(*o + p);
                     }
-                    SpmvPath::CudaCore => {
-                        let (part, f, tr) = cuda_warp(prec, a, job, &xp);
-                        flops += f;
-                        ntr += tr;
-                        for (o, p) in acc.iter_mut().zip(part.iter()) {
-                            *o = prec.round_accum(*o + p);
-                        }
+                }
+                SpmvPath::CudaCore => {
+                    let (part, f, tr) = cuda_warp(prec, a, job, xp);
+                    flops_total += f;
+                    nonempty_tile_rows += tr;
+                    for (o, p) in acc.iter_mut().zip(part.iter()) {
+                        *o = prec.round_accum(*o + p);
                     }
                 }
             }
-            (acc, mma_n, flops, ntr)
-        })
-        .collect();
-
-    for (br, (acc, m, f, tr)) in partials.into_iter().enumerate() {
-        mma_total += m;
-        flops_total += f;
-        nonempty_tile_rows += tr;
-        for lr in 0..TILE {
+        }
+        for (lr, &v) in acc.iter().enumerate() {
             let r = br * TILE + lr;
-            if r < a.nrows() {
-                y[r] = acc[lr];
+            if r < nrows {
+                y[r] = v;
             }
         }
     }
@@ -229,7 +251,6 @@ pub fn spmv_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
         },
     };
     ctx.charge(KernelKind::SpMV, Algo::AmgT, &cost);
-    y
 }
 
 /// Tensor-core warp: process the job's tiles two per `mma`, accumulating in

@@ -25,20 +25,27 @@ pub struct VendorSpgemmStats {
 /// the context precision first (the baseline HYPRE run always uses FP64; the
 /// quantization is the identity there).
 pub fn spmv_csr(ctx: &Ctx, a: &Csr, x: &[f64]) -> Vec<f64> {
+    let mut y = Vec::new();
+    spmv_csr_into(ctx, a, x, &mut y);
+    y
+}
+
+/// [`spmv_csr`] writing into a caller-owned output vector. Bitwise-identical
+/// (same per-row accumulation order, same kernel charge); allocation-free
+/// once `y` has grown to `a.nrows()`.
+pub fn spmv_csr_into(ctx: &Ctx, a: &Csr, x: &[f64], y: &mut Vec<f64>) {
     assert_eq!(x.len(), a.ncols());
     let prec = ctx.precision;
-    let y: Vec<f64> = (0..a.nrows())
-        .into_par_iter()
-        .map(|r| {
-            let (cols, vals) = a.row(r);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                let prod = prec.round_product(prec.quantize(v), prec.quantize(x[c as usize]));
-                acc = prec.round_accum(acc + prod);
-            }
-            acc
-        })
-        .collect();
+    y.resize(a.nrows(), 0.0);
+    for (r, out) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(r);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            let prod = prec.round_product(prec.quantize(v), prec.quantize(x[c as usize]));
+            acc = prec.round_accum(acc + prod);
+        }
+        *out = acc;
+    }
 
     let vb = prec.bytes() as f64;
     let cost = KernelCost {
@@ -53,7 +60,6 @@ pub fn spmv_csr(ctx: &Ctx, a: &Csr, x: &[f64]) -> Vec<f64> {
         ..Default::default()
     };
     ctx.charge(KernelKind::SpMV, Algo::Vendor, &cost);
-    y
 }
 
 /// Count intermediate products of `A * B` (the size of the symbolic work).

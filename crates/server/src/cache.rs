@@ -16,9 +16,9 @@
 //! * **miss** — unknown structure: full setup.
 
 use crate::fingerprint::Fingerprint;
-use amgt::Hierarchy;
+use amgt::{Hierarchy, SolveWorkspace};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Cache key: structural identity plus solver configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -37,9 +37,21 @@ pub enum CacheOutcome {
 
 struct Entry {
     hierarchy: Arc<Hierarchy>,
+    /// Solve-phase buffer pool that rides along with the hierarchy: jobs
+    /// hitting this entry reuse the grown buffers instead of reallocating.
+    /// Survives value refreshes (the sizes are structural).
+    workspace: Arc<Mutex<SolveWorkspace>>,
     value_hash: u64,
     /// Monotone LRU stamp; larger = more recently used.
     stamp: u64,
+}
+
+/// A successful cache lookup: the hierarchy plus its persistent solve
+/// workspace.
+#[derive(Clone)]
+pub struct CachedHierarchy {
+    pub hierarchy: Arc<Hierarchy>,
+    pub workspace: Arc<Mutex<SolveWorkspace>>,
 }
 
 /// Counters exposed through the service metrics.
@@ -102,18 +114,30 @@ impl HierarchyCache {
         &mut self,
         key: &CacheKey,
         value_hash: u64,
-    ) -> (CacheOutcome, Option<Arc<Hierarchy>>) {
+    ) -> (CacheOutcome, Option<CachedHierarchy>) {
         self.clock += 1;
         match self.entries.get_mut(key) {
             Some(e) if e.value_hash == value_hash => {
                 e.stamp = self.clock;
                 self.stats.hits += 1;
-                (CacheOutcome::Hit, Some(Arc::clone(&e.hierarchy)))
+                (
+                    CacheOutcome::Hit,
+                    Some(CachedHierarchy {
+                        hierarchy: Arc::clone(&e.hierarchy),
+                        workspace: Arc::clone(&e.workspace),
+                    }),
+                )
             }
             Some(e) => {
                 e.stamp = self.clock;
                 self.stats.refreshes += 1;
-                (CacheOutcome::Refresh, Some(Arc::clone(&e.hierarchy)))
+                (
+                    CacheOutcome::Refresh,
+                    Some(CachedHierarchy {
+                        hierarchy: Arc::clone(&e.hierarchy),
+                        workspace: Arc::clone(&e.workspace),
+                    }),
+                )
             }
             None => {
                 self.stats.misses += 1;
@@ -123,14 +147,27 @@ impl HierarchyCache {
     }
 
     /// Insert (or replace) the hierarchy for a key, evicting the least
-    /// recently used entry when over capacity.
-    pub fn insert(&mut self, key: CacheKey, value_hash: u64, hierarchy: Arc<Hierarchy>) {
+    /// recently used entry when over capacity. A replaced entry keeps its
+    /// grown solve workspace (sizes are structural, so a value refresh can
+    /// reuse every buffer); the workspace is returned for the caller's
+    /// immediate use.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        value_hash: u64,
+        hierarchy: Arc<Hierarchy>,
+    ) -> Arc<Mutex<SolveWorkspace>> {
         self.clock += 1;
         let stamp = self.clock;
+        let workspace = match self.entries.get(&key) {
+            Some(e) => Arc::clone(&e.workspace),
+            None => Arc::new(Mutex::new(SolveWorkspace::for_hierarchy(&hierarchy))),
+        };
         self.entries.insert(
             key,
             Entry {
                 hierarchy,
+                workspace: Arc::clone(&workspace),
                 value_hash,
                 stamp,
             },
@@ -145,6 +182,7 @@ impl HierarchyCache {
             self.entries.remove(&lru);
             self.stats.evictions += 1;
         }
+        workspace
     }
 }
 

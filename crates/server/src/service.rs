@@ -22,7 +22,7 @@ use crate::cache::{CacheKey, CacheOutcome, HierarchyCache};
 use crate::fingerprint::{config_hash, of_csr, value_hash};
 use crate::metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 use amgt::prelude::*;
-use amgt::{resetup, setup, solve_batched, Hierarchy, KernelPolicy};
+use amgt::{resetup, setup, solve_batched_with_workspace, Hierarchy, KernelPolicy, SolveWorkspace};
 use amgt_trace::{Recorder, Recording, SpanKind};
 use amgt_tune::PolicyStore;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -492,35 +492,55 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     let cache_key = live[0].key.cache_key;
     let vhash = live[0].key.value_hash;
     let (outcome, cached) = shared.cache.lock().unwrap().lookup(&cache_key, vhash);
-    let hierarchy: Arc<Hierarchy> = match (outcome, cached) {
-        (CacheOutcome::Hit, Some(h)) => h,
-        (CacheOutcome::Refresh, Some(stale)) => {
-            let mut h = (*stale).clone();
-            resetup(device, &amg_cfg, &mut h, live[0].request.matrix.clone());
-            let h = Arc::new(h);
-            shared
-                .cache
-                .lock()
-                .unwrap()
-                .insert(cache_key, vhash, Arc::clone(&h));
-            h
-        }
-        _ => {
-            let h = Arc::new(setup(device, &amg_cfg, live[0].request.matrix.clone()));
-            shared
-                .cache
-                .lock()
-                .unwrap()
-                .insert(cache_key, vhash, Arc::clone(&h));
-            h
-        }
-    };
+    let (hierarchy, workspace): (Arc<Hierarchy>, Arc<Mutex<SolveWorkspace>>) =
+        match (outcome, cached) {
+            (CacheOutcome::Hit, Some(c)) => (c.hierarchy, c.workspace),
+            (CacheOutcome::Refresh, Some(c)) => {
+                let mut h = (*c.hierarchy).clone();
+                resetup(device, &amg_cfg, &mut h, live[0].request.matrix.clone());
+                let h = Arc::new(h);
+                let ws = shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert(cache_key, vhash, Arc::clone(&h));
+                (h, ws)
+            }
+            _ => {
+                let h = Arc::new(setup(device, &amg_cfg, live[0].request.matrix.clone()));
+                let ws = shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert(cache_key, vhash, Arc::clone(&h));
+                (h, ws)
+            }
+        };
 
-    // One batched V-cycle sequence over all coalesced RHS.
+    // One batched V-cycle sequence over all coalesced RHS, reusing the
+    // cached entry's solve workspace when it is free. If another worker is
+    // mid-solve on the same entry, fall back to a batch-local workspace
+    // rather than serializing the two solves on the pool mutex.
     let columns: Vec<Vec<f64>> = live.iter().map(|j| j.request.rhs.clone()).collect();
     let b = MultiVector::from_columns(&columns);
     let mut x = MultiVector::zeros(b.nrows, b.ncols);
-    let report = solve_batched(device, &amg_cfg, &hierarchy, &b, &mut x);
+    let mut local_ws;
+    let mut guard;
+    let ws: &mut SolveWorkspace = match workspace.try_lock() {
+        Ok(g) => {
+            guard = g;
+            &mut guard
+        }
+        Err(std::sync::TryLockError::Poisoned(p)) => {
+            guard = p.into_inner();
+            &mut guard
+        }
+        Err(std::sync::TryLockError::WouldBlock) => {
+            local_ws = SolveWorkspace::for_hierarchy(&hierarchy);
+            &mut local_ws
+        }
+    };
+    let report = solve_batched_with_workspace(device, &amg_cfg, &hierarchy, &b, &mut x, ws);
     let simulated = device.elapsed() - sim_start;
 
     let trace: Option<Arc<Recording>> = recorder.map(|r| {

@@ -262,6 +262,12 @@ impl Device {
         *self.state.lock() = DeviceState::default();
     }
 
+    /// Reserve ledger capacity for `additional` more events, so steady-state
+    /// charging does not reallocate the event vector mid-solve.
+    pub fn reserve_events(&self, additional: usize) {
+        self.state.lock().events.reserve(additional);
+    }
+
     /// Sum of durations matching a predicate — the building block of the
     /// Figure 1/2 breakdowns.
     pub fn total_where(&self, pred: impl Fn(&KernelEvent) -> bool) -> f64 {

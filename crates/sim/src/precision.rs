@@ -46,6 +46,7 @@ impl F16 {
     }
 
     /// Convert from `f32` with round-to-nearest-even.
+    #[inline]
     pub fn from_f32(value: f32) -> Self {
         let x = value.to_bits();
         let sign = ((x >> 16) & 0x8000) as u16;
@@ -98,6 +99,7 @@ impl F16 {
     }
 
     /// Convert to `f32`; exact (every binary16 value is representable).
+    #[inline]
     pub fn to_f32(self) -> f32 {
         let sign = ((self.0 & 0x8000) as u32) << 16;
         let exp = (self.0 >> 10) & 0x1f;
@@ -127,6 +129,7 @@ impl F16 {
         }
     }
 
+    #[inline]
     pub fn from_f64(value: f64) -> Self {
         // Double rounding f64 -> f32 -> f16 can differ from direct rounding
         // only for values within half an f32 ulp of an f16 halfway point,
@@ -135,6 +138,7 @@ impl F16 {
         F16::from_f32(value as f32)
     }
 
+    #[inline]
     pub fn to_f64(self) -> f64 {
         self.to_f32() as f64
     }
@@ -229,6 +233,7 @@ impl PartialOrd for F16 {
 ///
 /// TF32 is what NVIDIA tensor cores feed their FP32-mode multipliers; the
 /// accumulation stays full `f32`.
+#[inline]
 pub fn round_tf32(x: f32) -> f32 {
     if !x.is_finite() {
         return x;
@@ -277,6 +282,7 @@ impl Precision {
     ///
     /// This is the "data precision conversion with very low cost" the paper
     /// performs before calling a kernel at a coarse level.
+    #[inline]
     pub fn quantize(self, x: f64) -> f64 {
         match self {
             Precision::Fp64 => x,
@@ -290,6 +296,7 @@ impl Precision {
     /// FP64 MMA multiplies in binary64. TF32 mode rounds the *inputs* to
     /// TF32 and multiplies into f32. FP16 mode multiplies binary16 inputs
     /// exactly into an f32 accumulator (binary16 products are exact in f32).
+    #[inline]
     pub fn round_product(self, a: f64, b: f64) -> f64 {
         match self {
             Precision::Fp64 => a * b,
@@ -302,6 +309,7 @@ impl Precision {
 
     /// Round an accumulator value to the accumulation precision of the
     /// matching MMA mode (f64 for FP64, f32 for both TF32 and FP16 modes).
+    #[inline]
     pub fn round_accum(self, x: f64) -> f64 {
         match self {
             Precision::Fp64 => x,

@@ -137,9 +137,18 @@ impl Lu {
 
     /// Solve `A x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// [`Lu::solve`] into a caller-owned buffer: bitwise-identical result,
+    /// allocation-free once `x` has grown to capacity `n`.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n);
         // Apply permutation, then forward/back substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for r in 1..self.n {
             let mut acc = x[r];
             for c in 0..r {
@@ -154,7 +163,6 @@ impl Lu {
             }
             x[r] = acc / self.lu[(r, r)];
         }
-        x
     }
 }
 

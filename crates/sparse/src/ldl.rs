@@ -8,7 +8,7 @@
 //! scales to coarse grids in the tens of thousands of rows.
 
 use crate::csr::Csr;
-use crate::reorder::{permute_symmetric, permute_vec, rcm, unpermute_vec};
+use crate::reorder::{permute_symmetric, rcm};
 
 /// A sparse `P A P^T = L D L^T` factorization.
 #[derive(Clone, Debug)]
@@ -171,8 +171,20 @@ impl SparseLdl {
 
     /// Solve `A x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut scratch, &mut x);
+        x
+    }
+
+    /// [`SparseLdl::solve`] into a caller-owned buffer: bitwise-identical
+    /// result, allocation-free once `scratch` (the permuted working vector)
+    /// and `x` have grown to capacity `n`.
+    pub fn solve_into(&self, b: &[f64], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n);
-        let mut x = permute_vec(b, &self.perm);
+        scratch.clear();
+        scratch.extend(self.perm.iter().map(|&old| b[old as usize]));
+        let x = scratch;
         // Forward: L y = b.
         for k in 0..self.n {
             let xk = x[k];
@@ -192,7 +204,12 @@ impl SparseLdl {
             }
             x[k] = acc;
         }
-        unpermute_vec(&x, &self.perm)
+        // Scatter back to the original ordering: `out[perm[new]] = x[new]`.
+        out.clear();
+        out.resize(self.n, 0.0);
+        for (new, &old) in self.perm.iter().enumerate() {
+            out[old as usize] = x[new];
+        }
     }
 }
 

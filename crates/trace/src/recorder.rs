@@ -144,6 +144,10 @@ pub struct Recording {
     pub hierarchy: Option<HierarchyDiagnostics>,
     /// Kernel-policy provenance for the run, when the driver attached one.
     pub policy: Option<PolicyNote>,
+    /// Host thread-pool width the run was configured with (`0` = never
+    /// recorded). Wall-clock fields are only comparable between recordings
+    /// with equal thread counts.
+    pub threads: usize,
 }
 
 impl Recording {
@@ -235,6 +239,7 @@ struct RecorderState {
     health: Vec<HealthEvent>,
     hierarchy: Option<HierarchyDiagnostics>,
     policy: Option<PolicyNote>,
+    threads: usize,
 }
 
 /// Thread-safe trace collector. One recorder is meant to observe one
@@ -281,6 +286,7 @@ impl Recorder {
                 health: Vec::new(),
                 hierarchy: None,
                 policy: None,
+                threads: 0,
             }),
         }
     }
@@ -384,6 +390,13 @@ impl Recorder {
         self.state.lock().policy = Some(note);
     }
 
+    /// Record the host thread-pool width the run was configured with, so
+    /// wall-clock numbers in the recording carry their reproducibility
+    /// context.
+    pub fn set_threads(&self, threads: usize) {
+        self.state.lock().threads = threads;
+    }
+
     /// Clone the current state without draining it.
     pub fn snapshot(&self) -> Recording {
         let st = self.state.lock();
@@ -395,6 +408,7 @@ impl Recorder {
             health: st.health.clone(),
             hierarchy: st.hierarchy.clone(),
             policy: st.policy.clone(),
+            threads: st.threads,
         }
     }
 
@@ -409,6 +423,7 @@ impl Recorder {
             health: std::mem::take(&mut st.health),
             hierarchy: st.hierarchy.take(),
             policy: st.policy.take(),
+            threads: st.threads,
         };
         st.stack.clear();
         st.dropped_spans = 0;
@@ -591,6 +606,19 @@ mod tests {
             });
         }
         assert_eq!(r.take().health.len(), 2);
+    }
+
+    #[test]
+    fn threads_round_trip_through_take_and_json() {
+        let r = Recorder::new();
+        assert_eq!(r.snapshot().threads, 0, "unset by default");
+        r.set_threads(4);
+        let rec = r.take();
+        assert_eq!(rec.threads, 4);
+        assert!(rec.to_json().contains("\"threads\":4"), "{}", rec.to_json());
+        // take() preserves the setting for subsequent epochs of the same
+        // recorder (the pool width does not change between jobs).
+        assert_eq!(r.take().threads, 4);
     }
 
     #[test]

@@ -22,7 +22,8 @@ cargo test -q
 echo "==> trace exporter smoke: solve -> chrome trace JSON"
 trace_out="$(mktemp -t amgt-trace-XXXXXX.json)"
 bench_out="$(mktemp -t amgt-bench-XXXXXX.json)"
-trap 'rm -f "$trace_out" "$bench_out"' EXIT
+wall_out="$(mktemp -t amgt-wall-XXXXXX.json)"
+trap 'rm -f "$trace_out" "$bench_out" "$wall_out"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
 grep -q '"traceEvents"' "$trace_out"
@@ -37,5 +38,17 @@ cargo run --release -q -p amgt-bench --bin bench -- --validate "$bench_out" >/de
 cargo run --release -q -p amgt-bench --bin bench -- --smoke --out /dev/null \
     --compare "$bench_out" >/dev/null
 echo "    wrote, validated, and round-tripped $bench_out"
+
+echo "==> wallclock bench smoke: schema v3 + allocation self-compare"
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --threads 1 --out "$wall_out" >/dev/null
+python3 -m json.tool "$wall_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --validate "$wall_out" >/dev/null
+# Wall-clock times are noisy and deliberately ungated; allocation counts
+# are deterministic, so a fresh wallclock run compared against the report
+# just written must show zero allocations-per-iteration regressions.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --threads 1 --out /dev/null --compare "$wall_out" >/dev/null
+echo "    wrote, validated, and alloc-round-tripped $wall_out"
 
 echo "OK: all checks passed"

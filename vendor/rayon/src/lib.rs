@@ -47,6 +47,69 @@ where
     (a(), b())
 }
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global-pool width configured through [`ThreadPoolBuilder::build_global`].
+/// The stub always executes sequentially; the configured width is retained
+/// only so callers (bench/CLI `--threads`) can report it.
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirror of `rayon::ThreadPoolBuilder` for the global pool. Execution in
+/// this stub stays sequential regardless of `num_threads`; the value is
+/// recorded and echoed by [`current_num_threads`] so wall-clock reports can
+/// state the pool width they ran under (1 thread here).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error mirror of `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request a pool width; `0` means "automatic" (one thread here).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration for the (sequential) global pool.
+    ///
+    /// # Errors
+    /// Fails like rayon does when the global pool was already configured.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let want = self.num_threads.max(1);
+        match CONFIGURED_THREADS.compare_exchange(0, want, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => Ok(()),
+            Err(prev) if prev == want => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError),
+        }
+    }
+}
+
+/// Worker count of the global pool: the configured width, else 1 (the
+/// stub's true degree of parallelism).
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::SeqCst) {
+        0 => 1,
+        n => n,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -61,5 +124,23 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn thread_pool_builder_records_width() {
+        assert!(super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .is_ok());
+        assert_eq!(super::current_num_threads(), 3);
+        // Same width re-installs idempotently; a different one errors.
+        assert!(super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .is_ok());
+        assert!(super::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build_global()
+            .is_err());
     }
 }
