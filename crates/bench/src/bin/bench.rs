@@ -60,6 +60,10 @@ struct Options {
     /// Rayon pool width to pin before any parallel work (`None` = leave
     /// the pool at its default).
     threads: Option<usize>,
+    /// Execution backend the kernels compute on (`--exec sim|native`).
+    /// Simulated-seconds figures are identical either way; wall-clock
+    /// numbers are only comparable at equal exec modes.
+    exec: ExecMode,
 }
 
 fn usage() -> ! {
@@ -68,7 +72,8 @@ fn usage() -> ! {
          \x20      [--matrix NAME] [--gpu a100|h100|mi210] [--out FILE]\n\
          \x20      [--compare BASELINE.json] [--time-ratio X] [--iter-slack N]\n\
          \x20      [--alloc-ratio X] [--alloc-slack N] [--wallclock] [--threads N]\n\
-         \x20      [--validate FILE] [--tuned-vs-default] [--tune-budget N]"
+         \x20      [--exec sim|native] [--validate FILE] [--tuned-vs-default]\n\
+         \x20      [--tune-budget N]"
     );
     std::process::exit(2);
 }
@@ -88,6 +93,7 @@ fn parse_args() -> Options {
         tune_budget: amgt_tune::TuneBudget::default().max_evaluations,
         wallclock: false,
         threads: None,
+        exec: ExecMode::Simulated,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -124,6 +130,7 @@ fn parse_args() -> Options {
             }
             "--wallclock" => opt.wallclock = true,
             "--threads" => opt.threads = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--exec" => opt.exec = ExecMode::parse(&next()).unwrap_or_else(|| usage()),
             "--validate" => opt.validate = Some(PathBuf::from(next())),
             "--tuned-vs-default" => opt.tuned_vs_default = true,
             "--tune-budget" => opt.tune_budget = next().parse().unwrap_or_else(|_| usage()),
@@ -184,6 +191,7 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
     // regression gate instead wants iteration counts that carry signal, so
     // solve to a tolerance and let `iterations` measure convergence speed.
     cfg.tolerance = 1e-8;
+    cfg.exec = opt.exec;
     let (_x, h, rep) = amgt::run_amg(&device, &cfg, a.clone(), &b);
     let diag = h.diagnostics();
     // Wall-clock mode re-runs the phases separately on a fresh device with
@@ -241,7 +249,7 @@ fn kernel_cases(opt: &Options, stem: &str, a: &Csr) -> Vec<BenchCase> {
     let mut out = Vec::new();
     for (backend, slug) in [(BackendKind::Vendor, "vendor"), (BackendKind::AmgT, "amgt")] {
         let device = Device::new(opt.gpu.clone());
-        let ctx = Ctx::new(&device, Phase::Solve, 0, Precision::Fp64);
+        let ctx = Ctx::new(&device, Phase::Solve, 0, Precision::Fp64).with_exec(opt.exec);
         let op = Operator::prepare(&ctx, backend, a.clone());
         let x = vec![1.0; a.nrows()];
 
@@ -437,6 +445,8 @@ fn main() -> ExitCode {
         threads: opt
             .wallclock
             .then(|| opt.threads.unwrap_or_else(rayon::current_num_threads)),
+        exec: Some(opt.exec.label().to_string()),
+        simd: Some(amgt_kernels::simd_level().label().to_string()),
         cases,
     };
     if let Err(e) = report.validate() {

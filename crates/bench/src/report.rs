@@ -20,12 +20,18 @@ use serde::Serialize;
 ///   [`KernelPolicy`] plus tuner provenance).
 /// * v3 — adds the optional top-level `threads` count and per-case `wall`
 ///   object (`--wallclock` host timings + allocation counters).
-pub const SCHEMA_VERSION: u64 = 3;
+/// * v4 — adds the optional top-level `exec` (execution-backend label,
+///   `"sim"`/`"native"`) and `simd` (SIMD level detected at runtime,
+///   `"avx2"`/`"neon"`/`"scalar"`) strings. Simulated-seconds figures are
+///   exec-independent; wall timings are only comparable between reports
+///   with equal `exec`/`simd`/`threads`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
-/// with `policy: None` and v2 reports with `wall: None`/`threads: None`,
-/// so `--validate` and `--compare` keep working against baselines written
-/// before those fields existed.
+/// with `policy: None`, v2 reports with `wall: None`/`threads: None`, and
+/// v3 reports with `exec: None`/`simd: None`, so `--validate` and
+/// `--compare` keep working against baselines written before those fields
+/// existed.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The kernel policy a report's cases ran under, plus where it came from.
@@ -104,6 +110,11 @@ pub struct BenchReport {
     /// Rayon worker-thread count the run used (v3+, wall-clock runs; wall
     /// timings are only comparable between runs with equal thread counts).
     pub threads: Option<usize>,
+    /// Execution-backend label (`"sim"`/`"native"`; v4+, `None` when parsed
+    /// from an older report).
+    pub exec: Option<String>,
+    /// SIMD level detected at runtime on the recording host (v4+).
+    pub simd: Option<String>,
     pub cases: Vec<BenchCase>,
 }
 
@@ -142,6 +153,23 @@ impl BenchReport {
             ),
             _ => None,
         };
+        // `exec` and `simd` arrived in v4; absent or null before that.
+        let exec = match root.get("exec") {
+            Some(e) if !e.is_null() => Some(
+                e.as_str()
+                    .ok_or("field `exec` is not a string")?
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        let simd = match root.get("simd") {
+            Some(e) if !e.is_null() => Some(
+                e.as_str()
+                    .ok_or("field `simd` is not a string")?
+                    .to_string(),
+            ),
+            _ => None,
+        };
         let cases_json = root
             .get("cases")
             .and_then(Json::as_array)
@@ -156,6 +184,8 @@ impl BenchReport {
             scale,
             policy,
             threads,
+            exec,
+            simd,
             cases,
         })
     }
@@ -462,6 +492,8 @@ mod tests {
             scale: "small".into(),
             policy: Some(PolicyInfo::paper_default()),
             threads: None,
+            exec: None,
+            simd: None,
             cases,
         }
     }
@@ -536,6 +568,35 @@ mod tests {
         assert_eq!(w.solve_allocs, 30);
         assert!((w.solve_allocs_per_iteration - 3.0).abs() < 1e-12);
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn v4_exec_and_simd_round_trip() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.exec = Some("native".into());
+        r.simd = Some("avx2".into());
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.exec.as_deref(), Some("native"));
+        assert_eq!(back.simd.as_deref(), Some("avx2"));
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn v3_report_without_exec_still_parses() {
+        // A pre-exec-backend baseline: version 3, no `exec`/`simd` keys.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 3;
+        r.exec = None;
+        r.simd = None;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert!(back.exec.is_none() && back.simd.is_none());
+        back.validate().unwrap();
+        // An old baseline still gates a new (v4) report.
+        let mut current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        current.exec = Some("sim".into());
+        current.simd = Some("scalar".into());
+        assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
     }
 
     #[test]

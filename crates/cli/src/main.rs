@@ -29,6 +29,7 @@ use std::path::PathBuf;
 struct Options {
     matrix: MatrixSource,
     backend: BackendKind,
+    exec_mode: ExecMode,
     precision: PrecisionPolicy,
     gpu: GpuSpec,
     pcg: bool,
@@ -54,7 +55,8 @@ enum MatrixSource {
 fn usage() -> ! {
     eprintln!(
         "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
-         \x20      [--backend amgt|vendor] [--mixed] [--gpu a100|h100|mi210]\n\
+         \x20      [--backend amgt|vendor] [--exec sim|native] [--mixed]\n\
+         \x20      [--gpu a100|h100|mi210]\n\
          \x20      [--pcg] [--info] [--tol T] [--iters N] [--threads N] [--history]\n\
          \x20      [--trace FILE.json] [--diagnose]\n\
          \x20      [--tune] [--tune-budget N] [--policy-cache FILE.json]\n\
@@ -72,6 +74,7 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut matrix = None;
     let mut backend = BackendKind::AmgT;
+    let mut exec_mode = ExecMode::Simulated;
     let mut precision = PrecisionPolicy::Uniform64;
     let mut gpu = GpuSpec::a100();
     let mut pcg = false;
@@ -105,6 +108,9 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--exec" => {
+                exec_mode = ExecMode::parse(&next()).unwrap_or_else(|| usage());
+            }
             "--mixed" => precision = PrecisionPolicy::Mixed,
             "--gpu" => {
                 gpu = match next().as_str() {
@@ -136,6 +142,7 @@ fn parse_args() -> Options {
     Options {
         matrix: matrix.unwrap_or_else(|| usage()),
         backend,
+        exec_mode,
         precision,
         gpu,
         pcg,
@@ -275,19 +282,22 @@ fn main() {
     let mut cfg = AmgConfig::paper(opt.backend, opt.precision);
     cfg.max_iterations = opt.iters;
     cfg.tolerance = opt.tol;
+    cfg.exec = opt.exec_mode;
 
     let note = apply_policy(&opt, &mut cfg, &a);
     if let Some(r) = &recorder {
         r.set_policy(note);
         r.set_threads(opt.threads.unwrap_or_else(rayon::current_num_threads));
+        r.set_exec(cfg.exec.label());
     }
 
     println!(
-        "solver: backend {:?}, precision {:?}, GPU {}, {}",
+        "solver: kernel format {:?}, precision {:?}, GPU {}, {} (exec: {})",
         opt.backend,
         opt.precision,
         opt.gpu.name,
-        if opt.pcg { "AMG-PCG" } else { "V-cycles" }
+        if opt.pcg { "AMG-PCG" } else { "V-cycles" },
+        cfg.exec.label()
     );
 
     let t0 = std::time::Instant::now();

@@ -45,7 +45,9 @@ pub fn bicgstab_solve(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
+    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
 
     // Preconditioner state hoisted out of the iteration loop: one inner
     // config, reusable output buffers and one V-cycle workspace.

@@ -5,10 +5,16 @@
 //! (`trunc_fact = 0.1`, `max_elmts = 4`), L1-Jacobi smoothing (1 sweep),
 //! at most 7 levels, and 50 solve iterations regardless of convergence.
 
-use amgt_kernels::KernelPolicy;
+use amgt_kernels::{ExecMode, KernelPolicy};
 use serde::{Deserialize, Serialize};
 
-/// Which kernel implementation the solver calls (the two bars of Fig. 7).
+/// Which kernel *format/algorithm family* the solver calls (the two bars of
+/// Fig. 7): vendor-style CSR vs. the paper's mBSR tensor-core kernels.
+///
+/// Not to be confused with [`ExecMode`], the *execution substrate* either
+/// family runs on (warp emulator vs. native rayon + SIMD). `--backend`
+/// selects this; `--exec` selects the [`ExecMode`]. The two axes are
+/// orthogonal and results are bitwise identical across [`ExecMode`]s.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackendKind {
     /// HYPRE baseline: CSR kernels in the vendor-library style.
@@ -119,6 +125,11 @@ pub struct AmgConfig {
     /// values are [`KernelPolicy::paper_default`]; `amgt-tune` searches the
     /// space per matrix.
     pub policy: KernelPolicy,
+    /// Execution substrate the kernels compute on (warp emulator vs. native
+    /// rayon + SIMD). Orthogonal to [`AmgConfig::backend`]; solutions and
+    /// simulated-GPU charges are bitwise identical either way — only host
+    /// wall clock differs.
+    pub exec: ExecMode,
 }
 
 impl AmgConfig {
@@ -143,6 +154,7 @@ impl AmgConfig {
             max_iterations: 50,
             tolerance: 0.0,
             policy: KernelPolicy::paper_default(),
+            exec: ExecMode::Simulated,
         }
     }
 

@@ -48,7 +48,9 @@ pub fn fgmres_solve(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
+    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
 
     // Inner config and V-cycle workspace hoisted out of the Arnoldi loop;
     // each application still returns an owned vector because the flexible

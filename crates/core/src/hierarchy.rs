@@ -173,7 +173,9 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     loop {
         let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
         let prec = level_precision(device, cfg, k);
-        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec).with_policy(cfg.policy);
+        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec)
+            .with_policy(cfg.policy)
+            .with_exec(cfg.exec);
         let mut a_op = Operator::prepare(&ctx, cfg.backend, current);
         if prec != Precision::Fp64 {
             a_op.quantize(&ctx);
@@ -274,8 +276,9 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         crate::config::CoarseSolver::DirectLu => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = levels.last().unwrap();
-            let ctx =
-                Ctx::new(device, Phase::Setup, last_level, Precision::Fp64).with_policy(cfg.policy);
+            let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
+                .with_policy(cfg.policy)
+                .with_exec(cfg.exec);
             let n = last.n();
             ctx.charge(
                 KernelKind::CoarseSolve,
@@ -292,8 +295,9 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
         crate::config::CoarseSolver::SparseLdl { reorder } => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = levels.last().unwrap();
-            let ctx =
-                Ctx::new(device, Phase::Setup, last_level, Precision::Fp64).with_policy(cfg.policy);
+            let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
+                .with_policy(cfg.policy)
+                .with_exec(cfg.exec);
             let f = SparseLdl::factor(&last.a.csr, reorder)
                 .expect("coarsest matrix not LDL^T-factorizable");
             // Charge by actual factor fill: ~2 flops per L entry per
@@ -346,7 +350,9 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     for k in 0..n_levels {
         let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
         let prec = level_precision(device, cfg, k);
-        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec).with_policy(cfg.policy);
+        let ctx = Ctx::new(device, Phase::Setup, k as u32, prec)
+            .with_policy(cfg.policy)
+            .with_exec(cfg.exec);
         let mut a_op = Operator::prepare(&ctx, cfg.backend, current.take().expect("chain"));
         if prec != Precision::Fp64 {
             a_op.quantize(&ctx);
@@ -372,8 +378,9 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
         crate::config::CoarseSolver::DirectLu => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
             let last = h.levels.last().unwrap();
-            let ctx =
-                Ctx::new(device, Phase::Setup, last_level, Precision::Fp64).with_policy(cfg.policy);
+            let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
+                .with_policy(cfg.policy)
+                .with_exec(cfg.exec);
             let n = last.n();
             ctx.charge(
                 KernelKind::CoarseSolve,

@@ -48,7 +48,7 @@ pub mod solve;
 pub mod strength;
 pub mod vec_ops;
 
-pub use amgt_kernels::KernelPolicy;
+pub use amgt_kernels::{ExecMode, KernelPolicy};
 pub use backend::{op_matmul, op_matmul_ws, OpScratch, Operator};
 pub use config::{
     AmgConfig, BackendKind, CoarseSolver, Coarsening, CycleType, Interpolation, PrecisionPolicy,
@@ -76,7 +76,7 @@ pub mod prelude {
         BatchedSolveReport, SolveReport, SolveWorkspace,
     };
     pub use amgt_kernels::spmm_mbsr::MultiVector;
-    pub use amgt_kernels::KernelPolicy;
+    pub use amgt_kernels::{ExecMode, KernelPolicy};
     pub use amgt_sim::{Device, GpuSpec, Precision};
     pub use amgt_sparse::Csr;
 }

@@ -119,8 +119,9 @@ fn distribute_matrix(
     (0..cluster.n_devices())
         .map(|d| {
             let (lo, hi) = (offsets[d], offsets[d + 1]);
-            let ctx =
-                Ctx::new(&cluster.devices[d], Phase::Setup, level, prec).with_policy(cfg.policy);
+            let ctx = Ctx::new(&cluster.devices[d], Phase::Setup, level, prec)
+                .with_policy(cfg.policy)
+                .with_exec(cfg.exec);
             let (slice, ghost_cols) = row_slice(a, lo, hi);
             DistSlice {
                 op: Operator::prepare(&ctx, cfg.backend, slice),

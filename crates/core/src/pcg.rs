@@ -45,7 +45,9 @@ pub fn pcg_solve(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
+    let ctx = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
 
     // One V-cycle as the preconditioner application. The inner config, the
     // output buffer and the V-cycle workspace are hoisted out of the

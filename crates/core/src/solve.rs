@@ -267,7 +267,9 @@ fn vcycle(
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
-    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision).with_policy(cfg.policy);
+    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
     // Detach this level's buffers so the recursion below can borrow the
     // pool for the coarser levels; reattached on every exit path.
     let mut lw = std::mem::take(&mut ws.levels[k]);
@@ -375,7 +377,9 @@ pub fn solve_with_workspace(
     if x.len() != n {
         x.resize(n, 0.0);
     }
-    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
+    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
     let _phase_span = device.span(SpanKind::Phase, || "solve".to_string());
 
     let b_norm = {
@@ -572,7 +576,9 @@ fn vcycle_mv(
 ) {
     let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
     let lvl = &h.levels[k];
-    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision).with_policy(cfg.policy);
+    let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
     let mut lw = std::mem::take(&mut ws.levels[k]);
     if k + 1 == h.n_levels() {
         coarse_solve_mv(&ctx, cfg, h, b, x, &mut lw);
@@ -681,7 +687,9 @@ pub fn solve_batched_with_workspace(
     if x.nrows != n || x.ncols != ncols {
         *x = MultiVector::zeros(n, ncols);
     }
-    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision).with_policy(cfg.policy);
+    let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
     let _phase_span = device.span(SpanKind::Phase, || "solve batched".to_string());
 
     let b_norms: Vec<f64> = vec_ops::norms2_mv(&ctx0, b)

@@ -1,0 +1,715 @@
+//! The native execution backend: the same mBSR tile arithmetic as the warp
+//! emulator, computed directly on the host with monomorphized per-precision
+//! kernels and (where profitable) `std::arch` SIMD.
+//!
+//! ## Why this is bit-identical to the emulator
+//!
+//! The emulator's arithmetic at each [`Precision`] reduces to a small set
+//! of identities the native kernels exploit:
+//!
+//! * **FP64** — `round_product` is a plain `f64` multiply and
+//!   `round_accum` the identity, so the native path is ordinary `f64`
+//!   multiply-then-add in the emulator's accumulation order. Multiplies
+//!   and adds are kept as *separate* instructions (never an FMA — a fused
+//!   single rounding would break the two-roundings-per-step identity).
+//! * **FP32 (TF32 inputs)** — the emulator rounds both operands to TF32
+//!   (11-bit significands), multiplies exactly in `f64`, rounds the product
+//!   to `f32`, and rounds each accumulation to `f32`. A TF32 product fits
+//!   in 22 bits, so the `f32` hardware multiply of the pre-rounded operands
+//!   is exact and identical; and because `f64` holds the exact sum of any
+//!   two `f32` values and 53 >= 2x24 + 2, the emulator's
+//!   round-`f64`-sum-to-`f32` equals the hardware `f32` add (the standard
+//!   double-rounding safety bound). The native kernel therefore pre-rounds
+//!   inputs once with [`round_tf32`] and runs a pure `f32` chain.
+//! * **FP16 inputs / FP32 accumulate** — same argument with operands
+//!   pre-rounded through the bit-exact [`F16`] conversion (every binary16
+//!   value, subnormals included, is exact in `f32`).
+//!
+//! These identities cover *finite* arithmetic; NaN payloads produced by
+//! invalid operations (`inf * 0`) are unspecified by both paths.
+//!
+//! SIMD vectorizes only **across independent accumulation chains** (the 4
+//! rows of a tile, the 4 columns of a product row) — never within one
+//! chain — so lane math is the scalar math verbatim. The CUDA-core paths
+//! drop the emulator's per-bit branches and accumulate tiles densely,
+//! which is bitwise-safe because of two invariants: mBSR value slots are
+//! `+/-0.0` wherever the bitmap bit is clear ([`Mbsr::validate`]), and a
+//! round-to-nearest accumulator chain that starts at `+0.0` can never
+//! reach `-0.0` (an RN sum is `-0.0` only when both addends are), so the
+//! extra `acc + (+/-0.0)` steps the dense sweep inserts reproduce the
+//! branchy chain bit-for-bit. Operation counters still come from the
+//! bitmaps, so charges are untouched.
+
+use crate::simd::{simd_level, SimdLevel};
+use crate::ExecBackend;
+use amgt_sim::precision::{round_tf32, Precision, F16};
+use amgt_sparse::bitmap::{self, TILE, TILE_AREA};
+use amgt_sparse::Mbsr;
+
+/// The direct-execution backend (see module docs).
+pub struct Native;
+
+/// Input rounding applied before a pure-`f32` compute chain.
+trait Cvt: Copy {
+    fn to_f32(x: f64) -> f32;
+}
+
+/// FP32 tensor mode: operands round to TF32 (via `f32` first, exactly as
+/// `Precision::round_product` does).
+#[derive(Clone, Copy)]
+struct Tf32;
+impl Cvt for Tf32 {
+    #[inline]
+    fn to_f32(x: f64) -> f32 {
+        round_tf32(x as f32)
+    }
+}
+
+/// FP16 mode: operands round through the bit-exact binary16 conversion.
+#[derive(Clone, Copy)]
+struct Half;
+impl Cvt for Half {
+    #[inline]
+    fn to_f32(x: f64) -> f32 {
+        F16::from_f64(x).to_f32()
+    }
+}
+
+impl ExecBackend for Native {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn spmv_quantize_x(&self, prec: Precision, xp: &[f64], x32: &mut Vec<f32>) {
+        // Hoists the warp kernels' per-tile input conversions to one pass
+        // per operand: each element is rounded once instead of every time a
+        // tile references it. The values are exactly what the on-the-fly
+        // path would produce, so results are bitwise unchanged.
+        x32.clear();
+        match prec {
+            Precision::Fp64 => {}
+            Precision::Fp32 => x32.extend(xp.iter().map(|&v| Tf32::to_f32(v))),
+            Precision::Fp16 => x32.extend(xp.iter().map(|&v| Half::to_f32(v))),
+        }
+    }
+
+    fn spmv_tc_warp(
+        &self,
+        prec: Precision,
+        a: &Mbsr,
+        start: usize,
+        len: usize,
+        xp: &[f64],
+        x32: &[f32],
+    ) -> ([f64; 4], u64) {
+        match prec {
+            Precision::Fp64 => tc_warp_f64(a, start, len, xp),
+            Precision::Fp32 => tc_warp_f32::<Tf32>(a, start, len, xp, x32),
+            Precision::Fp16 => tc_warp_f32::<Half>(a, start, len, xp, x32),
+        }
+    }
+
+    fn spmv_cuda_warp(
+        &self,
+        prec: Precision,
+        a: &Mbsr,
+        start: usize,
+        len: usize,
+        xp: &[f64],
+        x32: &[f32],
+    ) -> ([f64; 4], u64, u64) {
+        match prec {
+            Precision::Fp64 => cuda_warp_f64(a, start, len, xp),
+            Precision::Fp32 => cuda_warp_f32::<Tf32>(a, start, len, xp, x32),
+            Precision::Fp16 => cuda_warp_f32::<Half>(a, start, len, xp, x32),
+        }
+    }
+
+    fn spgemm_tc_mma(
+        &self,
+        prec: Precision,
+        a_tile: &[f64; 16],
+        b: &Mbsr,
+        c_idx: &[u32],
+        c_map: &mut [u16],
+        c_val: &mut [f64],
+        targets: &[(usize, u16)],
+    ) {
+        debug_assert!(!targets.is_empty() && targets.len() <= 2);
+        // Each MMA target is an independent 4x4 product accumulated from
+        // zero (the emulator gives each `issue_mma` a fresh fragment and
+        // extracts per-slot tiles), so the native step is one plain tile
+        // matmul per target with the emulator's k-ascending chains.
+        for &(b_pos, map_c) in targets {
+            let b_tile = b.tile_array(b_pos);
+            let j = b.blc_idx[b_pos];
+            let slot = c_idx.binary_search(&j).expect("symbolic covered block");
+            c_map[slot] |= map_c;
+            let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
+            match prec {
+                Precision::Fp64 => {
+                    let mut prod = [0.0f64; TILE_AREA];
+                    tile_matmul_f64(a_tile, &b_tile, &mut prod);
+                    for (o, p) in out.iter_mut().zip(prod.iter()) {
+                        *o += p;
+                    }
+                }
+                Precision::Fp32 => accum_tile_matmul_f32::<Tf32>(a_tile, &b_tile, out),
+                Precision::Fp16 => accum_tile_matmul_f32::<Half>(a_tile, &b_tile, out),
+            }
+            for bit in 0..TILE_AREA {
+                if c_map[slot] & (1 << bit) == 0 {
+                    out[bit] = 0.0;
+                }
+            }
+        }
+    }
+
+    fn spgemm_cuda_tile(
+        &self,
+        prec: Precision,
+        a_tile: &[f64; 16],
+        map_a: u16,
+        b_tile: &[f64; 16],
+        map_b: u16,
+        out: &mut [f64],
+    ) -> u64 {
+        match prec {
+            Precision::Fp64 => cuda_tile_f64(a_tile, map_a, b_tile, map_b, out),
+            Precision::Fp32 => cuda_tile_f32::<Tf32>(a_tile, map_a, b_tile, map_b, out),
+            Precision::Fp16 => cuda_tile_f32::<Half>(a_tile, map_a, b_tile, map_b, out),
+        }
+    }
+
+    fn csr_spmv_row(&self, prec: Precision, cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+        match prec {
+            Precision::Fp64 => {
+                // quantize = identity, round_product = f64 mul,
+                // round_accum = identity.
+                let mut acc = 0.0f64;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c as usize];
+                }
+                acc
+            }
+            Precision::Fp32 => csr_row_f32::<Tf32>(cols, vals, x),
+            Precision::Fp16 => csr_row_f32::<Half>(cols, vals, x),
+        }
+    }
+
+    fn quantize(&self, prec: Precision, values: &mut [f64]) {
+        // Monomorphized per precision; LLVM auto-vectorizes the FP32 cast
+        // loop, and FP16 reuses the bit-exact scalar conversion.
+        match prec {
+            Precision::Fp64 => {}
+            Precision::Fp32 => {
+                for v in values {
+                    *v = f64::from(*v as f32);
+                }
+            }
+            Precision::Fp16 => {
+                for v in values {
+                    *v = F16::from_f64(*v).to_f64();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpMV tensor-core warp
+// ---------------------------------------------------------------------------
+
+fn tc_warp_f64(a: &Mbsr, start: usize, len: usize, xp: &[f64]) -> ([f64; 4], u64) {
+    let avx2 = simd_level() == SimdLevel::Avx2;
+    let mut diag = [[0.0f64; TILE]; 2];
+    let mut mma_n = 0u64;
+    let mut b = start;
+    let end = start + len;
+    while b < end {
+        for slot in 0..2 {
+            let pos = b + slot;
+            if pos >= end {
+                break;
+            }
+            let tile = a.tile(pos);
+            let bc = a.blc_idx[pos] as usize;
+            let xseg = &xp[bc * TILE..bc * TILE + TILE];
+            tile_rows_fma_f64(avx2, tile, xseg, &mut diag[slot]);
+        }
+        mma_n += 1;
+        b += 2;
+    }
+    let out = std::array::from_fn(|r| diag[0][r] + diag[1][r]);
+    (out, mma_n)
+}
+
+/// `acc[r] += sum_k tile[r][k] * xseg[k]` with each row's chain in
+/// k-ascending order (the emulator's order), vectorized across the 4 rows.
+#[inline]
+fn tile_rows_fma_f64(avx2: bool, tile: &[f64], xseg: &[f64], acc: &mut [f64; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: AVX2 support confirmed at runtime by `simd_level()`.
+        unsafe { x86::tile_rows_fma_f64_avx2(tile, xseg, acc) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = avx2;
+    for r in 0..TILE {
+        let mut a = acc[r];
+        for k in 0..TILE {
+            a += tile[r * TILE + k] * xseg[k];
+        }
+        acc[r] = a;
+    }
+}
+
+/// The four operand values of block-column `bc`, in the f32 chain's input
+/// precision: read from the precomputed image when one was supplied,
+/// converted on the fly otherwise (identical values either way).
+#[inline]
+fn quantized_xseg<C: Cvt>(xp: &[f64], x32: &[f32], bc: usize) -> [f32; TILE] {
+    if x32.is_empty() {
+        std::array::from_fn(|k| C::to_f32(xp[bc * TILE + k]))
+    } else {
+        std::array::from_fn(|k| x32[bc * TILE + k])
+    }
+}
+
+fn tc_warp_f32<C: Cvt>(
+    a: &Mbsr,
+    start: usize,
+    len: usize,
+    xp: &[f64],
+    x32: &[f32],
+) -> ([f64; 4], u64) {
+    let mut diag = [[0.0f32; TILE]; 2];
+    let mut mma_n = 0u64;
+    let mut b = start;
+    let end = start + len;
+    while b < end {
+        for slot in 0..2 {
+            let pos = b + slot;
+            if pos >= end {
+                break;
+            }
+            let tile = a.tile(pos);
+            let bc = a.blc_idx[pos] as usize;
+            let xq = quantized_xseg::<C>(xp, x32, bc);
+            for r in 0..TILE {
+                let mut acc = diag[slot][r];
+                for k in 0..TILE {
+                    acc += C::to_f32(tile[r * TILE + k]) * xq[k];
+                }
+                diag[slot][r] = acc;
+            }
+        }
+        mma_n += 1;
+        b += 2;
+    }
+    // The final pair-sum is a round_accum too, i.e. one more f32 add.
+    let out = std::array::from_fn(|r| f64::from(diag[0][r] + diag[1][r]));
+    (out, mma_n)
+}
+
+// ---------------------------------------------------------------------------
+// SpMV CUDA-core warp
+// ---------------------------------------------------------------------------
+//
+// The emulator's grouped warp reduction sums the 8 group accumulators of
+// each row with *raw f64 adds* (no per-step rounding) in the fixed xor-tree
+// shape `((g0+g4)+(g2+g6)) + ((g1+g5)+(g3+g7))`, then applies one final
+// round_accum. The native kernels replicate that tree verbatim — for the
+// f32 modes the group accumulators widen to f64 exactly, the tree runs in
+// f64, and only the final value is rounded back.
+
+/// Nonzero 4-bit row masks in a tile bitmap (the emulator's per-row visit
+/// count), computed without branches.
+#[inline]
+fn nonzero_rows(map: u16) -> u64 {
+    let mut n = 0u64;
+    for r in 0..TILE {
+        n += u64::from(bitmap::row_mask(map, r) != 0);
+    }
+    n
+}
+
+fn cuda_warp_f64(a: &Mbsr, start: usize, len: usize, xp: &[f64]) -> ([f64; 4], u64, u64) {
+    let avx2 = simd_level() == SimdLevel::Avx2;
+    let mut gacc = [[0.0f64; TILE]; 8];
+    let (mut bits, mut ntr) = (0u64, 0u64);
+    for (offset, pos) in (start..start + len).enumerate() {
+        let group = offset % 8;
+        let map = a.blc_map[pos];
+        let tile = a.tile(pos);
+        let bc = a.blc_idx[pos] as usize;
+        let xseg = &xp[bc * TILE..bc * TILE + TILE];
+        bits += u64::from(map.count_ones());
+        ntr += nonzero_rows(map);
+        // Dense accumulation: unmapped slots hold +/-0.0 (mBSR invariant),
+        // and their products only insert `acc + (+/-0.0)` no-op steps into
+        // each row's k-ascending chain (see module docs).
+        tile_rows_fma_f64(avx2, tile, xseg, &mut gacc[group]);
+    }
+    let mut out = [0.0f64; TILE];
+    for r in 0..TILE {
+        out[r] = reduce_tree(std::array::from_fn(|g| gacc[g][r]));
+    }
+    (out, bits * 2, ntr)
+}
+
+fn cuda_warp_f32<C: Cvt>(
+    a: &Mbsr,
+    start: usize,
+    len: usize,
+    xp: &[f64],
+    x32: &[f32],
+) -> ([f64; 4], u64, u64) {
+    let mut gacc = [[0.0f32; TILE]; 8];
+    let (mut bits, mut ntr) = (0u64, 0u64);
+    for (offset, pos) in (start..start + len).enumerate() {
+        let group = offset % 8;
+        let map = a.blc_map[pos];
+        let tile = a.tile(pos);
+        let bc = a.blc_idx[pos] as usize;
+        let xq = quantized_xseg::<C>(xp, x32, bc);
+        bits += u64::from(map.count_ones());
+        ntr += nonzero_rows(map);
+        // Unlike the f64 kernel this stays per-bit gated: at these
+        // precisions the input *conversions* dominate, so converting only
+        // mapped slots beats a dense branchless sweep.
+        for r in 0..TILE {
+            let row = bitmap::row_mask(map, r);
+            if row == 0 {
+                continue;
+            }
+            let mut acc = gacc[group][r];
+            for k in 0..TILE {
+                if row & (1 << k) != 0 {
+                    acc += C::to_f32(tile[r * TILE + k]) * xq[k];
+                }
+            }
+            gacc[group][r] = acc;
+        }
+    }
+    let mut out = [0.0f64; TILE];
+    for r in 0..TILE {
+        let s = reduce_tree(std::array::from_fn(|g| f64::from(gacc[g][r])));
+        out[r] = f64::from(s as f32);
+    }
+    (out, bits * 2, ntr)
+}
+
+/// The emulated warp reduction's exact association over 8 group values.
+#[inline]
+fn reduce_tree(g: [f64; 8]) -> f64 {
+    ((g[0] + g[4]) + (g[2] + g[6])) + ((g[1] + g[5]) + (g[3] + g[7]))
+}
+
+// ---------------------------------------------------------------------------
+// SpGEMM tile products
+// ---------------------------------------------------------------------------
+
+/// `out[i][j] = sum_k a[i][k] * b[k][j]`, each element's chain accumulated
+/// from zero in k-ascending order (the MMA element order), vectorized
+/// across the 4 columns of a row.
+#[inline]
+fn tile_matmul_f64(a: &[f64; 16], b: &[f64; 16], out: &mut [f64; 16]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_level() == SimdLevel::Avx2 {
+        // SAFETY: AVX2 support confirmed at runtime by `simd_level()`.
+        unsafe { x86::tile_matmul_f64_avx2(a, b, out) };
+        return;
+    }
+    for i in 0..TILE {
+        for j in 0..TILE {
+            let mut acc = 0.0f64;
+            for k in 0..TILE {
+                acc += a[i * TILE + k] * b[k * TILE + j];
+            }
+            out[i * TILE + j] = acc;
+        }
+    }
+}
+
+/// f32-chain tile product fused with the emulator's per-element
+/// `round_accum(out + tile)` accumulation into the FP64 storage slot.
+fn accum_tile_matmul_f32<C: Cvt>(a: &[f64; 16], b: &[f64; 16], out: &mut [f64]) {
+    let af: [f32; 16] = std::array::from_fn(|i| C::to_f32(a[i]));
+    let bf: [f32; 16] = std::array::from_fn(|i| C::to_f32(b[i]));
+    for i in 0..TILE {
+        for j in 0..TILE {
+            let mut acc = 0.0f32;
+            for k in 0..TILE {
+                acc += af[i * TILE + k] * bf[k * TILE + j];
+            }
+            // Accumulated C values stay f32-representable by construction,
+            // so the widen-add-round below is the emulator's round_accum.
+            let o = &mut out[i * TILE + j];
+            *o = f64::from(*o as f32 + acc);
+        }
+    }
+}
+
+fn cuda_tile_f64(a: &[f64; 16], map_a: u16, b: &[f64; 16], map_b: u16, out: &mut [f64]) -> u64 {
+    // Charge what the emulator would: one product per (i,k,j) with both the
+    // A bit (i,k) and the B bit (k,j) set.
+    let bcnt: [u64; 4] =
+        std::array::from_fn(|k| u64::from(bitmap::row_mask(map_b, k).count_ones()));
+    let mut terms = 0u64;
+    for i in 0..4 {
+        for (k, &cnt) in bcnt.iter().enumerate() {
+            terms += u64::from((map_a >> (i * 4 + k)) & 1) * cnt;
+        }
+    }
+    // Dense accumulate: unmapped A/B slots are +/-0.0, so the extra terms
+    // are no-op accumulation steps in each (i,j) chain's (k, j) visit order.
+    #[cfg(target_arch = "x86_64")]
+    if simd_level() == SimdLevel::Avx2 {
+        // SAFETY: AVX2 support confirmed at runtime by `simd_level()`.
+        unsafe { x86::tile_matmul_accum_f64_avx2(a, b, out) };
+        return terms * 2;
+    }
+    for i in 0..4 {
+        for k in 0..4 {
+            let av = a[i * 4 + k];
+            for j in 0..4 {
+                out[i * 4 + j] += av * b[k * 4 + j];
+            }
+        }
+    }
+    terms * 2
+}
+
+fn cuda_tile_f32<C: Cvt>(
+    a: &[f64; 16],
+    map_a: u16,
+    b: &[f64; 16],
+    map_b: u16,
+    out: &mut [f64],
+) -> u64 {
+    let bf: [f32; 16] = std::array::from_fn(|i| C::to_f32(b[i]));
+    let mut flops = 0u64;
+    for i in 0..4 {
+        let arow = bitmap::row_mask(map_a, i);
+        if arow == 0 {
+            continue;
+        }
+        for k in 0..4 {
+            if arow & (1 << k) == 0 {
+                continue;
+            }
+            let brow = bitmap::row_mask(map_b, k);
+            if brow == 0 {
+                continue;
+            }
+            let av = C::to_f32(a[i * 4 + k]);
+            for j in 0..4 {
+                if brow & (1 << j) != 0 {
+                    let o = &mut out[i * 4 + j];
+                    *o = f64::from(*o as f32 + av * bf[k * 4 + j]);
+                    flops += 2;
+                }
+            }
+        }
+    }
+    flops
+}
+
+// ---------------------------------------------------------------------------
+// Vendor CSR row
+// ---------------------------------------------------------------------------
+
+fn csr_row_f32<C: Cvt>(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    // quantize-then-round_product collapses to one input rounding: the
+    // quantized value converts to f32 exactly, so the TF32/F16 rounding of
+    // the quantized operand equals the rounding of the raw operand.
+    let mut acc = 0.0f32;
+    for (&c, &v) in cols.iter().zip(vals) {
+        acc += C::to_f32(v) * C::to_f32(x[c as usize]);
+    }
+    f64::from(acc)
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tile kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_broadcast_sd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_permute2f128_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd, _mm256_unpackhi_pd, _mm256_unpacklo_pd,
+    };
+
+    /// `acc[r] += sum_k tile[r][k] * xseg[k]`: transpose the tile so each
+    /// vector holds one k-column across the 4 rows, then run the k-chain
+    /// with separate multiply and add (FMA would fuse the two roundings the
+    /// precision model requires).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tile_rows_fma_f64_avx2(tile: &[f64], xseg: &[f64], acc: &mut [f64; 4]) {
+        debug_assert!(tile.len() >= 16 && xseg.len() >= 4);
+        let r0 = _mm256_loadu_pd(tile.as_ptr());
+        let r1 = _mm256_loadu_pd(tile.as_ptr().add(4));
+        let r2 = _mm256_loadu_pd(tile.as_ptr().add(8));
+        let r3 = _mm256_loadu_pd(tile.as_ptr().add(12));
+        let t0 = _mm256_unpacklo_pd(r0, r1);
+        let t1 = _mm256_unpackhi_pd(r0, r1);
+        let t2 = _mm256_unpacklo_pd(r2, r3);
+        let t3 = _mm256_unpackhi_pd(r2, r3);
+        let c0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+        let c1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+        let c2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+        let c3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+        let mut v = _mm256_loadu_pd(acc.as_ptr());
+        v = _mm256_add_pd(v, _mm256_mul_pd(c0, _mm256_broadcast_sd(&xseg[0])));
+        v = _mm256_add_pd(v, _mm256_mul_pd(c1, _mm256_broadcast_sd(&xseg[1])));
+        v = _mm256_add_pd(v, _mm256_mul_pd(c2, _mm256_broadcast_sd(&xseg[2])));
+        v = _mm256_add_pd(v, _mm256_mul_pd(c3, _mm256_broadcast_sd(&xseg[3])));
+        _mm256_storeu_pd(acc.as_mut_ptr(), v);
+    }
+
+    /// Row-major 4x4 product, one vector per output row, k-chain from zero.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tile_matmul_f64_avx2(a: &[f64; 16], b: &[f64; 16], out: &mut [f64; 16]) {
+        for i in 0..4 {
+            let mut acc = _mm256_setzero_pd();
+            for k in 0..4 {
+                let brow = _mm256_loadu_pd(b.as_ptr().add(k * 4));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_broadcast_sd(&a[i * 4 + k]), brow));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i * 4), acc);
+        }
+    }
+
+    /// [`tile_matmul_f64_avx2`] accumulating into `out` instead of starting
+    /// from zero — each lane's chain visits k ascending from the existing
+    /// output value, the CUDA-core tile product's order.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tile_matmul_accum_f64_avx2(a: &[f64; 16], b: &[f64; 16], out: &mut [f64]) {
+        debug_assert!(out.len() >= 16);
+        for i in 0..4 {
+            let mut acc = _mm256_loadu_pd(out.as_ptr().add(i * 4));
+            for k in 0..4 {
+                let brow = _mm256_loadu_pd(b.as_ptr().add(k * 4));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_broadcast_sd(&a[i * 4 + k]), brow));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i * 4), acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulated::Simulated;
+    use amgt_sparse::gen::random_sparse;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const PRECS: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+
+    fn padded_x(m: &Mbsr, prec: Precision, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xp: Vec<f64> = (0..m.blk_cols() * TILE)
+            .map(|_| prec.quantize(rng.gen_range(-10.0..10.0)))
+            .collect();
+        for v in xp.iter_mut().skip(m.ncols()) {
+            *v = 0.0;
+        }
+        xp
+    }
+
+    #[test]
+    fn warp_kernels_match_simulated_bitwise() {
+        for seed in 0..24u64 {
+            let a = random_sparse(40 + (seed as usize % 30), 1 + (seed as usize % 8), seed);
+            let m = Mbsr::from_csr(&a);
+            for prec in PRECS {
+                let xp = padded_x(&m, prec, seed ^ 0xabcd);
+                // Native must agree with the emulator both when converting
+                // the operand on the fly (empty x32) and when handed the
+                // precomputed image from `spmv_quantize_x`.
+                let mut x32 = Vec::new();
+                Native.spmv_quantize_x(prec, &xp, &mut x32);
+                for br in 0..m.blk_rows() {
+                    let (lo, hi) = (m.blc_ptr[br], m.blc_ptr[br + 1]);
+                    if lo == hi {
+                        continue;
+                    }
+                    let (ts, tm) = Simulated.spmv_tc_warp(prec, &m, lo, hi - lo, &xp, &[]);
+                    let (cs, fs, rs) = Simulated.spmv_cuda_warp(prec, &m, lo, hi - lo, &xp, &[]);
+                    for pre in [&[][..], &x32[..]] {
+                        let (tn, nm) = Native.spmv_tc_warp(prec, &m, lo, hi - lo, &xp, pre);
+                        assert_eq!(tm, nm);
+                        let (cn, fx, rn) = Native.spmv_cuda_warp(prec, &m, lo, hi - lo, &xp, pre);
+                        assert_eq!((fs, rs), (fx, rn));
+                        for r in 0..TILE {
+                            assert_eq!(ts[r].to_bits(), tn[r].to_bits(), "tc {prec:?} row {r}");
+                            assert_eq!(cs[r].to_bits(), cn[r].to_bits(), "cuda {prec:?} row {r}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_products_match_simulated_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..200 {
+            // Sweep tile popcounts: empty, sparse, dense-16.
+            let map_a: u16 = match case % 5 {
+                0 => 0,
+                1 => 0xffff,
+                _ => rng.gen_range(0..65536u32) as u16,
+            };
+            let map_b: u16 = rng.gen_range(0..65536u32) as u16;
+            let mk = |map: u16, rng: &mut StdRng| -> [f64; 16] {
+                std::array::from_fn(|i| {
+                    if map & (1 << i) != 0 {
+                        rng.gen_range(-4.0..4.0)
+                    } else {
+                        0.0
+                    }
+                })
+            };
+            let a = mk(map_a, &mut rng);
+            let b = mk(map_b, &mut rng);
+            for prec in PRECS {
+                let mut out_s = [0.1f64; 16].map(|v| prec.quantize(v));
+                let mut out_n = out_s;
+                let fs = Simulated.spgemm_cuda_tile(prec, &a, map_a, &b, map_b, &mut out_s);
+                let fx = Native.spgemm_cuda_tile(prec, &a, map_a, &b, map_b, &mut out_n);
+                assert_eq!(fs, fx);
+                for i in 0..16 {
+                    assert_eq!(out_s[i].to_bits(), out_n[i].to_bits(), "{prec:?} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_row_and_quantize_match_simulated_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..40usize);
+            let cols: Vec<u32> = (0..n as u32).collect();
+            let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+            for prec in PRECS {
+                let s = Simulated.csr_spmv_row(prec, &cols, &vals, &x);
+                let nv = Native.csr_spmv_row(prec, &cols, &vals, &x);
+                assert_eq!(s.to_bits(), nv.to_bits(), "{prec:?}");
+                let mut qs = vals.clone();
+                let mut qn = vals.clone();
+                Simulated.quantize(prec, &mut qs);
+                Native.quantize(prec, &mut qn);
+                for (a, b) in qs.iter().zip(&qn) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{prec:?}");
+                }
+            }
+        }
+    }
+}

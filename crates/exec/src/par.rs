@@ -1,0 +1,88 @@
+//! Fork-join helpers for the native backend's row parallelism.
+//!
+//! The mBSR kernels write disjoint fixed-size row blocks of their output,
+//! so the natural parallel shape is a binary fork-join tree over
+//! block-aligned sub-slices. Under a real rayon pool the two halves of
+//! every split run concurrently; under the vendored sequential stub the
+//! tree degenerates to in-order execution with identical results. Either
+//! way the traversal allocates nothing, which keeps the steady-state solve
+//! loop allocation-free (see the `alloc_free` gate in `amgt-bench`).
+
+/// Process `blocks` consecutive `block_len`-element blocks of `out` (the
+/// final block may be short) by splitting recursively into `rayon::join`
+/// halves until at most `grain` blocks remain, then calling
+/// `leaf(first_block, n_blocks, chunk)` on each block-aligned chunk.
+/// Per-leaf counter values are combined pairwise with `merge` in tree
+/// order; all the kernels merge with commutative integer sums, so the tree
+/// shape does not affect the totals.
+pub fn join_block_chunks<R: Send>(
+    out: &mut [f64],
+    first_block: usize,
+    blocks: usize,
+    block_len: usize,
+    grain: usize,
+    leaf: &(dyn Fn(usize, usize, &mut [f64]) -> R + Sync),
+    merge: &(dyn Fn(R, R) -> R + Sync),
+) -> R {
+    if blocks <= grain {
+        return leaf(first_block, blocks, out);
+    }
+    let mid = blocks / 2;
+    let split = (mid * block_len).min(out.len());
+    let (lo, hi) = out.split_at_mut(split);
+    let (ra, rb) = rayon::join(
+        || join_block_chunks(lo, first_block, mid, block_len, grain, leaf, merge),
+        || {
+            join_block_chunks(
+                hi,
+                first_block + mid,
+                blocks - mid,
+                block_len,
+                grain,
+                leaf,
+                merge,
+            )
+        },
+    );
+    merge(ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_block_once_with_short_tail() {
+        // 10 blocks of 4, but only 38 output elements (short last block).
+        let mut out = vec![0.0f64; 38];
+        let visited = join_block_chunks(
+            &mut out,
+            0,
+            10,
+            4,
+            3,
+            &|first, n, chunk| {
+                for b in 0..n {
+                    let lo = b * 4;
+                    let hi = (lo + 4).min(chunk.len());
+                    for v in &mut chunk[lo..hi] {
+                        *v += (first + b) as f64;
+                    }
+                }
+                n
+            },
+            &|a, b| a + b,
+        );
+        assert_eq!(visited, 10);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i / 4) as f64, "element {i}");
+        }
+    }
+
+    #[test]
+    fn single_leaf_when_grain_covers_all() {
+        let mut out = vec![0.0f64; 8];
+        let leaves = join_block_chunks(&mut out, 0, 2, 4, 64, &|_, _, _| 1usize, &|a, b| a + b);
+        assert_eq!(leaves, 1);
+    }
+}

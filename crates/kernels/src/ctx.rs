@@ -8,6 +8,8 @@
 use crate::policy::KernelPolicy;
 use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision};
 
+pub use amgt_exec::{ExecBackend, ExecMode};
+
 /// Kernel execution context.
 #[derive(Clone, Copy)]
 pub struct Ctx<'a> {
@@ -20,6 +22,11 @@ pub struct Ctx<'a> {
     /// Dispatch constants every kernel consults (paper defaults unless a
     /// tuned policy was threaded in via [`Ctx::with_policy`]).
     pub policy: KernelPolicy,
+    /// Execution substrate the kernels compute on (warp emulator by
+    /// default; the native rayon + SIMD path via [`Ctx::with_exec`]).
+    /// Results and simulated-GPU charges are bitwise/byte identical either
+    /// way — only host wall clock differs.
+    pub exec: ExecMode,
 }
 
 impl<'a> Ctx<'a> {
@@ -30,6 +37,7 @@ impl<'a> Ctx<'a> {
             level,
             precision,
             policy: KernelPolicy::paper_default(),
+            exec: ExecMode::Simulated,
         }
     }
 
@@ -41,12 +49,24 @@ impl<'a> Ctx<'a> {
             level: 0,
             precision,
             policy: KernelPolicy::paper_default(),
+            exec: ExecMode::Simulated,
         }
     }
 
     /// Same context under a different kernel policy.
     pub fn with_policy(self, policy: KernelPolicy) -> Self {
         Ctx { policy, ..self }
+    }
+
+    /// Same context on a different execution backend.
+    pub fn with_exec(self, exec: ExecMode) -> Self {
+        Ctx { exec, ..self }
+    }
+
+    /// The execution backend instance kernels dispatch their warp/tile
+    /// compute steps through.
+    pub fn backend(&self) -> &'static dyn ExecBackend {
+        amgt_exec::backend(self.exec)
     }
 
     /// Charge one kernel event; returns simulated seconds.

@@ -16,7 +16,9 @@
 //!   counterfactual used by the ablation study.
 //! * [`convert`] — instrumented CSR/mBSR/BSR conversions (Figure 10).
 //! * [`ctx`] — the execution context binding kernels to the simulated
-//!   device ledger.
+//!   device ledger, and the [`ExecMode`] selecting the execution substrate
+//!   (warp emulator vs. the native rayon + SIMD backend of `amgt-exec`;
+//!   results and charges are bitwise identical either way).
 //! * [`policy`] — the [`KernelPolicy`] dispatch constants (tensor-core
 //!   cutoff, SpMV scheduling, SpGEMM binning, mixed-precision boundaries)
 //!   shared by every kernel, with the paper's values as
@@ -43,7 +45,8 @@ pub mod spmv_bsr;
 pub mod spmv_mbsr;
 pub mod vendor;
 
-pub use ctx::Ctx;
+pub use amgt_exec::{simd_level, SimdLevel};
+pub use ctx::{Ctx, ExecBackend, ExecMode};
 pub use policy::KernelPolicy;
 pub use spgemm_mbsr::{spgemm_mbsr, spgemm_mbsr_with_workspace, SpgemmMbsrStats, SpgemmWorkspace};
 pub use spmv_mbsr::{analyze_spmv, spmv_mbsr, spmv_mbsr_into, SpmvPath, SpmvPlan, SpmvScratch};

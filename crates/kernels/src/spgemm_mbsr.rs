@@ -24,8 +24,7 @@
 
 use crate::ctx::Ctx;
 use crate::policy::KernelPolicy;
-use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC, MMA_FLOPS};
-use amgt_sim::precision::Precision;
+use amgt_sim::mma::MMA_FLOPS;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::bitmap::{self, TILE_AREA};
 use amgt_sparse::Mbsr;
@@ -261,6 +260,7 @@ pub fn spgemm_mbsr_with_workspace(
     // tiles, the CUDA path reads nonempty 4-slot tile rows only.
     let mut val_slots_read = 0u64;
 
+    let be = ctx.backend();
     {
         // Walk the outputs as disjoint per-block-row slices (one warp per
         // block-row), in row order.
@@ -288,7 +288,6 @@ pub fn spgemm_mbsr_with_workspace(
                     // --- Tensor-core path: pairs of valid blockBs. ---
                     tc += 1;
                     slots += TILE_AREA as u64; // fragA tile load.
-                    let frag_a = FragA::pack_tiles(&a_tile, &a_tile);
                     let mut pending: Option<(usize, u16)> = None; // (b_pos, mapC)
                     for b_pos in b_lo..b_hi {
                         let map_b = b.blc_map[b_pos];
@@ -300,9 +299,9 @@ pub fn spgemm_mbsr_with_workspace(
                         match pending.take() {
                             None => pending = Some((b_pos, map_c)),
                             Some((p0, m0)) => {
-                                issue_mma(
+                                be.spgemm_tc_mma(
                                     prec,
-                                    &frag_a,
+                                    &a_tile,
                                     b,
                                     c_idx,
                                     c_map,
@@ -315,8 +314,8 @@ pub fn spgemm_mbsr_with_workspace(
                         }
                     }
                     if let Some((p0, m0)) = pending {
-                        // Odd tail: pad fragB with a zero tile.
-                        issue_mma(prec, &frag_a, b, c_idx, c_map, c_val, &[(p0, m0)]);
+                        // Odd tail: the backend pads fragB with a zero tile.
+                        be.spgemm_tc_mma(prec, &a_tile, b, c_idx, c_map, c_val, &[(p0, m0)]);
                         mma_n += 1;
                         srch += 1;
                     }
@@ -337,7 +336,7 @@ pub fn spgemm_mbsr_with_workspace(
                         c_map[slot] |= map_c;
                         let b_tile = b.tile_array(b_pos);
                         let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
-                        flops += cuda_tile_mul(prec, &a_tile, map_a, &b_tile, map_b, out);
+                        flops += be.spgemm_cuda_tile(prec, &a_tile, map_a, &b_tile, map_b, out);
                     }
                 }
             }
@@ -351,7 +350,7 @@ pub fn spgemm_mbsr_with_workspace(
     }
 
     // Storage quantization of the result at the level's precision.
-    amgt_sim::precision::quantize_slice(prec, &mut blc_val);
+    be.quantize(prec, &mut blc_val);
 
     let mma_n = mma_count;
     let vb = prec.bytes() as f64;
@@ -408,88 +407,10 @@ pub fn spgemm_mbsr_with_workspace(
     (c, stats)
 }
 
-/// One warp-level tensor-core step: multiply the replicated `fragA` with
-/// one or two valid blockBs, extract the useful tiles by shuffles, and
-/// accumulate bitmap + values into the `C` block-row.
-fn issue_mma(
-    prec: Precision,
-    frag_a: &FragA,
-    b: &Mbsr,
-    c_idx: &[u32],
-    c_map: &mut [u16],
-    c_val: &mut [f64],
-    targets: &[(usize, u16)],
-) {
-    debug_assert!(!targets.is_empty() && targets.len() <= 2);
-    let zero = [0.0f64; TILE_AREA];
-    let t0 = b.tile_array(targets[0].0);
-    let t1 = targets.get(1).map(|&(p, _)| b.tile_array(p));
-    let frag_b = FragB::pack_tiles(&t0, t1.as_ref().unwrap_or(&zero));
-    let mut frag_c = FragC::ZERO;
-    mma_8x8x4(&mut frag_c, frag_a, &frag_b, prec);
-    for (slot_idx, &(b_pos, map_c)) in targets.iter().enumerate() {
-        let j = b.blc_idx[b_pos];
-        let slot = c_idx.binary_search(&j).expect("symbolic covered block");
-        c_map[slot] |= map_c;
-        let (tile, _shuffles) = frag_c.extract_tile(0, slot_idx);
-        let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
-        for (o, t) in out.iter_mut().zip(tile.iter()) {
-            // Only bitmap positions may carry values; the rest of the MMA
-            // output is exact zeros anyway, but masking keeps the invariant
-            // robust under cancellation.
-            *o = prec.round_accum(*o + t);
-        }
-        // Clear any slop outside the bitmap (padding lanes are zero by
-        // construction; this enforces the mBSR value/bitmap invariant).
-        for bit in 0..TILE_AREA {
-            if c_map[slot] & (1 << bit) == 0 {
-                out[bit] = 0.0;
-            }
-        }
-    }
-}
-
 /// Nonempty 4-wide rows of a tile pattern (32-byte read transactions).
 #[inline]
 fn nonempty_rows(map: u16) -> u64 {
     (0..4).filter(|&r| bitmap::row_mask(map, r) != 0).count() as u64
-}
-
-/// Thread-level tile product on CUDA cores: loops bitmap positions only.
-/// Returns the flop count performed.
-fn cuda_tile_mul(
-    prec: Precision,
-    a_tile: &[f64; TILE_AREA],
-    map_a: u16,
-    b_tile: &[f64; TILE_AREA],
-    map_b: u16,
-    out: &mut [f64],
-) -> u64 {
-    let mut flops = 0u64;
-    for i in 0..4 {
-        let arow = bitmap::row_mask(map_a, i);
-        if arow == 0 {
-            continue;
-        }
-        for k in 0..4 {
-            if arow & (1 << k) == 0 {
-                continue;
-            }
-            let brow = bitmap::row_mask(map_b, k);
-            if brow == 0 {
-                continue;
-            }
-            let av = a_tile[i * 4 + k];
-            for j in 0..4 {
-                if brow & (1 << j) != 0 {
-                    let prod = prec.round_product(av, b_tile[k * 4 + j]);
-                    out[i * 4 + j] = prec.round_accum(out[i * 4 + j] + prod);
-                    flops += 2;
-                }
-            }
-        }
-    }
-    flops
 }
 
 /// Assemble an [`Mbsr`] from raw parts via the CSR constructor invariants.
@@ -515,7 +436,7 @@ fn mbsr_from_parts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amgt_sim::{Device, GpuSpec, Phase};
+    use amgt_sim::{Device, GpuSpec, Phase, Precision};
     use amgt_sparse::gen::{
         block_cliques, elasticity_3d, laplacian_2d, random_sparse, NeighborSet, Stencil2d,
     };

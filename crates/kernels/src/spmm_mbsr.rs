@@ -8,7 +8,7 @@
 //! vectors in FEM, block Krylov methods) hit exactly this kernel.
 
 use crate::ctx::Ctx;
-use crate::spmv_mbsr::{cuda_warp, tc_warp, SpmvPath, SpmvPlan};
+use crate::spmv_mbsr::{SpmvPath, SpmvPlan};
 use amgt_sim::mma::MMA_FLOPS;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::bitmap::{TILE, TILE_AREA};
@@ -105,6 +105,9 @@ pub fn spmm_mbsr(ctx: &Ctx, a: &Mbsr, plan: &SpmvPlan, x: &MultiVector) -> Multi
 #[derive(Clone, Debug, Default)]
 pub struct SpmmScratch {
     xq: Vec<f64>,
+    /// Reduced-precision image of `xq` from `ExecBackend::spmv_quantize_x`
+    /// (empty when the backend converts on the fly).
+    x32: Vec<f32>,
 }
 
 /// `Y = A X` on mBSR, returning per-call [`SpmmStats`].
@@ -164,6 +167,9 @@ pub fn spmm_mbsr_into(
 
     y.reshape(a.nrows(), nrhs);
     let nrows = a.nrows();
+    let be = ctx.backend();
+    be.spmv_quantize_x(prec, xq, &mut scratch.x32);
+    let x32_all = &scratch.x32[..];
     let mut mma_total = 0u64;
     let mut flops_total = 0u64;
     let mut nonempty_tile_rows = 0u64;
@@ -177,11 +183,18 @@ pub fn spmm_mbsr_into(
         for br in 0..a.blk_rows() {
             let mut acc = [[0.0f64; TILE]; RHS_TILE];
             for (c, item) in acc[..slab].iter_mut().enumerate() {
-                let xcol = &xq[(slab_start + c) * padded..(slab_start + c + 1) * padded];
+                let col0 = (slab_start + c) * padded;
+                let xcol = &xq[col0..col0 + padded];
+                let xcol32 = if x32_all.is_empty() {
+                    &[][..]
+                } else {
+                    &x32_all[col0..col0 + padded]
+                };
                 for job in plan.jobs_for_row(br) {
                     match plan.path {
                         SpmvPath::TensorCore => {
-                            let (part, _pair_mmas) = tc_warp(prec, a, job, xcol);
+                            let (part, _pair_mmas) =
+                                be.spmv_tc_warp(prec, a, job.start, job.len, xcol, xcol32);
                             // One mma per tile per slab: fragB is the
                             // X sub-slab, so tiles cannot pair the way
                             // SpMV's half-empty fragments do. Count once
@@ -194,7 +207,8 @@ pub fn spmm_mbsr_into(
                             }
                         }
                         SpmvPath::CudaCore => {
-                            let (part, f, tr) = cuda_warp(prec, a, job, xcol);
+                            let (part, f, tr) =
+                                be.spmv_cuda_warp(prec, a, job.start, job.len, xcol, xcol32);
                             flops_total += f; // Scalar flops happen per column.
                             if c == 0 {
                                 nonempty_tile_rows += tr; // A-value traffic: once per slab.

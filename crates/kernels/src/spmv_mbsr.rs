@@ -13,15 +13,18 @@
 use crate::ctx::Ctx;
 use amgt_sim::mma::{mma_8x8x4, FragA, FragB, FragC, MMA_FLOPS, TILE};
 use amgt_sim::precision::Precision;
-use amgt_sim::warp::{warp_reduce_sum_grouped, LaneRegs, WARP_SIZE};
 use amgt_sim::{Algo, KernelCost, KernelKind};
-use amgt_sparse::bitmap;
 use amgt_sparse::Mbsr;
 
 /// Fixed workload per warp in the load-balanced schedule (Section IV.D.1).
 /// Paper default; the live value comes from [`Ctx::policy`]
 /// (see [`crate::policy`]).
 pub const WARP_CAPACITY: usize = crate::policy::PAPER_SPMV_WARP_CAPACITY;
+
+/// Fork-join leaf size, in block-rows, for the SpMV output sweep. Small
+/// enough to expose parallelism on mid-size levels, large enough that the
+/// per-leaf bookkeeping is negligible next to the tile math.
+const SPMV_JOIN_GRAIN: usize = 256;
 
 /// Variation threshold above which the load-balanced schedule is selected.
 /// The paper does not publish the constant; 0.5 (a moderately skewed row
@@ -147,6 +150,9 @@ pub fn analyze_spmv_with(
 #[derive(Clone, Debug, Default)]
 pub struct SpmvScratch {
     xp: Vec<f64>,
+    /// Reduced-precision operand image from `ExecBackend::spmv_quantize_x`
+    /// (empty whenever the active backend takes no conversion shortcut).
+    x32: Vec<f32>,
 }
 
 /// `y = A x` with the AmgT algorithm under a precomputed plan.
@@ -186,41 +192,58 @@ pub fn spmv_mbsr_into(
 
     let nrows = a.nrows();
     y.resize(nrows, 0.0);
-    let mut mma_total = 0u64;
-    let mut flops_total = 0u64;
-    let mut nonempty_tile_rows = 0u64;
+    let be = ctx.backend();
+    be.spmv_quantize_x(prec, xp, &mut scratch.x32);
+    let x32 = &scratch.x32[..];
 
-    // Single pass over block-rows, writing straight into `y`; each row's
-    // warp jobs run in order so the accumulation order (and hence the
-    // rounding) is deterministic.
-    for br in 0..a.blk_rows() {
-        let mut acc = [0.0f64; TILE];
-        for job in plan.jobs_for_row(br) {
-            match plan.path {
-                SpmvPath::TensorCore => {
-                    let (part, m) = tc_warp(prec, a, job, xp);
-                    mma_total += m;
-                    for (o, p) in acc.iter_mut().zip(part.iter()) {
-                        *o = prec.round_accum(*o + p);
+    // One pass over block-rows, writing straight into `y`; each row's warp
+    // jobs run in order so the accumulation order (and hence the rounding)
+    // is deterministic. Block-rows are independent, so the pass fans out as
+    // a fork-join tree over disjoint 4-row output chunks (sequential under
+    // the vendored single-thread rayon; the per-chunk counters merge with
+    // plain sums either way).
+    let (mma_total, flops_total, nonempty_tile_rows) = amgt_exec::par::join_block_chunks(
+        &mut y[..],
+        0,
+        a.blk_rows(),
+        TILE,
+        SPMV_JOIN_GRAIN,
+        &|br0, n_blocks, chunk| {
+            let (mut mma, mut flops, mut ntr) = (0u64, 0u64, 0u64);
+            for i in 0..n_blocks {
+                let br = br0 + i;
+                let mut acc = [0.0f64; TILE];
+                for job in plan.jobs_for_row(br) {
+                    match plan.path {
+                        SpmvPath::TensorCore => {
+                            let (part, m) = be.spmv_tc_warp(prec, a, job.start, job.len, xp, x32);
+                            mma += m;
+                            for (o, p) in acc.iter_mut().zip(part.iter()) {
+                                *o = prec.round_accum(*o + p);
+                            }
+                        }
+                        SpmvPath::CudaCore => {
+                            let (part, f, tr) =
+                                be.spmv_cuda_warp(prec, a, job.start, job.len, xp, x32);
+                            flops += f;
+                            ntr += tr;
+                            for (o, p) in acc.iter_mut().zip(part.iter()) {
+                                *o = prec.round_accum(*o + p);
+                            }
+                        }
                     }
                 }
-                SpmvPath::CudaCore => {
-                    let (part, f, tr) = cuda_warp(prec, a, job, xp);
-                    flops_total += f;
-                    nonempty_tile_rows += tr;
-                    for (o, p) in acc.iter_mut().zip(part.iter()) {
-                        *o = prec.round_accum(*o + p);
+                let base = i * TILE;
+                for (lr, &v) in acc.iter().enumerate() {
+                    if base + lr < chunk.len() {
+                        chunk[base + lr] = v;
                     }
                 }
             }
-        }
-        for (lr, &v) in acc.iter().enumerate() {
-            let r = br * TILE + lr;
-            if r < nrows {
-                y[r] = v;
-            }
-        }
-    }
+            (mma, flops, ntr)
+        },
+        &|l, r| (l.0 + r.0, l.1 + r.1, l.2 + r.2),
+    );
 
     let vb = prec.bytes() as f64;
     let nb = a.n_blocks() as f64;
@@ -257,42 +280,21 @@ pub fn spmv_mbsr_into(
 /// the fragment; the diagonal carries the 8 partial row sums. Returns the
 /// 4 partial sums for the block-row and the `mma` count.
 ///
-/// This is the fast scalar transcription of the fragment computation: it
-/// performs, element by element and in the same order, exactly the
-/// arithmetic [`mma_8x8x4`] performs for the diagonal lanes (verified
-/// against the full-fragment emulation in the tests below).
-pub(crate) fn tc_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64) {
-    let mut diag = [0.0f64; 8];
-    let mut mma_n = 0u64;
-    let mut b = job.start;
-    let end = job.start + job.len;
-    while b < end {
-        let pair = [(b, true), (b + 1, b + 1 < end)];
-        for (slot, &(pos, valid)) in pair.iter().enumerate() {
-            if !valid {
-                continue;
-            }
-            let tile = a.tile(pos);
-            let bc = a.blc_idx[pos] as usize;
-            let xseg = &xp[bc * TILE..bc * TILE + TILE];
-            for r in 0..TILE {
-                let mut acc = diag[slot * TILE + r];
-                for k in 0..TILE {
-                    let prod = prec.round_product(tile[r * TILE + k], xseg[k]);
-                    acc = prec.round_accum(acc + prod);
-                }
-                diag[slot * TILE + r] = acc;
-            }
-        }
-        mma_n += 1;
-        b += 2;
-    }
-    // Extract: y_r = diag[r] + diag[4 + r] (the two fragment halves).
-    let mut out = [0.0f64; TILE];
-    for r in 0..TILE {
-        out[r] = prec.round_accum(diag[r] + diag[TILE + r]);
-    }
-    (out, mma_n)
+/// The emulator-backend implementation is the fast scalar transcription of
+/// the fragment computation: it performs, element by element and in the
+/// same order, exactly the arithmetic [`mma_8x8x4`] performs for the
+/// diagonal lanes (verified against the full-fragment emulation in the
+/// tests below); the native backend computes the same chains directly.
+#[cfg(test)]
+fn tc_warp(prec: Precision, a: &Mbsr, job: &WarpJob, xp: &[f64]) -> ([f64; TILE], u64) {
+    amgt_exec::backend(amgt_exec::ExecMode::Simulated).spmv_tc_warp(
+        prec,
+        a,
+        job.start,
+        job.len,
+        xp,
+        &[],
+    )
 }
 
 /// Reference implementation of one tensor-core warp using the *full*
@@ -335,59 +337,6 @@ pub fn tc_warp_fragments(
         out[r] = prec.round_accum(diag[r] + diag[TILE + r]);
     }
     (out, mma_n)
-}
-
-/// CUDA-core warp (Algorithm 5): four lanes per tile, lane `i` handles tile
-/// row `i` guided by the bitmap, then a grouped warp sum. Returns the
-/// 4 partial sums, flops, and the number of nonempty tile rows touched.
-pub(crate) fn cuda_warp(
-    prec: Precision,
-    a: &Mbsr,
-    job: &WarpJob,
-    xp: &[f64],
-) -> ([f64; TILE], u64, u64) {
-    // Emulate the lane layout: 8 groups of 4 lanes stride the job's tiles
-    // (Algorithm 5 line 6: `for i = start + groupid to end stride 8`), each
-    // lane accumulating one tile row into its register, then a grouped
-    // reduction. We reproduce the math with the same per-lane accumulation
-    // order, then a literal warp reduction.
-    let mut lane_acc: LaneRegs<f64> = [0.0; WARP_SIZE];
-    let (mut flops, mut ntr) = (0u64, 0u64);
-    for (offset, pos) in (job.start..job.start + job.len).enumerate() {
-        let group = offset % 8;
-        let map = a.blc_map[pos];
-        let tile = a.tile(pos);
-        let bc = a.blc_idx[pos] as usize;
-        let xseg = &xp[bc * TILE..bc * TILE + TILE];
-        for lane_in_group in 0..TILE {
-            let lane = group * TILE + lane_in_group;
-            let row = bitmap::row_mask(map, lane_in_group);
-            if row == 0 {
-                continue;
-            }
-            ntr += 1;
-            let mut acc = lane_acc[lane];
-            for k in 0..TILE {
-                if row & (1 << k) != 0 {
-                    let prod = prec.round_product(tile[lane_in_group * TILE + k], xseg[k]);
-                    acc = prec.round_accum(acc + prod);
-                    flops += 2;
-                }
-            }
-            lane_acc[lane] = acc;
-        }
-    }
-    // Warp-level sum within each "row lane" class: lane l holds row l % 4 of
-    // some tile group; sum lanes with equal (l % 4).
-    // Rearrange so a grouped reduction matches Algorithm 5's WarpLevelSum:
-    // transpose lanes to put equal rows adjacent.
-    let rearranged: LaneRegs<f64> = std::array::from_fn(|l| lane_acc[(l % 8) * TILE + (l / 8)]);
-    let summed = warp_reduce_sum_grouped(&rearranged, 8);
-    let mut out = [0.0f64; TILE];
-    for (r, item) in out.iter_mut().enumerate() {
-        *item = prec.round_accum(summed[r * 8]);
-    }
-    (out, flops, ntr)
 }
 
 #[cfg(test)]

@@ -7,10 +7,12 @@
 //! (intermediate products, hash probes, traffic) feed the cost model.
 
 use crate::ctx::Ctx;
-use amgt_sim::precision::quantize_slice;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 use amgt_sparse::Csr;
 use rayon::prelude::*;
+
+/// Fork-join leaf size, in rows, for the vendor CSR SpMV sweep.
+const CSR_JOIN_GRAIN: usize = 1024;
 
 /// Statistics a vendor SpGEMM reports alongside its result.
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,15 +39,24 @@ pub fn spmv_csr_into(ctx: &Ctx, a: &Csr, x: &[f64], y: &mut Vec<f64>) {
     assert_eq!(x.len(), a.ncols());
     let prec = ctx.precision;
     y.resize(a.nrows(), 0.0);
-    for (r, out) in y.iter_mut().enumerate() {
-        let (cols, vals) = a.row(r);
-        let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            let prod = prec.round_product(prec.quantize(v), prec.quantize(x[c as usize]));
-            acc = prec.round_accum(acc + prod);
-        }
-        *out = acc;
-    }
+    let be = ctx.backend();
+    // Rows are independent: fan out as a fork-join tree over disjoint output
+    // chunks (sequential under a single-thread pool), dispatching each row's
+    // product chain through the execution backend.
+    amgt_exec::par::join_block_chunks(
+        &mut y[..],
+        0,
+        a.nrows(),
+        1,
+        CSR_JOIN_GRAIN,
+        &|r0, n_rows, chunk| {
+            for (i, out) in chunk.iter_mut().enumerate().take(n_rows) {
+                let (cols, vals) = a.row(r0 + i);
+                *out = be.csr_spmv_row(prec, cols, vals, x);
+            }
+        },
+        &|(), ()| (),
+    );
 
     let vb = prec.bytes() as f64;
     let cost = KernelCost {
@@ -193,7 +204,7 @@ pub fn spgemm_csr(ctx: &Ctx, a: &Csr, b: &Csr) -> (Csr, VendorSpgemmStats) {
 /// Quantize a CSR matrix's values in place to the context precision —
 /// the "very low cost" conversion before coarse-level kernel calls.
 pub fn quantize_csr(ctx: &Ctx, a: &mut Csr) {
-    quantize_slice(ctx.precision, &mut a.vals);
+    ctx.backend().quantize(ctx.precision, &mut a.vals);
     let cost = KernelCost {
         bytes: a.nnz() as f64 * (8.0 + ctx.precision.bytes() as f64),
         launches: 1,

@@ -58,6 +58,11 @@ pub struct ServiceConfig {
     /// service construction; a missing or corrupt file degrades to "no
     /// tuned policies" without failing.
     pub policy_store: Option<PathBuf>,
+    /// Execution backend forced service-wide. `None` honors each request's
+    /// [`AmgConfig::exec`]; `Some` overrides every batch (results are
+    /// bitwise identical either way, so the override only changes host
+    /// wall clock and never observable solver behaviour).
+    pub exec: Option<ExecMode>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +75,7 @@ impl Default for ServiceConfig {
             cache_capacity: 8,
             spec: GpuSpec::a100(),
             policy_store: None,
+            exec: None,
         }
     }
 }
@@ -250,6 +256,8 @@ struct Shared {
     shutdown: AtomicBool,
     /// Tuned-policy cache, loaded once at construction (read-only after).
     policies: PolicyStore,
+    /// Service-wide execution-backend override (see [`ServiceConfig::exec`]).
+    exec_override: Option<ExecMode>,
 }
 
 /// The in-process multi-tenant solve service.
@@ -280,6 +288,7 @@ impl SolverService {
             telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
             policies,
+            exec_override: config.exec,
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -462,6 +471,9 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     }
 
     let mut amg_cfg = live[0].request.config.clone();
+    if let Some(exec) = shared.exec_override {
+        amg_cfg.exec = exec;
+    }
     // Tuned-policy adoption: a request that leaves the policy at the paper
     // default opts into whatever the tuning cache knows about this system on
     // this GPU; an explicit policy in the request always wins.

@@ -223,6 +223,38 @@ fn batched_service_solution_matches_direct_solve() {
     }
 }
 
+/// A service-wide `exec: Some(Native)` override must leave every solution
+/// bitwise identical to the emulator path (the exec backends agree at every
+/// precision, so the override is invisible to clients).
+#[test]
+fn native_exec_override_is_bitwise_invisible() {
+    let a = test_matrix();
+    let cfg = test_config(); // exec: Simulated — overridden service-side.
+    let b = rhs_of_ones(&a);
+
+    let native = SolverService::new(ServiceConfig {
+        workers: 0,
+        queue_capacity: 8,
+        batch_window: Duration::from_millis(1),
+        exec: Some(ExecMode::Native),
+        ..Default::default()
+    });
+    let handle = native
+        .submit(SolveRequest::new(a.clone(), b.clone(), cfg.clone()))
+        .unwrap();
+    native.shutdown();
+    let outcome = handle.wait().unwrap();
+
+    let device = Device::new(GpuSpec::a100());
+    let h = setup(&device, &cfg, a.clone());
+    let mut x = vec![0.0; a.nrows()];
+    solve(&device, &cfg, &h, &b, &mut x);
+    assert!(outcome.converged);
+    for (got, want) in outcome.x.iter().zip(&x) {
+        assert_eq!(got.to_bits(), want.to_bits(), "{got} vs {want}");
+    }
+}
+
 #[test]
 fn worker_pool_smoke() {
     let service = SolverService::new(ServiceConfig {

@@ -148,6 +148,10 @@ pub struct Recording {
     /// recorded). Wall-clock fields are only comparable between recordings
     /// with equal thread counts.
     pub threads: usize,
+    /// Execution backend label (`"sim"` / `"native"`; empty = never
+    /// recorded). Results are bitwise identical across backends; wall-clock
+    /// fields are only comparable between recordings with equal labels.
+    pub exec: String,
 }
 
 impl Recording {
@@ -240,6 +244,7 @@ struct RecorderState {
     hierarchy: Option<HierarchyDiagnostics>,
     policy: Option<PolicyNote>,
     threads: usize,
+    exec: String,
 }
 
 /// Thread-safe trace collector. One recorder is meant to observe one
@@ -287,6 +292,7 @@ impl Recorder {
                 hierarchy: None,
                 policy: None,
                 threads: 0,
+                exec: String::new(),
             }),
         }
     }
@@ -397,6 +403,11 @@ impl Recorder {
         self.state.lock().threads = threads;
     }
 
+    /// Record the execution-backend label (see [`Recording::exec`]).
+    pub fn set_exec(&self, exec: impl Into<String>) {
+        self.state.lock().exec = exec.into();
+    }
+
     /// Clone the current state without draining it.
     pub fn snapshot(&self) -> Recording {
         let st = self.state.lock();
@@ -409,6 +420,7 @@ impl Recorder {
             hierarchy: st.hierarchy.clone(),
             policy: st.policy.clone(),
             threads: st.threads,
+            exec: st.exec.clone(),
         }
     }
 
@@ -424,6 +436,7 @@ impl Recorder {
             hierarchy: st.hierarchy.take(),
             policy: st.policy.take(),
             threads: st.threads,
+            exec: st.exec.clone(),
         };
         st.stack.clear();
         st.dropped_spans = 0;
@@ -619,6 +632,22 @@ mod tests {
         // take() preserves the setting for subsequent epochs of the same
         // recorder (the pool width does not change between jobs).
         assert_eq!(r.take().threads, 4);
+    }
+
+    #[test]
+    fn exec_label_round_trips_through_take_and_json() {
+        let r = Recorder::new();
+        assert!(r.snapshot().exec.is_empty(), "unset by default");
+        r.set_exec("native");
+        let rec = r.take();
+        assert_eq!(rec.exec, "native");
+        assert!(
+            rec.to_json().contains("\"exec\":\"native\""),
+            "{}",
+            rec.to_json()
+        );
+        // Like the thread width, the label survives take().
+        assert_eq!(r.take().exec, "native");
     }
 
     #[test]

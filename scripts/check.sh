@@ -19,11 +19,15 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> exec-backend equivalence: native vs emulator, bitwise"
+cargo test --release -q -p amgt-integration-tests --test exec_equivalence
+
 echo "==> trace exporter smoke: solve -> chrome trace JSON"
 trace_out="$(mktemp -t amgt-trace-XXXXXX.json)"
 bench_out="$(mktemp -t amgt-bench-XXXXXX.json)"
 wall_out="$(mktemp -t amgt-wall-XXXXXX.json)"
-trap 'rm -f "$trace_out" "$bench_out" "$wall_out"' EXIT
+wall_native_out="$(mktemp -t amgt-wall-native-XXXXXX.json)"
+trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
 grep -q '"traceEvents"' "$trace_out"
@@ -39,7 +43,7 @@ cargo run --release -q -p amgt-bench --bin bench -- --smoke --out /dev/null \
     --compare "$bench_out" >/dev/null
 echo "    wrote, validated, and round-tripped $bench_out"
 
-echo "==> wallclock bench smoke: schema v3 + allocation self-compare"
+echo "==> wallclock bench smoke: schema v4 + allocation self-compare"
 cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
     --threads 1 --out "$wall_out" >/dev/null
 python3 -m json.tool "$wall_out" >/dev/null
@@ -50,5 +54,22 @@ cargo run --release -q -p amgt-bench --bin bench -- --validate "$wall_out" >/dev
 cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
     --threads 1 --out /dev/null --compare "$wall_out" >/dev/null
 echo "    wrote, validated, and alloc-round-tripped $wall_out"
+
+echo "==> native-exec wallclock smoke: bitwise run + allocation self-compare"
+# The native backend must pass the same gate: identical simulated costs
+# and iteration counts (bitwise contract) and zero steady-state
+# allocations per iteration. Runs on any host — simd autodetects AVX2/
+# NEON and falls back to scalar.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --exec native --threads 1 --out "$wall_native_out" >/dev/null
+python3 -m json.tool "$wall_native_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --validate "$wall_native_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --exec native --threads 1 --out /dev/null --compare "$wall_native_out" >/dev/null
+# Simulated-seconds figures are exec-independent, so the native report
+# must also self-compare cleanly against the emulator baseline.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --exec native --threads 1 --out /dev/null --compare "$wall_out" >/dev/null
+echo "    wrote, validated, and alloc-round-tripped $wall_native_out"
 
 echo "OK: all checks passed"

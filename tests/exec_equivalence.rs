@@ -1,0 +1,240 @@
+//! Cross-backend execution equivalence: the native (rayon + SIMD) backend
+//! must reproduce the warp emulator BITWISE — same result bits at every
+//! [`Precision`], same simulated-GPU charges — for every kernel family and
+//! for whole multigrid solves. These tests are the contract that lets the
+//! native path stand in for the emulator on wall-clock runs while the
+//! emulator stays the source of truth for cost-model figures.
+
+use amgt::prelude::*;
+use amgt::{run_amg, setup, solve, solve_with_workspace, ExecMode, SolveWorkspace};
+use amgt_kernels::convert::csr_to_mbsr;
+use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
+use amgt_kernels::spmm_mbsr::{spmm_mbsr, MultiVector};
+use amgt_kernels::spmv_mbsr::{analyze_spmv_with, spmv_mbsr, SpmvPath};
+use amgt_kernels::vendor::{quantize_csr, spmv_csr};
+use amgt_kernels::Ctx;
+use amgt_sim::{Device, GpuSpec, Precision};
+use amgt_sparse::gen::{laplacian_2d, random_sparse, rhs_of_ones, Stencil2d};
+use amgt_sparse::{Csr, Mbsr};
+use proptest::prelude::*;
+
+const PRECISIONS: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+
+fn arb_matrix(max_n: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n, 0u64..1_000_000).prop_map(move |(n, seed)| {
+        let nnz_per_row = 1 + (seed % 9) as usize;
+        random_sparse(n, nnz_per_row, seed)
+    })
+}
+
+fn arb_vector(len: usize, seed: u64) -> Vec<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: element {i} differs bitwise: native {g:e} vs sim {w:e}"
+        );
+    }
+}
+
+/// Run `op` once per [`ExecMode`], each on a fresh device, and check the
+/// simulated charges agree: the exec substrate must not change what the
+/// cost model sees.
+fn per_mode<R>(prec: Precision, mut op: impl FnMut(&Ctx) -> R) -> (R, R) {
+    let dev_s = Device::new(GpuSpec::a100());
+    let dev_n = Device::new(GpuSpec::a100());
+    let sim = op(&Ctx::standalone(&dev_s, prec).with_exec(ExecMode::Simulated));
+    let nat = op(&Ctx::standalone(&dev_n, prec).with_exec(ExecMode::Native));
+    assert_eq!(
+        dev_s.elapsed(),
+        dev_n.elapsed(),
+        "simulated charges diverge across exec modes ({prec:?})"
+    );
+    assert_eq!(dev_s.events().len(), dev_n.events().len());
+    (nat, sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spmv_native_matches_sim_bitwise((a, seed) in (arb_matrix(90), 0u64..u64::MAX)) {
+        let m = Mbsr::from_csr(&a);
+        let x = arb_vector(a.ncols(), seed);
+        for prec in PRECISIONS {
+            // Force BOTH kernel paths regardless of what the heuristic picks:
+            // density threshold 0.0 routes every warp through tensor cores,
+            // 1e9 routes every warp through the CUDA-core path.
+            for (density, path) in [(0.0, SpmvPath::TensorCore), (1e9, SpmvPath::CudaCore)] {
+                let (nat, sim) = per_mode(prec, |ctx| {
+                    let plan = analyze_spmv_with(ctx, &m, 1.0, density);
+                    assert_eq!(plan.path, path);
+                    spmv_mbsr(ctx, &m, &plan, &x)
+                });
+                assert_bits_eq(&nat, &sim, &format!("spmv {prec:?} {path:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_native_matches_sim_bitwise((a, seed) in (arb_matrix(70), 0u64..u64::MAX)) {
+        let m = Mbsr::from_csr(&a);
+        let nrhs = 1 + (seed % 11) as usize;
+        let cols: Vec<Vec<f64>> = (0..nrhs)
+            .map(|j| arb_vector(a.ncols(), seed.wrapping_add(j as u64)))
+            .collect();
+        let x = MultiVector::from_columns(&cols);
+        for prec in PRECISIONS {
+            let (nat, sim) = per_mode(prec, |ctx| {
+                let plan = analyze_spmv_with(ctx, &m, 1.0, 0.0);
+                spmm_mbsr(ctx, &m, &plan, &x)
+            });
+            for j in 0..nrhs {
+                for i in 0..a.nrows() {
+                    prop_assert_eq!(
+                        nat.get(i, j).to_bits(),
+                        sim.get(i, j).to_bits(),
+                        "spmm {:?} ({}, {})", prec, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_native_matches_sim_bitwise(a in arb_matrix(60)) {
+        let m = Mbsr::from_csr(&a);
+        for prec in PRECISIONS {
+            let (nat, sim) = per_mode(prec, |ctx| spgemm_mbsr(ctx, &m, &m));
+            let (cn, sn) = nat;
+            let (cs, ss) = sim;
+            prop_assert_eq!(&cn.blc_ptr, &cs.blc_ptr);
+            prop_assert_eq!(&cn.blc_idx, &cs.blc_idx);
+            prop_assert_eq!(&cn.blc_map, &cs.blc_map);
+            assert_bits_eq(&cn.blc_val, &cs.blc_val, &format!("spgemm {prec:?}"));
+            prop_assert_eq!(sn.mma_issued, ss.mma_issued);
+            prop_assert_eq!(sn.result_blocks, ss.result_blocks);
+        }
+    }
+
+    #[test]
+    fn vendor_csr_native_matches_sim_bitwise((a, seed) in (arb_matrix(90), 0u64..u64::MAX)) {
+        let x = arb_vector(a.ncols(), seed);
+        for prec in PRECISIONS {
+            let (nat, sim) = per_mode(prec, |ctx| {
+                let y = spmv_csr(ctx, &a, &x);
+                let mut q = a.clone();
+                quantize_csr(ctx, &mut q);
+                (y, q)
+            });
+            assert_bits_eq(&nat.0, &sim.0, &format!("vendor spmv {prec:?}"));
+            assert_bits_eq(&nat.1.vals, &sim.1.vals, &format!("quantize {prec:?}"));
+        }
+    }
+
+    #[test]
+    fn convert_native_matches_sim(a in arb_matrix(90)) {
+        for prec in PRECISIONS {
+            let (nat, sim) = per_mode(prec, |ctx| csr_to_mbsr(ctx, &a));
+            prop_assert_eq!(&nat.blc_ptr, &sim.blc_ptr);
+            prop_assert_eq!(&nat.blc_idx, &sim.blc_idx);
+            prop_assert_eq!(&nat.blc_map, &sim.blc_map);
+            assert_bits_eq(&nat.blc_val, &sim.blc_val, &format!("convert {prec:?}"));
+        }
+    }
+}
+
+/// Tile-shape extremes the random strategy rarely hits: fully dense 4x4
+/// tiles (popcount 16, the pure-MMA regime), popcount-1 scattered tiles,
+/// and block rows with no tiles at all.
+#[test]
+fn tile_popcount_extremes_agree() {
+    // Dense-16: an 8x8 matrix of two fully dense 4x4 diagonal blocks plus
+    // one dense off-diagonal block.
+    let mut trips = Vec::new();
+    for i in 0..8usize {
+        for j in 0..8usize {
+            if i / 4 == j / 4 || (i / 4 == 0 && j / 4 == 1) {
+                trips.push((i, j, 1.0 + 0.37 * (i * 8 + j) as f64));
+            }
+        }
+    }
+    let dense = Csr::from_triplets(8, 8, &trips);
+    // Sparse: popcount-1 tiles on scattered lanes, plus EMPTY block rows
+    // (rows 4..8 hold nothing).
+    let sparse = Csr::from_triplets(
+        12,
+        12,
+        &[
+            (0, 0, 2.0),
+            (1, 5, -3.5),
+            (3, 11, 0.25),
+            (8, 2, 7.0),
+            (11, 11, -1.0),
+        ],
+    );
+    for a in [dense, sparse] {
+        let m = Mbsr::from_csr(&a);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| 0.5 + i as f64 * 0.3).collect();
+        for prec in PRECISIONS {
+            for density in [0.0, 1e9] {
+                let (nat, sim) = per_mode(prec, |ctx| {
+                    let plan = analyze_spmv_with(ctx, &m, 1.0, density);
+                    spmv_mbsr(ctx, &m, &plan, &x)
+                });
+                assert_bits_eq(&nat, &sim, &format!("popcount extreme {prec:?}"));
+            }
+            let (nat, sim) = per_mode(prec, |ctx| spgemm_mbsr(ctx, &m, &m).0);
+            assert_bits_eq(&nat.blc_val, &sim.blc_val, "popcount extreme spgemm");
+        }
+    }
+}
+
+/// A whole AMG run — setup's SpGEMM-built hierarchy plus the solve-phase
+/// cycles — lands on bitwise-identical solutions under either backend, for
+/// both the uniform-FP64 and the mixed-precision config.
+#[test]
+fn full_solve_native_matches_sim_bitwise() {
+    let a = laplacian_2d(14, 14, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    for mut cfg in [AmgConfig::amgt_fp64(), AmgConfig::amgt_mixed()] {
+        let dev_s = Device::new(GpuSpec::a100());
+        cfg.exec = ExecMode::Simulated;
+        let (x_sim, _, rep_sim) = run_amg(&dev_s, &cfg, a.clone(), &b);
+        let dev_n = Device::new(GpuSpec::a100());
+        cfg.exec = ExecMode::Native;
+        let (x_nat, _, rep_nat) = run_amg(&dev_n, &cfg, a.clone(), &b);
+        assert_bits_eq(&x_nat, &x_sim, "full solve");
+        assert_eq!(
+            rep_nat.solve_report.iterations,
+            rep_sim.solve_report.iterations
+        );
+        assert_eq!(dev_s.elapsed(), dev_n.elapsed(), "cost model diverged");
+    }
+}
+
+/// Under the native backend, re-solving through one reused workspace gives
+/// the same bits as a fresh solve — buffer reuse leaks no state.
+#[test]
+fn reused_workspace_native_solve_identity() {
+    let a = laplacian_2d(12, 12, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    let dev = Device::new(GpuSpec::a100());
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.exec = ExecMode::Native;
+    let h = setup(&dev, &cfg, a);
+    let mut fresh = vec![0.0; b.len()];
+    solve(&dev, &cfg, &h, &b, &mut fresh);
+    let mut ws = SolveWorkspace::for_hierarchy(&h);
+    for round in 0..2 {
+        let mut x = vec![0.0; b.len()];
+        solve_with_workspace(&dev, &cfg, &h, &b, &mut x, &mut ws);
+        assert_bits_eq(&x, &fresh, &format!("workspace round {round}"));
+    }
+}
