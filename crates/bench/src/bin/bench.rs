@@ -20,7 +20,8 @@ use amgt::prelude::*;
 use amgt::Operator;
 use amgt_bench::alloc::{snapshot, CountingAlloc};
 use amgt_bench::report::{
-    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, WallStats, SCHEMA_VERSION,
+    compare, BenchCase, BenchReport, CompareThresholds, FidelityInfo, PolicyInfo, WallStats,
+    SCHEMA_VERSION,
 };
 use amgt_bench::Variant;
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
@@ -64,6 +65,9 @@ struct Options {
     /// Simulated-seconds figures are identical either way; wall-clock
     /// numbers are only comparable at equal exec modes.
     exec: ExecMode,
+    /// Record per-kernel wall-clock samples during the sweep and attach a
+    /// cost-model fidelity audit (the v5 `fidelity` object) to the report.
+    profile: bool,
 }
 
 fn usage() -> ! {
@@ -72,8 +76,8 @@ fn usage() -> ! {
          \x20      [--matrix NAME] [--gpu a100|h100|mi210] [--out FILE]\n\
          \x20      [--compare BASELINE.json] [--time-ratio X] [--iter-slack N]\n\
          \x20      [--alloc-ratio X] [--alloc-slack N] [--wallclock] [--threads N]\n\
-         \x20      [--exec sim|native] [--validate FILE] [--tuned-vs-default]\n\
-         \x20      [--tune-budget N]"
+         \x20      [--exec sim|native] [--profile] [--validate FILE]\n\
+         \x20      [--tuned-vs-default] [--tune-budget N]"
     );
     std::process::exit(2);
 }
@@ -94,6 +98,7 @@ fn parse_args() -> Options {
         wallclock: false,
         threads: None,
         exec: ExecMode::Simulated,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -131,6 +136,7 @@ fn parse_args() -> Options {
             "--wallclock" => opt.wallclock = true,
             "--threads" => opt.threads = Some(next().parse().unwrap_or_else(|_| usage())),
             "--exec" => opt.exec = ExecMode::parse(&next()).unwrap_or_else(|| usage()),
+            "--profile" => opt.profile = true,
             "--validate" => opt.validate = Some(PathBuf::from(next())),
             "--tuned-vs-default" => opt.tuned_vs_default = true,
             "--tune-budget" => opt.tune_budget = next().parse().unwrap_or_else(|_| usage()),
@@ -348,6 +354,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Profiling wraps the whole sweep: every kernel dispatch below records
+    // a wall-clock sample, collapsed into the fidelity audit at the end.
+    if opt.profile {
+        amgt_exec::prof::reset();
+        amgt_exec::prof::enable();
+    }
+
     let mut cases = Vec::new();
     let mut policy_info = PolicyInfo::paper_default();
     if opt.tuned_vs_default {
@@ -433,6 +446,17 @@ fn main() -> ExitCode {
         }
     }
 
+    let fidelity = opt.profile.then(|| {
+        amgt_exec::prof::disable();
+        let profile = amgt_exec::prof::snapshot();
+        let audit = amgt_trace::FidelityReport::from_profile(
+            &profile,
+            amgt_trace::FidelityReport::DEFAULT_FLAG_THRESHOLD,
+        );
+        print!("{}", audit.render());
+        FidelityInfo::from_report(&audit)
+    });
+
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         gpu: opt.gpu.name.to_string(),
@@ -447,6 +471,7 @@ fn main() -> ExitCode {
             .then(|| opt.threads.unwrap_or_else(rayon::current_num_threads)),
         exec: Some(opt.exec.label().to_string()),
         simd: Some(amgt_kernels::simd_level().label().to_string()),
+        fidelity,
         cases,
     };
     if let Err(e) = report.validate() {

@@ -25,13 +25,16 @@ use serde::Serialize;
 ///   `"avx2"`/`"neon"`/`"scalar"`) strings. Simulated-seconds figures are
 ///   exec-independent; wall timings are only comparable between reports
 ///   with equal `exec`/`simd`/`threads`.
-pub const SCHEMA_VERSION: u64 = 4;
+/// * v5 — adds the optional top-level `fidelity` object (cost-model
+///   fidelity audit from a `--profile` run: per-kernel-class simulated
+///   charge vs measured host wall, drift ratios, flagged classes).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
-/// with `policy: None`, v2 reports with `wall: None`/`threads: None`, and
-/// v3 reports with `exec: None`/`simd: None`, so `--validate` and
-/// `--compare` keep working against baselines written before those fields
-/// existed.
+/// with `policy: None`, v2 reports with `wall: None`/`threads: None`,
+/// v3 reports with `exec: None`/`simd: None`, and v4 reports with
+/// `fidelity: None`, so `--validate` and `--compare` keep working against
+/// baselines written before those fields existed.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The kernel policy a report's cases ran under, plus where it came from.
@@ -71,6 +74,66 @@ pub struct WallStats {
     /// `solve_allocs / iterations` — the number the alloc-regression gate
     /// compares. Steady-state allocation-free solves keep this near zero.
     pub solve_allocs_per_iteration: f64,
+}
+
+/// One kernel class of the cost-model fidelity audit (v5+), owned-string
+/// mirror of `amgt_trace::FidelityRow` so parsed reports need no
+/// `&'static str` labels.
+#[derive(Clone, Debug, Serialize)]
+pub struct FidelityRowInfo {
+    /// Class label, e.g. `SpMV/AmgT FP64 native`.
+    pub class: String,
+    /// Measured kernel invocations in the class.
+    pub count: u64,
+    /// Total simulated charge, seconds.
+    pub simulated_seconds: f64,
+    /// Total measured host wall, nanoseconds.
+    pub measured_ns: u64,
+    /// measured / simulated (seconds over seconds).
+    pub drift_ratio: f64,
+    /// `drift_ratio` divided by the report-wide geometric mean, so a
+    /// constant host-vs-GPU clock factor cancels.
+    pub normalized_drift: f64,
+    /// Whether the class breached the flag threshold ("the model lies
+    /// here").
+    pub flagged: bool,
+}
+
+/// Cost-model fidelity summary of a `--profile` bench run (v5+).
+#[derive(Clone, Debug, Serialize)]
+pub struct FidelityInfo {
+    /// Geometric mean of measured/simulated across classes — the global
+    /// host-clock-to-simulated-clock scale.
+    pub overall_ratio: f64,
+    /// Normalized-drift threshold beyond which a class is flagged.
+    pub flag_threshold: f64,
+    /// Labels of flagged classes, in row order.
+    pub flagged: Vec<String>,
+    pub rows: Vec<FidelityRowInfo>,
+}
+
+impl FidelityInfo {
+    /// Owned snapshot of a live `amgt_trace::FidelityReport`.
+    pub fn from_report(rep: &amgt_trace::FidelityReport) -> FidelityInfo {
+        FidelityInfo {
+            overall_ratio: rep.overall_ratio,
+            flag_threshold: rep.flag_threshold,
+            flagged: rep.flagged.clone(),
+            rows: rep
+                .rows
+                .iter()
+                .map(|r| FidelityRowInfo {
+                    class: format!("{}/{} {} {}", r.kind, r.algo, r.precision, r.exec),
+                    count: r.count,
+                    simulated_seconds: r.simulated_seconds,
+                    measured_ns: r.measured_ns,
+                    drift_ratio: r.drift_ratio,
+                    normalized_drift: r.normalized_drift,
+                    flagged: r.flagged,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// One benchmark case: a (matrix, solver-variant) end-to-end run or a
@@ -115,6 +178,10 @@ pub struct BenchReport {
     pub exec: Option<String>,
     /// SIMD level detected at runtime on the recording host (v4+).
     pub simd: Option<String>,
+    /// Cost-model fidelity audit (v5+, `--profile` runs only; wall-derived
+    /// like `wall`, so only comparable between equal `exec`/`simd`/
+    /// `threads` reports).
+    pub fidelity: Option<FidelityInfo>,
     pub cases: Vec<BenchCase>,
 }
 
@@ -170,6 +237,11 @@ impl BenchReport {
             ),
             _ => None,
         };
+        // `fidelity` arrived in v5; absent or null before that.
+        let fidelity = match root.get("fidelity") {
+            Some(f) if !f.is_null() => Some(parse_fidelity(f)?),
+            _ => None,
+        };
         let cases_json = root
             .get("cases")
             .and_then(Json::as_array)
@@ -186,6 +258,7 @@ impl BenchReport {
             threads,
             exec,
             simd,
+            fidelity,
             cases,
         })
     }
@@ -205,6 +278,35 @@ impl BenchReport {
                 .map_err(|e| format!("report policy: {e}"))?;
             if !p.predicted_speedup.is_finite() || p.predicted_speedup <= 0.0 {
                 return Err(format!("predicted_speedup {}", p.predicted_speedup));
+            }
+        }
+        if let Some(f) = &self.fidelity {
+            if !f.flag_threshold.is_finite() || f.flag_threshold <= 1.0 {
+                return Err(format!("fidelity flag_threshold {}", f.flag_threshold));
+            }
+            for r in &f.rows {
+                if r.count == 0 {
+                    return Err(format!("fidelity class `{}` has zero samples", r.class));
+                }
+                if !r.simulated_seconds.is_finite() || r.simulated_seconds < 0.0 {
+                    return Err(format!(
+                        "fidelity class `{}`: simulated_seconds = {}",
+                        r.class, r.simulated_seconds
+                    ));
+                }
+            }
+            let flagged_rows: Vec<&str> = f
+                .rows
+                .iter()
+                .filter(|r| r.flagged)
+                .map(|r| r.class.as_str())
+                .collect();
+            if flagged_rows.len() != f.flagged.len() {
+                return Err(format!(
+                    "fidelity flagged list ({}) disagrees with flagged rows ({})",
+                    f.flagged.len(),
+                    flagged_rows.len()
+                ));
             }
         }
         if self.cases.is_empty() {
@@ -303,6 +405,49 @@ fn parse_wall(v: &Json) -> Result<WallStats, String> {
         solve_allocs: field_u64(v, "solve_allocs")?,
         solve_bytes: field_u64(v, "solve_bytes")?,
         solve_allocs_per_iteration: field_f64(v, "solve_allocs_per_iteration")?,
+    })
+}
+
+fn parse_fidelity(v: &Json) -> Result<FidelityInfo, String> {
+    let flagged = v
+        .get("flagged")
+        .and_then(Json::as_array)
+        .ok_or("fidelity: missing `flagged` array")?
+        .iter()
+        .map(|f| {
+            f.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "fidelity: non-string entry in `flagged`".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("fidelity: missing `rows` array")?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| parse_fidelity_row(r).map_err(|e| format!("fidelity row {i}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FidelityInfo {
+        overall_ratio: field_f64(v, "overall_ratio")?,
+        flag_threshold: field_f64(v, "flag_threshold")?,
+        flagged,
+        rows,
+    })
+}
+
+fn parse_fidelity_row(v: &Json) -> Result<FidelityRowInfo, String> {
+    Ok(FidelityRowInfo {
+        class: field_str(v, "class")?,
+        count: field_u64(v, "count")?,
+        simulated_seconds: field_f64(v, "simulated_seconds")?,
+        measured_ns: field_u64(v, "measured_ns")?,
+        drift_ratio: field_f64(v, "drift_ratio")?,
+        normalized_drift: field_f64(v, "normalized_drift")?,
+        flagged: v
+            .get("flagged")
+            .and_then(Json::as_bool)
+            .ok_or("missing boolean `flagged`")?,
     })
 }
 
@@ -494,7 +639,36 @@ mod tests {
             threads: None,
             exec: None,
             simd: None,
+            fidelity: None,
             cases,
+        }
+    }
+
+    fn fidelity() -> FidelityInfo {
+        FidelityInfo {
+            overall_ratio: 700.0,
+            flag_threshold: 2.0,
+            flagged: vec!["SpMV/AmgT FP64 native".into()],
+            rows: vec![
+                FidelityRowInfo {
+                    class: "SpMV/AmgT FP64 native".into(),
+                    count: 133,
+                    simulated_seconds: 8.7e-5,
+                    measured_ns: 204_469_000,
+                    drift_ratio: 2350.0,
+                    normalized_drift: 3.41,
+                    flagged: true,
+                },
+                FidelityRowInfo {
+                    class: "Vector/Shared FP64 native".into(),
+                    count: 129,
+                    simulated_seconds: 6.9e-5,
+                    measured_ns: 3_823_000,
+                    drift_ratio: 55.4,
+                    normalized_drift: 0.99,
+                    flagged: false,
+                },
+            ],
         }
     }
 
@@ -579,6 +753,54 @@ mod tests {
         assert_eq!(back.exec.as_deref(), Some("native"));
         assert_eq!(back.simd.as_deref(), Some("avx2"));
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn v5_fidelity_round_trips() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.exec = Some("native".into());
+        r.fidelity = Some(fidelity());
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        let f = back.fidelity.as_ref().unwrap();
+        assert!((f.overall_ratio - 700.0).abs() < 1e-9);
+        assert_eq!(f.flagged, vec!["SpMV/AmgT FP64 native".to_string()]);
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(f.rows[0].class, "SpMV/AmgT FP64 native");
+        assert_eq!(f.rows[0].count, 133);
+        assert_eq!(f.rows[0].measured_ns, 204_469_000);
+        assert!(f.rows[0].flagged);
+        assert!(!f.rows[1].flagged);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn v4_report_without_fidelity_still_parses() {
+        // A pre-fidelity baseline: version 4, no `fidelity` key.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 4;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 4);
+        assert!(back.fidelity.is_none());
+        back.validate().unwrap();
+        // An old baseline still gates a new (v5) report.
+        let mut current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        current.fidelity = Some(fidelity());
+        assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn fidelity_validation_catches_inconsistencies() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let mut f = fidelity();
+        f.flagged.clear(); // disagrees with the flagged row
+        r.fidelity = Some(f);
+        assert!(r.validate().unwrap_err().contains("flagged list"));
+
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let mut f = fidelity();
+        f.rows[0].count = 0;
+        r.fidelity = Some(f);
+        assert!(r.validate().unwrap_err().contains("zero samples"));
     }
 
     #[test]

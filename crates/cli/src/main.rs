@@ -8,6 +8,9 @@
 //! amgt-cli --suite cant --mixed --gpu h100        # mixed precision on H100
 //! amgt-cli --suite cant --pcg --tol 1e-8          # AMG-preconditioned CG
 //! amgt-cli --suite cant --trace run.json           # Chrome trace export
+//! amgt-cli --suite cant --profile prof.json        # wall-clock kernel profile
+//!                                                  # + cost-model fidelity audit
+//! amgt-cli --suite cant --folded stacks.txt        # folded stacks (flamegraph)
 //! amgt-cli --suite cant --diagnose                 # hierarchy quality + health
 //! amgt-cli --suite cant --tune                     # autotune the kernel policy
 //! amgt-cli --suite cant --tune \
@@ -38,6 +41,8 @@ struct Options {
     iters: usize,
     verbose_history: bool,
     trace: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    folded: Option<PathBuf>,
     diagnose: bool,
     tune: bool,
     tune_budget: usize,
@@ -58,7 +63,8 @@ fn usage() -> ! {
          \x20      [--backend amgt|vendor] [--exec sim|native] [--mixed]\n\
          \x20      [--gpu a100|h100|mi210]\n\
          \x20      [--pcg] [--info] [--tol T] [--iters N] [--threads N] [--history]\n\
-         \x20      [--trace FILE.json] [--diagnose]\n\
+         \x20      [--trace FILE.json] [--profile FILE.json] [--folded FILE.txt]\n\
+         \x20      [--diagnose]\n\
          \x20      [--tune] [--tune-budget N] [--policy-cache FILE.json]\n\
          \x20      [--policy FILE.json]\n\n\
          suite names: {}",
@@ -83,6 +89,8 @@ fn parse_args() -> Options {
     let mut iters = 50;
     let mut verbose_history = false;
     let mut trace = None;
+    let mut profile = None;
+    let mut folded = None;
     let mut diagnose = false;
     let mut tune = false;
     let mut tune_budget = TuneBudget::default().max_evaluations;
@@ -127,6 +135,8 @@ fn parse_args() -> Options {
             "--threads" => threads = Some(next().parse().unwrap_or_else(|_| usage())),
             "--history" => verbose_history = true,
             "--trace" => trace = Some(PathBuf::from(next())),
+            "--profile" => profile = Some(PathBuf::from(next())),
+            "--folded" => folded = Some(PathBuf::from(next())),
             "--diagnose" => diagnose = true,
             "--tune" => tune = true,
             "--tune-budget" => tune_budget = next().parse().unwrap_or_else(|_| usage()),
@@ -151,6 +161,8 @@ fn parse_args() -> Options {
         iters,
         verbose_history,
         trace,
+        profile,
+        folded,
         diagnose,
         tune,
         tune_budget,
@@ -274,11 +286,17 @@ fn main() {
     println!("system: n = {}, nnz = {}", a.nrows(), a.nnz());
 
     let device = Device::new(opt.gpu.clone());
-    let recorder = opt.trace.as_ref().map(|_| {
+    // Both exporters consume the same recording; capture whenever either
+    // output was requested.
+    let recorder = (opt.trace.is_some() || opt.folded.is_some()).then(|| {
         let r = std::sync::Arc::new(amgt_sim::Recorder::new());
         device.install_recorder(r.clone());
         r
     });
+    if opt.profile.is_some() {
+        amgt_exec::prof::reset();
+        amgt_exec::prof::enable();
+    }
     let mut cfg = AmgConfig::paper(opt.backend, opt.precision);
     cfg.max_iterations = opt.iters;
     cfg.tolerance = opt.tol;
@@ -368,19 +386,62 @@ fn main() {
             100.0 * rep.solve.share(rep.solve.spmv),
         );
     }
-    if let (Some(path), Some(recorder)) = (&opt.trace, &recorder) {
+    if let Some(recorder) = &recorder {
         device.remove_recorder();
         let recording = recorder.take();
-        let json = amgt_trace::chrome_trace(&recording);
+        if let Some(path) = &opt.trace {
+            let json = amgt_trace::chrome_trace(&recording);
+            match std::fs::write(path, &json) {
+                Ok(()) => println!(
+                    "trace: {} spans, {} kernel events -> {} (load into chrome://tracing)",
+                    recording.spans.len(),
+                    recording.kernels.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write trace {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &opt.folded {
+            let folded = amgt_trace::folded_stacks(&recording);
+            match std::fs::write(path, &folded) {
+                Ok(()) => println!(
+                    "folded: {} stack line(s), {:.1} ms total -> {} (feed to flamegraph.pl)",
+                    folded.lines().count(),
+                    amgt_trace::folded_total_ns(&folded) as f64 / 1e6,
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write folded stacks {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if let Some(path) = &opt.profile {
+        let profile = amgt_exec::prof::snapshot();
+        amgt_exec::prof::disable();
+        let fidelity = amgt_trace::FidelityReport::from_profile(
+            &profile,
+            amgt_trace::FidelityReport::DEFAULT_FLAG_THRESHOLD,
+        );
+        print!("{}", fidelity.render());
+        let json = format!(
+            "{{\"profile\":{},\"fidelity\":{}}}",
+            profile.to_json(),
+            fidelity.to_json()
+        );
         match std::fs::write(path, &json) {
             Ok(()) => println!(
-                "trace: {} spans, {} kernel events -> {} (load into chrome://tracing)",
-                recording.spans.len(),
-                recording.kernels.len(),
+                "profile: {} kernel class(es), {} sample(s) -> {}",
+                profile.classes.len(),
+                profile.total_count(),
                 path.display()
             ),
             Err(e) => {
-                eprintln!("failed to write trace {}: {e}", path.display());
+                eprintln!("failed to write profile {}: {e}", path.display());
                 std::process::exit(1);
             }
         }

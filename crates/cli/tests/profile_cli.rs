@@ -1,0 +1,77 @@
+//! End-to-end test of `amgt-cli --profile` / `--folded`: run the real
+//! binary, then check the folded stacks are non-empty and telescope to the
+//! wall total the CLI itself reported, and that the profile JSON carries a
+//! complete fidelity audit.
+
+use std::process::Command;
+
+#[test]
+fn profile_and_folded_outputs_are_complete_and_consistent() {
+    let dir = std::env::temp_dir().join(format!("amgt-profile-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile_path = dir.join("profile.json");
+    let folded_path = dir.join("stacks.folded");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_amgt-cli"))
+        .args([
+            "--poisson2d",
+            "32",
+            "--exec",
+            "native",
+            "--profile",
+            profile_path.to_str().unwrap(),
+            "--folded",
+            folded_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("amgt-cli runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success(), "cli failed:\n{stdout}");
+
+    // Folded stacks: non-empty, every line `frames <ns>`, kernel leaves
+    // present, and the file's total matches the ms figure the CLI printed.
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    assert!(!folded.trim().is_empty(), "folded output is empty");
+    let mut total_ns: u64 = 0;
+    for line in folded.lines() {
+        let (stack, ns) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        total_ns += ns.parse::<u64>().expect("folded value is integer ns");
+    }
+    assert!(total_ns > 0, "folded stacks sum to zero wall time");
+    assert!(folded.contains(";kernel:"), "no kernel frames:\n{folded}");
+    let reported_ms: f64 = stdout
+        .lines()
+        .find(|l| l.starts_with("folded:"))
+        .and_then(|l| l.split_whitespace().nth(4))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no folded summary in:\n{stdout}"));
+    let file_ms = total_ns as f64 / 1e6;
+    assert!(
+        (file_ms - reported_ms).abs() <= 0.05 + reported_ms * 0.01,
+        "folded file sums to {file_ms} ms but the CLI reported {reported_ms} ms"
+    );
+
+    // Profile JSON: parses, and every fidelity row is complete.
+    let json = std::fs::read_to_string(&profile_path).unwrap();
+    let root = amgt_trace::Json::parse(&json).expect("profile JSON parses");
+    assert!(root.get("profile").is_some(), "no profile object: {json}");
+    let fidelity = root.get("fidelity").expect("fidelity object present");
+    let rows = fidelity
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("fidelity.rows array");
+    assert!(!rows.is_empty(), "fidelity audit has no rows");
+    for row in rows {
+        for key in ["simulated_seconds", "drift_ratio", "measured_ns"] {
+            let v = row
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("row missing {key}: {json}"));
+            assert!(v > 0.0 && v.is_finite(), "bad {key}: {v}");
+        }
+    }
+    assert!(stdout.contains("profile:"), "no profile summary:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,7 @@ pub struct Aggregation {
 /// neighbours; stragglers join an adjacent aggregate (or form singletons
 /// when isolated).
 pub fn aggregate(ctx: &Ctx, s: &Strength, seed: u64) -> Aggregation {
+    let timer = ctx.timer();
     let n = s.n;
     const UNASSIGNED: u32 = u32::MAX;
     let mut agg = vec![UNASSIGNED; n];
@@ -67,7 +68,7 @@ pub fn aggregate(ctx: &Ctx, s: &Strength, seed: u64) -> Aggregation {
         }
     }
 
-    ctx.charge(
+    ctx.charge_timed(
         KernelKind::Graph,
         Algo::Shared,
         &KernelCost {
@@ -76,6 +77,7 @@ pub fn aggregate(ctx: &Ctx, s: &Strength, seed: u64) -> Aggregation {
             launches: 3,
             ..Default::default()
         },
+        timer,
     );
     Aggregation {
         aggregate_of: agg,
@@ -109,6 +111,7 @@ pub fn smoothed_prolongator(
     let ap = op_matmul(ctx, &a_op, &p_op);
 
     // Scale rows of AP by -omega / d_i and add the tentative part.
+    let timer = ctx.timer();
     let diag = a.diagonal();
     let mut scaled = ap.csr;
     let scale: Vec<f64> = diag
@@ -117,7 +120,7 @@ pub fn smoothed_prolongator(
         .collect();
     scaled.scale_rows(&scale);
     let p = p_tent.add(&scaled);
-    ctx.charge(
+    ctx.charge_timed(
         KernelKind::Vector,
         Algo::Shared,
         &KernelCost {
@@ -126,6 +129,7 @@ pub fn smoothed_prolongator(
             launches: 2,
             ..Default::default()
         },
+        timer,
     );
     p
 }

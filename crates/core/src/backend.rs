@@ -196,6 +196,7 @@ impl Operator {
     /// Quantize the operator's stored values to the context precision
     /// (charged): the "very low cost" per-level conversion of Section IV.E.
     pub fn quantize(&mut self, ctx: &Ctx) {
+        let timer = ctx.timer();
         quantize_slice(ctx.precision, &mut self.csr.vals);
         if let Some(m) = &mut self.mbsr {
             quantize_slice(ctx.precision, &mut m.blc_val);
@@ -205,7 +206,7 @@ impl Operator {
             launches: 1,
             ..Default::default()
         };
-        ctx.charge(KernelKind::Convert, Algo::Shared, &cost);
+        ctx.charge_timed(KernelKind::Convert, Algo::Shared, &cost, timer);
     }
 }
 
@@ -245,6 +246,7 @@ pub fn op_matmul_ws(ctx: &Ctx, a: &Operator, b: &Operator, ws: &mut SpgemmWorksp
 
 /// Charged CSR transpose (`R = P^T`, Algorithm 1 line 4).
 pub fn op_transpose(ctx: &Ctx, backend: BackendKind, p: &Csr) -> Operator {
+    let timer = ctx.timer();
     let t = p.transpose();
     let cost = KernelCost {
         int_ops: p.nnz() as f64 * 3.0,
@@ -252,7 +254,7 @@ pub fn op_transpose(ctx: &Ctx, backend: BackendKind, p: &Csr) -> Operator {
         launches: 2,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Transpose, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::Transpose, Algo::Shared, &cost, timer);
     Operator::prepare(ctx, backend, t)
 }
 

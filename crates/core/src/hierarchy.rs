@@ -134,6 +134,7 @@ fn rap(
 
 /// Charged computation of the smoother diagonals.
 fn smoother_diagonals(ctx: &Ctx, a: &Csr) -> (Vec<f64>, Vec<f64>) {
+    let timer = ctx.timer();
     let l1: Vec<f64> = a
         .l1_diagonal()
         .iter()
@@ -144,7 +145,7 @@ fn smoother_diagonals(ctx: &Ctx, a: &Csr) -> (Vec<f64>, Vec<f64>) {
         .iter()
         .map(|&d| if d != 0.0 { 1.0 / d } else { 0.0 })
         .collect();
-    ctx.charge(
+    ctx.charge_timed(
         KernelKind::Vector,
         Algo::Shared,
         &KernelCost {
@@ -153,6 +154,7 @@ fn smoother_diagonals(ctx: &Ctx, a: &Csr) -> (Vec<f64>, Vec<f64>) {
             launches: 2,
             ..Default::default()
         },
+        timer,
     );
     (l1, dg)
 }
@@ -280,7 +282,9 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
                 .with_policy(cfg.policy)
                 .with_exec(cfg.exec);
             let n = last.n();
-            ctx.charge(
+            let timer = ctx.timer();
+            coarse_lu = Some(Lu::factor_csr(&last.a.csr).expect("coarsest matrix singular"));
+            ctx.charge_timed(
                 KernelKind::CoarseSolve,
                 Algo::Shared,
                 &KernelCost {
@@ -289,8 +293,8 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
                     launches: 1,
                     ..Default::default()
                 },
+                timer,
             );
-            coarse_lu = Some(Lu::factor_csr(&last.a.csr).expect("coarsest matrix singular"));
         }
         crate::config::CoarseSolver::SparseLdl { reorder } => {
             let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
@@ -298,11 +302,12 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
                 .with_policy(cfg.policy)
                 .with_exec(cfg.exec);
+            let timer = ctx.timer();
             let f = SparseLdl::factor(&last.a.csr, reorder)
                 .expect("coarsest matrix not LDL^T-factorizable");
             // Charge by actual factor fill: ~2 flops per L entry per
             // elimination plus the symbolic traversal.
-            ctx.charge(
+            ctx.charge_timed(
                 KernelKind::CoarseSolve,
                 Algo::Shared,
                 &KernelCost {
@@ -312,6 +317,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
                     launches: 2,
                     ..Default::default()
                 },
+                timer,
             );
             coarse_ldl = Some(f);
         }
@@ -382,7 +388,9 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
                 .with_policy(cfg.policy)
                 .with_exec(cfg.exec);
             let n = last.n();
-            ctx.charge(
+            let timer = ctx.timer();
+            h.coarse_lu = Some(Lu::factor_csr(&last.a.csr).expect("coarsest matrix singular"));
+            ctx.charge_timed(
                 KernelKind::CoarseSolve,
                 Algo::Shared,
                 &KernelCost {
@@ -391,8 +399,8 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
                     launches: 1,
                     ..Default::default()
                 },
+                timer,
             );
-            h.coarse_lu = Some(Lu::factor_csr(&last.a.csr).expect("coarsest matrix singular"));
         }
         crate::config::CoarseSolver::SparseLdl { reorder } => {
             let last = h.levels.last().unwrap();

@@ -39,6 +39,7 @@ pub fn build_interpolation(
         Interpolation::Direct => direct_interpolation(a, s, split),
         Interpolation::ExtendedI => extended_i_interpolation(ctx, backend, a, s, split),
     };
+    let timer = ctx.timer();
     let p = truncate_rows(&p, split, trunc_fact, max_elmts);
     let cost = KernelCost {
         int_ops: p.nnz() as f64 * 4.0,
@@ -47,7 +48,7 @@ pub fn build_interpolation(
         launches: 2,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::Graph, Algo::Shared, &cost, timer);
     p
 }
 
@@ -109,6 +110,7 @@ fn extended_i_interpolation(
     let nc = split.n_coarse;
 
     // A_FCs, A_FFs and the row scales d_k in one sweep over F rows.
+    let timer = ctx.timer();
     let mut fc_trips: Vec<(usize, usize, f64)> = Vec::new();
     let mut ff_trips: Vec<(usize, usize, f64)> = Vec::new();
     let mut d = vec![0.0f64; nf];
@@ -139,7 +141,7 @@ fn extended_i_interpolation(
         .map(|&dk| if dk != 0.0 { 1.0 / dk } else { 0.0 })
         .collect();
     n_mat.scale_rows(&scale);
-    ctx.charge(
+    ctx.charge_timed(
         KernelKind::Graph,
         Algo::Shared,
         &KernelCost {
@@ -149,6 +151,7 @@ fn extended_i_interpolation(
             launches: 2,
             ..Default::default()
         },
+        timer,
     );
 
     // The one SpGEMM of the scheme: distance-2 extension.
@@ -157,8 +160,9 @@ fn extended_i_interpolation(
     let ext = op_matmul(ctx, &ffs_op, &n_op);
 
     // W = A_FCs + ext (charged as a streaming add).
+    let timer = ctx.timer();
     let w = a_fcs.add(&ext.csr);
-    ctx.charge(
+    ctx.charge_timed(
         KernelKind::Vector,
         Algo::Shared,
         &KernelCost {
@@ -167,6 +171,7 @@ fn extended_i_interpolation(
             launches: 1,
             ..Default::default()
         },
+        timer,
     );
 
     // D_i = a_ii + sum of weak couplings + strong F couplings that cannot

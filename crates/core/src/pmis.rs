@@ -48,6 +48,7 @@ fn tiebreak(i: usize, seed: u64) -> f64 {
 
 /// Run PMIS on a strength pattern.
 pub fn pmis(ctx: &Ctx, s: &Strength, seed: u64) -> Splitting {
+    let timer = ctx.timer();
     let n = s.n;
     let st = s.transpose();
 
@@ -136,7 +137,7 @@ pub fn pmis(ctx: &Ctx, s: &Strength, seed: u64) -> Splitting {
         launches: (2 * rounds as u32).max(1),
         ..Default::default()
     };
-    ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::Graph, Algo::Shared, &cost, timer);
 
     Splitting {
         cf,

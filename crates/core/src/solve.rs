@@ -165,6 +165,7 @@ fn smooth(
 /// their pre-sweep state (Jacobi coupling), which is what makes the sweep
 /// block-parallel on a GPU.
 fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64], gs_old: &mut Vec<f64>) {
+    let timer = ctx.timer();
     let a = &lvl.a.csr;
     let n = a.nrows();
     gs_old.clear();
@@ -199,7 +200,7 @@ fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64], gs_old:
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::SpMV, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::SpMV, Algo::Shared, &cost, timer);
 }
 
 /// Solve the coarsest level (Algorithm 2, line 6).
@@ -214,11 +215,12 @@ fn coarse_solve(
     let lvl = h.levels.last().unwrap();
     match cfg.coarse_solver {
         CoarseSolver::DirectLu => {
+            let timer = ctx.timer();
             let lu = h.coarse_lu.as_ref().expect("LU prepared in setup");
             lu.solve_into(b, &mut lw.sol);
             x.copy_from_slice(&lw.sol);
             let n = lvl.n() as f64;
-            ctx.charge(
+            ctx.charge_timed(
                 KernelKind::CoarseSolve,
                 Algo::Shared,
                 &KernelCost {
@@ -227,13 +229,15 @@ fn coarse_solve(
                     launches: 2,
                     ..Default::default()
                 },
+                timer,
             );
         }
         CoarseSolver::SparseLdl { .. } => {
+            let timer = ctx.timer();
             let f = h.coarse_ldl.as_ref().expect("LDL^T prepared in setup");
             f.solve_into(b, &mut lw.sol2, &mut lw.sol);
             x.copy_from_slice(&lw.sol);
-            ctx.charge(
+            ctx.charge_timed(
                 KernelKind::CoarseSolve,
                 Algo::Shared,
                 &KernelCost {
@@ -242,6 +246,7 @@ fn coarse_solve(
                     launches: 2,
                     ..Default::default()
                 },
+                timer,
             );
         }
         CoarseSolver::Jacobi(sweeps) => {

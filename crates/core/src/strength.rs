@@ -61,6 +61,7 @@ impl Strength {
 /// cancel the diagonal (`row_sum_ratio > max_row_sum`) keep no strong
 /// connections).
 pub fn strength_graph(ctx: &Ctx, a: &Csr, theta: f64, max_row_sum: f64) -> Strength {
+    let timer = ctx.timer();
     assert_eq!(a.nrows(), a.ncols());
     let n = a.nrows();
     let rows: Vec<Vec<u32>> = (0..n)
@@ -115,7 +116,7 @@ pub fn strength_graph(ctx: &Ctx, a: &Csr, theta: f64, max_row_sum: f64) -> Stren
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Graph, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::Graph, Algo::Shared, &cost, timer);
     Strength {
         n,
         row_ptr,

@@ -5,58 +5,63 @@
 //! corrections, norms. Arithmetic is performed in f64 (kernels quantize at
 //! their own boundaries); traffic is charged at the context precision.
 
+use amgt_kernels::ctx::KernelTimer;
 use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
 use amgt_sim::{Algo, KernelCost, KernelKind};
 
-fn charge_stream(ctx: &Ctx, n: usize, vectors: f64, flops_per_elem: f64) {
+fn charge_stream(ctx: &Ctx, n: usize, vectors: f64, flops_per_elem: f64, timer: KernelTimer) {
     let cost = KernelCost {
         cuda_flops: n as f64 * flops_per_elem,
         bytes: n as f64 * vectors * ctx.precision.bytes() as f64,
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Vector, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::Vector, Algo::Shared, &cost, timer);
 }
 
 /// `y += alpha * x`.
 pub fn axpy(ctx: &Ctx, alpha: f64, x: &[f64], y: &mut [f64]) {
+    let timer = ctx.timer();
     assert_eq!(x.len(), y.len());
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
-    charge_stream(ctx, x.len(), 3.0, 2.0);
+    charge_stream(ctx, x.len(), 3.0, 2.0, timer);
 }
 
 /// `y = x + beta * y`.
 pub fn xpby(ctx: &Ctx, x: &[f64], beta: f64, y: &mut [f64]) {
+    let timer = ctx.timer();
     assert_eq!(x.len(), y.len());
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi = xi + beta * *yi;
     }
-    charge_stream(ctx, x.len(), 3.0, 2.0);
+    charge_stream(ctx, x.len(), 3.0, 2.0, timer);
 }
 
 /// Elementwise `y += diag_inv[i] * r[i]` (the Jacobi correction).
 pub fn diag_scaled_add(ctx: &Ctx, diag_inv: &[f64], r: &[f64], y: &mut [f64]) {
+    let timer = ctx.timer();
     assert_eq!(diag_inv.len(), y.len());
     assert_eq!(r.len(), y.len());
     for ((yi, &di), &ri) in y.iter_mut().zip(diag_inv).zip(r) {
         *yi += di * ri;
     }
-    charge_stream(ctx, y.len(), 4.0, 2.0);
+    charge_stream(ctx, y.len(), 4.0, 2.0, timer);
 }
 
 /// Fused smoother update: `x += dinv .* (b - ax)` in one kernel launch
 /// (HYPRE fuses the relax update the same way).
 pub fn jacobi_fused(ctx: &Ctx, dinv: &[f64], b: &[f64], ax: &[f64], x: &mut [f64]) {
+    let timer = ctx.timer();
     assert_eq!(dinv.len(), x.len());
     assert_eq!(b.len(), x.len());
     assert_eq!(ax.len(), x.len());
     for i in 0..x.len() {
         x[i] += dinv[i] * (b[i] - ax[i]);
     }
-    charge_stream(ctx, x.len(), 5.0, 3.0);
+    charge_stream(ctx, x.len(), 5.0, 3.0, timer);
 }
 
 /// `z = x - y` into a fresh vector.
@@ -68,31 +73,35 @@ pub fn sub(ctx: &Ctx, x: &[f64], y: &[f64]) -> Vec<f64> {
 
 /// `z = x - y` into a caller-owned buffer (same charge as [`sub`]).
 pub fn sub_into(ctx: &Ctx, x: &[f64], y: &[f64], z: &mut Vec<f64>) {
+    let timer = ctx.timer();
     assert_eq!(x.len(), y.len());
     z.clear();
     z.extend(x.iter().zip(y).map(|(a, b)| a - b));
-    charge_stream(ctx, x.len(), 3.0, 1.0);
+    charge_stream(ctx, x.len(), 3.0, 1.0, timer);
 }
 
 /// Dot product.
 pub fn dot(ctx: &Ctx, x: &[f64], y: &[f64]) -> f64 {
+    let timer = ctx.timer();
     assert_eq!(x.len(), y.len());
     let d = x.iter().zip(y).map(|(a, b)| a * b).sum();
-    charge_stream(ctx, x.len(), 2.0, 2.0);
+    charge_stream(ctx, x.len(), 2.0, 2.0, timer);
     d
 }
 
 /// Euclidean norm.
 pub fn norm2(ctx: &Ctx, x: &[f64]) -> f64 {
+    let timer = ctx.timer();
     let d: f64 = x.iter().map(|a| a * a).sum();
-    charge_stream(ctx, x.len(), 1.0, 2.0);
+    charge_stream(ctx, x.len(), 1.0, 2.0, timer);
     d.sqrt()
 }
 
 /// Fill with zeros (charged as a stream write).
 pub fn zero_fill(ctx: &Ctx, x: &mut [f64]) {
+    let timer = ctx.timer();
     x.fill(0.0);
-    charge_stream(ctx, x.len(), 1.0, 0.0);
+    charge_stream(ctx, x.len(), 1.0, 0.0, timer);
 }
 
 // ---------------------------------------------------------------------------
@@ -110,23 +119,25 @@ pub fn sub_mv(ctx: &Ctx, x: &MultiVector, y: &MultiVector) -> MultiVector {
 /// Batched [`sub`] into a caller-owned multi-vector (same charge as
 /// [`sub_mv`]).
 pub fn sub_mv_into(ctx: &Ctx, x: &MultiVector, y: &MultiVector, z: &mut MultiVector) {
+    let timer = ctx.timer();
     assert_eq!(x.nrows, y.nrows);
     assert_eq!(x.ncols, y.ncols);
     z.reshape(x.nrows, x.ncols);
     for ((zi, &xi), &yi) in z.data.iter_mut().zip(&x.data).zip(&y.data) {
         *zi = xi - yi;
     }
-    charge_stream(ctx, x.data.len(), 3.0, 1.0);
+    charge_stream(ctx, x.data.len(), 3.0, 1.0, timer);
 }
 
 /// Batched [`axpy`]: `Y += alpha * X` columnwise.
 pub fn axpy_mv(ctx: &Ctx, alpha: f64, x: &MultiVector, y: &mut MultiVector) {
+    let timer = ctx.timer();
     assert_eq!(x.nrows, y.nrows);
     assert_eq!(x.ncols, y.ncols);
     for (yi, &xi) in y.data.iter_mut().zip(&x.data) {
         *yi += alpha * xi;
     }
-    charge_stream(ctx, x.data.len(), 3.0, 2.0);
+    charge_stream(ctx, x.data.len(), 3.0, 2.0, timer);
 }
 
 /// Batched [`jacobi_fused`]: `X[:,j] += dinv .* (B[:,j] - AX[:,j])` for
@@ -138,6 +149,7 @@ pub fn jacobi_fused_mv(
     ax: &MultiVector,
     x: &mut MultiVector,
 ) {
+    let timer = ctx.timer();
     assert_eq!(dinv.len(), x.nrows);
     assert_eq!(b.nrows, x.nrows);
     assert_eq!(ax.nrows, x.nrows);
@@ -149,15 +161,16 @@ pub fn jacobi_fused_mv(
             x.data[j * n + i] += dinv[i] * (b.data[j * n + i] - ax.data[j * n + i]);
         }
     }
-    charge_stream(ctx, x.data.len(), 5.0, 3.0);
+    charge_stream(ctx, x.data.len(), 5.0, 3.0, timer);
 }
 
 /// Per-column Euclidean norms in one reduction launch.
 pub fn norms2_mv(ctx: &Ctx, x: &MultiVector) -> Vec<f64> {
+    let timer = ctx.timer();
     let norms = (0..x.ncols)
         .map(|j| x.col(j).iter().map(|a| a * a).sum::<f64>().sqrt())
         .collect();
-    charge_stream(ctx, x.data.len(), 1.0, 2.0);
+    charge_stream(ctx, x.data.len(), 1.0, 2.0, timer);
     norms
 }
 

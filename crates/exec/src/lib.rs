@@ -36,6 +36,7 @@
 
 pub mod native;
 pub mod par;
+pub mod prof;
 pub mod simd;
 pub mod simulated;
 

@@ -14,6 +14,7 @@ use amgt_sparse::{Bsr, Csr, Mbsr};
 /// CSR → mBSR (the paper's `AmgT_CSR2mBSR`). Charges reads of the CSR
 /// arrays and writes of all four mBSR arrays.
 pub fn csr_to_mbsr(ctx: &Ctx, a: &Csr) -> Mbsr {
+    let timer = ctx.timer();
     let m = Mbsr::from_csr(a);
     let cost = KernelCost {
         int_ops: a.nnz() as f64 * 4.0 + m.n_blocks() as f64 * 2.0,
@@ -21,12 +22,13 @@ pub fn csr_to_mbsr(ctx: &Ctx, a: &Csr) -> Mbsr {
         launches: 1, // Fused count+fill (atomics), like cusparse csr2bsr.
         ..Default::default()
     };
-    ctx.charge(KernelKind::Convert, Algo::AmgT, &cost);
+    ctx.charge_timed(KernelKind::Convert, Algo::AmgT, &cost, timer);
     m
 }
 
 /// CSR → classic BSR (cuSPARSE `csr2bsr` equivalent, baseline of Fig. 10).
 pub fn csr_to_bsr(ctx: &Ctx, a: &Csr) -> Bsr {
+    let timer = ctx.timer();
     let b = Bsr::from_csr(a);
     let cost = KernelCost {
         int_ops: a.nnz() as f64 * 4.0 + b.n_blocks() as f64 * 2.0,
@@ -34,12 +36,13 @@ pub fn csr_to_bsr(ctx: &Ctx, a: &Csr) -> Bsr {
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Convert, Algo::Vendor, &cost);
+    ctx.charge_timed(KernelKind::Convert, Algo::Vendor, &cost, timer);
     b
 }
 
 /// mBSR → CSR (the paper's `MBSR2CSR` after the `RAP` product).
 pub fn mbsr_to_csr(ctx: &Ctx, m: &Mbsr) -> Csr {
+    let timer = ctx.timer();
     let a = m.to_csr();
     let cost = KernelCost {
         int_ops: m.n_blocks() as f64 * 16.0 + a.nnz() as f64 * 2.0,
@@ -47,7 +50,7 @@ pub fn mbsr_to_csr(ctx: &Ctx, m: &Mbsr) -> Csr {
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Convert, Algo::AmgT, &cost);
+    ctx.charge_timed(KernelKind::Convert, Algo::AmgT, &cost, timer);
     a
 }
 

@@ -8,6 +8,7 @@
 use crate::policy::KernelPolicy;
 use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision};
 
+pub use amgt_exec::prof::KernelTimer;
 pub use amgt_exec::{ExecBackend, ExecMode};
 
 /// Kernel execution context.
@@ -73,6 +74,55 @@ impl<'a> Ctx<'a> {
     pub fn charge(&self, kind: KernelKind, algo: Algo, cost: &KernelCost) -> f64 {
         self.device
             .charge(kind, algo, self.phase, self.level, self.precision, cost)
+    }
+
+    /// Start a wall-clock stopwatch for the kernel launch about to run.
+    /// Inert (no clock read) unless the `amgt-exec` profiler is enabled,
+    /// so it is free on the default path.
+    #[inline]
+    pub fn timer(&self) -> KernelTimer {
+        KernelTimer::start()
+    }
+
+    /// Charge one kernel event whose wall time was measured by `timer`
+    /// (started via [`Ctx::timer`] at kernel entry). The measured duration
+    /// lands in the trace's kernel record and in the profiler's per-class
+    /// aggregate; with the profiler disabled this is exactly
+    /// [`Ctx::charge`]. Returns simulated seconds.
+    pub fn charge_timed(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        cost: &KernelCost,
+        timer: KernelTimer,
+    ) -> f64 {
+        match timer.stop() {
+            None => self.charge(kind, algo, cost),
+            Some(wall_ns) => {
+                let seconds = self.device.charge_with_wall(
+                    kind,
+                    algo,
+                    self.phase,
+                    self.level,
+                    self.precision,
+                    cost,
+                    wall_ns,
+                );
+                amgt_exec::prof::record(
+                    amgt_trace::KernelClass {
+                        kind: kind.label(),
+                        algo: algo.label(),
+                        phase: self.phase.label(),
+                        level: self.level,
+                        precision: self.precision.label(),
+                        exec: self.exec.label(),
+                    },
+                    wall_ns,
+                    seconds,
+                );
+                seconds
+            }
+        }
     }
 
     /// Same context at a different phase.

@@ -166,6 +166,7 @@ pub fn spgemm_mbsr_with_workspace(
 ) -> (Mbsr, SpgemmMbsrStats) {
     assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
     assert_eq!(a.blk_cols(), b.blk_rows(), "inner tile-grid mismatch");
+    let sym_timer = ctx.timer();
     let prec = ctx.precision;
     let policy = ctx.policy;
     let blk_rows = a.blk_rows();
@@ -244,9 +245,10 @@ pub fn spgemm_mbsr_with_workspace(
         launches: 3, // Analysis/binning + symbolic step 1 + step 2.
         ..Default::default()
     };
-    ctx.charge(KernelKind::SpGemmSymbolic, Algo::AmgT, &sym_cost);
+    ctx.charge_timed(KernelKind::SpGemmSymbolic, Algo::AmgT, &sym_cost, sym_timer);
 
     // ---- Numeric computation (warp per block-row). ----
+    let num_timer = ctx.timer();
     let mut blc_idx = vec![0u32; n_blocks];
     let mut blc_map = vec![0u16; n_blocks];
     let mut blc_val = vec![0.0f64; n_blocks * TILE_AREA];
@@ -381,7 +383,7 @@ pub fn spgemm_mbsr_with_workspace(
             + c_rows as f64 * 4.0 * vb * 2.0,
         launches: 1,
     };
-    ctx.charge(KernelKind::SpGemmNumeric, Algo::AmgT, &num_cost);
+    ctx.charge_timed(KernelKind::SpGemmNumeric, Algo::AmgT, &num_cost, num_timer);
 
     let c = mbsr_from_parts(
         a.nrows(),

@@ -148,6 +148,7 @@ pub fn spmm_mbsr_into(
     y: &mut MultiVector,
 ) -> SpmmStats {
     assert_eq!(x.nrows, a.ncols());
+    let timer = ctx.timer();
     let prec = ctx.precision;
     let nrhs = x.ncols;
     let padded = a.blk_cols() * TILE;
@@ -261,7 +262,7 @@ pub fn spmm_mbsr_into(
             ..Default::default()
         },
     };
-    ctx.charge(KernelKind::SpMV, Algo::AmgT, &cost);
+    ctx.charge_timed(KernelKind::SpMV, Algo::AmgT, &cost, timer);
     SpmmStats {
         ncols: nrhs,
         slabs: slabs as u32,

@@ -16,6 +16,7 @@ use rayon::prelude::*;
 /// container but ignores its bitmaps.
 pub fn spmv_bsr_dense(ctx: &Ctx, a: &Mbsr, x: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), a.ncols());
+    let timer = ctx.timer();
     let prec = ctx.precision;
     let padded_cols = a.blk_cols() * TILE;
     let mut xp = vec![0.0f64; padded_cols];
@@ -67,7 +68,7 @@ pub fn spmv_bsr_dense(ctx: &Ctx, a: &Mbsr, x: &[f64]) -> Vec<f64> {
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::SpMV, Algo::Vendor, &cost);
+    ctx.charge_timed(KernelKind::SpMV, Algo::Vendor, &cost, timer);
     y
 }
 

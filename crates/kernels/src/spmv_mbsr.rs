@@ -85,6 +85,7 @@ pub fn analyze_spmv_with(
     variation_threshold: f64,
     density_threshold: f64,
 ) -> SpmvPlan {
+    let timer = ctx.timer();
     let variation = a.block_row_variation();
     let avg = a.avg_nnz_per_block();
     let load_balanced = variation > variation_threshold;
@@ -131,7 +132,7 @@ pub fn analyze_spmv_with(
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Graph, Algo::AmgT, &cost);
+    ctx.charge_timed(KernelKind::Graph, Algo::AmgT, &cost, timer);
 
     SpmvPlan {
         load_balanced,
@@ -176,6 +177,7 @@ pub fn spmv_mbsr_into(
     y: &mut Vec<f64>,
 ) {
     assert_eq!(x.len(), a.ncols());
+    let timer = ctx.timer();
     let prec = ctx.precision;
 
     // Pad x to a multiple of the tile size so tile-column slices are easy.
@@ -273,7 +275,7 @@ pub fn spmv_mbsr_into(
             ..Default::default()
         },
     };
-    ctx.charge(KernelKind::SpMV, Algo::AmgT, &cost);
+    ctx.charge_timed(KernelKind::SpMV, Algo::AmgT, &cost, timer);
 }
 
 /// Tensor-core warp: process the job's tiles two per `mma`, accumulating in

@@ -37,6 +37,7 @@ pub fn spmv_csr(ctx: &Ctx, a: &Csr, x: &[f64]) -> Vec<f64> {
 /// once `y` has grown to `a.nrows()`.
 pub fn spmv_csr_into(ctx: &Ctx, a: &Csr, x: &[f64], y: &mut Vec<f64>) {
     assert_eq!(x.len(), a.ncols());
+    let timer = ctx.timer();
     let prec = ctx.precision;
     y.resize(a.nrows(), 0.0);
     let be = ctx.backend();
@@ -70,7 +71,7 @@ pub fn spmv_csr_into(ctx: &Ctx, a: &Csr, x: &[f64], y: &mut Vec<f64>) {
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::SpMV, Algo::Vendor, &cost);
+    ctx.charge_timed(KernelKind::SpMV, Algo::Vendor, &cost, timer);
 }
 
 /// Count intermediate products of `A * B` (the size of the symbolic work).
@@ -95,6 +96,7 @@ pub fn intermediate_products(a: &Csr, b: &Csr) -> u64 {
 /// `cusparseSpGEMM`'s workEstimation/compute split.
 pub fn spgemm_csr(ctx: &Ctx, a: &Csr, b: &Csr) -> (Csr, VendorSpgemmStats) {
     assert_eq!(a.ncols(), b.nrows());
+    let sym_timer = ctx.timer();
     let prec = ctx.precision;
     let n = a.nrows();
     let products = intermediate_products(a, b);
@@ -135,9 +137,15 @@ pub fn spgemm_csr(ctx: &Ctx, a: &Csr, b: &Csr) -> (Csr, VendorSpgemmStats) {
         launches: 2, // Estimation + fill, as in cusparseSpGEMM_workEstimation.
         ..Default::default()
     };
-    ctx.charge(KernelKind::SpGemmSymbolic, Algo::Vendor, &sym_cost);
+    ctx.charge_timed(
+        KernelKind::SpGemmSymbolic,
+        Algo::Vendor,
+        &sym_cost,
+        sym_timer,
+    );
 
     // --- Numeric phase: hash-accumulate values. ---
+    let num_timer = ctx.timer();
     let mut row_ptr = vec![0usize; n + 1];
     for r in 0..n {
         row_ptr[r + 1] = row_ptr[r] + row_cols[r].len();
@@ -189,7 +197,12 @@ pub fn spgemm_csr(ctx: &Ctx, a: &Csr, b: &Csr) -> (Csr, VendorSpgemmStats) {
         launches: 2,
         ..Default::default()
     };
-    ctx.charge(KernelKind::SpGemmNumeric, Algo::Vendor, &num_cost);
+    ctx.charge_timed(
+        KernelKind::SpGemmNumeric,
+        Algo::Vendor,
+        &num_cost,
+        num_timer,
+    );
 
     let c = Csr::new(n, b.ncols(), row_ptr, col_idx, vals);
     (
@@ -204,13 +217,14 @@ pub fn spgemm_csr(ctx: &Ctx, a: &Csr, b: &Csr) -> (Csr, VendorSpgemmStats) {
 /// Quantize a CSR matrix's values in place to the context precision —
 /// the "very low cost" conversion before coarse-level kernel calls.
 pub fn quantize_csr(ctx: &Ctx, a: &mut Csr) {
+    let timer = ctx.timer();
     ctx.backend().quantize(ctx.precision, &mut a.vals);
     let cost = KernelCost {
         bytes: a.nnz() as f64 * (8.0 + ctx.precision.bytes() as f64),
         launches: 1,
         ..Default::default()
     };
-    ctx.charge(KernelKind::Convert, Algo::Shared, &cost);
+    ctx.charge_timed(KernelKind::Convert, Algo::Shared, &cost, timer);
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! `amgt-serverd` — run a [`SolverService`] with its HTTP introspection
+//! endpoint, for smoke tests and manual poking with `curl`.
+//!
+//! ```text
+//! amgt-serverd [--addr 127.0.0.1:0] [--workers N] [--for-seconds S] [--demo-jobs N]
+//! ```
+//!
+//! Prints `listening on http://ADDR` on stdout once the endpoint is up
+//! (scripts parse this line to find the ephemeral port), optionally
+//! submits a stream of demo Poisson solves so `/metrics` and `/profile`
+//! have data, then serves until `--for-seconds` elapses (default: until
+//! killed).
+
+use amgt::prelude::*;
+use amgt_server::{IntrospectionServer, ServiceConfig, SolveRequest, SolverService};
+use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: amgt-serverd [--addr HOST:PORT] [--workers N] [--for-seconds S] [--demo-jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    amgt_trace::log::init_from_env();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = 2usize;
+    let mut for_seconds: Option<f64> = None;
+    let mut demo_jobs = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--workers" => workers = take("--workers").parse().expect("--workers: integer"),
+            "--for-seconds" => {
+                for_seconds = Some(
+                    take("--for-seconds")
+                        .parse()
+                        .expect("--for-seconds: number"),
+                );
+            }
+            "--demo-jobs" => demo_jobs = take("--demo-jobs").parse().expect("--demo-jobs: integer"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    // Profile every kernel the demo jobs run so /profile carries data.
+    amgt_exec::prof::enable();
+
+    let service = Arc::new(SolverService::new(ServiceConfig {
+        workers,
+        ..Default::default()
+    }));
+    let http = IntrospectionServer::bind(addr.as_str(), Arc::clone(&service))
+        .expect("bind introspection endpoint");
+    println!("listening on {}", http.url());
+    std::io::stdout().flush().ok();
+
+    if demo_jobs > 0 {
+        let a = laplacian_2d(24, 24, Stencil2d::Five);
+        let b = rhs_of_ones(&a);
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.tolerance = 1e-8;
+        let handles: Vec<_> = (0..demo_jobs)
+            .filter_map(|_| {
+                service
+                    .submit(SolveRequest::new(a.clone(), b.clone(), cfg.clone()))
+                    .ok()
+            })
+            .collect();
+        for h in &handles {
+            let _ = h.wait();
+        }
+        eprintln!("demo: {} job(s) solved", handles.len());
+    }
+
+    match for_seconds {
+        Some(s) => {
+            let deadline = Instant::now() + Duration::from_secs_f64(s);
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+
+    http.stop();
+    match Arc::try_unwrap(service) {
+        Ok(s) => s.shutdown(),
+        Err(_) => eprintln!("service still referenced; skipping graceful shutdown"),
+    }
+}

@@ -33,11 +33,13 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod http;
 pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheKey, CacheOutcome, CacheStats, HierarchyCache};
 pub use fingerprint::Fingerprint;
+pub use http::IntrospectionServer;
 pub use metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 pub use service::{
     JobError, JobHandle, JobOutcome, ServiceConfig, SolveRequest, SolverService, SubmitError,

@@ -31,6 +31,8 @@ pub const MAX_TRACKED_LEVELS: usize = 8;
 pub struct ServiceMetrics {
     /// Jobs waiting in the submission queue right now.
     pub queue_depth: usize,
+    /// Jobs a worker has picked up but not yet completed.
+    pub jobs_inflight: u64,
     pub jobs_completed: u64,
     pub jobs_failed: u64,
     pub cache_hits: u64,
@@ -65,6 +67,7 @@ pub struct ServiceTelemetry {
     registry: Registry,
     jobs_completed: Arc<Counter>,
     jobs_failed: Arc<Counter>,
+    jobs_inflight: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     cache_hits: Arc<Gauge>,
     cache_refreshes: Arc<Gauge>,
@@ -96,6 +99,10 @@ impl ServiceTelemetry {
         let jobs_failed = registry.counter(
             "amgt_jobs_failed_total",
             "Jobs rejected before solving (cancelled, deadline, invalid).",
+        );
+        let jobs_inflight = registry.gauge(
+            "amgt_jobs_inflight",
+            "Jobs a worker has picked up but not yet completed.",
         );
         let queue_depth =
             registry.gauge("amgt_queue_depth", "Jobs waiting in the submission queue.");
@@ -160,6 +167,7 @@ impl ServiceTelemetry {
             registry,
             jobs_completed,
             jobs_failed,
+            jobs_inflight,
             queue_depth,
             cache_hits,
             cache_refreshes,
@@ -205,6 +213,21 @@ impl ServiceTelemetry {
         self.batch_occupancy[occupancy - 1].inc();
     }
 
+    /// `n` jobs passed pre-flight and entered a batch solve.
+    pub fn jobs_started(&self, n: usize) {
+        self.jobs_inflight.add(n as f64);
+    }
+
+    /// `n` in-flight jobs completed (their handles resolved).
+    pub fn jobs_finished(&self, n: usize) {
+        self.jobs_inflight.add(-(n as f64));
+    }
+
+    /// Jobs currently being solved.
+    pub fn inflight(&self) -> u64 {
+        self.jobs_inflight.get().max(0.0) as u64
+    }
+
     /// One job completed successfully.
     pub fn record_job(&self, wall_seconds: f64, simulated_seconds: f64) {
         self.jobs_completed.inc();
@@ -226,6 +249,7 @@ impl ServiceTelemetry {
         }
         ServiceMetrics {
             queue_depth,
+            jobs_inflight: self.inflight(),
             jobs_completed: self.jobs_completed.get(),
             jobs_failed: self.jobs_failed.get(),
             cache_hits: cache.hits,
@@ -310,6 +334,21 @@ mod tests {
             "{}",
             m.p99_wall_seconds
         );
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_started_and_finished() {
+        let t = ServiceTelemetry::new();
+        assert_eq!(t.inflight(), 0);
+        t.jobs_started(5);
+        t.jobs_finished(2);
+        assert_eq!(t.inflight(), 3);
+        assert_eq!(t.snapshot(0, CacheStats::default()).jobs_inflight, 3);
+        t.jobs_finished(3);
+        assert_eq!(t.inflight(), 0);
+        let text = t.render_prometheus(0, CacheStats::default());
+        assert!(text.contains("# TYPE amgt_jobs_inflight gauge"));
+        assert!(text.contains("amgt_jobs_inflight 0.0\n"));
     }
 
     #[test]

@@ -461,6 +461,11 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
         match err {
             Some(e) => {
                 shared.telemetry.record_failure();
+                amgt_trace::log::warn(
+                    "amgt::server",
+                    "job rejected in pre-flight",
+                    &[("reason", e.to_string())],
+                );
                 job.complete(Err(e));
             }
             None => live.push(job),
@@ -469,6 +474,7 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     if live.is_empty() {
         return;
     }
+    shared.telemetry.jobs_started(live.len());
 
     let mut amg_cfg = live[0].request.config.clone();
     if let Some(exec) = shared.exec_override {
@@ -566,9 +572,25 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     let batch_size = live.len();
     shared.telemetry.record_batch(batch_size);
     shared.telemetry.record_hierarchy(&hierarchy.diagnostics());
+    amgt_trace::log::info(
+        "amgt::server",
+        "batch solved",
+        &[
+            ("batch", batch_size.to_string()),
+            ("cache", format!("{outcome:?}")),
+            ("simulated_seconds", format!("{simulated:.3e}")),
+            (
+                "converged",
+                report.converged.iter().filter(|&&c| c).count().to_string(),
+            ),
+        ],
+    );
     for ev in &report.health_events {
         shared.telemetry.record_health_event(ev.kind);
     }
+    // Decrement in-flight before resolving handles: once a caller's
+    // `wait()` returns, the gauge has already dropped.
+    shared.telemetry.jobs_finished(batch_size);
     for (c, job) in live.into_iter().enumerate() {
         let wall = job.submitted.elapsed().as_secs_f64();
         shared.telemetry.record_job(wall, simulated);

@@ -1,0 +1,234 @@
+//! Real-HTTP tests of the introspection endpoint: every route answered
+//! over a TCP socket while solve jobs are in flight, plus a concurrency
+//! stress test that interleaved traced batches produce well-formed,
+//! non-interleaved span trees.
+
+use amgt::prelude::*;
+use amgt_server::{IntrospectionServer, ServiceConfig, SolveRequest, SolverService};
+use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_config() -> AmgConfig {
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.tolerance = 1e-8;
+    cfg.max_iterations = 40;
+    cfg
+}
+
+/// Plain-std HTTP GET: returns (status, headers, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to introspection endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
+fn endpoint_serves_all_routes_while_jobs_are_in_flight() {
+    amgt_exec::prof::reset();
+    amgt_exec::prof::enable();
+    let service = Arc::new(SolverService::new(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    }));
+    let server = IntrospectionServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr();
+
+    // Keep a stream of jobs in flight while we poke every route.
+    let a = laplacian_2d(20, 20, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    let cfg = test_config();
+    let handles: Vec<_> = (0..12)
+        .map(|_| {
+            service
+                .submit(SolveRequest::new(a.clone(), b.clone(), cfg.clone()))
+                .expect("queue has room")
+        })
+        .collect();
+
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, head, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain"));
+    assert!(
+        body.contains("# TYPE amgt_jobs_completed_total counter"),
+        "{body}"
+    );
+    assert!(body.contains("# TYPE amgt_jobs_inflight gauge"), "{body}");
+    assert!(body.contains("amgt_queue_depth"), "{body}");
+
+    let (status, head, body) = http_get(addr, "/jobs");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"));
+    assert!(body.contains("\"queue_depth\":"), "{body}");
+    assert!(body.contains("\"jobs_inflight\":"), "{body}");
+    assert!(body.contains("\"batch_occupancy\":["), "{body}");
+
+    let (status, _, body) = http_get(addr, "/profile");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"summary\":{\"enabled\":true"), "{body}");
+    assert!(body.contains("\"fidelity\":{"), "{body}");
+
+    let (status, _, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    for h in handles {
+        let outcome = h.wait().expect("job solved");
+        assert!(outcome.converged);
+    }
+
+    // After the jobs drain, /profile reflects their kernel samples and
+    // /metrics shows zero in flight.
+    let (_, _, body) = http_get(addr, "/profile");
+    assert!(
+        !body.contains("\"samples\":0,"),
+        "profiled jobs must have produced samples: {body}"
+    );
+    let (_, _, body) = http_get(addr, "/metrics");
+    assert!(body.contains("amgt_jobs_inflight 0.0\n"), "{body}");
+    assert!(body.contains("amgt_jobs_completed_total 12\n"), "{body}");
+
+    server.stop();
+    amgt_exec::prof::disable();
+    match Arc::try_unwrap(service) {
+        Ok(s) => s.shutdown(),
+        Err(_) => panic!("service still referenced after server stop"),
+    }
+}
+
+#[test]
+fn stopped_endpoint_refuses_connections() {
+    let service = Arc::new(SolverService::new(ServiceConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let server = IntrospectionServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr();
+    let (status, _, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.stop();
+    // The listener is gone: either the connect fails outright or the
+    // socket closes without a response.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            s.read_to_string(&mut buf).map(|n| n == 0).unwrap_or(true)
+        }
+    };
+    assert!(refused, "stopped server must not answer");
+    Arc::try_unwrap(service).ok().unwrap().shutdown();
+}
+
+/// Concurrency stress: many threads submit traced jobs against *different*
+/// systems (so batches do not coalesce across threads) while workers solve
+/// them in parallel. Every recording must come back a well-formed span
+/// tree — exactly one closed Job root, phase spans nested under it, and
+/// every kernel sample attributed to a span of its own recording — i.e.
+/// no cross-batch interleaving ever leaks into a per-job trace.
+#[test]
+fn concurrent_traced_jobs_produce_well_formed_span_trees() {
+    let service = Arc::new(SolverService::new(ServiceConfig {
+        workers: 4,
+        queue_capacity: 256,
+        ..Default::default()
+    }));
+    let cfg = test_config();
+
+    let submitters: Vec<_> = (0..4)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut recordings = Vec::new();
+                for round in 0..6 {
+                    // Distinct grid per (thread, round): distinct fingerprint,
+                    // so batches from different threads never merge.
+                    let n = 10 + 2 * t + 8 * round;
+                    let a = laplacian_2d(n, n, Stencil2d::Five);
+                    let b = rhs_of_ones(&a);
+                    let job = service
+                        .submit(SolveRequest::new(a, b, cfg.clone()).with_trace())
+                        .expect("queue has room");
+                    let outcome = job.wait().expect("job solved");
+                    assert!(outcome.converged);
+                    recordings.push((n, outcome.trace.expect("traced job has a recording")));
+                }
+                recordings
+            })
+        })
+        .collect();
+
+    for handle in submitters {
+        for (n, rec) in handle.join().expect("submitter thread") {
+            // One closed Job root per recording.
+            let roots = rec.children(None);
+            assert_eq!(roots.len(), 1, "grid {n}: one root, got {roots:?}");
+            let root = roots[0];
+            assert_eq!(root.kind, amgt_trace::SpanKind::Job);
+            assert!(root.closed, "grid {n}: root span left open");
+
+            // Every span nests inside the root and is closed, and every
+            // span's parent exists in the same recording (no foreign ids).
+            for span in &rec.spans {
+                assert!(span.closed, "grid {n}: span {:?} left open", span.name);
+                if let Some(parent) = span.parent {
+                    assert!(
+                        rec.span(parent).is_some(),
+                        "grid {n}: span {:?} has a parent outside this recording",
+                        span.name
+                    );
+                }
+                assert!(
+                    span.sim_end >= span.sim_start,
+                    "grid {n}: span {:?} ends before it starts",
+                    span.name
+                );
+            }
+
+            // Kernels all attribute to spans of this recording.
+            for k in &rec.kernels {
+                if let Some(sid) = k.parent {
+                    assert!(
+                        rec.span(sid).is_some(),
+                        "grid {n}: kernel sample points at a foreign span"
+                    );
+                }
+            }
+
+            // The recording telescopes: kernel time equals the root span's
+            // simulated interval to within accumulation noise — a batch
+            // that absorbed another job's kernels would overshoot.
+            let root_interval = root.sim_end - root.sim_start;
+            assert!(
+                rec.total_kernel_seconds() <= root_interval * (1.0 + 1e-9) + 1e-12,
+                "grid {n}: kernel seconds exceed the root span interval"
+            );
+        }
+    }
+
+    Arc::try_unwrap(service).ok().unwrap().shutdown();
+}

@@ -160,11 +160,29 @@ impl Device {
         precision: Precision,
         cost: &KernelCost,
     ) -> f64 {
+        self.charge_with_wall(kind, algo, phase, level, precision, cost, 0)
+    }
+
+    /// [`Device::charge`] carrying a measured host wall-clock duration
+    /// (nanoseconds) for the launch, recorded into the trace when a
+    /// recorder is installed. `0` means "not measured" — the profiler in
+    /// `amgt-exec` was disabled for this launch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn charge_with_wall(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        phase: Phase,
+        level: u32,
+        precision: Precision,
+        cost: &KernelCost,
+        wall_ns: u64,
+    ) -> f64 {
         let seconds = kernel_seconds(&self.spec, kind, algo, precision, cost);
         let sim_start = self.ledger_push(kind, algo, phase, level, precision, seconds);
         if self.traced.load(Ordering::Relaxed) {
             self.trace_kernel(
-                kind, algo, phase, level, precision, sim_start, seconds, cost,
+                kind, algo, phase, level, precision, sim_start, seconds, cost, wall_ns,
             );
         }
         seconds
@@ -185,7 +203,7 @@ impl Device {
         if self.traced.load(Ordering::Relaxed) {
             let cost = KernelCost::default();
             self.trace_kernel(
-                kind, algo, phase, level, precision, sim_start, seconds, &cost,
+                kind, algo, phase, level, precision, sim_start, seconds, &cost, 0,
             );
         }
     }
@@ -229,6 +247,7 @@ impl Device {
         sim_start: f64,
         seconds: f64,
         cost: &KernelCost,
+        wall_ns: u64,
     ) {
         if let Some(recorder) = self.recorder.lock().clone() {
             recorder.record_kernel(KernelSample {
@@ -239,6 +258,7 @@ impl Device {
                 precision: precision.label(),
                 sim_start,
                 sim_seconds: seconds,
+                wall_ns,
                 flops: cost.tc_flops + cost.cuda_flops,
                 int_ops: cost.int_ops,
                 bytes: cost.bytes,

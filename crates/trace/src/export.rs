@@ -8,9 +8,13 @@
 //! * [`Breakdown`] — per-(phase, kernel-kind) and per-level aggregation of
 //!   a recording, the data behind the Figure 1 (setup) and Figure 2
 //!   (solve) stacked bars, plus a text table renderer.
+//! * [`folded_stacks`] — collapsed-stack ("folded") flamegraph lines over
+//!   the *wall-clock* span tree, one `frame;frame;frame ns` line per
+//!   self-time contribution, consumable by `flamegraph.pl` / `inferno`.
 
 use crate::recorder::{KernelRecord, Recording, SpanRecord};
 use serde::Serialize;
+use std::collections::HashMap;
 
 /// Render a recording as Chrome `trace_event` JSON.
 ///
@@ -117,6 +121,77 @@ fn kernel_event(k: &KernelRecord) -> ChromeEvent {
             launches: k.launches,
         },
     }
+}
+
+/// Render a recording as folded (collapsed) flamegraph stacks over wall
+/// time.
+///
+/// Each output line is `root;child;...;leaf <nanoseconds>`. Frames are
+/// span names (spaces and semicolons sanitized — the folded format
+/// reserves both); kernels charged under a span are aggregated into
+/// `kernel:<kind>/<algo>[<precision>]` leaf frames using their measured
+/// `wall_ns` (collected when the `amgt-exec` profiler is enabled). A
+/// span's *self* time is its wall interval minus child spans and minus
+/// measured kernel time, clamped at zero, so the folded total telescopes
+/// back to the sum of root-span wall durations — feed the file to any
+/// flamegraph renderer and the x axis is the run's real wall clock.
+pub fn folded_stacks(rec: &Recording) -> String {
+    let mut out = String::new();
+    let mut path: Vec<String> = Vec::new();
+    for root in rec.children(None) {
+        fold_span(rec, root, &mut path, &mut out);
+    }
+    out
+}
+
+fn frame_name(raw: &str) -> String {
+    raw.replace([';', ' '], "_")
+}
+
+fn span_wall_ns(span: &SpanRecord) -> u64 {
+    ((span.wall_end_us - span.wall_start_us).max(0.0) * 1e3).round() as u64
+}
+
+fn fold_span(rec: &Recording, span: &SpanRecord, path: &mut Vec<String>, out: &mut String) {
+    path.push(frame_name(&span.name));
+    let children = rec.children(Some(span.id));
+    let child_ns: u64 = children.iter().map(|c| span_wall_ns(c)).sum();
+    // Aggregate measured kernel wall time under this span by class.
+    let mut kernel_ns: u64 = 0;
+    let mut by_class: HashMap<String, u64> = HashMap::new();
+    for k in rec.kernels_under(span.id) {
+        if k.wall_ns > 0 {
+            kernel_ns += k.wall_ns;
+            *by_class
+                .entry(format!("kernel:{}/{}[{}]", k.kind, k.algo, k.precision))
+                .or_insert(0) += k.wall_ns;
+        }
+    }
+    let self_ns = span_wall_ns(span).saturating_sub(child_ns + kernel_ns);
+    if self_ns > 0 {
+        out.push_str(&path.join(";"));
+        out.push_str(&format!(" {self_ns}\n"));
+    }
+    let mut classes: Vec<_> = by_class.into_iter().collect();
+    classes.sort();
+    for (class, ns) in classes {
+        out.push_str(&path.join(";"));
+        out.push_str(&format!(";{class} {ns}\n"));
+    }
+    for child in children {
+        fold_span(rec, child, path, out);
+    }
+    path.pop();
+}
+
+/// Sum of the values of a folded-stacks string — for checking the
+/// telescoping invariant against total wall time.
+pub fn folded_total_ns(folded: &str) -> u64 {
+    folded
+        .lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter_map(|(_, v)| v.parse::<u64>().ok())
+        .sum()
 }
 
 /// One aggregated cell of a [`Breakdown`]: all kernels sharing a
@@ -305,6 +380,7 @@ mod tests {
             precision: "FP64",
             sim_start: start,
             sim_seconds: secs,
+            wall_ns: 0,
             flops: 64.0,
             int_ops: 8.0,
             bytes: 512.0,
@@ -423,5 +499,110 @@ mod tests {
         let doc = crate::json::Json::parse(&json).expect("trace must parse");
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
         assert_eq!(events.len(), 7, "2 spans + 5 kernels");
+    }
+
+    fn wall_span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start_us: f64,
+        end_us: f64,
+    ) -> crate::recorder::SpanRecord {
+        crate::recorder::SpanRecord {
+            id,
+            parent,
+            kind: SpanKind::Region,
+            name: name.to_string(),
+            sim_start: 0.0,
+            sim_end: 0.0,
+            wall_start_us: start_us,
+            wall_end_us: end_us,
+            closed: true,
+        }
+    }
+
+    fn wall_kernel(parent: u64, kind: &'static str, wall_ns: u64) -> crate::recorder::KernelRecord {
+        crate::recorder::KernelRecord {
+            seq: 0,
+            parent: Some(parent),
+            kind,
+            algo: "AmgT",
+            phase: "Solve",
+            level: 0,
+            precision: "FP64",
+            sim_start: 0.0,
+            sim_seconds: 1e-6,
+            wall_us: 0.0,
+            wall_ns,
+            flops: 0.0,
+            int_ops: 0.0,
+            bytes: 0.0,
+            launches: 1,
+        }
+    }
+
+    #[test]
+    fn folded_stacks_telescope_to_root_wall() {
+        // root [0, 100us]; child "level 0" [10us, 60us] with two SpMV
+        // kernels of 5us and 15us measured wall; child self = 30us.
+        let rec = Recording {
+            spans: vec![
+                wall_span(1, None, "solve poisson", 0.0, 100.0),
+                wall_span(2, Some(1), "level 0", 10.0, 60.0),
+            ],
+            kernels: vec![
+                wall_kernel(2, "SpMV", 5_000),
+                wall_kernel(2, "SpMV", 15_000),
+                wall_kernel(2, "Vector", 0), // unmeasured: folds into self
+            ],
+            ..Default::default()
+        };
+        let folded = folded_stacks(&rec);
+        // Frames sanitize spaces; kernels aggregate per class.
+        assert!(
+            folded.contains("solve_poisson 50000\n"),
+            "root self = 100us - 50us child:\n{folded}"
+        );
+        assert!(
+            folded.contains("solve_poisson;level_0 30000\n"),
+            "child self = 50us - 20us kernels:\n{folded}"
+        );
+        assert!(
+            folded.contains("solve_poisson;level_0;kernel:SpMV/AmgT[FP64] 20000\n"),
+            "{folded}"
+        );
+        assert_eq!(
+            folded_total_ns(&folded),
+            100_000,
+            "total folds back to the root span's wall time:\n{folded}"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_clamp_overrun_and_skip_empty() {
+        // Kernel wall exceeding its span clamps self-time at zero instead
+        // of going negative; a zero-length span emits nothing.
+        let rec = Recording {
+            spans: vec![
+                wall_span(1, None, "tiny", 0.0, 1.0),
+                wall_span(2, None, "empty", 5.0, 5.0),
+            ],
+            kernels: vec![wall_kernel(1, "SpMV", 10_000)],
+            ..Default::default()
+        };
+        let folded = folded_stacks(&rec);
+        assert!(
+            folded.contains("tiny;kernel:SpMV/AmgT[FP64] 10000\n"),
+            "{folded}"
+        );
+        assert!(!folded.contains("empty"), "{folded}");
+        assert!(!folded.contains("tiny 0"), "no zero self line: {folded}");
+        assert_eq!(folded_total_ns(&folded), 10_000);
+    }
+
+    #[test]
+    fn folded_stacks_empty_recording() {
+        assert_eq!(folded_stacks(&Recording::default()), "");
+        assert_eq!(folded_total_ns(""), 0);
     }
 }

@@ -26,13 +26,16 @@
 pub mod export;
 pub mod health;
 pub mod json;
+pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 
-pub use export::{chrome_trace, Breakdown, BreakdownRow};
+pub use export::{chrome_trace, folded_stacks, folded_total_ns, Breakdown, BreakdownRow};
 pub use health::{HealthEvent, HealthEventKind, HierarchyDiagnostics, LevelStats};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use profile::{ClassProfile, FidelityReport, FidelityRow, KernelClass, WallAgg, WallProfile};
 pub use recorder::{
     KernelRecord, KernelSample, PolicyNote, PolicyParam, Recorder, Recording, SpanKind, SpanRecord,
 };

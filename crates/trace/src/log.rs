@@ -1,0 +1,241 @@
+//! Leveled structured event log.
+//!
+//! A tiny `log`-crate-shaped facility (no external deps) replacing the
+//! ad-hoc `eprintln!` warnings scattered through the drivers. Every event
+//! carries a level, a target (the subsystem emitting it, e.g.
+//! `"amgt::server"`), a message, and structured `key=value` fields:
+//!
+//! ```text
+//! [WARN amgt::cli] policy file ignored reason="parse error" path=policy.json
+//! ```
+//!
+//! The maximum level is a global relaxed atomic — a disabled event costs
+//! one load and no formatting. The sink is stderr by default; tests can
+//! swap in a capture buffer with [`capture`]. `AMGT_LOG=debug|info|warn|
+//! error|off` configures the level via [`init_from_env`].
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+}
+
+impl Level {
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parse a CLI/env spelling; `"off"` maps to `None`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" | "trace" => Some(Some(Level::Debug)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+/// Warnings and errors print by default, matching the `eprintln!` calls
+/// this module replaces.
+const DEFAULT_MAX: u8 = Level::Warn as u8;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_MAX);
+
+enum Sink {
+    Stderr,
+    Capture(Arc<Mutex<Vec<String>>>),
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink::Stderr);
+
+/// Set the maximum level that prints (`None` silences everything).
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Would an event at `level` print? One relaxed load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Configure the level from `AMGT_LOG` (unset or unparsable = leave the
+/// default). Returns the level that is now active.
+pub fn init_from_env() -> Option<Level> {
+    if let Ok(v) = std::env::var("AMGT_LOG") {
+        if let Some(parsed) = Level::parse(&v) {
+            set_max_level(parsed);
+        }
+    }
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => None,
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        _ => Some(Level::Debug),
+    }
+}
+
+/// Redirect events into a buffer for the lifetime of the returned handle
+/// (tests). Restores the stderr sink on drop.
+pub fn capture() -> Capture {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    *SINK.lock() = Sink::Capture(buf.clone());
+    Capture { buf }
+}
+
+/// Handle to a captured event stream; see [`capture`].
+pub struct Capture {
+    buf: Arc<Mutex<Vec<String>>>,
+}
+
+impl Capture {
+    /// Events captured so far, formatted.
+    pub fn lines(&self) -> Vec<String> {
+        self.buf.lock().clone()
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        *SINK.lock() = Sink::Stderr;
+    }
+}
+
+fn needs_quoting(v: &str) -> bool {
+    v.is_empty() || v.contains([' ', '"', '=', '\n'])
+}
+
+/// Emit one event. `fields` are appended as `key=value`, quoting values
+/// containing spaces/quotes. Cheap no-op when `level` is disabled.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = format!("[{} {}] {}", level.label(), target, message);
+    for (k, v) in fields {
+        if needs_quoting(v) {
+            let _ = write!(line, " {k}={v:?}");
+        } else {
+            let _ = write!(line, " {k}={v}");
+        }
+    }
+    match &*SINK.lock() {
+        Sink::Stderr => eprintln!("{line}"),
+        Sink::Capture(buf) => buf.lock().push(line),
+    }
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Error, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The level and sink are global; serialize the tests that touch them.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("warn"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("WARNING"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn events_format_with_fields() {
+        let _g = TEST_GUARD.lock();
+        let cap = capture();
+        set_max_level(Some(Level::Debug));
+        info(
+            "amgt::test",
+            "job finished",
+            &[
+                ("iterations", "17".to_string()),
+                ("verdict", "converged ok".to_string()),
+            ],
+        );
+        let lines = cap.lines();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0],
+            "[INFO amgt::test] job finished iterations=17 verdict=\"converged ok\""
+        );
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn disabled_levels_emit_nothing() {
+        let _g = TEST_GUARD.lock();
+        let cap = capture();
+        set_max_level(Some(Level::Warn));
+        debug("amgt::test", "invisible", &[]);
+        info("amgt::test", "invisible", &[]);
+        warn("amgt::test", "visible", &[]);
+        error("amgt::test", "visible", &[]);
+        assert_eq!(cap.lines().len(), 2);
+        assert!(!enabled(Level::Info));
+        assert!(enabled(Level::Warn));
+        set_max_level(None);
+        error("amgt::test", "silenced", &[]);
+        assert_eq!(cap.lines().len(), 2);
+        assert!(!enabled(Level::Error));
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn quoting_covers_empty_and_special_values() {
+        let _g = TEST_GUARD.lock();
+        let cap = capture();
+        set_max_level(Some(Level::Warn));
+        warn(
+            "amgt::test",
+            "odd fields",
+            &[
+                ("empty", String::new()),
+                ("eq", "a=b".to_string()),
+                ("plain", "x".to_string()),
+            ],
+        );
+        let line = cap.lines().pop().unwrap();
+        assert!(line.contains("empty=\"\""), "{line}");
+        assert!(line.contains("eq=\"a=b\""), "{line}");
+        assert!(line.contains("plain=x"), "{line}");
+    }
+}

@@ -59,6 +59,13 @@ impl Gauge {
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Atomically add `delta` (may be negative) to the gauge — the
+    /// inc/dec primitive for in-flight style gauges shared by many
+    /// threads, where `set(get() + d)` would lose updates.
+    pub fn add(&self, delta: f64) {
+        atomic_f64_update(&self.bits, |v| v + delta);
+    }
+
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
@@ -289,7 +296,7 @@ impl Registry {
         let mut out = String::new();
         for entry in self.entries.lock().iter() {
             let name = &entry.name;
-            out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&entry.help)));
             match &entry.metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {name} counter\n"));
@@ -318,6 +325,35 @@ impl Registry {
     }
 }
 
+/// Escape a `# HELP` text per the exposition format: backslash and
+/// line feed must be escaped (`\\`, `\n`).
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and line feed must be escaped (`\\`, `\"`, `\n`).
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}")
@@ -340,6 +376,30 @@ mod tests {
         assert_eq!(g.get(), 0.0);
         g.set(2.5);
         assert_eq!(g.get(), 2.5);
+        g.add(1.0);
+        g.add(-3.0);
+        assert_eq!(g.get(), 0.5);
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_across_threads() {
+        let g = std::sync::Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let g = std::sync::Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                        g.add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 4000.0);
     }
 
     #[test]
@@ -436,6 +496,28 @@ mod tests {
         assert!(text.contains("amgt_latency_seconds_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("amgt_latency_seconds_sum 5.0\n"));
         assert!(text.contains("amgt_latency_seconds_count 3\n"));
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let reg = Registry::new();
+        let _c = reg.counter("odd_help", "line one\nline two \\ done");
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP odd_help line one\\nline two \\\\ done\n"),
+            "{text}"
+        );
+        // The exposition stays one-line-per-record parseable.
+        assert!(text.lines().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_help("a\"b"), "a\"b", "quotes are legal in HELP");
     }
 
     #[test]

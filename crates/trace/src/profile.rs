@@ -1,0 +1,564 @@
+//! Wall-clock kernel profiles and the cost-model fidelity audit.
+//!
+//! The simulated cost model charges every kernel launch a number of
+//! simulated-GPU seconds; the native execution backend additionally knows
+//! how long each launch *actually* took on the host. This module owns the
+//! data model joining the two:
+//!
+//! * [`KernelClass`] — the attribution key: kernel kind × algorithm ×
+//!   phase × AMG level × precision × execution backend.
+//! * [`WallAgg`] — per-class aggregate: count, total/min/max wall
+//!   nanoseconds, a log2 latency histogram, and the total simulated
+//!   charge of the same launches.
+//! * [`WallProfile`] — a sorted collection of `(class, agg)` rows; what
+//!   the collector in `amgt-exec` snapshots and what the exporters and
+//!   the `/profile` endpoint serve.
+//! * [`FidelityReport`] — the audit: per kernel class (collapsed over
+//!   phase and level), measured wall seconds vs simulated seconds, a
+//!   drift ratio, and a flagged "the model is lying here" list.
+//!
+//! Simulated seconds model an A100/H100; measured nanoseconds come from a
+//! host CPU, so the two clocks differ by a large, roughly constant factor.
+//! The audit therefore normalizes each class's drift by the geometric mean
+//! drift across classes: a class is flagged when its *relative* cost
+//! disagrees with the model, which is exactly the signal that would
+//! mis-rank policies in `amgt-tune`.
+
+use serde::Serialize;
+
+/// Number of log2 histogram buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` ns, so the top bucket starts at ~9 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Attribution key for one profiled kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct KernelClass {
+    pub kind: &'static str,
+    pub algo: &'static str,
+    pub phase: &'static str,
+    /// AMG level the launch ran on (0 = finest).
+    pub level: u32,
+    pub precision: &'static str,
+    /// Execution backend label (`"sim"` / `"native"`).
+    pub exec: &'static str,
+}
+
+impl KernelClass {
+    /// Human-readable label, also used as the fidelity flag key.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} {} L{} {} {}",
+            self.kind, self.algo, self.phase, self.level, self.precision, self.exec
+        )
+    }
+}
+
+/// Wall-time aggregate of one kernel class.
+#[derive(Clone, Debug, Serialize)]
+pub struct WallAgg {
+    /// Launches observed.
+    pub count: u64,
+    /// Total measured wall nanoseconds.
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    /// Total simulated-GPU seconds charged for the same launches.
+    pub sim_seconds: f64,
+    /// Log2 latency histogram (see [`HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+fn bucket_of(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+impl Default for WallAgg {
+    fn default() -> Self {
+        WallAgg {
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            sim_seconds: 0.0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl WallAgg {
+    /// Fold one launch into the aggregate.
+    pub fn observe(&mut self, wall_ns: u64, sim_seconds: f64) {
+        if self.count == 0 || wall_ns < self.min_ns {
+            self.min_ns = wall_ns;
+        }
+        if wall_ns > self.max_ns {
+            self.max_ns = wall_ns;
+        }
+        self.count += 1;
+        self.total_ns += wall_ns;
+        self.sim_seconds += sim_seconds;
+        self.buckets[bucket_of(wall_ns)] += 1;
+    }
+
+    /// Fold another aggregate of the same class into this one.
+    pub fn merge(&mut self, other: &WallAgg) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min_ns < self.min_ns {
+            self.min_ns = other.min_ns;
+        }
+        if other.max_ns > self.max_ns {
+            self.max_ns = other.max_ns;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.sim_seconds += other.sim_seconds;
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the log2 histogram (nearest-rank; the
+    /// geometric midpoint of the bucket the rank falls in). Good to a
+    /// factor of sqrt(2), which is all a latency histogram promises.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = (1u64 << i) as f64;
+                return (lo * (lo * 2.0))
+                    .sqrt()
+                    .min(self.max_ns as f64)
+                    .max(self.min_ns as f64);
+            }
+        }
+        self.max_ns as f64
+    }
+}
+
+/// One row of a [`WallProfile`].
+#[derive(Clone, Debug, Serialize)]
+pub struct ClassProfile {
+    pub class: KernelClass,
+    pub agg: WallAgg,
+}
+
+/// A wall-time profile: per-class aggregates, sorted by class.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct WallProfile {
+    pub classes: Vec<ClassProfile>,
+}
+
+impl WallProfile {
+    /// Fold one launch in.
+    pub fn record(&mut self, class: KernelClass, wall_ns: u64, sim_seconds: f64) {
+        let idx = match self.classes.binary_search_by(|r| r.class.cmp(&class)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.classes.insert(
+                    i,
+                    ClassProfile {
+                        class,
+                        agg: WallAgg::default(),
+                    },
+                );
+                i
+            }
+        };
+        self.classes[idx].agg.observe(wall_ns, sim_seconds);
+    }
+
+    /// Fold another profile in (e.g. a per-thread shard at snapshot time).
+    pub fn merge(&mut self, other: &WallProfile) {
+        for row in &other.classes {
+            let idx = match self.classes.binary_search_by(|r| r.class.cmp(&row.class)) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.classes.insert(
+                        i,
+                        ClassProfile {
+                            class: row.class,
+                            agg: WallAgg::default(),
+                        },
+                    );
+                    i
+                }
+            };
+            self.classes[idx].agg.merge(&row.agg);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Total launches across all classes.
+    pub fn total_count(&self) -> u64 {
+        self.classes.iter().map(|r| r.agg.count).sum()
+    }
+
+    /// Total measured wall nanoseconds across all classes.
+    pub fn total_ns(&self) -> u64 {
+        self.classes.iter().map(|r| r.agg.total_ns).sum()
+    }
+
+    /// Total simulated seconds across all classes.
+    pub fn total_sim_seconds(&self) -> f64 {
+        self.classes.iter().map(|r| r.agg.sim_seconds).sum()
+    }
+
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_json(self)
+    }
+}
+
+/// One kernel class of the fidelity audit (collapsed over phase/level:
+/// the cost model prices by kind × algo × precision, so that is the
+/// granularity at which it can be wrong).
+#[derive(Clone, Debug, Serialize)]
+pub struct FidelityRow {
+    pub kind: &'static str,
+    pub algo: &'static str,
+    pub precision: &'static str,
+    pub exec: &'static str,
+    /// Launches measured.
+    pub count: u64,
+    /// Total simulated charge for those launches.
+    pub simulated_seconds: f64,
+    /// Total measured host wall time, nanoseconds.
+    pub measured_ns: u64,
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    pub p99_ns: f64,
+    /// measured seconds / simulated seconds (raw clock-scale included).
+    pub drift_ratio: f64,
+    /// `drift_ratio` divided by the geometric-mean drift across classes;
+    /// 1.0 means "costed exactly as the model predicts, relative to the
+    /// rest of the workload".
+    pub normalized_drift: f64,
+    /// True when `normalized_drift` (or its inverse) exceeds the report
+    /// threshold — the model mis-prices this class.
+    pub flagged: bool,
+}
+
+/// The cost-model fidelity audit over one measured [`WallProfile`].
+#[derive(Clone, Debug, Serialize)]
+pub struct FidelityReport {
+    /// Geometric-mean measured/simulated ratio across classes — the
+    /// host-vs-simulated-GPU clock-scale factor.
+    pub overall_ratio: f64,
+    /// Normalized-drift factor beyond which a class is flagged.
+    pub flag_threshold: f64,
+    pub rows: Vec<FidelityRow>,
+    /// Labels of flagged rows — the "model is lying here" list.
+    pub flagged: Vec<String>,
+}
+
+impl FidelityReport {
+    /// Default normalized-drift flag threshold: 2x either way.
+    pub const DEFAULT_FLAG_THRESHOLD: f64 = 2.0;
+
+    /// Build the audit from a measured profile.
+    pub fn from_profile(profile: &WallProfile, flag_threshold: f64) -> Self {
+        // Collapse to (kind, algo, precision, exec).
+        type FidelityKey = (&'static str, &'static str, &'static str, &'static str);
+        let mut merged: Vec<(FidelityKey, WallAgg)> = Vec::new();
+        for row in &profile.classes {
+            let key = (
+                row.class.kind,
+                row.class.algo,
+                row.class.precision,
+                row.class.exec,
+            );
+            match merged.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => merged[i].1.merge(&row.agg),
+                Err(i) => merged.insert(i, (key, row.agg.clone())),
+            }
+        }
+        // Geometric mean of per-class drift over classes with a usable
+        // simulated charge and measurement.
+        let mut log_sum = 0.0;
+        let mut log_n = 0u32;
+        let drift = |agg: &WallAgg| -> f64 {
+            if agg.sim_seconds > 0.0 {
+                (agg.total_ns as f64 * 1e-9) / agg.sim_seconds
+            } else {
+                f64::INFINITY
+            }
+        };
+        for (_, agg) in &merged {
+            let d = drift(agg);
+            if d.is_finite() && d > 0.0 {
+                log_sum += d.ln();
+                log_n += 1;
+            }
+        }
+        let overall_ratio = if log_n > 0 {
+            (log_sum / f64::from(log_n)).exp()
+        } else {
+            1.0
+        };
+        let mut rows = Vec::with_capacity(merged.len());
+        let mut flagged = Vec::new();
+        for ((kind, algo, precision, exec), agg) in merged {
+            let drift_ratio = drift(&agg);
+            let normalized_drift = if drift_ratio.is_finite() && overall_ratio > 0.0 {
+                drift_ratio / overall_ratio
+            } else {
+                f64::INFINITY
+            };
+            let excess = if normalized_drift.is_finite() && normalized_drift > 0.0 {
+                normalized_drift.max(1.0 / normalized_drift)
+            } else {
+                f64::INFINITY
+            };
+            let is_flagged = excess > flag_threshold;
+            if is_flagged {
+                flagged.push(format!("{kind}/{algo} {precision} {exec}"));
+            }
+            rows.push(FidelityRow {
+                kind,
+                algo,
+                precision,
+                exec,
+                count: agg.count,
+                simulated_seconds: agg.sim_seconds,
+                measured_ns: agg.total_ns,
+                mean_ns: agg.mean_ns(),
+                p50_ns: agg.quantile_ns(0.5),
+                p99_ns: agg.quantile_ns(0.99),
+                drift_ratio,
+                normalized_drift,
+                flagged: is_flagged,
+            });
+        }
+        FidelityReport {
+            overall_ratio,
+            flag_threshold,
+            rows,
+            flagged,
+        }
+    }
+
+    /// Plain-text table for terminals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cost-model fidelity (overall measured/simulated ratio {:.3e}, flag > {:.1}x)\n",
+            self.overall_ratio, self.flag_threshold
+        ));
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>12} {:>12} {:>9} {:>6}\n",
+            "kernel class", "count", "sim (s)", "wall (ms)", "norm", "flag"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>12.3e} {:>12.3} {:>9.3} {:>6}\n",
+                format!("{}/{} {} {}", r.kind, r.algo, r.precision, r.exec),
+                r.count,
+                r.simulated_seconds,
+                r.measured_ns as f64 * 1e-6,
+                r.normalized_drift,
+                if r.flagged { "LIES" } else { "ok" }
+            ));
+        }
+        if self.flagged.is_empty() {
+            out.push_str("model agrees with measurement on every class\n");
+        } else {
+            out.push_str(&format!(
+                "model mis-prices {} class(es): {}\n",
+                self.flagged.len(),
+                self.flagged.join(", ")
+            ));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(kind: &'static str, level: u32) -> KernelClass {
+        KernelClass {
+            kind,
+            algo: "AmgT",
+            phase: "Solve",
+            level,
+            precision: "FP64",
+            exec: "native",
+        }
+    }
+
+    #[test]
+    fn agg_observe_and_merge() {
+        let mut a = WallAgg::default();
+        a.observe(100, 1e-6);
+        a.observe(300, 2e-6);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_ns, 400);
+        assert_eq!(a.min_ns, 100);
+        assert_eq!(a.max_ns, 300);
+        assert!((a.sim_seconds - 3e-6).abs() < 1e-18);
+        assert!((a.mean_ns() - 200.0).abs() < 1e-12);
+
+        let mut b = WallAgg::default();
+        b.observe(50, 1e-6);
+        b.merge(&a);
+        assert_eq!(b.count, 3);
+        assert_eq!(b.min_ns, 50);
+        assert_eq!(b.max_ns, 300);
+        assert_eq!(b.buckets.iter().sum::<u64>(), 3);
+        // Merging an empty aggregate changes nothing.
+        let before = b.clone();
+        b.merge(&WallAgg::default());
+        assert_eq!(b.count, before.count);
+        assert_eq!(b.min_ns, before.min_ns);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_from_histogram() {
+        let mut a = WallAgg::default();
+        for _ in 0..90 {
+            a.observe(1_000, 0.0);
+        }
+        for _ in 0..10 {
+            a.observe(1_000_000, 0.0);
+        }
+        let p50 = a.quantile_ns(0.5);
+        let p99 = a.quantile_ns(0.99);
+        // p50 lands in the ~1us bucket, p99 in the ~1ms bucket.
+        assert!((512.0..4096.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 > 500_000.0, "p99 = {p99}");
+        assert!(p99 <= a.max_ns as f64);
+        assert!(a.quantile_ns(0.0).max(1.0) as u64 >= a.min_ns);
+    }
+
+    #[test]
+    fn profile_records_sorted_and_merges() {
+        let mut p = WallProfile::default();
+        p.record(class("SpMV", 1), 200, 1e-6);
+        p.record(class("SpMV", 0), 100, 1e-6);
+        p.record(class("SpMV", 0), 300, 1e-6);
+        assert_eq!(p.classes.len(), 2);
+        assert!(p.classes[0].class < p.classes[1].class);
+        assert_eq!(p.classes.iter().map(|r| r.agg.count).sum::<u64>(), 3);
+        assert_eq!(p.total_count(), 3);
+        assert_eq!(p.total_ns(), 600);
+
+        let mut q = WallProfile::default();
+        q.record(class("SpMV", 0), 50, 1e-6);
+        q.record(class("Vector", 2), 10, 1e-7);
+        q.merge(&p);
+        assert_eq!(q.classes.len(), 3);
+        assert_eq!(q.total_count(), 5);
+        assert_eq!(q.total_ns(), 660);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn profile_serializes() {
+        let mut p = WallProfile::default();
+        p.record(class("SpMV", 0), 100, 1e-6);
+        let json = p.to_json();
+        assert!(json.contains("\"kind\":\"SpMV\""), "{json}");
+        assert!(json.contains("\"total_ns\":100"), "{json}");
+        assert!(json.contains("\"buckets\":["), "{json}");
+    }
+
+    #[test]
+    fn fidelity_normalizes_and_flags() {
+        let mut p = WallProfile::default();
+        // Four classes that agree with the model (drift 1000x each) and
+        // one the model underprices 10x relative to the others.
+        for _ in 0..10 {
+            p.record(class("SpMV", 0), 1_000, 1e-6);
+            p.record(class("Vector", 0), 1_000, 1e-6);
+            p.record(class("Convert", 0), 1_000, 1e-6);
+            p.record(class("SpGEMM-symbolic", 0), 1_000, 1e-6);
+            p.record(class("SpGEMM-numeric", 0), 10_000, 1e-6);
+        }
+        let rep = FidelityReport::from_profile(&p, 2.0);
+        assert_eq!(rep.rows.len(), 5);
+        for row in &rep.rows {
+            assert!(row.count == 10);
+            assert!(row.simulated_seconds > 0.0);
+            assert!(row.measured_ns > 0);
+            assert!(row.drift_ratio.is_finite());
+        }
+        let spgemm = rep
+            .rows
+            .iter()
+            .find(|r| r.kind == "SpGEMM-numeric")
+            .unwrap();
+        let spmv = rep.rows.iter().find(|r| r.kind == "SpMV").unwrap();
+        assert!(spgemm.normalized_drift > spmv.normalized_drift);
+        assert!(spgemm.flagged, "10x relative drift must be flagged");
+        assert!(!spmv.flagged);
+        assert_eq!(rep.flagged.len(), 1);
+        assert!(
+            rep.flagged[0].contains("SpGEMM-numeric"),
+            "{:?}",
+            rep.flagged
+        );
+        let txt = rep.render();
+        assert!(txt.contains("LIES"), "{txt}");
+        let json = rep.to_json();
+        assert!(json.contains("\"overall_ratio\""), "{json}");
+        assert!(json.contains("\"drift_ratio\""), "{json}");
+    }
+
+    #[test]
+    fn fidelity_handles_zero_sim_charge() {
+        let mut p = WallProfile::default();
+        p.record(class("SpMV", 0), 1_000, 0.0);
+        let rep = FidelityReport::from_profile(&p, 2.0);
+        assert_eq!(rep.rows.len(), 1);
+        assert!(rep.rows[0].drift_ratio.is_infinite());
+        assert!(rep.rows[0].flagged, "unpriced work is a model lie");
+        assert!((rep.overall_ratio - 1.0).abs() < 1e-12, "no usable classes");
+    }
+
+    #[test]
+    fn fidelity_collapses_levels_and_phases() {
+        let mut p = WallProfile::default();
+        let mut c0 = class("SpMV", 0);
+        let mut c1 = class("SpMV", 1);
+        c0.phase = "Setup";
+        c1.phase = "Solve";
+        p.record(c0, 1_000, 1e-6);
+        p.record(c1, 2_000, 2e-6);
+        let rep = FidelityReport::from_profile(&p, 2.0);
+        assert_eq!(rep.rows.len(), 1, "one row per kind/algo/precision/exec");
+        assert_eq!(rep.rows[0].count, 2);
+        assert_eq!(rep.rows[0].measured_ns, 3_000);
+    }
+}

@@ -80,6 +80,10 @@ pub struct KernelRecord {
     pub sim_seconds: f64,
     /// Wall-clock microseconds since the recorder was created.
     pub wall_us: f64,
+    /// Measured host wall-clock duration of the kernel's compute,
+    /// nanoseconds. `0` when the profiler was disabled for this launch
+    /// (wall timing is opt-in; see `amgt-exec`'s profiler).
+    pub wall_ns: u64,
     /// Floating-point operations (tensor + CUDA cores).
     pub flops: f64,
     pub int_ops: f64,
@@ -98,6 +102,8 @@ pub struct KernelSample {
     pub precision: &'static str,
     pub sim_start: f64,
     pub sim_seconds: f64,
+    /// Measured wall duration in nanoseconds (`0` = profiler disabled).
+    pub wall_ns: u64,
     pub flops: f64,
     pub int_ops: f64,
     pub bytes: f64,
@@ -366,6 +372,7 @@ impl Recorder {
             sim_start: sample.sim_start,
             sim_seconds: sample.sim_seconds,
             wall_us: wall,
+            wall_ns: sample.wall_ns,
             flops: sample.flops,
             int_ops: sample.int_ops,
             bytes: sample.bytes,
@@ -458,6 +465,7 @@ mod tests {
             precision: "FP64",
             sim_start: 0.0,
             sim_seconds: secs,
+            wall_ns: 0,
             flops: 100.0,
             int_ops: 0.0,
             bytes: 800.0,

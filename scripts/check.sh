@@ -27,7 +27,11 @@ trace_out="$(mktemp -t amgt-trace-XXXXXX.json)"
 bench_out="$(mktemp -t amgt-bench-XXXXXX.json)"
 wall_out="$(mktemp -t amgt-wall-XXXXXX.json)"
 wall_native_out="$(mktemp -t amgt-wall-native-XXXXXX.json)"
-trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out"' EXIT
+profile_out="$(mktemp -t amgt-profile-XXXXXX.json)"
+folded_out="$(mktemp -t amgt-folded-XXXXXX.txt)"
+serverd_log="$(mktemp -t amgt-serverd-XXXXXX.log)"
+trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out" \
+    "$profile_out" "$folded_out" "$serverd_log"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
 grep -q '"traceEvents"' "$trace_out"
@@ -71,5 +75,40 @@ cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
 cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
     --exec native --threads 1 --out /dev/null --compare "$wall_out" >/dev/null
 echo "    wrote, validated, and alloc-round-tripped $wall_native_out"
+
+echo "==> profile smoke: --profile fidelity JSON + non-empty folded stacks"
+cargo run --release -q --bin amgt-cli -- --poisson2d 32 --exec native \
+    --profile "$profile_out" --folded "$folded_out" >/dev/null
+python3 -m json.tool "$profile_out" >/dev/null
+grep -q '"fidelity"' "$profile_out"
+grep -q '"drift_ratio"' "$profile_out"
+test -s "$folded_out"
+grep -q ';kernel:' "$folded_out"
+echo "    wrote and validated $profile_out + $folded_out"
+
+echo "==> introspection endpoint smoke: serverd answers every route"
+cargo build --release -q -p amgt-server --bin amgt-serverd
+./target/release/amgt-serverd --addr 127.0.0.1:0 --for-seconds 20 \
+    --demo-jobs 4 >"$serverd_log" &
+serverd_pid=$!
+base_url=""
+for _ in $(seq 1 50); do
+    base_url="$(sed -n 's/^listening on \(http:\/\/.*\)$/\1/p' "$serverd_log")"
+    [ -n "$base_url" ] && break
+    sleep 0.2
+done
+[ -n "$base_url" ] || { echo "serverd never announced its address"; exit 1; }
+fetch() { python3 -c '
+import sys, urllib.request
+body = urllib.request.urlopen(sys.argv[1], timeout=5).read().decode()
+assert sys.argv[2] in body, f"{sys.argv[1]}: {sys.argv[2]!r} not in response"
+' "$base_url$1" "$2"; }
+fetch /healthz "ok"
+fetch /metrics "# TYPE amgt_jobs_inflight gauge"
+fetch /jobs '"queue_depth"'
+fetch /profile '"fidelity"'
+kill "$serverd_pid" 2>/dev/null || true
+wait "$serverd_pid" 2>/dev/null || true
+echo "    serverd at $base_url answered /healthz /metrics /jobs /profile"
 
 echo "OK: all checks passed"
