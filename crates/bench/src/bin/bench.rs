@@ -20,8 +20,8 @@ use amgt::prelude::*;
 use amgt::Operator;
 use amgt_bench::alloc::{snapshot, CountingAlloc};
 use amgt_bench::report::{
-    compare, BenchCase, BenchReport, CompareThresholds, FidelityInfo, PolicyInfo, WallStats,
-    SCHEMA_VERSION,
+    compare, BenchCase, BenchReport, CompareThresholds, FidelityInfo, FlightOverheadCase,
+    FlightOverheadInfo, PolicyInfo, WallStats, SCHEMA_VERSION,
 };
 use amgt_bench::Variant;
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
@@ -68,6 +68,13 @@ struct Options {
     /// Record per-kernel wall-clock samples during the sweep and attach a
     /// cost-model fidelity audit (the v5 `fidelity` object) to the report.
     profile: bool,
+    /// Flight-recorder overhead mode: time the solve phase with the flight
+    /// recorder off vs on (interleaved, best-of-N) and self-gate on the
+    /// geomean ratio (the v6 `flight_overhead` object).
+    flight_overhead: bool,
+    /// Maximum tolerated recorder-on/off solve-wall ratio before
+    /// `--flight-overhead` fails the run.
+    flight_budget: f64,
 }
 
 fn usage() -> ! {
@@ -77,6 +84,7 @@ fn usage() -> ! {
          \x20      [--compare BASELINE.json] [--time-ratio X] [--iter-slack N]\n\
          \x20      [--alloc-ratio X] [--alloc-slack N] [--wallclock] [--threads N]\n\
          \x20      [--exec sim|native] [--profile] [--validate FILE]\n\
+         \x20      [--flight-overhead] [--flight-budget X]\n\
          \x20      [--tuned-vs-default] [--tune-budget N]"
     );
     std::process::exit(2);
@@ -99,6 +107,8 @@ fn parse_args() -> Options {
         threads: None,
         exec: ExecMode::Simulated,
         profile: false,
+        flight_overhead: false,
+        flight_budget: 1.05,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -137,6 +147,10 @@ fn parse_args() -> Options {
             "--threads" => opt.threads = Some(next().parse().unwrap_or_else(|_| usage())),
             "--exec" => opt.exec = ExecMode::parse(&next()).unwrap_or_else(|| usage()),
             "--profile" => opt.profile = true,
+            "--flight-overhead" => opt.flight_overhead = true,
+            "--flight-budget" => {
+                opt.flight_budget = next().parse().unwrap_or_else(|_| usage());
+            }
             "--validate" => opt.validate = Some(PathBuf::from(next())),
             "--tuned-vs-default" => opt.tuned_vs_default = true,
             "--tune-budget" => opt.tune_budget = next().parse().unwrap_or_else(|_| usage()),
@@ -306,6 +320,92 @@ fn kernel_cases(opt: &Options, stem: &str, a: &Csr) -> Vec<BenchCase> {
     out
 }
 
+/// Measure the flight recorder's solve-phase wall overhead on one system:
+/// the same converged solve, recorder off vs on, strictly interleaved so
+/// thermal/frequency drift hits both sides equally, best-of-N so scheduler
+/// noise cancels. Also returns a normal bench case (from the warmup run)
+/// so the written report has solver coverage.
+fn flight_overhead_case(opt: &Options, stem: &str, a: &Csr) -> (FlightOverheadCase, BenchCase) {
+    const REPS: usize = 9;
+    let device = Device::new(opt.gpu.clone());
+    let b = rhs_of_ones(a);
+    let mut cfg = Variant::AmgtFp64.config(opt.iters);
+    cfg.tolerance = 1e-8;
+    cfg.exec = opt.exec;
+    let h = amgt::setup(&device, &cfg, a.clone());
+    let mut x = vec![0.0; b.len()];
+    // Warm page faults and lazy costs out of the measured region.
+    let sim0 = device.elapsed();
+    let warm = amgt::solve(&device, &cfg, &h, &b, &mut x);
+    let warm_seconds = device.elapsed() - sim0;
+
+    let trace_id = amgt_sim::TraceId::generate();
+    // Warm the recorder path too: the first enabled solve registers the
+    // thread shard and allocates its full-capacity ring — one-time costs
+    // that must not land inside a timed rep.
+    amgt_trace::flight::enable();
+    device.set_flight(Some(trace_id));
+    x.iter_mut().for_each(|v| *v = 0.0);
+    let _ = amgt::solve(&device, &cfg, &h, &b, &mut x);
+
+    let mut off_ns = u64::MAX;
+    let mut on_ns = u64::MAX;
+    let timed = |device: &Device, x: &mut Vec<f64>, enabled: bool| {
+        if enabled {
+            amgt_trace::flight::enable();
+            device.set_flight(Some(trace_id));
+        } else {
+            amgt_trace::flight::disable();
+            device.set_flight(None);
+        }
+        x.iter_mut().for_each(|v| *v = 0.0);
+        let t0 = Instant::now();
+        let _ = amgt::solve(device, &cfg, &h, &b, x);
+        t0.elapsed().as_nanos() as u64
+    };
+    for rep in 0..REPS {
+        // Alternate which side is measured first so slow frequency or
+        // thermal drift cannot systematically bias one of them; min-of-N
+        // then discards the noise floor on both sides.
+        if rep % 2 == 0 {
+            off_ns = off_ns.min(timed(&device, &mut x, false));
+            on_ns = on_ns.min(timed(&device, &mut x, true));
+        } else {
+            on_ns = on_ns.min(timed(&device, &mut x, true));
+            off_ns = off_ns.min(timed(&device, &mut x, false));
+        }
+    }
+    device.set_flight(None);
+    amgt_trace::flight::disable();
+    amgt_trace::flight::reset();
+
+    let diag = h.diagnostics();
+    let flight = FlightOverheadCase {
+        name: format!("flight:{stem}:{}", variant_slug(Variant::AmgtFp64)),
+        off_ns,
+        on_ns,
+        ratio: on_ns as f64 / off_ns.max(1) as f64,
+    };
+    let case = BenchCase {
+        name: format!("e2e:{stem}:{}", variant_slug(Variant::AmgtFp64)),
+        variant: Variant::AmgtFp64.label().to_string(),
+        n: a.nrows(),
+        nnz: a.nnz(),
+        levels: h.n_levels(),
+        iterations: warm.iterations,
+        setup_seconds: 0.0,
+        solve_seconds: warm_seconds,
+        total_seconds: warm_seconds,
+        final_relative_residual: warm.final_relative_residual(),
+        convergence_factor: warm.convergence_factor,
+        operator_complexity: diag.operator_complexity,
+        grid_complexity: diag.grid_complexity,
+        outcome: warm.outcome.label().to_string(),
+        wall: None,
+    };
+    (flight, case)
+}
+
 fn main() -> ExitCode {
     let opt = parse_args();
 
@@ -363,7 +463,26 @@ fn main() -> ExitCode {
 
     let mut cases = Vec::new();
     let mut policy_info = PolicyInfo::paper_default();
-    if opt.tuned_vs_default {
+    let mut flight_overhead = None;
+    if opt.flight_overhead {
+        let mut fcases = Vec::new();
+        for (stem, a) in &systems {
+            let (f, case) = flight_overhead_case(&opt, stem, a);
+            println!(
+                "flight {stem}: off {:.3} ms, on {:.3} ms (x{:.4})",
+                f.off_ns as f64 / 1e6,
+                f.on_ns as f64 / 1e6,
+                f.ratio
+            );
+            fcases.push(f);
+            cases.push(case);
+        }
+        let geomean_ratio = geomean(&fcases.iter().map(|f| f.ratio).collect::<Vec<_>>());
+        flight_overhead = Some(FlightOverheadInfo {
+            geomean_ratio,
+            cases: fcases,
+        });
+    } else if opt.tuned_vs_default {
         // Tuner-gain mode: per matrix, two cases scored by the *same*
         // `amgt-tune` objective the search minimized — so "tuned never
         // loses" is checked against the exact quantity the tuner optimized.
@@ -472,6 +591,7 @@ fn main() -> ExitCode {
         exec: Some(opt.exec.label().to_string()),
         simd: Some(amgt_kernels::simd_level().label().to_string()),
         fidelity,
+        flight_overhead,
         cases,
     };
     if let Err(e) = report.validate() {
@@ -507,6 +627,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {} ({} cases)", opt.out.display(), report.cases.len());
+
+    // Self-gating: the flight recorder's whole contract is "always on,
+    // negligible cost", so the overhead mode fails the run (after writing
+    // the report for inspection) when the geomean ratio breaches budget.
+    if let Some(fo) = &report.flight_overhead {
+        println!(
+            "flight overhead: geomean x{:.4} over {} case(s) (budget x{:.2})",
+            fo.geomean_ratio,
+            fo.cases.len(),
+            opt.flight_budget
+        );
+        if fo.geomean_ratio > opt.flight_budget {
+            eprintln!(
+                "flight recorder overhead x{:.4} exceeds budget x{:.2}",
+                fo.geomean_ratio, opt.flight_budget
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = &opt.baseline {
         let text = match std::fs::read_to_string(path) {

@@ -28,13 +28,18 @@ use serde::Serialize;
 /// * v5 — adds the optional top-level `fidelity` object (cost-model
 ///   fidelity audit from a `--profile` run: per-kernel-class simulated
 ///   charge vs measured host wall, drift ratios, flagged classes).
-pub const SCHEMA_VERSION: u64 = 5;
+/// * v6 — adds the optional top-level `flight_overhead` object (per-case
+///   solve-phase wall with the flight recorder off vs on and the geomean
+///   ratio, written by the `--flight-overhead` mode that gates recorder
+///   cost in CI).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
 /// with `policy: None`, v2 reports with `wall: None`/`threads: None`,
-/// v3 reports with `exec: None`/`simd: None`, and v4 reports with
-/// `fidelity: None`, so `--validate` and `--compare` keep working against
-/// baselines written before those fields existed.
+/// v3 reports with `exec: None`/`simd: None`, v4 reports with
+/// `fidelity: None`, and v5 reports with `flight_overhead: None`, so
+/// `--validate` and `--compare` keep working against baselines written
+/// before those fields existed.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The kernel policy a report's cases ran under, plus where it came from.
@@ -136,6 +141,31 @@ impl FidelityInfo {
     }
 }
 
+/// One case of the flight-recorder overhead measurement (v6+): the same
+/// solve timed with the recorder disabled and enabled.
+#[derive(Clone, Debug, Serialize)]
+pub struct FlightOverheadCase {
+    /// Case id, e.g. `flight:cant:amgt-fp64`.
+    pub name: String,
+    /// Best-of-N solve-phase wall with the recorder disabled, nanoseconds.
+    pub off_ns: u64,
+    /// Best-of-N solve-phase wall with the recorder enabled, nanoseconds.
+    pub on_ns: u64,
+    /// `on_ns / off_ns` — 1.00 means the recorder is free.
+    pub ratio: f64,
+}
+
+/// Flight-recorder overhead summary (v6+, `--flight-overhead` runs only).
+/// Wall-derived, so only comparable between equal `exec`/`simd`/`threads`
+/// reports; CI gates on `geomean_ratio` staying under its budget rather
+/// than comparing across baselines.
+#[derive(Clone, Debug, Serialize)]
+pub struct FlightOverheadInfo {
+    /// Geometric mean of per-case on/off ratios — the headline overhead.
+    pub geomean_ratio: f64,
+    pub cases: Vec<FlightOverheadCase>,
+}
+
 /// One benchmark case: a (matrix, solver-variant) end-to-end run or a
 /// kernel microbench (where only the timing fields are meaningful).
 #[derive(Clone, Debug, Serialize)]
@@ -182,6 +212,9 @@ pub struct BenchReport {
     /// like `wall`, so only comparable between equal `exec`/`simd`/
     /// `threads` reports).
     pub fidelity: Option<FidelityInfo>,
+    /// Flight-recorder overhead measurement (v6+, `--flight-overhead`
+    /// runs only).
+    pub flight_overhead: Option<FlightOverheadInfo>,
     pub cases: Vec<BenchCase>,
 }
 
@@ -242,6 +275,11 @@ impl BenchReport {
             Some(f) if !f.is_null() => Some(parse_fidelity(f)?),
             _ => None,
         };
+        // `flight_overhead` arrived in v6; absent or null before that.
+        let flight_overhead = match root.get("flight_overhead") {
+            Some(f) if !f.is_null() => Some(parse_flight_overhead(f)?),
+            _ => None,
+        };
         let cases_json = root
             .get("cases")
             .and_then(Json::as_array)
@@ -259,6 +297,7 @@ impl BenchReport {
             exec,
             simd,
             fidelity,
+            flight_overhead,
             cases,
         })
     }
@@ -307,6 +346,28 @@ impl BenchReport {
                     f.flagged.len(),
                     flagged_rows.len()
                 ));
+            }
+        }
+        if let Some(fo) = &self.flight_overhead {
+            if !fo.geomean_ratio.is_finite() || fo.geomean_ratio <= 0.0 {
+                return Err(format!(
+                    "flight_overhead geomean_ratio {}",
+                    fo.geomean_ratio
+                ));
+            }
+            if fo.cases.is_empty() {
+                return Err("flight_overhead has no cases".into());
+            }
+            for c in &fo.cases {
+                if c.off_ns == 0 {
+                    return Err(format!("flight_overhead case `{}`: off_ns = 0", c.name));
+                }
+                if !c.ratio.is_finite() || c.ratio <= 0.0 {
+                    return Err(format!(
+                        "flight_overhead case `{}`: ratio = {}",
+                        c.name, c.ratio
+                    ));
+                }
             }
         }
         if self.cases.is_empty() {
@@ -448,6 +509,30 @@ fn parse_fidelity_row(v: &Json) -> Result<FidelityRowInfo, String> {
             .get("flagged")
             .and_then(Json::as_bool)
             .ok_or("missing boolean `flagged`")?,
+    })
+}
+
+fn parse_flight_overhead(v: &Json) -> Result<FlightOverheadInfo, String> {
+    let cases = v
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or("flight_overhead: missing `cases` array")?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| parse_flight_case(c).map_err(|e| format!("flight_overhead case {i}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FlightOverheadInfo {
+        geomean_ratio: field_f64(v, "geomean_ratio")?,
+        cases,
+    })
+}
+
+fn parse_flight_case(v: &Json) -> Result<FlightOverheadCase, String> {
+    Ok(FlightOverheadCase {
+        name: field_str(v, "name")?,
+        off_ns: field_u64(v, "off_ns")?,
+        on_ns: field_u64(v, "on_ns")?,
+        ratio: field_f64(v, "ratio")?,
     })
 }
 
@@ -640,6 +725,7 @@ mod tests {
             exec: None,
             simd: None,
             fidelity: None,
+            flight_overhead: None,
             cases,
         }
     }
@@ -786,6 +872,71 @@ mod tests {
         let mut current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
         current.fidelity = Some(fidelity());
         assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
+    }
+
+    fn flight_overhead() -> FlightOverheadInfo {
+        FlightOverheadInfo {
+            geomean_ratio: 1.012,
+            cases: vec![
+                FlightOverheadCase {
+                    name: "flight:cant:amgt-fp64".into(),
+                    off_ns: 2_000_000,
+                    on_ns: 2_030_000,
+                    ratio: 1.015,
+                },
+                FlightOverheadCase {
+                    name: "flight:venkat25:amgt-fp64".into(),
+                    off_ns: 3_000_000,
+                    on_ns: 3_027_000,
+                    ratio: 1.009,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn v6_flight_overhead_round_trips() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.flight_overhead = Some(flight_overhead());
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        let fo = back.flight_overhead.as_ref().unwrap();
+        assert!((fo.geomean_ratio - 1.012).abs() < 1e-12);
+        assert_eq!(fo.cases.len(), 2);
+        assert_eq!(fo.cases[0].name, "flight:cant:amgt-fp64");
+        assert_eq!(fo.cases[0].off_ns, 2_000_000);
+        assert_eq!(fo.cases[1].on_ns, 3_027_000);
+        assert!((fo.cases[1].ratio - 1.009).abs() < 1e-12);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn v5_report_without_flight_overhead_still_parses() {
+        // A pre-flight baseline: version 5, no `flight_overhead` key.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 5;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 5);
+        assert!(back.flight_overhead.is_none());
+        back.validate().unwrap();
+        // An old baseline still gates a new (v6) report.
+        let mut current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        current.flight_overhead = Some(flight_overhead());
+        assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn flight_overhead_validation_catches_bad_ratios() {
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let mut fo = flight_overhead();
+        fo.cases[0].off_ns = 0;
+        r.flight_overhead = Some(fo);
+        assert!(r.validate().unwrap_err().contains("off_ns = 0"));
+
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        let mut fo = flight_overhead();
+        fo.geomean_ratio = f64::NAN;
+        r.flight_overhead = Some(fo);
+        assert!(r.validate().unwrap_err().contains("geomean_ratio"));
     }
 
     #[test]

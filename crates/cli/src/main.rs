@@ -12,6 +12,8 @@
 //!                                                  # + cost-model fidelity audit
 //! amgt-cli --suite cant --folded stacks.txt        # folded stacks (flamegraph)
 //! amgt-cli --suite cant --diagnose                 # hierarchy quality + health
+//! amgt-cli --suite cant --flight                   # flight-record; dump on bad verdict
+//! amgt-cli --version --verbose                     # build identity block
 //! amgt-cli --suite cant --tune                     # autotune the kernel policy
 //! amgt-cli --suite cant --tune \
 //!          --policy-cache policies.json            # ... with a persistent cache
@@ -44,6 +46,7 @@ struct Options {
     profile: Option<PathBuf>,
     folded: Option<PathBuf>,
     diagnose: bool,
+    flight: bool,
     tune: bool,
     tune_budget: usize,
     policy_cache: Option<PathBuf>,
@@ -64,7 +67,8 @@ fn usage() -> ! {
          \x20      [--gpu a100|h100|mi210]\n\
          \x20      [--pcg] [--info] [--tol T] [--iters N] [--threads N] [--history]\n\
          \x20      [--trace FILE.json] [--profile FILE.json] [--folded FILE.txt]\n\
-         \x20      [--diagnose]\n\
+         \x20      [--diagnose] [--flight]\n\
+         \x20      [--version [--verbose]]\n\
          \x20      [--tune] [--tune-budget N] [--policy-cache FILE.json]\n\
          \x20      [--policy FILE.json]\n\n\
          suite names: {}",
@@ -92,6 +96,9 @@ fn parse_args() -> Options {
     let mut profile = None;
     let mut folded = None;
     let mut diagnose = false;
+    let mut flight = false;
+    let mut version = false;
+    let mut verbose = false;
     let mut tune = false;
     let mut tune_budget = TuneBudget::default().max_evaluations;
     let mut policy_cache = None;
@@ -138,12 +145,19 @@ fn parse_args() -> Options {
             "--profile" => profile = Some(PathBuf::from(next())),
             "--folded" => folded = Some(PathBuf::from(next())),
             "--diagnose" => diagnose = true,
+            "--flight" => flight = true,
+            "--version" => version = true,
+            "--verbose" => verbose = true,
             "--tune" => tune = true,
             "--tune-budget" => tune_budget = next().parse().unwrap_or_else(|_| usage()),
             "--policy-cache" => policy_cache = Some(PathBuf::from(next())),
             "--policy" => policy = Some(PathBuf::from(next())),
             _ => usage(),
         }
+    }
+    if version {
+        print_version(verbose, exec_mode);
+        std::process::exit(0);
     }
     if tune && policy.is_some() {
         eprintln!("--tune and --policy are mutually exclusive");
@@ -164,6 +178,7 @@ fn parse_args() -> Options {
         profile,
         folded,
         diagnose,
+        flight,
         tune,
         tune_budget,
         policy_cache,
@@ -229,6 +244,58 @@ fn apply_policy(opt: &Options, cfg: &mut AmgConfig, a: &Csr) -> amgt_trace::Poli
     amgt_tune::policy_note(source, result.predicted_speedup(), result.policy)
 }
 
+/// `--version`: one line by default; `--verbose` adds the same build
+/// identity block the server's `/version` route reports.
+fn print_version(verbose: bool, exec_mode: ExecMode) {
+    println!(
+        "amgt-cli {} ({})",
+        env!("CARGO_PKG_VERSION"),
+        env!("AMGT_GIT_DESCRIBE")
+    );
+    if verbose {
+        println!("  version: {}", env!("CARGO_PKG_VERSION"));
+        println!("  git:     {}", env!("AMGT_GIT_DESCRIBE"));
+        println!("  exec:    {}", exec_mode.label());
+        println!("  simd:    {}", amgt_exec::simd_level().label());
+    }
+}
+
+/// `--flight` epilogue: mirror the server's tail-sampling contract for a
+/// single interactive run — a bad verdict dumps the ring contents as
+/// `amgt-flight-<trace_id>.json` in the working directory, anything else
+/// retains nothing.
+fn finish_flight(id: amgt_sim::TraceId, outcome: SolveOutcome, wall_seconds: f64) {
+    let bad = matches!(
+        outcome,
+        SolveOutcome::Stagnated | SolveOutcome::Diverged | SolveOutcome::NonFinite
+    );
+    if !bad {
+        println!("flight: verdict {} -- trace not retained", outcome.label());
+        return;
+    }
+    let trace = amgt_trace::FlightTrace {
+        trace_id: id,
+        verdict: outcome.label().to_string(),
+        reason: amgt_trace::RetainReason::Verdict,
+        wall_seconds,
+        batch_size: 1,
+        dropped_events: amgt_trace::flight::dropped_events(),
+        events: amgt_trace::flight::snapshot_trace(id),
+    };
+    let path = format!("amgt-flight-{}.json", id.to_hex());
+    match std::fs::write(&path, trace.to_json()) {
+        Ok(()) => println!(
+            "flight: verdict {} -> dumped {} event(s) to {path}",
+            outcome.label(),
+            trace.events.len()
+        ),
+        Err(e) => {
+            eprintln!("failed to write flight dump {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn print_health(events: &[amgt_sim::HealthEvent]) {
     if events.is_empty() {
         println!("health: no events");
@@ -286,6 +353,15 @@ fn main() {
     println!("system: n = {}, nnz = {}", a.nrows(), a.nnz());
 
     let device = Device::new(opt.gpu.clone());
+    // Always-on in spirit, opt-in at the CLI: `--flight` turns the ring
+    // buffers on and attaches this run's identity to the device.
+    let flight_id = opt.flight.then(|| {
+        amgt_trace::flight::enable();
+        let id = amgt_sim::TraceId::generate();
+        device.set_flight(Some(id));
+        println!("flight: recording under trace id {}", id.to_hex());
+        id
+    });
     // Both exporters consume the same recording; capture whenever either
     // output was requested.
     let recorder = (opt.trace.is_some() || opt.folded.is_some()).then(|| {
@@ -319,6 +395,7 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
+    let solve_outcome;
     if opt.pcg {
         let h = setup(&device, &cfg, a);
         println!(
@@ -331,6 +408,7 @@ fn main() {
         }
         let mut x = vec![0.0; b.len()];
         let rep = pcg_solve(&device, &cfg, &h, &b, &mut x, opt.tol, opt.iters);
+        solve_outcome = rep.outcome;
         println!(
             "PCG: {} iterations, converged = {}",
             rep.iterations, rep.converged
@@ -350,6 +428,7 @@ fn main() {
         }
     } else {
         let (_x, h, rep) = run_amg(&device, &cfg, a, &b);
+        solve_outcome = rep.solve_report.outcome;
         println!(
             "hierarchy: {} levels {:?}",
             h.n_levels(),
@@ -385,6 +464,10 @@ fn main() {
             rep.solve.total * 1e6,
             100.0 * rep.solve.share(rep.solve.spmv),
         );
+    }
+    if let Some(id) = flight_id {
+        device.set_flight(None);
+        finish_flight(id, solve_outcome, t0.elapsed().as_secs_f64());
     }
     if let Some(recorder) = &recorder {
         device.remove_recorder();

@@ -90,10 +90,12 @@ pub fn bicgstab_solve(
     let mut health_events: Vec<HealthEvent> = Vec::new();
     let observe =
         |monitor: &mut ConvergenceMonitor, health_events: &mut Vec<HealthEvent>, rel: f64| {
-            if let Some(ev) = monitor.observe(rel) {
+            if let Some(mut ev) = monitor.observe(rel) {
+                ev.trace_id = device.flight_id().map_or(0, |id| id.get());
                 if let Some(rec) = device.recorder() {
                     rec.record_health(ev.clone());
                 }
+                device.flight_health(&ev);
                 health_events.push(ev);
             }
         };
@@ -126,6 +128,7 @@ pub fn bicgstab_solve(
         if s_norm / b_norm < tol {
             vec_ops::axpy(&ctx, alpha, &p_hat, x);
             history.push(s_norm / b_norm);
+            device.flight_residual(history.len(), None, s_norm / b_norm);
             observe(&mut monitor, &mut health_events, s_norm / b_norm);
             converged = true;
             break;
@@ -151,6 +154,7 @@ pub fn bicgstab_solve(
 
         let rel = vec_ops::norm2(&ctx, &r) / b_norm;
         history.push(rel);
+        device.flight_residual(history.len(), None, rel);
         observe(&mut monitor, &mut health_events, rel);
         if monitor.nonfinite() {
             break; // Only non-finite aborts a Krylov wrapper.

@@ -212,6 +212,7 @@ impl ConvergenceMonitor {
                 precision: None,
                 column: self.column,
                 detail: format!("residual grew {:.1e}x over its best", rel / self.best_rel),
+                trace_id: 0,
             });
         }
         self.best_rel = self.best_rel.min(rel);
@@ -242,6 +243,7 @@ impl ConvergenceMonitor {
                     "convergence factor {:.4} over the last {} iterations",
                     self.ema, self.thresholds.stagnation_window
                 ),
+                trace_id: 0,
             });
         }
         None
@@ -278,6 +280,7 @@ impl ConvergenceMonitor {
             precision,
             column: self.column,
             detail,
+            trace_id: 0,
         })
     }
 

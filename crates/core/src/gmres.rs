@@ -148,11 +148,14 @@ pub fn fgmres_solve(
 
             let rel = g[j + 1].abs() / b_norm;
             history.push(rel);
+            device.flight_residual(history.len(), None, rel);
             if let Some(m) = monitor.as_mut() {
-                if let Some(ev) = m.observe(rel) {
+                if let Some(mut ev) = m.observe(rel) {
+                    ev.trace_id = device.flight_id().map_or(0, |id| id.get());
                     if let Some(rec) = device.recorder() {
                         rec.record_health(ev.clone());
                     }
+                    device.flight_health(&ev);
                     health_events.push(ev);
                 }
             }

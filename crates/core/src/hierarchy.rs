@@ -18,7 +18,7 @@ use amgt_kernels::convert::mbsr_to_csr;
 use amgt_kernels::spgemm_mbsr::{spgemm_mbsr_with_workspace, SpgemmWorkspace};
 use amgt_kernels::vendor::spgemm_csr;
 use amgt_kernels::Ctx;
-use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision, SpanKind};
+use amgt_sim::{Algo, Device, KernelCost, KernelKind, Phase, Precision, SpanKind, SpanLabel};
 use amgt_sparse::{Csr, Lu, SparseLdl};
 use std::sync::{Arc, Mutex};
 
@@ -162,7 +162,7 @@ fn smoother_diagonals(ctx: &Ctx, a: &Csr) -> (Vec<f64>, Vec<f64>) {
 /// Run the full setup phase on a device.
 pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     assert_eq!(a0.nrows(), a0.ncols(), "AMG needs a square system");
-    let _phase_span = device.span(SpanKind::Phase, || "setup".to_string());
+    let _phase_span = device.span(SpanKind::Phase, SpanLabel::named("setup"));
     let mut levels: Vec<Level> = Vec::new();
     let mut stats = SetupStats::default();
     let nnz0 = a0.nnz().max(1);
@@ -173,7 +173,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     let mut current = a0;
     let mut k = 0usize;
     loop {
-        let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
+        let _level_span = device.span(SpanKind::Level, SpanLabel::with("level", k as u64));
         let prec = level_precision(device, cfg, k);
         let ctx = Ctx::new(device, Phase::Setup, k as u32, prec)
             .with_policy(cfg.policy)
@@ -276,7 +276,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
     let mut coarse_ldl = None;
     match cfg.coarse_solver {
         crate::config::CoarseSolver::DirectLu => {
-            let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
+            let _span = device.span(SpanKind::Region, SpanLabel::named("coarse factorization"));
             let last = levels.last().unwrap();
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
                 .with_policy(cfg.policy)
@@ -297,7 +297,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
             );
         }
         crate::config::CoarseSolver::SparseLdl { reorder } => {
-            let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
+            let _span = device.span(SpanKind::Region, SpanLabel::named("coarse factorization"));
             let last = levels.last().unwrap();
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
                 .with_policy(cfg.policy)
@@ -346,7 +346,7 @@ pub fn setup(device: &Device, cfg: &AmgConfig, a0: Csr) -> Hierarchy {
 /// SpGEMMs per level remain: the two RAP products).
 pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     assert_eq!(a0.nrows(), h.finest().n(), "pattern/order mismatch");
-    let _phase_span = device.span(SpanKind::Phase, || "resetup".to_string());
+    let _phase_span = device.span(SpanKind::Phase, SpanLabel::named("resetup"));
     // Reuse the workspace the original setup grew (clone the Arc so the
     // guard does not pin `h` while the loop borrows its levels).
     let spgemm_ws = h.spgemm_ws.clone();
@@ -354,7 +354,7 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     let mut current = Some(a0);
     let n_levels = h.levels.len();
     for k in 0..n_levels {
-        let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
+        let _level_span = device.span(SpanKind::Level, SpanLabel::with("level", k as u64));
         let prec = level_precision(device, cfg, k);
         let ctx = Ctx::new(device, Phase::Setup, k as u32, prec)
             .with_policy(cfg.policy)
@@ -382,7 +382,7 @@ pub fn resetup(device: &Device, cfg: &AmgConfig, h: &mut Hierarchy, a0: Csr) {
     let last_level = (n_levels - 1) as u32;
     match cfg.coarse_solver {
         crate::config::CoarseSolver::DirectLu => {
-            let _span = device.span(SpanKind::Region, || "coarse factorization".to_string());
+            let _span = device.span(SpanKind::Region, SpanLabel::named("coarse factorization"));
             let last = h.levels.last().unwrap();
             let ctx = Ctx::new(device, Phase::Setup, last_level, Precision::Fp64)
                 .with_policy(cfg.policy)

@@ -106,10 +106,13 @@ pub fn pcg_solve(
         vec_ops::axpy(&ctx, -alpha, &ap, &mut r);
         let rel = vec_ops::norm2(&ctx, &r) / b_norm;
         history.push(rel);
-        if let Some(ev) = monitor.observe(rel) {
+        device.flight_residual(history.len(), None, rel);
+        if let Some(mut ev) = monitor.observe(rel) {
+            ev.trace_id = device.flight_id().map_or(0, |id| id.get());
             if let Some(rec) = device.recorder() {
                 rec.record_health(ev.clone());
             }
+            device.flight_health(&ev);
             health_events.push(ev);
         }
         if monitor.nonfinite() {

@@ -11,11 +11,11 @@
 use crate::backend::OpScratch;
 use crate::config::{AmgConfig, CoarseSolver, CycleType, Smoother};
 use crate::diagnostics::{ConvergenceMonitor, HealthThresholds, SolveOutcome};
-use crate::hierarchy::{Hierarchy, Level};
+use crate::hierarchy::{level_precision, Hierarchy, Level};
 use crate::vec_ops;
 use amgt_kernels::spmm_mbsr::MultiVector;
 use amgt_kernels::Ctx;
-use amgt_sim::{Algo, Device, HealthEvent, KernelCost, KernelKind, Phase, SpanKind};
+use amgt_sim::{Algo, Device, HealthEvent, KernelCost, KernelKind, Phase, SpanKind, SpanLabel};
 
 /// Reusable buffers for one level position of the V-cycle: every vector the
 /// cycle materializes at that level (residual chain, coarse correction,
@@ -270,7 +270,7 @@ fn vcycle(
     poison: &mut Option<NonFiniteSite>,
     ws: &mut SolveWorkspace,
 ) {
-    let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
+    let _level_span = device.span(SpanKind::Level, SpanLabel::with("level", k as u64));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision)
         .with_policy(cfg.policy)
@@ -385,7 +385,7 @@ pub fn solve_with_workspace(
     let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
         .with_policy(cfg.policy)
         .with_exec(cfg.exec);
-    let _phase_span = device.span(SpanKind::Phase, || "solve".to_string());
+    let _phase_span = device.span(SpanKind::Phase, SpanLabel::named("solve"));
 
     let b_norm = {
         let nb = vec_ops::norm2(&ctx0, b);
@@ -397,7 +397,7 @@ pub fn solve_with_workspace(
     };
     // Initial residual (the paper's "+1" SpMV).
     let initial = {
-        let _span = device.span(SpanKind::Region, || "initial residual".to_string());
+        let _span = device.span(SpanKind::Region, SpanLabel::named("initial residual"));
         h.finest()
             .a
             .spmv_into(&ctx0, x, &mut ws.outer.op, &mut ws.outer.ax);
@@ -412,7 +412,10 @@ pub fn solve_with_workspace(
     let mut converged = false;
     let mut iterations = 0usize;
     for it in 0..cfg.max_iterations {
-        let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
+        let _iter_span = device.span(
+            SpanKind::Iteration,
+            SpanLabel::with("iteration", (it + 1) as u64),
+        );
         let mut poison = None;
         vcycle(device, cfg, h, 0, b, x, &mut poison, ws);
         iterations += 1;
@@ -423,6 +426,7 @@ pub fn solve_with_workspace(
         vec_ops::sub_into(&ctx0, b, &ws.outer.ax, &mut ws.outer.r);
         final_norm = vec_ops::norm2(&ctx0, &ws.outer.r);
         history.push(final_norm / b_norm);
+        device.flight_residual(it + 1, None, final_norm / b_norm);
         let event = if let Some(site) = poison {
             monitor.attribute_non_finite(
                 Some(site.level),
@@ -432,10 +436,19 @@ pub fn solve_with_workspace(
         } else {
             monitor.observe(final_norm / b_norm)
         };
-        if let Some(ev) = event {
+        if let Some(mut ev) = event {
+            // Divergence/stagnation fire at the outer residual check;
+            // attribute them to the finest level and its active precision
+            // so a post-mortem names the grid that failed.
+            if ev.level.is_none() {
+                ev.level = Some(0);
+                ev.precision = Some(level_precision(device, cfg, 0).label());
+            }
+            ev.trace_id = device.flight_id().map_or(0, |id| id.get());
             if let Some(rec) = device.recorder() {
                 rec.record_health(ev.clone());
             }
+            device.flight_health(&ev);
             health_events.push(ev);
         }
         if monitor.should_abort() {
@@ -579,7 +592,7 @@ fn vcycle_mv(
     poison: &mut Option<NonFiniteSite>,
     ws: &mut SolveWorkspace,
 ) {
-    let _level_span = device.span(SpanKind::Level, || format!("level {k}"));
+    let _level_span = device.span(SpanKind::Level, SpanLabel::with("level", k as u64));
     let lvl = &h.levels[k];
     let ctx = Ctx::new(device, Phase::Solve, k as u32, lvl.precision)
         .with_policy(cfg.policy)
@@ -695,14 +708,14 @@ pub fn solve_batched_with_workspace(
     let ctx0 = Ctx::new(device, Phase::Solve, 0, h.finest().precision)
         .with_policy(cfg.policy)
         .with_exec(cfg.exec);
-    let _phase_span = device.span(SpanKind::Phase, || "solve batched".to_string());
+    let _phase_span = device.span(SpanKind::Phase, SpanLabel::named("solve batched"));
 
     let b_norms: Vec<f64> = vec_ops::norms2_mv(&ctx0, b)
         .into_iter()
         .map(|nb| if nb == 0.0 { 1.0 } else { nb })
         .collect();
     let initial = {
-        let _span = device.span(SpanKind::Region, || "initial residual".to_string());
+        let _span = device.span(SpanKind::Region, SpanLabel::named("initial residual"));
         h.finest()
             .a
             .spmm_into(&ctx0, x, &mut ws.outer.op, &mut ws.outer.ax_mv);
@@ -735,7 +748,10 @@ pub fn solve_batched_with_workspace(
         if active.is_empty() {
             break;
         }
-        let _iter_span = device.span(SpanKind::Iteration, || format!("iteration {}", it + 1));
+        let _iter_span = device.span(
+            SpanKind::Iteration,
+            SpanLabel::with("iteration", (it + 1) as u64),
+        );
         // Compact the still-active columns into a dense batch (detached
         // from the pool so the cycle below can borrow `ws`).
         let mut bc = std::mem::take(&mut ws.bc_mv);
@@ -759,6 +775,7 @@ pub fn solve_batched_with_workspace(
             final_rel[j] = norms[c] / b_norms[j];
             column_iterations[j] = iterations;
             column_histories[j].push(final_rel[j]);
+            device.flight_residual(iterations, Some(j), final_rel[j]);
             // Per-column health: a poisoned cycle fails the columns whose
             // data actually went non-finite, with the level attribution
             // from the cycle's own checks.
@@ -771,10 +788,17 @@ pub fn solve_batched_with_workspace(
                 ),
                 _ => monitors[j].observe(final_rel[j]),
             };
-            if let Some(ev) = event {
+            if let Some(mut ev) = event {
+                // Same finest-level attribution as the single-RHS path.
+                if ev.level.is_none() {
+                    ev.level = Some(0);
+                    ev.precision = Some(level_precision(device, cfg, 0).label());
+                }
+                ev.trace_id = device.flight_id().map_or(0, |id| id.get());
                 if let Some(rec) = device.recorder() {
                     rec.record_health(ev.clone());
                 }
+                device.flight_health(&ev);
                 health_events.push(ev);
             }
             if monitors[j].should_abort() {

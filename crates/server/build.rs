@@ -1,0 +1,18 @@
+//! Embed a best-effort `git describe` string so `/version` can report the
+//! exact tree the binary was built from. Builds outside a git checkout
+//! (or without git on PATH) degrade to "unknown" rather than failing.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=AMGT_GIT_DESCRIBE={describe}");
+}

@@ -2,14 +2,17 @@
 //! endpoint, for smoke tests and manual poking with `curl`.
 //!
 //! ```text
-//! amgt-serverd [--addr 127.0.0.1:0] [--workers N] [--for-seconds S] [--demo-jobs N]
+//! amgt-serverd [--addr 127.0.0.1:0] [--workers N] [--for-seconds S]
+//!              [--demo-jobs N] [--flight-dir DIR]
 //! ```
 //!
 //! Prints `listening on http://ADDR` on stdout once the endpoint is up
 //! (scripts parse this line to find the ephemeral port), optionally
 //! submits a stream of demo Poisson solves so `/metrics` and `/profile`
 //! have data, then serves until `--for-seconds` elapses (default: until
-//! killed).
+//! killed). With `--flight-dir`, every flight trace the tail sampler
+//! retained is dumped there as `amgt-flight-<trace_id>.json` at graceful
+//! shutdown.
 
 use amgt::prelude::*;
 use amgt_server::{IntrospectionServer, ServiceConfig, SolveRequest, SolverService};
@@ -20,7 +23,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: amgt-serverd [--addr HOST:PORT] [--workers N] [--for-seconds S] [--demo-jobs N]"
+        "usage: amgt-serverd [--addr HOST:PORT] [--workers N] [--for-seconds S] [--demo-jobs N] [--flight-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -31,6 +34,7 @@ fn main() {
     let mut workers = 2usize;
     let mut for_seconds: Option<f64> = None;
     let mut demo_jobs = 0usize;
+    let mut flight_dir: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +53,7 @@ fn main() {
                 );
             }
             "--demo-jobs" => demo_jobs = take("--demo-jobs").parse().expect("--demo-jobs: integer"),
+            "--flight-dir" => flight_dir = Some(take("--flight-dir").into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -62,6 +67,7 @@ fn main() {
 
     let service = Arc::new(SolverService::new(ServiceConfig {
         workers,
+        flight_dir,
         ..Default::default()
     }));
     let http = IntrospectionServer::bind(addr.as_str(), Arc::clone(&service))

@@ -4,16 +4,21 @@
 //! framework — because the endpoint serves four small read-only routes to
 //! an operator or a scraper, not production traffic:
 //!
-//! | route      | payload                                                    |
-//! |------------|------------------------------------------------------------|
-//! | `/healthz` | `ok` (text/plain) — liveness                               |
-//! | `/metrics` | Prometheus text exposition of the service registry         |
-//! | `/jobs`    | JSON [`ServiceMetrics`] snapshot (queue, in-flight, cache) |
-//! | `/profile` | JSON wall-clock kernel profile + cost-model fidelity report |
+//! | route                      | payload                                                    |
+//! |----------------------------|------------------------------------------------------------|
+//! | `/healthz`                 | `ok` (text/plain) — liveness                               |
+//! | `/version`                 | JSON build identity (crate version, git describe, exec, SIMD) |
+//! | `/metrics`                 | Prometheus text exposition of the service registry         |
+//! | `/jobs`                    | JSON: metrics snapshot + recently completed jobs           |
+//! | `/profile`                 | JSON wall-clock kernel profile + cost-model fidelity report |
+//! | `/debug/flight`            | JSON index of retained flight traces                       |
+//! | `/debug/flight/<trace_id>` | One retained trace; `?format=chrome` / `?format=folded` re-use the exporters |
 //!
 //! `/profile` reads the process-wide `amgt_exec::prof` collector, so it
 //! reflects every solve in the process (profiling must be enabled with
-//! [`amgt_exec::prof::enable`] for it to carry samples).
+//! [`amgt_exec::prof::enable`] for it to carry samples). `/debug/flight`
+//! serves what the tail sampler retained: bad-verdict jobs are always
+//! there; healthy ones only when sampled or unusually slow.
 //!
 //! One acceptor thread handles connections sequentially; each request is
 //! parsed with a read deadline so a stalled client cannot wedge the
@@ -21,7 +26,7 @@
 //! the listener with a loopback connection to unblock `accept`.
 
 use crate::service::SolverService;
-use amgt_trace::FidelityReport;
+use amgt_trace::{chrome_trace, folded_stacks, FidelityReport, TraceId};
 use serde::Serialize;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -141,10 +146,17 @@ fn handle_connection(mut stream: TcpStream, service: &SolverService) {
 }
 
 fn route(path: &str, service: &SolverService) -> Response {
-    // Strip any query string: the routes take no parameters.
-    let path = path.split('?').next().unwrap_or(path);
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
         "/healthz" => Response::text(200, "ok\n"),
+        "/version" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: version_body(service),
+        },
         "/metrics" => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
@@ -153,14 +165,102 @@ fn route(path: &str, service: &SolverService) -> Response {
         "/jobs" => Response {
             status: 200,
             content_type: "application/json",
-            body: Serialize::to_json(&service.metrics()),
+            body: jobs_body(service),
         },
         "/profile" => Response {
             status: 200,
             content_type: "application/json",
             body: profile_body(),
         },
-        _ => Response::text(404, "not found; try /healthz /metrics /jobs /profile\n"),
+        "/debug/flight" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: format!(
+                "{{\"retained\":{}}}",
+                Serialize::to_json(&service.flight_summaries())
+            ),
+        },
+        _ => match path.strip_prefix("/debug/flight/") {
+            Some(rest) => flight_trace_response(service, rest, query),
+            None => Response::text(
+                404,
+                "not found; try /healthz /version /metrics /jobs /profile /debug/flight\n",
+            ),
+        },
+    }
+}
+
+/// JSON body of `/version`.
+#[derive(Serialize)]
+struct VersionBody {
+    /// Crate version (workspace-wide).
+    version: String,
+    /// `git describe --always --dirty --tags` at build time.
+    git: String,
+    /// Service-wide execution-backend override, or "per-request" when each
+    /// request's config decides.
+    exec: String,
+    /// SIMD level the native backend detected on this host.
+    simd: String,
+}
+
+fn version_body(service: &SolverService) -> String {
+    let exec = service
+        .config()
+        .exec
+        .map_or("per-request".to_string(), |e| e.label().to_string());
+    Serialize::to_json(&VersionBody {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        git: env!("AMGT_GIT_DESCRIBE").to_string(),
+        exec,
+        simd: amgt_exec::simd_level().label().to_string(),
+    })
+}
+
+/// JSON body of `/jobs`: the metrics snapshot plus the ring of recently
+/// completed jobs (verdict, latency, trace id, retention).
+fn jobs_body(service: &SolverService) -> String {
+    format!(
+        "{{\"metrics\":{},\"recent\":{}}}",
+        Serialize::to_json(&service.metrics()),
+        Serialize::to_json(&service.recent_jobs())
+    )
+}
+
+/// One retained flight trace, addressed by hex trace id. `?format=chrome`
+/// and `?format=folded` reconstruct a `Recording` from the trace and run
+/// the existing exporters over it.
+fn flight_trace_response(service: &SolverService, id_hex: &str, query: &str) -> Response {
+    let Some(id) = TraceId::parse_hex(id_hex) else {
+        return Response::text(404, "malformed trace id (want 16 hex digits)\n");
+    };
+    let Some(trace) = service.flight_trace(id) else {
+        return Response::text(404, "no retained flight trace with that id\n");
+    };
+    let format = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("format="))
+        .unwrap_or("json");
+    match format {
+        "json" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: trace.to_json(),
+        },
+        "chrome" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: chrome_trace(&trace.to_recording()),
+        },
+        "folded" => Response {
+            status: 200,
+            content_type: "text/plain",
+            body: folded_stacks(&trace.to_recording()),
+        },
+        other => Response::text(
+            400,
+            &format!("unknown format {other:?}; want json, chrome or folded\n"),
+        ),
     }
 }
 
@@ -200,6 +300,7 @@ impl Response {
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
+            400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             _ => "Error",

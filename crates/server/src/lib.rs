@@ -33,12 +33,14 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod service;
 
 pub use cache::{CacheKey, CacheOutcome, CacheStats, HierarchyCache};
 pub use fingerprint::Fingerprint;
+pub use flight::{CompletedJob, FlightStore, FlightTraceSummary};
 pub use http::IntrospectionServer;
 pub use metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 pub use service::{

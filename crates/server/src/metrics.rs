@@ -54,6 +54,9 @@ pub struct ServiceMetrics {
     pub solver_stagnations: u64,
     pub solver_divergences: u64,
     pub solver_nonfinite: u64,
+    /// Flight traces promoted to the retained store by the tail sampler
+    /// (bad verdicts, rejections, slow decile, probabilistic samples).
+    pub flight_retained_total: u64,
     /// Shape of the most recently solved hierarchy (0 until the first
     /// batch completes).
     pub hierarchy_levels: u64,
@@ -79,6 +82,7 @@ pub struct ServiceTelemetry {
     solver_stagnations: Arc<Counter>,
     solver_divergences: Arc<Counter>,
     solver_nonfinite: Arc<Counter>,
+    flight_retained: Arc<Counter>,
     hierarchy_levels: Arc<Gauge>,
     hierarchy_operator_complexity: Arc<Gauge>,
     hierarchy_grid_complexity: Arc<Gauge>,
@@ -143,6 +147,10 @@ impl ServiceTelemetry {
             "amgt_solver_nonfinite_total",
             "Solves that produced NaN/Inf values (non-finite events).",
         );
+        let flight_retained = registry.counter(
+            "amgt_flight_retained_total",
+            "Flight traces promoted to the retained store by the tail sampler.",
+        );
         let hierarchy_levels = registry.gauge(
             "amgt_hierarchy_levels",
             "Levels in the most recently solved hierarchy.",
@@ -179,11 +187,17 @@ impl ServiceTelemetry {
             solver_stagnations,
             solver_divergences,
             solver_nonfinite,
+            flight_retained,
             hierarchy_levels,
             hierarchy_operator_complexity,
             hierarchy_grid_complexity,
             hierarchy_level_rows,
         }
+    }
+
+    /// One flight trace was promoted to the retained store.
+    pub fn record_flight_retained(&self) {
+        self.flight_retained.inc();
     }
 
     /// Count one solver health event by kind.
@@ -265,6 +279,7 @@ impl ServiceTelemetry {
             solver_stagnations: self.solver_stagnations.get(),
             solver_divergences: self.solver_divergences.get(),
             solver_nonfinite: self.solver_nonfinite.get(),
+            flight_retained_total: self.flight_retained.get(),
             hierarchy_levels: self.hierarchy_levels.get() as u64,
             hierarchy_operator_complexity: self.hierarchy_operator_complexity.get(),
             hierarchy_grid_complexity: self.hierarchy_grid_complexity.get(),

@@ -20,10 +20,14 @@
 
 use crate::cache::{CacheKey, CacheOutcome, HierarchyCache};
 use crate::fingerprint::{config_hash, of_csr, value_hash};
+use crate::flight::{CompletedJob, FlightStore, FlightTraceSummary, DEFAULT_RETAIN_CAPACITY};
 use crate::metrics::{ServiceMetrics, ServiceTelemetry, MAX_BATCH};
 use amgt::prelude::*;
 use amgt::{resetup, setup, solve_batched_with_workspace, Hierarchy, KernelPolicy, SolveWorkspace};
-use amgt_trace::{Recorder, Recording, SpanKind};
+use amgt_trace::flight;
+use amgt_trace::{
+    FlightTrace, Recorder, Recording, RetainReason, SamplerConfig, SpanKind, TailSampler, TraceId,
+};
 use amgt_tune::PolicyStore;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::collections::VecDeque;
@@ -63,6 +67,16 @@ pub struct ServiceConfig {
     /// bitwise identical either way, so the override only changes host
     /// wall clock and never observable solver behaviour).
     pub exec: Option<ExecMode>,
+    /// Tail-sampling policy for the always-on flight recorder: bad
+    /// verdicts and pre-flight rejections are always retained; healthy
+    /// jobs are retained at `sample_probability` or when they land in the
+    /// slowest latency decile.
+    pub flight_sampler: SamplerConfig,
+    /// Retained flight traces kept before oldest-first eviction.
+    pub flight_retain: usize,
+    /// Dump every retained flight trace into this directory at shutdown
+    /// (`amgt-flight-<trace_id>.json`, one file per trace).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +90,9 @@ impl Default for ServiceConfig {
             spec: GpuSpec::a100(),
             policy_store: None,
             exec: None,
+            flight_sampler: SamplerConfig::default(),
+            flight_retain: DEFAULT_RETAIN_CAPACITY,
+            flight_dir: None,
         }
     }
 }
@@ -120,6 +137,12 @@ impl SolveRequest {
 /// A completed solve.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
+    /// Request identity: generated at enqueue, threaded through the flight
+    /// recorder, log fields, health events and the retained-trace store.
+    pub trace_id: TraceId,
+    /// Why this job's flight trace was retained, if the tail sampler
+    /// promoted it (fetch it at `/debug/flight/<trace_id>`).
+    pub flight_retained: Option<RetainReason>,
     pub x: Vec<f64>,
     pub relative_residual: f64,
     pub iterations: usize,
@@ -203,9 +226,17 @@ struct JobState {
 /// Caller-side handle to a submitted job.
 pub struct JobHandle {
     state: Arc<JobState>,
+    trace_id: TraceId,
 }
 
 impl JobHandle {
+    /// The job's request identity, assigned at enqueue. Quote it when
+    /// reporting a problem: the service's flight recorder indexes retained
+    /// traces by it.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
+    }
+
     /// Block until the job completes (or fails).
     pub fn wait(&self) -> Result<JobOutcome, JobError> {
         let mut slot = self.state.result.lock().unwrap();
@@ -240,6 +271,7 @@ struct Job {
     key: BatchKey,
     submitted: Instant,
     state: Arc<JobState>,
+    trace_id: TraceId,
 }
 
 impl Job {
@@ -258,6 +290,10 @@ struct Shared {
     policies: PolicyStore,
     /// Service-wide execution-backend override (see [`ServiceConfig::exec`]).
     exec_override: Option<ExecMode>,
+    /// Retained flight traces + the recently-completed-jobs ring.
+    flight: FlightStore,
+    /// Tail sampler deciding which finished jobs keep their flight trace.
+    sampler: TailSampler,
 }
 
 /// The in-process multi-tenant solve service.
@@ -283,12 +319,18 @@ impl SolverService {
             Some(path) => PolicyStore::open(path),
             None => PolicyStore::in_memory(),
         };
+        // The flight recorder is always on while a service lives in the
+        // process: recording is bounded (per-thread rings) and retention
+        // is tail-sampled, so "on" is cheap enough to be the default.
+        flight::enable();
         let shared = Arc::new(Shared {
             cache: Mutex::new(HierarchyCache::new(config.cache_capacity)),
             telemetry: ServiceTelemetry::new(),
             shutdown: AtomicBool::new(false),
             policies,
             exec_override: config.exec,
+            flight: FlightStore::new(config.flight_retain),
+            sampler: TailSampler::new(config.flight_sampler),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -325,17 +367,46 @@ impl SolverService {
             done: Condvar::new(),
             cancelled: AtomicBool::new(false),
         });
+        let trace_id = TraceId::generate();
         let job = Job {
             request,
             key,
             submitted: Instant::now(),
             state: Arc::clone(&state),
+            trace_id,
         };
         match self.tx.try_send(job) {
-            Ok(()) => Ok(JobHandle { state }),
+            Ok(()) => Ok(JobHandle { state, trace_id }),
             Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
         }
+    }
+
+    /// Index of retained flight traces (newest last).
+    pub fn flight_summaries(&self) -> Vec<FlightTraceSummary> {
+        self.shared.flight.summaries()
+    }
+
+    /// The retained flight trace for `id`, if the tail sampler promoted it
+    /// and it has not been evicted.
+    pub fn flight_trace(&self, id: TraceId) -> Option<FlightTrace> {
+        self.shared.flight.trace(id)
+    }
+
+    /// Recently completed jobs (bounded ring, oldest first).
+    pub fn recent_jobs(&self) -> Vec<CompletedJob> {
+        self.shared.flight.recent()
+    }
+
+    /// Write every retained flight trace into `dir`; returns how many
+    /// files were written.
+    pub fn dump_flight(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        self.shared.flight.dump_to_dir(dir)
+    }
+
+    /// The configuration the service was constructed with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
     }
 
     /// Current metrics snapshot.
@@ -387,6 +458,23 @@ impl SolverService {
         }
         // Synchronous mode (or jobs the workers never observed).
         self.drain_pending();
+        if let Some(dir) = &self.config.flight_dir {
+            match self.shared.flight.dump_to_dir(dir) {
+                Ok(n) => amgt_trace::log::info(
+                    "amgt::server",
+                    "flight traces dumped",
+                    &[
+                        ("dir", dir.display().to_string()),
+                        ("traces", n.to_string()),
+                    ],
+                ),
+                Err(e) => amgt_trace::log::warn(
+                    "amgt::server",
+                    "flight dump failed",
+                    &[("dir", dir.display().to_string()), ("error", e.to_string())],
+                ),
+            }
+        }
     }
 }
 
@@ -464,8 +552,32 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
                 amgt_trace::log::warn(
                     "amgt::server",
                     "job rejected in pre-flight",
-                    &[("reason", e.to_string())],
+                    &[
+                        ("trace_id", job.trace_id.to_hex()),
+                        ("reason", e.to_string()),
+                    ],
                 );
+                // Rejections are always retained: the trace is empty of
+                // device events (the job never ran), but the verdict,
+                // latency and identity survive for post-mortems.
+                let wall = job.submitted.elapsed().as_secs_f64();
+                shared.flight.retain(FlightTrace {
+                    trace_id: job.trace_id,
+                    verdict: e.to_string(),
+                    reason: RetainReason::Rejection,
+                    wall_seconds: wall,
+                    batch_size: 0,
+                    dropped_events: flight::dropped_events(),
+                    events: flight::snapshot_trace(job.trace_id),
+                });
+                shared.telemetry.record_flight_retained();
+                shared.flight.record_completed(CompletedJob {
+                    trace_id: job.trace_id,
+                    verdict: e.to_string(),
+                    wall_seconds: wall,
+                    batch_size: 0,
+                    retained: Some(RetainReason::Rejection),
+                });
                 job.complete(Err(e));
             }
             None => live.push(job),
@@ -493,16 +605,30 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     }
     let sim_start = device.elapsed();
 
+    // Request identity for the batch: the leader's trace id. Every flight
+    // event the setup and solve below record on this device — spans,
+    // kernels, residuals, health — is attributed to it; coalesced jobs
+    // promoted later share the batch's event stream.
+    let batch_id = live[0].trace_id;
+    device.set_flight(Some(batch_id));
+
     // Per-batch trace capture: if any coalesced job asked for it, record
     // the whole batch under one Job span and share the recording.
     let recorder = live.iter().any(|j| j.request.capture_trace).then(|| {
         let r = Arc::new(Recorder::new());
+        r.set_trace_id(batch_id.get());
         device.install_recorder(Arc::clone(&r));
         r
     });
     let job_span = recorder
         .as_ref()
         .map(|r| r.open_span(SpanKind::Job, format!("batch x{}", live.len()), sim_start));
+    let batch_label = amgt_trace::SpanLabel::with("batch", live.len() as u64);
+    flight::record(
+        batch_id,
+        sim_start,
+        amgt_trace::EventBody::span_begin(SpanKind::Job, batch_label),
+    );
 
     // Hierarchy: cache hit / value refresh / full setup. Setup and refresh
     // are charged to the same device, so `simulated_seconds` honestly
@@ -560,6 +686,12 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
     };
     let report = solve_batched_with_workspace(device, &amg_cfg, &hierarchy, &b, &mut x, ws);
     let simulated = device.elapsed() - sim_start;
+    flight::record(
+        batch_id,
+        device.elapsed(),
+        amgt_trace::EventBody::span_end(SpanKind::Job, batch_label),
+    );
+    device.set_flight(None);
 
     let trace: Option<Arc<Recording>> = recorder.map(|r| {
         if let Some(id) = job_span {
@@ -576,6 +708,7 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
         "amgt::server",
         "batch solved",
         &[
+            ("trace_id", batch_id.to_hex()),
             ("batch", batch_size.to_string()),
             ("cache", format!("{outcome:?}")),
             ("simulated_seconds", format!("{simulated:.3e}")),
@@ -601,7 +734,51 @@ fn process_batch(device: &Device, shared: &Shared, batch: Vec<Job>) {
             .filter(|ev| ev.column.is_none() || ev.column == Some(c))
             .cloned()
             .collect();
+        // Tail-based retention: decided now that the verdict and latency
+        // are known. Bad verdicts always keep their trace; healthy jobs
+        // keep it probabilistically or when they land in the slowest
+        // decile of recent latencies.
+        let verdict = report.column_outcomes[c];
+        let bad = matches!(
+            verdict,
+            amgt::SolveOutcome::Stagnated
+                | amgt::SolveOutcome::Diverged
+                | amgt::SolveOutcome::NonFinite
+        );
+        let flight_retained = shared.sampler.decide(bad, wall);
+        if let Some(reason) = flight_retained {
+            // Coalesced jobs share the batch's event stream (recorded
+            // under the leader's id) but are indexed by their own id.
+            shared.flight.retain(FlightTrace {
+                trace_id: job.trace_id,
+                verdict: verdict.label().to_string(),
+                reason,
+                wall_seconds: wall,
+                batch_size,
+                dropped_events: flight::dropped_events(),
+                events: flight::snapshot_trace(batch_id),
+            });
+            shared.telemetry.record_flight_retained();
+            amgt_trace::log::info(
+                "amgt::server",
+                "flight trace retained",
+                &[
+                    ("trace_id", job.trace_id.to_hex()),
+                    ("reason", reason.label().to_string()),
+                    ("verdict", verdict.label().to_string()),
+                ],
+            );
+        }
+        shared.flight.record_completed(CompletedJob {
+            trace_id: job.trace_id,
+            verdict: verdict.label().to_string(),
+            wall_seconds: wall,
+            batch_size,
+            retained: flight_retained,
+        });
         job.complete(Ok(JobOutcome {
+            trace_id: job.trace_id,
+            flight_retained,
             x: x.col(c).to_vec(),
             relative_residual: report.final_relative_residuals[c],
             iterations: report.column_iterations[c],

@@ -81,9 +81,23 @@ fn endpoint_serves_all_routes_while_jobs_are_in_flight() {
     let (status, head, body) = http_get(addr, "/jobs");
     assert_eq!(status, 200);
     assert!(head.contains("application/json"));
+    assert!(body.contains("\"metrics\":{"), "{body}");
     assert!(body.contains("\"queue_depth\":"), "{body}");
     assert!(body.contains("\"jobs_inflight\":"), "{body}");
     assert!(body.contains("\"batch_occupancy\":["), "{body}");
+    assert!(body.contains("\"recent\":["), "{body}");
+
+    let (status, head, body) = http_get(addr, "/version");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"));
+    assert!(body.contains("\"version\":\""), "{body}");
+    assert!(body.contains("\"git\":\""), "{body}");
+    assert!(body.contains("\"exec\":\""), "{body}");
+    assert!(body.contains("\"simd\":\""), "{body}");
+
+    let (status, _, body) = http_get(addr, "/debug/flight");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"retained\":["), "{body}");
 
     let (status, _, body) = http_get(addr, "/profile");
     assert_eq!(status, 200);
@@ -108,6 +122,11 @@ fn endpoint_serves_all_routes_while_jobs_are_in_flight() {
     let (_, _, body) = http_get(addr, "/metrics");
     assert!(body.contains("amgt_jobs_inflight 0.0\n"), "{body}");
     assert!(body.contains("amgt_jobs_completed_total 12\n"), "{body}");
+
+    // The completed-jobs ring now carries every job, with identity.
+    let (_, _, body) = http_get(addr, "/jobs");
+    assert!(body.contains("\"verdict\":\"Converged\""), "{body}");
+    assert!(body.contains("\"trace_id\":\""), "{body}");
 
     server.stop();
     amgt_exec::prof::disable();

@@ -7,10 +7,11 @@
 
 use crate::cost::{kernel_seconds, Algo, GpuSpec, KernelCost, KernelKind};
 use crate::precision::Precision;
-use amgt_trace::{KernelSample, Recorder, SpanKind};
+use amgt_trace::flight::{self, EventBody};
+use amgt_trace::{HealthEvent, KernelSample, Recorder, SpanKind, SpanLabel, TraceId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Phase of the AMG algorithm an event belongs to.
@@ -65,6 +66,11 @@ pub struct Device {
     state: Mutex<DeviceState>,
     traced: AtomicBool,
     recorder: Mutex<Option<Arc<Recorder>>>,
+    /// Raw flight-recorder [`TraceId`] of the job currently charging this
+    /// device (`0` = no request identity). Consulted only when the global
+    /// flight gate is already enabled, so an untraced run still pays one
+    /// relaxed load per charge.
+    flight_ctx: AtomicU64,
 }
 
 /// RAII guard for a trace span opened on a [`Device`]. Closes the span at
@@ -76,6 +82,10 @@ pub struct Device {
 pub struct DeviceSpan<'a> {
     device: &'a Device,
     open: Option<(Arc<Recorder>, u64)>,
+    /// Flight-recorder bookkeeping: the trace id captured at open plus the
+    /// span identity, so the SpanEnd event pairs with its SpanBegin even if
+    /// the device's flight context changes while the guard lives.
+    flight_open: Option<(TraceId, SpanKind, SpanLabel)>,
 }
 
 impl DeviceSpan<'_> {
@@ -90,6 +100,13 @@ impl Drop for DeviceSpan<'_> {
         if let Some((recorder, id)) = self.open.take() {
             recorder.close_span(id, self.device.elapsed());
         }
+        if let Some((trace_id, kind, label)) = self.flight_open.take() {
+            flight::record(
+                trace_id,
+                self.device.elapsed(),
+                EventBody::span_end(kind, label),
+            );
+        }
     }
 }
 
@@ -100,6 +117,7 @@ impl Device {
             state: Mutex::new(DeviceState::default()),
             traced: AtomicBool::new(false),
             recorder: Mutex::new(None),
+            flight_ctx: AtomicU64::new(0),
         }
     }
 
@@ -129,14 +147,64 @@ impl Device {
     }
 
     /// Open a named span at the current simulated clock; the returned
-    /// guard closes it on drop. `name` is only evaluated when a recorder
-    /// is installed, so untraced runs pay no formatting cost.
-    pub fn span(&self, kind: SpanKind, name: impl FnOnce() -> String) -> DeviceSpan<'_> {
+    /// guard closes it on drop. The [`SpanLabel`] is rendered to a string
+    /// only when a recorder is installed, so untraced runs pay no
+    /// formatting cost; the flight recorder stores the label unrendered.
+    pub fn span(&self, kind: SpanKind, label: SpanLabel) -> DeviceSpan<'_> {
         let open = self.recorder().map(|recorder| {
-            let id = recorder.open_span(kind, name(), self.elapsed());
+            let id = recorder.open_span(kind, label.render(), self.elapsed());
             (recorder, id)
         });
-        DeviceSpan { device: self, open }
+        let flight_open = if flight::is_enabled() {
+            self.flight_id().map(|trace_id| {
+                flight::record(trace_id, self.elapsed(), EventBody::span_begin(kind, label));
+                (trace_id, kind, label)
+            })
+        } else {
+            None
+        };
+        DeviceSpan {
+            device: self,
+            open,
+            flight_open,
+        }
+    }
+
+    /// Attach (or clear, with `None`) the flight-recorder request identity
+    /// that subsequent charges on this device are attributed to.
+    pub fn set_flight(&self, trace_id: Option<TraceId>) {
+        self.flight_ctx
+            .store(trace_id.map_or(0, |id| id.get()), Ordering::Relaxed);
+    }
+
+    /// The flight-recorder request identity currently attached, if any.
+    pub fn flight_id(&self) -> Option<TraceId> {
+        TraceId::from_raw(self.flight_ctx.load(Ordering::Relaxed))
+    }
+
+    /// Record a per-iteration residual into the flight ring, attributed to
+    /// the attached request identity. No-op when the flight recorder is
+    /// disabled or no identity is attached.
+    pub fn flight_residual(&self, iteration: usize, column: Option<usize>, relres: f64) {
+        if flight::is_enabled() {
+            if let Some(id) = self.flight_id() {
+                flight::record(
+                    id,
+                    self.elapsed(),
+                    EventBody::residual(iteration, column, relres),
+                );
+            }
+        }
+    }
+
+    /// Record a health incident into the flight ring, attributed to the
+    /// attached request identity. No-op when disabled or unattributed.
+    pub fn flight_health(&self, ev: &HealthEvent) {
+        if flight::is_enabled() {
+            if let Some(id) = self.flight_id() {
+                flight::record(id, self.elapsed(), EventBody::health(ev));
+            }
+        }
     }
 
     /// Price a cost without recording it (pure query).
@@ -185,6 +253,7 @@ impl Device {
                 kind, algo, phase, level, precision, sim_start, seconds, cost, wall_ns,
             );
         }
+        self.flight_kernel(kind, algo, phase, level, precision, sim_start, seconds);
         seconds
     }
 
@@ -205,6 +274,38 @@ impl Device {
             self.trace_kernel(
                 kind, algo, phase, level, precision, sim_start, seconds, &cost, 0,
             );
+        }
+        self.flight_kernel(kind, algo, phase, level, precision, sim_start, seconds);
+    }
+
+    /// Flight-recorder kernel hook: one relaxed load when the global gate
+    /// is off, one more for the per-device identity when it is on.
+    #[allow(clippy::too_many_arguments)]
+    fn flight_kernel(
+        &self,
+        kind: KernelKind,
+        algo: Algo,
+        phase: Phase,
+        level: u32,
+        precision: Precision,
+        sim_start: f64,
+        seconds: f64,
+    ) {
+        if flight::is_enabled() {
+            if let Some(id) = self.flight_id() {
+                flight::record(
+                    id,
+                    sim_start,
+                    EventBody::kernel(
+                        kind.label(),
+                        algo.label(),
+                        phase.label(),
+                        level,
+                        precision.label(),
+                        seconds,
+                    ),
+                );
+            }
         }
     }
 
@@ -507,7 +608,7 @@ mod tests {
         dev.install_recorder(recorder.clone());
         let t_before = dev.elapsed();
         {
-            let _span = dev.span(SpanKind::Phase, || "solve".to_string());
+            let _span = dev.span(SpanKind::Phase, SpanLabel::named("solve"));
             dev.charge(
                 KernelKind::SpMV,
                 Algo::AmgT,
@@ -550,8 +651,73 @@ mod tests {
     #[test]
     fn untraced_span_is_inert() {
         let dev = Device::new(GpuSpec::a100());
-        let span = dev.span(SpanKind::Phase, || unreachable!("name must stay lazy"));
+        let span = dev.span(SpanKind::Phase, SpanLabel::named("inert"));
         assert_eq!(span.id(), None);
+    }
+
+    #[test]
+    fn flight_hooks_attribute_to_the_attached_identity() {
+        use amgt_trace::flight::EventTag;
+        // The only sim-crate test that enables the process-global flight
+        // gate; other tests' devices carry no identity, so they cannot
+        // pollute this trace id even while the gate is on.
+        flight::enable();
+        let dev = Device::new(GpuSpec::a100());
+        // No identity attached: the enabled gate alone records nothing.
+        dev.charge(
+            KernelKind::Vector,
+            Algo::Shared,
+            Phase::Preprocess,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
+        let id = TraceId::generate();
+        dev.set_flight(Some(id));
+        assert_eq!(dev.flight_id(), Some(id));
+        {
+            let _span = dev.span(SpanKind::Level, SpanLabel::with("level", 2));
+            dev.charge(
+                KernelKind::SpMV,
+                Algo::AmgT,
+                Phase::Solve,
+                2,
+                Precision::Fp16,
+                &cost_bytes(1e6),
+            );
+            dev.flight_residual(1, None, 0.25);
+        }
+        dev.set_flight(None);
+        // Detached again: further charges are unattributed.
+        dev.charge(
+            KernelKind::Vector,
+            Algo::Shared,
+            Phase::Solve,
+            0,
+            Precision::Fp64,
+            &cost_bytes(1e6),
+        );
+        flight::disable();
+
+        let events = flight::snapshot_trace(id);
+        let tags: Vec<EventTag> = events.iter().map(|e| e.body.tag).collect();
+        assert_eq!(
+            tags,
+            vec![
+                EventTag::SpanBegin,
+                EventTag::Kernel,
+                EventTag::Residual,
+                EventTag::SpanEnd
+            ],
+            "{events:?}"
+        );
+        assert_eq!(events[0].body.name, "level");
+        assert_eq!(events[0].body.arg, 2);
+        assert_eq!(events[1].body.name, KernelKind::SpMV.label());
+        assert_eq!(events[1].body.precision, "FP16");
+        assert_eq!(events[1].body.level, 2);
+        assert_eq!(events[2].body.value, 0.25);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]

@@ -40,4 +40,5 @@ pub use precision::{Precision, F16};
 // (`amgt_sim::Recorder` is the same type `Device::install_recorder` takes).
 pub use amgt_trace::{
     HealthEvent, HealthEventKind, HierarchyDiagnostics, LevelStats, Recorder, Recording, SpanKind,
+    SpanLabel, TraceId,
 };

@@ -49,6 +49,17 @@ impl HealthEventKind {
             HealthEventKind::NonFinite => "NonFinite",
         }
     }
+
+    /// Inverse of [`label`](Self::label) — used when rebuilding events
+    /// from compact flight-recorder captures.
+    pub fn from_label(label: &str) -> Option<HealthEventKind> {
+        match label {
+            "Stagnation" => Some(HealthEventKind::Stagnation),
+            "Divergence" => Some(HealthEventKind::Divergence),
+            "NonFinite" => Some(HealthEventKind::NonFinite),
+            _ => None,
+        }
+    }
 }
 
 /// One structured health incident. Emitted through
@@ -72,6 +83,10 @@ pub struct HealthEvent {
     pub column: Option<usize>,
     /// Free-form context ("residual grew 1.2e5x", ...).
     pub detail: String,
+    /// Raw flight-recorder [`TraceId`](crate::TraceId) of the job that
+    /// produced the event; `0` when the solve ran without request
+    /// identity (direct library use).
+    pub trace_id: u64,
 }
 
 impl HealthEvent {
@@ -218,6 +233,7 @@ mod tests {
             precision: Some("FP16"),
             column: None,
             detail: "NaN after pre-smoothing".to_string(),
+            trace_id: 0,
         };
         let s = ev.summary();
         assert!(s.contains("NonFinite at iteration 3"), "{s}");
@@ -236,6 +252,7 @@ mod tests {
             precision: None,
             column: Some(4),
             detail: String::new(),
+            trace_id: 0,
         };
         let s = ev.summary();
         assert!(s.contains("Divergence at iteration 7"), "{s}");

@@ -24,6 +24,7 @@
 //! `amgt-server` (service telemetry + per-job trace capture).
 
 pub mod export;
+pub mod flight;
 pub mod health;
 pub mod json;
 pub mod log;
@@ -32,6 +33,10 @@ pub mod profile;
 pub mod recorder;
 
 pub use export::{chrome_trace, folded_stacks, folded_total_ns, Breakdown, BreakdownRow};
+pub use flight::{
+    EventBody, EventTag, FlightEvent, FlightTrace, RetainReason, SamplerConfig, SpanLabel,
+    TailSampler, TraceId,
+};
 pub use health::{HealthEvent, HealthEventKind, HierarchyDiagnostics, LevelStats};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};

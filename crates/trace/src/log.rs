@@ -9,10 +9,21 @@
 //! [WARN amgt::cli] policy file ignored reason="parse error" path=policy.json
 //! ```
 //!
-//! The maximum level is a global relaxed atomic — a disabled event costs
-//! one load and no formatting. The sink is stderr by default; tests can
-//! swap in a capture buffer with [`capture`]. `AMGT_LOG=debug|info|warn|
-//! error|off` configures the level via [`init_from_env`].
+//! The *coarsest* enabled level is a global relaxed atomic — an event no
+//! directive could enable costs one load and no formatting. On top of
+//! that sits an env-filter in the `RUST_LOG` dialect: `AMGT_LOG` accepts
+//! a comma list of directives, each either a bare level (the default for
+//! all targets) or `target=level` (longest-prefix match wins):
+//!
+//! ```text
+//! AMGT_LOG=info                          # info everywhere
+//! AMGT_LOG=warn,amgt::server=debug       # debug for the server, warn elsewhere
+//! AMGT_LOG=off,amgt::server::http=info   # only the http module speaks
+//! ```
+//!
+//! Unparsable directives are ignored (never fatal); empty/whitespace
+//! segments are skipped. The sink is stderr by default; tests can swap in
+//! a capture buffer with [`capture`].
 
 use parking_lot::Mutex;
 use std::fmt::Write as _;
@@ -55,7 +66,22 @@ impl Level {
 /// this module replaces.
 const DEFAULT_MAX: u8 = Level::Warn as u8;
 
+/// Coarse gate: the maximum level *any* directive enables. A fast
+/// pre-check so disabled events cost one relaxed load; the per-target
+/// directives refine it under the sink lock's neighborhood (rare path).
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_MAX);
+
+/// One `target=level` directive; `target.is_empty()` is the default rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Directive {
+    target: String,
+    /// `0` = off.
+    max: u8,
+}
+
+/// Per-target directives, longest-prefix-match. Empty vec = only the
+/// default in `MAX_LEVEL` applies (the common, fast configuration).
+static DIRECTIVES: Mutex<Vec<Directive>> = Mutex::new(Vec::new());
 
 enum Sink {
     Stderr,
@@ -64,24 +90,100 @@ enum Sink {
 
 static SINK: Mutex<Sink> = Mutex::new(Sink::Stderr);
 
-/// Set the maximum level that prints (`None` silences everything).
+/// The bare-level default of the installed filter: applies to targets no
+/// directive matches. Kept separately from `MAX_LEVEL`, which is the
+/// coarse max over the default *and* every directive.
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_MAX);
+
+/// Set the maximum level that prints for every target (`None` silences
+/// everything). Clears any per-target directives.
 pub fn set_max_level(level: Option<Level>) {
-    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    DIRECTIVES.lock().clear();
+    let max = level.map_or(0, |l| l as u8);
+    DEFAULT_LEVEL.store(max, Ordering::Relaxed);
+    MAX_LEVEL.store(max, Ordering::Relaxed);
 }
 
-/// Would an event at `level` print? One relaxed load.
+/// Parse and install an env-filter spec (see the module docs). Returns
+/// the number of directives understood; unparsable segments are skipped.
+/// A spec with no valid directive leaves the configuration unchanged.
+pub fn set_filter(spec: &str) -> usize {
+    let mut default: Option<u8> = None;
+    let mut directives: Vec<Directive> = Vec::new();
+    for segment in spec.split(',') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            continue;
+        }
+        match segment.split_once('=') {
+            None => {
+                if let Some(parsed) = Level::parse(segment) {
+                    default = Some(parsed.map_or(0, |l| l as u8));
+                }
+            }
+            Some((target, level)) => {
+                let target = target.trim();
+                let level = level.trim();
+                if target.is_empty() {
+                    continue;
+                }
+                if let Some(parsed) = Level::parse(level) {
+                    directives.push(Directive {
+                        target: target.to_string(),
+                        max: parsed.map_or(0, |l| l as u8),
+                    });
+                }
+            }
+        }
+    }
+    let understood = directives.len() + usize::from(default.is_some());
+    if understood == 0 {
+        return 0;
+    }
+    // Most-specific (longest) target first, so the first prefix match is
+    // the winning directive.
+    directives.sort_by_key(|d| std::cmp::Reverse(d.target.len()));
+    let default = default.unwrap_or(DEFAULT_MAX);
+    let coarse = directives.iter().map(|d| d.max).fold(default, u8::max);
+    *DIRECTIVES.lock() = directives;
+    DEFAULT_LEVEL.store(default, Ordering::Relaxed);
+    MAX_LEVEL.store(coarse, Ordering::Relaxed);
+    understood
+}
+
+/// Could an event at `level` print for *some* target? One relaxed load —
+/// the cost of a fully disabled event.
 #[inline]
 pub fn enabled(level: Level) -> bool {
     level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 
-/// Configure the level from `AMGT_LOG` (unset or unparsable = leave the
-/// default). Returns the level that is now active.
+/// Would an event at `level` from `target` print? The coarse gate first
+/// (one relaxed load), then the per-target directives (longest prefix
+/// wins, bare-level default otherwise).
+pub fn enabled_for(level: Level, target: &str) -> bool {
+    if !enabled(level) {
+        return false;
+    }
+    let directives = DIRECTIVES.lock();
+    if directives.is_empty() {
+        return true;
+    }
+    // Directives are sorted longest-target-first, so the first prefix
+    // match is the most specific one.
+    for d in directives.iter() {
+        if target.starts_with(d.target.as_str()) {
+            return level as u8 <= d.max;
+        }
+    }
+    level as u8 <= DEFAULT_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Configure the filter from `AMGT_LOG` (unset or unparsable = leave the
+/// default). Returns the coarsest level that is now active.
 pub fn init_from_env() -> Option<Level> {
     if let Ok(v) = std::env::var("AMGT_LOG") {
-        if let Some(parsed) = Level::parse(&v) {
-            set_max_level(parsed);
-        }
+        set_filter(&v);
     }
     match MAX_LEVEL.load(Ordering::Relaxed) {
         0 => None,
@@ -125,7 +227,7 @@ fn needs_quoting(v: &str) -> bool {
 /// Emit one event. `fields` are appended as `key=value`, quoting values
 /// containing spaces/quotes. Cheap no-op when `level` is disabled.
 pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
-    if !enabled(level) {
+    if !enabled_for(level, target) {
         return;
     }
     let mut line = format!("[{} {}] {}", level.label(), target, message);
@@ -166,7 +268,8 @@ pub fn debug(target: &str, message: &str, fields: &[(&str, String)]) {
 mod tests {
     use super::*;
 
-    // The level and sink are global; serialize the tests that touch them.
+    // The level, directives and sink are global; serialize the tests
+    // that touch them.
     static TEST_GUARD: Mutex<()> = Mutex::new(());
 
     #[test]
@@ -237,5 +340,87 @@ mod tests {
         assert!(line.contains("empty=\"\""), "{line}");
         assert!(line.contains("eq=\"a=b\""), "{line}");
         assert!(line.contains("plain=x"), "{line}");
+    }
+
+    #[test]
+    fn filter_bare_level_applies_everywhere() {
+        let _g = TEST_GUARD.lock();
+        assert_eq!(set_filter("info"), 1);
+        assert!(enabled_for(Level::Info, "amgt::server"));
+        assert!(enabled_for(Level::Info, "anything"));
+        assert!(!enabled_for(Level::Debug, "amgt::server"));
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn filter_invalid_levels_are_ignored() {
+        let _g = TEST_GUARD.lock();
+        set_max_level(Some(Level::Warn));
+        // Entirely unparsable spec: configuration unchanged.
+        assert_eq!(set_filter("verbose"), 0);
+        assert_eq!(set_filter("amgt::server=loud"), 0);
+        assert_eq!(set_filter("=debug"), 0);
+        assert!(enabled_for(Level::Warn, "amgt::server"));
+        assert!(!enabled_for(Level::Info, "amgt::server"));
+        // Mixed spec: the valid directive still lands.
+        assert_eq!(set_filter("bogus,amgt::server=debug,also=bad"), 1);
+        assert!(enabled_for(Level::Debug, "amgt::server"));
+        assert!(!enabled_for(Level::Info, "amgt::cli"));
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn filter_multi_target_comma_list() {
+        let _g = TEST_GUARD.lock();
+        assert_eq!(set_filter("warn,amgt::server=debug,amgt::cli=error"), 3);
+        assert!(enabled_for(Level::Debug, "amgt::server"));
+        assert!(!enabled_for(Level::Warn, "amgt::cli"));
+        assert!(enabled_for(Level::Error, "amgt::cli"));
+        // Unmatched target falls back to the bare default.
+        assert!(enabled_for(Level::Warn, "amgt::bench"));
+        assert!(!enabled_for(Level::Info, "amgt::bench"));
+        // The coarse gate is the max over everything.
+        assert!(enabled(Level::Debug));
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn filter_longest_prefix_wins() {
+        let _g = TEST_GUARD.lock();
+        assert_eq!(set_filter("off,amgt=warn,amgt::server::http=debug"), 3);
+        assert!(enabled_for(Level::Debug, "amgt::server::http"));
+        assert!(enabled_for(Level::Debug, "amgt::server::http::conn"));
+        // `amgt::server` matches only the shorter `amgt` directive.
+        assert!(!enabled_for(Level::Info, "amgt::server"));
+        assert!(enabled_for(Level::Warn, "amgt::server"));
+        // Bare default is off: unrelated targets are silenced entirely.
+        assert!(!enabled_for(Level::Error, "other::crate"));
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn filter_empty_and_whitespace_segments_are_skipped() {
+        let _g = TEST_GUARD.lock();
+        assert_eq!(set_filter(""), 0);
+        assert_eq!(set_filter("   "), 0);
+        assert_eq!(set_filter(",,, ,"), 0);
+        assert_eq!(set_filter(" , info , amgt::server = debug ,"), 2);
+        assert!(enabled_for(Level::Info, "amgt::cli"));
+        assert!(enabled_for(Level::Debug, "amgt::server"));
+        assert!(!enabled_for(Level::Debug, "amgt::cli"));
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn filter_off_target_silences_only_that_target() {
+        let _g = TEST_GUARD.lock();
+        let cap = capture();
+        assert_eq!(set_filter("info,amgt::noisy=off"), 2);
+        info("amgt::noisy", "dropped", &[]);
+        info("amgt::other", "kept", &[]);
+        let lines = cap.lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("kept"), "{lines:?}");
+        set_max_level(Some(Level::Warn));
     }
 }

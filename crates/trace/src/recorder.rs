@@ -158,6 +158,10 @@ pub struct Recording {
     /// recorded). Results are bitwise identical across backends; wall-clock
     /// fields are only comparable between recordings with equal labels.
     pub exec: String,
+    /// Raw flight-recorder trace id of the job this recording captured
+    /// (`0` = the run carried no request identity). Lets an opt-in full
+    /// trace be joined against flight-recorder artifacts and log lines.
+    pub trace_id: u64,
 }
 
 impl Recording {
@@ -251,6 +255,7 @@ struct RecorderState {
     policy: Option<PolicyNote>,
     threads: usize,
     exec: String,
+    trace_id: u64,
 }
 
 /// Thread-safe trace collector. One recorder is meant to observe one
@@ -299,6 +304,7 @@ impl Recorder {
                 policy: None,
                 threads: 0,
                 exec: String::new(),
+                trace_id: 0,
             }),
         }
     }
@@ -415,6 +421,12 @@ impl Recorder {
         self.state.lock().exec = exec.into();
     }
 
+    /// Attach the raw flight-recorder trace id of the job being recorded
+    /// (see [`Recording::trace_id`]).
+    pub fn set_trace_id(&self, trace_id: u64) {
+        self.state.lock().trace_id = trace_id;
+    }
+
     /// Clone the current state without draining it.
     pub fn snapshot(&self) -> Recording {
         let st = self.state.lock();
@@ -428,6 +440,7 @@ impl Recorder {
             policy: st.policy.clone(),
             threads: st.threads,
             exec: st.exec.clone(),
+            trace_id: st.trace_id,
         }
     }
 
@@ -444,6 +457,7 @@ impl Recorder {
             policy: st.policy.take(),
             threads: st.threads,
             exec: st.exec.clone(),
+            trace_id: st.trace_id,
         };
         st.stack.clear();
         st.dropped_spans = 0;
@@ -580,6 +594,7 @@ mod tests {
             precision: None,
             column: None,
             detail: "residual grew 1.0e5x".to_string(),
+            trace_id: 0,
         });
         r.set_hierarchy(HierarchyDiagnostics {
             levels: vec![LevelStats {
@@ -624,6 +639,7 @@ mod tests {
                 precision: None,
                 column: None,
                 detail: String::new(),
+                trace_id: 0,
             });
         }
         assert_eq!(r.take().health.len(), 2);

@@ -29,9 +29,10 @@ wall_out="$(mktemp -t amgt-wall-XXXXXX.json)"
 wall_native_out="$(mktemp -t amgt-wall-native-XXXXXX.json)"
 profile_out="$(mktemp -t amgt-profile-XXXXXX.json)"
 folded_out="$(mktemp -t amgt-folded-XXXXXX.txt)"
+flight_out="$(mktemp -t amgt-flight-XXXXXX.json)"
 serverd_log="$(mktemp -t amgt-serverd-XXXXXX.log)"
 trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out" \
-    "$profile_out" "$folded_out" "$serverd_log"' EXIT
+    "$profile_out" "$folded_out" "$flight_out" "$serverd_log"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
 grep -q '"traceEvents"' "$trace_out"
@@ -76,6 +77,18 @@ cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
     --exec native --threads 1 --out /dev/null --compare "$wall_out" >/dev/null
 echo "    wrote, validated, and alloc-round-tripped $wall_native_out"
 
+echo "==> flight-overhead smoke: recorder on vs off, geomean gated at 5%"
+# The bench's --flight-overhead mode interleaves recorder-disabled and
+# recorder-enabled solves and exits non-zero by itself if the enabled
+# run's solve-phase wall geomean regresses past the budget (default
+# x1.05). The report lands as schema v6 with a flight_overhead block.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --flight-overhead \
+    --out "$flight_out"
+python3 -m json.tool "$flight_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --validate "$flight_out" >/dev/null
+grep -q '"flight_overhead"' "$flight_out"
+echo "    wrote, validated, and gated $flight_out"
+
 echo "==> profile smoke: --profile fidelity JSON + non-empty folded stacks"
 cargo run --release -q --bin amgt-cli -- --poisson2d 32 --exec native \
     --profile "$profile_out" --folded "$folded_out" >/dev/null
@@ -106,9 +119,12 @@ assert sys.argv[2] in body, f"{sys.argv[1]}: {sys.argv[2]!r} not in response"
 fetch /healthz "ok"
 fetch /metrics "# TYPE amgt_jobs_inflight gauge"
 fetch /jobs '"queue_depth"'
+fetch /jobs '"recent"'
+fetch /version '"git"'
+fetch /debug/flight '"retained"'
 fetch /profile '"fidelity"'
 kill "$serverd_pid" 2>/dev/null || true
 wait "$serverd_pid" 2>/dev/null || true
-echo "    serverd at $base_url answered /healthz /metrics /jobs /profile"
+echo "    serverd at $base_url answered /healthz /metrics /jobs /version /debug/flight /profile"
 
 echo "OK: all checks passed"
