@@ -20,14 +20,15 @@ use amgt::prelude::*;
 use amgt::Operator;
 use amgt_bench::alloc::{snapshot, CountingAlloc};
 use amgt_bench::report::{
-    compare, BenchCase, BenchReport, CompareThresholds, FidelityInfo, FlightOverheadCase,
+    compare, BenchCase, BenchReport, CompareThresholds, DistInfo, FidelityInfo, FlightOverheadCase,
     FlightOverheadInfo, PolicyInfo, WallStats, SCHEMA_VERSION,
 };
 use amgt_bench::Variant;
+use amgt_dist::{dist_solve, DistConfig};
 use amgt_kernels::spgemm_mbsr::spgemm_mbsr;
 use amgt_kernels::vendor::spgemm_csr;
 use amgt_kernels::Ctx;
-use amgt_sim::Phase;
+use amgt_sim::{Cluster, Interconnect, Phase};
 use amgt_sparse::gen::{laplacian_2d, laplacian_3d, rhs_of_ones, Stencil2d, Stencil3d};
 use amgt_sparse::suite::{self, Scale};
 use std::path::PathBuf;
@@ -75,6 +76,10 @@ struct Options {
     /// Maximum tolerated recorder-on/off solve-wall ratio before
     /// `--flight-overhead` fails the run.
     flight_budget: f64,
+    /// Distributed mode (`--ranks N`, N > 1): run each e2e case through
+    /// the domain-decomposed solver over N in-process ranks and attach the
+    /// v7 `dist` block (comm/compute split, halo traffic, collectives).
+    ranks: usize,
 }
 
 fn usage() -> ! {
@@ -84,7 +89,7 @@ fn usage() -> ! {
          \x20      [--compare BASELINE.json] [--time-ratio X] [--iter-slack N]\n\
          \x20      [--alloc-ratio X] [--alloc-slack N] [--wallclock] [--threads N]\n\
          \x20      [--exec sim|native] [--profile] [--validate FILE]\n\
-         \x20      [--flight-overhead] [--flight-budget X]\n\
+         \x20      [--flight-overhead] [--flight-budget X] [--ranks N]\n\
          \x20      [--tuned-vs-default] [--tune-budget N]"
     );
     std::process::exit(2);
@@ -109,6 +114,7 @@ fn parse_args() -> Options {
         profile: false,
         flight_overhead: false,
         flight_budget: 1.05,
+        ranks: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -150,6 +156,12 @@ fn parse_args() -> Options {
             "--flight-overhead" => opt.flight_overhead = true,
             "--flight-budget" => {
                 opt.flight_budget = next().parse().unwrap_or_else(|_| usage());
+            }
+            "--ranks" => {
+                opt.ranks = next().parse().unwrap_or_else(|_| usage());
+                if opt.ranks == 0 {
+                    usage();
+                }
             }
             "--validate" => opt.validate = Some(PathBuf::from(next())),
             "--tuned-vs-default" => opt.tuned_vs_default = true,
@@ -258,6 +270,55 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
         grid_complexity: diag.grid_complexity,
         outcome: rep.solve_report.outcome.label().to_string(),
         wall,
+        dist: None,
+    }
+}
+
+/// One distributed end-to-end case: partitioned setup + solve over
+/// `ranks` in-process ranks, with the comm/compute split and halo
+/// traffic recorded in the v7 `dist` block. The hierarchy lives rank-local,
+/// so the complexity fields (which would need the gathered global
+/// hierarchy) are zeroed like the kernel microbenches.
+fn dist_case(opt: &Options, stem: &str, a: &Csr, variant: Variant, ranks: usize) -> BenchCase {
+    let cluster = Cluster::new(opt.gpu.clone(), ranks, Interconnect::nvlink());
+    let b = rhs_of_ones(a);
+    let mut cfg = variant.config(opt.iters);
+    cfg.tolerance = 1e-8;
+    cfg.exec = opt.exec;
+    let (_x, rep) = dist_solve(&cluster, &cfg, &DistConfig::default(), a.clone(), &b);
+    for r in &rep.per_rank {
+        println!(
+            "    rank {}: {:>8} rows {:>9} nnz  compute {:>10.3e} s  comm {:>10.3e} s  \
+             halo {:>10.0} B",
+            r.rank, r.rows, r.nnz, r.compute_seconds, r.comm_seconds, r.halo_bytes
+        );
+    }
+    BenchCase {
+        name: format!("dist:{stem}:{}:p{ranks}", variant_slug(variant)),
+        variant: variant.label().to_string(),
+        n: a.nrows(),
+        nnz: a.nnz(),
+        levels: rep.levels,
+        iterations: rep.solve_report.iterations,
+        setup_seconds: rep.setup_seconds,
+        solve_seconds: rep.solve_seconds,
+        total_seconds: rep.total_seconds(),
+        final_relative_residual: rep.solve_report.final_relative_residual(),
+        convergence_factor: rep.solve_report.convergence_factor,
+        operator_complexity: 0.0,
+        grid_complexity: 0.0,
+        outcome: rep.solve_report.outcome.label().to_string(),
+        wall: None,
+        dist: Some(DistInfo {
+            ranks: rep.ranks,
+            gathered_levels: rep.gathered_levels,
+            edge_cut: rep.edge_cut as u64,
+            imbalance: rep.imbalance,
+            comm_seconds: rep.comm_seconds,
+            halo_bytes: rep.halo_bytes,
+            halo_messages: rep.halo_messages,
+            allreduce_count: rep.allreduce_count,
+        }),
     }
 }
 
@@ -307,6 +368,7 @@ fn kernel_cases(opt: &Options, stem: &str, a: &Csr) -> Vec<BenchCase> {
             grid_complexity: 0.0,
             outcome: "Converged".to_string(),
             wall: None,
+            dist: None,
         };
         out.push(blank(
             format!("kernel:spmv-x{SPMV_REPS}:{stem}:{slug}"),
@@ -402,6 +464,7 @@ fn flight_overhead_case(opt: &Options, stem: &str, a: &Csr) -> (FlightOverheadCa
         grid_complexity: diag.grid_complexity,
         outcome: warm.outcome.label().to_string(),
         wall: None,
+        dist: None,
     };
     (flight, case)
 }
@@ -518,6 +581,7 @@ fn main() -> ExitCode {
                 grid_complexity: 0.0,
                 outcome: "Converged".to_string(),
                 wall: None,
+                dist: None,
             };
             cases.push(tune_case("default", r.default_score));
             cases.push(tune_case("tuned", r.score));
@@ -562,6 +626,36 @@ fn main() -> ExitCode {
                 cases.push(case);
             }
             cases.extend(kernel_cases(&opt, stem, a));
+        }
+        // Distributed sweep (`--ranks N`, N > 1): every system through
+        // every variant at P = 1 and P = N, so one report carries the
+        // single-rank baseline next to the scaled run.
+        if opt.ranks > 1 {
+            for (stem, a) in &systems {
+                println!(
+                    "dist {stem}: n = {}, nnz = {}, ranks 1 and {}",
+                    a.nrows(),
+                    a.nnz(),
+                    opt.ranks
+                );
+                for variant in Variant::ALL {
+                    for ranks in [1, opt.ranks] {
+                        let case = dist_case(&opt, stem, a, variant, ranks);
+                        let d = case.dist.as_ref().expect("dist case carries dist info");
+                        println!(
+                            "  {:<32} {:>3} iters  {:>10.3e} s  comm {:>10.3e} s  \
+                             halo {:.0} B  {}",
+                            case.name,
+                            case.iterations,
+                            case.total_seconds,
+                            d.comm_seconds,
+                            d.halo_bytes,
+                            case.outcome
+                        );
+                        cases.push(case);
+                    }
+                }
+            }
         }
     }
 

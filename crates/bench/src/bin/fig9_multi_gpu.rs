@@ -6,8 +6,8 @@
 //! kernel advantage.
 
 use amgt::geomean;
-use amgt::multi_gpu::run_amg_multi_gpu;
 use amgt_bench::{fmt_time, HarnessArgs, Table, Variant};
+use amgt_dist::run_amg_multi_gpu;
 use amgt_sim::{Cluster, GpuSpec, Interconnect};
 use amgt_sparse::gen::rhs_of_ones;
 

@@ -23,8 +23,8 @@ use amgt_sparse::suite::{self, Scale, SuiteEntry, SuiteError};
 use amgt_trace::Recording;
 
 pub use report::{
-    compare, BenchCase, BenchReport, CompareThresholds, PolicyInfo, Regression, WallStats,
-    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    compare, BenchCase, BenchReport, CompareThresholds, DistInfo, PolicyInfo, Regression,
+    WallStats, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 
 /// Parsed common CLI options.

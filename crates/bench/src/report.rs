@@ -32,14 +32,17 @@ use serde::Serialize;
 ///   solve-phase wall with the flight recorder off vs on and the geomean
 ///   ratio, written by the `--flight-overhead` mode that gates recorder
 ///   cost in CI).
-pub const SCHEMA_VERSION: u64 = 6;
+/// * v7 — adds the optional per-case `dist` object (rank count, finest
+///   partition edge cut and imbalance, comm/compute split, halo traffic
+///   and collective counters from a `--ranks N` distributed run).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
 /// with `policy: None`, v2 reports with `wall: None`/`threads: None`,
 /// v3 reports with `exec: None`/`simd: None`, v4 reports with
-/// `fidelity: None`, and v5 reports with `flight_overhead: None`, so
-/// `--validate` and `--compare` keep working against baselines written
-/// before those fields existed.
+/// `fidelity: None`, v5 reports with `flight_overhead: None`, and v6
+/// reports with `dist: None`, so `--validate` and `--compare` keep
+/// working against baselines written before those fields existed.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The kernel policy a report's cases ran under, plus where it came from.
@@ -166,6 +169,30 @@ pub struct FlightOverheadInfo {
     pub cases: Vec<FlightOverheadCase>,
 }
 
+/// Distributed-run summary of one case (v7+, written only by `--ranks N`
+/// runs). Simulated-clock-derived like the timing fields, so exactly
+/// reproducible and safe to gate on.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistInfo {
+    /// Ranks the solve ran over.
+    pub ranks: usize,
+    /// Trailing hierarchy levels gathered and solved redundantly.
+    pub gathered_levels: usize,
+    /// Nonzeros coupling rows across rank boundaries on the finest level.
+    pub edge_cut: u64,
+    /// `max / mean` nonzeros per rank on the finest level (1.0 = perfect).
+    pub imbalance: f64,
+    /// Slowest rank's interconnect time inside the solve phase; the
+    /// compute share is `solve_seconds - comm_seconds` of the case.
+    pub comm_seconds: f64,
+    /// Total precision-scaled halo payload across ranks, bytes.
+    pub halo_bytes: f64,
+    /// Point-to-point halo messages across ranks.
+    pub halo_messages: u64,
+    /// Scalar all-reduces issued during the solve.
+    pub allreduce_count: u64,
+}
+
 /// One benchmark case: a (matrix, solver-variant) end-to-end run or a
 /// kernel microbench (where only the timing fields are meaningful).
 #[derive(Clone, Debug, Serialize)]
@@ -190,6 +217,8 @@ pub struct BenchCase {
     pub outcome: String,
     /// Wall-clock + allocation measurements (v3+, `--wallclock` runs only).
     pub wall: Option<WallStats>,
+    /// Distributed-run summary (v7+, `--ranks N` runs only).
+    pub dist: Option<DistInfo>,
 }
 
 /// The full report: schema header plus all cases from one runner pass.
@@ -401,6 +430,25 @@ impl BenchReport {
                     ));
                 }
             }
+            if let Some(d) = &c.dist {
+                if d.ranks == 0 {
+                    return Err(format!("case `{}`: dist.ranks = 0", c.name));
+                }
+                if !d.imbalance.is_finite() || d.imbalance < 1.0 {
+                    return Err(format!(
+                        "case `{}`: dist.imbalance = {}",
+                        c.name, d.imbalance
+                    ));
+                }
+                for (what, v) in [
+                    ("dist.comm_seconds", d.comm_seconds),
+                    ("dist.halo_bytes", d.halo_bytes),
+                ] {
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("case `{}`: {what} = {v}", c.name));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -536,10 +584,28 @@ fn parse_flight_case(v: &Json) -> Result<FlightOverheadCase, String> {
     })
 }
 
+fn parse_dist(v: &Json) -> Result<DistInfo, String> {
+    Ok(DistInfo {
+        ranks: field_usize(v, "ranks")?,
+        gathered_levels: field_usize(v, "gathered_levels")?,
+        edge_cut: field_u64(v, "edge_cut")?,
+        imbalance: field_f64(v, "imbalance")?,
+        comm_seconds: field_f64(v, "comm_seconds")?,
+        halo_bytes: field_f64(v, "halo_bytes")?,
+        halo_messages: field_u64(v, "halo_messages")?,
+        allreduce_count: field_u64(v, "allreduce_count")?,
+    })
+}
+
 fn parse_case(v: &Json) -> Result<BenchCase, String> {
     // `wall` arrived in v3; absent or null before that.
     let wall = match v.get("wall") {
         Some(w) if !w.is_null() => Some(parse_wall(w)?),
+        _ => None,
+    };
+    // `dist` arrived in v7; absent or null before that.
+    let dist = match v.get("dist") {
+        Some(d) if !d.is_null() => Some(parse_dist(d)?),
         _ => None,
     };
     Ok(BenchCase {
@@ -558,6 +624,7 @@ fn parse_case(v: &Json) -> Result<BenchCase, String> {
         grid_complexity: field_f64(v, "grid_complexity")?,
         outcome: field_str(v, "outcome")?,
         wall,
+        dist,
     })
 }
 
@@ -581,6 +648,18 @@ pub struct CompareThresholds {
     /// Absolute allocations-per-iteration slack (absorbs one-off warmup
     /// growth attributed to the first measured iteration).
     pub alloc_slack: f64,
+    /// A distributed case regresses when its halo traffic (bytes) or its
+    /// collective count exceeds `baseline * dist_comm_ratio` plus the
+    /// absolute slack (only checked when both reports carry a `dist` block
+    /// for the case with the same rank count). Halo bytes and collective
+    /// counts are deterministic functions of the partition and iteration
+    /// count, so drift means the communication pattern itself changed.
+    pub dist_comm_ratio: f64,
+    /// Absolute halo-byte slack under which traffic drift is ignored.
+    pub dist_halo_slack_bytes: f64,
+    /// Extra collective operations (all-reduce + all-gather rounds)
+    /// tolerated over the baseline.
+    pub dist_collective_slack: u64,
 }
 
 impl Default for CompareThresholds {
@@ -591,6 +670,9 @@ impl Default for CompareThresholds {
             iteration_slack: 2,
             alloc_ratio: 1.10,
             alloc_slack: 4.0,
+            dist_comm_ratio: 1.10,
+            dist_halo_slack_bytes: 1024.0,
+            dist_collective_slack: 4,
         }
     }
 }
@@ -675,6 +757,32 @@ pub fn compare(
                 });
             }
         }
+        if let (Some(bd), Some(cd)) = (&base.dist, &cur.dist) {
+            if bd.ranks == cd.ranks {
+                let halo_budget = bd.halo_bytes * t.dist_comm_ratio + t.dist_halo_slack_bytes;
+                if cd.halo_bytes > halo_budget {
+                    out.push(Regression {
+                        case: base.name.clone(),
+                        detail: format!(
+                            "halo traffic {:.0} bytes exceeds baseline {:.0} x{:.2} + {:.0}",
+                            cd.halo_bytes,
+                            bd.halo_bytes,
+                            t.dist_comm_ratio,
+                            t.dist_halo_slack_bytes
+                        ),
+                    });
+                }
+                if cd.allreduce_count > bd.allreduce_count + t.dist_collective_slack {
+                    out.push(Regression {
+                        case: base.name.clone(),
+                        detail: format!(
+                            "all-reduce count {} exceeds baseline {} + {}",
+                            cd.allreduce_count, bd.allreduce_count, t.dist_collective_slack
+                        ),
+                    });
+                }
+            }
+        }
     }
     out
 }
@@ -700,6 +808,20 @@ mod tests {
             grid_complexity: 1.3,
             outcome: outcome.into(),
             wall: None,
+            dist: None,
+        }
+    }
+
+    fn dist_info(ranks: usize, halo_bytes: f64, allreduce_count: u64) -> DistInfo {
+        DistInfo {
+            ranks,
+            gathered_levels: 2,
+            edge_cut: 128,
+            imbalance: 1.02,
+            comm_seconds: 1e-5,
+            halo_bytes,
+            halo_messages: 96,
+            allreduce_count,
         }
     }
 
@@ -922,6 +1044,98 @@ mod tests {
         let mut current = report(vec![case("a", 1.0e-4, 10, "Converged")]);
         current.flight_overhead = Some(flight_overhead());
         assert!(compare(&current, &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn v7_dist_round_trips() {
+        let mut c = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        c.dist = Some(dist_info(4, 65_536.0, 40));
+        let back = BenchReport::from_json(&report(vec![c]).to_json()).unwrap();
+        let d = back.cases[0].dist.as_ref().unwrap();
+        assert_eq!(d.ranks, 4);
+        assert_eq!(d.gathered_levels, 2);
+        assert_eq!(d.edge_cut, 128);
+        assert!((d.imbalance - 1.02).abs() < 1e-12);
+        assert!((d.halo_bytes - 65_536.0).abs() < 1e-9);
+        assert_eq!(d.halo_messages, 96);
+        assert_eq!(d.allreduce_count, 40);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn v6_report_without_dist_still_parses() {
+        // A pre-distributed baseline: version 6, no `dist` key on any case.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 6;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 6);
+        assert!(back.cases[0].dist.is_none());
+        back.validate().unwrap();
+        // An old baseline still gates a new (v7) report; the dist gate is
+        // simply skipped for cases without a baseline dist block.
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        c.dist = Some(dist_info(4, 1.0e9, 10_000));
+        assert!(compare(&report(vec![c]), &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn dist_comm_regression_detected() {
+        let t = CompareThresholds::default();
+        let mut b = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        b.dist = Some(dist_info(4, 50_000.0, 40));
+        let baseline = report(vec![b]);
+
+        // Halo traffic well past ratio + slack: flagged.
+        let mut worse = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        worse.dist = Some(dist_info(4, 80_000.0, 40));
+        let regs = compare(&report(vec![worse]), &baseline, &t);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].detail.contains("halo traffic"), "{regs:?}");
+
+        // Collective-count blowup: flagged.
+        let mut chatty = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        chatty.dist = Some(dist_info(4, 50_000.0, 60));
+        let regs = compare(&report(vec![chatty]), &baseline, &t);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].detail.contains("all-reduce count"), "{regs:?}");
+
+        // Different rank count: not comparable, gate skipped.
+        let mut other_p = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        other_p.dist = Some(dist_info(8, 200_000.0, 100));
+        assert!(compare(&report(vec![other_p]), &baseline, &t).is_empty());
+
+        // Less traffic than baseline: improvement, passes.
+        let mut better = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        better.dist = Some(dist_info(4, 20_000.0, 30));
+        assert!(compare(&report(vec![better]), &baseline, &t).is_empty());
+    }
+
+    #[test]
+    fn dist_validation_catches_bad_values() {
+        let mut c = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        c.dist = Some(dist_info(0, 1.0, 1));
+        assert!(report(vec![c])
+            .validate()
+            .unwrap_err()
+            .contains("dist.ranks = 0"));
+
+        let mut c = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        let mut d = dist_info(2, 1.0, 1);
+        d.imbalance = 0.5; // max/mean rows cannot be below 1
+        c.dist = Some(d);
+        assert!(report(vec![c])
+            .validate()
+            .unwrap_err()
+            .contains("dist.imbalance"));
+
+        let mut c = case("dist:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        let mut d = dist_info(2, 1.0, 1);
+        d.halo_bytes = f64::NAN;
+        c.dist = Some(d);
+        assert!(report(vec![c])
+            .validate()
+            .unwrap_err()
+            .contains("dist.halo_bytes"));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! amgt-cli --suite cant --backend vendor          # HYPRE baseline kernels
 //! amgt-cli --suite cant --mixed --gpu h100        # mixed precision on H100
 //! amgt-cli --suite cant --pcg --tol 1e-8          # AMG-preconditioned CG
+//! amgt-cli --suite cant --ranks 4                  # domain-decomposed solve
+//!                                                  # over 4 in-process ranks
 //! amgt-cli --suite cant --trace run.json           # Chrome trace export
 //! amgt-cli --suite cant --profile prof.json        # wall-clock kernel profile
 //!                                                  # + cost-model fidelity audit
@@ -52,6 +54,9 @@ struct Options {
     policy_cache: Option<PathBuf>,
     policy: Option<PathBuf>,
     threads: Option<usize>,
+    /// Rank count for the domain-decomposed solver (`--ranks N`, N > 1);
+    /// 1 keeps the single-device path.
+    ranks: usize,
 }
 
 enum MatrixSource {
@@ -65,7 +70,8 @@ fn usage() -> ! {
         "usage: amgt-cli (--mtx FILE | --suite NAME | --poisson2d N)\n\
          \x20      [--backend amgt|vendor] [--exec sim|native] [--mixed]\n\
          \x20      [--gpu a100|h100|mi210]\n\
-         \x20      [--pcg] [--info] [--tol T] [--iters N] [--threads N] [--history]\n\
+         \x20      [--pcg] [--info] [--tol T] [--iters N] [--threads N] [--ranks N]\n\
+         \x20      [--history]\n\
          \x20      [--trace FILE.json] [--profile FILE.json] [--folded FILE.txt]\n\
          \x20      [--diagnose] [--flight]\n\
          \x20      [--version [--verbose]]\n\
@@ -104,6 +110,7 @@ fn parse_args() -> Options {
     let mut policy_cache = None;
     let mut policy = None;
     let mut threads = None;
+    let mut ranks = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -140,6 +147,12 @@ fn parse_args() -> Options {
             "--tol" => tol = next().parse().unwrap_or_else(|_| usage()),
             "--iters" => iters = next().parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--ranks" => {
+                ranks = next().parse().unwrap_or_else(|_| usage());
+                if ranks == 0 {
+                    usage();
+                }
+            }
             "--history" => verbose_history = true,
             "--trace" => trace = Some(PathBuf::from(next())),
             "--profile" => profile = Some(PathBuf::from(next())),
@@ -184,6 +197,7 @@ fn parse_args() -> Options {
         policy_cache,
         policy,
         threads,
+        ranks,
     }
 }
 
@@ -296,6 +310,83 @@ fn finish_flight(id: amgt_sim::TraceId, outcome: SolveOutcome, wall_seconds: f64
     }
 }
 
+/// `--ranks N` path: domain-decomposed setup + solve over N in-process
+/// ranks, printing the per-rank comm/compute breakdown. The per-device
+/// exporters (trace, flight, profile) stay on the single-device path.
+fn run_dist(opt: &Options, a: Csr, b: &[f64]) {
+    use amgt_dist::{dist_pcg, dist_solve, DistConfig};
+
+    let mut cfg = AmgConfig::paper(opt.backend, opt.precision);
+    cfg.max_iterations = opt.iters;
+    cfg.tolerance = opt.tol;
+    cfg.exec = opt.exec_mode;
+    let _ = apply_policy(opt, &mut cfg, &a);
+
+    println!(
+        "solver: kernel format {:?}, precision {:?}, {} x {}, {} (exec: {})",
+        opt.backend,
+        opt.precision,
+        opt.ranks,
+        opt.gpu.name,
+        if opt.pcg {
+            "distributed AMG-PCG"
+        } else {
+            "distributed V-cycles"
+        },
+        cfg.exec.label()
+    );
+
+    let t0 = std::time::Instant::now();
+    let cluster =
+        amgt_sim::Cluster::new(opt.gpu.clone(), opt.ranks, amgt_sim::Interconnect::nvlink());
+    let dcfg = DistConfig::default();
+    let (_x, rep) = if opt.pcg {
+        dist_pcg(&cluster, &cfg, &dcfg, a, b, opt.tol, opt.iters)
+    } else {
+        dist_solve(&cluster, &cfg, &dcfg, a, b)
+    };
+
+    println!(
+        "hierarchy: {} levels per rank, {} gathered below the coarse boundary",
+        rep.levels, rep.gathered_levels
+    );
+    println!(
+        "partition: edge cut {} nnz, row imbalance {:.3}x",
+        rep.edge_cut, rep.imbalance
+    );
+    println!(
+        "solve: {} iterations, relres {:.3e}, converged = {}",
+        rep.solve_report.iterations,
+        rep.solve_report.final_relative_residual(),
+        rep.solve_report.converged
+    );
+    if opt.verbose_history {
+        for (i, r) in rep.solve_report.history.iter().enumerate() {
+            println!("  iter {:>3}: relres {r:.3e}", i + 1);
+        }
+    }
+    for r in &rep.per_rank {
+        println!(
+            "  rank {}: {:>8} rows {:>9} nnz  compute {:>10.3e} s  comm {:>10.3e} s  \
+             halo {:>10.0} B",
+            r.rank, r.rows, r.nnz, r.compute_seconds, r.comm_seconds, r.halo_bytes
+        );
+    }
+    println!(
+        "simulated {} x {}: setup {:.1} us, solve {:.1} us (comm {:.1} us, {:.0} halo B \
+         in {} msgs, {} all-reduces)",
+        opt.ranks,
+        opt.gpu.name,
+        rep.setup_seconds * 1e6,
+        rep.solve_seconds * 1e6,
+        rep.comm_seconds * 1e6,
+        rep.halo_bytes,
+        rep.halo_messages,
+        rep.allreduce_count
+    );
+    println!("wall time: {:.2?}", t0.elapsed());
+}
+
 fn print_health(events: &[amgt_sim::HealthEvent]) {
     if events.is_empty() {
         println!("health: no events");
@@ -351,6 +442,11 @@ fn main() {
     }
     let b = rhs_of_ones(&a);
     println!("system: n = {}, nnz = {}", a.nrows(), a.nnz());
+
+    if opt.ranks > 1 {
+        run_dist(&opt, a, &b);
+        return;
+    }
 
     let device = Device::new(opt.gpu.clone());
     // Always-on in spirit, opt-in at the CLI: `--flight` turns the ring

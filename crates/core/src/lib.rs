@@ -41,7 +41,6 @@ pub mod gmres;
 pub mod hierarchy;
 pub mod hypre_compat;
 pub mod interp;
-pub mod multi_gpu;
 pub mod pcg;
 pub mod pmis;
 pub mod solve;

@@ -1,0 +1,320 @@
+//! Rank-to-rank communication.
+//!
+//! The [`Communicator`] trait is the transport contract of the distributed
+//! solver: point-to-point tagged sends with per-pair FIFO ordering, a
+//! barrier, and the two collectives the solve loop needs (sum all-reduce
+//! for dots/norms, all-gather for the redundant coarse grid). [`LocalComm`]
+//! implements it for ranks running as threads of one process — typed
+//! channels form a full P x P mesh, so the message pattern is exactly what
+//! a network transport would carry even though the payload never leaves
+//! the address space.
+//!
+//! Determinism contract: `allreduce_sum` combines the per-rank partials in
+//! rank order on every rank, so all ranks observe the *same* floating-point
+//! sum and control flow that branches on reductions (convergence tests,
+//! CG coefficients) never diverges across ranks. `allgather` concatenates
+//! contributions in rank order, so a vector distributed by contiguous row
+//! blocks reassembles bitwise-exactly.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Depth of each pairwise channel, in messages. A rank sends at most one
+/// message per peer per exchange point, so this bounds how many exchange
+/// points a fast rank can run ahead of a slow peer before self-throttling.
+const CHANNEL_DEPTH: usize = 256;
+
+/// One tagged message. The tag is not used for selection — per-pair FIFO
+/// order already matches sends to receives — it asserts that both sides
+/// agree on which exchange point of the (identical) rank program this is.
+#[derive(Debug)]
+struct Msg {
+    tag: u32,
+    data: Vec<f64>,
+}
+
+/// Aggregate transport counters for a communicator group (shared by all
+/// ranks of the group; totals are across ranks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommCounters {
+    /// Point-to-point payloads sent, in f64 elements.
+    pub p2p_elems: u64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Collective all-reduce operations (counted once per collective).
+    pub allreduces: u64,
+    /// Collective all-gather operations (counted once per collective).
+    pub allgathers: u64,
+}
+
+/// Transport contract of the distributed solver.
+///
+/// Point-to-point: [`Communicator::send`] is asynchronous (buffered) and
+/// [`Communicator::recv`] blocks; messages between one (sender, receiver)
+/// pair are delivered in send order. Collectives: every rank of the group
+/// must call the same collective in the same order — they synchronize
+/// internally and return the identical result on every rank.
+pub trait Communicator: Send {
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    /// Asynchronous point-to-point send of a tagged payload.
+    fn send(&self, to: usize, tag: u32, data: &[f64]);
+    /// Blocking point-to-point receive; panics if the next message from
+    /// `from` carries a different tag (a protocol error, not a race).
+    fn recv(&self, from: usize, tag: u32) -> Vec<f64>;
+    /// Block until every rank of the group has entered the barrier.
+    fn barrier(&self);
+    /// Sum-reduce a scalar over all ranks; every rank receives the sum of
+    /// the per-rank values combined in rank order (deterministic).
+    fn allreduce_sum(&self, local: f64) -> f64;
+    /// Gather each rank's slice onto every rank, concatenated in rank
+    /// order.
+    fn allgather(&self, local: &[f64]) -> Vec<f64>;
+}
+
+/// State shared by every rank of one [`LocalComm`] group.
+struct Shared {
+    n: usize,
+    barrier: Barrier,
+    /// Scalar all-reduce staging, one slot per rank.
+    red_slots: Mutex<Vec<f64>>,
+    /// All-gather staging, one slot per rank.
+    gather_slots: Mutex<Vec<Vec<f64>>>,
+    p2p_elems: AtomicU64,
+    messages: AtomicU64,
+    allreduces: AtomicU64,
+    allgathers: AtomicU64,
+}
+
+/// In-process rank: one thread per rank, a full mesh of typed channels for
+/// point-to-point traffic, barrier-delimited slot exchange for collectives.
+pub struct LocalComm {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// `tx[to]`: sender half of the channel from this rank to `to`.
+    tx: Vec<Sender<Msg>>,
+    /// `rx[from]`: receiver half of the channel from `from` to this rank.
+    rx: Vec<Receiver<Msg>>,
+}
+
+impl LocalComm {
+    /// Create a communicator group of `n` ranks. Each returned value is
+    /// moved into its rank's thread.
+    pub fn group(n: usize) -> Vec<LocalComm> {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            n,
+            barrier: Barrier::new(n),
+            red_slots: Mutex::new(vec![0.0; n]),
+            gather_slots: Mutex::new(vec![Vec::new(); n]),
+            p2p_elems: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            allreduces: AtomicU64::new(0),
+            allgathers: AtomicU64::new(0),
+        });
+        // mesh[from][to] channel halves.
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for from in 0..n {
+            for to in 0..n {
+                let (s, r) = bounded(CHANNEL_DEPTH);
+                senders[from][to] = Some(s);
+                receivers[to][from] = Some(r);
+            }
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| LocalComm {
+                rank,
+                shared: shared.clone(),
+                tx: tx_row.into_iter().map(Option::unwrap).collect(),
+                rx: rx_row.into_iter().map(Option::unwrap).collect(),
+            })
+            .collect()
+    }
+
+    /// Transport counters, aggregated over every rank of the group.
+    pub fn counters(&self) -> CommCounters {
+        CommCounters {
+            p2p_elems: self.shared.p2p_elems.load(Ordering::Relaxed),
+            messages: self.shared.messages.load(Ordering::Relaxed),
+            allreduces: self.shared.allreduces.load(Ordering::Relaxed),
+            allgathers: self.shared.allgathers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Communicator for LocalComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    fn send(&self, to: usize, tag: u32, data: &[f64]) {
+        self.shared
+            .p2p_elems
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.shared.messages.fetch_add(1, Ordering::Relaxed);
+        self.tx[to]
+            .send(Msg {
+                tag,
+                data: data.to_vec(),
+            })
+            .expect("peer rank hung up");
+    }
+
+    fn recv(&self, from: usize, tag: u32) -> Vec<f64> {
+        let msg = self.rx[from].recv().expect("peer rank hung up");
+        assert_eq!(
+            msg.tag, tag,
+            "rank {} expected tag {tag} from {from}, got {}",
+            self.rank, msg.tag
+        );
+        msg.data
+    }
+
+    fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    fn allreduce_sum(&self, local: f64) -> f64 {
+        if self.shared.n == 1 {
+            return local;
+        }
+        if self.rank == 0 {
+            self.shared.allreduces.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.red_slots.lock().unwrap()[self.rank] = local;
+        self.shared.barrier.wait();
+        // Rank-ordered combination: identical rounding on every rank.
+        let sum = self.shared.red_slots.lock().unwrap().iter().sum();
+        self.shared.barrier.wait();
+        sum
+    }
+
+    fn allgather(&self, local: &[f64]) -> Vec<f64> {
+        if self.shared.n == 1 {
+            return local.to_vec();
+        }
+        if self.rank == 0 {
+            self.shared.allgathers.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.gather_slots.lock().unwrap()[self.rank] = local.to_vec();
+        self.shared.barrier.wait();
+        let out = {
+            let slots = self.shared.gather_slots.lock().unwrap();
+            let mut out = Vec::with_capacity(slots.iter().map(Vec::len).sum());
+            for s in slots.iter() {
+                out.extend_from_slice(s);
+            }
+            out
+        };
+        self.shared.barrier.wait();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group<F, R>(p: usize, f: F) -> Vec<R>
+    where
+        F: Fn(LocalComm) -> R + Sync,
+        R: Send,
+    {
+        let comms = LocalComm::group(p);
+        thread::scope(|s| {
+            let handles: Vec<_> = comms.into_iter().map(|c| s.spawn(|| f(c))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = run_group(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, &[c.rank() as f64]);
+            c.recv(prev, 7)
+        });
+        assert_eq!(out, vec![vec![3.0], vec![0.0], vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn pairwise_fifo_order_is_preserved() {
+        let out = run_group(2, |c| {
+            if c.rank() == 0 {
+                for t in 0..10u32 {
+                    c.send(1, t, &[f64::from(t)]);
+                }
+                Vec::new()
+            } else {
+                (0..10u32).map(|t| c.recv(0, t)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..10).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allreduce_is_identical_on_every_rank() {
+        let vals = [1.0e-16, 3.5, -2.25, 1.0];
+        let out = run_group(4, |c| c.allreduce_sum(vals[c.rank()]));
+        // Every rank sees the same bits, equal to the rank-ordered sum.
+        let expect = vals.iter().sum::<f64>();
+        for v in &out {
+            assert_eq!(v.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let out = run_group(3, |c| {
+            let local: Vec<f64> = (0..=c.rank()).map(|i| (c.rank() * 10 + i) as f64).collect();
+            c.allgather(&local)
+        });
+        let expect = vec![0.0, 10.0, 11.0, 20.0, 21.0, 22.0];
+        for v in &out {
+            assert_eq!(v, &expect);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let out = run_group(1, |c| (c.allreduce_sum(2.5), c.allgather(&[1.0, 2.0])));
+        assert_eq!(out[0].0, 2.5);
+        assert_eq!(out[0].1, vec![1.0, 2.0]);
+        let comms = LocalComm::group(1);
+        assert_eq!(comms[0].counters().allreduces, 0);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let comms = LocalComm::group(2);
+        let counters_src = &comms[0].shared.clone();
+        thread::scope(|s| {
+            for c in comms {
+                s.spawn(move || {
+                    if c.rank() == 0 {
+                        c.send(1, 0, &[1.0, 2.0, 3.0]);
+                    } else {
+                        c.recv(0, 0);
+                    }
+                    c.allreduce_sum(1.0);
+                });
+            }
+        });
+        assert_eq!(counters_src.p2p_elems.load(Ordering::Relaxed), 3);
+        assert_eq!(counters_src.messages.load(Ordering::Relaxed), 1);
+        assert_eq!(counters_src.allreduces.load(Ordering::Relaxed), 1);
+    }
+}

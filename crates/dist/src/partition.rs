@@ -1,0 +1,395 @@
+//! Rank-local matrix slices and halo-exchange plans.
+//!
+//! A level matrix is split into contiguous, tile-aligned row blocks (via
+//! [`amgt_sparse::reorder::partition_contiguous`]); each rank keeps its row
+//! slice at **full column width with global column indices**, so the
+//! operand of a rank-local SpMV is a full-length vector in which only the
+//! owned lanes plus the exchanged ghost lanes are meaningful.
+//!
+//! Ghosts are tracked at **tile-column granularity** (4 lanes): the mBSR
+//! kernels read the operand in 4-wide tile groups, so exchanging whole
+//! tiles guarantees every lane a kernel can touch holds the owner's value.
+//! Partition cuts are multiples of 4, so a tile is owned by exactly one
+//! rank and the owner lookup is a single `partition_point`.
+//!
+//! Bitwise contract: a row slice prepared here computes, for its owned
+//! rows, the *bit-identical* result of the full matrix's SpMV. The mBSR
+//! per-block-row accumulation depends only on the row's own tiles and the
+//! plan's `load_balanced` / `path` flags — statistics of a slice differ
+//! from the full matrix's, so the slice plan is **forced** to the full
+//! matrix's decisions via [`analyze_spmv_with`] with ±infinity thresholds
+//! rather than re-derived.
+
+use crate::comm::Communicator;
+use amgt::backend::{OpScratch, Operator};
+use amgt::config::{AmgConfig, BackendKind};
+use amgt_kernels::spmv_mbsr::{analyze_spmv_with, SpmvPath, SpmvPlan};
+use amgt_kernels::Ctx;
+use amgt_sim::Precision;
+use amgt_sparse::reorder::partition_contiguous;
+use amgt_sparse::{Csr, TILE};
+
+/// Rank owning global column `col` under contiguous row offsets
+/// (`offsets.len() == parts + 1`; empty parts are skipped correctly).
+pub fn owner_of(offsets: &[usize], col: usize) -> usize {
+    offsets[1..].partition_point(|&o| o <= col)
+}
+
+/// Extract the row slice `[lo, hi)` of a matrix, keeping the full column
+/// width and the global column indices.
+pub fn row_slice(a: &Csr, lo: usize, hi: usize) -> Csr {
+    let mut row_ptr = vec![0usize; hi - lo + 1];
+    let base = a.row_ptr[lo];
+    for (i, r) in (lo..hi).enumerate() {
+        row_ptr[i + 1] = a.row_ptr[r + 1] - base;
+    }
+    let col_idx = a.col_idx[a.row_ptr[lo]..a.row_ptr[hi]].to_vec();
+    let vals = a.vals[a.row_ptr[lo]..a.row_ptr[hi]].to_vec();
+    Csr::new(hi - lo, a.ncols(), row_ptr, col_idx, vals)
+}
+
+/// One rank's halo-exchange plan for one matrix: which operand tiles to
+/// send to each peer and which to receive, both sorted by tile index. The
+/// plans of a group are mutually symmetric (`send[s -> r] == recv[r <- s]`),
+/// so every message has a matching receive at the same exchange point and
+/// empty pairs are skipped on both sides identically.
+#[derive(Clone, Debug, Default)]
+pub struct HaloPlan {
+    /// `send[peer]`: owned tile indices this rank must ship to `peer`.
+    pub send: Vec<Vec<u32>>,
+    /// `recv[peer]`: ghost tile indices this rank receives from `peer`.
+    pub recv: Vec<Vec<u32>>,
+}
+
+impl HaloPlan {
+    /// Ghost lanes this rank receives per exchange (tile-granular).
+    pub fn ghost_lanes(&self) -> usize {
+        self.recv.iter().map(|t| t.len() * TILE).sum()
+    }
+}
+
+/// Build the halo plans of every rank for one matrix: rows are split by
+/// `row_offsets`, the operand vector is distributed by `col_offsets`
+/// (both tile-aligned, length `parts + 1`). Pure metadata — charged work
+/// (slicing, format conversion) happens later on each rank's device.
+pub fn build_halo_plans(a: &Csr, row_offsets: &[usize], col_offsets: &[usize]) -> Vec<HaloPlan> {
+    let parts = row_offsets.len() - 1;
+    let mut plans: Vec<HaloPlan> = (0..parts)
+        .map(|_| HaloPlan {
+            send: vec![Vec::new(); parts],
+            recv: vec![Vec::new(); parts],
+        })
+        .collect();
+    for rank in 0..parts {
+        let (lo, hi) = (row_offsets[rank], row_offsets[rank + 1]);
+        let mut ghost_tiles: Vec<u32> = a.col_idx[a.row_ptr[lo]..a.row_ptr[hi]]
+            .iter()
+            .map(|&c| c / TILE as u32)
+            .collect();
+        ghost_tiles.sort_unstable();
+        ghost_tiles.dedup();
+        for t in ghost_tiles {
+            let owner = owner_of(col_offsets, t as usize * TILE);
+            if owner != rank {
+                plans[rank].recv[owner].push(t);
+            }
+        }
+    }
+    for rank in 0..parts {
+        for peer in 0..parts {
+            if peer != rank {
+                let tiles = plans[peer].recv[rank].clone();
+                plans[rank].send[peer] = tiles;
+            }
+        }
+    }
+    plans
+}
+
+/// Force a slice's SpMV plan to the full matrix's adaptive decisions.
+/// `analyze_spmv_with` re-derives `load_balanced` as `variation >
+/// threshold` and the path as `avg >= threshold`, so ±infinity thresholds
+/// pin each flag regardless of the slice's own statistics (the job
+/// chunking under a pinned `load_balanced` depends only on each row's own
+/// tile count, which the slice preserves).
+fn forced_plan(ctx: &Ctx, op: &Operator, reference: &SpmvPlan) -> SpmvPlan {
+    let variation_threshold = if reference.load_balanced {
+        f64::NEG_INFINITY
+    } else {
+        f64::INFINITY
+    };
+    let density_threshold = if reference.path == SpmvPath::TensorCore {
+        f64::NEG_INFINITY
+    } else {
+        f64::INFINITY
+    };
+    analyze_spmv_with(
+        ctx,
+        op.mbsr.as_ref().expect("AmgT slice carries mBSR"),
+        variation_threshold,
+        density_threshold,
+    )
+}
+
+/// One rank's slice of a level matrix: the prepared row-block operator
+/// (full column width) plus its halo plan. `halo == None` means the
+/// operand is replicated on every rank (gathered coarse region) and
+/// [`RankMatrix::exchange`] is a no-op.
+pub struct RankMatrix {
+    pub op: Operator,
+    /// Owned row range in the matrix's global numbering.
+    pub lo: usize,
+    pub hi: usize,
+    pub halo: Option<HaloPlan>,
+    rank: usize,
+}
+
+impl RankMatrix {
+    /// Slice rows `[lo, hi)` of `full` on this rank's device (charged) and
+    /// attach the precomputed halo plan. For the AmgT backend the slice's
+    /// SpMV plan is forced to `full`'s decisions so owned-row results stay
+    /// bitwise-identical to the unpartitioned kernel.
+    pub fn assemble(
+        ctx: &Ctx,
+        backend: BackendKind,
+        full: &Operator,
+        lo: usize,
+        hi: usize,
+        halo: Option<HaloPlan>,
+        rank: usize,
+    ) -> RankMatrix {
+        let slice = row_slice(&full.csr, lo, hi);
+        let mut op = Operator::prepare_for_spgemm(ctx, backend, slice);
+        if backend == BackendKind::AmgT {
+            let reference = full.plan.as_ref().expect("full operator carries a plan");
+            op.plan = Some(forced_plan(ctx, &op, reference));
+        }
+        RankMatrix {
+            op,
+            lo,
+            hi,
+            halo,
+            rank,
+        }
+    }
+
+    pub fn owned_rows(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Exchange the ghost tiles of the operand `x` (full-length, global
+    /// numbering): send owned tiles to the peers that reference them,
+    /// scatter received tiles into the ghost lanes. Values travel
+    /// unquantized (the kernels quantize the operand on load, and
+    /// `quantize` is idempotent, so pre-quantized transport would be
+    /// bitwise-equivalent); `prec` scales the *accounted* wire bytes, which
+    /// is where mixed precision earns its communication savings. Returns
+    /// `(lanes_sent, messages_sent)`.
+    pub fn exchange(
+        &self,
+        comm: &dyn Communicator,
+        tag: u32,
+        x: &mut [f64],
+        _prec: Precision,
+    ) -> (u64, u32) {
+        let Some(halo) = &self.halo else {
+            return (0, 0);
+        };
+        let n = x.len();
+        let mut lanes = 0u64;
+        let mut messages = 0u32;
+        let mut buf = Vec::new();
+        for (peer, tiles) in halo.send.iter().enumerate() {
+            if tiles.is_empty() || peer == self.rank {
+                continue;
+            }
+            buf.clear();
+            for &t in tiles {
+                let base = t as usize * TILE;
+                for lane in 0..TILE {
+                    buf.push(if base + lane < n { x[base + lane] } else { 0.0 });
+                }
+            }
+            comm.send(peer, tag, &buf);
+            lanes += buf.len() as u64;
+            messages += 1;
+        }
+        for (peer, tiles) in halo.recv.iter().enumerate() {
+            if tiles.is_empty() || peer == self.rank {
+                continue;
+            }
+            let data = comm.recv(peer, tag);
+            debug_assert_eq!(data.len(), tiles.len() * TILE);
+            for (i, &t) in tiles.iter().enumerate() {
+                let base = t as usize * TILE;
+                let vals = &data[i * TILE..(i + 1) * TILE];
+                let lanes_here = TILE.min(n.saturating_sub(base));
+                x[base..base + lanes_here].copy_from_slice(&vals[..lanes_here]);
+            }
+        }
+        (lanes, messages)
+    }
+
+    /// `y = A_slice x` over the full-length operand; `y` gets the owned
+    /// rows only. Caller must have exchanged this matrix's halo first.
+    pub fn spmv(&self, ctx: &Ctx, x: &[f64], scratch: &mut OpScratch, y: &mut Vec<f64>) {
+        self.op.spmv_into(ctx, x, scratch, y);
+    }
+}
+
+/// One-shot distributed SpMV over `cluster.n_devices()` ranks: partition,
+/// scatter the owned lanes of `x`, halo-exchange, compute each rank's row
+/// block, and gather the result in rank order. Owned-row results are
+/// bitwise-identical to the single-device SpMV of the prepared operator —
+/// the correctness harness of the halo layer, and the reference usage of
+/// [`RankMatrix`] for anything building on it.
+pub fn dist_spmv_once(
+    cluster: &amgt_sim::Cluster,
+    cfg: &AmgConfig,
+    a: &Csr,
+    x: &[f64],
+) -> Vec<f64> {
+    use crate::comm::LocalComm;
+    use amgt_sim::Phase;
+
+    let p = cluster.n_devices();
+    let ctx0 = Ctx::new(&cluster.devices[0], Phase::Solve, 0, Precision::Fp64)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
+    let full = Operator::prepare(&ctx0, cfg.backend, a.clone());
+    let part = partition_contiguous(a, p);
+    let halos = build_halo_plans(a, &part.offsets, &part.offsets);
+
+    let comms = LocalComm::group(p);
+    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .zip(&halos)
+            .enumerate()
+            .map(|(rank, (comm, halo))| {
+                let (lo, hi) = part.range(rank);
+                let full = &full;
+                let dev = &cluster.devices[rank];
+                s.spawn(move || {
+                    let ctx = Ctx::new(dev, Phase::Solve, 0, Precision::Fp64)
+                        .with_policy(cfg.policy)
+                        .with_exec(cfg.exec);
+                    let rm = RankMatrix::assemble(
+                        &ctx,
+                        cfg.backend,
+                        full,
+                        lo,
+                        hi,
+                        Some(halo.clone()),
+                        rank,
+                    );
+                    // Only the owned lanes arrive locally; ghosts come over
+                    // the wire.
+                    let mut xl = vec![0.0; a.ncols()];
+                    xl[lo..hi].copy_from_slice(&x[lo..hi]);
+                    rm.exchange(&comm, 0, &mut xl, Precision::Fp64);
+                    let mut scratch = OpScratch::default();
+                    let mut y = Vec::new();
+                    rm.spmv(&ctx, &xl, &mut scratch, &mut y);
+                    comm.allgather(&y)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    results.into_iter().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgt_sim::{Cluster, GpuSpec, Interconnect};
+    use amgt_sparse::gen::{laplacian_2d, Stencil2d};
+
+    #[test]
+    fn owner_lookup_skips_empty_parts() {
+        let offsets = [0usize, 4, 4, 8, 8];
+        assert_eq!(owner_of(&offsets, 0), 0);
+        assert_eq!(owner_of(&offsets, 3), 0);
+        assert_eq!(owner_of(&offsets, 4), 2);
+        assert_eq!(owner_of(&offsets, 7), 2);
+    }
+
+    #[test]
+    fn row_slice_keeps_global_columns() {
+        let a = laplacian_2d(8, 8, Stencil2d::Five);
+        let s = row_slice(&a, 8, 16);
+        assert_eq!(s.nrows(), 8);
+        assert_eq!(s.ncols(), 64);
+        for r in 0..8 {
+            let (gc, gv) = a.row(8 + r);
+            let (sc, sv) = s.row(r);
+            assert_eq!(gc, sc);
+            assert_eq!(gv, sv);
+        }
+    }
+
+    #[test]
+    fn halo_plans_are_symmetric_and_tile_granular() {
+        let a = laplacian_2d(16, 16, Stencil2d::Five);
+        let part = partition_contiguous(&a, 4);
+        let plans = build_halo_plans(&a, &part.offsets, &part.offsets);
+        for r in 0..4 {
+            for s in 0..4 {
+                assert_eq!(plans[r].recv[s], plans[s].send[r], "pair {r}<-{s}");
+            }
+            assert!(plans[r].recv[r].is_empty());
+            // Every ghost tile lies outside the owned range.
+            let (lo, hi) = part.range(r);
+            for tiles in &plans[r].recv {
+                for &t in tiles {
+                    let base = t as usize * TILE;
+                    assert!(base < lo || base >= hi);
+                }
+            }
+        }
+        // A 1D-ordered 2D Laplacian has boundary coupling between adjacent
+        // blocks: interior ranks receive from both sides.
+        assert!(plans[1].ghost_lanes() > 0);
+    }
+
+    #[test]
+    fn dist_spmv_matches_single_device_bitwise() {
+        let a = laplacian_2d(13, 11, Stencil2d::Nine);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        for backend in [BackendKind::Vendor, BackendKind::AmgT] {
+            let mut cfg = AmgConfig::amgt_fp64();
+            cfg.backend = backend;
+            let reference = {
+                let dev = amgt_sim::Device::new(GpuSpec::a100());
+                let ctx = Ctx::new(&dev, amgt_sim::Phase::Solve, 0, Precision::Fp64)
+                    .with_policy(cfg.policy)
+                    .with_exec(cfg.exec);
+                Operator::prepare(&ctx, backend, a.clone()).spmv(&ctx, &x)
+            };
+            for p in 1..=4 {
+                let cluster = Cluster::new(GpuSpec::a100(), p, Interconnect::nvlink());
+                let y = dist_spmv_once(&cluster, &cfg, &a, &x);
+                assert_eq!(y.len(), reference.len());
+                for (i, (u, v)) in y.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        u.to_bits(),
+                        v.to_bits(),
+                        "backend {backend:?} p={p} row {i}: {u} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rank_slices_are_harmless() {
+        // 3x3 diagonal split 8 ways: most ranks own nothing.
+        let a = Csr::from_triplets(3, 3, &[(0, 0, 2.0), (1, 1, 3.0), (2, 2, 4.0)]);
+        let x = vec![1.0, 2.0, 3.0];
+        let cfg = AmgConfig::amgt_fp64();
+        let cluster = Cluster::new(GpuSpec::a100(), 8, Interconnect::nvlink());
+        let y = dist_spmv_once(&cluster, &cfg, &a, &x);
+        assert_eq!(y, vec![2.0, 6.0, 12.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests of the distributed SpMV: over random sparse matrices the
+//! halo-exchange row-block product must be bitwise-identical to the
+//! single-device kernel, for every rank count and under both execution
+//! substrates.
+
+use amgt::config::{AmgConfig, BackendKind};
+use amgt::Operator;
+use amgt_dist::dist_spmv_once;
+use amgt_kernels::{Ctx, ExecMode};
+use amgt_sim::{Cluster, Device, GpuSpec, Interconnect, Phase, Precision};
+use amgt_sparse::Csr;
+use proptest::prelude::*;
+
+fn arb_csr() -> impl Strategy<Value = Csr> {
+    (8usize..96, 1usize..8, any::<u64>())
+        .prop_map(|(n, k, seed)| amgt_sparse::gen::random_sparse(n, k, seed))
+}
+
+fn reference_spmv(cfg: &AmgConfig, a: &Csr, x: &[f64]) -> Vec<f64> {
+    let dev = Device::new(GpuSpec::a100());
+    let ctx = Ctx::new(&dev, Phase::Solve, 0, Precision::Fp64)
+        .with_policy(cfg.policy)
+        .with_exec(cfg.exec);
+    Operator::prepare(&ctx, cfg.backend, a.clone()).spmv(&ctx, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dist_spmv_bitwise_for_all_rank_counts((a, seed) in (arb_csr(), any::<u64>())) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for backend in [BackendKind::Vendor, BackendKind::AmgT] {
+            for exec in [ExecMode::Simulated, ExecMode::Native] {
+                let mut cfg = AmgConfig::amgt_fp64();
+                cfg.backend = backend;
+                cfg.exec = exec;
+                let reference = reference_spmv(&cfg, &a, &x);
+                for p in 1..=4usize {
+                    let cluster = Cluster::new(GpuSpec::a100(), p, Interconnect::nvlink());
+                    let y = dist_spmv_once(&cluster, &cfg, &a, &x);
+                    prop_assert_eq!(y.len(), reference.len());
+                    for (i, (u, v)) in y.iter().zip(&reference).enumerate() {
+                        prop_assert_eq!(
+                            u.to_bits(),
+                            v.to_bits(),
+                            "backend {:?} exec {:?} p={} row {}: {} vs {}",
+                            backend, exec, p, i, u, v
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

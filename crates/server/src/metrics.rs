@@ -62,6 +62,12 @@ pub struct ServiceMetrics {
     pub hierarchy_levels: u64,
     pub hierarchy_operator_complexity: f64,
     pub hierarchy_grid_complexity: f64,
+    /// Rank count of the most recent distributed solve (0 = the service
+    /// has only run single-device solves).
+    pub dist_ranks: u64,
+    /// Cumulative halo-exchange traffic across all distributed solves,
+    /// in bytes.
+    pub dist_halo_bytes_total: u64,
 }
 
 /// The service's live metric state. Updates are lock-free; snapshots and
@@ -87,6 +93,8 @@ pub struct ServiceTelemetry {
     hierarchy_operator_complexity: Arc<Gauge>,
     hierarchy_grid_complexity: Arc<Gauge>,
     hierarchy_level_rows: Vec<Arc<Gauge>>,
+    dist_ranks: Arc<Gauge>,
+    dist_halo_bytes: Arc<Counter>,
 }
 
 impl Default for ServiceTelemetry {
@@ -171,6 +179,14 @@ impl ServiceTelemetry {
                 )
             })
             .collect();
+        let dist_ranks = registry.gauge(
+            "amgt_dist_ranks",
+            "Rank count of the most recent distributed solve (0 = single-device only).",
+        );
+        let dist_halo_bytes = registry.counter(
+            "amgt_dist_halo_bytes_total",
+            "Cumulative halo-exchange traffic across distributed solves, in bytes.",
+        );
         ServiceTelemetry {
             registry,
             jobs_completed,
@@ -192,7 +208,16 @@ impl ServiceTelemetry {
             hierarchy_operator_complexity,
             hierarchy_grid_complexity,
             hierarchy_level_rows,
+            dist_ranks,
+            dist_halo_bytes,
         }
+    }
+
+    /// Publish the shape of a distributed solve: the rank count it ran on
+    /// and the halo traffic it moved (accumulated across solves).
+    pub fn record_dist_solve(&self, ranks: usize, halo_bytes: f64) {
+        self.dist_ranks.set(ranks as f64);
+        self.dist_halo_bytes.add(halo_bytes.max(0.0).round() as u64);
     }
 
     /// One flight trace was promoted to the retained store.
@@ -283,6 +308,8 @@ impl ServiceTelemetry {
             hierarchy_levels: self.hierarchy_levels.get() as u64,
             hierarchy_operator_complexity: self.hierarchy_operator_complexity.get(),
             hierarchy_grid_complexity: self.hierarchy_grid_complexity.get(),
+            dist_ranks: self.dist_ranks.get() as u64,
+            dist_halo_bytes_total: self.dist_halo_bytes.get(),
         }
     }
 
@@ -397,6 +424,27 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"jobs_completed\":1"), "{json}");
+    }
+
+    #[test]
+    fn dist_metrics_track_rank_count_and_accumulate_traffic() {
+        let t = ServiceTelemetry::new();
+        let m = t.snapshot(0, CacheStats::default());
+        assert_eq!(m.dist_ranks, 0);
+        assert_eq!(m.dist_halo_bytes_total, 0);
+
+        t.record_dist_solve(4, 65_536.0);
+        t.record_dist_solve(2, 1_024.0);
+        let m = t.snapshot(0, CacheStats::default());
+        // The gauge tracks the most recent solve; the counter accumulates.
+        assert_eq!(m.dist_ranks, 2);
+        assert_eq!(m.dist_halo_bytes_total, 66_560);
+
+        let text = t.render_prometheus(0, CacheStats::default());
+        assert!(text.contains("# TYPE amgt_dist_ranks gauge"));
+        assert!(text.contains("amgt_dist_ranks 2.0\n"));
+        assert!(text.contains("# TYPE amgt_dist_halo_bytes_total counter"));
+        assert!(text.contains("amgt_dist_halo_bytes_total 66560\n"));
     }
 
     #[test]

@@ -89,6 +89,101 @@ pub fn unpermute_vec(x: &[f64], perm: &[u32]) -> Vec<f64> {
     out
 }
 
+/// A contiguous row partition of a matrix: `parts + 1` tile-aligned
+/// offsets plus the balance/coupling statistics a domain decomposition
+/// needs to size its halos.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// Row-range offsets, length `parts + 1`; part `p` owns rows
+    /// `offsets[p]..offsets[p + 1]`. Interior cuts are multiples of 4 so
+    /// mBSR tiles never straddle two parts.
+    pub offsets: Vec<usize>,
+    /// Stored entries whose column falls outside the owning part's row
+    /// range (off-diagonal-block entries — for a square matrix, the
+    /// directed graph edge cut of the partition).
+    pub edge_cut: usize,
+    /// Largest per-part nonzero count.
+    pub max_part_nnz: usize,
+    /// Mean per-part nonzero count.
+    pub avg_part_nnz: f64,
+}
+
+impl Partition {
+    pub fn parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Row range of part `p`.
+    pub fn range(&self, p: usize) -> (usize, usize) {
+        (self.offsets[p], self.offsets[p + 1])
+    }
+
+    /// Load-imbalance ratio `max_part_nnz / avg_part_nnz` (1.0 = perfect;
+    /// 0.0 for an empty matrix).
+    pub fn imbalance(&self) -> f64 {
+        if self.avg_part_nnz == 0.0 {
+            0.0
+        } else {
+            self.max_part_nnz as f64 / self.avg_part_nnz
+        }
+    }
+}
+
+/// Split a matrix into `parts` contiguous, tile-aligned, nonzero-balanced
+/// row blocks and measure the coupling between them.
+///
+/// The splitter walks rows in order, cutting whenever the accumulated
+/// nonzero count reaches the next balance target; each interior cut is
+/// rounded up to a multiple of 4 (the mBSR tile size). Degenerate inputs
+/// are well-defined: an empty matrix yields all-zero offsets, and when
+/// `parts` exceeds the available tile rows the trailing parts own zero
+/// rows. Rows are assumed pre-ordered for locality (e.g. by [`rcm`]); the
+/// partition itself never reorders.
+pub fn partition_contiguous(a: &Csr, parts: usize) -> Partition {
+    assert!(parts >= 1, "need at least one part");
+    let n = a.nrows();
+    let total = a.nnz().max(1);
+    let target = total.div_ceil(parts);
+    let mut offsets = vec![0usize];
+    let mut acc = 0usize;
+    for r in 0..n {
+        acc += a.row_nnz(r);
+        if acc >= target * offsets.len() && offsets.len() < parts {
+            // Align the cut to a tile boundary.
+            let cut = (r + 1).next_multiple_of(4).min(n);
+            if cut > *offsets.last().unwrap() {
+                offsets.push(cut);
+            }
+        }
+    }
+    while offsets.len() < parts {
+        offsets.push(n);
+    }
+    offsets.push(n);
+
+    let mut edge_cut = 0usize;
+    let mut max_part_nnz = 0usize;
+    for p in 0..parts {
+        let (lo, hi) = (offsets[p], offsets[p + 1]);
+        let mut part_nnz = 0usize;
+        for r in lo..hi {
+            let (cols, _) = a.row(r);
+            part_nnz += cols.len();
+            edge_cut += cols
+                .iter()
+                .filter(|&&c| (c as usize) < lo || (c as usize) >= hi)
+                .count();
+        }
+        max_part_nnz = max_part_nnz.max(part_nnz);
+    }
+    Partition {
+        offsets,
+        edge_cut,
+        max_part_nnz,
+        avg_part_nnz: a.nnz() as f64 / parts as f64,
+    }
+}
+
 /// Matrix bandwidth: `max |i - j|` over stored entries.
 pub fn bandwidth(a: &Csr) -> usize {
     let mut bw = 0usize;
@@ -187,6 +282,88 @@ mod tests {
             "tile density should improve: {before:.3} -> {after:.3}"
         );
         let _ = network_laplacian(10, 3, 1, 1); // Keep the import exercised.
+    }
+
+    #[test]
+    fn partition_covers_aligns_and_counts_cut() {
+        let a = laplacian_2d(20, 20, Stencil2d::Five);
+        let part = partition_contiguous(&a, 4);
+        assert_eq!(part.offsets.len(), 5);
+        assert_eq!(part.offsets[0], 0);
+        assert_eq!(part.offsets[4], 400);
+        for w in part.offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for &o in &part.offsets[1..4] {
+            assert!(o % 4 == 0 || o == 400, "offset {o} not tile aligned");
+        }
+        // A 20-wide grid strip boundary couples ~20 rows with one neighbour
+        // entry each on each side of each of the 3 cuts.
+        assert!(part.edge_cut > 0, "grid partition must cut edges");
+        assert!(
+            part.edge_cut < a.nnz() / 4,
+            "cut {} too large",
+            part.edge_cut
+        );
+        assert!(part.imbalance() >= 1.0 && part.imbalance() < 1.5);
+    }
+
+    #[test]
+    fn partition_empty_matrix() {
+        let a = Csr::from_triplets(0, 0, &[]);
+        let part = partition_contiguous(&a, 3);
+        assert_eq!(part.offsets, vec![0, 0, 0, 0]);
+        assert_eq!(part.edge_cut, 0);
+        assert_eq!(part.max_part_nnz, 0);
+        assert_eq!(part.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn partition_single_part_has_no_cut() {
+        let a = laplacian_2d(7, 9, Stencil2d::Five);
+        let part = partition_contiguous(&a, 1);
+        assert_eq!(part.offsets, vec![0, 63]);
+        assert_eq!(part.edge_cut, 0);
+        assert_eq!(part.max_part_nnz, a.nnz());
+        assert!((part.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_more_parts_than_rows_leaves_trailing_empty() {
+        let a = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)]);
+        let part = partition_contiguous(&a, 8);
+        assert_eq!(part.offsets.len(), 9);
+        assert_eq!(*part.offsets.last().unwrap(), 3);
+        // Every row is owned by exactly one part.
+        for w in part.offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(part.edge_cut, 0); // Diagonal matrix: no coupling.
+    }
+
+    #[test]
+    fn partition_imbalanced_matrix_reports_skew() {
+        // One dense block-row band next to near-empty rows: the nnz of the
+        // dense band cannot be split (contiguous rows), so one part is
+        // heavy and the imbalance ratio reflects it.
+        let mut trips = Vec::new();
+        for c in 0..64usize {
+            for r in 0..4usize {
+                trips.push((r, c, 1.0));
+            }
+        }
+        for r in 4..64usize {
+            trips.push((r, r, 1.0));
+        }
+        let a = Csr::from_triplets(64, 64, &trips);
+        let part = partition_contiguous(&a, 4);
+        assert_eq!(*part.offsets.last().unwrap(), 64);
+        assert!(
+            part.imbalance() > 1.5,
+            "expected skew, got {}",
+            part.imbalance()
+        );
+        assert!(part.max_part_nnz >= 4 * 64);
     }
 
     #[test]

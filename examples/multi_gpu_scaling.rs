@@ -5,8 +5,8 @@
 //! cargo run --release -p amgt-examples --bin multi_gpu_scaling
 //! ```
 
-use amgt::multi_gpu::run_amg_multi_gpu;
 use amgt::prelude::*;
+use amgt_dist::run_amg_multi_gpu;
 use amgt_sim::{Cluster, Interconnect};
 use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
 

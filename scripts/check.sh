@@ -30,9 +30,10 @@ wall_native_out="$(mktemp -t amgt-wall-native-XXXXXX.json)"
 profile_out="$(mktemp -t amgt-profile-XXXXXX.json)"
 folded_out="$(mktemp -t amgt-folded-XXXXXX.txt)"
 flight_out="$(mktemp -t amgt-flight-XXXXXX.json)"
+dist_out="$(mktemp -t amgt-dist-XXXXXX.json)"
 serverd_log="$(mktemp -t amgt-serverd-XXXXXX.log)"
 trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out" \
-    "$profile_out" "$folded_out" "$flight_out" "$serverd_log"' EXIT
+    "$profile_out" "$folded_out" "$flight_out" "$dist_out" "$serverd_log"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
 grep -q '"traceEvents"' "$trace_out"
@@ -88,6 +89,23 @@ python3 -m json.tool "$flight_out" >/dev/null
 cargo run --release -q -p amgt-bench --bin bench -- --validate "$flight_out" >/dev/null
 grep -q '"flight_overhead"' "$flight_out"
 echo "    wrote, validated, and gated $flight_out"
+
+echo "==> distributed smoke: --ranks 4 bench + rank-count invariance suite"
+# The domain-decomposed solver over 4 in-process ranks: the report must
+# land as schema v7 with a dist block per case, and — the comm pattern
+# being a deterministic function of the partition — a fresh run compared
+# against the report just written must pass the halo/collective gate.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --ranks 4 \
+    --out "$dist_out" >/dev/null
+python3 -m json.tool "$dist_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --validate "$dist_out" >/dev/null
+grep -q '"dist"' "$dist_out"
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --ranks 4 \
+    --out /dev/null --compare "$dist_out" >/dev/null
+# Rank-count invariance over the full Table II suite: P = 1 bitwise vs
+# the single-device solver, P in {2, 4} bitwise-invariant iterates.
+cargo test --release -q -p amgt-dist --test rank_invariance
+echo "    wrote, validated, and round-tripped $dist_out; invariance suite passed"
 
 echo "==> profile smoke: --profile fidelity JSON + non-empty folded stacks"
 cargo run --release -q --bin amgt-cli -- --poisson2d 32 --exec native \
