@@ -21,7 +21,7 @@ use amgt::Operator;
 use amgt_bench::alloc::{snapshot, CountingAlloc};
 use amgt_bench::report::{
     compare, BenchCase, BenchReport, CompareThresholds, DistInfo, FidelityInfo, FlightOverheadCase,
-    FlightOverheadInfo, PolicyInfo, WallStats, SCHEMA_VERSION,
+    FlightOverheadInfo, ParStats, PolicyInfo, WallStats, SCHEMA_VERSION,
 };
 use amgt_bench::Variant;
 use amgt_dist::{dist_solve, DistConfig};
@@ -230,7 +230,7 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
     // the host clock and the counting allocator around each: `run_amg`
     // above already warmed every lazy cost (page faults, suite data), so
     // this second pass measures steady-state host behaviour.
-    let wall = opt.wallclock.then(|| {
+    let measured = opt.wallclock.then(|| {
         let device = Device::new(opt.gpu.clone());
         let a2 = a.clone();
         let mut x = vec![0.0; b.len()];
@@ -244,7 +244,7 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
         let srep = amgt::solve(&device, &cfg, &h, &b, &mut x);
         let solve_wall_ns = solve_t0.elapsed().as_nanos() as u64;
         let solve_allocs = snapshot().since(&solve_a0);
-        WallStats {
+        let wall = WallStats {
             setup_wall_ns,
             solve_wall_ns,
             setup_allocs: setup_allocs.allocs,
@@ -252,8 +252,47 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
             solve_allocs: solve_allocs.allocs,
             solve_bytes: solve_allocs.bytes,
             solve_allocs_per_iteration: solve_allocs.allocs as f64 / srep.iterations.max(1) as f64,
-        }
+        };
+        // v8 `par` block: re-time the same solve at the active pool width
+        // and inside a private 1-thread pool. The solutions are bitwise
+        // identical at every width (the fork-join topology is fixed), so
+        // only the walls differ; best-of-N discards scheduler noise.
+        let threads = rayon::current_num_threads();
+        let par = (threads > 1).then(|| {
+            const REPS: usize = 3;
+            let mut time_solve = || {
+                x.iter_mut().for_each(|v| *v = 0.0);
+                let t0 = Instant::now();
+                let _ = amgt::solve(&device, &cfg, &h, &b, &mut x);
+                t0.elapsed().as_nanos() as u64
+            };
+            let mut nt_ns = solve_wall_ns;
+            for _ in 0..REPS {
+                nt_ns = nt_ns.min(time_solve());
+            }
+            let one = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("owned pool construction is infallible");
+            let mut t1_ns = u64::MAX;
+            for _ in 0..REPS {
+                t1_ns = t1_ns.min(one.install(&mut time_solve));
+            }
+            let speedup = t1_ns as f64 / nt_ns.max(1) as f64;
+            ParStats {
+                threads,
+                solve_wall_1t_ns: t1_ns,
+                solve_wall_nt_ns: nt_ns,
+                speedup,
+                efficiency: speedup / threads as f64,
+            }
+        });
+        (wall, par)
     });
+    let (wall, par) = match measured {
+        Some((w, p)) => (Some(w), p),
+        None => (None, None),
+    };
     BenchCase {
         name: format!("e2e:{stem}:{}", variant_slug(variant)),
         variant: variant.label().to_string(),
@@ -271,6 +310,7 @@ fn e2e_case(opt: &Options, stem: &str, a: &Csr, variant: Variant) -> BenchCase {
         outcome: rep.solve_report.outcome.label().to_string(),
         wall,
         dist: None,
+        par,
     }
 }
 
@@ -309,6 +349,7 @@ fn dist_case(opt: &Options, stem: &str, a: &Csr, variant: Variant, ranks: usize)
         grid_complexity: 0.0,
         outcome: rep.solve_report.outcome.label().to_string(),
         wall: None,
+        par: None,
         dist: Some(DistInfo {
             ranks: rep.ranks,
             gathered_levels: rep.gathered_levels,
@@ -369,6 +410,7 @@ fn kernel_cases(opt: &Options, stem: &str, a: &Csr) -> Vec<BenchCase> {
             outcome: "Converged".to_string(),
             wall: None,
             dist: None,
+            par: None,
         };
         out.push(blank(
             format!("kernel:spmv-x{SPMV_REPS}:{stem}:{slug}"),
@@ -465,6 +507,7 @@ fn flight_overhead_case(opt: &Options, stem: &str, a: &Csr) -> (FlightOverheadCa
         outcome: warm.outcome.label().to_string(),
         wall: None,
         dist: None,
+        par: None,
     };
     (flight, case)
 }
@@ -582,6 +625,7 @@ fn main() -> ExitCode {
                 outcome: "Converged".to_string(),
                 wall: None,
                 dist: None,
+                par: None,
             };
             cases.push(tune_case("default", r.default_score));
             cases.push(tune_case("tuned", r.score));
@@ -679,9 +723,9 @@ fn main() -> ExitCode {
             format!("{:?}", opt.scale).to_lowercase()
         },
         policy: Some(policy_info),
-        threads: opt
-            .wallclock
-            .then(|| opt.threads.unwrap_or_else(rayon::current_num_threads)),
+        // Observed pool width (the width joins actually fan out to), not
+        // the requested `--threads`: a report must state what ran.
+        threads: opt.wallclock.then(rayon::current_num_threads),
         exec: Some(opt.exec.label().to_string()),
         simd: Some(amgt_kernels::simd_level().label().to_string()),
         fidelity,
@@ -713,6 +757,20 @@ fn main() -> ExitCode {
                     .map(|w| w.solve_allocs_per_iteration)
                     .sum::<f64>()
                     / walls.len() as f64
+            );
+        }
+        let pars: Vec<&ParStats> = report.cases.iter().filter_map(|c| c.par.as_ref()).collect();
+        if !pars.is_empty() {
+            let speedups: Vec<f64> = pars.iter().map(|p| p.speedup.max(1e-9)).collect();
+            let s = geomean(&speedups);
+            println!(
+                "parallel scaling at {} threads over {} cases: geomean solve \
+                 speedup {:.2}x, efficiency {:.2} (host had {} core(s))",
+                pars[0].threads,
+                pars.len(),
+                s,
+                s / pars[0].threads as f64,
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             );
         }
     }

@@ -35,14 +35,19 @@ use serde::Serialize;
 /// * v7 — adds the optional per-case `dist` object (rank count, finest
 ///   partition edge cut and imbalance, comm/compute split, halo traffic
 ///   and collective counters from a `--ranks N` distributed run).
-pub const SCHEMA_VERSION: u64 = 7;
+/// * v8 — adds the optional per-case `par` object (pool width, 1-thread
+///   vs N-thread solve wall, speedup, parallel efficiency) written by
+///   `--wallclock` runs at `--threads > 1`. Results are bitwise
+///   thread-count-invariant, so only the walls differ between widths.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Oldest schema [`BenchReport::from_json`] still reads. v1 reports parse
 /// with `policy: None`, v2 reports with `wall: None`/`threads: None`,
 /// v3 reports with `exec: None`/`simd: None`, v4 reports with
-/// `fidelity: None`, v5 reports with `flight_overhead: None`, and v6
-/// reports with `dist: None`, so `--validate` and `--compare` keep
-/// working against baselines written before those fields existed.
+/// `fidelity: None`, v5 reports with `flight_overhead: None`, v6
+/// reports with `dist: None`, and v7 reports with `par: None`, so
+/// `--validate` and `--compare` keep working against baselines written
+/// before those fields existed.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The kernel policy a report's cases ran under, plus where it came from.
@@ -193,6 +198,27 @@ pub struct DistInfo {
     pub allreduce_count: u64,
 }
 
+/// Parallel-scaling measurement for one case (v8+, written only by
+/// `--wallclock` runs at `--threads > 1`): the same solve re-timed inside
+/// a private 1-thread pool as the reference. Wall-derived, so only
+/// comparable between reports with equal `exec`/`simd` and equal
+/// `threads`; the solutions themselves are bitwise identical at every
+/// width, so this block carries *only* timing.
+#[derive(Clone, Debug, Serialize)]
+pub struct ParStats {
+    /// Pool width the main (`solve_wall_nt_ns`) measurement ran at.
+    pub threads: usize,
+    /// Best-of-N solve-phase wall inside a 1-thread pool, nanoseconds.
+    pub solve_wall_1t_ns: u64,
+    /// Best-of-N solve-phase wall at `threads` workers, nanoseconds.
+    pub solve_wall_nt_ns: u64,
+    /// `solve_wall_1t_ns / solve_wall_nt_ns`.
+    pub speedup: f64,
+    /// `speedup / threads` — 1.0 is perfect scaling. Values near
+    /// `1 / threads` mean the pool had only one core to run on.
+    pub efficiency: f64,
+}
+
 /// One benchmark case: a (matrix, solver-variant) end-to-end run or a
 /// kernel microbench (where only the timing fields are meaningful).
 #[derive(Clone, Debug, Serialize)]
@@ -219,6 +245,9 @@ pub struct BenchCase {
     pub wall: Option<WallStats>,
     /// Distributed-run summary (v7+, `--ranks N` runs only).
     pub dist: Option<DistInfo>,
+    /// Parallel-scaling measurement (v8+, `--wallclock --threads N>1`
+    /// runs only).
+    pub par: Option<ParStats>,
 }
 
 /// The full report: schema header plus all cases from one runner pass.
@@ -430,6 +459,19 @@ impl BenchReport {
                     ));
                 }
             }
+            if let Some(p) = &c.par {
+                if p.threads < 2 {
+                    return Err(format!("case `{}`: par.threads = {}", c.name, p.threads));
+                }
+                if p.solve_wall_1t_ns == 0 || p.solve_wall_nt_ns == 0 {
+                    return Err(format!("case `{}`: par wall is zero", c.name));
+                }
+                for (what, v) in [("par.speedup", p.speedup), ("par.efficiency", p.efficiency)] {
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(format!("case `{}`: {what} = {v}", c.name));
+                    }
+                }
+            }
             if let Some(d) = &c.dist {
                 if d.ranks == 0 {
                     return Err(format!("case `{}`: dist.ranks = 0", c.name));
@@ -608,6 +650,11 @@ fn parse_case(v: &Json) -> Result<BenchCase, String> {
         Some(d) if !d.is_null() => Some(parse_dist(d)?),
         _ => None,
     };
+    // `par` arrived in v8; absent or null before that.
+    let par = match v.get("par") {
+        Some(p) if !p.is_null() => Some(parse_par(p)?),
+        _ => None,
+    };
     Ok(BenchCase {
         name: field_str(v, "name")?,
         variant: field_str(v, "variant")?,
@@ -625,6 +672,17 @@ fn parse_case(v: &Json) -> Result<BenchCase, String> {
         outcome: field_str(v, "outcome")?,
         wall,
         dist,
+        par,
+    })
+}
+
+fn parse_par(v: &Json) -> Result<ParStats, String> {
+    Ok(ParStats {
+        threads: field_usize(v, "threads")?,
+        solve_wall_1t_ns: field_u64(v, "solve_wall_1t_ns")?,
+        solve_wall_nt_ns: field_u64(v, "solve_wall_nt_ns")?,
+        speedup: field_f64(v, "speedup")?,
+        efficiency: field_f64(v, "efficiency")?,
     })
 }
 
@@ -660,6 +718,15 @@ pub struct CompareThresholds {
     /// Extra collective operations (all-reduce + all-gather rounds)
     /// tolerated over the baseline.
     pub dist_collective_slack: u64,
+    /// A case's parallel efficiency regresses when it falls below
+    /// `baseline.efficiency * par_efficiency_ratio - par_efficiency_slack`
+    /// (only checked when both reports carry a `par` block for the case
+    /// with the same thread count — wall-derived numbers are meaningless
+    /// across widths or hosts). Lenient by design: solve walls are short
+    /// and shared CI runners are noisy.
+    pub par_efficiency_ratio: f64,
+    /// Absolute parallel-efficiency slack.
+    pub par_efficiency_slack: f64,
 }
 
 impl Default for CompareThresholds {
@@ -673,6 +740,8 @@ impl Default for CompareThresholds {
             dist_comm_ratio: 1.10,
             dist_halo_slack_bytes: 1024.0,
             dist_collective_slack: 4,
+            par_efficiency_ratio: 0.75,
+            par_efficiency_slack: 0.05,
         }
     }
 }
@@ -757,6 +826,25 @@ pub fn compare(
                 });
             }
         }
+        if let (Some(bp), Some(cp)) = (&base.par, &cur.par) {
+            if bp.threads == cp.threads {
+                let floor = bp.efficiency * t.par_efficiency_ratio - t.par_efficiency_slack;
+                if cp.efficiency < floor {
+                    out.push(Regression {
+                        case: base.name.clone(),
+                        detail: format!(
+                            "parallel efficiency {:.3} at {} threads fell below \
+                             baseline {:.3} x{:.2} - {:.2}",
+                            cp.efficiency,
+                            cp.threads,
+                            bp.efficiency,
+                            t.par_efficiency_ratio,
+                            t.par_efficiency_slack
+                        ),
+                    });
+                }
+            }
+        }
         if let (Some(bd), Some(cd)) = (&base.dist, &cur.dist) {
             if bd.ranks == cd.ranks {
                 let halo_budget = bd.halo_bytes * t.dist_comm_ratio + t.dist_halo_slack_bytes;
@@ -809,6 +897,18 @@ mod tests {
             outcome: outcome.into(),
             wall: None,
             dist: None,
+            par: None,
+        }
+    }
+
+    fn par_stats(threads: usize, wall_1t: u64, wall_nt: u64) -> ParStats {
+        let speedup = wall_1t as f64 / wall_nt as f64;
+        ParStats {
+            threads,
+            solve_wall_1t_ns: wall_1t,
+            solve_wall_nt_ns: wall_nt,
+            speedup,
+            efficiency: speedup / threads as f64,
         }
     }
 
@@ -1076,6 +1176,98 @@ mod tests {
         let mut c = case("a", 1.0e-4, 10, "Converged");
         c.dist = Some(dist_info(4, 1.0e9, 10_000));
         assert!(compare(&report(vec![c]), &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn v8_par_round_trips() {
+        let mut c = case("e2e:a:amgt-fp64", 1.0e-4, 10, "Converged");
+        c.wall = Some(wall(0.0));
+        c.par = Some(par_stats(4, 8_000_000, 2_500_000));
+        let mut r = report(vec![c]);
+        r.threads = Some(4);
+        r.exec = Some("native".into());
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        let p = back.cases[0].par.as_ref().unwrap();
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.solve_wall_1t_ns, 8_000_000);
+        assert_eq!(p.solve_wall_nt_ns, 2_500_000);
+        assert!((p.speedup - 3.2).abs() < 1e-12);
+        assert!((p.efficiency - 0.8).abs() < 1e-12);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn v7_report_without_par_still_parses() {
+        // A pre-parallel baseline: version 7, no `par` key on any case.
+        let mut r = report(vec![case("a", 1.0e-4, 10, "Converged")]);
+        r.schema_version = 7;
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, 7);
+        assert!(back.cases[0].par.is_none());
+        back.validate().unwrap();
+        // An old baseline still gates a new (v8) report; the efficiency
+        // gate is simply skipped for cases without a baseline par block.
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        c.par = Some(par_stats(4, 1_000_000, 4_000_000)); // terrible scaling
+        assert!(compare(&report(vec![c]), &back, &CompareThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn par_efficiency_regression_detected() {
+        let t = CompareThresholds::default();
+        let mut b = case("a", 1.0e-4, 10, "Converged");
+        b.par = Some(par_stats(4, 8_000_000, 2_500_000)); // efficiency 0.80
+        let baseline = report(vec![b]);
+
+        // Efficiency collapse past ratio + slack: flagged.
+        let mut worse = case("a", 1.0e-4, 10, "Converged");
+        worse.par = Some(par_stats(4, 8_000_000, 8_000_000)); // efficiency 0.25
+        let regs = compare(&report(vec![worse]), &baseline, &t);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].detail.contains("parallel efficiency"), "{regs:?}");
+
+        // Different thread count: not comparable, gate skipped.
+        let mut other_w = case("a", 1.0e-4, 10, "Converged");
+        other_w.par = Some(par_stats(8, 8_000_000, 8_000_000));
+        assert!(compare(&report(vec![other_w]), &baseline, &t).is_empty());
+
+        // Small drift within the lenient floor: passes.
+        let mut drift = case("a", 1.0e-4, 10, "Converged");
+        drift.par = Some(par_stats(4, 8_000_000, 2_900_000)); // efficiency ~0.69
+        assert!(compare(&report(vec![drift]), &baseline, &t).is_empty());
+
+        // Better scaling than baseline: improvement, passes.
+        let mut better = case("a", 1.0e-4, 10, "Converged");
+        better.par = Some(par_stats(4, 8_000_000, 2_100_000));
+        assert!(compare(&report(vec![better]), &baseline, &t).is_empty());
+    }
+
+    #[test]
+    fn par_validation_catches_bad_values() {
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        c.par = Some(par_stats(1, 1_000_000, 1_000_000));
+        assert!(report(vec![c])
+            .validate()
+            .unwrap_err()
+            .contains("par.threads"));
+
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        let mut p = par_stats(4, 1_000_000, 250_000);
+        p.solve_wall_nt_ns = 0;
+        c.par = Some(p);
+        assert!(report(vec![c])
+            .validate()
+            .unwrap_err()
+            .contains("par wall is zero"));
+
+        let mut c = case("a", 1.0e-4, 10, "Converged");
+        let mut p = par_stats(4, 1_000_000, 250_000);
+        p.efficiency = f64::NAN;
+        c.par = Some(p);
+        assert!(report(vec![c])
+            .validate()
+            .unwrap_err()
+            .contains("par.efficiency"));
     }
 
     #[test]

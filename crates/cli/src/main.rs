@@ -477,7 +477,10 @@ fn main() {
     let note = apply_policy(&opt, &mut cfg, &a);
     if let Some(r) = &recorder {
         r.set_policy(note);
-        r.set_threads(opt.threads.unwrap_or_else(rayon::current_num_threads));
+        // Observed pool width, not the requested one: if the pool could
+        // not be pinned we exited above, and with no --threads this
+        // reports the actual (sequential) width instead of a guess.
+        r.set_threads(rayon::current_num_threads());
         r.set_exec(cfg.exec.label());
     }
 

@@ -163,7 +163,10 @@ fn smooth(
 /// Hybrid Gauss-Seidel: within each block of [`GS_BLOCK`] rows, rows use the
 /// freshest values (sequential GS); values from other blocks are read at
 /// their pre-sweep state (Jacobi coupling), which is what makes the sweep
-/// block-parallel on a GPU.
+/// block-parallel on a GPU — and, here, across the host pool: each
+/// GS block writes only its own rows and reads other blocks exclusively
+/// from the pre-sweep copy, so blocks fork with no ordering dependence
+/// and the sweep is bitwise identical at any pool width.
 fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64], gs_old: &mut Vec<f64>) {
     let timer = ctx.timer();
     let a = &lvl.a.csr;
@@ -171,27 +174,41 @@ fn hybrid_gauss_seidel(ctx: &Ctx, lvl: &Level, b: &[f64], x: &mut [f64], gs_old:
     gs_old.clear();
     gs_old.extend_from_slice(x);
     let x_old = &gs_old[..];
-    for block_start in (0..n).step_by(GS_BLOCK) {
-        let block_end = (block_start + GS_BLOCK).min(n);
-        for r in block_start..block_end {
-            let (cols, vals) = a.row(r);
-            let mut acc = b[r];
-            let mut diag = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                let j = c as usize;
-                if j == r {
-                    diag = v;
-                } else if (block_start..r).contains(&j) {
-                    acc -= v * x[j]; // Fresh value inside the block.
-                } else {
-                    acc -= v * x_old[j]; // Pre-sweep value elsewhere.
+    amgt_exec::par::join_block_chunks(
+        x,
+        0,
+        n.div_ceil(GS_BLOCK),
+        GS_BLOCK,
+        1,
+        &|first_block, n_blocks, chunk| {
+            let chunk_base = first_block * GS_BLOCK;
+            for gb in 0..n_blocks {
+                let block_start = (first_block + gb) * GS_BLOCK;
+                let block_end = (block_start + GS_BLOCK).min(n);
+                for r in block_start..block_end {
+                    let (cols, vals) = a.row(r);
+                    let mut acc = b[r];
+                    let mut diag = 0.0;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let j = c as usize;
+                        if j == r {
+                            diag = v;
+                        } else if (block_start..r).contains(&j) {
+                            // Fresh value inside the same GS block (always
+                            // within this leaf's chunk).
+                            acc -= v * chunk[j - chunk_base];
+                        } else {
+                            acc -= v * x_old[j]; // Pre-sweep value elsewhere.
+                        }
+                    }
+                    if diag != 0.0 {
+                        chunk[r - chunk_base] = acc / diag;
+                    }
                 }
             }
-            if diag != 0.0 {
-                x[r] = acc / diag;
-            }
-        }
-    }
+        },
+        &|(), ()| (),
+    );
     // One matrix traversal + one solution write: SpMV-like traffic.
     let cost = KernelCost {
         cuda_flops: 2.0 * a.nnz() as f64 + n as f64,

@@ -664,8 +664,10 @@ fn cycle_dist(rr: &mut RankRun, k: usize, cycle: CycleType) {
 }
 
 /// Distributed residual norm at the finest level: owned partial dot,
-/// rank-ordered all-reduce, square root. At one rank this reproduces
-/// `norm2`'s sequential fold bitwise.
+/// rank-ordered all-reduce, square root. At one rank the single partial
+/// covers the whole vector, so this reproduces `norm2`'s fixed-topology
+/// reduction tree bitwise (the tree's shape depends only on length and
+/// grain, never on pool width or rank count).
 fn residual_norm_dist(rr: &mut RankRun) -> f64 {
     halo_exchange(rr, 0, HaloOp::AOnX);
     let ctx = ctx_at(rr, Phase::Solve, 0);

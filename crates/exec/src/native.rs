@@ -84,12 +84,13 @@ impl ExecBackend for Native {
         // Hoists the warp kernels' per-tile input conversions to one pass
         // per operand: each element is rounded once instead of every time a
         // tile references it. The values are exactly what the on-the-fly
-        // path would produce, so results are bitwise unchanged.
+        // path would produce, so results are bitwise unchanged. The sweep
+        // is elementwise, so it forks over disjoint chunks.
         x32.clear();
         match prec {
             Precision::Fp64 => {}
-            Precision::Fp32 => x32.extend(xp.iter().map(|&v| Tf32::to_f32(v))),
-            Precision::Fp16 => x32.extend(xp.iter().map(|&v| Half::to_f32(v))),
+            Precision::Fp32 => convert_sweep::<Tf32>(xp, x32),
+            Precision::Fp16 => convert_sweep::<Half>(xp, x32),
         }
     }
 
@@ -199,21 +200,69 @@ impl ExecBackend for Native {
 
     fn quantize(&self, prec: Precision, values: &mut [f64]) {
         // Monomorphized per precision; LLVM auto-vectorizes the FP32 cast
-        // loop, and FP16 reuses the bit-exact scalar conversion.
+        // loop, and FP16 reuses the bit-exact scalar conversion. Each
+        // element rounds independently, so the sweep forks over disjoint
+        // chunks (bitwise identical at any pool width).
+        let n = values.len();
         match prec {
             Precision::Fp64 => {}
             Precision::Fp32 => {
-                for v in values {
-                    *v = f64::from(*v as f32);
-                }
+                crate::par::join_block_chunks(
+                    values,
+                    0,
+                    n,
+                    1,
+                    QUANT_GRAIN,
+                    &|_, _, chunk| {
+                        for v in chunk {
+                            *v = f64::from(*v as f32);
+                        }
+                    },
+                    &|(), ()| (),
+                );
             }
             Precision::Fp16 => {
-                for v in values {
-                    *v = F16::from_f64(*v).to_f64();
-                }
+                crate::par::join_block_chunks(
+                    values,
+                    0,
+                    n,
+                    1,
+                    QUANT_GRAIN,
+                    &|_, _, chunk| {
+                        for v in chunk {
+                            *v = F16::from_f64(*v).to_f64();
+                        }
+                    },
+                    &|(), ()| (),
+                );
             }
         }
     }
+}
+
+/// Elements per leaf of the quantize/convert fork-join sweeps. Purely a
+/// chunking constant: the per-element rounding is independent, so any
+/// grain gives identical bits — this one just keeps leaves cache-sized.
+const QUANT_GRAIN: usize = 4096;
+
+/// Parallel `x32 = round(xp)` sweep for the reduced-precision operand
+/// image. Disjoint strided-free chunk writes via the resized buffer.
+fn convert_sweep<C: Cvt>(xp: &[f64], x32: &mut Vec<f32>) {
+    x32.resize(xp.len(), 0.0);
+    let out = crate::par::SendPtr::new(x32.as_mut_ptr());
+    crate::par::join_ranges(
+        0,
+        xp.len(),
+        QUANT_GRAIN,
+        &|lo, hi| {
+            for (i, &v) in xp[lo..hi].iter().enumerate() {
+                // Safety: `[lo, hi)` ranges are disjoint across leaves and
+                // `x32` outlives the fork-join region.
+                unsafe { *out.add(lo + i) = C::to_f32(v) };
+            }
+        },
+        &|(), ()| (),
+    );
 }
 
 // ---------------------------------------------------------------------------

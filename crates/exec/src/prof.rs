@@ -15,6 +15,18 @@
 //!   global list once per thread and [`snapshot`] merges them, so the
 //!   steady-state record path never contends across threads.
 //!
+//! # Attribution with the work-stealing pool
+//!
+//! Kernels parallelized over the fork-join pool keep *one* timer on the
+//! calling thread: leaves never record, the joining thread records a
+//! single sample covering the whole parallel region. Pool workers that
+//! call kernels directly (e.g. server request workers) record into their
+//! own shards, which `snapshot` merges — samples are never lost or
+//! double-counted. But spans of launches that are concurrently in flight
+//! can overlap (a joiner may even execute stolen leaves of another
+//! launch inside its own span), so summed per-class wall time is an
+//! upper bound on exclusive time, not a partition of elapsed time.
+//!
 //! Typical use (what `amgt-cli --profile` does):
 //!
 //! ```

@@ -89,6 +89,30 @@ impl<'a> Ctx<'a> {
     /// lands in the trace's kernel record and in the profiler's per-class
     /// aggregate; with the profiler disabled this is exactly
     /// [`Ctx::charge`]. Returns simulated seconds.
+    ///
+    /// # Per-thread attribution under the work-stealing pool
+    ///
+    /// Kernels that fan work out over the pool follow one discipline:
+    /// **leaves never charge**. The fork-join leaves only compute and
+    /// return counters; the thread that called the kernel sums them after
+    /// the join and issues a single `charge_timed` — so the simulated
+    /// ledger sees exactly one event per logical launch regardless of
+    /// pool width, and the charge funnel (`Device::charge*`) is never
+    /// entered concurrently on behalf of the same launch.
+    ///
+    /// The wall measurement is a span on the *calling* thread from
+    /// `Ctx::timer` to `charge_timed`, covering the whole parallel
+    /// region including the join. Two caveats follow:
+    ///
+    /// * a thread blocked in `rayon::join` may execute *stolen* leaves of
+    ///   an unrelated concurrent launch while its own timer is running,
+    ///   so with several launches in flight their wall spans can overlap
+    ///   and the per-class totals can sum to more than elapsed time —
+    ///   the profiler is a per-launch span aggregate, not a flame graph;
+    /// * the sample lands in the calling thread's profiler shard
+    ///   ([`amgt_exec::prof`]), which is merged with every other shard
+    ///   at snapshot time, so attribution is complete (never lost, never
+    ///   double-counted) no matter which thread ran the kernel.
     pub fn charge_timed(
         &self,
         kind: KernelKind,

@@ -264,91 +264,37 @@ pub fn spgemm_mbsr_with_workspace(
 
     let be = ctx.backend();
     {
-        // Walk the outputs as disjoint per-block-row slices (one warp per
-        // block-row), in row order.
-        let mut idx_rest: &mut [u32] = &mut blc_idx;
-        let mut map_rest: &mut [u16] = &mut blc_map;
-        let mut val_rest: &mut [f64] = &mut blc_val;
-        for br in 0..blk_rows {
-            let len = blc_ptr[br + 1] - blc_ptr[br];
-            let (c_idx, i1) = idx_rest.split_at_mut(len);
-            let (c_map, m1) = map_rest.split_at_mut(len);
-            let (c_val, v1) = val_rest.split_at_mut(len * TILE_AREA);
-            idx_rest = i1;
-            map_rest = m1;
-            val_rest = v1;
-
-            c_idx.copy_from_slice(&ws.row_cols[blc_ptr[br]..blc_ptr[br + 1]]);
-            let (acols, amaps) = a.block_row(br);
-            let (mut tc, mut cu, mut mma_n, mut flops, mut srch) = (0u64, 0u64, 0u64, 0u64, 0u64);
-            let mut slots = 0u64;
-            for (apos_rel, (&cid_a, &map_a)) in acols.iter().zip(amaps).enumerate() {
-                let a_tile = a.tile_array(a.blc_ptr[br] + apos_rel);
-                let k = cid_a as usize;
-                let (b_lo, b_hi) = (b.blc_ptr[k], b.blc_ptr[k + 1]);
-                if bitmap::popcount(map_a) >= policy.tc_popcount_threshold {
-                    // --- Tensor-core path: pairs of valid blockBs. ---
-                    tc += 1;
-                    slots += TILE_AREA as u64; // fragA tile load.
-                    let mut pending: Option<(usize, u16)> = None; // (b_pos, mapC)
-                    for b_pos in b_lo..b_hi {
-                        let map_b = b.blc_map[b_pos];
-                        let map_c = bitmap::bitmap_multiply(map_a, map_b);
-                        if map_c == 0 {
-                            continue;
-                        }
-                        slots += TILE_AREA as u64; // fragB tile load.
-                        match pending.take() {
-                            None => pending = Some((b_pos, map_c)),
-                            Some((p0, m0)) => {
-                                be.spgemm_tc_mma(
-                                    prec,
-                                    &a_tile,
-                                    b,
-                                    c_idx,
-                                    c_map,
-                                    c_val,
-                                    &[(p0, m0), (b_pos, map_c)],
-                                );
-                                mma_n += 1;
-                                srch += 2;
-                            }
-                        }
-                    }
-                    if let Some((p0, m0)) = pending {
-                        // Odd tail: the backend pads fragB with a zero tile.
-                        be.spgemm_tc_mma(prec, &a_tile, b, c_idx, c_map, c_val, &[(p0, m0)]);
-                        mma_n += 1;
-                        srch += 1;
-                    }
-                } else {
-                    // --- CUDA-core path: thread-level scalar products. ---
-                    cu += 1;
-                    slots += 4 * nonempty_rows(map_a);
-                    for b_pos in b_lo..b_hi {
-                        let map_b = b.blc_map[b_pos];
-                        let map_c = bitmap::bitmap_multiply(map_a, map_b);
-                        if map_c == 0 {
-                            continue;
-                        }
-                        slots += 4 * nonempty_rows(map_b);
-                        let j = b.blc_idx[b_pos];
-                        let slot = c_idx.binary_search(&j).expect("symbolic covered block");
-                        srch += 1;
-                        c_map[slot] |= map_c;
-                        let b_tile = b.tile_array(b_pos);
-                        let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
-                        flops += be.spgemm_cuda_tile(prec, &a_tile, map_a, &b_tile, map_b, out);
-                    }
-                }
-            }
-            tc_blocks += tc;
-            val_slots_read += slots;
-            cuda_blocks += cu;
-            mma_count += mma_n;
-            cuda_flops += flops;
-            searches += srch;
-        }
+        // Block-rows write disjoint `blc_ptr`-delimited slices of the
+        // three result arrays (one warp per block-row), so the row range
+        // forks into a binary tree split at `blc_ptr` boundaries: each
+        // half owns its rows' output exactly. The tree shape depends only
+        // on the row count and grain, each row's inner loop is untouched,
+        // and the statistics merge with commutative integer sums — so the
+        // product and every charged quantity are bitwise identical at any
+        // pool width. (The symbolic phase above stays sequential: its
+        // `row_cols` appends are inherently in row order.)
+        let (tc, slots, cu, mma_n, flops, srch) = numeric_rows(
+            NumericArgs {
+                a,
+                b,
+                row_cols: &ws.row_cols,
+                blc_ptr: &blc_ptr,
+                policy,
+                prec,
+                be,
+            },
+            0,
+            blk_rows,
+            &mut blc_idx,
+            &mut blc_map,
+            &mut blc_val,
+        );
+        tc_blocks += tc;
+        val_slots_read += slots;
+        cuda_blocks += cu;
+        mma_count += mma_n;
+        cuda_flops += flops;
+        searches += srch;
     }
 
     // Storage quantization of the result at the level's precision.
@@ -407,6 +353,167 @@ pub fn spgemm_mbsr_with_workspace(
         result_nnz,
     };
     (c, stats)
+}
+
+/// Block-rows per leaf of the numeric-phase fork-join tree. Rows vary
+/// widely in cost (bins span 128..8192 intermediate products), so a
+/// smallish grain lets the work-stealing pool rebalance; the tree shape
+/// itself depends only on the row count, keeping results bitwise
+/// identical at any pool width.
+const NUMERIC_GRAIN: usize = 8;
+
+/// Read-only inputs of the numeric phase, bundled so the recursion below
+/// stays legible.
+#[derive(Clone, Copy)]
+struct NumericArgs<'a> {
+    a: &'a Mbsr,
+    b: &'a Mbsr,
+    row_cols: &'a [u32],
+    blc_ptr: &'a [usize],
+    policy: KernelPolicy,
+    prec: amgt_sim::Precision,
+    be: &'static dyn amgt_exec::ExecBackend,
+}
+
+/// Numeric phase over block-rows `[r0, r1)`, writing the rows'
+/// `blc_ptr`-delimited slices of `idx`/`map`/`val` (passed already offset
+/// so `idx[0]` is row `r0`'s first block). Splits the row range in half —
+/// and the output slices at the corresponding `blc_ptr` boundary — until
+/// at most [`NUMERIC_GRAIN`] rows remain. Returns
+/// `(tc_blocks, val_slots_read, cuda_blocks, mma_count, cuda_flops,
+/// searches)` merged with sums.
+fn numeric_rows(
+    args: NumericArgs<'_>,
+    r0: usize,
+    r1: usize,
+    idx: &mut [u32],
+    map: &mut [u16],
+    val: &mut [f64],
+) -> (u64, u64, u64, u64, u64, u64) {
+    if r1 - r0 > NUMERIC_GRAIN {
+        let mid = r0 + (r1 - r0) / 2;
+        let cut = args.blc_ptr[mid] - args.blc_ptr[r0];
+        let (idx_lo, idx_hi) = idx.split_at_mut(cut);
+        let (map_lo, map_hi) = map.split_at_mut(cut);
+        let (val_lo, val_hi) = val.split_at_mut(cut * TILE_AREA);
+        let (sa, sb) = rayon::join(
+            || numeric_rows(args, r0, mid, idx_lo, map_lo, val_lo),
+            || numeric_rows(args, mid, r1, idx_hi, map_hi, val_hi),
+        );
+        return (
+            sa.0 + sb.0,
+            sa.1 + sb.1,
+            sa.2 + sb.2,
+            sa.3 + sb.3,
+            sa.4 + sb.4,
+            sa.5 + sb.5,
+        );
+    }
+
+    let NumericArgs {
+        a,
+        b,
+        row_cols,
+        blc_ptr,
+        policy,
+        prec,
+        be,
+    } = args;
+    let (mut tc_blocks, mut val_slots_read) = (0u64, 0u64);
+    let (mut cuda_blocks, mut mma_count) = (0u64, 0u64);
+    let (mut cuda_flops, mut searches) = (0u64, 0u64);
+    // Walk the leaf's rows as disjoint per-block-row slices, in row order.
+    let mut idx_rest = idx;
+    let mut map_rest = map;
+    let mut val_rest = val;
+    for br in r0..r1 {
+        let len = blc_ptr[br + 1] - blc_ptr[br];
+        let (c_idx, i1) = idx_rest.split_at_mut(len);
+        let (c_map, m1) = map_rest.split_at_mut(len);
+        let (c_val, v1) = val_rest.split_at_mut(len * TILE_AREA);
+        idx_rest = i1;
+        map_rest = m1;
+        val_rest = v1;
+
+        c_idx.copy_from_slice(&row_cols[blc_ptr[br]..blc_ptr[br + 1]]);
+        let (acols, amaps) = a.block_row(br);
+        let (mut tc, mut cu, mut mma_n, mut flops, mut srch) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut slots = 0u64;
+        for (apos_rel, (&cid_a, &map_a)) in acols.iter().zip(amaps).enumerate() {
+            let a_tile = a.tile_array(a.blc_ptr[br] + apos_rel);
+            let k = cid_a as usize;
+            let (b_lo, b_hi) = (b.blc_ptr[k], b.blc_ptr[k + 1]);
+            if bitmap::popcount(map_a) >= policy.tc_popcount_threshold {
+                // --- Tensor-core path: pairs of valid blockBs. ---
+                tc += 1;
+                slots += TILE_AREA as u64; // fragA tile load.
+                let mut pending: Option<(usize, u16)> = None; // (b_pos, mapC)
+                for b_pos in b_lo..b_hi {
+                    let map_b = b.blc_map[b_pos];
+                    let map_c = bitmap::bitmap_multiply(map_a, map_b);
+                    if map_c == 0 {
+                        continue;
+                    }
+                    slots += TILE_AREA as u64; // fragB tile load.
+                    match pending.take() {
+                        None => pending = Some((b_pos, map_c)),
+                        Some((p0, m0)) => {
+                            be.spgemm_tc_mma(
+                                prec,
+                                &a_tile,
+                                b,
+                                c_idx,
+                                c_map,
+                                c_val,
+                                &[(p0, m0), (b_pos, map_c)],
+                            );
+                            mma_n += 1;
+                            srch += 2;
+                        }
+                    }
+                }
+                if let Some((p0, m0)) = pending {
+                    // Odd tail: the backend pads fragB with a zero tile.
+                    be.spgemm_tc_mma(prec, &a_tile, b, c_idx, c_map, c_val, &[(p0, m0)]);
+                    mma_n += 1;
+                    srch += 1;
+                }
+            } else {
+                // --- CUDA-core path: thread-level scalar products. ---
+                cu += 1;
+                slots += 4 * nonempty_rows(map_a);
+                for b_pos in b_lo..b_hi {
+                    let map_b = b.blc_map[b_pos];
+                    let map_c = bitmap::bitmap_multiply(map_a, map_b);
+                    if map_c == 0 {
+                        continue;
+                    }
+                    slots += 4 * nonempty_rows(map_b);
+                    let j = b.blc_idx[b_pos];
+                    let slot = c_idx.binary_search(&j).expect("symbolic covered block");
+                    srch += 1;
+                    c_map[slot] |= map_c;
+                    let b_tile = b.tile_array(b_pos);
+                    let out = &mut c_val[slot * TILE_AREA..(slot + 1) * TILE_AREA];
+                    flops += be.spgemm_cuda_tile(prec, &a_tile, map_a, &b_tile, map_b, out);
+                }
+            }
+        }
+        tc_blocks += tc;
+        val_slots_read += slots;
+        cuda_blocks += cu;
+        mma_count += mma_n;
+        cuda_flops += flops;
+        searches += srch;
+    }
+    (
+        tc_blocks,
+        val_slots_read,
+        cuda_blocks,
+        mma_count,
+        cuda_flops,
+        searches,
+    )
 }
 
 /// Nonempty 4-wide rows of a tile pattern (32-byte read transactions).

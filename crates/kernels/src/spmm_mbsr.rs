@@ -17,6 +17,12 @@ use amgt_sparse::Mbsr;
 /// Number of right-hand sides one tensor fragment carries.
 pub const RHS_TILE: usize = 8;
 
+/// Block-rows per leaf of the SpMM fork-join tree (each leaf processes
+/// `RHS_TILE` columns of work per row, so the grain is smaller than the
+/// single-vector SpMV's). Part of the fixed split topology — never derive
+/// it from the pool width.
+const SPMM_JOIN_GRAIN: usize = 64;
+
 /// A dense column-major multi-vector.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MultiVector {
@@ -155,15 +161,28 @@ pub fn spmm_mbsr_into(
 
     // Quantized, padded, column-major operand (per column, exactly the
     // padded vector spmv_mbsr builds). Pad tails are re-zeroed each call:
-    // the scratch may carry stale values from a previous operand.
+    // the scratch may carry stale values from a previous operand. Columns
+    // are independent, so the quantize sweep forks per column.
     scratch.xq.resize(padded * nrhs, 0.0);
     let xq = &mut scratch.xq[..padded * nrhs];
-    for j in 0..nrhs {
-        for (i, &v) in x.col(j).iter().enumerate() {
-            xq[j * padded + i] = prec.quantize(v);
-        }
-        xq[j * padded + x.nrows..(j + 1) * padded].fill(0.0);
-    }
+    let x_nrows = x.nrows;
+    amgt_exec::par::join_block_chunks(
+        xq,
+        0,
+        nrhs,
+        padded,
+        1,
+        &|first_col, ncol, chunk| {
+            for jc in 0..ncol {
+                let dst = &mut chunk[jc * padded..(jc + 1) * padded];
+                for (d, &v) in dst[..x_nrows].iter_mut().zip(x.col(first_col + jc)) {
+                    *d = prec.quantize(v);
+                }
+                dst[x_nrows..].fill(0.0);
+            }
+        },
+        &|(), ()| (),
+    );
     let xq = &scratch.xq[..padded * nrhs];
 
     y.reshape(a.nrows(), nrhs);
@@ -178,58 +197,82 @@ pub fn spmm_mbsr_into(
     // One slab of up to 8 RHS at a time; a single pass over block-rows per
     // slab writes straight into `y` (fixed-size accumulator, no per-row
     // heap traffic). Accumulation order matches the per-column SpMV.
+    //
+    // Within a slab the block-rows fork into an index-range tree: each
+    // leaf owns rows `[r0*TILE, r1*TILE)` of every slab column — disjoint
+    // but strided in the column-major output, hence the `SendPtr` writes.
+    // Per-column arithmetic is untouched and the counters merge with
+    // integer sums, so output and charge are bitwise identical at any
+    // pool width.
     let mut slab_start = 0usize;
     while slab_start < nrhs {
         let slab = (nrhs - slab_start).min(RHS_TILE);
-        for br in 0..a.blk_rows() {
-            let mut acc = [[0.0f64; TILE]; RHS_TILE];
-            for (c, item) in acc[..slab].iter_mut().enumerate() {
-                let col0 = (slab_start + c) * padded;
-                let xcol = &xq[col0..col0 + padded];
-                let xcol32 = if x32_all.is_empty() {
-                    &[][..]
-                } else {
-                    &x32_all[col0..col0 + padded]
-                };
-                for job in plan.jobs_for_row(br) {
-                    match plan.path {
-                        SpmvPath::TensorCore => {
-                            let (part, _pair_mmas) =
-                                be.spmv_tc_warp(prec, a, job.start, job.len, xcol, xcol32);
-                            // One mma per tile per slab: fragB is the
-                            // X sub-slab, so tiles cannot pair the way
-                            // SpMV's half-empty fragments do. Count once
-                            // per slab, not per column.
-                            if c == 0 {
-                                mma_total += job.len as u64;
-                            }
-                            for (o, p) in item.iter_mut().zip(part.iter()) {
-                                *o = prec.round_accum(*o + p);
+        let y_out = amgt_exec::par::SendPtr::new(y.data.as_mut_ptr());
+        let (mma_slab, flops_slab, tile_rows_slab) = amgt_exec::par::join_ranges(
+            0,
+            a.blk_rows(),
+            SPMM_JOIN_GRAIN,
+            &|r0, r1| {
+                let (mut mma_n, mut flops, mut tile_rows) = (0u64, 0u64, 0u64);
+                for br in r0..r1 {
+                    let mut acc = [[0.0f64; TILE]; RHS_TILE];
+                    for (c, item) in acc[..slab].iter_mut().enumerate() {
+                        let col0 = (slab_start + c) * padded;
+                        let xcol = &xq[col0..col0 + padded];
+                        let xcol32 = if x32_all.is_empty() {
+                            &[][..]
+                        } else {
+                            &x32_all[col0..col0 + padded]
+                        };
+                        for job in plan.jobs_for_row(br) {
+                            match plan.path {
+                                SpmvPath::TensorCore => {
+                                    let (part, _pair_mmas) =
+                                        be.spmv_tc_warp(prec, a, job.start, job.len, xcol, xcol32);
+                                    // One mma per tile per slab: fragB is the
+                                    // X sub-slab, so tiles cannot pair the way
+                                    // SpMV's half-empty fragments do. Count once
+                                    // per slab, not per column.
+                                    if c == 0 {
+                                        mma_n += job.len as u64;
+                                    }
+                                    for (o, p) in item.iter_mut().zip(part.iter()) {
+                                        *o = prec.round_accum(*o + p);
+                                    }
+                                }
+                                SpmvPath::CudaCore => {
+                                    let (part, f, tr) = be
+                                        .spmv_cuda_warp(prec, a, job.start, job.len, xcol, xcol32);
+                                    flops += f; // Scalar flops happen per column.
+                                    if c == 0 {
+                                        tile_rows += tr; // A-value traffic: once per slab.
+                                    }
+                                    for (o, p) in item.iter_mut().zip(part.iter()) {
+                                        *o = prec.round_accum(*o + p);
+                                    }
+                                }
                             }
                         }
-                        SpmvPath::CudaCore => {
-                            let (part, f, tr) =
-                                be.spmv_cuda_warp(prec, a, job.start, job.len, xcol, xcol32);
-                            flops_total += f; // Scalar flops happen per column.
-                            if c == 0 {
-                                nonempty_tile_rows += tr; // A-value traffic: once per slab.
-                            }
-                            for (o, p) in item.iter_mut().zip(part.iter()) {
-                                *o = prec.round_accum(*o + p);
+                    }
+                    for (c, col_acc) in acc[..slab].iter().enumerate() {
+                        for (lr, &v) in col_acc.iter().enumerate() {
+                            let r = br * TILE + lr;
+                            if r < nrows {
+                                // Safety: row `r` belongs to this leaf's
+                                // block-row range only, and `y` outlives
+                                // the fork-join region.
+                                unsafe { *y_out.add((slab_start + c) * nrows + r) = v };
                             }
                         }
                     }
                 }
-            }
-            for (c, col_acc) in acc[..slab].iter().enumerate() {
-                for lr in 0..TILE {
-                    let r = br * TILE + lr;
-                    if r < nrows {
-                        y.set(r, slab_start + c, col_acc[lr]);
-                    }
-                }
-            }
-        }
+                (mma_n, flops, tile_rows)
+            },
+            &|l, r| (l.0 + r.0, l.1 + r.1, l.2 + r.2),
+        );
+        mma_total += mma_slab;
+        flops_total += flops_slab;
+        nonempty_tile_rows += tile_rows_slab;
         slab_start += slab;
     }
 

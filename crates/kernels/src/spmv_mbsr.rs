@@ -201,9 +201,10 @@ pub fn spmv_mbsr_into(
     // One pass over block-rows, writing straight into `y`; each row's warp
     // jobs run in order so the accumulation order (and hence the rounding)
     // is deterministic. Block-rows are independent, so the pass fans out as
-    // a fork-join tree over disjoint 4-row output chunks (sequential under
-    // the vendored single-thread rayon; the per-chunk counters merge with
-    // plain sums either way).
+    // a fork-join tree over disjoint 4-row output chunks; the tree shape
+    // depends only on the row count and grain, and the per-chunk counters
+    // merge with plain sums, so output and charge are bitwise identical at
+    // any pool width.
     let (mma_total, flops_total, nonempty_tile_rows) = amgt_exec::par::join_block_chunks(
         &mut y[..],
         0,

@@ -42,6 +42,14 @@ use std::time::{Duration, Instant};
 pub struct ServiceConfig {
     /// Worker threads, each owning one simulated device. `0` = synchronous
     /// mode: jobs queue up and are drained by [`SolverService::shutdown`].
+    ///
+    /// Composition with the kernel thread pool: each worker's solves fork
+    /// onto the process-wide `rayon` pool, so the process runs up to
+    /// `workers x rayon::current_num_threads()` compute threads at once.
+    /// Size them so the product stays near the host's core count (e.g.
+    /// 2 workers x pool width 4 on an 8-core host); oversubscription is
+    /// detected at construction and warned about, never fatal — results
+    /// are bitwise identical at any width, only latency suffers.
     pub workers: usize,
     /// Bounded submission-queue capacity; a full queue rejects submits.
     pub queue_capacity: usize,
@@ -314,6 +322,22 @@ impl SolverService {
             (1..=MAX_BATCH).contains(&config.batch_max),
             "batch_max must be 1..=8"
         );
+        // Best-effort oversubscription check: every worker's solves fan
+        // out over the shared kernel pool, so warn (and proceed) when the
+        // worst-case compute-thread product clearly exceeds the host.
+        let pool_width = rayon::current_num_threads();
+        let cores = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if config.workers * pool_width > 2 * cores {
+            eprintln!(
+                "amgt-server: {} worker(s) x kernel pool width {} = {} compute \
+                 threads oversubscribes {} core(s); results are unaffected but \
+                 latency will suffer — shrink `workers` or `--threads`",
+                config.workers,
+                pool_width,
+                config.workers * pool_width,
+                cores
+            );
+        }
         let (tx, rx) = bounded::<Job>(config.queue_capacity);
         let policies = match &config.policy_store {
             Some(path) => PolicyStore::open(path),

@@ -27,12 +27,13 @@ trace_out="$(mktemp -t amgt-trace-XXXXXX.json)"
 bench_out="$(mktemp -t amgt-bench-XXXXXX.json)"
 wall_out="$(mktemp -t amgt-wall-XXXXXX.json)"
 wall_native_out="$(mktemp -t amgt-wall-native-XXXXXX.json)"
+wall_par_out="$(mktemp -t amgt-wall-par-XXXXXX.json)"
 profile_out="$(mktemp -t amgt-profile-XXXXXX.json)"
 folded_out="$(mktemp -t amgt-folded-XXXXXX.txt)"
 flight_out="$(mktemp -t amgt-flight-XXXXXX.json)"
 dist_out="$(mktemp -t amgt-dist-XXXXXX.json)"
 serverd_log="$(mktemp -t amgt-serverd-XXXXXX.log)"
-trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out" \
+trap 'rm -f "$trace_out" "$bench_out" "$wall_out" "$wall_native_out" "$wall_par_out" \
     "$profile_out" "$folded_out" "$flight_out" "$dist_out" "$serverd_log"' EXIT
 cargo run --release -q --bin amgt-cli -- --poisson2d 24 --trace "$trace_out" >/dev/null
 python3 -m json.tool "$trace_out" >/dev/null
@@ -77,6 +78,34 @@ cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
 cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
     --exec native --threads 1 --out /dev/null --compare "$wall_out" >/dev/null
 echo "    wrote, validated, and alloc-round-tripped $wall_native_out"
+
+echo "==> thread-count invariance: full solves bitwise across widths 1/2/4/8"
+# The work-stealing pool's determinism contract: V/W/F-cycle, PCG and
+# batched solves run inside private pools of width 1, 2, 4 and 8 and must
+# produce bitwise-identical solutions and identical simulated charges.
+cargo test --release -q -p amgt-integration-tests --test thread_invariance
+
+echo "==> parallel wallclock smoke: --threads 4 native run + allocation gate"
+# Pool width 4: results must stay bitwise identical to the 1-thread
+# reports above (the compare below gates simulated seconds + iteration
+# counts, which are width-invariant), the steady-state solve must stay
+# allocation-free at width 4, and the report gains the v8 per-case `par`
+# block (1-thread vs 4-thread solve walls + parallel efficiency).
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --exec native --threads 4 --out "$wall_par_out"
+python3 -m json.tool "$wall_par_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --validate "$wall_par_out" >/dev/null
+grep -q '"par"' "$wall_par_out"
+grep -q '"efficiency"' "$wall_par_out"
+# Width-invariant quantities gate against the 1-thread native baseline;
+# wall-derived numbers (including parallel efficiency) are skipped there
+# because the thread counts differ, and are instead self-compared against
+# the 4-thread report just written.
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --exec native --threads 4 --out /dev/null --compare "$wall_native_out" >/dev/null
+cargo run --release -q -p amgt-bench --bin bench -- --smoke --wallclock \
+    --exec native --threads 4 --out /dev/null --compare "$wall_par_out" >/dev/null
+echo "    wrote, validated, and gated $wall_par_out at pool width 4"
 
 echo "==> flight-overhead smoke: recorder on vs off, geomean gated at 5%"
 # The bench's --flight-overhead mode interleaves recorder-disabled and

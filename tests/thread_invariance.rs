@@ -1,0 +1,241 @@
+//! Thread-count invariance: every solve must produce BITWISE-identical
+//! results — and identical simulated-GPU charges — at every pool width.
+//!
+//! The work-stealing pool (`vendor/rayon`) guarantees this by contract:
+//! every parallel helper splits ranges at fixed midpoints with fixed grain
+//! constants, so the fork-join tree's *shape* (and therefore every
+//! floating-point reduction order) depends only on problem size, never on
+//! how many workers happen to execute the leaves. These tests are the
+//! end-to-end check of that contract: whole multigrid solves (V/W/F
+//! cycles, PCG, batched multi-RHS) run inside private pools of width
+//! 1, 2, 4 and 8 and must agree bit for bit under both exec backends.
+//!
+//! Each width uses its own [`rayon::ThreadPool`] via `install`, so one
+//! process exercises all widths without touching the global pool.
+
+use amgt::prelude::*;
+use amgt::CycleType;
+use amgt_sparse::gen::{laplacian_2d, rhs_of_ones, Stencil2d};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Run `op` inside a freshly built pool of `width` workers.
+fn at_width<R: Send>(width: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("owned pool construction is infallible")
+        .install(op)
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: element {i} differs bitwise: {g:e} vs {w:e}"
+        );
+    }
+}
+
+/// One full `run_amg` on a fresh device; returns the solution, iteration
+/// count, and the device's simulated clock + event count (the charge
+/// stream must be width-invariant too).
+fn full_solve(cfg: &AmgConfig, a: &Csr) -> (Vec<f64>, usize, f64, usize) {
+    let dev = Device::new(GpuSpec::a100());
+    let b = rhs_of_ones(a);
+    let (x, _, rep) = run_amg(&dev, cfg, a.clone(), &b);
+    (
+        x,
+        rep.solve_report.iterations,
+        dev.elapsed(),
+        dev.events().len(),
+    )
+}
+
+/// V-cycle solves under both exec backends: widths 1/2/4/8 agree bitwise
+/// and charge the identical simulated event stream.
+#[test]
+fn v_cycle_solve_is_width_invariant_both_backends() {
+    let a = laplacian_2d(14, 14, Stencil2d::Five);
+    for exec in [ExecMode::Simulated, ExecMode::Native] {
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.exec = exec;
+        let reference = at_width(1, || full_solve(&cfg, &a));
+        for width in WIDTHS {
+            let got = at_width(width, || full_solve(&cfg, &a));
+            assert_bits_eq(&got.0, &reference.0, &format!("{exec:?} V width {width}"));
+            assert_eq!(got.1, reference.1, "iterations ({exec:?}, width {width})");
+            assert_eq!(
+                got.2, reference.2,
+                "simulated clock diverged ({exec:?}, width {width})"
+            );
+            assert_eq!(
+                got.3, reference.3,
+                "charge-event count diverged ({exec:?}, width {width})"
+            );
+        }
+    }
+}
+
+/// W and F cycles recurse differently on coarse levels — their fork trees
+/// are deeper and more unbalanced, which is exactly where a width-sensitive
+/// split would show up.
+#[test]
+fn w_and_f_cycle_solves_are_width_invariant() {
+    let a = laplacian_2d(12, 12, Stencil2d::Five);
+    for cycle in [CycleType::W, CycleType::F] {
+        for exec in [ExecMode::Simulated, ExecMode::Native] {
+            let mut cfg = AmgConfig::amgt_fp64();
+            cfg.cycle = cycle;
+            cfg.exec = exec;
+            let reference = at_width(1, || full_solve(&cfg, &a));
+            for width in WIDTHS {
+                let got = at_width(width, || full_solve(&cfg, &a));
+                assert_bits_eq(
+                    &got.0,
+                    &reference.0,
+                    &format!("{exec:?} {cycle:?} width {width}"),
+                );
+                assert_eq!(got.2, reference.2, "clock ({exec:?} {cycle:?} w{width})");
+            }
+        }
+    }
+}
+
+/// Mixed-precision config: the f16/TF32 quantize sweeps are parallel too,
+/// and rounding must not depend on which worker converts which chunk.
+#[test]
+fn mixed_precision_solve_is_width_invariant() {
+    let a = laplacian_2d(14, 14, Stencil2d::Five);
+    let mut cfg = AmgConfig::amgt_mixed();
+    cfg.exec = ExecMode::Native;
+    let reference = at_width(1, || full_solve(&cfg, &a));
+    for width in WIDTHS {
+        let got = at_width(width, || full_solve(&cfg, &a));
+        assert_bits_eq(&got.0, &reference.0, &format!("mixed width {width}"));
+        assert_eq!(got.2, reference.2, "clock (mixed, width {width})");
+    }
+}
+
+/// AMG-preconditioned CG leans on the fixed-topology dot/norm reduction
+/// tree: its scalars (alpha, beta) feed back into the iterate, so a single
+/// reassociated reduction would diverge the whole Krylov trajectory.
+#[test]
+fn pcg_solve_is_width_invariant_both_backends() {
+    let a = laplacian_2d(13, 13, Stencil2d::Five);
+    let b = rhs_of_ones(&a);
+    for exec in [ExecMode::Simulated, ExecMode::Native] {
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.exec = exec;
+        let run = |width: usize| {
+            at_width(width, || {
+                let dev = Device::new(GpuSpec::a100());
+                let h = setup(&dev, &cfg, a.clone());
+                let mut x = vec![0.0; b.len()];
+                let rep = pcg_solve(&dev, &cfg, &h, &b, &mut x, 1e-8, 60);
+                (x, rep.history.clone(), dev.elapsed())
+            })
+        };
+        let reference = run(1);
+        for width in WIDTHS {
+            let got = run(width);
+            assert_bits_eq(&got.0, &reference.0, &format!("pcg {exec:?} width {width}"));
+            assert_bits_eq(
+                &got.1,
+                &reference.1,
+                &format!("pcg history {exec:?} width {width}"),
+            );
+            assert_eq!(got.2, reference.2, "pcg clock ({exec:?}, width {width})");
+        }
+    }
+}
+
+/// Batched multi-RHS solves fan out over both block rows and RHS columns
+/// (the SpMM kernel forks column slabs through `SendPtr` strided writes);
+/// every column must land on the same bits at every width.
+#[test]
+fn batched_solve_is_width_invariant() {
+    let a = laplacian_2d(12, 12, Stencil2d::Five);
+    let n = a.nrows();
+    let cols: Vec<Vec<f64>> = (0..4)
+        .map(|j| {
+            (0..n)
+                .map(|i| 1.0 + 0.1 * j as f64 + 0.01 * (i % 7) as f64)
+                .collect()
+        })
+        .collect();
+    let b = MultiVector::from_columns(&cols);
+    for exec in [ExecMode::Simulated, ExecMode::Native] {
+        let mut cfg = AmgConfig::amgt_fp64();
+        cfg.exec = exec;
+        let run = |width: usize| {
+            at_width(width, || {
+                let dev = Device::new(GpuSpec::a100());
+                let h = setup(&dev, &cfg, a.clone());
+                let mut x = MultiVector::zeros(n, cols.len());
+                let rep = solve_batched(&dev, &cfg, &h, &b, &mut x);
+                (x, rep.iterations, dev.elapsed())
+            })
+        };
+        let reference = run(1);
+        for width in WIDTHS {
+            let got = run(width);
+            for j in 0..cols.len() {
+                for i in 0..n {
+                    assert_eq!(
+                        got.0.get(i, j).to_bits(),
+                        reference.0.get(i, j).to_bits(),
+                        "batched {exec:?} width {width} ({i}, {j})"
+                    );
+                }
+            }
+            assert_eq!(got.1, reference.1, "batched iterations");
+            assert_eq!(got.2, reference.2, "batched clock ({exec:?}, w{width})");
+        }
+    }
+}
+
+/// Setup alone (SpGEMM-heavy) is width-invariant: the Galerkin products'
+/// parallel numeric phase must emit identical block values and identical
+/// hierarchy shapes at every width.
+#[test]
+fn hierarchy_setup_is_width_invariant() {
+    let a = laplacian_2d(16, 16, Stencil2d::Nine);
+    let mut cfg = AmgConfig::amgt_fp64();
+    cfg.exec = ExecMode::Native;
+    let build = |width: usize| {
+        at_width(width, || {
+            let dev = Device::new(GpuSpec::a100());
+            let h = setup(&dev, &cfg, a.clone());
+            let levels: Vec<(usize, Vec<u64>)> = h
+                .levels
+                .iter()
+                .map(|lvl| {
+                    (
+                        lvl.a.csr.nrows(),
+                        lvl.a.csr.vals.iter().map(|v| v.to_bits()).collect(),
+                    )
+                })
+                .collect();
+            (levels, dev.elapsed())
+        })
+    };
+    let reference = build(1);
+    for width in WIDTHS {
+        let got = build(width);
+        assert_eq!(
+            got.0.len(),
+            reference.0.len(),
+            "level count (width {width})"
+        );
+        for (l, (got_lvl, ref_lvl)) in got.0.iter().zip(&reference.0).enumerate() {
+            assert_eq!(got_lvl.0, ref_lvl.0, "level {l} size (width {width})");
+            assert_eq!(
+                got_lvl.1, ref_lvl.1,
+                "level {l} block values differ (width {width})"
+            );
+        }
+        assert_eq!(got.1, reference.1, "setup clock (width {width})");
+    }
+}

@@ -1,0 +1,245 @@
+//! Bounded lock-free Chase–Lev work-stealing deque.
+//!
+//! One deque per pool worker: the owner pushes and pops `JobRef`s at the
+//! bottom (LIFO, cache-hot fork-join order) while thieves take from the
+//! top (FIFO, oldest-first — the biggest remaining subtree). Entries are
+//! single words (`*const JobHeader`), so the slots can be plain
+//! `AtomicPtr`s and the classic algorithm (Chase & Lev, with the
+//! weak-memory orderings of Lê et al., PPoPP'13) applies verbatim.
+//!
+//! The ring is **fixed-capacity** and never reallocated, which removes
+//! the one genuinely hard part of Chase–Lev (retired-buffer reclamation):
+//! * `push` refuses once `capacity - 1` entries are pending, and the
+//!   caller degrades that fork to inline sequential execution — results
+//!   are identical either way, only the parallel shape changes;
+//! * keeping the live window strictly smaller than the ring means a thief
+//!   reading `slots[top % N]` can never race an owner *writing the same
+//!   slot* (that would require `bottom - top >= N`), so the relaxed slot
+//!   reads of the published window are always well-defined.
+//!
+//! Fork depth in this workspace is the recursion depth of
+//! `join_block_chunks` (logarithmic in the block count), so with 1024
+//! slots the inline fallback is unreachable in practice; it exists so the
+//! pool is correct for arbitrary user recursion, not just ours.
+
+use crate::job::JobRef;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::job::JobHeader;
+
+/// Slots per worker deque. Power of two so the index wrap is a mask.
+const CAPACITY: usize = 1024;
+const MASK: usize = CAPACITY - 1;
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// No published entries.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    Success(JobRef),
+}
+
+pub(crate) struct Deque {
+    /// Next slot the owner writes. Only the owner stores it.
+    bottom: AtomicIsize,
+    /// Oldest published entry; thieves (and the owner, for the last
+    /// element) claim entries by CAS-incrementing it.
+    top: AtomicIsize,
+    slots: Box<[AtomicPtr<JobHeader>]>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            slots: (0..CAPACITY)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    /// Cheap emptiness probe for wake-up scans. May race; callers treat
+    /// the answer as a hint, never as synchronization.
+    pub(crate) fn looks_empty(&self) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    /// Owner-only: publish a job at the bottom. `Err` when the ring is
+    /// full — the caller must then run the fork inline instead.
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), ()> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= (CAPACITY - 1) as isize {
+            return Err(());
+        }
+        self.slots[(b as usize) & MASK].store(job.cast_mut(), Ordering::Relaxed);
+        // Publish the slot write before the new bottom becomes visible to
+        // thieves.
+        fence(Ordering::Release);
+        self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner-only: take the most recently pushed job, racing thieves for
+    /// the final element.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom decrement against thieves' top reads.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = self.slots[(b as usize) & MASK].load(Ordering::Relaxed);
+            if t == b {
+                // Single element left: win it from any concurrent thief.
+                let won = self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                return won.then_some(job.cast_const());
+            }
+            Some(job.cast_const())
+        } else {
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: claim the oldest published job.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read before the CAS: a failed CAS means another thread claimed
+        // the slot and the value read here is discarded. The live window
+        // is < CAPACITY, so the owner cannot be overwriting this slot.
+        let job = self.slots[(t as usize) & MASK].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Success(job.cast_const())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tests treat the deque as a bag of opaque pointers; small
+    // integers cast to pointers stand in for real jobs.
+    fn fake(i: usize) -> JobRef {
+        (i * 8 + 8) as JobRef
+    }
+
+    #[test]
+    fn lifo_for_owner() {
+        let d = Deque::new();
+        assert!(d.looks_empty());
+        d.push(fake(1)).unwrap();
+        d.push(fake(2)).unwrap();
+        assert!(!d.looks_empty());
+        assert_eq!(d.pop(), Some(fake(2)));
+        assert_eq!(d.pop(), Some(fake(1)));
+        assert_eq!(d.pop(), None);
+        assert!(d.looks_empty());
+    }
+
+    #[test]
+    fn fifo_for_thieves() {
+        let d = Deque::new();
+        d.push(fake(1)).unwrap();
+        d.push(fake(2)).unwrap();
+        match d.steal() {
+            Steal::Success(j) => assert_eq!(j, fake(1)),
+            _ => panic!("expected a stolen job"),
+        }
+        assert_eq!(d.pop(), Some(fake(2)));
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn push_refuses_when_full() {
+        let d = Deque::new();
+        for i in 0..CAPACITY - 1 {
+            d.push(fake(i)).unwrap();
+        }
+        assert!(d.push(fake(9999)).is_err());
+        assert_eq!(d.pop(), Some(fake(CAPACITY - 2)));
+        d.push(fake(9999)).unwrap();
+    }
+
+    #[test]
+    fn concurrent_stealing_claims_each_job_once() {
+        use std::collections::BTreeSet;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        let d = Arc::new(Deque::new());
+        let seen = Arc::new(Mutex::new(BTreeSet::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        const JOBS: usize = 10_000;
+
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let d = d.clone();
+                let seen = seen.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        if let Steal::Success(j) = d.steal() {
+                            assert!(seen.lock().unwrap().insert(j as usize), "double steal");
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Owner interleaves pushes with occasional pops.
+        for i in 0..JOBS {
+            while d.push(fake(i)).is_err() {
+                if let Some(j) = d.pop() {
+                    assert!(seen.lock().unwrap().insert(j as usize), "double pop");
+                }
+            }
+            if i % 7 == 0 {
+                if let Some(j) = d.pop() {
+                    assert!(seen.lock().unwrap().insert(j as usize), "double pop");
+                }
+            }
+        }
+        while let Some(j) = d.pop() {
+            assert!(seen.lock().unwrap().insert(j as usize), "double pop");
+        }
+        // Drain stragglers a thief may still claim, then stop them.
+        loop {
+            match d.steal() {
+                Steal::Empty => break,
+                Steal::Retry => (),
+                Steal::Success(j) => {
+                    assert!(seen.lock().unwrap().insert(j as usize), "double steal");
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            JOBS,
+            "every job claimed exactly once"
+        );
+    }
+}

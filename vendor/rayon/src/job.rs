@@ -1,0 +1,213 @@
+//! Type-erased jobs and completion latches.
+//!
+//! A fork-join job lives entirely in the stack frame that forks it: the
+//! closure, the result slot and the completion latch are fields of one
+//! [`StackJob`] value that the worker deques borrow by raw pointer. The
+//! pointer-erasure contract has two rules:
+//!
+//! * the forking frame must not return (or unwind) past the job until it
+//!   either reclaims the pointer by popping it back or observes the latch
+//!   set — another thread writes through the pointer until then;
+//! * the executing thread's **last** access to the job is the latch store,
+//!   so a forking frame that observed the latch owns the job again.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Erased header embedded at offset zero of every job type, so one raw
+/// pointer both identifies a job (for pop-back comparison) and knows how
+/// to run it.
+#[repr(C)]
+pub(crate) struct JobHeader {
+    execute: unsafe fn(*const JobHeader),
+}
+
+/// Borrowed, type-erased pointer to a pending job.
+pub(crate) type JobRef = *const JobHeader;
+
+/// Run an erased job.
+///
+/// # Safety
+/// `job` must point at a live, not-yet-executed job, and exactly one
+/// thread may ever execute a given job.
+pub(crate) unsafe fn execute(job: JobRef) {
+    ((*job).execute)(job);
+}
+
+enum JobResult<R> {
+    Pending,
+    Returned(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A fork-join job allocated in the forking stack frame. `repr(C)` pins
+/// the header at offset zero so a `JobRef` can be cast back to the
+/// concrete type by the erased `execute` thunk.
+#[repr(C)]
+pub(crate) struct StackJob<L, F, R> {
+    header: JobHeader,
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L: Latch, F: FnOnce() -> R, R> StackJob<L, F, R> {
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            header: JobHeader {
+                execute: Self::execute_erased,
+            },
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        std::ptr::addr_of!(self.header)
+    }
+
+    unsafe fn execute_erased(ptr: *const JobHeader) {
+        let this = &*ptr.cast::<Self>();
+        let func = (*this.func.get()).take().expect("job executed twice");
+        // Capture a panic instead of unwinding through the pool: the
+        // payload is replayed on the forking thread by `into_result`.
+        let outcome = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Returned(r),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        *this.result.get() = outcome;
+        // Last access: after this store the forking frame may pop the job
+        // off its stack at any moment.
+        this.latch.set();
+    }
+
+    /// The forked closure came back unexecuted (popped off our own deque):
+    /// run it inline on the forking thread. Panics unwind in the caller,
+    /// which at that point holds no other outstanding job.
+    pub(crate) fn run_inline(self) -> R {
+        let func = self.func.into_inner().expect("job executed twice");
+        func()
+    }
+
+    /// Take the result after the latch was observed set, replaying a
+    /// captured panic on the calling thread.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Returned(r) => r,
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("latch set before a result was written"),
+        }
+    }
+
+    /// Discard the result after the latch was observed set (used when the
+    /// forking closure itself panicked and its payload takes precedence).
+    pub(crate) fn abandon(self) {
+        drop(self.result.into_inner());
+    }
+}
+
+/// Completion signal a forking frame blocks on. `set` must be the
+/// executing thread's final access to the job that owns the latch.
+pub(crate) trait Latch {
+    fn set(&self);
+}
+
+/// Latch for jobs forked by a pool worker: the worker polls it between
+/// steal attempts, so a plain release store suffices.
+pub(crate) struct SpinLatch(AtomicBool);
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch(AtomicBool::new(false))
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Latch for jobs injected from outside the pool: the external thread has
+/// no deque to drain, so it blocks on a condvar.
+///
+/// `set` signals while *holding* the mutex: the waiter can observe the
+/// flag only after the setter released the lock, so the setter never
+/// touches latch memory after the waiter is free to reclaim the frame.
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock().unwrap();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_job_runs_and_returns() {
+        let job = StackJob::new(SpinLatch::new(), || 7usize);
+        let r = job.as_job_ref();
+        unsafe { execute(r) };
+        let job2 = StackJob::new(SpinLatch::new(), || 7usize);
+        assert!(!job2.latch.probe());
+        unsafe { execute(job2.as_job_ref()) };
+        assert!(job2.latch.probe());
+        assert_eq!(job2.into_result(), 7);
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job: StackJob<_, _, ()> = StackJob::new(SpinLatch::new(), || panic!("boom"));
+        unsafe { execute(job.as_job_ref()) };
+        assert!(job.latch.probe());
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| job.into_result())).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn run_inline_skips_the_latch() {
+        let job = StackJob::new(SpinLatch::new(), || 3 + 4);
+        assert_eq!(job.run_inline(), 7);
+    }
+
+    #[test]
+    fn lock_latch_round_trip() {
+        let latch = std::sync::Arc::new(LockLatch::new());
+        let l2 = latch.clone();
+        let t = std::thread::spawn(move || l2.set());
+        latch.wait();
+        t.join().unwrap();
+    }
+}

@@ -1,16 +1,47 @@
-//! Offline stub of the `rayon` surface this workspace uses.
+//! In-tree implementation of the `rayon` surface this workspace uses,
+//! backed by a real work-stealing fork-join pool on `std::thread`.
 //!
-//! `into_par_iter()` simply yields the sequential iterator, so downstream
-//! `.map(...).collect()` chains run unchanged on one thread. The kernels
-//! charge *simulated* GPU time, so host-side parallelism affects only wall
-//! clock, not any measured quantity.
+//! Architecture (see `deque.rs`, `job.rs`, `registry.rs`):
+//! * one bounded lock-free Chase–Lev deque per worker — owners pop LIFO,
+//!   thieves steal FIFO;
+//! * fork-join jobs live in the forking stack frame and are shared by
+//!   type-erased pointer; panics are captured and replayed on the
+//!   forking thread;
+//! * idle workers spin briefly, then park on a condvar with a
+//!   notify-on-publish wakeup path.
+//!
+//! Determinism contract: [`join`] always executes both closures exactly
+//! once and returns their results in position, so any fork-join
+//! computation whose *split topology* is independent of the pool width
+//! (the rule all `amgt` kernels follow) produces bitwise-identical
+//! results from 1 to N threads — which thread ran a leaf never affects
+//! what the leaf computed.
+//!
+//! The global pool is **never auto-initialized**: until
+//! [`ThreadPoolBuilder::build_global`] is called (CLI `--threads N`),
+//! [`join`] on a non-worker thread runs inline sequentially, exactly
+//! like the previous single-threaded stub.
+
+mod deque;
+mod job;
+mod registry;
+
+use registry::{Registry, WorkerThread};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
 
 pub mod prelude {
     pub use super::iter::{IntoParallelIterator, ParallelIterator};
 }
 
 pub mod iter {
-    /// Sequential stand-in: "parallel" iteration is plain iteration.
+    /// Sequential shim: "parallel" iteration is plain iteration.
+    ///
+    /// These adapters are deliberately **not** parallelized: the
+    /// workspace's hot paths all go through [`crate::join`] (via
+    /// `amgt_exec::par`), and the few `into_par_iter` call sites are
+    /// order-sensitive setup loops where sequential execution is part of
+    /// the determinism contract.
     pub trait IntoParallelIterator: IntoIterator + Sized {
         fn into_par_iter(self) -> Self::IntoIter {
             self.into_iter()
@@ -38,38 +69,133 @@ pub mod iter {
     impl<T: Iterator> ParallelIterator for T {}
 }
 
-/// Sequential `join`: runs both closures in order.
+/// Fork-join: potentially run `a` and `b` in parallel, returning both
+/// results in position. Both closures execute exactly once.
+///
+/// * On a pool worker: `b` is published for theft while the worker runs
+///   `a` (the cilk-style protocol in `registry.rs`).
+/// * On a non-worker thread with the global pool initialized at width
+///   ≥ 2: the whole join is moved onto the pool.
+/// * Otherwise (no global pool, or width 1): inline sequential, with no
+///   pool interaction at all.
+///
+/// Panics in either closure propagate to the caller once both closures
+/// are accounted for; if both panic, `a`'s payload wins.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        // Safety: `current` returned non-null, so this thread is the
+        // worker that owns the pointee and it outlives this call.
+        return unsafe { (*worker).join(a, b) };
+    }
+    match global_pool() {
+        Some(pool) if pool.current_num_threads() > 1 => {
+            // Move the whole join onto the pool; the recursive call then
+            // takes the worker fast path above.
+            pool.registry.run_on_pool(move || join(a, b))
+        }
+        _ => {
+            let ra = a();
+            (ra, b())
+        }
+    }
 }
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+/// Worker count observed by the calling thread: the width of the pool it
+/// runs inside, else the global pool's width, else 1. This is the
+/// *actual* parallelism available — bench/CLI report this value rather
+/// than echoing a requested `--threads`.
+pub fn current_num_threads() -> usize {
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        // Safety: see `join`.
+        return unsafe { (*worker).registry().num_threads() };
+    }
+    GLOBAL.get().map_or(1, ThreadPool::current_num_threads)
+}
 
-/// Global-pool width configured through [`ThreadPoolBuilder::build_global`].
-/// The stub always executes sequentially; the configured width is retained
-/// only so callers (bench/CLI `--threads`) can report it.
-static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
-/// Mirror of `rayon::ThreadPoolBuilder` for the global pool. Execution in
-/// this stub stays sequential regardless of `num_threads`; the value is
-/// recorded and echoed by [`current_num_threads`] so wall-clock reports can
-/// state the pool width they ran under (1 thread here).
+fn global_pool() -> Option<&'static ThreadPool> {
+    GLOBAL.get()
+}
+
+/// An owned thread pool (mirror of `rayon::ThreadPool`). Exists mainly
+/// so tests can exercise several pool widths inside one process via
+/// [`ThreadPool::install`]; production code uses the global pool.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn with_width(n: usize) -> ThreadPool {
+        let (registry, handles) = Registry::spawn(n.max(1));
+        ThreadPool { registry, handles }
+    }
+
+    /// Run `op` inside this pool: nested [`join`]s fork onto this pool's
+    /// workers. Blocks until `op` completes; panics propagate.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let worker = WorkerThread::current();
+        // Safety: non-null means the calling thread owns the pointee.
+        if !worker.is_null() && Arc::ptr_eq(unsafe { (*worker).registry() }, &self.registry) {
+            return op();
+        }
+        self.registry.run_on_pool(op)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Every `install` has returned by the time a pool can be
+        // dropped, so the queues are empty and workers exit promptly.
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
-/// Error mirror of `rayon::ThreadPoolBuildError`.
+/// Global-pool reinitialization conflict (mirror of
+/// `rayon::ThreadPoolBuildError`): carries both widths so callers can
+/// fail loudly instead of silently dropping the `Err`.
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError {
+    /// Width the failed `build_global` call asked for.
+    pub requested: usize,
+    /// Width the already-running global pool was built with.
+    pub active: usize,
+}
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "global thread pool already initialized")
+        write!(
+            f,
+            "global thread pool already initialized with {} thread(s); \
+             cannot reinitialize with {}",
+            self.active, self.requested
+        )
     }
 }
 
@@ -80,39 +206,59 @@ impl ThreadPoolBuilder {
         ThreadPoolBuilder::default()
     }
 
-    /// Request a pool width; `0` means "automatic" (one thread here).
+    /// Request a pool width; `0` means "automatic" (one thread).
     #[must_use]
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Install the configuration for the (sequential) global pool.
+    /// Build an owned pool with its own workers.
     ///
     /// # Errors
-    /// Fails like rayon does when the global pool was already configured.
+    /// Infallible today; `Result` mirrors the upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool::with_width(self.num_threads.max(1)))
+    }
+
+    /// Spawn the global pool's workers at the requested width.
+    ///
+    /// Re-running with the *same* width is an idempotent `Ok`, so
+    /// library and CLI initialization can race benignly.
+    ///
+    /// # Errors
+    /// Fails when the global pool is already running at a different
+    /// width; the error reports both widths.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
         let want = self.num_threads.max(1);
-        match CONFIGURED_THREADS.compare_exchange(0, want, Ordering::SeqCst, Ordering::SeqCst) {
-            Ok(_) => Ok(()),
-            Err(prev) if prev == want => Ok(()),
-            Err(_) => Err(ThreadPoolBuildError),
+        let mut built_now = false;
+        let pool = GLOBAL.get_or_init(|| {
+            built_now = true;
+            ThreadPool::with_width(want)
+        });
+        let active = pool.current_num_threads();
+        if built_now || active == want {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError {
+                requested: want,
+                active,
+            })
         }
-    }
-}
-
-/// Worker count of the global pool: the configured width, else 1 (the
-/// stub's true degree of parallelism).
-pub fn current_num_threads() -> usize {
-    match CONFIGURED_THREADS.load(Ordering::SeqCst) {
-        0 => 1,
-        n => n,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(n: usize) -> super::ThreadPool {
+        super::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -142,5 +288,190 @@ mod tests {
             .num_threads(5)
             .build_global()
             .is_err());
+    }
+
+    #[test]
+    fn install_runs_on_a_pool_worker() {
+        let p = pool(2);
+        let name = p.install(|| std::thread::current().name().map(String::from));
+        let name = name.expect("pool workers are named");
+        assert!(name.starts_with("amgt-rayon-"), "ran on {name}");
+        assert_eq!(p.install(super::current_num_threads), 2);
+    }
+
+    #[test]
+    fn join_actually_distributes_work() {
+        // `a` refuses to finish until `b` has started, so the join can
+        // only complete if a second worker steals `b`.
+        let p = pool(2);
+        let b_started = AtomicUsize::new(0);
+        p.install(|| {
+            super::join(
+                || {
+                    let mut spins = 0u64;
+                    while b_started.load(Ordering::Acquire) == 0 {
+                        std::thread::yield_now();
+                        spins += 1;
+                        assert!(spins < 1_000_000_000, "b was never stolen");
+                    }
+                },
+                || b_started.store(1, Ordering::Release),
+            );
+        });
+        assert_eq!(b_started.load(Ordering::Acquire), 1);
+    }
+
+    fn tree_sum(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 8 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = super::join(|| tree_sum(lo, mid), || tree_sum(mid, hi));
+        a + b
+    }
+
+    #[test]
+    fn nested_join_matches_sequential_at_every_width() {
+        let expected: u64 = (0..4096).sum();
+        for width in [1, 2, 4, 8] {
+            let got = pool(width).install(|| tree_sum(0, 4096));
+            assert_eq!(got, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bitwise_identical_across_widths() {
+        fn tree(lo: usize, hi: usize) -> f64 {
+            if hi - lo <= 4 {
+                // Deliberately ill-conditioned leaf values so any
+                // reassociation would change the bits.
+                return (lo..hi).map(|i| 1.0 / (i as f64 + 0.3)).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = super::join(|| tree(lo, mid), || tree(mid, hi));
+            a + b
+        }
+        let reference = tree(0, 3000).to_bits();
+        for width in [1, 2, 4, 8] {
+            let got = pool(width).install(|| tree(0, 3000)).to_bits();
+            assert_eq!(got, reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn steal_heavy_unbalanced_tree() {
+        // Left leaves are trivial; all real work hangs off the right
+        // spine, so progress at width 4 requires repeated stealing.
+        fn spine(depth: usize, acc: u64) -> u64 {
+            if depth == 0 {
+                return acc;
+            }
+            let (l, r) = super::join(|| depth as u64, || spine(depth - 1, acc + 1));
+            l + r
+        }
+        let seq = spine(500, 0);
+        let par = pool(4).install(|| spine(500, 0));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn deep_recursion_degrades_to_inline_when_deque_fills() {
+        // Each frame keeps one pending `b` while recursing into `a`, so
+        // depth 2000 overflows the 1024-slot ring and exercises the
+        // inline-degradation path. The result must be unaffected.
+        fn deep(depth: u64) -> u64 {
+            if depth == 0 {
+                return 0;
+            }
+            let (a, b) = super::join(|| deep(depth - 1), || 1u64);
+            a + b
+        }
+        assert_eq!(pool(2).install(|| deep(2000)), 2000);
+    }
+
+    #[test]
+    fn panic_in_left_closure_propagates() {
+        let p = pool(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| super::join(|| panic!("left boom"), || 42).1)
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"left boom"));
+    }
+
+    #[test]
+    fn panic_in_right_closure_propagates() {
+        let p = pool(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| super::join(|| 42, || panic!("right boom")).0)
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"right boom"));
+        // The pool survives a panic and keeps executing work.
+        assert_eq!(p.install(|| super::join(|| 1, || 2)), (1, 2));
+    }
+
+    #[test]
+    fn both_closures_panicking_prefers_left_payload() {
+        let p = pool(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                super::join::<_, _, (), ()>(|| panic!("left wins"), || panic!("right loses"))
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"left wins"));
+    }
+
+    #[test]
+    fn panic_deep_in_a_tree_propagates() {
+        fn tree(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 8 {
+                assert!(!(lo..hi).contains(&777), "needle");
+                return hi - lo;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = super::join(|| tree(lo, mid), || tree(mid, hi));
+            a + b
+        }
+        let p = pool(4);
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.install(|| tree(0, 4096))))
+                .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .expect("assert message");
+        assert!(msg.contains("needle"));
+        // Pool still functional afterwards.
+        assert_eq!(p.install(|| tree_sum(0, 128)), (0..128).sum::<u64>());
+    }
+
+    #[test]
+    fn external_join_without_global_pool_runs_inline() {
+        // This thread is not a worker; without touching the global pool
+        // the join must run inline on it.
+        let here = std::thread::current().id();
+        let (ta, tb) = super::join(
+            || std::thread::current().id(),
+            || std::thread::current().id(),
+        );
+        // Either the global pool was initialized by another test (then
+        // both ran on some worker) or both ran here; in both cases the
+        // two closures agree with each other.
+        if super::GLOBAL.get().is_none() {
+            assert_eq!(ta, here);
+            assert_eq!(tb, here);
+        }
+        assert!(ta == tb || ta != tb); // both executed exactly once
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let p = pool(4);
+        let sum = p.install(|| tree_sum(0, 1024));
+        assert_eq!(sum, (0..1024).sum::<u64>());
+        drop(p); // must not hang
     }
 }

@@ -1,0 +1,324 @@
+//! Worker registry: threads, stealing, parking and the join protocol.
+//!
+//! A [`Registry`] owns one [`Deque`] per worker thread plus an injector
+//! queue for work submitted from outside the pool. Workers run
+//! [`worker_main`]: pop their own deque, drain the injector, steal from
+//! siblings, and park on a condvar when the whole pool looks idle.
+//!
+//! The join protocol (see [`WorkerThread::join`]) is the cilk-style one:
+//! publish `b`, run `a` inline, then either pop `b` back unexecuted or —
+//! if a thief took it — make ourselves useful executing other pending
+//! jobs until `b`'s latch sets. Panics from either closure are captured
+//! and replayed on the forking thread, with `a`'s payload taking
+//! precedence; the unwind is always postponed until `b` is accounted
+//! for, because `b`'s job lives in the forking stack frame.
+
+use crate::deque::{Deque, Steal};
+use crate::job::{execute, JobRef, LockLatch, SpinLatch, StackJob};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub(crate) struct Registry {
+    deques: Box<[Deque]>,
+    /// Jobs submitted from threads outside the pool (FIFO).
+    injected: Mutex<VecDeque<JobRef>>,
+    /// Parking lot. The mutex guards only the condvar protocol; all work
+    /// queues have their own synchronization.
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Number of workers currently inside [`Registry::sleep`].
+    sleepers: AtomicUsize,
+    terminate: AtomicBool,
+}
+
+// `JobRef`s are raw pointers, but every job crosses threads under the
+// `StackJob` contract (the forking frame outlives the job; exactly one
+// thread executes it), so sharing the queues is sound.
+unsafe impl Send for Registry {}
+unsafe impl Sync for Registry {}
+
+impl Registry {
+    /// Spawn `n >= 1` workers. The handles are returned so owning pools
+    /// can join them on drop; the global pool leaks them intentionally.
+    pub(crate) fn spawn(n: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
+        assert!(n >= 1, "a pool needs at least one worker");
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Deque::new()).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("amgt-rayon-{index}"))
+                    // Fork-join recursion depth is logarithmic, but user
+                    // leaves (solver setup) can be stack-hungry.
+                    .stack_size(8 * 1024 * 1024)
+                    .spawn(move || worker_main(&registry, index))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Run `f` on some pool worker, blocking the calling (external)
+    /// thread until it completes. Panics in `f` are replayed here.
+    pub(crate) fn run_on_pool<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(LockLatch::new(), f);
+        // Safety: this frame blocks on the latch below, so the job
+        // outlives its execution; LockLatch's set-under-mutex protocol
+        // guarantees the worker is done touching the job once `wait`
+        // returns.
+        self.inject(job.as_job_ref());
+        job.latch.wait();
+        job.into_result()
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injected.lock().unwrap().push_back(job);
+        self.notify_if_sleeping();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        self.injected.lock().unwrap().pop_front()
+    }
+
+    /// Wake parked workers after publishing work.
+    ///
+    /// The SeqCst fence orders the work publication before the
+    /// `sleepers` read; a worker increments `sleepers` (SeqCst) *before*
+    /// re-checking the queues under the sleep mutex, so either we see it
+    /// here and notify, or it sees our job and never parks. The
+    /// 10ms `wait_timeout` in [`Registry::sleep`] backstops the protocol.
+    fn notify_if_sleeping(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock().unwrap();
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Racy work probe used only to decide whether parking is safe.
+    fn has_visible_work(&self) -> bool {
+        !self.injected.lock().unwrap().is_empty() || self.deques.iter().any(|d| !d.looks_empty())
+    }
+
+    /// Park the calling worker until notified (or the timeout backstop).
+    fn sleep(&self) {
+        let guard = self.sleep_mutex.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.has_visible_work() || self.terminate.load(Ordering::Acquire) {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _ = self
+            .sleep_cv
+            .wait_timeout(guard, Duration::from_millis(10))
+            .unwrap();
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Ask all workers to exit once their queues drain. Owning pools
+    /// only call this after every `install` has returned, so no pending
+    /// work is abandoned.
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        let _guard = self.sleep_mutex.lock().unwrap();
+        self.sleep_cv.notify_all();
+    }
+}
+
+thread_local! {
+    /// Set for the lifetime of `worker_main`; null on non-pool threads.
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-thread worker state, allocated on the worker's own stack by
+/// [`worker_main`] and published through the `WORKER` thread-local.
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+impl WorkerThread {
+    /// The calling thread's worker state, or null when the caller is not
+    /// a pool worker. The pointer is valid for the worker's lifetime and
+    /// only ever dereferenced by the worker thread itself.
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER.with(Cell::get)
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn deque(&self) -> &Deque {
+        &self.registry.deques[self.index]
+    }
+
+    /// Steal one job from a sibling, sweeping victims round-robin from
+    /// our own index. `Retry` collisions mean some thread made progress,
+    /// so keep sweeping until every victim reports a clean `Empty`.
+    fn steal(&self) -> Option<JobRef> {
+        let n = self.registry.deques.len();
+        if n <= 1 {
+            return None;
+        }
+        loop {
+            let mut saw_retry = false;
+            for k in 1..n {
+                let victim = (self.index + k) % n;
+                match self.registry.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !saw_retry {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Idle-loop work discovery: own deque, then injector, then theft.
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.deque().pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.registry.pop_injected() {
+            return Some(job);
+        }
+        self.steal()
+    }
+
+    /// Cilk-style fork-join on a pool worker.
+    pub(crate) fn join<A, RA, B, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        // Width-1 pool: no thief exists, so skip the publication
+        // machinery. Observable behavior matches the pool path (on an
+        // `a` panic, `b` never runs either way).
+        if self.registry.num_threads() == 1 {
+            let ra = a();
+            return (ra, b());
+        }
+
+        let job_b = StackJob::new(SpinLatch::new(), b);
+        // Safety: `job_b` lives in this frame and this frame does not
+        // return (or unwind) until the job is popped back or its latch
+        // observed set — enforced by the accounting below.
+        let jref = job_b.as_job_ref();
+        if self.deque().push(jref).is_err() {
+            // Ring full (pathological recursion depth): degrade this
+            // fork to inline sequential execution. Results are
+            // identical; only the parallel shape changes.
+            let ra = a();
+            return (ra, job_b.run_inline());
+        }
+        self.registry.notify_if_sleeping();
+
+        // Run `a` with the unwind captured: `b` is published, so we must
+        // not unwind past this frame until it is accounted for.
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+        enum BState {
+            /// Popped back before any thief got it; not executed.
+            Reclaimed,
+            /// Executed (by a thief, or inline below via `execute`).
+            Done,
+        }
+        let b_state = loop {
+            if job_b.latch.probe() {
+                break BState::Done;
+            }
+            match self.deque().pop() {
+                Some(job) if std::ptr::eq(job, jref) => break BState::Reclaimed,
+                Some(other) => {
+                    // A job from an enclosing join frame: executing it
+                    // here is equivalent to it having been stolen.
+                    unsafe { execute(other) };
+                }
+                None => {
+                    // `b` was stolen; be useful while its latch is open.
+                    if let Some(stolen) = self.steal() {
+                        unsafe { execute(stolen) };
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        };
+
+        match (ra, b_state) {
+            (Ok(ra), BState::Reclaimed) => {
+                let rb = job_b.run_inline();
+                (ra, rb)
+            }
+            (Ok(ra), BState::Done) => (ra, job_b.into_result()),
+            (Err(payload), BState::Reclaimed) => {
+                // `b` never ran; drop its closure and replay `a`'s panic.
+                drop(job_b);
+                panic::resume_unwind(payload)
+            }
+            (Err(payload), BState::Done) => {
+                // Both sides completed; `a`'s panic takes precedence.
+                job_b.abandon();
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Body of every pool worker thread.
+fn worker_main(registry: &Arc<Registry>, index: usize) {
+    let worker = WorkerThread {
+        registry: Arc::clone(registry),
+        index,
+    };
+    WORKER.with(|cell| cell.set(std::ptr::addr_of!(worker)));
+
+    let mut idle_spins = 0u32;
+    loop {
+        if let Some(job) = worker.find_work() {
+            idle_spins = 0;
+            // Safety: the job came off a queue, so its forking frame is
+            // still waiting on it; `execute` runs it exactly once.
+            unsafe { execute(job) };
+            continue;
+        }
+        if registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        idle_spins += 1;
+        if idle_spins < 64 {
+            std::thread::yield_now();
+        } else {
+            registry.sleep();
+            idle_spins = 0;
+        }
+    }
+
+    WORKER.with(|cell| cell.set(std::ptr::null()));
+}
